@@ -1,0 +1,96 @@
+// E8 — cache-hierarchy ablation.
+//
+// Design-choice ablation called out in DESIGN.md: how much of the memory
+// system's contribution to the headline experiments comes from (a) L2
+// capacity and (b) non-blocking-ness (MSHR count)?  Sweeps both knobs on
+// the HPCCG proxy.
+//
+// Expected shape: runtime falls as L2 grows until the working set fits,
+// then flattens; MSHR count matters most for wide cores (miss overlap) —
+// a 1-MSHR (blocking) L2 erases most of the issue-width benefit.
+#include "bench_util.h"
+
+int main() {
+  using namespace sst;
+  using namespace sst::bench;
+
+  print_header("E8 cache hierarchy ablation - hpccg proxy",
+               "DESIGN.md ablation (supports E1-E3 interpretation)",
+               "runtime falls with L2 size until fit, then flat; MSHRs "
+               "recover miss overlap for wide cores");
+
+  std::printf("\n[L2 capacity sweep] 4-wide core, DDR3, 16 MSHRs\n");
+  std::printf("%-10s %12s %12s %12s\n", "L2 size", "time(ms)",
+              "L2 miss%", "DRAM accesses");
+  for (const char* size : {"64KiB", "256KiB", "1MiB", "4MiB"}) {
+    NodeConfig cfg;
+    cfg.issue_width = 4;
+    cfg.l2_size = size;
+    const NodeResult r =
+        run_node(cfg, std::make_unique<proc::Hpccg>(12, 12, 12, 2));
+    std::printf("%-10s %12.3f %11.1f%% %12llu\n", size, r.runtime_s * 1e3,
+                r.l2_miss_rate * 100.0,
+                static_cast<unsigned long long>(r.dram_accesses));
+  }
+
+  std::printf("\n[MSHR sweep] DDR3, 512KiB L2\n");
+  std::printf("%-8s %14s %14s %14s\n", "MSHRs", "1-wide (ms)",
+              "4-wide (ms)", "4-wide speedup");
+  for (unsigned mshrs : {1u, 2u, 4u, 16u}) {
+    NodeConfig narrow;
+    narrow.issue_width = 1;
+    narrow.l2_mshrs = mshrs;
+    const NodeResult rn =
+        run_node(narrow, std::make_unique<proc::Hpccg>(12, 12, 12, 1));
+    NodeConfig wide = narrow;
+    wide.issue_width = 4;
+    const NodeResult rw =
+        run_node(wide, std::make_unique<proc::Hpccg>(12, 12, 12, 1));
+    std::printf("%-8u %14.3f %14.3f %13.2fx\n", mshrs, rn.runtime_s * 1e3,
+                rw.runtime_s * 1e3, rn.runtime_s / rw.runtime_s);
+  }
+
+  std::printf("\n[MLP sweep] outstanding-load limit at the core, GUPS "
+              "(latency-bound)\n");
+  std::printf("%-10s %12s\n", "max_loads", "time(ms)");
+  for (unsigned ml : {1u, 2u, 4u, 8u, 16u}) {
+    NodeConfig cfg;
+    cfg.issue_width = 4;
+    cfg.max_loads = ml;
+    const NodeResult r =
+        run_node(cfg, std::make_unique<proc::Gups>(1 << 24, 50'000, 5));
+    std::printf("%-10u %12.3f\n", ml, r.runtime_s * 1e3);
+  }
+
+  std::printf("\n[Prefetcher] next-line L2 prefetch, shallow core "
+              "(8 loads), stream vs random\n");
+  std::printf("%-8s %-10s %12s %14s %14s\n", "app", "prefetch", "time(ms)",
+              "pf issued", "pf useful");
+  for (const char* app : {"stream", "gups"}) {
+    for (const char* pf : {"none", "nextline"}) {
+      Simulation sim;
+      Params cp{{"clock", "2GHz"}, {"issue_width", "4"},
+                {"max_loads", "8"}, {"max_stores", "8"}};
+      auto* cpu = sim.add_component<proc::Core>("cpu", cp);
+      if (std::string(app) == "stream") {
+        cpu->set_workload(std::make_unique<proc::StreamTriad>(1 << 15, 1));
+      } else {
+        cpu->set_workload(std::make_unique<proc::Gups>(1 << 24, 30'000, 5));
+      }
+      Params l2p{{"size", "512KiB"}, {"assoc", "8"}, {"hit_latency", "4ns"},
+                 {"mshrs", "32"}, {"prefetch", pf},
+                 {"prefetch_degree", "4"}};
+      auto* l2 = sim.add_component<mem::Cache>("l2", l2p);
+      Params mp{{"backend", "dram"}, {"preset", "DDR3"}};
+      sim.add_component<mem::MemoryController>("mc", mp);
+      sim.connect("cpu", "mem", "l2", "cpu", kNanosecond);
+      sim.connect("l2", "mem", "mc", "cpu", 2 * kNanosecond);
+      sim.run();
+      std::printf("%-8s %-10s %12.3f %14llu %14llu\n", app, pf,
+                  static_cast<double>(cpu->completion_time()) / 1e9,
+                  static_cast<unsigned long long>(l2->prefetches_issued()),
+                  static_cast<unsigned long long>(l2->prefetch_hits()));
+    }
+  }
+  return 0;
+}

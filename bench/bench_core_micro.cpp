@@ -1,0 +1,155 @@
+// E10 — engine microbenchmarks (google-benchmark).
+//
+// Costs of the primitives everything else is built from: TimeVortex
+// insert/pop, link event delivery, clock dispatch, UnitAlgebra parsing,
+// RNG draws.  Regressions here slow every experiment in the repo.
+#include <benchmark/benchmark.h>
+
+#include "core/sst.h"
+
+namespace {
+
+using namespace sst;
+
+// ---- TimeVortex -------------------------------------------------------
+
+class VortexEvent final : public Event {};
+
+}  // namespace
+
+namespace sst {
+// Reuse the unit-test stamping peer (friend of Event).
+class TimeVortexTestPeer {
+ public:
+  static EventPtr stamped(SimTime t, std::uint64_t seq) {
+    auto ev = std::make_unique<VortexEvent>();
+    ev->delivery_time_ = t;
+    ev->link_id_ = 0;
+    ev->order_ = seq;
+    return ev;
+  }
+};
+}  // namespace sst
+
+namespace {
+
+void BM_TimeVortexInsertPop(benchmark::State& state) {
+  const auto depth = static_cast<std::uint64_t>(state.range(0));
+  TimeVortex tv;
+  rng::XorShift128Plus rng(1);
+  std::uint64_t seq = 0;
+  for (std::uint64_t i = 0; i < depth; ++i) {
+    tv.insert(TimeVortexTestPeer::stamped(rng.next_bounded(1 << 20), seq++));
+  }
+  for (auto _ : state) {
+    tv.insert(TimeVortexTestPeer::stamped(rng.next_bounded(1 << 20), seq++));
+    benchmark::DoNotOptimize(tv.pop());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_TimeVortexInsertPop)->Arg(64)->Arg(4096)->Arg(262144);
+
+// ---- Link send/deliver through the serial engine ----------------------
+
+class Bouncer final : public Component {
+ public:
+  explicit Bouncer(Params&) {
+    link_ = configure_link("port", [this](EventPtr ev) {
+      link_->send(std::move(ev));
+    });
+  }
+  Link* link_;
+};
+
+class Kicker final : public Component {
+ public:
+  explicit Kicker(Params&) {
+    link_ = configure_link("port", [this](EventPtr ev) {
+      link_->send(std::move(ev));
+    });
+  }
+  void setup() override { link_->send(std::make_unique<NullEvent>()); }
+  Link* link_;
+};
+
+void BM_EventRoundTrip(benchmark::State& state) {
+  // Measures full engine overhead per event: heap ops + dispatch + send.
+  for (auto _ : state) {
+    state.PauseTiming();
+    Simulation sim(SimConfig{.end_time = kMillisecond});
+    Params p;
+    sim.add_component<Kicker>("a", p);
+    sim.add_component<Bouncer>("b", p);
+    sim.connect("a", "port", "b", "port", 10 * kNanosecond);
+    sim.initialize();
+    state.ResumeTiming();
+    const RunStats stats = sim.run();
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(stats.events_processed) +
+        state.items_processed());
+  }
+}
+BENCHMARK(BM_EventRoundTrip)->Unit(benchmark::kMillisecond);
+
+// ---- Clock dispatch ----------------------------------------------------
+
+class NopTicker final : public Component {
+ public:
+  explicit NopTicker(Params&) {
+    register_clock(kNanosecond, [](Cycle) { return false; });
+  }
+};
+
+void BM_ClockDispatch(benchmark::State& state) {
+  const auto handlers = state.range(0);
+  for (auto _ : state) {
+    state.PauseTiming();
+    Simulation sim(SimConfig{.end_time = 100 * kMicrosecond});
+    Params p;
+    for (std::int64_t i = 0; i < handlers; ++i) {
+      sim.add_component<NopTicker>("t" + std::to_string(i), p);
+    }
+    state.ResumeTiming();
+    const RunStats stats = sim.run();
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(stats.clock_ticks) * handlers +
+        state.items_processed());
+  }
+}
+BENCHMARK(BM_ClockDispatch)->Arg(1)->Arg(16)->Unit(benchmark::kMillisecond);
+
+// ---- UnitAlgebra parsing ----------------------------------------------
+
+void BM_UnitAlgebraParse(benchmark::State& state) {
+  const char* inputs[] = {"2.4GHz", "64KiB", "1.6GB/s", "10ns", "3W"};
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(UnitAlgebra(inputs[i++ % 5]));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_UnitAlgebraParse);
+
+// ---- RNG ----------------------------------------------------------------
+
+void BM_RngXorShift(benchmark::State& state) {
+  rng::XorShift128Plus rng(7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng.next());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_RngXorShift);
+
+void BM_RngBounded(benchmark::State& state) {
+  rng::XorShift128Plus rng(7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng.next_bounded(1000));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_RngBounded);
+
+}  // namespace
+
+BENCHMARK_MAIN();

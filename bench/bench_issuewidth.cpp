@@ -1,0 +1,82 @@
+// E3 — processor issue-width study.
+//
+// Reproduces the SST case study (companion text Fig. 12): issue widths
+// 1/2/4/8 on both mini-apps over DDR3, reporting speedup, power, energy,
+// and the cost/power efficiency sweet spots.
+//
+// Published shape: 8-wide is ~78% faster than 1-wide on Lulesh but burns
+// ~123% more power; 1-2-wide cores are the most power-efficient and
+// 2-4-wide the most cost-efficient.
+#include "bench_util.h"
+
+int main() {
+  using namespace sst;
+  using namespace sst::bench;
+
+  const unsigned widths[] = {1, 2, 4, 8};
+
+  for (const char* app : {"lulesh", "hpccg"}) {
+    print_header(
+        ("E3 issue-width sweep - " + std::string(app)).c_str(),
+        "FGCS co-design paper Fig. 12 (SST + McPAT + IC-Knowledge flow)",
+        "speedup sub-linear (~1.8x at 8-wide on lulesh), power super-"
+        "linear; perf/W peaks at 1-2 wide, perf/$ at 2-4 wide");
+
+    struct Row {
+      NodeResult r;
+      TechRollup t;
+      double chip_cost_usd;
+    };
+    Row rows[4];
+    for (int w = 0; w < 4; ++w) {
+      NodeConfig cfg;
+      cfg.preset = "DDR3";
+      cfg.issue_width = widths[w];
+      rows[w].r = run_node(cfg, study_workload(app));
+      rows[w].t = rollup(cfg, rows[w].r);
+      // Fig. 12's cost axis is the *chip* manufacturing cost
+      // (IC-Knowledge flow), not the whole node.
+      power::CorePowerModel::Config cc;
+      cc.issue_width = widths[w];
+      const power::CorePowerModel core_model(cc);
+      const power::SramPowerModel l2_model(
+          UnitAlgebra(cfg.l2_size).to_bytes());
+      rows[w].chip_cost_usd = power::CostModel().die_cost_usd(
+          core_model.area_mm2() + l2_model.area_mm2());
+    }
+
+    std::printf("\n%-6s %10s %9s %9s %10s %10s %12s\n", "width",
+                "time(ms)", "speedup", "power(W)", "power vs 1",
+                "perf/W", "perf/$ x1e3");
+    double best_ppw = 0, best_ppd = 0;
+    unsigned best_ppw_w = 0, best_ppd_w = 0;
+    for (int w = 0; w < 4; ++w) {
+      const double speedup = rows[0].r.runtime_s / rows[w].r.runtime_s;
+      const double power_ratio = rows[w].t.power_w / rows[0].t.power_w;
+      const double ppw =
+          1.0 / (rows[w].r.runtime_s * rows[w].t.power_w);
+      const double ppd =
+          1.0 / (rows[w].r.runtime_s * rows[w].chip_cost_usd);
+      if (ppw > best_ppw) {
+        best_ppw = ppw;
+        best_ppw_w = widths[w];
+      }
+      if (ppd > best_ppd) {
+        best_ppd = ppd;
+        best_ppd_w = widths[w];
+      }
+      std::printf("%-6u %10.3f %8.2fx %9.2f %9.2fx %10.4f %12.4f\n",
+                  widths[w], rows[w].r.runtime_s * 1e3, speedup,
+                  rows[w].t.power_w, power_ratio, ppw, ppd * 1e3);
+    }
+    const double speedup8 = rows[0].r.runtime_s / rows[3].r.runtime_s;
+    const double power8 =
+        (rows[3].t.power_w / rows[0].t.power_w - 1.0) * 100.0;
+    std::printf("\n8-wide vs 1-wide: %.0f%% faster, %.0f%% more power\n",
+                (speedup8 - 1.0) * 100.0, power8);
+    std::printf("most power-efficient width: %u; most cost-efficient "
+                "width: %u\n\n",
+                best_ppw_w, best_ppd_w);
+  }
+  return 0;
+}

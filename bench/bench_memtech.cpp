@@ -1,0 +1,90 @@
+// E1 + E2 — memory-technology design-space exploration.
+//
+// Reproduces the SST case study (companion text Figs. 10 and 11):
+// HPCCG and LULESH proxies on DDR2 / DDR3 / GDDR5, across core issue
+// widths 1/2/4/8, reporting performance, performance-per-Watt, and
+// performance-per-dollar.
+//
+// Published shape:
+//   * Fig. 10 — GDDR5 is 26-47% faster than DDR3 on Lulesh and 32-41%
+//     faster on HPCCG; DDR3 beats DDR2.
+//   * Fig. 11 — DDR3 matches or beats GDDR5 in perf/W (up to ~2x for
+//     narrow cores); perf/$ favours DDR3 for narrow cores with a
+//     crossover by 8-wide.
+#include "bench_util.h"
+
+int main() {
+  using namespace sst;
+  using namespace sst::bench;
+
+  const char* presets[] = {"DDR2", "DDR3", "GDDR5"};
+  const unsigned widths[] = {1, 2, 4, 8};
+
+  for (const char* app : {"hpccg", "lulesh"}) {
+    print_header(
+        ("E1/E2 memory technology sweep - " + std::string(app)).c_str(),
+        "FGCS co-design paper Figs. 10-11 (SST + GeM5/DRAMSim2/McPAT flow)",
+        "perf: GDDR5 > DDR3 > DDR2; perf/W: DDR3 >= GDDR5; perf/$ "
+        "crossover at wide issue");
+
+    struct Cell {
+      NodeResult r;
+      TechRollup t;
+    };
+    Cell cells[3][4];
+    for (int p = 0; p < 3; ++p) {
+      for (int w = 0; w < 4; ++w) {
+        NodeConfig cfg;
+        cfg.preset = presets[p];
+        cfg.issue_width = widths[w];
+        cells[p][w].r = run_node(cfg, study_workload(app));
+        cells[p][w].t = rollup(cfg, cells[p][w].r);
+      }
+    }
+
+    std::printf("\n[Fig.10] runtime (ms) and speedup vs DDR3\n");
+    std::printf("%-8s", "width");
+    for (const char* p : presets) std::printf(" %12s", p);
+    std::printf(" %16s\n", "GDDR5 vs DDR3");
+    for (int w = 0; w < 4; ++w) {
+      std::printf("%-8u", widths[w]);
+      for (int p = 0; p < 3; ++p) {
+        std::printf(" %12.3f", cells[p][w].r.runtime_s * 1e3);
+      }
+      const double gain =
+          (cells[1][w].r.runtime_s / cells[2][w].r.runtime_s - 1.0) * 100.0;
+      std::printf(" %14.1f%%\n", gain);
+    }
+
+    std::printf("\n[Fig.11a] performance per Watt (1/s/W), "
+                "DDR3-vs-GDDR5 advantage\n");
+    std::printf("%-8s", "width");
+    for (const char* p : presets) std::printf(" %12s", p);
+    std::printf(" %16s\n", "DDR3/GDDR5");
+    for (int w = 0; w < 4; ++w) {
+      std::printf("%-8u", widths[w]);
+      double ppw[3];
+      for (int p = 0; p < 3; ++p) {
+        ppw[p] = 1.0 / (cells[p][w].r.runtime_s * cells[p][w].t.power_w);
+        std::printf(" %12.4f", ppw[p]);
+      }
+      std::printf(" %15.2fx\n", ppw[1] / ppw[2]);
+    }
+
+    std::printf("\n[Fig.11b] performance per dollar (1/s/$)\n");
+    std::printf("%-8s", "width");
+    for (const char* p : presets) std::printf(" %12s", p);
+    std::printf(" %16s\n", "DDR3/GDDR5");
+    for (int w = 0; w < 4; ++w) {
+      std::printf("%-8u", widths[w]);
+      double ppd[3];
+      for (int p = 0; p < 3; ++p) {
+        ppd[p] = 1.0 / (cells[p][w].r.runtime_s * cells[p][w].t.cost_usd);
+        std::printf(" %12.6f", ppd[p]);
+      }
+      std::printf(" %15.2fx\n", ppd[1] / ppd[2]);
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

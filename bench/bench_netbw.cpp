@@ -1,0 +1,105 @@
+// E4 — network injection-bandwidth degradation study.
+//
+// Reproduces the methodology of the companion text Fig. 9 (Cray XT5
+// firmware-throttling study): four application communication profiles run
+// at full / half / quarter / eighth NIC injection bandwidth; reports the
+// runtime relative to full bandwidth.
+//
+// Published shape: Charon (many small latency-bound messages) is
+// essentially flat; CTH and SAGE (large halo messages) degrade steeply —
+// CTH slows by more than 2x at one-eighth bandwidth; xNOBEL falls in
+// between (loss of compute/communication overlap).
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/sst.h"
+#include "net/net_lib.h"
+
+namespace {
+
+using namespace sst;
+
+struct AppProfile {
+  const char* name;
+  const char* halo_bytes;        // per-face halo volume
+  const char* collective_bytes;  // small-message collectives
+  const char* collective_count;
+  const char* compute;
+};
+
+// Communication signatures of the four ASC codes in the study
+// (substitution documented in DESIGN.md: motif replicas, not the codes).
+const AppProfile kApps[] = {
+    {"CTH", "128KiB", "0", "0", "1ms"},
+    {"SAGE", "80KiB", "64", "1", "1.2ms"},
+    {"xNOBEL", "24KiB", "256", "4", "800us"},
+    {"Charon", "2KiB", "512", "12", "400us"},
+};
+
+double run_profile(const AppProfile& app, const char* injection_bw) {
+  Simulation sim(SimConfig{.seed = 23});
+  constexpr unsigned kNodes = 16;
+  std::vector<net::NetEndpoint*> eps;
+  std::vector<net::AppProfileMotif*> motifs;
+  for (unsigned i = 0; i < kNodes; ++i) {
+    Params p;
+    p.set("px", "4");
+    p.set("py", "2");
+    p.set("pz", "2");
+    p.set("compute", app.compute);
+    p.set("halo_bytes", app.halo_bytes);
+    p.set("collective_bytes", app.collective_bytes);
+    p.set("collective_count", app.collective_count);
+    p.set("iterations", "6");
+    p.set("injection_bw", injection_bw);
+    auto* m = sim.add_component<net::AppProfileMotif>(
+        "rank" + std::to_string(i), p);
+    motifs.push_back(m);
+    eps.push_back(m);
+  }
+  net::TopologySpec spec;
+  spec.kind = net::TopologySpec::Kind::kTorus3D;
+  spec.x = 4;
+  spec.y = 2;
+  spec.z = 2;
+  spec.link_bandwidth = "25GB/s";  // fabric over-provisioned, as on XT5
+  net::build_topology(sim, spec, eps);
+  sim.run();
+  SimTime completion = 0;
+  for (const auto* m : motifs) {
+    completion = std::max(completion, m->completion_time());
+  }
+  return static_cast<double>(completion);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("--------------------------------------------------------------------------\n");
+  std::printf("E4 injection-bandwidth degradation (16-node 4x2x2 torus)\n");
+  std::printf("  reproduces: FGCS co-design paper Fig. 9 (XT5 firmware throttling study)\n");
+  std::printf("  expected shape: Charon flat; CTH > 2x at 1/8 bandwidth; SAGE steep;\n");
+  std::printf("                  xNOBEL intermediate\n");
+  std::printf("--------------------------------------------------------------------------\n\n");
+
+  const char* bandwidths[] = {"3.2GB/s", "1.6GB/s", "0.8GB/s", "0.4GB/s"};
+  const char* labels[] = {"full", "half", "quarter", "eighth"};
+
+  std::printf("%-8s", "app");
+  for (const char* l : labels) std::printf(" %10s", l);
+  std::printf("\n");
+  for (const AppProfile& app : kApps) {
+    std::printf("%-8s", app.name);
+    double base = 0;
+    for (int b = 0; b < 4; ++b) {
+      const double t = run_profile(app, bandwidths[b]);
+      if (b == 0) base = t;
+      std::printf(" %10.2f", t / base);
+    }
+    std::printf("\n");
+  }
+  std::printf("\n(values are runtime relative to full 3.2GB/s injection "
+              "bandwidth)\n");
+  return 0;
+}

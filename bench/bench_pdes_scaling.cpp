@@ -1,0 +1,136 @@
+// E5 + E9 — parallel discrete-event engine scaling and partitioner
+// quality.
+//
+// Reproduces the SC'06 poster's headline claim: the framework itself is a
+// scalable parallel simulator.  The cluster substitution (DESIGN.md) maps
+// MPI ranks to in-process threads; on this single-core host the study
+// reports the algorithmic scaling metrics — events per wall-clock second,
+// synchronization rounds, events per sync window, and cross-partition
+// traffic — rather than wall-clock speedup.
+//
+// Expected shape: event totals identical across rank counts (determinism);
+// cross-rank event fraction grows with rank count but is far lower for
+// the min-cut partitioner than round-robin; events-per-window (the
+// available parallelism per sync) stays high for good partitions.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/sst.h"
+#include "../tests/test_components.h"
+
+namespace {
+
+using namespace sst;
+
+RunStats run_phold(unsigned ranks, PartitionStrategy part, unsigned x,
+                   unsigned y, SimTime end) {
+  Simulation sim(SimConfig{
+      .num_ranks = ranks, .end_time = end, .seed = 11, .partition = part});
+  Params p;
+  p.set("fanout", "4");
+  p.set("initial_events", "4");
+  p.set("min_delay", "20ns");
+  auto name = [](unsigned i, unsigned j) {
+    return "n" + std::to_string(i) + "_" + std::to_string(j);
+  };
+  for (unsigned j = 0; j < y; ++j) {
+    for (unsigned i = 0; i < x; ++i) {
+      sim.add_component<sst::testing::PholdNode>(name(i, j), p);
+    }
+  }
+  // 2-D torus of PHOLD nodes: port0/1 in x, port2/3 in y.
+  for (unsigned j = 0; j < y; ++j) {
+    for (unsigned i = 0; i < x; ++i) {
+      sim.connect(name(i, j), "port0", name((i + 1) % x, j), "port1",
+                  200 * kNanosecond);
+      sim.connect(name(i, j), "port2", name(i, (j + 1) % y), "port3",
+                  200 * kNanosecond);
+    }
+  }
+  return sim.run();
+}
+
+const char* part_name(PartitionStrategy p) {
+  switch (p) {
+    case PartitionStrategy::kLinear: return "linear";
+    case PartitionStrategy::kRoundRobin: return "roundrobin";
+    case PartitionStrategy::kMinCut: return "mincut";
+  }
+  return "?";
+}
+
+}  // namespace
+
+int main() {
+  std::printf("--------------------------------------------------------------------------\n");
+  std::printf("E5 PDES engine scaling (PHOLD on a 16x16 torus, 1024 initial events)\n");
+  std::printf("  reproduces: SC'06 poster scalability claim (threads stand in for MPI\n");
+  std::printf("  ranks; single-core host => algorithmic metrics, see DESIGN.md)\n");
+  std::printf("--------------------------------------------------------------------------\n\n");
+
+  std::printf("%-6s %12s %10s %12s %12s %10s\n", "ranks", "events",
+              "windows", "evts/window", "cross-rank", "Mevt/s");
+  for (unsigned ranks : {1u, 2u, 4u, 8u}) {
+    const RunStats s = run_phold(ranks, PartitionStrategy::kMinCut, 16, 16,
+                                 2 * kMillisecond);
+    const double per_window =
+        s.sync_windows ? static_cast<double>(s.events_processed) /
+                             static_cast<double>(s.sync_windows)
+                       : static_cast<double>(s.events_processed);
+    std::printf("%-6u %12llu %10llu %12.1f %11.1f%% %10.2f\n", ranks,
+                static_cast<unsigned long long>(s.events_processed),
+                static_cast<unsigned long long>(s.sync_windows), per_window,
+                100.0 * static_cast<double>(s.cross_rank_events) /
+                    static_cast<double>(s.events_processed),
+                s.events_per_second() / 1e6);
+  }
+
+  std::printf("\nE9 partitioner quality (4 ranks, same torus)\n");
+  std::printf("%-12s %10s %14s %12s %12s\n", "partitioner", "cut links",
+              "cross-rank", "windows", "events");
+  for (PartitionStrategy part :
+       {PartitionStrategy::kLinear, PartitionStrategy::kRoundRobin,
+        PartitionStrategy::kMinCut}) {
+    const RunStats s =
+        run_phold(4, part, 16, 16, 2 * kMillisecond);
+    std::printf("%-12s %10llu %13.1f%% %12llu %12llu\n", part_name(part),
+                static_cast<unsigned long long>(s.cut_links),
+                100.0 * static_cast<double>(s.cross_rank_events) /
+                    static_cast<double>(s.events_processed),
+                static_cast<unsigned long long>(s.sync_windows),
+                static_cast<unsigned long long>(s.events_processed));
+  }
+
+  std::printf("\nLookahead sweep (2 ranks, mincut): larger link latency => "
+              "fewer syncs\n");
+  std::printf("%-12s %12s %12s\n", "latency", "windows", "evts/window");
+  // Lookahead equals the cross-rank link latency; rebuild with scaled
+  // latencies by reusing min_delay as proxy: rerun with different end
+  // times is unnecessary — vary via the torus link latency directly.
+  for (SimTime lat : {50 * kNanosecond, 200 * kNanosecond, kMicrosecond}) {
+    Simulation sim(SimConfig{.num_ranks = 2,
+                             .end_time = 2 * kMillisecond,
+                             .seed = 11,
+                             .partition = PartitionStrategy::kMinCut});
+    Params p;
+    p.set("fanout", "2");
+    p.set("initial_events", "4");
+    p.set("min_delay", "20ns");
+    for (unsigned i = 0; i < 64; ++i) {
+      sim.add_component<sst::testing::PholdNode>("n" + std::to_string(i), p);
+    }
+    for (unsigned i = 0; i < 64; ++i) {
+      sim.connect("n" + std::to_string(i), "port0",
+                  "n" + std::to_string((i + 1) % 64), "port1", lat);
+    }
+    const RunStats s = sim.run();
+    std::printf("%9lluns %12llu %12.1f\n",
+                static_cast<unsigned long long>(lat / kNanosecond),
+                static_cast<unsigned long long>(s.sync_windows),
+                s.sync_windows ? static_cast<double>(s.events_processed) /
+                                     static_cast<double>(s.sync_windows)
+                               : 0.0);
+  }
+  return 0;
+}

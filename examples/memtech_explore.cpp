@@ -1,0 +1,80 @@
+// Design-space exploration example (the FGCS §5.2.1 workflow in
+// miniature): sweep memory technology x issue width for one mini-app and
+// print performance, power, and cost figures of merit.
+//
+//   $ ./memtech_explore            # hpccg proxy
+//   $ ./memtech_explore lulesh     # hydro proxy
+//
+// The full-resolution experiment (both apps, all widths, reference
+// numbers) lives in bench/bench_memtech; this example shows the API.
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/sst.h"
+#include "mem/mem_lib.h"
+#include "power/power.h"
+#include "proc/proc_lib.h"
+
+namespace {
+
+sst::proc::WorkloadPtr make_app(const std::string& app) {
+  if (app == "lulesh") return std::make_unique<sst::proc::Lulesh>(10, 1);
+  return std::make_unique<sst::proc::Hpccg>(12, 12, 12, 1);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace sst;
+  const std::string app = argc > 1 ? argv[1] : "hpccg";
+
+  std::printf("%-10s %-8s %10s %10s %10s %12s\n", "memory", "width",
+              "time(ms)", "power(W)", "cost($)", "perf/W");
+  for (const char* preset : {"DDR2", "DDR3", "GDDR5"}) {
+    for (unsigned width : {1u, 4u}) {
+      Simulation sim;
+      Params cp{{"clock", "2GHz"},
+                {"issue_width", std::to_string(width)}};
+      auto* cpu = sim.add_component<proc::Core>("cpu", cp);
+      cpu->set_workload(make_app(app));
+      Params l2p{{"size", "512KiB"}, {"assoc", "8"},
+                 {"hit_latency", "4ns"}, {"mshrs", "16"}};
+      sim.add_component<mem::Cache>("l2", l2p);
+      Params mp{{"backend", "dram"}, {"preset", preset}};
+      auto* mc = sim.add_component<mem::MemoryController>("mc", mp);
+      sim.connect("cpu", "mem", "l2", "cpu", Simulation::time("1ns"));
+      sim.connect("l2", "mem", "mc", "cpu", Simulation::time("2ns"));
+      sim.run();
+
+      const double seconds =
+          static_cast<double>(cpu->completion_time()) * 1e-12;
+
+      // Technology models: core + DRAM power, die + memory cost.
+      power::CorePowerModel::Config cc;
+      cc.issue_width = width;
+      const power::CorePowerModel core_power(cc);
+      const auto dram_params = mem::DramTimingParams::preset(preset);
+      const power::DramPowerModel dram_power(dram_params);
+      const std::uint64_t accesses = mc->reads() + mc->writes();
+      const double watts =
+          core_power.average_power_w(cpu->instructions(), seconds) +
+          dram_power.average_power_w(accesses, seconds);
+      const power::CostModel cost;
+      const double dollars =
+          cost.die_cost_usd(core_power.area_mm2() + 20.0) +
+          power::CostModel::memory_cost_usd(dram_params, 16.0);
+
+      power::DesignPoint point;
+      point.runtime_s = seconds;
+      point.power_w = watts;
+      point.cost_usd = dollars;
+      std::printf("%-10s %-8u %10.3f %10.2f %10.2f %12.4f\n", preset,
+                  width, seconds * 1e3, watts, dollars,
+                  point.perf_per_watt());
+    }
+  }
+  std::printf("\nSee bench/bench_memtech for the full experiment.\n");
+  return 0;
+}

@@ -1,0 +1,47 @@
+// Quickstart: simulate one compute node — a 4-wide 2GHz core with an
+// L1/L2 hierarchy over DDR3 — running the HPCCG mini-app proxy, then dump
+// every statistic the models collected.
+//
+//   $ ./quickstart
+//
+// This is the ~40-line version of what the benchmark harnesses do at
+// scale; start here when adopting the library.
+#include <iostream>
+
+#include "core/sst.h"
+#include "mem/mem_lib.h"
+#include "proc/proc_lib.h"
+
+int main() {
+  using namespace sst;
+
+  Simulation sim;
+
+  // Processor: abstract core fed by a workload generator.
+  Params cpu_params{{"clock", "2GHz"}, {"issue_width", "4"}};
+  auto* cpu = sim.add_component<proc::Core>("cpu", cpu_params);
+  cpu->set_workload(std::make_unique<proc::Hpccg>(16, 16, 16, 1));
+
+  // Memory hierarchy: L1 -> L2 -> DDR3 controller.
+  Params l1_params{{"size", "32KiB"}, {"assoc", "4"}, {"hit_latency", "1ns"}};
+  sim.add_component<mem::Cache>("l1", l1_params);
+  Params l2_params{
+      {"size", "512KiB"}, {"assoc", "8"}, {"hit_latency", "4ns"},
+      {"mshrs", "16"}};
+  sim.add_component<mem::Cache>("l2", l2_params);
+  Params mc_params{{"backend", "dram"}, {"preset", "DDR3"}};
+  sim.add_component<mem::MemoryController>("mem", mc_params);
+
+  sim.connect("cpu", "mem", "l1", "cpu", Simulation::time("500ps"));
+  sim.connect("l1", "mem", "l2", "cpu", Simulation::time("1ns"));
+  sim.connect("l2", "mem", "mem", "cpu", Simulation::time("2ns"));
+
+  const RunStats stats = sim.run();
+
+  const double ms = static_cast<double>(stats.final_time) / 1e9;
+  std::cout << "simulated " << ms << " ms of a 2GHz node ("
+            << stats.events_processed << " events, "
+            << stats.wall_seconds << " s wall clock)\n\n";
+  sim.stats().write_console(std::cout);
+  return 0;
+}

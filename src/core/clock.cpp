@@ -1,0 +1,63 @@
+#include "core/clock.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "core/simulation.h"
+
+namespace sst {
+
+namespace {
+/// Engine-internal event carrying a clock tick.
+class ClockTickEvent final : public Event {};
+}  // namespace
+
+Clock::Clock(Simulation& sim, RankId rank, SimTime period)
+    : sim_(&sim), rank_(rank), period_(period) {
+  if (period_ == 0) throw ConfigError("clock period must be >= 1ps");
+  tick_handler_ = [this](EventPtr ev) { tick(ev->delivery_time()); };
+}
+
+void Clock::add_handler(ClockHandler h) {
+  if (!h) throw ConfigError("null clock handler");
+  handlers_.push_back(std::move(h));
+  if (!scheduled_) schedule_next(sim_->rank_now(rank_));
+}
+
+void Clock::schedule_next(SimTime now) {
+  // First tick strictly after `now`, aligned to multiples of the period.
+  const Cycle next_cycle = now / period_ + 1;
+  auto ev = std::make_unique<ClockTickEvent>();
+  ev->delivery_time_ = next_cycle * period_;
+  ev->priority_ = Event::kPriorityClock;
+  ev->handler_ = &tick_handler_;
+  // Deterministic tie-break among same-time clock ticks: order clocks by
+  // period (unique per rank), independent of creation order.
+  ev->link_id_ = Event::kClockSourceBase |
+                 static_cast<LinkId>(period_ & 0x7FFF'FFFFU);
+  ev->order_ = next_cycle;
+  cycle_ = next_cycle;
+  scheduled_ = true;
+  sim_->schedule_local(rank_, std::move(ev));
+}
+
+void Clock::tick(SimTime now) {
+  scheduled_ = false;
+  ++ticks_;
+  const Cycle cycle = cycle_;
+  // Dispatch in registration order; drop handlers that return true.
+  // A handler may register new clocks/handlers while running, so index
+  // rather than iterate.
+  std::size_t i = 0;
+  while (i < handlers_.size()) {
+    const bool done = handlers_[i](cycle);
+    if (done) {
+      handlers_.erase(handlers_.begin() + static_cast<std::ptrdiff_t>(i));
+    } else {
+      ++i;
+    }
+  }
+  if (!handlers_.empty()) schedule_next(now);
+}
+
+}  // namespace sst

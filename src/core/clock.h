@@ -1,0 +1,60 @@
+// Clock: shared periodic tick distribution.
+//
+// Components register handlers at a frequency; all handlers with the same
+// period on the same partition share one Clock, so an N-component system
+// costs one event per cycle, not N.  A handler returning true unregisters
+// itself; the Clock stops ticking when no handlers remain (and resumes when
+// one is added), so simulated time can fast-forward through idle phases.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "core/event.h"
+#include "core/types.h"
+
+namespace sst {
+
+class Simulation;
+
+/// Return true to unregister from further ticks.
+using ClockHandler = std::function<bool(Cycle)>;
+
+class Clock {
+ public:
+  Clock(const Clock&) = delete;
+  Clock& operator=(const Clock&) = delete;
+
+  [[nodiscard]] SimTime period() const { return period_; }
+  [[nodiscard]] Cycle current_cycle() const { return cycle_; }
+  [[nodiscard]] std::size_t handler_count() const { return handlers_.size(); }
+
+  /// Total ticks dispatched (for engine statistics).
+  [[nodiscard]] std::uint64_t ticks() const { return ticks_; }
+
+ private:
+  friend class Simulation;
+
+  Clock(Simulation& sim, RankId rank, SimTime period);
+
+  /// Adds a handler; (re)schedules the tick event if the clock was idle.
+  void add_handler(ClockHandler h);
+
+  /// Delivers one tick to all handlers; drops those that return true;
+  /// reschedules when handlers remain.
+  void tick(SimTime now);
+
+  void schedule_next(SimTime now);
+
+  Simulation* sim_;
+  RankId rank_;
+  SimTime period_;
+  Cycle cycle_ = 0;
+  bool scheduled_ = false;
+  std::uint64_t ticks_ = 0;
+  std::vector<ClockHandler> handlers_;
+  EventHandler tick_handler_;  // bound once; target of tick events
+};
+
+}  // namespace sst

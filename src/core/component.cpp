@@ -1,0 +1,88 @@
+#include "core/component.h"
+
+#include <utility>
+
+#include "core/simulation.h"
+
+namespace sst {
+
+namespace {
+std::uint64_t component_seed(std::uint64_t global_seed, ComponentId id) {
+  rng::SplitMix64 sm(global_seed ^ (0x9e3779b97f4a7c15ULL * (id + 1)));
+  return sm.next();
+}
+}  // namespace
+
+Component::Component() : rng_(1) {
+  Simulation* sim = Simulation::build_context();
+  if (sim == nullptr || !sim->constructing_) {
+    throw ConfigError(
+        "Component constructed outside Simulation::add_component");
+  }
+  sim_ = sim;
+  id_ = static_cast<ComponentId>(sim->components_.size());
+  name_ = sim->pending_name_;
+  rng_ = rng::XorShift128Plus(component_seed(sim->config().seed, id_));
+}
+
+Component::~Component() = default;
+
+SimTime Component::now() const { return sim_->rank_now(rank_); }
+
+Link* Component::configure_link(std::string_view port, EventHandler handler,
+                                bool optional) {
+  return sim_->create_link(id_, port, std::move(handler), /*polling=*/false,
+                           optional);
+}
+
+Link* Component::configure_polling_link(std::string_view port,
+                                        bool optional) {
+  return sim_->create_link(id_, port, EventHandler{}, /*polling=*/true,
+                           optional);
+}
+
+Link* Component::configure_self_link(std::string_view name, SimTime latency,
+                                     EventHandler handler) {
+  return sim_->create_self_link(id_, name, latency, std::move(handler));
+}
+
+void Component::register_clock(SimTime period_ps, ClockHandler handler) {
+  if (period_ps == 0) throw ConfigError("clock period must be >= 1ps");
+  sim_->register_component_clock(id_, period_ps, std::move(handler));
+}
+
+void Component::register_clock(const UnitAlgebra& freq_or_period,
+                               ClockHandler handler) {
+  register_clock(freq_or_period.to_period(), std::move(handler));
+}
+
+Counter* Component::stat_counter(const std::string& name) {
+  return sim_->stats().create<Counter>(name_, name);
+}
+
+Accumulator* Component::stat_accumulator(const std::string& name) {
+  return sim_->stats().create<Accumulator>(name_, name);
+}
+
+Histogram* Component::stat_histogram(const std::string& name, double lo,
+                                     double width, std::size_t nbins) {
+  return sim_->stats().create<Histogram>(name_, name, lo, width, nbins);
+}
+
+void Component::register_as_primary() {
+  if (is_primary_) return;
+  is_primary_ = true;
+  sim_->note_primary();
+}
+
+void Component::primary_ok_to_end_sim() {
+  if (!is_primary_) {
+    throw SimulationError("primary_ok_to_end_sim from non-primary component '" +
+                          name_ + "'");
+  }
+  if (said_ok_) return;
+  said_ok_ = true;
+  sim_->note_primary_ok();
+}
+
+}  // namespace sst

@@ -1,0 +1,46 @@
+#include "core/factory.h"
+
+#include "core/simulation.h"
+
+namespace sst {
+
+Factory& Factory::instance() {
+  static Factory factory;
+  return factory;
+}
+
+void Factory::register_component(const std::string& type, Builder builder) {
+  if (!builder) throw ConfigError("null builder for '" + type + "'");
+  auto [it, inserted] = builders_.emplace(type, std::move(builder));
+  (void)it;
+  if (!inserted) {
+    throw ConfigError("component type registered twice: '" + type + "'");
+  }
+}
+
+bool Factory::known(const std::string& type) const {
+  return builders_.contains(type);
+}
+
+Component* Factory::create(Simulation& sim, const std::string& type,
+                           const std::string& name, Params& params) const {
+  auto it = builders_.find(type);
+  if (it == builders_.end()) {
+    std::string msg = "unknown component type '" + type + "'; known types:";
+    for (const auto& t : registered_types()) msg += " " + t;
+    throw ConfigError(msg);
+  }
+  return it->second(sim, name, params);
+}
+
+std::vector<std::string> Factory::registered_types() const {
+  std::vector<std::string> out;
+  out.reserve(builders_.size());
+  for (const auto& [k, v] : builders_) {
+    (void)v;
+    out.push_back(k);
+  }
+  return out;
+}
+
+}  // namespace sst

@@ -1,0 +1,73 @@
+// Factory: builds components by registered string name ("mem.Cache",
+// "proc.Core", ...), the mechanism behind configuration-file-driven
+// simulations (SST's element-library loading, minus dlopen).
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/params.h"
+#include "core/types.h"
+
+namespace sst {
+
+class Component;
+class Simulation;
+
+class Factory {
+ public:
+  using Builder = std::function<Component*(Simulation&, const std::string&,
+                                           Params&)>;
+
+  /// Process-wide factory instance (element libraries self-register into
+  /// it from static initializers).
+  static Factory& instance();
+
+  /// Registers a builder under "library.Name".  Duplicate registration of
+  /// the same name is a programming error.
+  void register_component(const std::string& type, Builder builder);
+
+  /// True when a builder exists for the type.
+  [[nodiscard]] bool known(const std::string& type) const;
+
+  /// Creates a component of the registered type inside `sim`.
+  Component* create(Simulation& sim, const std::string& type,
+                    const std::string& name, Params& params) const;
+
+  /// All registered type names, sorted.
+  [[nodiscard]] std::vector<std::string> registered_types() const;
+
+ private:
+  std::map<std::string, Builder> builders_;
+};
+
+/// Helper used by the registration macro.
+template <typename T>
+struct ComponentRegistrar {
+  explicit ComponentRegistrar(const std::string& type);
+};
+
+}  // namespace sst
+
+#include "core/simulation.h"
+
+namespace sst {
+template <typename T>
+ComponentRegistrar<T>::ComponentRegistrar(const std::string& type) {
+  Factory::instance().register_component(
+      type,
+      [](Simulation& sim, const std::string& name, Params& p) -> Component* {
+        return sim.add_component<T>(name, p);
+      });
+}
+}  // namespace sst
+
+/// Registers a Component subclass with constructor signature (Params&)
+/// under the given type string, e.g.:
+///   SST_REGISTER_COMPONENT(my::Cache, "mem.Cache");
+#define SST_REGISTER_COMPONENT(cls, type_string)                            \
+  static const ::sst::ComponentRegistrar<cls> sst_registrar_##cls_instance( \
+      type_string)

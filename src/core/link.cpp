@@ -1,0 +1,77 @@
+#include "core/link.h"
+
+#include <utility>
+
+#include "core/simulation.h"
+
+namespace sst {
+
+Link::Link(Simulation& sim, LinkId id, ComponentId owner, std::string port,
+           EventHandler handler, bool polling, bool optional)
+    : sim_(&sim),
+      id_(id),
+      owner_(owner),
+      port_(std::move(port)),
+      handler_(std::move(handler)),
+      polling_(polling),
+      optional_(optional) {
+  if (polling_) {
+    handler_ = [this](EventPtr ev) { poll_queue_.push_back(std::move(ev)); };
+  }
+  if (!handler_) {
+    throw ConfigError("link endpoint '" + port_ + "' has no handler");
+  }
+}
+
+void Link::send(EventPtr ev, SimTime extra_delay) {
+  if (!ev) throw SimulationError("Link::send: null event");
+  if (peer_ == nullptr) {
+    throw SimulationError("Link::send on unconnected port '" + port_ + "'");
+  }
+  if (sim_->in_init_phase()) {
+    throw SimulationError(
+        "Link::send during init phases; use send_init on port '" + port_ +
+        "'");
+  }
+  const SimTime now = sim_->rank_now(owner_rank_);
+  ev->delivery_time_ = now + latency_ + extra_delay;
+  ev->link_id_ = id_;
+  ev->handler_ = &peer_->handler_;
+  // Cross-rank determinism: stamp the per-link send sequence so the
+  // receiver can totally order drained mailbox events.
+  ev->order_ = send_seq_++;
+  sim_->schedule(owner_rank_, peer_rank_, std::move(ev));
+}
+
+void Link::send_init(EventPtr ev) {
+  if (!ev) throw SimulationError("Link::send_init: null event");
+  if (peer_ == nullptr) {
+    throw SimulationError("Link::send_init on unconnected port '" + port_ +
+                          "'");
+  }
+  if (!sim_->in_init_phase()) {
+    throw SimulationError("Link::send_init outside init phases on port '" +
+                          port_ + "'");
+  }
+  init_staging_.push_back(std::move(ev));
+  sim_->note_init_data_sent();
+}
+
+EventPtr Link::recv_init() {
+  if (init_queue_.empty()) return nullptr;
+  EventPtr ev = std::move(init_queue_.front());
+  init_queue_.pop_front();
+  return ev;
+}
+
+EventPtr Link::poll() {
+  if (!polling_) {
+    throw SimulationError("Link::poll on handler-mode port '" + port_ + "'");
+  }
+  if (poll_queue_.empty()) return nullptr;
+  EventPtr ev = std::move(poll_queue_.front());
+  poll_queue_.pop_front();
+  return ev;
+}
+
+}  // namespace sst

@@ -1,0 +1,21 @@
+#include "core/rng.h"
+
+namespace sst::rng {
+
+DiscreteDistribution::DiscreteDistribution(std::vector<double> weights) {
+  if (weights.empty())
+    throw SimulationError("DiscreteDistribution: empty weights");
+  cumulative_.reserve(weights.size());
+  double running = 0.0;
+  for (double w : weights) {
+    if (w < 0.0)
+      throw SimulationError("DiscreteDistribution: negative weight");
+    running += w;
+    cumulative_.push_back(running);
+  }
+  if (running <= 0.0)
+    throw SimulationError("DiscreteDistribution: zero total weight");
+  total_ = running;
+}
+
+}  // namespace sst::rng

@@ -1,0 +1,191 @@
+// Deterministic random number generation for simulation models.
+//
+// SST ships its own RNG library so that simulations are reproducible across
+// platforms and independent of the C++ standard library's unspecified
+// distributions.  We do the same: fixed-algorithm generators (SplitMix64,
+// XorShift128+, PCG32) plus the distributions models need, all with exactly
+// specified behaviour.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "core/types.h"
+
+namespace sst::rng {
+
+/// SplitMix64: used to seed the other generators and for cheap hashing.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// XorShift128+: fast, high-quality 64-bit generator.  The default model
+/// RNG.
+class XorShift128Plus {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit XorShift128Plus(std::uint64_t seed = 0x5d5d5d5d5d5d5d5dULL) {
+    SplitMix64 sm(seed);
+    s0_ = sm.next();
+    s1_ = sm.next();
+    if (s0_ == 0 && s1_ == 0) s1_ = 1;  // all-zero state is invalid
+  }
+
+  std::uint64_t next() {
+    std::uint64_t x = s0_;
+    const std::uint64_t y = s1_;
+    s0_ = y;
+    x ^= x << 23;
+    s1_ = x ^ y ^ (x >> 17) ^ (y >> 26);
+    return s1_ + y;
+  }
+
+  // UniformRandomBitGenerator interface so <algorithm> shuffles work.
+  std::uint64_t operator()() { return next(); }
+  static constexpr std::uint64_t min() { return 0; }
+  static constexpr std::uint64_t max() { return ~0ULL; }
+
+  /// Uniform double in [0, 1).
+  double next_double() {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform integer in [0, bound).  bound == 0 is a checked error.
+  std::uint64_t next_bounded(std::uint64_t bound) {
+    if (bound == 0) throw SimulationError("rng: zero bound");
+    // Rejection sampling to avoid modulo bias.
+    const std::uint64_t threshold = (~bound + 1) % bound;  // 2^64 mod bound
+    for (;;) {
+      const std::uint64_t r = next();
+      if (r >= threshold) return r % bound;
+    }
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::uint64_t next_range(std::uint64_t lo, std::uint64_t hi) {
+    if (lo > hi) throw SimulationError("rng: empty range");
+    const std::uint64_t span = hi - lo;
+    if (span == ~0ULL) return next();
+    return lo + next_bounded(span + 1);
+  }
+
+ private:
+  std::uint64_t s0_;
+  std::uint64_t s1_;
+};
+
+/// PCG32: small-state generator with excellent statistical quality.  Used
+/// where models need many independent streams (the stream id is part of
+/// the state).
+class Pcg32 {
+ public:
+  using result_type = std::uint32_t;
+
+  explicit Pcg32(std::uint64_t seed = 0x853c49e6748fea9bULL,
+                 std::uint64_t stream = 0xda3e39cb94b95bdbULL) {
+    state_ = 0;
+    inc_ = (stream << 1) | 1;
+    next();
+    state_ += seed;
+    next();
+  }
+
+  std::uint32_t next() {
+    const std::uint64_t old = state_;
+    state_ = old * 6364136223846793005ULL + inc_;
+    const auto xorshifted =
+        static_cast<std::uint32_t>(((old >> 18) ^ old) >> 27);
+    const auto rot = static_cast<std::uint32_t>(old >> 59);
+    return (xorshifted >> rot) | (xorshifted << ((32 - rot) & 31));
+  }
+
+  std::uint32_t operator()() { return next(); }
+  static constexpr std::uint32_t min() { return 0; }
+  static constexpr std::uint32_t max() { return ~0U; }
+
+  double next_double() {
+    // 32 random bits are enough for model-level probabilities.
+    return static_cast<double>(next()) * 0x1.0p-32;
+  }
+
+ private:
+  std::uint64_t state_;
+  std::uint64_t inc_;
+};
+
+/// Exponential distribution (for inter-arrival times).
+template <typename Rng>
+double exponential(Rng& rng, double mean) {
+  if (mean <= 0) throw SimulationError("rng: exponential mean must be > 0");
+  double u;
+  do {
+    u = rng.next_double();
+  } while (u <= 0.0);
+  return -mean * std::log(u);
+}
+
+/// Discrete distribution over weights; returns an index in [0, n).
+class DiscreteDistribution {
+ public:
+  explicit DiscreteDistribution(std::vector<double> weights);
+
+  template <typename Rng>
+  std::size_t sample(Rng& rng) const {
+    const double u = rng.next_double() * total_;
+    // Binary search over the cumulative weights.
+    std::size_t lo = 0, hi = cumulative_.size();
+    while (lo < hi) {
+      const std::size_t mid = (lo + hi) / 2;
+      if (cumulative_[mid] <= u)
+        lo = mid + 1;
+      else
+        hi = mid;
+    }
+    return lo < cumulative_.size() ? lo : cumulative_.size() - 1;
+  }
+
+  [[nodiscard]] std::size_t size() const { return cumulative_.size(); }
+
+ private:
+  std::vector<double> cumulative_;
+  double total_ = 0.0;
+};
+
+/// Poisson sample via inversion (suitable for small means used in models).
+template <typename Rng>
+std::uint64_t poisson(Rng& rng, double mean) {
+  if (mean <= 0) throw SimulationError("rng: poisson mean must be > 0");
+  if (mean > 60.0) {
+    // Normal approximation for large means.
+    // Box-Muller with two uniforms.
+    const double u1 = std::max(rng.next_double(), 1e-300);
+    const double u2 = rng.next_double();
+    const double z =
+        std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * M_PI * u2);
+    const double v = mean + std::sqrt(mean) * z;
+    return v <= 0 ? 0 : static_cast<std::uint64_t>(v + 0.5);
+  }
+  const double limit = std::exp(-mean);
+  double product = rng.next_double();
+  std::uint64_t count = 0;
+  while (product > limit) {
+    ++count;
+    product *= rng.next_double();
+  }
+  return count;
+}
+
+}  // namespace sst::rng

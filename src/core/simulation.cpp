@@ -1,0 +1,711 @@
+#include "core/simulation.h"
+
+#include <algorithm>
+#include <barrier>
+#include <chrono>
+#include <iostream>
+#include <queue>
+#include <thread>
+#include <utility>
+
+namespace sst {
+
+namespace {
+// Largest sync window used when partitions share no links (infinite
+// lookahead would otherwise let a rank run past a primary-exit decision).
+constexpr SimTime kMaxSyncWindow = 10 * kMicrosecond;
+// Safety valve for init phases (a component that stages data every phase
+// forever is a bug, not a workload).
+constexpr unsigned kMaxInitPhases = 64;
+}  // namespace
+
+Simulation::Simulation(SimConfig config) : config_(config) {
+  if (config_.num_ranks == 0) throw ConfigError("num_ranks must be >= 1");
+  ranks_ = std::vector<RankState>(config_.num_ranks);
+}
+
+Simulation::~Simulation() {
+  // Clear a dangling build context if a constructor threw mid-build.
+  if (build_context() == this) build_context() = nullptr;
+}
+
+Simulation*& Simulation::build_context() {
+  thread_local Simulation* ctx = nullptr;
+  return ctx;
+}
+
+void Simulation::begin_component(const std::string& name) {
+  if (state_ != State::kBuilding) {
+    throw ConfigError("add_component after initialize()");
+  }
+  if (constructing_) {
+    throw ConfigError(
+        "nested add_component (components must not create components)");
+  }
+  if (name.empty()) throw ConfigError("component name must not be empty");
+  if (component_names_.contains(name)) {
+    throw ConfigError("duplicate component name '" + name + "'");
+  }
+  pending_name_ = name;
+  constructing_ = true;
+  build_context() = this;
+}
+
+Component* Simulation::end_component(std::unique_ptr<Component> comp) {
+  constructing_ = false;
+  build_context() = nullptr;
+  Component* raw = comp.get();
+  component_names_.emplace(raw->name_, raw->id_);
+  components_.push_back(std::move(comp));
+  return raw;
+}
+
+void Simulation::abort_component() {
+  constructing_ = false;
+  build_context() = nullptr;
+}
+
+Link* Simulation::create_link(ComponentId owner, std::string_view port,
+                              EventHandler handler, bool polling,
+                              bool optional) {
+  auto key = std::make_pair(owner, std::string(port));
+  if (ports_.contains(key)) {
+    throw ConfigError("duplicate port '" + std::string(port) +
+                      "' on component '" + components_raw_name(owner) + "'");
+  }
+  const LinkId id = static_cast<LinkId>(links_.size());
+  if (id >= Event::kClockSourceBase) {
+    throw ConfigError("too many link endpoints");
+  }
+  links_.push_back(std::unique_ptr<Link>(new Link(
+      *this, id, owner, std::string(port), std::move(handler), polling,
+      optional)));
+  Link* link = links_.back().get();
+  ports_.emplace(std::move(key), link);
+  return link;
+}
+
+Link* Simulation::create_self_link(ComponentId owner, std::string_view name,
+                                   SimTime latency, EventHandler handler) {
+  const LinkId id = static_cast<LinkId>(links_.size());
+  links_.push_back(std::unique_ptr<Link>(
+      new Link(*this, id, owner, "self:" + std::string(name),
+               std::move(handler), /*polling=*/false, /*optional=*/false)));
+  Link* link = links_.back().get();
+  link->peer_ = link;
+  link->latency_ = latency;
+  return link;
+}
+
+std::string Simulation::components_raw_name(ComponentId id) const {
+  // Valid during construction: the component being built is not yet in
+  // components_, so fall back to the pending name.
+  if (id < components_.size()) return components_[id]->name();
+  return pending_name_;
+}
+
+void Simulation::connect(const std::string& comp_a, const std::string& port_a,
+                         const std::string& comp_b, const std::string& port_b,
+                         SimTime latency_ps) {
+  connect(comp_a, port_a, comp_b, port_b, latency_ps, latency_ps);
+}
+
+void Simulation::connect(const std::string& comp_a, const std::string& port_a,
+                         const std::string& comp_b, const std::string& port_b,
+                         SimTime latency_a_to_b, SimTime latency_b_to_a) {
+  if (state_ != State::kBuilding) {
+    throw ConfigError("connect after initialize()");
+  }
+  if (latency_a_to_b == 0 || latency_b_to_a == 0) {
+    throw ConfigError("link latency must be >= 1ps (" + comp_a + "." +
+                      port_a + " <-> " + comp_b + "." + port_b + ")");
+  }
+  connections_.push_back(
+      {comp_a, port_a, comp_b, port_b, latency_a_to_b, latency_b_to_a});
+}
+
+void Simulation::set_component_rank(const std::string& name, RankId rank) {
+  if (rank >= config_.num_ranks) {
+    throw ConfigError("rank " + std::to_string(rank) + " out of range for '" +
+                      name + "'");
+  }
+  pinned_ranks_[name] = rank;
+}
+
+Component* Simulation::find_component(const std::string& name) const {
+  auto it = component_names_.find(name);
+  if (it == component_names_.end()) return nullptr;
+  return components_[it->second].get();
+}
+
+RankId Simulation::component_rank(ComponentId id) const {
+  if (id >= components_.size()) {
+    throw ConfigError("component id out of range");
+  }
+  return components_[id]->rank_;
+}
+
+SimTime Simulation::time(std::string_view text) {
+  return UnitAlgebra(text).to_simtime();
+}
+
+// ---------------------------------------------------------------------
+// Partitioning
+// ---------------------------------------------------------------------
+
+void Simulation::assign_ranks() {
+  const unsigned R = config_.num_ranks;
+  const std::size_t N = components_.size();
+  if (R == 1) {
+    for (auto& c : components_) c->rank_ = 0;
+  } else {
+    switch (config_.partition) {
+      case PartitionStrategy::kLinear: {
+        // Contiguous blocks in creation order.  Creation order usually
+        // follows system structure (node 0's parts, node 1's parts, ...),
+        // so this is SST's default partitioner too.
+        const std::size_t per = (N + R - 1) / R;
+        for (std::size_t i = 0; i < N; ++i) {
+          components_[i]->rank_ = static_cast<RankId>(std::min<std::size_t>(
+              i / std::max<std::size_t>(per, 1), R - 1));
+        }
+        break;
+      }
+      case PartitionStrategy::kRoundRobin: {
+        for (std::size_t i = 0; i < N; ++i) {
+          components_[i]->rank_ = static_cast<RankId>(i % R);
+        }
+        break;
+      }
+      case PartitionStrategy::kMinCut: {
+        assign_ranks_mincut();
+        break;
+      }
+    }
+  }
+  // Explicit pins override the partitioner.
+  for (const auto& [name, rank] : pinned_ranks_) {
+    auto it = component_names_.find(name);
+    if (it == component_names_.end()) {
+      throw ConfigError("set_component_rank: unknown component '" + name +
+                        "'");
+    }
+    components_[it->second]->rank_ = rank;
+  }
+}
+
+void Simulation::assign_ranks_mincut() {
+  // Two-stage heuristic: (1) BFS-grown blocks over the connection graph
+  // give a connected initial partition; (2) Kernighan-Lin-style greedy
+  // refinement moves boundary components to the rank where they have the
+  // most neighbours, subject to balance, until no move reduces the cut.
+  // Deterministic throughout (fixed visit order).
+  const unsigned R = config_.num_ranks;
+  const std::size_t N = components_.size();
+  std::vector<std::vector<ComponentId>> adj(N);
+  for (const auto& c : connections_) {
+    auto a = component_names_.find(c.comp_a);
+    auto b = component_names_.find(c.comp_b);
+    if (a == component_names_.end() || b == component_names_.end()) continue;
+    adj[a->second].push_back(b->second);
+    adj[b->second].push_back(a->second);
+  }
+
+  // Stage 1: BFS growth from pseudo-peripheral seeds — each new block
+  // starts at the unassigned component farthest from everything assigned
+  // so far, so blocks grow as compact tiles instead of interleaving.
+  std::vector<RankId> rank(N, static_cast<RankId>(R - 1));
+  std::vector<bool> assigned(N, false);
+  const std::size_t quota = (N + R - 1) / R;
+  auto pick_far_seed = [&]() -> std::size_t {
+    // Multi-source BFS from the assigned set; farthest unassigned vertex
+    // wins (lowest id on ties).  With nothing assigned yet, vertex 0.
+    std::vector<std::uint32_t> dist(N, ~0U);
+    std::queue<ComponentId> q;
+    for (std::size_t i = 0; i < N; ++i) {
+      if (assigned[i]) {
+        dist[i] = 0;
+        q.push(static_cast<ComponentId>(i));
+      }
+    }
+    if (q.empty()) return 0;
+    while (!q.empty()) {
+      const ComponentId v = q.front();
+      q.pop();
+      for (ComponentId w : adj[v]) {
+        if (dist[w] == ~0U) {
+          dist[w] = dist[v] + 1;
+          q.push(w);
+        }
+      }
+    }
+    std::size_t best = N;
+    std::uint32_t best_dist = 0;
+    for (std::size_t i = 0; i < N; ++i) {
+      if (assigned[i]) continue;
+      // Unreachable (disconnected) vertices are the farthest of all.
+      const std::uint32_t d = dist[i] == ~0U ? ~0U - 1 : dist[i];
+      if (best == N || d > best_dist) {
+        best = i;
+        best_dist = d;
+      }
+    }
+    return best;
+  };
+  // Best-first growth: always absorb the frontier vertex with the most
+  // edges into the growing block (ties to the lowest id), which keeps
+  // blocks compact instead of the plus-shapes FIFO BFS produces.
+  std::vector<std::uint32_t> edges_into_block(N, 0);
+  for (unsigned r = 0; r < R; ++r) {
+    std::size_t filled = 0;
+    std::vector<ComponentId> frontier;
+    std::fill(edges_into_block.begin(), edges_into_block.end(), 0);
+    while (filled < quota) {
+      if (frontier.empty()) {
+        const std::size_t seed = pick_far_seed();
+        if (seed >= N) break;
+        frontier.push_back(static_cast<ComponentId>(seed));
+      }
+      std::size_t pick = 0;
+      for (std::size_t i = 1; i < frontier.size(); ++i) {
+        const ComponentId a = frontier[i];
+        const ComponentId b = frontier[pick];
+        if (edges_into_block[a] > edges_into_block[b] ||
+            (edges_into_block[a] == edges_into_block[b] && a < b)) {
+          pick = i;
+        }
+      }
+      const ComponentId v = frontier[pick];
+      frontier.erase(frontier.begin() + static_cast<std::ptrdiff_t>(pick));
+      if (assigned[v]) continue;
+      assigned[v] = true;
+      rank[v] = static_cast<RankId>(r);
+      ++filled;
+      for (ComponentId w : adj[v]) {
+        if (!assigned[w]) {
+          if (edges_into_block[w] == 0) frontier.push_back(w);
+          ++edges_into_block[w];
+        }
+      }
+    }
+  }
+
+  // Stage 2: Kernighan-Lin-style refinement.  Alternates two kinds of
+  // deterministic greedy passes until neither changes anything:
+  //   * move passes — relocate a vertex to the rank holding more of its
+  //     neighbours (subject to balance);
+  //   * swap passes — exchange two vertices between ranks when the
+  //     combined gain is positive (fixes block *shapes*, which single
+  //     moves cannot under tight balance).
+  std::vector<std::size_t> size(R, 0);
+  for (std::size_t i = 0; i < N; ++i) ++size[rank[i]];
+  const std::size_t per = N / R;
+  const std::size_t slack = std::max<std::size_t>(1, per / 8);
+  const std::size_t size_max = quota + slack;
+  const std::size_t size_min = per > slack ? per - slack : 1;
+
+  // edges_to[v][r]: number of v's graph edges whose other end is in r.
+  std::vector<std::vector<std::uint32_t>> edges_to(
+      N, std::vector<std::uint32_t>(R, 0));
+  auto recount = [&](std::size_t v) {
+    std::fill(edges_to[v].begin(), edges_to[v].end(), 0);
+    for (ComponentId w : adj[v]) ++edges_to[v][rank[w]];
+  };
+  for (std::size_t v = 0; v < N; ++v) recount(v);
+  auto relocate = [&](std::size_t v, RankId to) {
+    const RankId from = rank[v];
+    rank[v] = to;
+    for (ComponentId u : adj[v]) {
+      --edges_to[u][from];
+      ++edges_to[u][to];
+    }
+  };
+
+  for (int round = 0; round < 8; ++round) {
+    bool changed = false;
+
+    // Move pass.
+    for (std::size_t v = 0; v < N; ++v) {
+      if (adj[v].empty()) continue;
+      const RankId cur = rank[v];
+      RankId best = cur;
+      std::int64_t best_gain = 0;
+      for (RankId r = 0; r < R; ++r) {
+        if (r == cur || size[r] >= size_max) continue;
+        const std::int64_t gain =
+            static_cast<std::int64_t>(edges_to[v][r]) -
+            static_cast<std::int64_t>(edges_to[v][cur]);
+        if (gain > best_gain) {
+          best_gain = gain;
+          best = r;
+        }
+      }
+      if (best != cur && size[cur] > size_min) {
+        --size[cur];
+        ++size[best];
+        relocate(v, best);
+        changed = true;
+      }
+    }
+
+    // Swap pass (balance-preserving, so no size checks needed).
+    for (std::size_t v = 0; v < N; ++v) {
+      if (adj[v].empty()) continue;
+      const RankId rv = rank[v];
+      std::size_t best_w = N;
+      std::int64_t best_gain = 0;
+      for (std::size_t w = v + 1; w < N; ++w) {
+        const RankId rw = rank[w];
+        if (rw == rv || adj[w].empty()) continue;
+        std::int64_t gain =
+            static_cast<std::int64_t>(edges_to[v][rw]) -
+            static_cast<std::int64_t>(edges_to[v][rv]) +
+            static_cast<std::int64_t>(edges_to[w][rv]) -
+            static_cast<std::int64_t>(edges_to[w][rw]);
+        // If v and w are adjacent, their shared edges were counted as
+        // gains on both sides but stay cut after the swap.
+        for (ComponentId u : adj[v]) {
+          if (u == w) gain -= 2;
+        }
+        if (gain > best_gain) {
+          best_gain = gain;
+          best_w = w;
+        }
+      }
+      if (best_w < N) {
+        const RankId rw = rank[best_w];
+        relocate(v, rw);
+        relocate(best_w, rv);
+        changed = true;
+      }
+    }
+
+    if (!changed) break;
+  }
+
+  for (std::size_t i = 0; i < N; ++i) {
+    components_[i]->rank_ = rank[i];
+  }
+}
+
+// ---------------------------------------------------------------------
+// Wiring
+// ---------------------------------------------------------------------
+
+void Simulation::wire_links() {
+  for (const auto& c : connections_) {
+    auto ca = component_names_.find(c.comp_a);
+    if (ca == component_names_.end()) {
+      throw ConfigError("connect: unknown component '" + c.comp_a + "'");
+    }
+    auto cb = component_names_.find(c.comp_b);
+    if (cb == component_names_.end()) {
+      throw ConfigError("connect: unknown component '" + c.comp_b + "'");
+    }
+    auto pa = ports_.find({ca->second, c.port_a});
+    if (pa == ports_.end()) {
+      throw ConfigError("connect: component '" + c.comp_a +
+                        "' has no port '" + c.port_a + "'");
+    }
+    auto pb = ports_.find({cb->second, c.port_b});
+    if (pb == ports_.end()) {
+      throw ConfigError("connect: component '" + c.comp_b +
+                        "' has no port '" + c.port_b + "'");
+    }
+    Link* la = pa->second;
+    Link* lb = pb->second;
+    if (la->peer_ != nullptr || lb->peer_ != nullptr) {
+      throw ConfigError("port connected twice: " + c.comp_a + "." + c.port_a +
+                        " <-> " + c.comp_b + "." + c.port_b);
+    }
+    la->peer_ = lb;
+    lb->peer_ = la;
+    la->latency_ = c.latency_ab;
+    lb->latency_ = c.latency_ba;
+  }
+
+  // Fill rank fields, find the lookahead, count cut links, and check for
+  // dangling required ports.
+  lookahead_ = kTimeNever;
+  cut_links_ = 0;
+  for (const auto& link : links_) {
+    link->owner_rank_ = components_[link->owner_]->rank_;
+    if (link->peer_ == nullptr) {
+      if (!link->optional_) {
+        throw ConfigError("port never connected: '" +
+                          components_[link->owner_]->name() + "." +
+                          link->port_ + "'");
+      }
+      continue;
+    }
+    link->peer_rank_ = components_[link->peer_->owner_]->rank_;
+    if (link->owner_rank_ != link->peer_rank_) {
+      ++cut_links_;
+      lookahead_ = std::min(lookahead_, link->latency_);
+    }
+  }
+  if (config_.num_ranks > 1 && lookahead_ == kTimeNever) {
+    // Independent partitions: bound windows so termination votes happen.
+    lookahead_ = kMaxSyncWindow;
+  }
+  lookahead_ = std::min(lookahead_, kMaxSyncWindow);
+}
+
+void Simulation::register_component_clock(ComponentId comp, SimTime period,
+                                          ClockHandler handler) {
+  if (state_ == State::kBuilding) {
+    pending_clocks_.push_back({comp, period, std::move(handler)});
+  } else {
+    get_clock(components_[comp]->rank_, period)
+        ->add_handler(std::move(handler));
+  }
+}
+
+Clock* Simulation::get_clock(RankId rank, SimTime period) {
+  auto key = std::make_pair(rank, period);
+  auto it = clocks_.find(key);
+  if (it == clocks_.end()) {
+    it = clocks_
+             .emplace(key, std::unique_ptr<Clock>(
+                               new Clock(*this, rank, period)))
+             .first;
+  }
+  return it->second.get();
+}
+
+// ---------------------------------------------------------------------
+// Initialization
+// ---------------------------------------------------------------------
+
+void Simulation::initialize() {
+  if (state_ != State::kBuilding) return;
+  assign_ranks();
+  wire_links();
+  // Now that ranks are known, create clocks registered during build.
+  for (auto& pc : pending_clocks_) {
+    get_clock(components_[pc.comp]->rank_, pc.period)
+        ->add_handler(std::move(pc.handler));
+  }
+  pending_clocks_.clear();
+  run_init_phases();
+  state_ = State::kInitialized;
+  for (auto& c : components_) c->setup();
+}
+
+void Simulation::run_init_phases() {
+  unsigned phase = 0;
+  do {
+    init_data_sent_ = false;
+    init_phase_active_ = true;
+    for (auto& c : components_) c->init(phase);
+    init_phase_active_ = false;
+    // Deliver staged init data for the next phase.
+    for (auto& link : links_) {
+      while (!link->init_staging_.empty()) {
+        link->peer_->init_queue_.push_back(
+            std::move(link->init_staging_.front()));
+        link->init_staging_.pop_front();
+      }
+    }
+    ++phase;
+    if (phase > kMaxInitPhases) {
+      throw SimulationError("init phases did not converge (component keeps "
+                            "sending init data)");
+    }
+  } while (init_data_sent_);
+}
+
+// ---------------------------------------------------------------------
+// Scheduling
+// ---------------------------------------------------------------------
+
+void Simulation::schedule(RankId src_rank, RankId dst_rank, EventPtr ev) {
+  if (src_rank == dst_rank) {
+    ranks_[dst_rank].vortex.insert(std::move(ev));
+    return;
+  }
+  cross_rank_events_.fetch_add(1, std::memory_order_relaxed);
+  RankState& dst = ranks_[dst_rank];
+  std::lock_guard<std::mutex> lock(dst.mailbox_mutex);
+  dst.mailbox.push_back(std::move(ev));
+}
+
+void Simulation::schedule_local(RankId rank, EventPtr ev) {
+  ranks_[rank].vortex.insert(std::move(ev));
+}
+
+void Simulation::drain_mailbox(RankState& rank) {
+  std::vector<EventPtr> incoming;
+  {
+    std::lock_guard<std::mutex> lock(rank.mailbox_mutex);
+    incoming.swap(rank.mailbox);
+  }
+  // Deterministic total order independent of sender thread interleaving:
+  // EventOrder is (time, priority, source link, per-link sequence).
+  std::sort(incoming.begin(), incoming.end(),
+            [](const EventPtr& a, const EventPtr& b) {
+              return EventOrder{}(*a, *b);
+            });
+  for (auto& ev : incoming) rank.vortex.insert(std::move(ev));
+}
+
+// ---------------------------------------------------------------------
+// Run loops
+// ---------------------------------------------------------------------
+
+RunStats Simulation::run() {
+  if (state_ == State::kBuilding) initialize();
+  if (state_ == State::kDone) {
+    throw SimulationError("Simulation::run called twice");
+  }
+  state_ = State::kRunning;
+
+  const auto wall_start = std::chrono::steady_clock::now();
+  if (config_.num_ranks == 1) {
+    run_serial();
+  } else {
+    run_parallel();
+  }
+  const auto wall_end = std::chrono::steady_clock::now();
+
+  state_ = State::kDone;
+  finish_components();
+
+  run_stats_.wall_seconds =
+      std::chrono::duration<double>(wall_end - wall_start).count();
+  run_stats_.events_processed = 0;
+  for (const auto& r : ranks_) run_stats_.events_processed += r.events;
+  run_stats_.clock_ticks = 0;
+  for (const auto& [key, clock] : clocks_) {
+    (void)key;
+    run_stats_.clock_ticks += clock->ticks();
+  }
+  run_stats_.cross_rank_events =
+      cross_rank_events_.load(std::memory_order_relaxed);
+  run_stats_.cut_links = cut_links_;
+  run_stats_.lookahead = config_.num_ranks > 1 ? lookahead_ : 0;
+  SimTime final_time = 0;
+  for (const auto& r : ranks_) final_time = std::max(final_time, r.now);
+  run_stats_.final_time = final_time;
+
+  if (config_.verbose) {
+    std::cerr << "[sst] run complete: " << run_stats_.events_processed
+              << " events, " << run_stats_.sync_windows << " windows, t="
+              << run_stats_.final_time << "ps, wall="
+              << run_stats_.wall_seconds << "s\n";
+  }
+  return run_stats_;
+}
+
+void Simulation::run_serial() {
+  RankState& rank = ranks_[0];
+  const SimTime end = config_.end_time;
+  while (!rank.vortex.empty()) {
+    if (primaries_done()) break;
+    const SimTime t = rank.vortex.next_time();
+    if (t > end) {
+      rank.now = end;
+      return;
+    }
+    EventPtr ev = rank.vortex.pop();
+    rank.now = t;
+    ++rank.events;
+    const EventHandler* handler = ev->handler_;
+    if (handler == nullptr) {
+      throw SimulationError("event with no handler in queue");
+    }
+    (*handler)(std::move(ev));
+  }
+}
+
+void Simulation::rank_process_until(RankState& rank, SimTime horizon) {
+  while (!rank.vortex.empty()) {
+    const SimTime t = rank.vortex.next_time();
+    if (t >= horizon) return;
+    EventPtr ev = rank.vortex.pop();
+    rank.now = t;
+    ++rank.events;
+    const EventHandler* handler = ev->handler_;
+    if (handler == nullptr) {
+      throw SimulationError("event with no handler in queue");
+    }
+    (*handler)(std::move(ev));
+  }
+}
+
+void Simulation::run_parallel() {
+  const unsigned R = config_.num_ranks;
+  struct Sync {
+    SimTime horizon = 0;
+    bool done = false;
+  };
+  Sync sync;
+  std::uint64_t windows = 0;
+
+  auto compute_sync = [this, &sync, &windows]() noexcept {
+    ++windows;
+    SimTime global_min = kTimeNever;
+    for (const auto& r : ranks_) {
+      global_min = std::min(global_min, r.vortex.next_time());
+    }
+    if (primaries_done() || global_min == kTimeNever ||
+        global_min > config_.end_time) {
+      sync.done = true;
+      if (global_min > config_.end_time && config_.end_time != kTimeNever) {
+        for (auto& r : ranks_) r.now = config_.end_time;
+      }
+      return;
+    }
+    const SimTime window = lookahead_;
+    const SimTime horizon = (global_min >= kTimeNever - window)
+                                ? kTimeNever
+                                : global_min + window;
+    sync.horizon = (config_.end_time == kTimeNever)
+                       ? horizon
+                       : std::min(horizon, config_.end_time + 1);
+  };
+
+  // Cross-rank events sent during setup() are sitting in mailboxes; they
+  // must be in the vortices before the first horizon is computed or the
+  // first window could run past them.
+  for (auto& r : ranks_) drain_mailbox(r);
+  compute_sync();
+  --windows;  // the priming call is not a sync round
+
+  std::barrier after_send(static_cast<std::ptrdiff_t>(R));
+  std::barrier<decltype(compute_sync)> after_drain(
+      static_cast<std::ptrdiff_t>(R), compute_sync);
+
+  auto worker = [this, &sync, &after_send, &after_drain](RankId me) {
+    while (!sync.done) {
+      rank_process_until(ranks_[me], sync.horizon);
+      after_send.arrive_and_wait();
+      drain_mailbox(ranks_[me]);
+      after_drain.arrive_and_wait();
+    }
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(R - 1);
+  for (RankId r = 1; r < R; ++r) {
+    threads.emplace_back(worker, r);
+  }
+  worker(0);
+  for (auto& t : threads) t.join();
+  run_stats_.sync_windows = windows;
+}
+
+void Simulation::finish_components() {
+  for (auto& c : components_) c->finish();
+  // Flag probable configuration mistakes: no events at all usually means
+  // the model graph was wired but never started.
+  if (config_.verbose) {
+    std::uint64_t total = 0;
+    for (const auto& r : ranks_) total += r.events;
+    if (total == 0) {
+      std::cerr << "[sst] warning: simulation processed zero events\n";
+    }
+  }
+}
+
+}  // namespace sst

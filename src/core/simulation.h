@@ -1,0 +1,245 @@
+// Simulation: owns the component graph and drives the (optionally parallel)
+// discrete-event engine.
+//
+// Parallel execution model — an in-process reproduction of SST's
+// MPI-rank-based conservative PDES:
+//   * components are partitioned across R ranks (threads);
+//   * each rank runs its own TimeVortex;
+//   * events on links that cross ranks are exchanged through mailboxes;
+//   * the minimum latency of cross-rank links is the *lookahead*: every
+//     rank may safely process all events earlier than
+//     (global minimum next event time + lookahead) before the next
+//     synchronization, because no in-flight event can arrive earlier;
+//   * mailbox drains sort by (time, priority, source link, source sequence)
+//     so results are bit-identical regardless of thread interleaving and
+//     identical to a serial run up to window-quantized termination.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/component.h"
+#include "core/link.h"
+#include "core/statistics.h"
+#include "core/time_vortex.h"
+#include "core/types.h"
+
+namespace sst {
+
+/// How components are assigned to ranks when no explicit rank is given.
+enum class PartitionStrategy {
+  kLinear,      // contiguous blocks by creation order
+  kRoundRobin,  // id % num_ranks
+  kMinCut,      // BFS-grown blocks over the link graph (fewer cut links)
+};
+
+struct SimConfig {
+  /// Number of parallel partitions (in-process ranks).  1 = serial engine.
+  unsigned num_ranks = 1;
+  /// Hard stop time; kTimeNever runs until the termination protocol fires.
+  SimTime end_time = kTimeNever;
+  /// Global seed feeding every component RNG stream.
+  std::uint64_t seed = 1;
+  PartitionStrategy partition = PartitionStrategy::kLinear;
+  /// Print engine progress/diagnostics to stderr.
+  bool verbose = false;
+};
+
+/// Engine-level metrics from a completed run (used by the PDES scaling
+/// experiments and by tests).
+struct RunStats {
+  std::uint64_t events_processed = 0;  // summed across ranks
+  std::uint64_t clock_ticks = 0;       // clock dispatches across ranks
+  std::uint64_t sync_windows = 0;      // barrier rounds (parallel only)
+  std::uint64_t cross_rank_events = 0; // events that crossed a partition
+  SimTime final_time = 0;              // simulated time at termination
+  double wall_seconds = 0.0;
+  std::uint64_t cut_links = 0;         // link endpoints crossing ranks
+  SimTime lookahead = 0;               // sync window lookahead used
+  [[nodiscard]] double events_per_second() const {
+    return wall_seconds > 0 ? static_cast<double>(events_processed) /
+                                  wall_seconds
+                            : 0.0;
+  }
+};
+
+class Simulation {
+ public:
+  explicit Simulation(SimConfig config = {});
+  ~Simulation();
+
+  Simulation(const Simulation&) = delete;
+  Simulation& operator=(const Simulation&) = delete;
+
+  // ---- construction phase -------------------------------------------
+
+  /// Creates a component.  T's constructor runs with this Simulation as
+  /// its build context, so the component may configure links, clocks, and
+  /// statistics immediately.
+  template <typename T, typename... Args>
+  T* add_component(const std::string& name, Args&&... args) {
+    begin_component(name);
+    std::unique_ptr<Component> comp;
+    try {
+      comp = std::make_unique<T>(std::forward<Args>(args)...);
+    } catch (...) {
+      abort_component();
+      throw;
+    }
+    return static_cast<T*>(end_component(std::move(comp)));
+  }
+
+  /// Connects two declared ports with the given latency (both directions).
+  void connect(const std::string& comp_a, const std::string& port_a,
+               const std::string& comp_b, const std::string& port_b,
+               SimTime latency_ps);
+
+  /// Connection with distinct per-direction latencies:
+  /// latency_a_to_b applies to events sent from comp_a's endpoint.
+  void connect(const std::string& comp_a, const std::string& port_a,
+               const std::string& comp_b, const std::string& port_b,
+               SimTime latency_a_to_b, SimTime latency_b_to_a);
+
+  /// Pins a component to a rank (overrides the partitioner).
+  void set_component_rank(const std::string& name, RankId rank);
+
+  /// Wires links, partitions, runs init phases and setup().  Called
+  /// automatically by run() when needed; idempotent.
+  void initialize();
+
+  // ---- run phase ----------------------------------------------------
+
+  /// Runs to completion; returns engine metrics.
+  RunStats run();
+
+  /// True once run() finished.
+  [[nodiscard]] bool finished() const { return state_ == State::kDone; }
+
+  // ---- queries ------------------------------------------------------
+
+  [[nodiscard]] Component* find_component(const std::string& name) const;
+  [[nodiscard]] std::size_t component_count() const {
+    return components_.size();
+  }
+  [[nodiscard]] const SimConfig& config() const { return config_; }
+  [[nodiscard]] StatisticsRegistry& stats() { return stats_; }
+  [[nodiscard]] const StatisticsRegistry& stats() const { return stats_; }
+  [[nodiscard]] const RunStats& run_stats() const { return run_stats_; }
+
+  /// Current time of a rank (what Component::now() reports).
+  [[nodiscard]] SimTime rank_now(RankId r) const { return ranks_[r].now; }
+  /// Current time of rank 0 — convenience for serial simulations.
+  [[nodiscard]] SimTime now() const { return ranks_[0].now; }
+
+  /// Parses a time string to picoseconds ("10ns" -> 10000).
+  [[nodiscard]] static SimTime time(std::string_view text);
+
+  /// Rank assignment of each component (valid after initialize()).
+  [[nodiscard]] RankId component_rank(ComponentId id) const;
+
+ private:
+  friend class Component;
+  friend class Link;
+  friend class Clock;
+
+  enum class State { kBuilding, kInitialized, kRunning, kDone };
+
+  struct Connection {
+    std::string comp_a, port_a, comp_b, port_b;
+    SimTime latency_ab, latency_ba;
+  };
+
+  struct RankState {
+    TimeVortex vortex;
+    SimTime now = 0;
+    std::uint64_t events = 0;
+    // Incoming cross-rank events, locked by senders.
+    std::mutex mailbox_mutex;
+    std::vector<EventPtr> mailbox;
+  };
+
+  // Component construction context.
+  [[nodiscard]] std::string components_raw_name(ComponentId id) const;
+  void begin_component(const std::string& name);
+  Component* end_component(std::unique_ptr<Component> comp);
+  void abort_component();
+  static Simulation*& build_context();
+
+  // Called by Component.
+  Link* create_link(ComponentId owner, std::string_view port,
+                    EventHandler handler, bool polling, bool optional);
+  Link* create_self_link(ComponentId owner, std::string_view name,
+                         SimTime latency, EventHandler handler);
+  Clock* get_clock(RankId rank, SimTime period);
+  void register_component_clock(ComponentId comp, SimTime period,
+                                ClockHandler handler);
+  void note_primary() { ++primary_count_; }
+  void note_primary_ok() { ++primary_ok_count_; }
+
+  // Called by Link / Clock.
+  void schedule(RankId src_rank, RankId dst_rank, EventPtr ev);
+  void schedule_local(RankId rank, EventPtr ev);
+  [[nodiscard]] bool in_init_phase() const { return init_phase_active_; }
+  void note_init_data_sent() { init_data_sent_ = true; }
+
+  // Engine internals.
+  void wire_links();
+  void assign_ranks();
+  void assign_ranks_mincut();
+  void run_init_phases();
+  void run_serial();
+  void run_parallel();
+  void rank_process_until(RankState& rank, SimTime horizon);
+  void drain_mailbox(RankState& rank);
+  [[nodiscard]] bool primaries_done() const {
+    const auto p = primary_count_.load(std::memory_order_acquire);
+    return p > 0 && primary_ok_count_.load(std::memory_order_acquire) >= p;
+  }
+  void finish_components();
+
+  SimConfig config_;
+  State state_ = State::kBuilding;
+
+  std::vector<std::unique_ptr<Component>> components_;
+  std::map<std::string, ComponentId, std::less<>> component_names_;
+  std::vector<std::unique_ptr<Link>> links_;
+  // (component, port) -> link endpoint
+  std::map<std::pair<ComponentId, std::string>, Link*> ports_;
+  std::vector<Connection> connections_;
+  std::map<std::string, RankId, std::less<>> pinned_ranks_;
+
+  std::vector<RankState> ranks_;
+  std::map<std::pair<RankId, SimTime>, std::unique_ptr<Clock>> clocks_;
+
+  StatisticsRegistry stats_;
+
+  std::atomic<std::uint32_t> primary_count_{0};
+  std::atomic<std::uint32_t> primary_ok_count_{0};
+  std::atomic<std::uint64_t> cross_rank_events_{0};
+
+  SimTime lookahead_ = kTimeNever;
+  std::uint64_t cut_links_ = 0;
+  RunStats run_stats_;
+
+  // Clocks registered during construction, created once ranks are known.
+  struct PendingClock {
+    ComponentId comp;
+    SimTime period;
+    ClockHandler handler;
+  };
+  std::vector<PendingClock> pending_clocks_;
+
+  // Construction bookkeeping.
+  std::string pending_name_;
+  bool constructing_ = false;
+  bool init_phase_active_ = false;
+  bool init_data_sent_ = false;
+};
+
+}  // namespace sst

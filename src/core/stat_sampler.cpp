@@ -1,0 +1,85 @@
+#include "core/stat_sampler.h"
+
+#include <algorithm>
+#include <ostream>
+
+#include "core/simulation.h"
+
+namespace sst {
+
+StatSampler::StatSampler(Params& params) {
+  period_ = params.find_period("period", "10us");
+  component_filters_ = params.find_array<std::string>("components");
+  field_filter_ = params.find_array<std::string>("fields");
+  if (field_filter_.empty()) {
+    field_filter_ = {"count", "sum"};
+  }
+  register_clock(period_, [this](Cycle c) { return tick(c); });
+}
+
+bool StatSampler::matches(const Statistic& stat) const {
+  if (component_filters_.empty()) return true;
+  for (const auto& prefix : component_filters_) {
+    if (stat.component().rfind(prefix, 0) == 0) return true;
+  }
+  return false;
+}
+
+void StatSampler::setup() {
+  // All components exist by now; discover the columns once.
+  for (const auto& stat : sim().stats().all()) {
+    if (!matches(*stat)) continue;
+    if (stat->component() == name()) continue;  // don't sample ourselves
+    for (const auto& field : stat->fields()) {
+      if (std::find(field_filter_.begin(), field_filter_.end(),
+                    field.name) == field_filter_.end()) {
+        continue;
+      }
+      tracked_.push_back(stat.get());
+      tracked_field_.push_back(field.name);
+      columns_.push_back(stat->component() + "." + stat->name() + "." +
+                         field.name);
+    }
+  }
+}
+
+bool StatSampler::tick(Cycle /*cycle*/) {
+  Sample s;
+  s.time = now();
+  s.values.reserve(tracked_.size());
+  for (std::size_t i = 0; i < tracked_.size(); ++i) {
+    double v = 0.0;
+    for (const auto& field : tracked_[i]->fields()) {
+      if (field.name == tracked_field_[i]) {
+        v = field.value;
+        break;
+      }
+    }
+    s.values.push_back(v);
+  }
+  samples_.push_back(std::move(s));
+  return false;  // sample until the simulation ends
+}
+
+double StatSampler::delta(std::size_t column, std::size_t sample) const {
+  if (column >= columns_.size() || sample >= samples_.size()) {
+    throw ConfigError("StatSampler::delta: index out of range");
+  }
+  const double now_v = samples_[sample].values[column];
+  const double prev_v =
+      sample == 0 ? 0.0 : samples_[sample - 1].values[column];
+  return now_v - prev_v;
+}
+
+void StatSampler::write_csv(std::ostream& os) const {
+  os << "time_ps";
+  for (const auto& c : columns_) os << "," << c;
+  os << "\n";
+  for (const auto& s : samples_) {
+    os << s.time;
+    for (double v : s.values) os << "," << v;
+    os << "\n";
+  }
+}
+
+}  // namespace sst

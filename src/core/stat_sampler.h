@@ -1,0 +1,67 @@
+// StatSampler: periodic statistics sampling (SST's interval statistics).
+//
+// End-of-run totals hide dynamics — warm-up, phase changes, saturation
+// onset.  A StatSampler snapshots a filtered set of statistics on a fixed
+// simulated-time period, producing per-interval time series ("bandwidth
+// over time", "queue depth over time") retrievable in memory or as CSV.
+//
+// The sampler holds a clock for the whole run, so simulations using one
+// must terminate via primary components or an end_time (a sampler alone
+// keeps the event queue non-empty).
+//
+// Params:
+//   period      sampling interval                        (default "10us")
+//   components  comma-separated component-name prefixes  (default: all)
+//   fields      comma-separated field names to record    (default
+//               "count,sum")
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "core/component.h"
+
+namespace sst {
+
+class StatSampler final : public Component {
+ public:
+  explicit StatSampler(Params& params);
+
+  void setup() override;
+
+  struct Sample {
+    SimTime time;
+    std::vector<double> values;  // parallel to columns()
+  };
+
+  /// Column labels: "component.statistic.field".
+  [[nodiscard]] const std::vector<std::string>& columns() const {
+    return columns_;
+  }
+  [[nodiscard]] const std::vector<Sample>& samples() const {
+    return samples_;
+  }
+
+  /// Per-interval delta of a column (for monotonic counters): the value
+  /// accumulated between sample i-1 and i.
+  [[nodiscard]] double delta(std::size_t column, std::size_t sample) const;
+
+  /// CSV: time_ps,<column>,<column>,...
+  void write_csv(std::ostream& os) const;
+
+ private:
+  bool tick(Cycle cycle);
+  [[nodiscard]] bool matches(const Statistic& stat) const;
+
+  SimTime period_;
+  std::vector<std::string> component_filters_;
+  std::vector<std::string> field_filter_;
+
+  std::vector<const Statistic*> tracked_;
+  std::vector<std::string> tracked_field_;
+  std::vector<std::string> columns_;
+  std::vector<Sample> samples_;
+};
+
+}  // namespace sst

@@ -1,0 +1,102 @@
+#include "core/statistics.h"
+
+#include <cmath>
+#include <iomanip>
+#include <ostream>
+
+namespace sst {
+
+std::vector<StatField> Accumulator::fields() const {
+  return {
+      {"count", static_cast<double>(count_)},
+      {"sum", sum_},
+      {"mean", mean()},
+      {"stddev", std::sqrt(variance())},
+      {"min", min()},
+      {"max", max()},
+  };
+}
+
+Histogram::Histogram(std::string component, std::string name, double lo,
+                     double width, std::size_t nbins)
+    : Statistic(std::move(component), std::move(name)),
+      lo_(lo),
+      width_(width),
+      bins_(nbins, 0) {
+  if (width <= 0.0) throw ConfigError("Histogram: bin width must be > 0");
+  if (nbins == 0) throw ConfigError("Histogram: need at least one bin");
+}
+
+void Histogram::add(double v) {
+  ++count_;
+  if (v < lo_) {
+    ++underflow_;
+    return;
+  }
+  const double offset = (v - lo_) / width_;
+  if (offset >= static_cast<double>(bins_.size())) {
+    ++overflow_;
+    return;
+  }
+  ++bins_[static_cast<std::size_t>(offset)];
+}
+
+double Histogram::percentile(double p) const {
+  if (p < 0.0 || p > 1.0) throw ConfigError("percentile: p outside [0,1]");
+  if (count_ == 0) return lo_;
+  const double target = p * static_cast<double>(count_);
+  double running = static_cast<double>(underflow_);
+  if (running >= target) return lo_;
+  for (std::size_t i = 0; i < bins_.size(); ++i) {
+    running += static_cast<double>(bins_[i]);
+    if (running >= target) return bin_lo(i) + width_;
+  }
+  return bin_lo(bins_.size() - 1) + width_;
+}
+
+std::vector<StatField> Histogram::fields() const {
+  std::vector<StatField> out;
+  out.push_back({"count", static_cast<double>(count_)});
+  out.push_back({"underflow", static_cast<double>(underflow_)});
+  out.push_back({"overflow", static_cast<double>(overflow_)});
+  out.push_back({"p50", percentile(0.50)});
+  out.push_back({"p95", percentile(0.95)});
+  out.push_back({"p99", percentile(0.99)});
+  for (std::size_t i = 0; i < bins_.size(); ++i) {
+    if (bins_[i] == 0) continue;  // keep output compact
+    out.push_back({"bin[" + std::to_string(bin_lo(i)) + "]",
+                   static_cast<double>(bins_[i])});
+  }
+  return out;
+}
+
+const Statistic* StatisticsRegistry::find(std::string_view component,
+                                          std::string_view name) const {
+  for (const auto& s : stats_) {
+    if (s->component() == component && s->name() == name) return s.get();
+  }
+  return nullptr;
+}
+
+void StatisticsRegistry::write_console(std::ostream& os) const {
+  os << "--- statistics ---\n";
+  for (const auto& s : stats_) {
+    os << s->component() << "." << s->name() << ":";
+    for (const auto& f : s->fields()) {
+      os << " " << f.name << "=" << std::setprecision(6) << f.value;
+    }
+    os << "\n";
+  }
+}
+
+void StatisticsRegistry::write_csv(std::ostream& os) const {
+  os << "component,statistic,field,value\n";
+  for (const auto& s : stats_) {
+    for (const auto& f : s->fields()) {
+      os << s->component() << "," << s->name() << "," << f.name << ","
+         << std::setprecision(12) << f.value << "\n";
+    }
+  }
+}
+
+}  // namespace sst

@@ -1,0 +1,166 @@
+// Statistics engine: typed counters, accumulators, and histograms that
+// components register by name and the framework dumps at the end of the
+// run (console table or CSV).
+//
+// Mirrors SST's statistics subsystem at the level a model author sees:
+//   auto* lat = register_statistic<Accumulator>("read_latency");
+//   lat->add(t_done - t_issue);
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <iosfwd>
+#include <limits>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/types.h"
+
+namespace sst {
+
+/// One named output field of a statistic ("sum", "count", "mean", ...).
+struct StatField {
+  std::string name;
+  double value = 0.0;
+};
+
+/// Base class for all statistics.
+class Statistic {
+ public:
+  Statistic(std::string component, std::string name)
+      : component_(std::move(component)), name_(std::move(name)) {}
+  virtual ~Statistic() = default;
+
+  Statistic(const Statistic&) = delete;
+  Statistic& operator=(const Statistic&) = delete;
+
+  [[nodiscard]] const std::string& component() const { return component_; }
+  [[nodiscard]] const std::string& name() const { return name_; }
+
+  /// Flattens the statistic into named fields for output.
+  [[nodiscard]] virtual std::vector<StatField> fields() const = 0;
+
+ private:
+  std::string component_;
+  std::string name_;
+};
+
+/// Monotonic counter.
+class Counter final : public Statistic {
+ public:
+  using Statistic::Statistic;
+
+  void add(std::uint64_t n = 1) { count_ += n; }
+  [[nodiscard]] std::uint64_t count() const { return count_; }
+
+  [[nodiscard]] std::vector<StatField> fields() const override {
+    return {{"count", static_cast<double>(count_)}};
+  }
+
+ private:
+  std::uint64_t count_ = 0;
+};
+
+/// Running sum / min / max / mean / variance accumulator.
+class Accumulator final : public Statistic {
+ public:
+  using Statistic::Statistic;
+
+  void add(double v) {
+    ++count_;
+    sum_ += v;
+    sum_sq_ += v * v;
+    min_ = std::min(min_, v);
+    max_ = std::max(max_, v);
+  }
+
+  [[nodiscard]] std::uint64_t count() const { return count_; }
+  [[nodiscard]] double sum() const { return sum_; }
+  [[nodiscard]] double mean() const {
+    return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+  }
+  [[nodiscard]] double variance() const {
+    if (count_ < 2) return 0.0;
+    const double n = static_cast<double>(count_);
+    const double var = (sum_sq_ - sum_ * sum_ / n) / (n - 1.0);
+    return var < 0.0 ? 0.0 : var;  // guard against rounding
+  }
+  [[nodiscard]] double min() const { return count_ == 0 ? 0.0 : min_; }
+  [[nodiscard]] double max() const { return count_ == 0 ? 0.0 : max_; }
+
+  [[nodiscard]] std::vector<StatField> fields() const override;
+
+ private:
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0;
+  double sum_sq_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Fixed-width-bin histogram with overflow/underflow bins.
+class Histogram final : public Statistic {
+ public:
+  Histogram(std::string component, std::string name, double lo, double width,
+            std::size_t nbins);
+
+  void add(double v);
+
+  [[nodiscard]] std::uint64_t count() const { return count_; }
+  [[nodiscard]] std::uint64_t bin(std::size_t i) const { return bins_.at(i); }
+  [[nodiscard]] std::size_t num_bins() const { return bins_.size(); }
+  [[nodiscard]] std::uint64_t underflow() const { return underflow_; }
+  [[nodiscard]] std::uint64_t overflow() const { return overflow_; }
+  [[nodiscard]] double bin_lo(std::size_t i) const {
+    return lo_ + width_ * static_cast<double>(i);
+  }
+
+  /// Value below which the given fraction of samples falls (approximate,
+  /// bin-resolution).
+  [[nodiscard]] double percentile(double p) const;
+
+  [[nodiscard]] std::vector<StatField> fields() const override;
+
+ private:
+  double lo_;
+  double width_;
+  std::vector<std::uint64_t> bins_;
+  std::uint64_t underflow_ = 0;
+  std::uint64_t overflow_ = 0;
+  std::uint64_t count_ = 0;
+};
+
+/// Registry owning all statistics of one simulation.
+class StatisticsRegistry {
+ public:
+  template <typename S, typename... Args>
+  S* create(const std::string& component, const std::string& name,
+            Args&&... args) {
+    auto stat =
+        std::make_unique<S>(component, name, std::forward<Args>(args)...);
+    S* raw = stat.get();
+    stats_.push_back(std::move(stat));
+    return raw;
+  }
+
+  [[nodiscard]] const std::vector<std::unique_ptr<Statistic>>& all() const {
+    return stats_;
+  }
+
+  /// Finds a statistic by (component, name); nullptr when absent.
+  [[nodiscard]] const Statistic* find(std::string_view component,
+                                      std::string_view name) const;
+
+  /// Writes a human-readable table.
+  void write_console(std::ostream& os) const;
+
+  /// Writes CSV: component,statistic,field,value
+  void write_csv(std::ostream& os) const;
+
+ private:
+  std::vector<std::unique_ptr<Statistic>> stats_;
+};
+
+}  // namespace sst

@@ -1,0 +1,56 @@
+// TimeVortex: the central pending-event queue of a simulation partition.
+//
+// A binary min-heap over (delivery_time, priority, order).  The name comes
+// from SST, where the same structure drives the main event loop.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/event.h"
+#include "core/types.h"
+
+namespace sst {
+
+class TimeVortex {
+ public:
+  TimeVortex() = default;
+
+  TimeVortex(const TimeVortex&) = delete;
+  TimeVortex& operator=(const TimeVortex&) = delete;
+  TimeVortex(TimeVortex&&) = default;
+  TimeVortex& operator=(TimeVortex&&) = default;
+
+  /// Inserts an event.  The event's ordering fields (delivery time,
+  /// priority, source id, sequence) must already be stamped by the sender.
+  void insert(EventPtr ev);
+
+  /// Removes and returns the earliest event.  Empty queue is a programming
+  /// error (checked).
+  [[nodiscard]] EventPtr pop();
+
+  /// Time of the earliest event, or kTimeNever when empty.
+  [[nodiscard]] SimTime next_time() const;
+
+  [[nodiscard]] bool empty() const { return heap_.empty(); }
+  [[nodiscard]] std::size_t size() const { return heap_.size(); }
+
+  /// Total number of insertions over the vortex's lifetime.
+  [[nodiscard]] std::uint64_t total_inserted() const { return inserted_; }
+
+  /// High-water mark of the queue depth.
+  [[nodiscard]] std::size_t max_depth() const { return max_depth_; }
+
+ private:
+  void sift_up(std::size_t i);
+  void sift_down(std::size_t i);
+  [[nodiscard]] bool before(std::size_t a, std::size_t b) const {
+    return EventOrder{}(*heap_[a], *heap_[b]);
+  }
+
+  std::vector<EventPtr> heap_;
+  std::uint64_t inserted_ = 0;
+  std::size_t max_depth_ = 0;
+};
+
+}  // namespace sst

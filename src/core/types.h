@@ -1,0 +1,64 @@
+// Core type definitions for the SST-repro simulation framework.
+//
+// All simulated time is kept as an integer count of picoseconds.  A 64-bit
+// count of picoseconds covers ~213 days of simulated time, far beyond any
+// architectural simulation horizon, while keeping event comparison exact
+// (no floating-point time arithmetic anywhere in the engine).
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <stdexcept>
+#include <string>
+
+namespace sst {
+
+/// Simulated time in picoseconds.
+using SimTime = std::uint64_t;
+
+/// Simulated clock cycle index.
+using Cycle = std::uint64_t;
+
+/// Identifies a component within a Simulation.
+using ComponentId = std::uint32_t;
+
+/// Identifies a link endpoint within a Simulation.
+using LinkId = std::uint32_t;
+
+/// Identifies a parallel partition (an in-process stand-in for an MPI rank).
+using RankId = std::uint32_t;
+
+inline constexpr SimTime kPicosecond = 1;
+inline constexpr SimTime kNanosecond = 1'000;
+inline constexpr SimTime kMicrosecond = 1'000'000;
+inline constexpr SimTime kMillisecond = 1'000'000'000;
+inline constexpr SimTime kSecond = 1'000'000'000'000;
+
+/// Sentinel meaning "no deadline / never".
+inline constexpr SimTime kTimeNever = std::numeric_limits<SimTime>::max();
+
+inline constexpr ComponentId kInvalidComponent =
+    std::numeric_limits<ComponentId>::max();
+inline constexpr LinkId kInvalidLink = std::numeric_limits<LinkId>::max();
+
+/// Thrown for configuration mistakes (bad params, unbound ports, ...).
+class ConfigError : public std::runtime_error {
+ public:
+  explicit ConfigError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Thrown for runtime protocol violations inside a simulation.
+class SimulationError : public std::runtime_error {
+ public:
+  explicit SimulationError(const std::string& what)
+      : std::runtime_error(what) {}
+};
+
+/// Converts a clock frequency in Hz to a period in picoseconds (rounded to
+/// the nearest picosecond, minimum 1 ps).
+SimTime frequency_to_period(double hz);
+
+/// Converts a period in picoseconds back to a frequency in Hz.
+double period_to_frequency(SimTime period_ps);
+
+}  // namespace sst

@@ -1,0 +1,307 @@
+#include "core/unit_algebra.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdlib>
+#include <map>
+#include <ostream>
+#include <sstream>
+#include <vector>
+
+namespace sst {
+
+SimTime frequency_to_period(double hz) {
+  if (hz <= 0.0) throw ConfigError("frequency must be positive");
+  const double period = 1e12 / hz;
+  const double rounded = std::llround(period) < 1 ? 1.0 : std::round(period);
+  return static_cast<SimTime>(rounded);
+}
+
+double period_to_frequency(SimTime period_ps) {
+  if (period_ps == 0) throw ConfigError("period must be positive");
+  return 1e12 / static_cast<double>(period_ps);
+}
+
+Units Units::operator*(const Units& o) const {
+  Units r;
+  for (size_t i = 0; i < exp.size(); ++i)
+    r.exp[i] = static_cast<int8_t>(exp[i] + o.exp[i]);
+  return r;
+}
+
+Units Units::operator/(const Units& o) const {
+  Units r;
+  for (size_t i = 0; i < exp.size(); ++i)
+    r.exp[i] = static_cast<int8_t>(exp[i] - o.exp[i]);
+  return r;
+}
+
+Units Units::inverted() const {
+  Units r;
+  for (size_t i = 0; i < exp.size(); ++i) r.exp[i] = static_cast<int8_t>(-exp[i]);
+  return r;
+}
+
+std::string Units::to_string() const {
+  static const char* names[] = {"s", "B", "b", "events", "W", "$"};
+  std::string num, den;
+  for (size_t i = 0; i < exp.size(); ++i) {
+    if (exp[i] == 0) continue;
+    std::string piece = names[i];
+    const int mag = std::abs(exp[i]);
+    if (mag > 1) piece += "^" + std::to_string(mag);
+    if (exp[i] > 0) {
+      if (!num.empty()) num += "*";
+      num += piece;
+    } else {
+      if (!den.empty()) den += "*";
+      den += piece;
+    }
+  }
+  if (num.empty() && den.empty()) return "";
+  if (den.empty()) return num;
+  if (num.empty()) return "1/" + den;
+  return num + "/" + den;
+}
+
+namespace {
+
+struct UnitDef {
+  double scale;
+  Units units;
+};
+
+Units make_units(int si) {
+  Units u;
+  u.exp[si] = 1;
+  return u;
+}
+
+// Table of base unit suffixes (after any SI/binary prefix is removed).
+const std::map<std::string, UnitDef, std::less<>>& unit_table() {
+  static const std::map<std::string, UnitDef, std::less<>> table = [] {
+    std::map<std::string, UnitDef, std::less<>> t;
+    const Units sec = make_units(Units::kSeconds);
+    const Units bytes = make_units(Units::kBytes);
+    const Units bits = make_units(Units::kBits);
+    const Units events = make_units(Units::kEvents);
+    const Units watts = make_units(Units::kWatts);
+    const Units dollars = make_units(Units::kDollars);
+    t["s"] = {1.0, sec};
+    t["B"] = {1.0, bytes};
+    t["b"] = {1.0, bits};
+    t["Hz"] = {1.0, events / sec};
+    t["hz"] = {1.0, events / sec};
+    t["W"] = {1.0, watts};
+    t["J"] = {1.0, watts * sec};
+    t["$"] = {1.0, dollars};
+    t["USD"] = {1.0, dollars};
+    t["events"] = {1.0, events};
+    t["event"] = {1.0, events};
+    t["flops"] = {1.0, events / sec};
+    t["FLOPS"] = {1.0, events / sec};
+    return t;
+  }();
+  return table;
+}
+
+// SI and binary prefixes.  Binary prefixes (Ki/Mi/Gi/...) are only legal in
+// front of bytes or bits; that check happens in the parser.
+struct Prefix {
+  const char* text;
+  double scale;
+  bool binary;
+};
+
+constexpr Prefix kPrefixes[] = {
+    {"Ki", 1024.0, true},
+    {"Mi", 1024.0 * 1024.0, true},
+    {"Gi", 1024.0 * 1024.0 * 1024.0, true},
+    {"Ti", 1024.0 * 1024.0 * 1024.0 * 1024.0, true},
+    {"Pi", 1024.0 * 1024.0 * 1024.0 * 1024.0 * 1024.0, true},
+    {"k", 1e3, false},  {"K", 1e3, false},  {"M", 1e6, false},
+    {"G", 1e9, false},  {"T", 1e12, false}, {"P", 1e15, false},
+    {"m", 1e-3, false}, {"u", 1e-6, false}, {"n", 1e-9, false},
+    {"p", 1e-12, false}, {"f", 1e-15, false},
+};
+
+// Parses one unit token, e.g. "GHz", "KiB", "ns", "W".
+UnitDef parse_unit_token(std::string_view tok, std::string_view full) {
+  const auto& table = unit_table();
+  // Exact match first ("s", "B", "b", "Hz", ...).
+  if (auto it = table.find(tok); it != table.end()) return it->second;
+  // Try prefix + unit.
+  for (const auto& p : kPrefixes) {
+    const std::string_view pt = p.text;
+    if (tok.size() > pt.size() && tok.substr(0, pt.size()) == pt) {
+      auto rest = tok.substr(pt.size());
+      if (auto it = table.find(rest); it != table.end()) {
+        if (p.binary) {
+          const bool is_data = it->second.units == make_units(Units::kBytes) ||
+                               it->second.units == make_units(Units::kBits);
+          if (!is_data)
+            throw ConfigError("binary prefix only valid for bytes/bits in '" +
+                              std::string(full) + "'");
+        }
+        return {p.scale * it->second.scale, it->second.units};
+      }
+    }
+  }
+  throw ConfigError("unknown unit '" + std::string(tok) + "' in '" +
+                    std::string(full) + "'");
+}
+
+}  // namespace
+
+UnitAlgebra::UnitAlgebra(std::string_view text) {
+  // Strip whitespace.
+  std::string s;
+  s.reserve(text.size());
+  for (char c : text)
+    if (!std::isspace(static_cast<unsigned char>(c))) s.push_back(c);
+  if (s.empty()) throw ConfigError("empty quantity string");
+
+  // Numeric part.
+  size_t pos = 0;
+  {
+    const char* begin = s.c_str();
+    char* end = nullptr;
+    value_ = std::strtod(begin, &end);
+    if (end == begin) throw ConfigError("no numeric value in '" + s + "'");
+    pos = static_cast<size_t>(end - begin);
+  }
+
+  // Unit part: tokens separated by '*' and '/' (single-level, left to
+  // right, e.g. "GB/s", "B/s/s" not supported beyond repeated division).
+  double scale = 1.0;
+  Units units;
+  bool divide = false;
+  size_t i = pos;
+  while (i < s.size()) {
+    size_t j = i;
+    while (j < s.size() && s[j] != '/' && s[j] != '*') ++j;
+    const std::string_view tok(s.data() + i, j - i);
+    if (tok.empty()) throw ConfigError("malformed unit in '" + s + "'");
+    const UnitDef def = parse_unit_token(tok, s);
+    if (divide) {
+      scale /= def.scale;
+      units = units / def.units;
+    } else {
+      scale *= def.scale;
+      units = units * def.units;
+    }
+    if (j < s.size()) divide = (s[j] == '/');
+    i = j + 1;
+  }
+  value_ *= scale;
+  units_ = units;
+}
+
+std::uint64_t UnitAlgebra::rounded() const {
+  if (value_ < 0.0) throw ConfigError("negative value where count expected");
+  if (value_ > 1.8e19) throw ConfigError("value too large for uint64");
+  return static_cast<std::uint64_t>(std::llround(value_));
+}
+
+bool UnitAlgebra::has_units_of(std::string_view example) const {
+  return units_ == UnitAlgebra(example).units();
+}
+
+SimTime UnitAlgebra::to_simtime() const {
+  if (!has_units_of("1s"))
+    throw ConfigError("expected a time quantity, got '" + to_string() + "'");
+  const double ps = value_ * 1e12;
+  if (ps < 0 || ps > 1.8e19)
+    throw ConfigError("time out of range: " + to_string());
+  return static_cast<SimTime>(std::llround(ps));
+}
+
+SimTime UnitAlgebra::to_period() const {
+  if (has_units_of("1s")) return to_simtime();
+  if (has_units_of("1Hz")) {
+    if (value_ <= 0) throw ConfigError("frequency must be positive");
+    return frequency_to_period(value_);
+  }
+  // Bare 1/s is also accepted.
+  Units inv_sec;
+  inv_sec.exp[Units::kSeconds] = -1;
+  if (units_ == inv_sec) return frequency_to_period(value_);
+  throw ConfigError("expected a frequency or period, got '" + to_string() +
+                    "'");
+}
+
+std::uint64_t UnitAlgebra::to_bytes() const {
+  if (!has_units_of("1B"))
+    throw ConfigError("expected a byte count, got '" + to_string() + "'");
+  return rounded();
+}
+
+double UnitAlgebra::to_bytes_per_second() const {
+  if (has_units_of("1B/s")) return value_;
+  if (has_units_of("1b/s")) return value_ / 8.0;
+  throw ConfigError("expected a bandwidth, got '" + to_string() + "'");
+}
+
+UnitAlgebra& UnitAlgebra::operator+=(const UnitAlgebra& o) {
+  if (units_ != o.units_)
+    throw ConfigError("unit mismatch in addition: '" + to_string() +
+                      "' + '" + o.to_string() + "'");
+  value_ += o.value_;
+  return *this;
+}
+
+UnitAlgebra& UnitAlgebra::operator-=(const UnitAlgebra& o) {
+  if (units_ != o.units_)
+    throw ConfigError("unit mismatch in subtraction: '" + to_string() +
+                      "' - '" + o.to_string() + "'");
+  value_ -= o.value_;
+  return *this;
+}
+
+UnitAlgebra& UnitAlgebra::operator*=(const UnitAlgebra& o) {
+  value_ *= o.value_;
+  units_ = units_ * o.units_;
+  return *this;
+}
+
+UnitAlgebra& UnitAlgebra::operator/=(const UnitAlgebra& o) {
+  if (o.value_ == 0.0) throw ConfigError("division by zero quantity");
+  value_ /= o.value_;
+  units_ = units_ / o.units_;
+  return *this;
+}
+
+UnitAlgebra UnitAlgebra::inverted() const {
+  if (value_ == 0.0) throw ConfigError("cannot invert zero quantity");
+  return UnitAlgebra(1.0 / value_, units_.inverted());
+}
+
+bool UnitAlgebra::operator<(const UnitAlgebra& o) const {
+  if (units_ != o.units_)
+    throw ConfigError("unit mismatch in comparison");
+  return value_ < o.value_;
+}
+
+bool UnitAlgebra::operator>(const UnitAlgebra& o) const {
+  if (units_ != o.units_)
+    throw ConfigError("unit mismatch in comparison");
+  return value_ > o.value_;
+}
+
+bool UnitAlgebra::operator==(const UnitAlgebra& o) const {
+  return units_ == o.units_ && value_ == o.value_;
+}
+
+std::string UnitAlgebra::to_string() const {
+  std::ostringstream os;
+  os << value_;
+  const std::string u = units_.to_string();
+  if (!u.empty()) os << " " << u;
+  return os.str();
+}
+
+std::ostream& operator<<(std::ostream& os, const UnitAlgebra& ua) {
+  return os << ua.to_string();
+}
+
+}  // namespace sst

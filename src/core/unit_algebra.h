@@ -1,0 +1,126 @@
+// UnitAlgebra: dimension-checked parsing and arithmetic for configuration
+// strings such as "2.4GHz", "64KiB", "1.6GB/s", or "10ns".
+//
+// This mirrors SST's UnitAlgebra class: every user-facing parameter that has
+// a physical dimension is given as a string with units, parsed once, and
+// carried through arithmetic with its dimension so that unit mistakes are
+// caught at configuration time instead of producing silently wrong models.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+
+#include "core/types.h"
+
+namespace sst {
+
+/// Dimension vector: exponents of the base units this framework cares
+/// about.  (A full SI system is unnecessary; simulations only combine
+/// seconds, bytes, bits, events, and watts.)
+struct Units {
+  // Exponents for: seconds, bytes, bits, events, watts, dollars.
+  std::array<int8_t, 6> exp{0, 0, 0, 0, 0, 0};
+
+  static constexpr int kSeconds = 0;
+  static constexpr int kBytes = 1;
+  static constexpr int kBits = 2;
+  static constexpr int kEvents = 3;
+  static constexpr int kWatts = 4;
+  static constexpr int kDollars = 5;
+
+  friend bool operator==(const Units&, const Units&) = default;
+
+  [[nodiscard]] bool dimensionless() const {
+    for (auto e : exp)
+      if (e != 0) return false;
+    return true;
+  }
+
+  [[nodiscard]] Units operator*(const Units& o) const;
+  [[nodiscard]] Units operator/(const Units& o) const;
+  [[nodiscard]] Units inverted() const;
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// A value with a dimension.  Internally everything is stored in the base
+/// units (seconds, bytes, bits, events, watts, dollars), so e.g. "2GHz"
+/// is stored as 2e9 with dimension events/second... see parse() for the
+/// exact unit table.
+class UnitAlgebra {
+ public:
+  UnitAlgebra() = default;
+
+  /// Parses a string such as "16GiB/s" or "3.5 ns".  Throws ConfigError on
+  /// malformed input or unknown units.
+  explicit UnitAlgebra(std::string_view text);
+
+  /// Constructs from a raw value and explicit dimension.
+  UnitAlgebra(double value, Units units) : value_(value), units_(units) {}
+
+  [[nodiscard]] double value() const { return value_; }
+  [[nodiscard]] const Units& units() const { return units_; }
+
+  /// Value rounded to the nearest unsigned 64-bit integer.  Throws if the
+  /// value is negative or too large.
+  [[nodiscard]] std::uint64_t rounded() const;
+
+  /// True when this quantity has the dimension of the example string,
+  /// e.g. `x.has_units_of("1ns")`.
+  [[nodiscard]] bool has_units_of(std::string_view example) const;
+
+  /// For time quantities: the value in picoseconds as SimTime.
+  /// Throws ConfigError when the dimension is not time.
+  [[nodiscard]] SimTime to_simtime() const;
+
+  /// For frequency quantities (1/s or events/s): the period in picoseconds.
+  /// Also accepts time quantities directly (treated as the period).
+  [[nodiscard]] SimTime to_period() const;
+
+  /// For byte-count quantities: the count of bytes.
+  [[nodiscard]] std::uint64_t to_bytes() const;
+
+  /// For bandwidth quantities (bytes/s or bits/s): bytes per second.
+  [[nodiscard]] double to_bytes_per_second() const;
+
+  UnitAlgebra& operator+=(const UnitAlgebra& o);
+  UnitAlgebra& operator-=(const UnitAlgebra& o);
+  UnitAlgebra& operator*=(const UnitAlgebra& o);
+  UnitAlgebra& operator/=(const UnitAlgebra& o);
+
+  [[nodiscard]] friend UnitAlgebra operator+(UnitAlgebra a,
+                                             const UnitAlgebra& b) {
+    return a += b;
+  }
+  [[nodiscard]] friend UnitAlgebra operator-(UnitAlgebra a,
+                                             const UnitAlgebra& b) {
+    return a -= b;
+  }
+  [[nodiscard]] friend UnitAlgebra operator*(UnitAlgebra a,
+                                             const UnitAlgebra& b) {
+    return a *= b;
+  }
+  [[nodiscard]] friend UnitAlgebra operator/(UnitAlgebra a,
+                                             const UnitAlgebra& b) {
+    return a /= b;
+  }
+
+  [[nodiscard]] UnitAlgebra inverted() const;
+
+  /// Compares magnitude; throws ConfigError on dimension mismatch.
+  [[nodiscard]] bool operator<(const UnitAlgebra& o) const;
+  [[nodiscard]] bool operator>(const UnitAlgebra& o) const;
+  [[nodiscard]] bool operator==(const UnitAlgebra& o) const;
+
+  [[nodiscard]] std::string to_string() const;
+
+  friend std::ostream& operator<<(std::ostream& os, const UnitAlgebra& ua);
+
+ private:
+  double value_ = 0.0;
+  Units units_{};
+};
+
+}  // namespace sst

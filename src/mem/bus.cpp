@@ -1,0 +1,69 @@
+#include "mem/bus.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace sst::mem {
+
+Bus::Bus(Params& params) {
+  const auto n = params.required<std::uint32_t>("num_ports");
+  if (n == 0) throw ConfigError("bus '" + name() + "': num_ports must be >= 1");
+  const double bw =
+      params.find<UnitAlgebra>("bandwidth", UnitAlgebra("25.6GB/s"))
+          .to_bytes_per_second();
+  bytes_per_ps_ = bw / 1e12;
+  header_ = params.find_time("header", "1ns");
+
+  up_links_.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    up_links_.push_back(configure_link(
+        "up" + std::to_string(i),
+        [this, i](EventPtr ev) { handle_up(i, std::move(ev)); },
+        /*optional=*/true));
+  }
+  down_link_ = configure_link(
+      "down", [this](EventPtr ev) { handle_down(std::move(ev)); });
+
+  transactions_ = stat_counter("transactions");
+  queue_delay_ = stat_accumulator("queue_delay_ps");
+}
+
+SimTime Bus::occupy(std::uint32_t bytes) {
+  const auto transfer = std::max<SimTime>(
+      1, header_ + static_cast<SimTime>(static_cast<double>(bytes) /
+                                        bytes_per_ps_));
+  const SimTime start = std::max(now(), busy_until_);
+  busy_until_ = start + transfer;
+  const SimTime extra = busy_until_ - now();
+  queue_delay_->add(static_cast<double>(start - now()));
+  transactions_->add();
+  return extra;
+}
+
+void Bus::handle_up(std::uint32_t port, EventPtr ev) {
+  auto req = event_cast<MemEvent>(std::move(ev));
+  if (!is_request(req->cmd())) {
+    throw SimulationError("bus '" + name() + "': response on up port");
+  }
+  req->set_bus_src(port);
+  const SimTime extra = occupy(req->size());
+  down_link_->send(std::move(req), extra);
+}
+
+void Bus::handle_down(EventPtr ev) {
+  auto resp = event_cast<MemEvent>(std::move(ev));
+  if (!is_response(resp->cmd())) {
+    throw SimulationError("bus '" + name() + "': request on down port");
+  }
+  const std::uint32_t port = resp->bus_src();
+  if (port >= up_links_.size()) {
+    throw SimulationError("bus '" + name() + "': bad bus_src routing tag");
+  }
+  if (!up_links_[port]->connected()) {
+    throw SimulationError("bus '" + name() + "': response to unconnected port");
+  }
+  const SimTime extra = occupy(resp->size());
+  up_links_[port]->send(std::move(resp), extra);
+}
+
+}  // namespace sst::mem

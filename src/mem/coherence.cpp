@@ -1,0 +1,445 @@
+#include "mem/coherence.h"
+
+#include <utility>
+
+namespace sst::mem {
+
+namespace {
+[[nodiscard]] bool is_power_of_two(std::uint64_t v) {
+  return v != 0 && (v & (v - 1)) == 0;
+}
+}  // namespace
+
+// ---------------------------------------------------------------------
+// SnoopBus
+// ---------------------------------------------------------------------
+
+SnoopBus::SnoopBus(Params& params) {
+  const auto n = params.required<std::uint32_t>("num_caches");
+  if (n == 0) {
+    throw ConfigError("snoop bus '" + name() + "': num_caches must be >= 1");
+  }
+  occupancy_ = params.find_time("occupancy", "6ns");
+
+  cache_links_.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    cache_links_.push_back(configure_link(
+        "cache" + std::to_string(i),
+        [this, i](EventPtr ev) { handle_cache(i, std::move(ev)); }));
+  }
+  mem_link_ = configure_link(
+      "mem", [this](EventPtr ev) { handle_mem(std::move(ev)); });
+
+  transactions_ = stat_counter("transactions");
+  interventions_ = stat_counter("interventions");
+  invalidation_txns_ = stat_counter("invalidation_txns");
+  queue_depth_ = stat_accumulator("queue_depth");
+}
+
+void SnoopBus::handle_cache(std::uint32_t port, EventPtr ev) {
+  if (auto* resp = dynamic_cast<SnoopRespEvent*>(ev.get())) {
+    if (!busy_ || resp->txn() != active_.txn_id) {
+      throw SimulationError("snoop bus '" + name() +
+                            "': response for inactive transaction");
+    }
+    active_.shared = active_.shared || resp->had_line();
+    active_.intervention = active_.intervention || resp->supplied_data();
+    if (active_.pending_snoops == 0) {
+      throw SimulationError("snoop bus '" + name() + "': excess snoop resp");
+    }
+    if (--active_.pending_snoops == 0) finish_txn();
+    return;
+  }
+
+  auto req = event_cast<CoherenceEvent>(std::move(ev));
+  switch (req->cmd()) {
+    case CoherenceEvent::Cmd::kGetS:
+    case CoherenceEvent::Cmd::kGetX:
+    case CoherenceEvent::Cmd::kUpgrade:
+    case CoherenceEvent::Cmd::kPutM:
+      break;
+    default:
+      throw SimulationError("snoop bus '" + name() +
+                            "': response event on cache port");
+  }
+  Txn txn;
+  txn.src_port = port;
+  txn.cmd = req->cmd();
+  txn.line = req->line();
+  txn.size = req->size();
+  txn.req_id = req->id();
+  txn.txn_id = next_txn_id_++;
+  queue_.push_back(txn);
+  queue_depth_->add(static_cast<double>(queue_.size()));
+  if (!busy_) start_next();
+}
+
+void SnoopBus::start_next() {
+  if (queue_.empty()) {
+    busy_ = false;
+    return;
+  }
+  busy_ = true;
+  active_ = queue_.front();
+  queue_.pop_front();
+  transactions_->add();
+
+  if (active_.cmd == CoherenceEvent::Cmd::kPutM) {
+    // Write-backs go straight to memory; no snoop needed (the writer held
+    // the line exclusively).  Ack the cache so it can clear its WB buffer.
+    mem_link_->send(std::make_unique<MemEvent>(MemCmd::kPutM, active_.line,
+                                               active_.size, active_.txn_id),
+                    occupancy_);
+    auto ack = std::make_unique<CoherenceEvent>(
+        CoherenceEvent::Cmd::kPutMAck, active_.line, active_.size,
+        active_.req_id);
+    cache_links_[active_.src_port]->send(std::move(ack), occupancy_);
+    start_next();
+    return;
+  }
+
+  if (active_.cmd != CoherenceEvent::Cmd::kGetS) invalidation_txns_->add();
+
+  // Broadcast the snoop to every other cache.
+  SnoopEvent::Kind kind;
+  switch (active_.cmd) {
+    case CoherenceEvent::Cmd::kGetS:
+      kind = SnoopEvent::Kind::kRead;
+      break;
+    case CoherenceEvent::Cmd::kGetX:
+      kind = SnoopEvent::Kind::kReadExclusive;
+      break;
+    default:
+      kind = SnoopEvent::Kind::kInvalidate;
+      break;
+  }
+  active_.pending_snoops =
+      static_cast<std::uint32_t>(cache_links_.size()) - 1;
+  if (active_.pending_snoops == 0) {
+    finish_txn();
+    return;
+  }
+  for (std::uint32_t i = 0; i < cache_links_.size(); ++i) {
+    if (i == active_.src_port) continue;
+    cache_links_[i]->send(
+        std::make_unique<SnoopEvent>(kind, active_.line, active_.txn_id),
+        occupancy_);
+  }
+}
+
+void SnoopBus::finish_txn() {
+  if (active_.cmd == CoherenceEvent::Cmd::kUpgrade) {
+    auto resp = std::make_unique<CoherenceEvent>(
+        CoherenceEvent::Cmd::kUpgradeResp, active_.line, active_.size,
+        active_.req_id);
+    cache_links_[active_.src_port]->send(std::move(resp), occupancy_);
+    start_next();
+    return;
+  }
+
+  if (active_.intervention) {
+    // Cache-to-cache transfer: the owner's data goes to the requester and
+    // is written back so memory stays clean.
+    interventions_->add();
+    mem_link_->send(std::make_unique<MemEvent>(MemCmd::kPutM, active_.line,
+                                               active_.size, active_.txn_id));
+    auto resp = std::make_unique<CoherenceEvent>(
+        active_.cmd == CoherenceEvent::Cmd::kGetS
+            ? CoherenceEvent::Cmd::kGetSResp
+            : CoherenceEvent::Cmd::kGetXResp,
+        active_.line, active_.size, active_.req_id);
+    resp->set_shared(active_.cmd == CoherenceEvent::Cmd::kGetS);
+    resp->set_intervention(true);
+    cache_links_[active_.src_port]->send(std::move(resp), occupancy_);
+    start_next();
+    return;
+  }
+
+  // No owner: fetch the line from memory; the transaction completes when
+  // the memory response arrives (handle_mem).
+  mem_link_->send(std::make_unique<MemEvent>(MemCmd::kGetS, active_.line,
+                                             active_.size, active_.txn_id),
+                  occupancy_);
+}
+
+void SnoopBus::handle_mem(EventPtr ev) {
+  auto mresp = event_cast<MemEvent>(std::move(ev));
+  if (!is_response(mresp->cmd())) {
+    throw SimulationError("snoop bus '" + name() + "': request on mem port");
+  }
+  if (!busy_ || mresp->req_id() != active_.txn_id) {
+    throw SimulationError("snoop bus '" + name() +
+                          "': memory response for inactive transaction");
+  }
+  auto resp = std::make_unique<CoherenceEvent>(
+      active_.cmd == CoherenceEvent::Cmd::kGetS
+          ? CoherenceEvent::Cmd::kGetSResp
+          : CoherenceEvent::Cmd::kGetXResp,
+      active_.line, active_.size, active_.req_id);
+  resp->set_shared(active_.cmd == CoherenceEvent::Cmd::kGetS &&
+                   active_.shared);
+  cache_links_[active_.src_port]->send(std::move(resp), occupancy_);
+  start_next();
+}
+
+// ---------------------------------------------------------------------
+// CoherentCache
+// ---------------------------------------------------------------------
+
+CoherentCache::CoherentCache(Params& params) {
+  const std::uint64_t size = params.required<UnitAlgebra>("size").to_bytes();
+  line_size_ = params.find<std::uint32_t>("line_size", 64);
+  assoc_ = params.find<std::uint32_t>("assoc", 4);
+  hit_latency_ = params.find_period("hit_latency", "1ns");
+  max_mshrs_ = params.find<std::uint32_t>("mshrs", 8);
+  if (!is_power_of_two(line_size_)) {
+    throw ConfigError("coherent cache '" + name() +
+                      "': line_size must be a power of 2");
+  }
+  if (assoc_ == 0 || max_mshrs_ == 0) {
+    throw ConfigError("coherent cache '" + name() +
+                      "': assoc and mshrs must be >= 1");
+  }
+  const std::uint64_t lines = size / line_size_;
+  if (lines == 0 || lines % assoc_ != 0 ||
+      !is_power_of_two(lines / assoc_)) {
+    throw ConfigError("coherent cache '" + name() +
+                      "': size must give a power-of-two set count");
+  }
+  num_sets_ = static_cast<std::uint32_t>(lines / assoc_);
+  sets_.assign(num_sets_, std::vector<Line>(assoc_));
+
+  cpu_link_ = configure_link(
+      "cpu", [this](EventPtr ev) { handle_cpu(std::move(ev)); });
+  bus_link_ = configure_link(
+      "bus", [this](EventPtr ev) { handle_bus(std::move(ev)); });
+
+  hits_ = stat_counter("hits");
+  misses_ = stat_counter("misses");
+  invalidations_ = stat_counter("invalidations");
+  supplied_ = stat_counter("interventions_supplied");
+  upgrades_ = stat_counter("upgrades");
+  upgrade_races_ = stat_counter("upgrade_races");
+  writebacks_ = stat_counter("writebacks");
+}
+
+CoherentCache::Line* CoherentCache::find_line(Addr a) {
+  auto& set = sets_[set_index(a)];
+  const std::uint64_t tag = tag_of(a);
+  for (auto& line : set) {
+    if (line.state != MesiState::kInvalid && line.tag == tag) return &line;
+  }
+  return nullptr;
+}
+
+const CoherentCache::Line* CoherentCache::find_line(Addr a) const {
+  return const_cast<CoherentCache*>(this)->find_line(a);
+}
+
+MesiState CoherentCache::state_of(Addr a) const {
+  const Line* line = find_line(a);
+  return line ? line->state : MesiState::kInvalid;
+}
+
+void CoherentCache::handle_cpu(EventPtr ev) {
+  auto req = event_cast<MemEvent>(std::move(ev));
+  if (req->cmd() != MemCmd::kGetS && req->cmd() != MemCmd::kGetX) {
+    throw SimulationError("coherent cache '" + name() +
+                          "': only GetS/GetX accepted on cpu port");
+  }
+  if (line_base(req->addr()) !=
+      line_base(req->addr() + (req->size() ? req->size() - 1 : 0))) {
+    throw SimulationError("coherent cache '" + name() +
+                          "': request crosses line: " + req->describe());
+  }
+  process_request(std::move(req), /*count_stats=*/true);
+}
+
+void CoherentCache::process_request(std::unique_ptr<MemEvent> req,
+                                    bool count_stats) {
+  const Addr line_addr = line_base(req->addr());
+  const bool is_write = req->cmd() == MemCmd::kGetX;
+  Line* line = find_line(req->addr());
+
+  if (line != nullptr) {
+    const bool write_ok = line->state == MesiState::kModified ||
+                          line->state == MesiState::kExclusive;
+    if (!is_write || write_ok) {
+      if (is_write) line->state = MesiState::kModified;  // E->M is silent
+      line->lru = lru_clock_++;
+      if (count_stats) hits_->add();
+      cpu_link_->send(req->make_response(), hit_latency_);
+      return;
+    }
+    // Write to Shared: upgrade.
+  }
+
+  if (count_stats) misses_->add();
+
+  if (auto it = pending_by_line_.find(line_addr);
+      it != pending_by_line_.end()) {
+    Pending& p = pending_.at(it->second);
+    p.wants_write = p.wants_write || is_write;
+    p.waiters.push_back(std::move(req));
+    return;
+  }
+
+  if (pending_.size() >= max_mshrs_) {
+    stalled_.push_back(std::move(req));
+    return;
+  }
+
+  const std::uint64_t id = next_id_++;
+  Pending& p = pending_[id];
+  p.line_addr = line_addr;
+  p.wants_write = is_write;
+  p.waiters.push_back(std::move(req));
+  pending_by_line_[line_addr] = id;
+
+  if (line != nullptr && is_write) {
+    upgrades_->add();
+    send_bus_request(CoherenceEvent::Cmd::kUpgrade, line_addr, id);
+  } else {
+    send_bus_request(is_write ? CoherenceEvent::Cmd::kGetX
+                              : CoherenceEvent::Cmd::kGetS,
+                     line_addr, id);
+  }
+}
+
+void CoherentCache::send_bus_request(CoherenceEvent::Cmd cmd, Addr line,
+                                     std::uint64_t id) {
+  bus_link_->send(
+      std::make_unique<CoherenceEvent>(cmd, line, line_size_, id),
+      hit_latency_);
+}
+
+void CoherentCache::handle_bus(EventPtr ev) {
+  if (dynamic_cast<SnoopEvent*>(ev.get()) != nullptr) {
+    handle_snoop(event_cast<SnoopEvent>(std::move(ev)));
+    return;
+  }
+  handle_response(event_cast<CoherenceEvent>(std::move(ev)));
+}
+
+void CoherentCache::handle_snoop(std::unique_ptr<SnoopEvent> snoop) {
+  Line* line = find_line(snoop->line());
+  bool had = false;
+  bool supplied = false;
+
+  if (line != nullptr) {
+    had = true;
+    if (line->state == MesiState::kModified) {
+      supplied = true;
+      supplied_->add();
+    }
+    if (snoop->kind() == SnoopEvent::Kind::kRead) {
+      line->state = MesiState::kShared;
+    } else {
+      line->state = MesiState::kInvalid;
+      invalidations_->add();
+    }
+  } else if (auto it = writeback_buffer_.find(snoop->line());
+             it != writeback_buffer_.end()) {
+    // An evicted Modified line still in flight to memory: we are the
+    // freshest copy, so supply it (the bus writes it back again).
+    had = true;
+    supplied = true;
+    supplied_->add();
+  }
+
+  bus_link_->send(
+      std::make_unique<SnoopRespEvent>(snoop->txn(), had, supplied));
+}
+
+void CoherentCache::handle_response(std::unique_ptr<CoherenceEvent> resp) {
+  if (resp->cmd() == CoherenceEvent::Cmd::kPutMAck) {
+    writeback_buffer_.erase(resp->line());
+    return;
+  }
+
+  auto it = pending_.find(resp->id());
+  if (it == pending_.end()) {
+    throw SimulationError("coherent cache '" + name() +
+                          "': response for unknown request");
+  }
+
+  switch (resp->cmd()) {
+    case CoherenceEvent::Cmd::kGetSResp:
+      install(it->second.line_addr,
+              resp->shared() ? MesiState::kShared : MesiState::kExclusive);
+      break;
+    case CoherenceEvent::Cmd::kGetXResp:
+      install(it->second.line_addr, MesiState::kModified);
+      break;
+    case CoherenceEvent::Cmd::kUpgradeResp: {
+      Line* line = find_line(it->second.line_addr);
+      if (line == nullptr) {
+        // Lost the race: another writer invalidated us while the upgrade
+        // sat in the bus queue.  Re-issue as a full GetX.
+        upgrade_races_->add();
+        send_bus_request(CoherenceEvent::Cmd::kGetX, it->second.line_addr,
+                         resp->id());
+        return;
+      }
+      line->state = MesiState::kModified;
+      line->lru = lru_clock_++;
+      break;
+    }
+    default:
+      throw SimulationError("coherent cache '" + name() +
+                            "': unexpected bus response");
+  }
+
+  Pending done = std::move(it->second);
+  pending_.erase(it);
+  pending_by_line_.erase(done.line_addr);
+  // Complete the waiters the fill satisfies directly (they already
+  // counted their miss); a store that was granted only Shared re-enters
+  // process_request and issues its upgrade.
+  for (auto& w : done.waiters) {
+    Line* line = find_line(w->addr());
+    const bool is_write = w->cmd() == MemCmd::kGetX;
+    const bool write_ok =
+        line != nullptr && (line->state == MesiState::kModified ||
+                            line->state == MesiState::kExclusive);
+    if (line != nullptr && (!is_write || write_ok)) {
+      if (is_write) line->state = MesiState::kModified;
+      line->lru = lru_clock_++;
+      cpu_link_->send(w->make_response(), hit_latency_);
+    } else {
+      process_request(std::move(w), /*count_stats=*/false);
+    }
+  }
+
+  while (!stalled_.empty() && pending_.size() < max_mshrs_) {
+    auto next = std::move(stalled_.front());
+    stalled_.pop_front();
+    process_request(std::move(next), /*count_stats=*/false);
+  }
+}
+
+void CoherentCache::install(Addr line_addr, MesiState state) {
+  auto& set = sets_[set_index(line_addr)];
+  Line* victim = nullptr;
+  for (auto& line : set) {
+    if (line.state == MesiState::kInvalid) {
+      victim = &line;
+      break;
+    }
+    if (victim == nullptr || line.lru < victim->lru) victim = &line;
+  }
+  if (victim->state == MesiState::kModified) {
+    const Addr victim_addr =
+        (victim->tag * num_sets_ + set_index(line_addr)) *
+        static_cast<Addr>(line_size_);
+    writebacks_->add();
+    const std::uint64_t id = next_id_++;
+    writeback_buffer_[victim_addr] = id;
+    send_bus_request(CoherenceEvent::Cmd::kPutM, victim_addr, id);
+  }
+  victim->tag = tag_of(line_addr);
+  victim->state = state;
+  victim->lru = lru_clock_++;
+}
+
+}  // namespace sst::mem

@@ -1,0 +1,218 @@
+#include "mem/dram.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace sst::mem {
+
+SimTime DramTimingParams::burst_time(std::uint32_t bytes) const {
+  // bytes / (GB/s) = ns; times 1000 for ps.
+  const double ps =
+      static_cast<double>(bytes) / peak_bandwidth_gbs * 1000.0;
+  return std::max<SimTime>(1, static_cast<SimTime>(std::llround(ps)));
+}
+
+DramTimingParams DramTimingParams::ddr2_800() {
+  DramTimingParams p;
+  p.name = "DDR2-800";
+  p.num_banks = 8;
+  p.row_bytes = 8192;
+  p.peak_bandwidth_gbs = 6.4;  // 800 MT/s x 8 B
+  p.t_cl = 12'500;             // CL5 @ 2.5ns
+  p.t_rcd = 12'500;
+  p.t_rp = 12'500;
+  p.t_ras = 45'000;
+  p.energy_per_access_nj = 25.0;
+  p.background_power_w = 1.1;
+  p.cost_per_gb_usd = 4.0;
+  return p;
+}
+
+DramTimingParams DramTimingParams::ddr3_1333() {
+  DramTimingParams p;
+  p.name = "DDR3-1333";
+  p.num_banks = 8;
+  p.row_bytes = 8192;
+  p.peak_bandwidth_gbs = 10.667;  // 1333 MT/s x 8 B
+  p.t_cl = 13'500;                // CL9 @ 1.5ns
+  p.t_rcd = 13'500;
+  p.t_rp = 13'500;
+  p.t_ras = 36'000;
+  p.energy_per_access_nj = 15.0;
+  p.background_power_w = 0.9;
+  p.cost_per_gb_usd = 6.0;
+  return p;
+}
+
+DramTimingParams DramTimingParams::gddr5() {
+  DramTimingParams p;
+  p.name = "GDDR5";
+  p.num_banks = 16;
+  p.row_bytes = 2048;
+  p.peak_bandwidth_gbs = 32.0;  // 4 Gb/s/pin x 64-bit effective channel
+  p.t_cl = 15'000;
+  p.t_rcd = 14'000;
+  p.t_rp = 14'000;
+  p.t_ras = 33'000;
+  p.energy_per_access_nj = 22.0;  // higher I/O energy than DDR3
+  p.background_power_w = 2.8;     // high static power: the paper's tradeoff
+  p.cost_per_gb_usd = 22.0;       // premium graphics memory
+  return p;
+}
+
+DramTimingParams DramTimingParams::preset(std::string_view name) {
+  if (name == "DDR2" || name == "DDR2-800" || name == "ddr2") {
+    return ddr2_800();
+  }
+  if (name == "DDR3" || name == "DDR3-1333" || name == "ddr3") {
+    return ddr3_1333();
+  }
+  if (name == "GDDR5" || name == "gddr5") {
+    return gddr5();
+  }
+  throw ConfigError("unknown DRAM preset '" + std::string(name) +
+                    "' (known: DDR2, DDR3, GDDR5)");
+}
+
+// ---------------------------------------------------------------------
+// SimpleBackend
+// ---------------------------------------------------------------------
+
+SimpleBackend::SimpleBackend(SimTime latency, double bandwidth_gbs)
+    : latency_(latency), bytes_per_ps_(bandwidth_gbs / 1000.0) {
+  if (bandwidth_gbs <= 0) {
+    throw ConfigError("SimpleBackend: bandwidth must be > 0");
+  }
+}
+
+void SimpleBackend::push(std::uint64_t token, Addr /*addr*/,
+                         bool /*is_write*/, std::uint32_t bytes,
+                         SimTime now) {
+  const auto burst = std::max<SimTime>(
+      1, static_cast<SimTime>(static_cast<double>(bytes) / bytes_per_ps_));
+  const SimTime start = std::max(now, bus_free_);
+  bus_free_ = start + burst;
+  decided_.push_back({token, start + latency_ + burst});
+}
+
+std::vector<MemCompletion> SimpleBackend::advance(SimTime /*now*/) {
+  std::vector<MemCompletion> out;
+  out.swap(decided_);
+  return out;
+}
+
+// ---------------------------------------------------------------------
+// DramBackend
+// ---------------------------------------------------------------------
+
+DramBackend::DramBackend(DramTimingParams params)
+    : params_(std::move(params)), banks_(params_.num_banks) {
+  if (params_.num_banks == 0) throw ConfigError("DRAM: need >= 1 bank");
+  if (params_.row_bytes == 0) throw ConfigError("DRAM: row_bytes must be > 0");
+}
+
+std::uint32_t DramBackend::bank_of(Addr addr) const {
+  // Skewed row interleaving: consecutive rows rotate across banks, and
+  // the skew terms break power-of-two strides (cache capacity, array
+  // pitch) that would otherwise alias competing streams into one bank —
+  // the same trick real controllers play with XOR bank hashing.  Lines
+  // within a row share a bank, so sequential streams still get row hits.
+  const std::uint64_t row = addr / params_.row_bytes;
+  const std::uint64_t b = params_.num_banks;
+  // Two skew terms: a single-level skew still aliases at stride banks^2.
+  return static_cast<std::uint32_t>((row + row / b + row / (b * b)) % b);
+}
+
+std::uint64_t DramBackend::row_of(Addr addr) const {
+  return addr / (params_.row_bytes * params_.num_banks);
+}
+
+void DramBackend::push(std::uint64_t token, Addr addr, bool /*is_write*/,
+                       std::uint32_t bytes, SimTime now) {
+  queue_.push_back({token, addr, bytes, now, next_seq_++});
+}
+
+SimTime DramBackend::issue_time(const Pending& p) const {
+  const Bank& bank = banks_[bank_of(p.addr)];
+  SimTime t = std::max(p.arrival, bank.ready);
+  if (bank.open_row != row_of(p.addr)) {
+    // Must wait out tRAS before the precharge can begin.
+    t = std::max(t, bank.ras_done);
+  }
+  return t;
+}
+
+SimTime DramBackend::issue(const Pending& p) {
+  Bank& bank = banks_[bank_of(p.addr)];
+  const std::uint64_t row = row_of(p.addr);
+  const SimTime start = issue_time(p);
+
+  const SimTime burst = params_.burst_time(p.bytes);
+  SimTime cas_issue;
+  if (bank.open_row == row) {
+    // Row hit: the CAS issues immediately; tCL is pure latency and CAS
+    // commands pipeline at the burst (tCCD) rate.
+    ++row_hits_;
+    cas_issue = start;
+  } else {
+    // Row miss: precharge + activate, then the CAS.
+    ++row_misses_;
+    cas_issue = start + params_.t_rp + params_.t_rcd;
+    bank.open_row = row;
+    bank.ras_done = cas_issue + params_.t_ras;
+  }
+  SimTime data_start = cas_issue + params_.t_cl;
+
+  // Aggregate data-bus throughput: each access reserves one burst slot
+  // counted from issue, so a late (row-miss) access does not head-of-line
+  // block other banks' data.
+  data_bus_free_ = std::max(data_bus_free_, start) + burst;
+  data_start = std::max(data_start, data_bus_free_ - burst);
+  // The bank can accept its next CAS one burst interval after this one
+  // (data follows t_cl behind, back-to-back on the pins).
+  bank.ready = std::max(cas_issue + burst, data_start - params_.t_cl);
+  return data_start + burst;
+}
+
+std::vector<MemCompletion> DramBackend::advance(SimTime now) {
+  std::vector<MemCompletion> out;
+  for (;;) {
+    // FR-FCFS: among requests issuable by `now`, row hits beat misses and
+    // age breaks ties; if nothing is issuable yet, stop.
+    std::size_t best = queue_.size();
+    SimTime best_issue = kTimeNever;
+    bool best_hit = false;
+    for (std::size_t i = 0; i < queue_.size(); ++i) {
+      const Pending& p = queue_[i];
+      const SimTime t = issue_time(p);
+      if (t > now) continue;
+      const bool hit =
+          banks_[bank_of(p.addr)].open_row == row_of(p.addr);
+      const bool better =
+          best == queue_.size() || (hit && !best_hit) ||
+          (hit == best_hit &&
+           (t < best_issue ||
+            (t == best_issue && p.seq < queue_[best].seq)));
+      if (better) {
+        best = i;
+        best_issue = t;
+        best_hit = hit;
+      }
+    }
+    if (best == queue_.size()) break;
+    const Pending chosen = queue_[best];
+    queue_.erase(queue_.begin() + static_cast<std::ptrdiff_t>(best));
+    out.push_back({chosen.token, issue(chosen)});
+  }
+  return out;
+}
+
+SimTime DramBackend::next_action() const {
+  SimTime t = kTimeNever;
+  for (const Pending& p : queue_) {
+    t = std::min(t, issue_time(p));
+  }
+  return t;
+}
+
+}  // namespace sst::mem

@@ -1,0 +1,91 @@
+// MemEvent: the request/response protocol spoken on memory-hierarchy links
+// (CPU <-> cache <-> bus <-> memory controller).
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+
+#include "core/event.h"
+#include "core/types.h"
+
+namespace sst::mem {
+
+using Addr = std::uint64_t;
+
+enum class MemCmd : std::uint8_t {
+  kGetS,      // read
+  kGetX,      // write (write-allocate: fetches the line too)
+  kGetSResp,  // read response
+  kGetXResp,  // write acknowledgement
+  kPutM,      // write-back of a dirty line (no response)
+};
+
+[[nodiscard]] constexpr bool is_request(MemCmd c) {
+  return c == MemCmd::kGetS || c == MemCmd::kGetX || c == MemCmd::kPutM;
+}
+[[nodiscard]] constexpr bool is_response(MemCmd c) {
+  return c == MemCmd::kGetSResp || c == MemCmd::kGetXResp;
+}
+[[nodiscard]] constexpr bool expects_response(MemCmd c) {
+  return c == MemCmd::kGetS || c == MemCmd::kGetX;
+}
+[[nodiscard]] constexpr MemCmd response_for(MemCmd c) {
+  return c == MemCmd::kGetS ? MemCmd::kGetSResp : MemCmd::kGetXResp;
+}
+
+[[nodiscard]] inline const char* to_string(MemCmd c) {
+  switch (c) {
+    case MemCmd::kGetS: return "GetS";
+    case MemCmd::kGetX: return "GetX";
+    case MemCmd::kGetSResp: return "GetSResp";
+    case MemCmd::kGetXResp: return "GetXResp";
+    case MemCmd::kPutM: return "PutM";
+  }
+  return "?";
+}
+
+class MemEvent final : public Event {
+ public:
+  MemEvent(MemCmd cmd, Addr addr, std::uint32_t size, std::uint64_t req_id)
+      : cmd_(cmd), addr_(addr), size_(size), req_id_(req_id) {}
+
+  [[nodiscard]] MemCmd cmd() const { return cmd_; }
+  [[nodiscard]] Addr addr() const { return addr_; }
+  [[nodiscard]] std::uint32_t size() const { return size_; }
+
+  /// Request identifier chosen by the original requester; responses carry
+  /// the same id so outstanding requests can be matched.
+  [[nodiscard]] std::uint64_t req_id() const { return req_id_; }
+
+  /// Routing breadcrumb used by Bus components: the upstream port index
+  /// the request entered on, so the response can be steered back.
+  [[nodiscard]] std::uint32_t bus_src() const { return bus_src_; }
+  void set_bus_src(std::uint32_t p) { bus_src_ = p; }
+
+  /// Builds the matching response event (same id / addr / size).
+  [[nodiscard]] EventPtr make_response() const {
+    auto resp =
+        std::make_unique<MemEvent>(response_for(cmd_), addr_, size_, req_id_);
+    resp->bus_src_ = bus_src_;
+    return resp;
+  }
+
+  [[nodiscard]] std::string describe() const {
+    return std::string(to_string(cmd_)) + " 0x" + [this] {
+      char buf[20];
+      std::snprintf(buf, sizeof buf, "%llx",
+                    static_cast<unsigned long long>(addr_));
+      return std::string(buf);
+    }() + " size=" + std::to_string(size_);
+  }
+
+ private:
+  MemCmd cmd_;
+  Addr addr_;
+  std::uint32_t size_;
+  std::uint64_t req_id_;
+  std::uint32_t bus_src_ = 0;
+};
+
+}  // namespace sst::mem

@@ -1,0 +1,40 @@
+#include "mem/mem_lib.h"
+
+#include "core/factory.h"
+
+namespace sst::mem {
+
+void register_library() {
+  static const bool once = [] {
+    Factory& f = Factory::instance();
+    f.register_component(
+        "mem.Cache",
+        [](Simulation& sim, const std::string& name, Params& p) -> Component* {
+          return sim.add_component<Cache>(name, p);
+        });
+    f.register_component(
+        "mem.Bus",
+        [](Simulation& sim, const std::string& name, Params& p) -> Component* {
+          return sim.add_component<Bus>(name, p);
+        });
+    f.register_component(
+        "mem.CoherentCache",
+        [](Simulation& sim, const std::string& name, Params& p) -> Component* {
+          return sim.add_component<CoherentCache>(name, p);
+        });
+    f.register_component(
+        "mem.SnoopBus",
+        [](Simulation& sim, const std::string& name, Params& p) -> Component* {
+          return sim.add_component<SnoopBus>(name, p);
+        });
+    f.register_component(
+        "mem.MemoryController",
+        [](Simulation& sim, const std::string& name, Params& p) -> Component* {
+          return sim.add_component<MemoryController>(name, p);
+        });
+    return true;
+  }();
+  (void)once;
+}
+
+}  // namespace sst::mem

@@ -1,0 +1,105 @@
+#include "mem/memory_controller.h"
+
+#include <utility>
+
+namespace sst::mem {
+
+MemoryController::MemoryController(Params& params) {
+  const std::string kind = params.find("backend", "dram");
+  if (kind == "dram") {
+    const std::string preset = params.find("preset", "DDR3");
+    backend_ = std::make_unique<DramBackend>(DramTimingParams::preset(preset));
+  } else if (kind == "simple") {
+    const SimTime latency = params.find_time("latency", "60ns");
+    const double bw = params.find<double>("bandwidth_gbs", 10.667);
+    backend_ = std::make_unique<SimpleBackend>(latency, bw);
+  } else {
+    throw ConfigError("memory controller '" + name() +
+                      "': unknown backend '" + kind + "'");
+  }
+
+  cpu_link_ = configure_link(
+      "cpu", [this](EventPtr ev) { handle_cpu(std::move(ev)); });
+  self_link_ = configure_self_link(
+      "complete", 0, [this](EventPtr ev) { handle_complete(std::move(ev)); });
+
+  reads_ = stat_counter("reads");
+  writes_ = stat_counter("writes");
+  bytes_ = stat_counter("bytes");
+  access_latency_ = stat_accumulator("access_latency_ps");
+  row_hits_ = stat_counter("row_hits");
+  row_misses_ = stat_counter("row_misses");
+}
+
+void MemoryController::handle_cpu(EventPtr ev) {
+  auto req = event_cast<MemEvent>(std::move(ev));
+  if (!is_request(req->cmd())) {
+    throw SimulationError("memctrl '" + name() + "': response on cpu port");
+  }
+  const bool is_write =
+      req->cmd() == MemCmd::kGetX || req->cmd() == MemCmd::kPutM;
+  if (is_write) {
+    writes_->add();
+  } else {
+    reads_->add();
+  }
+  bytes_->add(req->size());
+
+  const std::uint64_t token = next_token_++;
+  awaiting_.emplace(token, expects_response(req->cmd()) ? req->make_response()
+                                                        : nullptr);
+  arrival_.emplace(token, now());
+  backend_->push(token, req->addr(), is_write, req->size(), now());
+  pump();
+}
+
+void MemoryController::pump() {
+  for (const MemCompletion& c : backend_->advance(now())) {
+    auto it = awaiting_.find(c.token);
+    if (it == awaiting_.end()) {
+      throw SimulationError("memctrl '" + name() +
+                            "': backend completed unknown token");
+    }
+    if (c.time < now()) {
+      throw SimulationError("memctrl '" + name() +
+                            "': backend completion in the past");
+    }
+    access_latency_->add(static_cast<double>(c.time - arrival_.at(c.token)));
+    arrival_.erase(c.token);
+    EventPtr resp = std::move(it->second);
+    awaiting_.erase(it);
+    if (resp) {
+      // Hold the response until the data is on the bus.
+      self_link_->send(std::make_unique<CompletionEvent>(std::move(resp)),
+                       c.time - now());
+    }
+  }
+  // Arm a wakeup for the backend's next decision point.
+  const SimTime na = backend_->next_action();
+  if (na != kTimeNever && na > now() &&
+      (wake_armed_for_ == kTimeNever || na < wake_armed_for_ ||
+       wake_armed_for_ <= now())) {
+    wake_armed_for_ = na;
+    self_link_->send(std::make_unique<CompletionEvent>(nullptr),
+                     na - now());
+  }
+}
+
+void MemoryController::handle_complete(EventPtr ev) {
+  auto completion = event_cast<CompletionEvent>(std::move(ev));
+  if (completion->is_wakeup()) {
+    if (wake_armed_for_ == now()) wake_armed_for_ = kTimeNever;
+    pump();
+    return;
+  }
+  cpu_link_->send(completion->take_response());
+}
+
+void MemoryController::finish() {
+  if (const DramBackend* d = dram()) {
+    row_hits_->add(d->row_hits());
+    row_misses_->add(d->row_misses());
+  }
+}
+
+}  // namespace sst::mem

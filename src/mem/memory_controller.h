@@ -1,0 +1,80 @@
+// Memory controller: terminates the memory hierarchy.  Owns a backend
+// (detailed DRAM timing or the abstract fixed-latency model — SST's
+// multi-fidelity knob) and converts MemEvents into backend accesses.
+//
+// Ports:
+//   "cpu" — upstream
+//
+// Params:
+//   backend        "dram" | "simple"                   (default "dram")
+//   preset         "DDR2" | "DDR3" | "GDDR5"           (default "DDR3")
+//   latency        simple backend latency              (default "60ns")
+//   bandwidth_gbs  simple backend bandwidth in GB/s    (default 10.667)
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+
+#include "core/component.h"
+#include "mem/dram.h"
+#include "mem/mem_event.h"
+
+namespace sst::mem {
+
+class MemoryController final : public Component {
+ public:
+  explicit MemoryController(Params& params);
+
+  [[nodiscard]] const MemBackend& backend() const { return *backend_; }
+  /// Non-null when the backend is the detailed DRAM model.
+  [[nodiscard]] const DramBackend* dram() const {
+    return dynamic_cast<const DramBackend*>(backend_.get());
+  }
+
+  [[nodiscard]] std::uint64_t reads() const { return reads_->count(); }
+  [[nodiscard]] std::uint64_t writes() const { return writes_->count(); }
+  [[nodiscard]] std::uint64_t bytes_transferred() const {
+    return bytes_->count();
+  }
+
+  void finish() override;
+
+ private:
+  /// Carries the prepared response until the backend completion time.
+  class CompletionEvent final : public Event {
+   public:
+    explicit CompletionEvent(EventPtr resp) : resp_(std::move(resp)) {}
+    [[nodiscard]] EventPtr take_response() { return std::move(resp_); }
+    [[nodiscard]] bool is_wakeup() const { return resp_ == nullptr; }
+
+   private:
+    EventPtr resp_;
+  };
+
+  void handle_cpu(EventPtr ev);
+  void handle_complete(EventPtr ev);
+  /// Advances the backend, dispatches decided completions, re-arms the
+  /// wakeup for the backend's next decision point.
+  void pump();
+
+  Link* cpu_link_;
+  Link* self_link_;
+  std::unique_ptr<MemBackend> backend_;
+
+  // In-flight requests awaiting a backend decision: token -> prepared
+  // response (null for PutM, which gets no response).
+  std::map<std::uint64_t, EventPtr> awaiting_;
+  std::map<std::uint64_t, SimTime> arrival_;
+  std::uint64_t next_token_ = 1;
+  SimTime wake_armed_for_ = kTimeNever;
+
+  Counter* reads_;
+  Counter* writes_;
+  Counter* bytes_;
+  Accumulator* access_latency_;
+  Counter* row_hits_;
+  Counter* row_misses_;
+};
+
+}  // namespace sst::mem

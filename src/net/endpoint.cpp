@@ -1,0 +1,93 @@
+#include "net/endpoint.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace sst::net {
+
+NetEndpoint::NetEndpoint(Params& params) {
+  const double bw =
+      params.find<UnitAlgebra>("injection_bw", UnitAlgebra("3.2GB/s"))
+          .to_bytes_per_second();
+  inj_bytes_per_ps_ = bw / 1e12;
+  mtu_ = params.find<std::uint32_t>("mtu", 2048);
+  if (mtu_ == 0) throw ConfigError("endpoint '" + name() + "': mtu >= 1");
+
+  net_link_ = configure_link(
+      "net", [this](EventPtr ev) { handle_net(std::move(ev)); });
+
+  msgs_sent_ = stat_counter("messages_sent");
+  msgs_recv_ = stat_counter("messages_received");
+  bytes_sent_ = stat_counter("bytes_sent");
+  packets_sent_ = stat_counter("packets_sent");
+  msg_latency_ = stat_accumulator("message_latency_ps");
+}
+
+std::uint64_t NetEndpoint::send_message(NodeId dst, std::uint64_t bytes,
+                                        std::uint64_t tag) {
+  if (node_id_ == kInvalidNode) {
+    throw SimulationError("endpoint '" + name() +
+                          "': node id not assigned (wire through "
+                          "TopologyBuilder first)");
+  }
+  if (dst == node_id_) {
+    throw SimulationError("endpoint '" + name() + "': message to self");
+  }
+  if (bytes == 0) bytes = 1;  // zero-byte messages still cost a packet
+  const std::uint64_t msg_id = next_msg_id_++;
+  const SimTime msg_start = now();
+
+  // Valiant: all packets of one message share one random intermediate
+  // (keeps them on one path, so reassembly order is preserved).
+  NodeId via = kInvalidNode;
+  if (valiant_ && num_nodes_ > 2) {
+    do {
+      via = static_cast<NodeId>(rng().next_bounded(num_nodes_));
+    } while (via == node_id_ || via == dst);
+  }
+
+  std::uint64_t remaining = bytes;
+  while (remaining > 0) {
+    const auto chunk =
+        static_cast<std::uint32_t>(std::min<std::uint64_t>(remaining, mtu_));
+    remaining -= chunk;
+    // NIC injection serialization.
+    const auto inject_time = std::max<SimTime>(
+        1, static_cast<SimTime>(static_cast<double>(chunk) /
+                                inj_bytes_per_ps_));
+    const SimTime start = std::max(now(), inj_busy_);
+    inj_busy_ = start + inject_time;
+    auto pkt = std::make_unique<PacketEvent>(node_id_, dst, chunk, msg_id,
+                                             bytes, remaining == 0, tag,
+                                             msg_start);
+    if (via != kInvalidNode) pkt->set_via(via);
+    net_link_->send(std::move(pkt), inj_busy_ - now());
+    packets_sent_->add();
+  }
+  msgs_sent_->add();
+  bytes_sent_->add(bytes);
+  return msg_id;
+}
+
+void NetEndpoint::handle_net(EventPtr ev) {
+  auto pkt = event_cast<PacketEvent>(std::move(ev));
+  if (pkt->dst() != node_id_) {
+    throw SimulationError("endpoint '" + name() + "': misrouted packet for " +
+                          std::to_string(pkt->dst()));
+  }
+  const auto key = std::make_pair(pkt->src(), pkt->msg_id());
+  Partial& part = reassembly_[key];
+  part.received += pkt->bytes();
+  if (part.received >= pkt->msg_bytes()) {
+    if (part.received > pkt->msg_bytes()) {
+      throw SimulationError("endpoint '" + name() +
+                            "': reassembly byte-count overflow");
+    }
+    reassembly_.erase(key);
+    msgs_recv_->add();
+    msg_latency_->add(static_cast<double>(now() - pkt->msg_start()));
+    on_message(pkt->src(), pkt->msg_bytes(), pkt->tag(), pkt->msg_start());
+  }
+}
+
+}  // namespace sst::net

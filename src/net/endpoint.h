@@ -1,0 +1,86 @@
+// NetEndpoint: base class for network endpoints (compute nodes).
+//
+// Provides the NIC layer: message segmentation into MTU-sized packets,
+// injection-bandwidth throttling (the knob of the bandwidth-degradation
+// study), and receive-side reassembly.  Subclasses implement on_message()
+// and drive traffic with send_message().
+//
+// Ports:
+//   "net" — to the attached router
+//
+// Params:
+//   injection_bw  NIC injection bandwidth           (default "3.2GB/s")
+//   mtu           packet payload size               (default "2KiB")
+#pragma once
+
+#include <cstdint>
+#include <map>
+
+#include "core/component.h"
+#include "net/net_event.h"
+
+namespace sst::net {
+
+class NetEndpoint : public Component {
+ public:
+  [[nodiscard]] NodeId node_id() const { return node_id_; }
+  /// Assigned by the TopologyBuilder (in endpoint order).
+  void set_node_id(NodeId id) { node_id_ = id; }
+  /// Total endpoints in the network; set by the TopologyBuilder.
+  void set_num_nodes(std::uint32_t n) { num_nodes_ = n; }
+  [[nodiscard]] std::uint32_t num_nodes() const { return num_nodes_; }
+
+  /// Valiant routing: when enabled (by the TopologyBuilder), every
+  /// message is bounced through a uniformly random intermediate node,
+  /// trading doubled average path length for immunity to adversarial
+  /// traffic patterns.
+  void set_valiant(bool enabled) { valiant_ = enabled; }
+  [[nodiscard]] bool valiant() const { return valiant_; }
+
+  [[nodiscard]] std::uint64_t messages_sent() const {
+    return msgs_sent_->count();
+  }
+  [[nodiscard]] std::uint64_t messages_received() const {
+    return msgs_recv_->count();
+  }
+
+ protected:
+  explicit NetEndpoint(Params& params);
+
+  /// Queues a message for transmission.  Returns the message id.
+  /// Packets serialize through the NIC at the injection bandwidth.
+  std::uint64_t send_message(NodeId dst, std::uint64_t bytes,
+                             std::uint64_t tag);
+
+  /// Called when a complete message has been reassembled.
+  /// `msg_start` is the simulated time the sender posted the message.
+  virtual void on_message(NodeId src, std::uint64_t bytes, std::uint64_t tag,
+                          SimTime msg_start) = 0;
+
+  /// Observed message latency statistic (post time -> last byte arrival).
+  Accumulator* msg_latency_;
+
+ private:
+  void handle_net(EventPtr ev);
+
+  Link* net_link_;
+  NodeId node_id_ = kInvalidNode;
+  std::uint32_t num_nodes_ = 0;
+  bool valiant_ = false;
+  double inj_bytes_per_ps_;
+  std::uint32_t mtu_;
+  SimTime inj_busy_ = 0;
+  std::uint64_t next_msg_id_ = 1;
+
+  struct Partial {
+    std::uint64_t received = 0;
+  };
+  std::map<std::pair<NodeId, std::uint64_t>, Partial> reassembly_;
+
+  Counter* msgs_sent_;
+  Counter* msgs_recv_;
+  Counter* bytes_sent_;
+  Counter* packets_sent_;
+};
+
+}  // namespace sst::net

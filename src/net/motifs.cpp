@@ -1,0 +1,447 @@
+#include "net/motifs.h"
+
+#include <utility>
+
+namespace sst::net {
+
+namespace {
+
+/// Rank coordinates / neighbour arithmetic on a periodic px*py*pz grid.
+NodeId grid_neighbor(NodeId id, std::uint32_t px, std::uint32_t py,
+                     std::uint32_t pz, int dim, int dir) {
+  std::uint32_t c[3] = {id % px, (id / px) % py, id / (px * py)};
+  const std::uint32_t extent[3] = {px, py, pz};
+  const std::uint32_t e = extent[dim];
+  c[dim] = (c[dim] + e + static_cast<std::uint32_t>(dir)) % e;
+  return (c[2] * py + c[1]) * px + c[0];
+}
+
+std::uint32_t exact_log2(std::uint32_t n, const std::string& who) {
+  std::uint32_t l = 0;
+  while ((1U << l) < n) ++l;
+  if ((1U << l) != n) {
+    throw ConfigError(who + ": node count must be a power of two, got " +
+                      std::to_string(n));
+  }
+  return l;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------
+// MotifEndpoint base
+// ---------------------------------------------------------------------
+
+MotifEndpoint::MotifEndpoint(Params& params) : NetEndpoint(params) {
+  timer_ = configure_self_link("motif_timer", 1,
+                               [this](EventPtr) { enter_step(); });
+  register_as_primary();
+  compute_time_ = stat_accumulator("compute_time_ps");
+}
+
+void MotifEndpoint::setup() {
+  if (!started_) {
+    started_ = true;
+    timer_->send(std::make_unique<NullEvent>());
+  }
+}
+
+void MotifEndpoint::enter_step() {
+  if (finished_) return;
+  in_step_ = true;
+  blocked_set_ = false;
+  step();
+  in_step_ = false;
+  if (!blocked_set_ && !finished_) {
+    throw SimulationError("motif '" + name() +
+                          "': step() ended without blocking or finishing");
+  }
+}
+
+void MotifEndpoint::compute_for(SimTime duration) {
+  if (blocked_set_) {
+    throw SimulationError("motif '" + name() + "': double block in step()");
+  }
+  blocked_set_ = true;
+  compute_time_->add(static_cast<double>(duration));
+  timer_->send(std::make_unique<NullEvent>(), duration);
+}
+
+void MotifEndpoint::await_messages(std::uint64_t tag, std::uint32_t count) {
+  if (blocked_set_) {
+    throw SimulationError("motif '" + name() + "': double block in step()");
+  }
+  if (count == 0) {
+    throw SimulationError("motif '" + name() + "': await of zero messages");
+  }
+  blocked_set_ = true;
+  awaiting_ = true;
+  await_tag_ = tag;
+  await_need_ = count;
+  check_await();
+}
+
+void MotifEndpoint::motif_done() {
+  if (finished_) return;
+  blocked_set_ = true;  // terminal state counts as resolved
+  finished_ = true;
+  completion_time_ = now();
+  primary_ok_to_end_sim();
+}
+
+void MotifEndpoint::check_await() {
+  if (!awaiting_) return;
+  auto it = arrived_.find(await_tag_);
+  if (it == arrived_.end() || it->second < await_need_) return;
+  it->second -= await_need_;
+  if (it->second == 0) arrived_.erase(it);
+  awaiting_ = false;
+  // Re-enter through the timer so step() always runs as a fresh event
+  // (messages can satisfy an await during step() itself).
+  timer_->send(std::make_unique<NullEvent>());
+}
+
+void MotifEndpoint::on_message(NodeId src, std::uint64_t bytes,
+                               std::uint64_t tag, SimTime /*msg_start*/) {
+  ++arrived_[tag];
+  on_motif_message(src, bytes, tag);
+  check_await();
+}
+
+// ---------------------------------------------------------------------
+// PingPong
+// ---------------------------------------------------------------------
+
+PingPongMotif::PingPongMotif(Params& params) : MotifEndpoint(params) {
+  iterations_ = params.find<std::uint32_t>("iterations", 100);
+  msg_bytes_ = params.find<std::uint64_t>("msg_bytes", 8);
+}
+
+void PingPongMotif::step() {
+  if (num_nodes() < 2 || node_id() > 1) {
+    motif_done();
+    return;
+  }
+  if (node_id() == 0) {
+    if (phase_ == 1) ++iter_;  // a pong just arrived
+    phase_ = 1;
+    if (iter_ >= iterations_) {
+      motif_done();
+      return;
+    }
+    send_message(1, msg_bytes_, 2ULL * iter_);
+    await_messages(2ULL * iter_ + 1, 1);
+  } else {
+    if (phase_ == 1) {
+      send_message(0, msg_bytes_, 2ULL * iter_ + 1);
+      ++iter_;
+    }
+    phase_ = 1;
+    if (iter_ >= iterations_) {
+      motif_done();
+      return;
+    }
+    await_messages(2ULL * iter_, 1);
+  }
+}
+
+// ---------------------------------------------------------------------
+// HaloExchange
+// ---------------------------------------------------------------------
+
+HaloExchangeMotif::HaloExchangeMotif(Params& params) : MotifEndpoint(params) {
+  px_ = params.find<std::uint32_t>("px", 2);
+  py_ = params.find<std::uint32_t>("py", 2);
+  pz_ = params.find<std::uint32_t>("pz", 1);
+  msg_bytes_ = params.find<std::uint64_t>("msg_bytes", 64 * 1024);
+  compute_ = params.find_time("compute", "10us");
+  iterations_ = params.find<std::uint32_t>("iterations", 10);
+}
+
+NodeId HaloExchangeMotif::neighbor(int dim, int dir) const {
+  return grid_neighbor(node_id(), px_, py_, pz_, dim, dir);
+}
+
+void HaloExchangeMotif::step() {
+  if (static_cast<std::uint64_t>(px_) * py_ * pz_ != num_nodes()) {
+    throw ConfigError("halo motif '" + name() + "': grid " +
+                      std::to_string(px_) + "x" + std::to_string(py_) + "x" +
+                      std::to_string(pz_) + " != " +
+                      std::to_string(num_nodes()) + " nodes");
+  }
+  for (;;) {
+    switch (phase_) {
+      case 0: {  // post halo sends
+        if (iter_ >= iterations_) {
+          motif_done();
+          return;
+        }
+        unsigned sent = 0;
+        for (int dim = 0; dim < 3; ++dim) {
+          for (int dir : {+1, -1}) {
+            const NodeId nb = neighbor(dim, dir);
+            if (nb == node_id()) continue;
+            send_message(nb, msg_bytes_, iter_);
+            ++sent;
+          }
+        }
+        phase_ = 1;
+        if (sent > 0) {
+          await_messages(iter_, sent);
+          return;
+        }
+        break;
+      }
+      case 1:  // halo complete: compute
+        phase_ = 2;
+        compute_for(compute_);
+        return;
+      default:  // iteration complete
+        ++iter_;
+        phase_ = 0;
+        break;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------
+// Allreduce
+// ---------------------------------------------------------------------
+
+AllreduceMotif::AllreduceMotif(Params& params) : MotifEndpoint(params) {
+  msg_bytes_ = params.find<std::uint64_t>("msg_bytes", 8);
+  iterations_ = params.find<std::uint32_t>("iterations", 100);
+  compute_ = params.find_time("compute", "1us");
+}
+
+void AllreduceMotif::step() {
+  if (log2_nodes_ == 0 && num_nodes() > 1) {
+    log2_nodes_ = exact_log2(num_nodes(), "allreduce motif '" + name() + "'");
+  }
+  for (;;) {
+    switch (phase_) {
+      case 0: {  // start (or continue) the butterfly
+        if (iter_ >= iterations_) {
+          motif_done();
+          return;
+        }
+        if (log2_nodes_ == 0) {  // single rank: nothing to exchange
+          phase_ = 2;
+          break;
+        }
+        const NodeId partner = node_id() ^ (1U << round_);
+        const std::uint64_t tag = iter_ * 64ULL + round_;
+        send_message(partner, msg_bytes_, tag);
+        phase_ = 1;
+        await_messages(tag, 1);
+        return;
+      }
+      case 1:  // round complete
+        if (++round_ < log2_nodes_) {
+          phase_ = 0;
+          break;
+        }
+        round_ = 0;
+        phase_ = 2;
+        break;
+      case 2:  // local work between allreduces
+        phase_ = 3;
+        compute_for(compute_);
+        return;
+      default:
+        ++iter_;
+        phase_ = 0;
+        break;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------
+// AllToAll
+// ---------------------------------------------------------------------
+
+AllToAllMotif::AllToAllMotif(Params& params) : MotifEndpoint(params) {
+  msg_bytes_ = params.find<std::uint64_t>("msg_bytes", 4096);
+  iterations_ = params.find<std::uint32_t>("iterations", 10);
+  compute_ = params.find_time("compute", "10us");
+}
+
+void AllToAllMotif::step() {
+  for (;;) {
+    switch (phase_) {
+      case 0: {
+        if (iter_ >= iterations_) {
+          motif_done();
+          return;
+        }
+        const std::uint32_t n = num_nodes();
+        phase_ = 1;
+        if (n > 1) {
+          // Rotated send order avoids every rank hammering node 0 first.
+          for (std::uint32_t k = 1; k < n; ++k) {
+            send_message((node_id() + k) % n, msg_bytes_, iter_);
+          }
+          await_messages(iter_, n - 1);
+          return;
+        }
+        break;
+      }
+      case 1:
+        phase_ = 2;
+        compute_for(compute_);
+        return;
+      default:
+        ++iter_;
+        phase_ = 0;
+        break;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------
+// Sweep (wavefront pipeline)
+// ---------------------------------------------------------------------
+
+SweepMotif::SweepMotif(Params& params) : MotifEndpoint(params) {
+  px_ = params.find<std::uint32_t>("px", 2);
+  py_ = params.find<std::uint32_t>("py", 2);
+  msg_bytes_ = params.find<std::uint64_t>("msg_bytes", 16 * 1024);
+  compute_ = params.find_time("compute", "20us");
+  sweeps_ = params.find<std::uint32_t>("sweeps", 8);
+}
+
+void SweepMotif::step() {
+  if (static_cast<std::uint64_t>(px_) * py_ != num_nodes()) {
+    throw ConfigError("sweep motif '" + name() + "': grid " +
+                      std::to_string(px_) + "x" + std::to_string(py_) +
+                      " != " + std::to_string(num_nodes()) + " nodes");
+  }
+  const std::uint32_t ix = node_id() % px_;
+  const std::uint32_t iy = node_id() / px_;
+  for (;;) {
+    switch (phase_) {
+      case 0: {  // wait for upstream wavefront inputs
+        if (sweep_ >= sweeps_) {
+          motif_done();
+          return;
+        }
+        const std::uint32_t upstream =
+            (ix > 0 ? 1u : 0u) + (iy > 0 ? 1u : 0u);
+        phase_ = 1;
+        if (upstream > 0) {
+          await_messages(sweep_, upstream);
+          return;
+        }
+        break;  // the corner rank starts immediately
+      }
+      case 1:  // local sweep work
+        phase_ = 2;
+        compute_for(compute_);
+        return;
+      default: {  // feed downstream, next sweep
+        if (ix + 1 < px_) {
+          send_message(node_id() + 1, msg_bytes_, sweep_);
+        }
+        if (iy + 1 < py_) {
+          send_message(node_id() + px_, msg_bytes_, sweep_);
+        }
+        ++sweep_;
+        phase_ = 0;
+        break;
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------
+// AppProfile
+// ---------------------------------------------------------------------
+
+AppProfileMotif::AppProfileMotif(Params& params) : MotifEndpoint(params) {
+  px_ = params.find<std::uint32_t>("px", 2);
+  py_ = params.find<std::uint32_t>("py", 2);
+  pz_ = params.find<std::uint32_t>("pz", 1);
+  compute_ = params.find_time("compute", "1ms");
+  halo_bytes_ = params.find<std::uint64_t>("halo_bytes", 0);
+  collective_bytes_ = params.find<std::uint64_t>("collective_bytes", 0);
+  collective_count_ = params.find<std::uint32_t>("collective_count", 1);
+  iterations_ = params.find<std::uint32_t>("iterations", 10);
+}
+
+NodeId AppProfileMotif::neighbor(int dim, int dir) const {
+  return grid_neighbor(node_id(), px_, py_, pz_, dim, dir);
+}
+
+void AppProfileMotif::step() {
+  if (static_cast<std::uint64_t>(px_) * py_ * pz_ != num_nodes()) {
+    throw ConfigError("app motif '" + name() + "': grid does not match " +
+                      std::to_string(num_nodes()) + " nodes");
+  }
+  if (collective_bytes_ > 0 && log2_nodes_ == 0 && num_nodes() > 1) {
+    log2_nodes_ = exact_log2(num_nodes(), "app motif '" + name() + "'");
+  }
+  const auto halo_tag = [this] { return iter_ * 1024ULL; };
+  const auto coll_tag = [this] {
+    return iter_ * 1024ULL + 1 + collective_i_ * 32ULL + round_;
+  };
+  for (;;) {
+    switch (phase_) {
+      case 0:  // timestep compute
+        if (iter_ >= iterations_) {
+          motif_done();
+          return;
+        }
+        phase_ = 1;
+        if (compute_ > 0) {
+          compute_for(compute_);
+          return;
+        }
+        break;
+      case 1: {  // halo exchange
+        phase_ = 2;
+        if (halo_bytes_ == 0) break;
+        unsigned sent = 0;
+        for (int dim = 0; dim < 3; ++dim) {
+          for (int dir : {+1, -1}) {
+            const NodeId nb = neighbor(dim, dir);
+            if (nb == node_id()) continue;
+            send_message(nb, halo_bytes_, halo_tag());
+            ++sent;
+          }
+        }
+        if (sent > 0) {
+          await_messages(halo_tag(), sent);
+          return;
+        }
+        break;
+      }
+      case 2: {  // collective rounds
+        if (collective_bytes_ == 0 || log2_nodes_ == 0 ||
+            collective_i_ >= collective_count_) {
+          collective_i_ = 0;
+          round_ = 0;
+          phase_ = 3;
+          break;
+        }
+        const NodeId partner = node_id() ^ (1U << round_);
+        send_message(partner, collective_bytes_, coll_tag());
+        phase_ = 4;
+        await_messages(coll_tag(), 1);
+        return;
+      }
+      case 4:  // collective round complete
+        if (++round_ >= log2_nodes_) {
+          round_ = 0;
+          ++collective_i_;
+        }
+        phase_ = 2;
+        break;
+      default:  // timestep complete
+        ++iter_;
+        phase_ = 0;
+        break;
+    }
+  }
+}
+
+}  // namespace sst::net

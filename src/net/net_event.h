@@ -1,0 +1,69 @@
+// Network events: packets on router links.
+//
+// Messages are segmented into MTU-sized packets at the sending endpoint
+// and reassembled at the receiver; routers never see messages, only
+// packets.
+#pragma once
+
+#include <cstdint>
+
+#include "core/event.h"
+#include "core/types.h"
+
+namespace sst::net {
+
+using NodeId = std::uint32_t;
+inline constexpr NodeId kInvalidNode = ~0U;
+
+class PacketEvent final : public Event {
+ public:
+  PacketEvent(NodeId src, NodeId dst, std::uint32_t bytes,
+              std::uint64_t msg_id, std::uint64_t msg_bytes, bool is_tail,
+              std::uint64_t tag, SimTime msg_start)
+      : src_(src),
+        dst_(dst),
+        bytes_(bytes),
+        msg_id_(msg_id),
+        msg_bytes_(msg_bytes),
+        is_tail_(is_tail),
+        tag_(tag),
+        msg_start_(msg_start) {}
+
+  [[nodiscard]] NodeId src() const { return src_; }
+  [[nodiscard]] NodeId dst() const { return dst_; }
+  /// Payload bytes carried by this packet.
+  [[nodiscard]] std::uint32_t bytes() const { return bytes_; }
+  /// Message this packet belongs to (unique per source).
+  [[nodiscard]] std::uint64_t msg_id() const { return msg_id_; }
+  /// Total bytes of the parent message.
+  [[nodiscard]] std::uint64_t msg_bytes() const { return msg_bytes_; }
+  [[nodiscard]] bool is_tail() const { return is_tail_; }
+  /// Application tag (motif iteration/phase, pattern id, ...).
+  [[nodiscard]] std::uint64_t tag() const { return tag_; }
+  /// Time the parent message entered the sender's injection queue.
+  [[nodiscard]] SimTime msg_start() const { return msg_start_; }
+
+  [[nodiscard]] std::uint32_t hops() const { return hops_; }
+  void add_hop() { ++hops_; }
+
+  /// Valiant routing: intermediate node this packet must pass through
+  /// first (kInvalidNode = route directly to dst).  Cleared by the router
+  /// serving the intermediate's node.
+  [[nodiscard]] NodeId via() const { return via_; }
+  void set_via(NodeId v) { via_ = v; }
+  void clear_via() { via_ = kInvalidNode; }
+
+ private:
+  NodeId src_;
+  NodeId dst_;
+  NodeId via_ = kInvalidNode;
+  std::uint32_t bytes_;
+  std::uint64_t msg_id_;
+  std::uint64_t msg_bytes_;
+  bool is_tail_;
+  std::uint64_t tag_;
+  SimTime msg_start_;
+  std::uint32_t hops_ = 0;
+};
+
+}  // namespace sst::net

@@ -1,0 +1,50 @@
+#include "net/net_lib.h"
+
+#include "core/factory.h"
+
+namespace sst::net {
+
+void register_library() {
+  static const bool once = [] {
+    Factory& f = Factory::instance();
+    auto reg = [&f](const std::string& type, auto maker) {
+      f.register_component(
+          type, [maker](Simulation& sim, const std::string& name,
+                        Params& p) -> Component* { return maker(sim, name, p); });
+    };
+    reg("net.Router", [](Simulation& sim, const std::string& n, Params& p) {
+      return static_cast<Component*>(sim.add_component<Router>(n, p));
+    });
+    reg("net.TrafficGenerator",
+        [](Simulation& sim, const std::string& n, Params& p) {
+          return static_cast<Component*>(
+              sim.add_component<TrafficGenerator>(n, p));
+        });
+    reg("net.PingPong", [](Simulation& sim, const std::string& n, Params& p) {
+      return static_cast<Component*>(sim.add_component<PingPongMotif>(n, p));
+    });
+    reg("net.HaloExchange",
+        [](Simulation& sim, const std::string& n, Params& p) {
+          return static_cast<Component*>(
+              sim.add_component<HaloExchangeMotif>(n, p));
+        });
+    reg("net.Allreduce", [](Simulation& sim, const std::string& n, Params& p) {
+      return static_cast<Component*>(sim.add_component<AllreduceMotif>(n, p));
+    });
+    reg("net.AllToAll", [](Simulation& sim, const std::string& n, Params& p) {
+      return static_cast<Component*>(sim.add_component<AllToAllMotif>(n, p));
+    });
+    reg("net.Sweep", [](Simulation& sim, const std::string& n, Params& p) {
+      return static_cast<Component*>(sim.add_component<SweepMotif>(n, p));
+    });
+    reg("net.AppProfile",
+        [](Simulation& sim, const std::string& n, Params& p) {
+          return static_cast<Component*>(
+              sim.add_component<AppProfileMotif>(n, p));
+        });
+    return true;
+  }();
+  (void)once;
+}
+
+}  // namespace sst::net

@@ -1,0 +1,87 @@
+#include "net/router.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace sst::net {
+
+Router::Router(Params& params) {
+  const auto nports = params.required<std::uint32_t>("ports");
+  if (nports == 0) {
+    throw ConfigError("router '" + name() + "': ports must be >= 1");
+  }
+  const double bw =
+      params.find<UnitAlgebra>("bandwidth", UnitAlgebra("10GB/s"))
+          .to_bytes_per_second();
+  bytes_per_ps_ = bw / 1e12;
+  hop_latency_ = params.find_time("hop_latency", "50ns");
+
+  ports_.reserve(nports);
+  for (std::uint32_t i = 0; i < nports; ++i) {
+    ports_.push_back(configure_link(
+        "port" + std::to_string(i),
+        [this](EventPtr ev) { handle_packet(std::move(ev)); },
+        /*optional=*/true));
+  }
+  port_busy_.assign(nports, 0);
+
+  packets_ = stat_counter("packets");
+  bytes_stat_ = stat_counter("bytes");
+  queue_delay_ = stat_accumulator("queue_delay_ps");
+}
+
+void Router::set_route_table(std::vector<std::uint8_t> table) {
+  for (const std::uint8_t p : table) {
+    if (p >= ports_.size()) {
+      throw ConfigError("router '" + name() + "': route entry " +
+                        std::to_string(p) + " out of range");
+    }
+  }
+  route_ = std::move(table);
+}
+
+void Router::set_local_nodes(std::vector<bool> local) {
+  local_nodes_ = std::move(local);
+}
+
+void Router::handle_packet(EventPtr ev) {
+  auto pkt = event_cast<PacketEvent>(std::move(ev));
+  if (route_.empty()) {
+    throw SimulationError("router '" + name() + "': no routing table");
+  }
+  if (pkt->dst() >= route_.size()) {
+    throw SimulationError("router '" + name() + "': packet for unknown node " +
+                          std::to_string(pkt->dst()));
+  }
+  // Valiant phase 1: steer toward the intermediate until its router.
+  if (pkt->via() != kInvalidNode) {
+    if (pkt->via() >= route_.size()) {
+      throw SimulationError("router '" + name() + "': bad via node");
+    }
+    if (pkt->via() < local_nodes_.size() && local_nodes_[pkt->via()]) {
+      pkt->clear_via();  // phase 2 starts here
+    }
+  }
+  const NodeId steer = pkt->via() != kInvalidNode ? pkt->via() : pkt->dst();
+  const std::uint8_t out = route_[steer];
+  Link* link = ports_[out];
+  if (!link->connected()) {
+    throw SimulationError("router '" + name() + "': route to node " +
+                          std::to_string(pkt->dst()) +
+                          " uses unconnected port " + std::to_string(out));
+  }
+
+  // Serialize on the output port.
+  const auto transmit = std::max<SimTime>(
+      1, static_cast<SimTime>(static_cast<double>(pkt->bytes()) /
+                              bytes_per_ps_));
+  const SimTime start = std::max(now() + hop_latency_, port_busy_[out]);
+  port_busy_[out] = start + transmit;
+  queue_delay_->add(static_cast<double>(start - now()));
+  packets_->add();
+  bytes_stat_->add(pkt->bytes());
+  pkt->add_hop();
+  link->send(std::move(pkt), port_busy_[out] - now());
+}
+
+}  // namespace sst::net

@@ -1,0 +1,56 @@
+// Router: output-serialized packet switch with a table-based routing
+// function.
+//
+// Each output port is a serializing resource (header processing time +
+// bytes / link bandwidth); packets queue on busy outputs, so offered-load
+// sweeps produce the classic load-latency curve with a saturation knee.
+// Routing tables are installed by the TopologyBuilder after construction
+// (deterministic minimal routing with hashed equal-cost tie-breaks).
+//
+// Ports: "port0" .. "port<P-1>" (unused ports may stay unconnected).
+//
+// Params:
+//   ports       port count                          (required)
+//   bandwidth   per-port link bandwidth             (default "10GB/s")
+//   hop_latency per-packet routing/processing time  (default "50ns")
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/component.h"
+#include "net/net_event.h"
+
+namespace sst::net {
+
+class Router final : public Component {
+ public:
+  explicit Router(Params& params);
+
+  /// route_table[node] = output port for packets destined to `node`.
+  void set_route_table(std::vector<std::uint8_t> table);
+
+  /// Marks which nodes are attached to this router (needed to terminate
+  /// the first phase of Valiant-routed packets).
+  void set_local_nodes(std::vector<bool> local);
+
+  [[nodiscard]] std::uint32_t num_ports() const {
+    return static_cast<std::uint32_t>(ports_.size());
+  }
+
+ private:
+  void handle_packet(EventPtr ev);
+
+  std::vector<Link*> ports_;
+  std::vector<SimTime> port_busy_;
+  std::vector<std::uint8_t> route_;
+  std::vector<bool> local_nodes_;
+  double bytes_per_ps_;
+  SimTime hop_latency_;
+
+  Counter* packets_;
+  Counter* bytes_stat_;
+  Accumulator* queue_delay_;
+};
+
+}  // namespace sst::net

@@ -1,0 +1,322 @@
+#include "net/topology.h"
+
+#include <algorithm>
+#include <deque>
+#include <map>
+
+#include "core/rng.h"
+
+namespace sst::net {
+
+namespace {
+
+/// Intermediate wiring description, topology-independent.
+struct Blueprint {
+  std::uint32_t num_routers = 0;
+  std::uint32_t radix = 0;  // uniform port count (max needed)
+  // (router_a, port_a) <-> (router_b, port_b)
+  struct Wire {
+    std::uint32_t ra, pa, rb, pb;
+  };
+  std::vector<Wire> wires;
+  // endpoint node i attaches to (router, port)
+  struct Attach {
+    std::uint32_t router, port;
+  };
+  std::vector<Attach> attachments;
+};
+
+Blueprint plan_mesh(const TopologySpec& s, bool wrap, bool three_d) {
+  Blueprint bp;
+  const std::uint32_t zz = three_d ? s.z : 1;
+  if (s.x == 0 || s.y == 0 || zz == 0) {
+    throw ConfigError("topology: dimensions must be >= 1");
+  }
+  bp.num_routers = s.x * s.y * zz;
+  const std::uint32_t dims = three_d ? 3 : 2;
+  bp.radix = 2 * dims + s.concentration;
+  auto rid = [&](std::uint32_t ix, std::uint32_t iy, std::uint32_t iz) {
+    return (iz * s.y + iy) * s.x + ix;
+  };
+  // Port convention: 0:+x 1:-x 2:+y 3:-y [4:+z 5:-z] then endpoints.
+  for (std::uint32_t iz = 0; iz < zz; ++iz) {
+    for (std::uint32_t iy = 0; iy < s.y; ++iy) {
+      for (std::uint32_t ix = 0; ix < s.x; ++ix) {
+        const std::uint32_t me = rid(ix, iy, iz);
+        // +x neighbour
+        if (ix + 1 < s.x) {
+          bp.wires.push_back({me, 0, rid(ix + 1, iy, iz), 1});
+        } else if (wrap && s.x > 1) {
+          bp.wires.push_back({me, 0, rid(0, iy, iz), 1});
+        }
+        if (iy + 1 < s.y) {
+          bp.wires.push_back({me, 2, rid(ix, iy + 1, iz), 3});
+        } else if (wrap && s.y > 1) {
+          bp.wires.push_back({me, 2, rid(ix, 0, iz), 3});
+        }
+        if (three_d) {
+          if (iz + 1 < zz) {
+            bp.wires.push_back({me, 4, rid(ix, iy, iz + 1), 5});
+          } else if (wrap && zz > 1) {
+            bp.wires.push_back({me, 4, rid(ix, iy, 0), 5});
+          }
+        }
+      }
+    }
+  }
+  const std::uint32_t ep_base = 2 * dims;
+  for (std::uint32_t r = 0; r < bp.num_routers; ++r) {
+    for (std::uint32_t c = 0; c < s.concentration; ++c) {
+      bp.attachments.push_back({r, ep_base + c});
+    }
+  }
+  return bp;
+}
+
+Blueprint plan_fattree(const TopologySpec& s) {
+  Blueprint bp;
+  if (s.leaves == 0 || s.spines == 0 || s.down == 0) {
+    throw ConfigError("fat tree: leaves, spines, down must be >= 1");
+  }
+  bp.num_routers = s.leaves + s.spines;
+  bp.radix = std::max(s.down + s.spines, s.leaves);
+  // Routers 0..leaves-1 are leaves; leaves..leaves+spines-1 are spines.
+  // Leaf ports: 0..down-1 endpoints, down..down+spines-1 up-links.
+  // Spine j port l connects to leaf l.
+  for (std::uint32_t l = 0; l < s.leaves; ++l) {
+    for (std::uint32_t j = 0; j < s.spines; ++j) {
+      bp.wires.push_back({l, s.down + j, s.leaves + j, l});
+    }
+    for (std::uint32_t c = 0; c < s.down; ++c) {
+      bp.attachments.push_back({l, c});
+    }
+  }
+  return bp;
+}
+
+Blueprint plan_dragonfly(const TopologySpec& s) {
+  Blueprint bp;
+  const std::uint32_t g = s.groups;
+  const std::uint32_t a = s.group_routers;
+  const std::uint32_t h = s.global_per_router;
+  const std::uint32_t c = s.group_conc;
+  if (g < 2 || a == 0 || h == 0 || c == 0) {
+    throw ConfigError("dragonfly: need groups >= 2, routers/conc/global >= 1");
+  }
+  if (a * h != g - 1) {
+    throw ConfigError(
+        "dragonfly: requires group_routers * global_per_router == groups-1 "
+        "(balanced palm-tree wiring), got " +
+        std::to_string(a) + "*" + std::to_string(h) +
+        " != " + std::to_string(g - 1));
+  }
+  bp.num_routers = g * a;
+  // Ports per router: (a-1) local + h global + c endpoints.
+  bp.radix = (a - 1) + h + c;
+  auto rid = [&](std::uint32_t grp, std::uint32_t r) { return grp * a + r; };
+  // Local all-to-all inside each group.  Port convention on router r:
+  // local ports 0..a-2 connect to the other routers in index order.
+  auto local_port = [&](std::uint32_t me, std::uint32_t other) {
+    return other < me ? other : other - 1;
+  };
+  for (std::uint32_t grp = 0; grp < g; ++grp) {
+    for (std::uint32_t r1 = 0; r1 < a; ++r1) {
+      for (std::uint32_t r2 = r1 + 1; r2 < a; ++r2) {
+        bp.wires.push_back({rid(grp, r1), local_port(r1, r2), rid(grp, r2),
+                            local_port(r2, r1)});
+      }
+    }
+  }
+  // Palm-tree global wiring: group G's global index j (0..g-2) — carried
+  // by router j/h on its global port j%h — connects to group (G+j+1)%g,
+  // which sees the same cable as its global index g-2-j.
+  for (std::uint32_t grp = 0; grp < g; ++grp) {
+    for (std::uint32_t j = 0; j + 1 < g; ++j) {
+      const std::uint32_t target = (grp + j + 1) % g;
+      if (target < grp) continue;  // add each cable once
+      const std::uint32_t jt = g - 2 - j;
+      bp.wires.push_back({rid(grp, j / h), (a - 1) + j % h,
+                          rid(target, jt / h), (a - 1) + jt % h});
+    }
+  }
+  const std::uint32_t ep_base = (a - 1) + h;
+  for (std::uint32_t r = 0; r < bp.num_routers; ++r) {
+    for (std::uint32_t e = 0; e < c; ++e) {
+      bp.attachments.push_back({r, ep_base + e});
+    }
+  }
+  return bp;
+}
+
+Blueprint plan(const TopologySpec& s) {
+  switch (s.kind) {
+    case TopologySpec::Kind::kMesh2D:
+      return plan_mesh(s, /*wrap=*/false, /*three_d=*/false);
+    case TopologySpec::Kind::kTorus2D:
+      return plan_mesh(s, /*wrap=*/true, /*three_d=*/false);
+    case TopologySpec::Kind::kTorus3D:
+      return plan_mesh(s, /*wrap=*/true, /*three_d=*/true);
+    case TopologySpec::Kind::kFatTree:
+      return plan_fattree(s);
+    case TopologySpec::Kind::kDragonfly:
+      return plan_dragonfly(s);
+  }
+  throw ConfigError("topology: unknown kind");
+}
+
+std::uint64_t route_hash(std::uint32_t router, std::uint32_t node,
+                         std::uint64_t seed) {
+  rng::SplitMix64 h(seed ^ (static_cast<std::uint64_t>(router) << 32) ^
+                    node);
+  return h.next();
+}
+
+}  // namespace
+
+std::uint32_t TopologySpec::expected_nodes() const {
+  switch (kind) {
+    case Kind::kMesh2D:
+    case Kind::kTorus2D:
+      return x * y * concentration;
+    case Kind::kTorus3D:
+      return x * y * z * concentration;
+    case Kind::kFatTree:
+      return leaves * down;
+    case Kind::kDragonfly:
+      return groups * group_routers * group_conc;
+  }
+  return 0;
+}
+
+Topology build_topology(Simulation& sim, const TopologySpec& spec,
+                        const std::vector<NetEndpoint*>& endpoints) {
+  const Blueprint bp = plan(spec);
+  if (endpoints.size() != bp.attachments.size()) {
+    throw ConfigError("topology expects " +
+                      std::to_string(bp.attachments.size()) +
+                      " endpoints, got " + std::to_string(endpoints.size()));
+  }
+  const auto num_nodes = static_cast<std::uint32_t>(endpoints.size());
+  const SimTime link_latency = UnitAlgebra(spec.link_latency).to_simtime();
+
+  // Create routers.
+  Topology topo;
+  topo.num_nodes = num_nodes;
+  topo.routers.reserve(bp.num_routers);
+  for (std::uint32_t r = 0; r < bp.num_routers; ++r) {
+    Params p;
+    p.set("ports", std::to_string(bp.radix));
+    p.set("bandwidth", spec.link_bandwidth);
+    p.set("hop_latency", spec.hop_latency);
+    topo.routers.push_back(sim.add_component<Router>(
+        spec.name_prefix + std::to_string(r), p));
+  }
+
+  // Wire router <-> router and router <-> endpoint links.
+  auto port_name = [](std::uint32_t p) { return "port" + std::to_string(p); };
+  for (const auto& w : bp.wires) {
+    sim.connect(topo.routers[w.ra]->name(), port_name(w.pa),
+                topo.routers[w.rb]->name(), port_name(w.pb), link_latency);
+  }
+  for (std::uint32_t n = 0; n < num_nodes; ++n) {
+    const auto& at = bp.attachments[n];
+    sim.connect(endpoints[n]->name(), "net", topo.routers[at.router]->name(),
+                port_name(at.port), link_latency);
+    endpoints[n]->set_node_id(n);
+    endpoints[n]->set_num_nodes(num_nodes);
+    endpoints[n]->set_valiant(spec.routing ==
+                              TopologySpec::Routing::kValiant);
+  }
+
+  // Per-router local-node sets (terminates Valiant phase 1).
+  {
+    std::vector<std::vector<bool>> local(
+        bp.num_routers, std::vector<bool>(num_nodes, false));
+    for (std::uint32_t n = 0; n < num_nodes; ++n) {
+      local[bp.attachments[n].router][n] = true;
+    }
+    for (std::uint32_t r = 0; r < bp.num_routers; ++r) {
+      topo.routers[r]->set_local_nodes(std::move(local[r]));
+    }
+  }
+
+  // Router adjacency for BFS: adjacency[r] = list of (port, neighbour).
+  std::vector<std::vector<std::pair<std::uint32_t, std::uint32_t>>> adjacency(
+      bp.num_routers);
+  for (const auto& w : bp.wires) {
+    adjacency[w.ra].emplace_back(w.pa, w.rb);
+    adjacency[w.rb].emplace_back(w.pb, w.ra);
+  }
+  for (auto& adj : adjacency) std::sort(adj.begin(), adj.end());
+
+  // Per-destination-router BFS distances.
+  std::vector<std::uint32_t> router_of_node(num_nodes);
+  for (std::uint32_t n = 0; n < num_nodes; ++n) {
+    router_of_node[n] = bp.attachments[n].router;
+  }
+  constexpr std::uint32_t kInf = ~0U;
+  std::vector<std::vector<std::uint32_t>> dist(
+      bp.num_routers, std::vector<std::uint32_t>(bp.num_routers, kInf));
+  for (std::uint32_t d = 0; d < bp.num_routers; ++d) {
+    auto& dd = dist[d];
+    dd[d] = 0;
+    std::deque<std::uint32_t> frontier{d};
+    while (!frontier.empty()) {
+      const std::uint32_t v = frontier.front();
+      frontier.pop_front();
+      for (const auto& [port, nbr] : adjacency[v]) {
+        (void)port;
+        if (dd[nbr] == kInf) {
+          dd[nbr] = dd[v] + 1;
+          frontier.push_back(nbr);
+        }
+      }
+    }
+  }
+
+  // Routing tables: route[node] on router r.
+  for (std::uint32_t r = 0; r < bp.num_routers; ++r) {
+    std::vector<std::uint8_t> table(num_nodes, 0);
+    for (std::uint32_t n = 0; n < num_nodes; ++n) {
+      const std::uint32_t dr = router_of_node[n];
+      if (dr == r) {
+        table[n] = static_cast<std::uint8_t>(bp.attachments[n].port);
+        continue;
+      }
+      if (dist[dr][r] == kInf) {
+        throw ConfigError("topology: router graph is disconnected");
+      }
+      // Minimal next hops; hashed equal-cost selection.
+      std::vector<std::uint32_t> candidates;
+      for (const auto& [port, nbr] : adjacency[r]) {
+        if (dist[dr][nbr] + 1 == dist[dr][r]) candidates.push_back(port);
+      }
+      if (candidates.empty()) {
+        throw ConfigError("topology: no minimal route (internal error)");
+      }
+      const std::uint64_t pick = route_hash(r, n, spec.seed);
+      table[n] = static_cast<std::uint8_t>(
+          candidates[pick % candidates.size()]);
+    }
+    topo.routers[r]->set_route_table(std::move(table));
+  }
+
+  // Diameter / average hops over node pairs (router part only).
+  std::uint64_t hop_sum = 0;
+  std::uint64_t pairs = 0;
+  for (std::uint32_t i = 0; i < num_nodes; ++i) {
+    for (std::uint32_t j = 0; j < num_nodes; ++j) {
+      if (i == j) continue;
+      const std::uint32_t hops = dist[router_of_node[j]][router_of_node[i]];
+      topo.diameter = std::max(topo.diameter, hops);
+      hop_sum += hops;
+      ++pairs;
+    }
+  }
+  topo.avg_hops =
+      pairs > 0 ? static_cast<double>(hop_sum) / static_cast<double>(pairs)
+                : 0.0;
+  return topo;
+}
+
+}  // namespace sst::net

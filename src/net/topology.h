@@ -1,0 +1,75 @@
+// Topology builders: instantiate routers, wire them to each other and to
+// caller-provided endpoints, and install minimal routing tables.
+//
+// Supported topologies:
+//   kMesh2D    x*y routers, no wraparound
+//   kTorus2D   x*y routers with wraparound
+//   kTorus3D   x*y*z routers with wraparound
+//   kFatTree   two-level: `leaves` leaf switches (each `down` endpoints,
+//              one up-link per spine) and `spines` spine switches
+//   kDragonfly `groups` groups of `group_routers` fully-connected routers,
+//              palm-tree global wiring (requires
+//              group_routers * global_per_router == groups - 1)
+//
+// Routing: per-destination BFS shortest paths; equal-cost choices are
+// broken by a deterministic hash of (router, destination node, seed), so
+// fat-tree up-links and torus quadrants load-balance without adaptivity.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/simulation.h"
+#include "net/endpoint.h"
+#include "net/router.h"
+
+namespace sst::net {
+
+struct TopologySpec {
+  enum class Kind { kMesh2D, kTorus2D, kTorus3D, kFatTree, kDragonfly };
+  enum class Routing { kMinimal, kValiant };
+  Kind kind = Kind::kTorus2D;
+  /// kMinimal: hashed-ECMP shortest paths.  kValiant: every message is
+  /// routed minimally to a random intermediate node and then minimally to
+  /// its destination (adversarial-pattern immunity at 2x path length).
+  Routing routing = Routing::kMinimal;
+
+  // Mesh / torus.
+  std::uint32_t x = 4, y = 4, z = 1;
+  std::uint32_t concentration = 1;  // endpoints per router
+
+  // Fat tree.
+  std::uint32_t leaves = 4, spines = 2, down = 4;
+
+  // Dragonfly.
+  std::uint32_t groups = 5, group_routers = 2, group_conc = 1,
+                global_per_router = 2;
+
+  std::string link_bandwidth = "10GB/s";
+  std::string link_latency = "20ns";
+  std::string hop_latency = "50ns";
+  std::uint64_t seed = 1;
+  std::string name_prefix = "rtr";
+
+  /// Endpoints this topology expects (must match the endpoint list given
+  /// to build_topology).
+  [[nodiscard]] std::uint32_t expected_nodes() const;
+};
+
+struct Topology {
+  std::uint32_t num_nodes = 0;
+  std::vector<Router*> routers;
+  /// Network diameter in router hops (max over node pairs).
+  std::uint32_t diameter = 0;
+  /// Average shortest-path router hops over all node pairs.
+  double avg_hops = 0.0;
+};
+
+/// Builds the topology into `sim`.  `endpoints` must contain exactly
+/// spec.expected_nodes() endpoints, each with an unconnected "net" port;
+/// they are assigned node ids 0..N-1 in order.
+Topology build_topology(Simulation& sim, const TopologySpec& spec,
+                        const std::vector<NetEndpoint*>& endpoints);
+
+}  // namespace sst::net

@@ -1,0 +1,108 @@
+#include "net/traffic.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace sst::net {
+
+TrafficGenerator::TrafficGenerator(Params& params) : NetEndpoint(params) {
+  const std::string pat = params.find("pattern", "uniform");
+  if (pat == "uniform") {
+    pattern_ = Pattern::kUniform;
+  } else if (pat == "transpose") {
+    pattern_ = Pattern::kTranspose;
+  } else if (pat == "neighbor") {
+    pattern_ = Pattern::kNeighbor;
+  } else if (pat == "hotspot") {
+    pattern_ = Pattern::kHotspot;
+  } else if (pat == "tornado") {
+    pattern_ = Pattern::kTornado;
+  } else {
+    throw ConfigError("traffic '" + name() + "': unknown pattern '" + pat +
+                      "'");
+  }
+  msg_bytes_ = params.find<std::uint64_t>("msg_bytes", 512);
+  load_ = params.find<double>("load", 0.1);
+  if (load_ <= 0.0 || load_ > 1.5) {
+    throw ConfigError("traffic '" + name() + "': load must be in (0, 1.5]");
+  }
+  inj_bw_bytes_per_ps_ =
+      params.find<UnitAlgebra>("injection_bw", UnitAlgebra("3.2GB/s"))
+          .to_bytes_per_second() /
+      1e12;
+  warmup_ = params.find_time("warmup", "5us");
+  hotspot_fraction_ = params.find<double>("hotspot_fraction", 0.2);
+  tornado_stride_ = params.find<std::uint32_t>("tornado_stride", 3);
+
+  timer_ = configure_self_link("gen", 1,
+                               [this](EventPtr) { generate(); });
+
+  measured_latency_ = stat_accumulator("measured_latency_ps");
+  delivered_bytes_ = stat_counter("delivered_bytes");
+}
+
+void TrafficGenerator::setup() {
+  // Desynchronize sources a little so cold-start bursts don't align.
+  timer_->send(std::make_unique<NullEvent>(), next_gap() / 4);
+}
+
+SimTime TrafficGenerator::next_gap() {
+  // Offered load: msg_bytes / gap = load * injection_bw.
+  const double mean_ps = static_cast<double>(msg_bytes_) /
+                         (load_ * inj_bw_bytes_per_ps_);
+  const double gap = rng::exponential(rng(), mean_ps);
+  return std::max<SimTime>(1, static_cast<SimTime>(gap));
+}
+
+NodeId TrafficGenerator::pick_destination() {
+  const std::uint32_t n = num_nodes();
+  if (n < 2) {
+    throw SimulationError("traffic '" + name() + "': need >= 2 nodes");
+  }
+  switch (pattern_) {
+    case Pattern::kUniform: {
+      NodeId d;
+      do {
+        d = static_cast<NodeId>(rng().next_bounded(n));
+      } while (d == node_id());
+      return d;
+    }
+    case Pattern::kTranspose: {
+      const NodeId d = (node_id() + n / 2) % n;
+      return d == node_id() ? (d + 1) % n : d;
+    }
+    case Pattern::kNeighbor:
+      return (node_id() + 1) % n;
+    case Pattern::kHotspot: {
+      if (node_id() != 0 &&
+          rng().next_double() < hotspot_fraction_) {
+        return 0;
+      }
+      NodeId d;
+      do {
+        d = static_cast<NodeId>(rng().next_bounded(n));
+      } while (d == node_id());
+      return d;
+    }
+    case Pattern::kTornado: {
+      const NodeId d = (node_id() + tornado_stride_) % n;
+      return d == node_id() ? (d + 1) % n : d;
+    }
+  }
+  return 0;
+}
+
+void TrafficGenerator::generate() {
+  send_message(pick_destination(), msg_bytes_, /*tag=*/0);
+  timer_->send(std::make_unique<NullEvent>(), next_gap());
+}
+
+void TrafficGenerator::on_message(NodeId /*src*/, std::uint64_t bytes,
+                                  std::uint64_t /*tag*/, SimTime msg_start) {
+  if (msg_start >= warmup_) {
+    measured_latency_->add(static_cast<double>(now() - msg_start));
+    delivered_bytes_->add(bytes);
+  }
+}
+
+}  // namespace sst::net

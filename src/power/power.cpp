@@ -1,0 +1,106 @@
+#include "power/power.h"
+
+#include <cmath>
+
+namespace sst::power {
+
+CorePowerModel::CorePowerModel(Config cfg) : cfg_(cfg) {
+  if (cfg_.issue_width == 0) {
+    throw ConfigError("CorePowerModel: issue_width must be >= 1");
+  }
+  const double w = static_cast<double>(cfg_.issue_width);
+  // Per-op energy: the register-file (and bypass network) share scales as
+  // w^(exponent-1) per access because ports grow with width; the rest of
+  // the op energy is width-independent.
+  const double regfile_scale = std::pow(w, cfg_.regfile_exponent - 1.0);
+  energy_per_op_pj_ =
+      cfg_.base_energy_pj *
+      ((1.0 - cfg_.regfile_share) + cfg_.regfile_share * regfile_scale);
+  // Leakage follows area.
+  const double area_scale = std::pow(w, cfg_.area_exponent);
+  leakage_w_ = cfg_.base_leakage_w * area_scale;
+  area_mm2_ = 6.0 * area_scale;  // 6 mm^2 single-issue core (45nm-class)
+}
+
+double CorePowerModel::energy_j(std::uint64_t instructions,
+                                double seconds) const {
+  const double dynamic = static_cast<double>(instructions) *
+                         energy_per_op_pj_ * 1e-12;
+  return dynamic + leakage_w_ * seconds;
+}
+
+double CorePowerModel::average_power_w(std::uint64_t instructions,
+                                       double seconds) const {
+  if (seconds <= 0) return 0.0;
+  return energy_j(instructions, seconds) / seconds;
+}
+
+SramPowerModel::SramPowerModel(std::uint64_t capacity_bytes) {
+  if (capacity_bytes == 0) {
+    throw ConfigError("SramPowerModel: capacity must be > 0");
+  }
+  const double mb = static_cast<double>(capacity_bytes) / (1024.0 * 1024.0);
+  // CACTI-flavoured fits: access energy ~ sqrt(capacity), leakage and area
+  // linear in capacity.
+  energy_per_access_pj_ = 20.0 * std::sqrt(mb) + 5.0;
+  leakage_w_ = 0.15 * mb;
+  area_mm2_ = 2.0 * mb;
+}
+
+double SramPowerModel::energy_j(std::uint64_t accesses,
+                                double seconds) const {
+  return static_cast<double>(accesses) * energy_per_access_pj_ * 1e-12 +
+         leakage_w_ * seconds;
+}
+
+double SramPowerModel::average_power_w(std::uint64_t accesses,
+                                       double seconds) const {
+  if (seconds <= 0) return 0.0;
+  return energy_j(accesses, seconds) / seconds;
+}
+
+double DramPowerModel::energy_j(std::uint64_t line_accesses,
+                                double seconds) const {
+  return static_cast<double>(line_accesses) * params_.energy_per_access_nj *
+             1e-9 +
+         params_.background_power_w * seconds;
+}
+
+double DramPowerModel::average_power_w(std::uint64_t line_accesses,
+                                       double seconds) const {
+  if (seconds <= 0) return 0.0;
+  return energy_j(line_accesses, seconds) / seconds;
+}
+
+double CostModel::dies_per_wafer(double die_area_mm2) const {
+  if (die_area_mm2 <= 0) throw ConfigError("CostModel: area must be > 0");
+  const double r = cfg_.wafer_diameter_mm / 2.0;
+  const double wafer_area = M_PI * r * r;
+  const double edge = std::sqrt(die_area_mm2);
+  // Standard gross-die formula: area term minus edge-loss term.
+  const double gross =
+      wafer_area / die_area_mm2 - M_PI * cfg_.wafer_diameter_mm /
+                                      std::sqrt(2.0 * die_area_mm2) * 0.5;
+  (void)edge;
+  return gross > 1.0 ? gross : 1.0;
+}
+
+double CostModel::yield(double die_area_mm2) const {
+  const double area_cm2 = die_area_mm2 / 100.0;
+  const double d = cfg_.defect_density_per_cm2;
+  const double a = cfg_.yield_alpha;
+  return std::pow(1.0 + d * area_cm2 / a, -a);
+}
+
+double CostModel::die_cost_usd(double die_area_mm2) const {
+  return cfg_.wafer_cost_usd / (dies_per_wafer(die_area_mm2) *
+                                yield(die_area_mm2));
+}
+
+double CostModel::memory_cost_usd(const mem::DramTimingParams& params,
+                                  double capacity_gb) {
+  if (capacity_gb <= 0) throw ConfigError("CostModel: capacity must be > 0");
+  return params.cost_per_gb_usd * capacity_gb;
+}
+
+}  // namespace sst::power

@@ -1,0 +1,154 @@
+// Technology models: power, energy, area, and cost estimators attached to
+// architectural components (the McPAT / DRAM-power / IC-Knowledge analogue
+// layer of the toolkit).
+//
+// These are closed-form models, not circuit simulators: the design-space
+// studies need *relative* orderings (perf/W, perf/$) across memory
+// technologies and issue widths, which these capture with published
+// scaling exponents — e.g. register-file energy per access grows
+// ~O(w^1.8) with issue width w (Zyuban), chip cost grows super-linearly
+// with area through wafer yield.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "core/types.h"
+#include "mem/dram.h"
+
+namespace sst::power {
+
+/// Dynamic + leakage power of one core as a function of issue width.
+class CorePowerModel {
+ public:
+  struct Config {
+    unsigned issue_width = 2;
+    double frequency_ghz = 2.0;
+    // Calibration constants (45nm-class defaults).  Chosen so that at
+    // equal work an 8-wide core draws roughly 2-3.5x the power of a
+    // 1-wide core — the regime the published issue-width study reports
+    // ("~123% more power" for ~1.8x speedup).
+    double base_energy_pj = 500.0;    // per issued op at w=1
+    double regfile_exponent = 1.8;    // regfile energy/access ~ w^1.8
+    double regfile_share = 0.10;      // regfile fraction of op energy @ w=1
+    double base_leakage_w = 0.4;      // leakage at w=1
+    double area_exponent = 0.85;      // whole-core area ~ w^0.85
+  };
+
+  explicit CorePowerModel(Config cfg);
+
+  /// Energy of one issued operation (pJ), including width-scaled
+  /// register-file cost.
+  [[nodiscard]] double energy_per_op_pj() const { return energy_per_op_pj_; }
+
+  /// Leakage power (W) — scales with core area.
+  [[nodiscard]] double leakage_w() const { return leakage_w_; }
+
+  /// Average power over a run: instructions issued in `seconds`.
+  [[nodiscard]] double average_power_w(std::uint64_t instructions,
+                                       double seconds) const;
+
+  /// Total energy of a run (J).
+  [[nodiscard]] double energy_j(std::uint64_t instructions,
+                                double seconds) const;
+
+  /// Core area in mm^2 (feeds the cost model).
+  [[nodiscard]] double area_mm2() const { return area_mm2_; }
+
+  [[nodiscard]] const Config& config() const { return cfg_; }
+
+ private:
+  Config cfg_;
+  double energy_per_op_pj_;
+  double leakage_w_;
+  double area_mm2_;
+};
+
+/// SRAM (cache) energy: per-access energy and leakage scale with capacity.
+class SramPowerModel {
+ public:
+  explicit SramPowerModel(std::uint64_t capacity_bytes);
+
+  [[nodiscard]] double energy_per_access_pj() const {
+    return energy_per_access_pj_;
+  }
+  [[nodiscard]] double leakage_w() const { return leakage_w_; }
+  [[nodiscard]] double area_mm2() const { return area_mm2_; }
+
+  [[nodiscard]] double average_power_w(std::uint64_t accesses,
+                                       double seconds) const;
+  [[nodiscard]] double energy_j(std::uint64_t accesses,
+                                double seconds) const;
+
+ private:
+  double energy_per_access_pj_;
+  double leakage_w_;
+  double area_mm2_;
+};
+
+/// DRAM power from the timing preset's energy constants.
+class DramPowerModel {
+ public:
+  explicit DramPowerModel(const mem::DramTimingParams& params)
+      : params_(params) {}
+
+  [[nodiscard]] double average_power_w(std::uint64_t line_accesses,
+                                       double seconds) const;
+  [[nodiscard]] double energy_j(std::uint64_t line_accesses,
+                                double seconds) const;
+
+ private:
+  mem::DramTimingParams params_;
+};
+
+/// Wafer-yield chip cost (IC-Knowledge-style negative-binomial yield).
+class CostModel {
+ public:
+  struct Config {
+    double wafer_cost_usd = 4000.0;
+    double wafer_diameter_mm = 300.0;
+    double defect_density_per_cm2 = 0.25;
+    double yield_alpha = 2.0;  // defect clustering parameter
+  };
+
+  CostModel() : cfg_(Config{}) {}
+  explicit CostModel(Config cfg) : cfg_(cfg) {}
+
+  /// Gross dies per wafer for a (square) die of the given area.
+  [[nodiscard]] double dies_per_wafer(double die_area_mm2) const;
+
+  /// Negative-binomial die yield in (0, 1].
+  [[nodiscard]] double yield(double die_area_mm2) const;
+
+  /// Manufacturing cost of one good die.
+  [[nodiscard]] double die_cost_usd(double die_area_mm2) const;
+
+  /// Cost of a memory subsystem of the given capacity and technology.
+  [[nodiscard]] static double memory_cost_usd(
+      const mem::DramTimingParams& params, double capacity_gb);
+
+ private:
+  Config cfg_;
+};
+
+/// One row of a design-space evaluation: performance + power + cost rolled
+/// into the figures of merit the studies report.
+struct DesignPoint {
+  std::string label;
+  double runtime_s = 0.0;
+  double power_w = 0.0;
+  double cost_usd = 0.0;
+
+  [[nodiscard]] double performance() const {
+    return runtime_s > 0 ? 1.0 / runtime_s : 0.0;
+  }
+  [[nodiscard]] double perf_per_watt() const {
+    return power_w > 0 ? performance() / power_w : 0.0;
+  }
+  [[nodiscard]] double perf_per_dollar() const {
+    return cost_usd > 0 ? performance() / cost_usd : 0.0;
+  }
+  [[nodiscard]] double energy_j() const { return power_w * runtime_s; }
+};
+
+}  // namespace sst::power

@@ -1,0 +1,100 @@
+// Abstract sequential-issue core model (SST "genericProc" class).
+//
+// The model consumes a Workload op stream, issuing up to `issue_width`
+// ops per clock with three structural limits:
+//   * bounded outstanding loads (memory-level parallelism),
+//   * bounded outstanding stores (write buffer),
+//   * `depends_on_loads` ops wait for all outstanding loads (address
+//     dependence: pointer chasing / gather chains).
+// Loads and stores go out the "mem" port as MemEvents (split at cache-line
+// boundaries); everything else costs only issue slots.  This is exactly
+// the fidelity the design-space studies need: performance responds to
+// issue width, cache behaviour, memory latency, and memory bandwidth.
+//
+// The core sleeps (unregisters its clock) whenever a cycle makes no
+// progress and work is blocked on memory, and wakes on the next response —
+// simulated time is unaffected, wall-clock time drops sharply for
+// memory-bound codes.
+//
+// Ports:
+//   "mem" — to the first cache level (or directly to a controller)
+//
+// Params:
+//   clock        core frequency                  (default "2GHz")
+//   issue_width  ops issued per cycle            (default 2)
+//   max_loads    outstanding load limit          (default 8)
+//   max_stores   outstanding store limit         (default 8)
+//   line_split   split memory ops at this stride (default 64)
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+
+#include "core/component.h"
+#include "mem/mem_event.h"
+#include "proc/workload.h"
+
+namespace sst::proc {
+
+class Core final : public Component {
+ public:
+  explicit Core(Params& params);
+
+  /// Attaches the op stream.  Must be called before the simulation runs.
+  void set_workload(WorkloadPtr workload);
+
+  void setup() override;
+  void finish() override;
+
+  [[nodiscard]] bool done() const { return completed_; }
+  /// Simulated completion time (valid once done()).
+  [[nodiscard]] SimTime completion_time() const { return completion_time_; }
+  [[nodiscard]] std::uint64_t instructions() const {
+    return instructions_->count();
+  }
+  [[nodiscard]] SimTime clock_period() const { return period_; }
+  [[nodiscard]] unsigned issue_width() const { return issue_width_; }
+
+ private:
+  bool tick(Cycle cycle);
+  void handle_mem(EventPtr ev);
+  void activate_clock();
+  /// Attempts to issue `op`; returns false when structurally blocked.
+  bool try_issue(const Op& op);
+  void send_mem(mem::MemCmd cmd, Addr addr, std::uint32_t size);
+  void complete_if_drained();
+
+  Link* mem_link_;
+  WorkloadPtr workload_;
+
+  SimTime period_;
+  unsigned issue_width_;
+  unsigned max_loads_;
+  unsigned max_stores_;
+  std::uint32_t line_split_;
+
+  std::optional<Op> pending_;
+  bool stream_done_ = false;
+  bool completed_ = false;
+  bool clock_active_ = false;
+  SimTime completion_time_ = 0;
+
+  unsigned outstanding_loads_ = 0;
+  unsigned outstanding_stores_ = 0;
+  std::uint64_t next_req_id_ = 1;
+  std::map<std::uint64_t, bool> in_flight_;  // req_id -> is_load
+
+  Counter* instructions_;
+  Counter* flops_;
+  Counter* loads_;
+  Counter* stores_;
+  Counter* mem_bytes_;
+  Counter* busy_cycles_;
+  Counter* stall_cycles_;
+  Counter* sleeps_;
+  Accumulator* load_latency_;
+  std::map<std::uint64_t, SimTime> issue_time_;
+};
+
+}  // namespace sst::proc

@@ -1,0 +1,339 @@
+#include "proc/kernels.h"
+
+#include <algorithm>
+
+namespace sst::proc {
+
+namespace {
+// Distinct non-overlapping virtual address regions for kernel arrays.
+// Regions are staggered by 24 KiB so that parallel streams do not land on
+// identical DRAM bank indices (power-of-two region spacing alone would
+// alias every stream into one bank — a pathology real allocators avoid).
+constexpr Addr kRegion = 1ULL << 32;
+constexpr Addr region(unsigned i) { return (i + 1) * kRegion + i * 24576; }
+}  // namespace
+
+bool BufferedWorkload::next(Op& op) {
+  while (pos_ >= buffer_.size()) {
+    buffer_.clear();
+    pos_ = 0;
+    if (!refill()) return false;
+  }
+  op = buffer_[pos_++];
+  return true;
+}
+
+// ---------------------------------------------------------------------
+// StreamTriad
+// ---------------------------------------------------------------------
+
+StreamTriad::StreamTriad(std::uint64_t elements, unsigned iterations)
+    : elements_(elements),
+      iterations_(iterations),
+      a_base_(region(0)),
+      b_base_(region(1)),
+      c_base_(region(2)) {
+  if (elements == 0 || iterations == 0) {
+    throw ConfigError("StreamTriad: elements and iterations must be >= 1");
+  }
+}
+
+bool StreamTriad::refill() {
+  if (iter_ >= iterations_) return false;
+  // One element per unit: a[i] = b[i] + s * c[i]
+  const Addr off = i_ * 8;
+  emit_load(b_base_ + off);
+  emit_load(c_base_ + off);
+  emit_flops(2);  // multiply + add
+  emit_store(a_base_ + off);
+  emit_branch();  // loop back-edge
+  if (++i_ >= elements_) {
+    i_ = 0;
+    ++iter_;
+  }
+  return true;
+}
+
+// ---------------------------------------------------------------------
+// Hpccg
+// ---------------------------------------------------------------------
+
+Hpccg::Hpccg(std::uint32_t nx, std::uint32_t ny, std::uint32_t nz,
+             unsigned iterations)
+    : nx_(nx),
+      ny_(ny),
+      nz_(nz),
+      iterations_(iterations),
+      rows_(static_cast<std::uint64_t>(nx) * ny * nz),
+      matval_base_(region(0)),
+      colidx_base_(region(1)),
+      x_base_(region(2)),
+      y_base_(region(3)),
+      r_base_(region(4)),
+      p_base_(region(5)) {
+  if (rows_ == 0 || iterations == 0) {
+    throw ConfigError("Hpccg: grid and iterations must be non-empty");
+  }
+}
+
+std::uint64_t Hpccg::total_flops() const {
+  // SpMV: 2 flops per nonzero (27 per row); dot: 2 per element;
+  // two axpys: 2 per element each.
+  return iterations_ * rows_ * (27 * 2 + 2 + 2 + 2);
+}
+
+void Hpccg::emit_spmv_row(std::uint64_t row) {
+  // 27-point banded structure: neighbours at +/-1, +/-nx, +/-nx*ny and
+  // combinations.  Matrix values and column indices stream sequentially
+  // with SSE-width (16 B) vector loads, as the compiled kernel does; the
+  // x-vector gather is scalar and lands near x[row] (banded locality).
+  const std::int64_t n = static_cast<std::int64_t>(rows_);
+  const Addr val_off = row * 27 * 8;
+  const Addr idx_off = row * 27 * 4;
+  for (unsigned b = 0; b < (27 * 8 + 15) / 16; ++b) {
+    emit_load(matval_base_ + val_off + b * 16, 16);  // A.values, 2 at a time
+  }
+  for (unsigned b = 0; b < (27 * 4 + 15) / 16; ++b) {
+    emit_load(colidx_base_ + idx_off + b * 16, 16);  // A.colidx, 4 at a time
+  }
+  unsigned k = 0;
+  for (int dz = -1; dz <= 1; ++dz) {
+    for (int dy = -1; dy <= 1; ++dy) {
+      for (int dx = -1; dx <= 1; ++dx, ++k) {
+        std::int64_t col = static_cast<std::int64_t>(row) + dx +
+                           static_cast<std::int64_t>(dy) * nx_ +
+                           static_cast<std::int64_t>(dz) * nx_ * ny_;
+        col = std::clamp<std::int64_t>(col, 0, n - 1);
+        emit_load(x_base_ + static_cast<Addr>(col) * 8);  // x[col]
+        emit_flops(2);  // fused mul-add
+      }
+    }
+  }
+  emit_intops(7);  // vectorized index arithmetic
+  emit_store(y_base_ + row * 8);
+  emit_branch();
+}
+
+void Hpccg::emit_vector_elem(std::uint64_t i, unsigned phase) {
+  // SSE-width vector phases: one 16 B access covers two elements.
+  const Addr off = i * 8;
+  switch (phase) {
+    case 1:  // dot(r, r)
+      emit_load(r_base_ + off, 16);
+      emit_flops(4);
+      break;
+    case 2:  // p = r + beta * p
+      emit_load(r_base_ + off, 16);
+      emit_load(p_base_ + off, 16);
+      emit_flops(4);
+      emit_store(p_base_ + off, 16);
+      break;
+    case 3:  // x = x + alpha * p
+      emit_load(x_base_ + off, 16);
+      emit_load(p_base_ + off, 16);
+      emit_flops(4);
+      emit_store(x_base_ + off, 16);
+      break;
+    default:
+      throw SimulationError("Hpccg: bad vector phase");
+  }
+  emit_branch();
+}
+
+bool Hpccg::refill() {
+  if (iter_ >= iterations_) return false;
+  if (phase_ == 0) {
+    emit_spmv_row(index_);
+    ++index_;
+  } else {
+    emit_vector_elem(index_, phase_);
+    index_ += 2;  // vectorized: two elements per unit
+  }
+  if (index_ >= rows_) {
+    index_ = 0;
+    if (++phase_ > 3) {
+      phase_ = 0;
+      ++iter_;
+    }
+  }
+  return true;
+}
+
+// ---------------------------------------------------------------------
+// Lulesh
+// ---------------------------------------------------------------------
+
+Lulesh::Lulesh(std::uint32_t n, unsigned iterations)
+    : n_(n),
+      iterations_(iterations),
+      zones_(static_cast<std::uint64_t>(n) * n * n),
+      node_base_(region(0)),
+      zone_base_(region(1)) {
+  if (n == 0 || iterations == 0) {
+    throw ConfigError("Lulesh: n and iterations must be >= 1");
+  }
+  // Zone-centred field arrays (energy, pressure, volume, q, sound speed,
+  // ...): the hydro update streams many per-zone fields besides the node
+  // gather, which is what makes the real code ~0.5 flops/byte.
+  for (unsigned f = 0; f < kZoneReadFields; ++f) {
+    read_fields_[f] = region(2 + f);
+  }
+  for (unsigned f = 0; f < kZoneWriteFields; ++f) {
+    write_fields_[f] = region(2 + kZoneReadFields + f);
+  }
+}
+
+std::uint64_t Lulesh::total_flops() const {
+  return static_cast<std::uint64_t>(iterations_) * zones_ * kFlopsPerZone;
+}
+
+bool Lulesh::refill() {
+  if (iter_ >= iterations_) return false;
+  // Zone (i,j,k) gathers its 8 corner nodes from the (n+1)^3 node mesh.
+  const std::uint64_t z = zone_;
+  const std::uint64_t i = z % n_;
+  const std::uint64_t j = (z / n_) % n_;
+  const std::uint64_t k = z / (static_cast<std::uint64_t>(n_) * n_);
+  const std::uint64_t np = n_ + 1;  // nodes per edge
+  for (unsigned c = 0; c < 8; ++c) {
+    const std::uint64_t ni = i + (c & 1);
+    const std::uint64_t nj = j + ((c >> 1) & 1);
+    const std::uint64_t nk = k + ((c >> 2) & 1);
+    const std::uint64_t node = (nk * np + nj) * np + ni;
+    // x, y, z coordinates of the node (24 contiguous bytes).
+    emit_load(node_base_ + node * 24, 24);
+  }
+  // Zone-centred state read for the update: a handful of wide field
+  // bundles (energy/pressure/volume/q packed per zone), matching how the
+  // real code's many arrays coalesce into a few resident streams.
+  for (unsigned f = 0; f < kZoneReadFields; ++f) {
+    emit_load(read_fields_[f] + z * 32, 32);
+  }
+  emit_intops(8);               // gather index arithmetic
+  emit_flops(kFlopsPerZone);    // volume / gradients / EOS update
+  // Zone-centred results written back as wide bundles.
+  for (unsigned f = 0; f < kZoneWriteFields; ++f) {
+    emit_store(write_fields_[f] + z * 32, 32);
+  }
+  emit_branch();
+  if (++zone_ >= zones_) {
+    zone_ = 0;
+    ++iter_;
+  }
+  return true;
+}
+
+// ---------------------------------------------------------------------
+// MiniMd
+// ---------------------------------------------------------------------
+
+MiniMd::MiniMd(std::uint64_t atoms, std::uint32_t neighbors,
+               unsigned iterations, std::uint64_t seed)
+    : atoms_(atoms),
+      neighbors_(neighbors),
+      iterations_(iterations),
+      rng_(seed),
+      pos_base_(region(0)),
+      neigh_base_(region(1)),
+      force_base_(region(2)) {
+  if (atoms == 0 || neighbors == 0 || iterations == 0) {
+    throw ConfigError("MiniMd: atoms, neighbors, iterations must be >= 1");
+  }
+}
+
+std::uint64_t MiniMd::total_flops() const {
+  return static_cast<std::uint64_t>(iterations_) * atoms_ * neighbors_ *
+         kFlopsPerPair;
+}
+
+bool MiniMd::refill() {
+  if (iter_ >= iterations_) return false;
+  const std::uint64_t i = atom_;
+  // Own position (x, y, z).
+  emit_load(pos_base_ + i * 24, 24);
+  // Neighbor list streams sequentially (4 B indices, SSE-width loads).
+  const Addr nl_off = i * neighbors_ * 4;
+  for (std::uint32_t b = 0; b < (neighbors_ * 4 + 15) / 16; ++b) {
+    emit_load(neigh_base_ + nl_off + b * 16, 16);
+  }
+  // Gather neighbor positions: spatially sorted atoms keep neighbors
+  // within a local window, so gathers are irregular but cache-friendly.
+  const std::uint64_t window = std::min<std::uint64_t>(atoms_, 512);
+  for (std::uint32_t k = 0; k < neighbors_; ++k) {
+    const std::uint64_t off = rng_.next_bounded(window);
+    const std::uint64_t j = (i + off + 1) % atoms_;
+    emit_load(pos_base_ + j * 24, 24);
+    emit_flops(kFlopsPerPair);  // dx/dy/dz, r^2, LJ terms, accumulate
+  }
+  emit_intops(4);
+  // Force accumulation for atom i.
+  emit_store(force_base_ + i * 24, 24);
+  emit_branch();
+  if (++atom_ >= atoms_) {
+    atom_ = 0;
+    ++iter_;
+  }
+  return true;
+}
+
+// ---------------------------------------------------------------------
+// Gups
+// ---------------------------------------------------------------------
+
+Gups::Gups(std::uint64_t table_bytes, std::uint64_t updates,
+           std::uint64_t seed)
+    : table_bytes_(table_bytes),
+      updates_(updates),
+      rng_(seed),
+      table_base_(region(0)) {
+  if (table_bytes < 64 || updates == 0) {
+    throw ConfigError("Gups: table must be >= 64 bytes, updates >= 1");
+  }
+}
+
+bool Gups::refill() {
+  if (done_ >= updates_) return false;
+  const std::uint64_t slots = table_bytes_ / 8;
+  const Addr a = table_base_ + rng_.next_bounded(slots) * 8;
+  emit_intops(2);  // index generation
+  emit_load(a);
+  // The xor/store pair depends only on its own load; updates from
+  // different iterations are independent, so GUPS exposes memory-level
+  // parallelism (a whole-pipeline dependency flag would serialize the
+  // kernel, which is PointerChase's job, not GUPS's).
+  emit_intops(1);
+  emit_store(a);
+  ++done_;
+  return true;
+}
+
+// ---------------------------------------------------------------------
+// PointerChase
+// ---------------------------------------------------------------------
+
+PointerChase::PointerChase(std::uint64_t table_bytes, std::uint64_t hops,
+                           std::uint64_t seed)
+    : table_bytes_(table_bytes),
+      hops_(hops),
+      cursor_(seed),
+      table_base_(region(0)) {
+  if (table_bytes < 64 || hops == 0) {
+    throw ConfigError("PointerChase: table must be >= 64 bytes, hops >= 1");
+  }
+}
+
+bool PointerChase::refill() {
+  if (done_ >= hops_) return false;
+  // Next pointer is a hash of the cursor — deterministic, cache-hostile,
+  // and unknowable before the previous load completes.
+  rng::SplitMix64 h(cursor_);
+  cursor_ = h.next();
+  const std::uint64_t lines = table_bytes_ / 64;
+  const Addr a = table_base_ + (cursor_ % lines) * 64;
+  emit_load(a, 8, /*dep=*/true);
+  emit_intops(1);
+  ++done_;
+  return true;
+}
+
+}  // namespace sst::proc

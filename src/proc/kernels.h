@@ -1,0 +1,200 @@
+// Mini-application workload generators.
+//
+// Five signatures cover the design-space experiments:
+//   StreamTriad — pure streaming bandwidth (STREAM triad)
+//   Hpccg       — sparse CG solver: 27-point SpMV + vector ops; low
+//                 arithmetic intensity, streamed matrix, cached x-vector
+//                 (the HPCCG mini-app of the Mantevo suite)
+//   Lulesh      — explicit shock hydro: node gathers + heavy zone-local
+//                 FLOP work; high arithmetic intensity (LLNL's Lulesh)
+//   Gups        — random table updates; memory-latency/MLP bound
+//   PointerChase— serialized dependent loads; pure latency
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/rng.h"
+#include "proc/workload.h"
+
+namespace sst::proc {
+
+/// Common machinery: kernels refill a small op buffer one "work unit" at a
+/// time (one vector element, one matrix row, one zone, ...).
+class BufferedWorkload : public Workload {
+ public:
+  bool next(Op& op) final;
+
+ protected:
+  BufferedWorkload() = default;
+
+  /// Emits the ops of the next work unit into emit(); returns false when
+  /// the program is complete.
+  virtual bool refill() = 0;
+
+  void emit(Op op) { buffer_.push_back(op); }
+  void emit_load(Addr a, std::uint32_t size = 8, bool dep = false) {
+    emit({OpType::kLoad, a, size, dep});
+  }
+  void emit_store(Addr a, std::uint32_t size = 8, bool dep = false) {
+    emit({OpType::kStore, a, size, dep});
+  }
+  void emit_flops(unsigned n) {
+    for (unsigned i = 0; i < n; ++i) emit({OpType::kFlop, 0, 0, false});
+  }
+  void emit_intops(unsigned n) {
+    for (unsigned i = 0; i < n; ++i) emit({OpType::kIntOp, 0, 0, false});
+  }
+  void emit_branch() { emit({OpType::kBranch, 0, 0, false}); }
+
+ private:
+  std::vector<Op> buffer_;
+  std::size_t pos_ = 0;
+};
+
+/// a[i] = b[i] + s * c[i]
+class StreamTriad final : public BufferedWorkload {
+ public:
+  StreamTriad(std::uint64_t elements, unsigned iterations);
+
+  [[nodiscard]] const std::string& name() const override { return name_; }
+  [[nodiscard]] std::uint64_t total_flops() const override {
+    return 2ULL * elements_ * iterations_;
+  }
+
+ private:
+  bool refill() override;
+
+  std::string name_ = "stream.triad";
+  std::uint64_t elements_;
+  unsigned iterations_;
+  std::uint64_t i_ = 0;
+  unsigned iter_ = 0;
+  Addr a_base_, b_base_, c_base_;
+};
+
+/// Conjugate-gradient iteration on a 27-point nx*ny*nz stencil matrix:
+/// SpMV (streamed matrix values + indices, gathered x) followed by the
+/// dot/axpy vector phases.
+class Hpccg final : public BufferedWorkload {
+ public:
+  Hpccg(std::uint32_t nx, std::uint32_t ny, std::uint32_t nz,
+        unsigned iterations);
+
+  [[nodiscard]] const std::string& name() const override { return name_; }
+  [[nodiscard]] std::uint64_t total_flops() const override;
+
+  [[nodiscard]] std::uint64_t rows() const { return rows_; }
+
+ private:
+  bool refill() override;
+  void emit_spmv_row(std::uint64_t row);
+  void emit_vector_elem(std::uint64_t i, unsigned phase);
+
+  std::string name_ = "miniapp.hpccg";
+  std::uint32_t nx_, ny_, nz_;
+  unsigned iterations_;
+  std::uint64_t rows_;
+  // Phases per iteration: 0 = SpMV, 1 = dot, 2..3 = axpys.
+  unsigned iter_ = 0;
+  unsigned phase_ = 0;
+  std::uint64_t index_ = 0;
+  Addr matval_base_, colidx_base_, x_base_, y_base_, r_base_, p_base_;
+};
+
+/// Explicit-hydro zone update: gather 8 node coordinates, compute a large
+/// zone-local kernel, scatter a few zone results.
+class Lulesh final : public BufferedWorkload {
+ public:
+  Lulesh(std::uint32_t n, unsigned iterations);
+
+  [[nodiscard]] const std::string& name() const override { return name_; }
+  [[nodiscard]] std::uint64_t total_flops() const override;
+
+  [[nodiscard]] std::uint64_t zones() const { return zones_; }
+  static constexpr unsigned kFlopsPerZone = 160;
+  static constexpr unsigned kZoneReadFields = 3;
+  static constexpr unsigned kZoneWriteFields = 1;
+
+ private:
+  bool refill() override;
+
+  std::string name_ = "miniapp.lulesh";
+  std::uint32_t n_;
+  unsigned iterations_;
+  std::uint64_t zones_;
+  unsigned iter_ = 0;
+  std::uint64_t zone_ = 0;
+  Addr node_base_, zone_base_;
+  Addr read_fields_[kZoneReadFields];
+  Addr write_fields_[kZoneWriteFields];
+};
+
+/// Molecular-dynamics force loop (miniMD): per atom, stream a neighbor
+/// list and gather the neighbors' positions (spatially local but
+/// irregular), compute the pair forces, scatter the force accumulation.
+/// Gather-heavy with moderate arithmetic intensity — the signature that
+/// distinguishes MD from both stencils and sparse solvers.
+class MiniMd final : public BufferedWorkload {
+ public:
+  MiniMd(std::uint64_t atoms, std::uint32_t neighbors, unsigned iterations,
+         std::uint64_t seed = 13);
+
+  [[nodiscard]] const std::string& name() const override { return name_; }
+  [[nodiscard]] std::uint64_t total_flops() const override;
+
+  [[nodiscard]] std::uint64_t atoms() const { return atoms_; }
+  static constexpr unsigned kFlopsPerPair = 12;
+
+ private:
+  bool refill() override;
+
+  std::string name_ = "miniapp.minimd";
+  std::uint64_t atoms_;
+  std::uint32_t neighbors_;
+  unsigned iterations_;
+  std::uint64_t atom_ = 0;
+  unsigned iter_ = 0;
+  rng::XorShift128Plus rng_;
+  Addr pos_base_, neigh_base_, force_base_;
+};
+
+/// Random read-modify-write over a table.
+class Gups final : public BufferedWorkload {
+ public:
+  Gups(std::uint64_t table_bytes, std::uint64_t updates,
+       std::uint64_t seed = 7);
+
+  [[nodiscard]] const std::string& name() const override { return name_; }
+
+ private:
+  bool refill() override;
+
+  std::string name_ = "synthetic.gups";
+  std::uint64_t table_bytes_;
+  std::uint64_t updates_;
+  std::uint64_t done_ = 0;
+  rng::XorShift128Plus rng_;
+  Addr table_base_;
+};
+
+/// Fully serialized dependent loads through a (hashed) pointer chain.
+class PointerChase final : public BufferedWorkload {
+ public:
+  PointerChase(std::uint64_t table_bytes, std::uint64_t hops,
+               std::uint64_t seed = 11);
+
+  [[nodiscard]] const std::string& name() const override { return name_; }
+
+ private:
+  bool refill() override;
+
+  std::string name_ = "synthetic.chase";
+  std::uint64_t table_bytes_;
+  std::uint64_t hops_;
+  std::uint64_t done_ = 0;
+  std::uint64_t cursor_;
+  Addr table_base_;
+};
+
+}  // namespace sst::proc

@@ -1,0 +1,21 @@
+#include "proc/proc_lib.h"
+
+#include "core/factory.h"
+
+namespace sst::proc {
+
+void register_library() {
+  static const bool once = [] {
+    Factory::instance().register_component(
+        "proc.Core",
+        [](Simulation& sim, const std::string& name, Params& p) -> Component* {
+          Core* core = sim.add_component<Core>(name, p);
+          core->set_workload(make_workload(p));
+          return core;
+        });
+    return true;
+  }();
+  (void)once;
+}
+
+}  // namespace sst::proc

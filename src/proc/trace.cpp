@@ -1,0 +1,135 @@
+#include "proc/trace.h"
+
+#include <cstring>
+
+namespace sst::proc {
+
+namespace {
+
+struct Record {
+  std::uint8_t type;
+  std::uint8_t flags;
+  std::uint16_t pad;
+  std::uint32_t size;
+  std::uint64_t addr;
+};
+static_assert(sizeof(Record) == 16, "trace record layout");
+
+Record encode(const Op& op) {
+  Record r{};
+  r.type = static_cast<std::uint8_t>(op.type);
+  r.flags = op.depends_on_loads ? 1 : 0;
+  r.size = op.size;
+  r.addr = op.addr;
+  return r;
+}
+
+Op decode(const Record& r, const std::string& path) {
+  if (r.type > static_cast<std::uint8_t>(OpType::kBranch)) {
+    throw ConfigError("corrupt trace record in '" + path + "'");
+  }
+  Op op;
+  op.type = static_cast<OpType>(r.type);
+  op.depends_on_loads = (r.flags & 1) != 0;
+  op.size = r.size;
+  op.addr = r.addr;
+  return op;
+}
+
+std::FILE* open_checked(const std::string& path, const char* mode) {
+  std::FILE* f = std::fopen(path.c_str(), mode);
+  if (f == nullptr) {
+    throw ConfigError("cannot open trace file '" + path + "'");
+  }
+  return f;
+}
+
+void write_magic(std::FILE* f, const std::string& path) {
+  if (std::fwrite(kTraceMagic, 1, sizeof kTraceMagic, f) !=
+      sizeof kTraceMagic) {
+    std::fclose(f);
+    throw ConfigError("cannot write trace header to '" + path + "'");
+  }
+}
+
+void check_magic(std::FILE* f, const std::string& path) {
+  char magic[sizeof kTraceMagic];
+  if (std::fread(magic, 1, sizeof magic, f) != sizeof magic ||
+      std::memcmp(magic, kTraceMagic, sizeof magic) != 0) {
+    std::fclose(f);
+    throw ConfigError("'" + path + "' is not a trace file");
+  }
+}
+
+}  // namespace
+
+std::uint64_t write_trace(Workload& w, const std::string& path,
+                          std::uint64_t max_ops) {
+  std::FILE* f = open_checked(path, "wb");
+  write_magic(f, path);
+  std::uint64_t n = 0;
+  Op op;
+  while (n < max_ops && w.next(op)) {
+    const Record r = encode(op);
+    if (std::fwrite(&r, sizeof r, 1, f) != 1) {
+      std::fclose(f);
+      throw ConfigError("short write to trace file '" + path + "'");
+    }
+    ++n;
+  }
+  std::fclose(f);
+  return n;
+}
+
+TraceWorkload::TraceWorkload(const std::string& path)
+    : name_("trace:" + path), path_(path) {
+  file_ = open_checked(path, "rb");
+  check_magic(file_, path);
+}
+
+TraceWorkload::~TraceWorkload() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+bool TraceWorkload::next(Op& op) {
+  if (file_ == nullptr) return false;
+  Record r;
+  const std::size_t got = std::fread(&r, 1, sizeof r, file_);
+  if (got == 0) return false;  // clean end of trace
+  if (got != sizeof r) {
+    throw ConfigError("truncated trace record in '" + path_ + "'");
+  }
+  op = decode(r, path_);
+  return true;
+}
+
+TracingWorkload::TracingWorkload(WorkloadPtr inner, const std::string& path)
+    : inner_(std::move(inner)) {
+  if (!inner_) throw ConfigError("TracingWorkload: null inner workload");
+  file_ = open_checked(path, "wb");
+  write_magic(file_, path);
+}
+
+TracingWorkload::~TracingWorkload() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+bool TracingWorkload::next(Op& op) {
+  if (!inner_->next(op)) {
+    if (file_ != nullptr) {
+      std::fclose(file_);
+      file_ = nullptr;
+    }
+    return false;
+  }
+  if (file_ != nullptr) {
+    const Record r = encode(op);
+    if (std::fwrite(&r, sizeof r, 1, file_) != 1) {
+      throw ConfigError("short write while tracing");
+    }
+    ++recorded_;
+  }
+  return true;
+}
+
+}  // namespace sst::proc

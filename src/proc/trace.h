@@ -1,0 +1,71 @@
+// Trace recording and replay for workloads.
+//
+// SST's processor front-ends are frequently trace-driven: capture an
+// instruction/memory-op stream once, replay it against many machine
+// configurations.  This module provides that workflow for the abstract
+// op streams used here:
+//
+//   * write_trace()   — drain any Workload into a compact binary file
+//   * TraceWorkload   — replay a trace file as a Workload
+//   * TracingWorkload — tee: pass a live workload through while recording
+//
+// File format: 8-byte magic "SSTTRC01", then little-endian records of
+// 16 bytes each: {u8 type, u8 flags, u16 pad, u32 size, u64 addr}.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "core/types.h"
+#include "proc/workload.h"
+
+namespace sst::proc {
+
+inline constexpr char kTraceMagic[8] = {'S', 'S', 'T', 'T',
+                                        'R', 'C', '0', '1'};
+
+/// Drains `w` into a trace file.  Returns the number of ops written.
+/// Throws ConfigError when the file cannot be created.
+std::uint64_t write_trace(Workload& w, const std::string& path,
+                          std::uint64_t max_ops = ~0ULL);
+
+/// Replays a trace file.
+class TraceWorkload final : public Workload {
+ public:
+  explicit TraceWorkload(const std::string& path);
+  ~TraceWorkload() override;
+
+  bool next(Op& op) override;
+  [[nodiscard]] const std::string& name() const override { return name_; }
+
+ private:
+  std::string name_;
+  std::FILE* file_ = nullptr;
+  std::string path_;
+};
+
+/// Wraps a workload, recording every op it produces.  The trace file is
+/// finalized when the stream ends or the wrapper is destroyed.
+class TracingWorkload final : public Workload {
+ public:
+  TracingWorkload(WorkloadPtr inner, const std::string& path);
+  ~TracingWorkload() override;
+
+  bool next(Op& op) override;
+  [[nodiscard]] const std::string& name() const override {
+    return inner_->name();
+  }
+  [[nodiscard]] std::uint64_t total_flops() const override {
+    return inner_->total_flops();
+  }
+  [[nodiscard]] std::uint64_t ops_recorded() const { return recorded_; }
+
+ private:
+  WorkloadPtr inner_;
+  std::FILE* file_ = nullptr;
+  std::uint64_t recorded_ = 0;
+};
+
+}  // namespace sst::proc

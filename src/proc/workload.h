@@ -1,0 +1,64 @@
+// Workload: lazy instruction-stream generators that drive the abstract
+// core model.
+//
+// These are the mini-application proxies of the design-space studies: each
+// generator reproduces the *performance signature* of its parent kernel —
+// arithmetic intensity, working-set size, and memory-access pattern — as a
+// stream of abstract operations.  No numerical results are produced; the
+// streams exist to exercise the simulated machine exactly the way the real
+// kernel's instruction mix would.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "core/types.h"
+
+namespace sst::proc {
+
+using Addr = std::uint64_t;
+
+enum class OpType : std::uint8_t {
+  kFlop,    // pipelined floating-point operation
+  kIntOp,   // integer/address computation
+  kLoad,    // memory read
+  kStore,   // memory write
+  kBranch,  // control flow (consumes an issue slot)
+};
+
+struct Op {
+  OpType type = OpType::kIntOp;
+  Addr addr = 0;           // loads/stores only
+  std::uint32_t size = 8;  // bytes, loads/stores only
+  // When true this op must wait for every outstanding load to complete
+  // before it can issue (models address dependence: pointer chasing,
+  // indexed gather).
+  bool depends_on_loads = false;
+};
+
+/// Pull-based op stream.  Implementations must be deterministic for a
+/// fixed construction (seeded RNG only).
+class Workload {
+ public:
+  virtual ~Workload() = default;
+
+  Workload(const Workload&) = delete;
+  Workload& operator=(const Workload&) = delete;
+
+  /// Produces the next operation.  Returns false at end of program.
+  virtual bool next(Op& op) = 0;
+
+  [[nodiscard]] virtual const std::string& name() const = 0;
+
+  /// Nominal floating-point operations in the whole stream (for GFLOP/s
+  /// style reporting); 0 when not meaningful.
+  [[nodiscard]] virtual std::uint64_t total_flops() const { return 0; }
+
+ protected:
+  Workload() = default;
+};
+
+using WorkloadPtr = std::unique_ptr<Workload>;
+
+}  // namespace sst::proc

@@ -1,0 +1,25 @@
+// Builds Workload instances from string parameters, so processor cores can
+// be fully configured through the SDL layer.
+//
+// Recognized "workload" values and their parameters (all optional):
+//   stream : elements (1M),  iterations (1)
+//   hpccg  : nx, ny, nz (16 each), iterations (1)
+//   lulesh : n (12), iterations (1)
+//   minimd : atoms (4096), neighbors (40), iterations (1), seed (13)
+//   gups   : table ("16MiB"), updates (100000), seed (7)
+//   chase  : table ("16MiB"), hops (50000), seed (11)
+#pragma once
+
+#include "core/params.h"
+#include "proc/workload.h"
+
+namespace sst::proc {
+
+/// Creates a workload from `params` ("workload" selects the kernel).
+/// Throws ConfigError on unknown kernels or bad parameters.
+[[nodiscard]] WorkloadPtr make_workload(const Params& params);
+
+/// Creates a workload by name with default parameters.
+[[nodiscard]] WorkloadPtr make_workload(std::string_view kernel);
+
+}  // namespace sst::proc

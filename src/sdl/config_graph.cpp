@@ -1,0 +1,353 @@
+#include "sdl/config_graph.h"
+
+#include <set>
+#include <utility>
+
+#include "core/unit_algebra.h"
+
+namespace sst::sdl {
+
+namespace {
+
+net::TopologySpec::Kind topology_kind(const std::string& name) {
+  using Kind = net::TopologySpec::Kind;
+  if (name == "mesh2d") return Kind::kMesh2D;
+  if (name == "torus2d") return Kind::kTorus2D;
+  if (name == "torus3d") return Kind::kTorus3D;
+  if (name == "fattree") return Kind::kFatTree;
+  if (name == "dragonfly") return Kind::kDragonfly;
+  throw ConfigError("unknown network topology '" + name +
+                    "' (known: mesh2d, torus2d, torus3d, fattree, "
+                    "dragonfly)");
+}
+
+const char* topology_name(net::TopologySpec::Kind kind) {
+  using Kind = net::TopologySpec::Kind;
+  switch (kind) {
+    case Kind::kMesh2D: return "mesh2d";
+    case Kind::kTorus2D: return "torus2d";
+    case Kind::kTorus3D: return "torus3d";
+    case Kind::kFatTree: return "fattree";
+    case Kind::kDragonfly: return "dragonfly";
+  }
+  return "?";
+}
+
+}  // namespace
+
+ConfigComponent& ConfigGraph::add_component(std::string name,
+                                            std::string type, Params params) {
+  components_.push_back(
+      {std::move(name), std::move(type), std::move(params), std::nullopt});
+  return components_.back();
+}
+
+ConfigLink& ConfigGraph::add_link(std::string from, std::string from_port,
+                                  std::string to, std::string to_port,
+                                  std::string latency) {
+  links_.push_back({std::move(from), std::move(from_port), std::move(to),
+                    std::move(to_port), std::move(latency), std::nullopt});
+  return links_.back();
+}
+
+std::vector<std::string> ConfigGraph::validate(const Factory& factory) const {
+  std::vector<std::string> problems;
+  std::set<std::string> names;
+  for (const auto& c : components_) {
+    if (c.name.empty()) problems.push_back("component with empty name");
+    if (!names.insert(c.name).second) {
+      problems.push_back("duplicate component name '" + c.name + "'");
+    }
+    if (!factory.known(c.type)) {
+      problems.push_back("component '" + c.name + "' has unknown type '" +
+                         c.type + "'");
+    }
+    if (c.rank && *c.rank >= sim_config_.num_ranks) {
+      problems.push_back("component '" + c.name + "' pinned to rank " +
+                         std::to_string(*c.rank) + " but num_ranks is " +
+                         std::to_string(sim_config_.num_ranks));
+    }
+  }
+  if (network_.present) {
+    if (network_.endpoints.size() != network_.spec.expected_nodes()) {
+      problems.push_back(
+          "network topology expects " +
+          std::to_string(network_.spec.expected_nodes()) +
+          " endpoints, got " + std::to_string(network_.endpoints.size()));
+    }
+    std::set<std::string> seen;
+    for (const auto& e : network_.endpoints) {
+      if (!names.contains(e)) {
+        problems.push_back("network endpoint references unknown component '" +
+                           e + "'");
+      }
+      if (!seen.insert(e).second) {
+        problems.push_back("network endpoint listed twice: '" + e + "'");
+      }
+    }
+  }
+  std::set<std::pair<std::string, std::string>> used_ports;
+  for (const auto& l : links_) {
+    if (!names.contains(l.from)) {
+      problems.push_back("link references unknown component '" + l.from +
+                         "'");
+    }
+    if (!names.contains(l.to)) {
+      problems.push_back("link references unknown component '" + l.to + "'");
+    }
+    if (!used_ports.insert({l.from, l.from_port}).second) {
+      problems.push_back("port used twice: " + l.from + "." + l.from_port);
+    }
+    if (!used_ports.insert({l.to, l.to_port}).second) {
+      problems.push_back("port used twice: " + l.to + "." + l.to_port);
+    }
+    for (const std::string* lat :
+         {&l.latency, l.latency_back ? &*l.latency_back : nullptr}) {
+      if (lat == nullptr) continue;
+      try {
+        if (UnitAlgebra(*lat).to_simtime() == 0) {
+          problems.push_back("zero latency on link " + l.from + "." +
+                             l.from_port + " <-> " + l.to + "." + l.to_port);
+        }
+      } catch (const ConfigError& e) {
+        problems.push_back("bad latency '" + *lat + "': " + e.what());
+      }
+    }
+  }
+  return problems;
+}
+
+std::unique_ptr<Simulation> ConfigGraph::build(const Factory& factory) const {
+  const auto problems = validate(factory);
+  if (!problems.empty()) {
+    std::string msg = "invalid ConfigGraph:";
+    for (const auto& p : problems) msg += "\n  - " + p;
+    throw ConfigError(msg);
+  }
+  auto sim = std::make_unique<Simulation>(sim_config_);
+  for (const auto& c : components_) {
+    Params params = c.params;  // components may mutate their param view
+    factory.create(*sim, c.type, c.name, params);
+    if (c.rank) sim->set_component_rank(c.name, *c.rank);
+  }
+  for (const auto& l : links_) {
+    const SimTime lat_ab = UnitAlgebra(l.latency).to_simtime();
+    const SimTime lat_ba =
+        l.latency_back ? UnitAlgebra(*l.latency_back).to_simtime() : lat_ab;
+    sim->connect(l.from, l.from_port, l.to, l.to_port, lat_ab, lat_ba);
+  }
+  if (network_.present) {
+    std::vector<net::NetEndpoint*> endpoints;
+    endpoints.reserve(network_.endpoints.size());
+    for (const auto& name : network_.endpoints) {
+      auto* ep = dynamic_cast<net::NetEndpoint*>(sim->find_component(name));
+      if (ep == nullptr) {
+        throw ConfigError("network endpoint '" + name +
+                          "' is not a net endpoint component");
+      }
+      endpoints.push_back(ep);
+    }
+    net::build_topology(*sim, network_.spec, endpoints);
+  }
+  return sim;
+}
+
+ConfigGraph ConfigGraph::from_json_text(std::string_view text) {
+  return from_json(JsonValue::parse(text));
+}
+
+ConfigGraph ConfigGraph::from_json(const JsonValue& doc) {
+  ConfigGraph graph;
+  if (doc.has("config")) {
+    const JsonValue& cfg = doc.at("config");
+    SimConfig& sc = graph.sim_config();
+    if (cfg.has("end_time")) {
+      sc.end_time = UnitAlgebra(cfg.at("end_time").as_string()).to_simtime();
+    }
+    sc.num_ranks =
+        static_cast<unsigned>(cfg.get_number("num_ranks", sc.num_ranks));
+    sc.seed = static_cast<std::uint64_t>(cfg.get_number("seed", 1));
+    sc.verbose = cfg.get_bool("verbose", false);
+    const std::string part = cfg.get_string("partition", "linear");
+    if (part == "linear") {
+      sc.partition = PartitionStrategy::kLinear;
+    } else if (part == "roundrobin") {
+      sc.partition = PartitionStrategy::kRoundRobin;
+    } else if (part == "mincut") {
+      sc.partition = PartitionStrategy::kMinCut;
+    } else {
+      throw ConfigError("unknown partition strategy '" + part + "'");
+    }
+  }
+  if (doc.has("components")) {
+    for (const auto& jc : doc.at("components").as_array()) {
+      ConfigComponent cc;
+      cc.name = jc.at("name").as_string();
+      cc.type = jc.at("type").as_string();
+      if (jc.has("params")) {
+        for (const auto& [k, v] : jc.at("params").as_object()) {
+          if (v.is_string()) {
+            cc.params.set(k, v.as_string());
+          } else if (v.is_number()) {
+            // Normalize integral numbers to integer strings.
+            const double d = v.as_number();
+            if (d == static_cast<double>(static_cast<long long>(d))) {
+              cc.params.set(k, std::to_string(static_cast<long long>(d)));
+            } else {
+              cc.params.set(k, std::to_string(d));
+            }
+          } else if (v.is_bool()) {
+            cc.params.set(k, v.as_bool() ? "true" : "false");
+          } else {
+            throw ConfigError("component '" + cc.name + "' param '" + k +
+                              "' must be a scalar");
+          }
+        }
+      }
+      if (jc.has("rank")) {
+        cc.rank = static_cast<RankId>(jc.at("rank").as_number());
+      }
+      graph.components_.push_back(std::move(cc));
+    }
+  }
+  if (doc.has("network")) {
+    const JsonValue& jn = doc.at("network");
+    ConfigNetwork& n = graph.network_;
+    n.present = true;
+    n.spec.kind = topology_kind(jn.at("topology").as_string());
+    n.spec.x = static_cast<std::uint32_t>(jn.get_number("x", n.spec.x));
+    n.spec.y = static_cast<std::uint32_t>(jn.get_number("y", n.spec.y));
+    n.spec.z = static_cast<std::uint32_t>(jn.get_number("z", n.spec.z));
+    n.spec.concentration = static_cast<std::uint32_t>(
+        jn.get_number("concentration", n.spec.concentration));
+    n.spec.leaves =
+        static_cast<std::uint32_t>(jn.get_number("leaves", n.spec.leaves));
+    n.spec.spines =
+        static_cast<std::uint32_t>(jn.get_number("spines", n.spec.spines));
+    n.spec.down =
+        static_cast<std::uint32_t>(jn.get_number("down", n.spec.down));
+    n.spec.groups =
+        static_cast<std::uint32_t>(jn.get_number("groups", n.spec.groups));
+    n.spec.group_routers = static_cast<std::uint32_t>(
+        jn.get_number("group_routers", n.spec.group_routers));
+    n.spec.group_conc = static_cast<std::uint32_t>(
+        jn.get_number("group_conc", n.spec.group_conc));
+    n.spec.global_per_router = static_cast<std::uint32_t>(
+        jn.get_number("global_per_router", n.spec.global_per_router));
+    n.spec.link_bandwidth =
+        jn.get_string("link_bandwidth", n.spec.link_bandwidth);
+    n.spec.link_latency = jn.get_string("link_latency", n.spec.link_latency);
+    n.spec.hop_latency = jn.get_string("hop_latency", n.spec.hop_latency);
+    n.spec.seed =
+        static_cast<std::uint64_t>(jn.get_number("seed", 1));
+    const std::string routing = jn.get_string("routing", "minimal");
+    if (routing == "minimal") {
+      n.spec.routing = net::TopologySpec::Routing::kMinimal;
+    } else if (routing == "valiant") {
+      n.spec.routing = net::TopologySpec::Routing::kValiant;
+    } else {
+      throw ConfigError("unknown routing '" + routing +
+                        "' (known: minimal, valiant)");
+    }
+    for (const auto& e : jn.at("endpoints").as_array()) {
+      n.endpoints.push_back(e.as_string());
+    }
+  }
+  if (doc.has("links")) {
+    for (const auto& jl : doc.at("links").as_array()) {
+      ConfigLink cl;
+      cl.from = jl.at("from").as_string();
+      cl.from_port = jl.at("from_port").as_string();
+      cl.to = jl.at("to").as_string();
+      cl.to_port = jl.at("to_port").as_string();
+      cl.latency = jl.get_string("latency", "1ns");
+      if (jl.has("latency_back")) {
+        cl.latency_back = jl.at("latency_back").as_string();
+      }
+      graph.links_.push_back(std::move(cl));
+    }
+  }
+  return graph;
+}
+
+JsonValue ConfigGraph::to_json() const {
+  JsonObject doc;
+  JsonObject cfg;
+  if (sim_config_.end_time != kTimeNever) {
+    cfg["end_time"] =
+        JsonValue(std::to_string(sim_config_.end_time) + "ps");
+  }
+  cfg["num_ranks"] = JsonValue(static_cast<double>(sim_config_.num_ranks));
+  cfg["seed"] = JsonValue(static_cast<double>(sim_config_.seed));
+  switch (sim_config_.partition) {
+    case PartitionStrategy::kLinear: cfg["partition"] = "linear"; break;
+    case PartitionStrategy::kRoundRobin:
+      cfg["partition"] = "roundrobin";
+      break;
+    case PartitionStrategy::kMinCut: cfg["partition"] = "mincut"; break;
+  }
+  doc["config"] = JsonValue(std::move(cfg));
+
+  JsonArray comps;
+  for (const auto& c : components_) {
+    JsonObject jc;
+    jc["name"] = c.name;
+    jc["type"] = c.type;
+    JsonObject params;
+    for (const auto& k : c.params.keys()) {
+      params[k] = JsonValue(*c.params.raw(k));
+    }
+    jc["params"] = JsonValue(std::move(params));
+    if (c.rank) jc["rank"] = JsonValue(static_cast<double>(*c.rank));
+    comps.push_back(JsonValue(std::move(jc)));
+  }
+  doc["components"] = JsonValue(std::move(comps));
+
+  JsonArray links;
+  for (const auto& l : links_) {
+    JsonObject jl;
+    jl["from"] = l.from;
+    jl["from_port"] = l.from_port;
+    jl["to"] = l.to;
+    jl["to_port"] = l.to_port;
+    jl["latency"] = l.latency;
+    if (l.latency_back) jl["latency_back"] = *l.latency_back;
+    links.push_back(JsonValue(std::move(jl)));
+  }
+  doc["links"] = JsonValue(std::move(links));
+
+  if (network_.present) {
+    JsonObject jn;
+    jn["topology"] = topology_name(network_.spec.kind);
+    jn["x"] = JsonValue(static_cast<double>(network_.spec.x));
+    jn["y"] = JsonValue(static_cast<double>(network_.spec.y));
+    jn["z"] = JsonValue(static_cast<double>(network_.spec.z));
+    jn["concentration"] =
+        JsonValue(static_cast<double>(network_.spec.concentration));
+    jn["leaves"] = JsonValue(static_cast<double>(network_.spec.leaves));
+    jn["spines"] = JsonValue(static_cast<double>(network_.spec.spines));
+    jn["down"] = JsonValue(static_cast<double>(network_.spec.down));
+    jn["groups"] = JsonValue(static_cast<double>(network_.spec.groups));
+    jn["group_routers"] =
+        JsonValue(static_cast<double>(network_.spec.group_routers));
+    jn["group_conc"] =
+        JsonValue(static_cast<double>(network_.spec.group_conc));
+    jn["global_per_router"] =
+        JsonValue(static_cast<double>(network_.spec.global_per_router));
+    jn["link_bandwidth"] = network_.spec.link_bandwidth;
+    jn["link_latency"] = network_.spec.link_latency;
+    jn["hop_latency"] = network_.spec.hop_latency;
+    jn["seed"] = JsonValue(static_cast<double>(network_.spec.seed));
+    jn["routing"] =
+        network_.spec.routing == net::TopologySpec::Routing::kValiant
+            ? "valiant"
+            : "minimal";
+    JsonArray eps;
+    for (const auto& e : network_.endpoints) eps.push_back(JsonValue(e));
+    jn["endpoints"] = JsonValue(std::move(eps));
+    doc["network"] = JsonValue(std::move(jn));
+  }
+  return JsonValue(std::move(doc));
+}
+
+}  // namespace sst::sdl

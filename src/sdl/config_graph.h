@@ -1,0 +1,111 @@
+// ConfigGraph: a declarative description of a simulated system — the
+// components, their parameters, and the links between them — decoupled
+// from the C++ types that implement the models.  This is SST's SDL layer:
+// systems can be written as JSON documents, validated, and instantiated
+// through the Factory.
+//
+// JSON schema:
+// {
+//   "config": { "end_time": "1ms", "num_ranks": 2, "seed": 7,
+//               "partition": "mincut" },
+//   "components": [
+//     { "name": "cpu0", "type": "proc.Core",
+//       "params": { "clock": "2GHz", "issue_width": "4" },
+//       "rank": 0 },
+//     ...
+//   ],
+//   "links": [
+//     { "from": "cpu0", "from_port": "mem", "to": "l1", "to_port": "cpu",
+//       "latency": "1ns" },
+//     ...
+//   ],
+//   // optional: wire listed endpoint components into a router fabric
+//   "network": {
+//     "topology": "torus2d",          // mesh2d|torus2d|torus3d|fattree|
+//                                     // dragonfly
+//     "x": 2, "y": 2,                 // (or leaves/spines/down, groups/...)
+//     "routing": "minimal",           // or "valiant"
+//     "link_bandwidth": "10GB/s", "link_latency": "20ns",
+//     "endpoints": ["rank0", "rank1", "rank2", "rank3"]
+//   }
+// }
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/factory.h"
+#include "core/params.h"
+#include "core/simulation.h"
+#include "net/topology.h"
+#include "sdl/json.h"
+
+namespace sst::sdl {
+
+struct ConfigComponent {
+  std::string name;
+  std::string type;
+  Params params;
+  std::optional<RankId> rank;
+};
+
+struct ConfigLink {
+  std::string from, from_port;
+  std::string to, to_port;
+  std::string latency = "1ns";          // UnitAlgebra time
+  std::optional<std::string> latency_back;  // reverse direction override
+};
+
+/// Declarative router-fabric description (optional).
+struct ConfigNetwork {
+  bool present = false;
+  net::TopologySpec spec;
+  std::vector<std::string> endpoints;  // component names, node order
+};
+
+class ConfigGraph {
+ public:
+  ConfigGraph() = default;
+
+  ConfigComponent& add_component(std::string name, std::string type,
+                                 Params params = {});
+  ConfigLink& add_link(std::string from, std::string from_port,
+                       std::string to, std::string to_port,
+                       std::string latency = "1ns");
+
+  [[nodiscard]] const std::vector<ConfigComponent>& components() const {
+    return components_;
+  }
+  [[nodiscard]] const std::vector<ConfigLink>& links() const {
+    return links_;
+  }
+  [[nodiscard]] SimConfig& sim_config() { return sim_config_; }
+  [[nodiscard]] const SimConfig& sim_config() const { return sim_config_; }
+  [[nodiscard]] ConfigNetwork& network() { return network_; }
+  [[nodiscard]] const ConfigNetwork& network() const { return network_; }
+
+  /// Structural validation: unique names, known types (against the given
+  /// factory), link endpoints exist, no port used twice, parsable
+  /// latencies.  Returns the list of problems (empty = valid).
+  [[nodiscard]] std::vector<std::string> validate(
+      const Factory& factory) const;
+
+  /// Instantiates the graph into a fresh Simulation.  Throws ConfigError
+  /// when validation fails.
+  [[nodiscard]] std::unique_ptr<Simulation> build(
+      const Factory& factory = Factory::instance()) const;
+
+  /// JSON round trip.
+  [[nodiscard]] static ConfigGraph from_json(const JsonValue& doc);
+  [[nodiscard]] static ConfigGraph from_json_text(std::string_view text);
+  [[nodiscard]] JsonValue to_json() const;
+
+ private:
+  std::vector<ConfigComponent> components_;
+  std::vector<ConfigLink> links_;
+  ConfigNetwork network_;
+  SimConfig sim_config_;
+};
+
+}  // namespace sst::sdl

@@ -1,0 +1,401 @@
+#include "sdl/json.h"
+
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+namespace sst::sdl {
+
+bool JsonValue::as_bool() const {
+  if (!is_bool()) throw JsonError("JSON value is not a bool");
+  return std::get<bool>(value_);
+}
+
+double JsonValue::as_number() const {
+  if (!is_number()) throw JsonError("JSON value is not a number");
+  return std::get<double>(value_);
+}
+
+const std::string& JsonValue::as_string() const {
+  if (!is_string()) throw JsonError("JSON value is not a string");
+  return std::get<std::string>(value_);
+}
+
+const JsonArray& JsonValue::as_array() const {
+  if (!is_array()) throw JsonError("JSON value is not an array");
+  return std::get<JsonArray>(value_);
+}
+
+const JsonObject& JsonValue::as_object() const {
+  if (!is_object()) throw JsonError("JSON value is not an object");
+  return std::get<JsonObject>(value_);
+}
+
+JsonArray& JsonValue::as_array() {
+  if (!is_array()) throw JsonError("JSON value is not an array");
+  return std::get<JsonArray>(value_);
+}
+
+JsonObject& JsonValue::as_object() {
+  if (!is_object()) throw JsonError("JSON value is not an object");
+  return std::get<JsonObject>(value_);
+}
+
+const JsonValue& JsonValue::at(std::string_view key) const {
+  const auto& obj = as_object();
+  auto it = obj.find(key);
+  if (it == obj.end()) {
+    throw JsonError("missing JSON key '" + std::string(key) + "'");
+  }
+  return it->second;
+}
+
+bool JsonValue::has(std::string_view key) const {
+  if (!is_object()) return false;
+  return as_object().find(key) != as_object().end();
+}
+
+std::string JsonValue::get_string(std::string_view key,
+                                  std::string_view fallback) const {
+  if (!has(key)) return std::string(fallback);
+  return at(key).as_string();
+}
+
+double JsonValue::get_number(std::string_view key, double fallback) const {
+  if (!has(key)) return fallback;
+  return at(key).as_number();
+}
+
+bool JsonValue::get_bool(std::string_view key, bool fallback) const {
+  if (!has(key)) return fallback;
+  return at(key).as_bool();
+}
+
+// ---------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  JsonValue parse_document() {
+    JsonValue v = parse_value();
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing characters after JSON value");
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& msg) const {
+    std::size_t line = 1, col = 1;
+    for (std::size_t i = 0; i < pos_ && i < text_.size(); ++i) {
+      if (text_[i] == '\n') {
+        ++line;
+        col = 1;
+      } else {
+        ++col;
+      }
+    }
+    throw JsonError("JSON parse error at line " + std::to_string(line) +
+                    ", column " + std::to_string(col) + ": " + msg);
+  }
+
+  [[nodiscard]] char peek() const {
+    return pos_ < text_.size() ? text_[pos_] : '\0';
+  }
+
+  char take() {
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_++];
+  }
+
+  void skip_ws() {
+    for (;;) {
+      while (pos_ < text_.size() &&
+             std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+        ++pos_;
+      }
+      // Allow // line comments (common in hand-written configs).
+      if (pos_ + 1 < text_.size() && text_[pos_] == '/' &&
+          text_[pos_ + 1] == '/') {
+        while (pos_ < text_.size() && text_[pos_] != '\n') ++pos_;
+        continue;
+      }
+      return;
+    }
+  }
+
+  void expect(char c) {
+    if (take() != c) {
+      --pos_;
+      fail(std::string("expected '") + c + "'");
+    }
+  }
+
+  bool consume_literal(std::string_view lit) {
+    if (text_.substr(pos_, lit.size()) == lit) {
+      pos_ += lit.size();
+      return true;
+    }
+    return false;
+  }
+
+  JsonValue parse_value() {
+    skip_ws();
+    const char c = peek();
+    switch (c) {
+      case '{':
+        return parse_object();
+      case '[':
+        return parse_array();
+      case '"':
+        return JsonValue(parse_string());
+      case 't':
+        if (consume_literal("true")) return JsonValue(true);
+        fail("invalid literal");
+      case 'f':
+        if (consume_literal("false")) return JsonValue(false);
+        fail("invalid literal");
+      case 'n':
+        if (consume_literal("null")) return JsonValue(nullptr);
+        fail("invalid literal");
+      default:
+        return parse_number();
+    }
+  }
+
+  JsonValue parse_object() {
+    expect('{');
+    JsonObject obj;
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return JsonValue(std::move(obj));
+    }
+    for (;;) {
+      skip_ws();
+      if (peek() == '}') {  // trailing comma
+        ++pos_;
+        return JsonValue(std::move(obj));
+      }
+      std::string key = parse_string();
+      skip_ws();
+      expect(':');
+      obj[std::move(key)] = parse_value();
+      skip_ws();
+      const char c = take();
+      if (c == '}') return JsonValue(std::move(obj));
+      if (c != ',') {
+        --pos_;
+        fail("expected ',' or '}' in object");
+      }
+    }
+  }
+
+  JsonValue parse_array() {
+    expect('[');
+    JsonArray arr;
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return JsonValue(std::move(arr));
+    }
+    for (;;) {
+      skip_ws();
+      if (peek() == ']') {  // trailing comma
+        ++pos_;
+        return JsonValue(std::move(arr));
+      }
+      arr.push_back(parse_value());
+      skip_ws();
+      const char c = take();
+      if (c == ']') return JsonValue(std::move(arr));
+      if (c != ',') {
+        --pos_;
+        fail("expected ',' or ']' in array");
+      }
+    }
+  }
+
+  std::string parse_string() {
+    skip_ws();
+    expect('"');
+    std::string out;
+    for (;;) {
+      const char c = take();
+      if (c == '"') return out;
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      const char esc = take();
+      switch (esc) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'u': {
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = take();
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+            else fail("bad \\u escape");
+          }
+          // UTF-8 encode the BMP code point (surrogate pairs unsupported;
+          // simulator configs are ASCII in practice).
+          if (code < 0x80) {
+            out.push_back(static_cast<char>(code));
+          } else if (code < 0x800) {
+            out.push_back(static_cast<char>(0xC0 | (code >> 6)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          } else {
+            out.push_back(static_cast<char>(0xE0 | (code >> 12)));
+            out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          }
+          break;
+        }
+        default:
+          fail("bad escape character");
+      }
+    }
+  }
+
+  JsonValue parse_number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) fail("expected a value");
+    double v = 0;
+    const auto res =
+        std::from_chars(text_.data() + start, text_.data() + pos_, v);
+    if (res.ec != std::errc() || res.ptr != text_.data() + pos_) {
+      fail("malformed number");
+    }
+    return JsonValue(v);
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+void dump_string(std::string& out, const std::string& s) {
+  out.push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+}
+
+void dump_number(std::string& out, double d) {
+  if (std::isfinite(d) && d == std::floor(d) && std::fabs(d) < 1e15) {
+    out += std::to_string(static_cast<long long>(d));
+  } else {
+    std::ostringstream os;
+    os.precision(15);
+    os << d;
+    out += os.str();
+  }
+}
+
+}  // namespace
+
+JsonValue JsonValue::parse(std::string_view text) {
+  return Parser(text).parse_document();
+}
+
+void JsonValue::dump_to(std::string& out, int indent, int depth) const {
+  const std::string pad = indent > 0
+                              ? "\n" + std::string(
+                                           static_cast<std::size_t>(indent) *
+                                               static_cast<std::size_t>(depth + 1),
+                                           ' ')
+                              : "";
+  const std::string pad_close =
+      indent > 0 ? "\n" + std::string(static_cast<std::size_t>(indent) *
+                                          static_cast<std::size_t>(depth),
+                                      ' ')
+                 : "";
+  if (is_null()) {
+    out += "null";
+  } else if (is_bool()) {
+    out += as_bool() ? "true" : "false";
+  } else if (is_number()) {
+    dump_number(out, as_number());
+  } else if (is_string()) {
+    dump_string(out, as_string());
+  } else if (is_array()) {
+    const auto& arr = as_array();
+    if (arr.empty()) {
+      out += "[]";
+      return;
+    }
+    out.push_back('[');
+    bool first = true;
+    for (const auto& v : arr) {
+      if (!first) out.push_back(',');
+      first = false;
+      out += pad;
+      v.dump_to(out, indent, depth + 1);
+    }
+    out += pad_close;
+    out.push_back(']');
+  } else {
+    const auto& obj = as_object();
+    if (obj.empty()) {
+      out += "{}";
+      return;
+    }
+    out.push_back('{');
+    bool first = true;
+    for (const auto& [k, v] : obj) {
+      if (!first) out.push_back(',');
+      first = false;
+      out += pad;
+      dump_string(out, k);
+      out += indent > 0 ? ": " : ":";
+      v.dump_to(out, indent, depth + 1);
+    }
+    out += pad_close;
+    out.push_back('}');
+  }
+}
+
+std::string JsonValue::dump(int indent) const {
+  std::string out;
+  dump_to(out, indent, 0);
+  return out;
+}
+
+}  // namespace sst::sdl

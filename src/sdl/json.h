@@ -1,0 +1,95 @@
+// Minimal from-scratch JSON reader/writer used by the SDL (system
+// description language) layer.  Supports the full JSON grammar with the
+// usual simulator-config conveniences: // line comments and trailing
+// commas are accepted on input.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <variant>
+#include <vector>
+
+#include "core/types.h"
+
+namespace sst::sdl {
+
+class JsonValue;
+using JsonArray = std::vector<JsonValue>;
+using JsonObject = std::map<std::string, JsonValue, std::less<>>;
+
+/// Thrown on malformed JSON with a line/column-annotated message.
+class JsonError : public ConfigError {
+ public:
+  using ConfigError::ConfigError;
+};
+
+class JsonValue {
+ public:
+  JsonValue() : value_(nullptr) {}
+  JsonValue(std::nullptr_t) : value_(nullptr) {}
+  JsonValue(bool b) : value_(b) {}
+  JsonValue(double d) : value_(d) {}
+  JsonValue(int i) : value_(static_cast<double>(i)) {}
+  JsonValue(std::int64_t i) : value_(static_cast<double>(i)) {}
+  JsonValue(std::uint64_t u) : value_(static_cast<double>(u)) {}
+  JsonValue(const char* s) : value_(std::string(s)) {}
+  JsonValue(std::string s) : value_(std::move(s)) {}
+  JsonValue(JsonArray a) : value_(std::move(a)) {}
+  JsonValue(JsonObject o) : value_(std::move(o)) {}
+
+  [[nodiscard]] bool is_null() const {
+    return std::holds_alternative<std::nullptr_t>(value_);
+  }
+  [[nodiscard]] bool is_bool() const {
+    return std::holds_alternative<bool>(value_);
+  }
+  [[nodiscard]] bool is_number() const {
+    return std::holds_alternative<double>(value_);
+  }
+  [[nodiscard]] bool is_string() const {
+    return std::holds_alternative<std::string>(value_);
+  }
+  [[nodiscard]] bool is_array() const {
+    return std::holds_alternative<JsonArray>(value_);
+  }
+  [[nodiscard]] bool is_object() const {
+    return std::holds_alternative<JsonObject>(value_);
+  }
+
+  [[nodiscard]] bool as_bool() const;
+  [[nodiscard]] double as_number() const;
+  [[nodiscard]] const std::string& as_string() const;
+  [[nodiscard]] const JsonArray& as_array() const;
+  [[nodiscard]] const JsonObject& as_object() const;
+  [[nodiscard]] JsonArray& as_array();
+  [[nodiscard]] JsonObject& as_object();
+
+  /// Object member access; throws JsonError when missing or not an object.
+  [[nodiscard]] const JsonValue& at(std::string_view key) const;
+  /// Object member test.
+  [[nodiscard]] bool has(std::string_view key) const;
+  /// Object member access with default.
+  [[nodiscard]] std::string get_string(std::string_view key,
+                                       std::string_view fallback) const;
+  [[nodiscard]] double get_number(std::string_view key,
+                                  double fallback) const;
+  [[nodiscard]] bool get_bool(std::string_view key, bool fallback) const;
+
+  /// Serializes; indent > 0 pretty-prints.
+  [[nodiscard]] std::string dump(int indent = 0) const;
+
+  /// Parses a complete JSON document.
+  static JsonValue parse(std::string_view text);
+
+ private:
+  void dump_to(std::string& out, int indent, int depth) const;
+
+  std::variant<std::nullptr_t, bool, double, std::string, JsonArray,
+               JsonObject>
+      value_;
+};
+
+}  // namespace sst::sdl

@@ -1,0 +1,139 @@
+// sstsim — run a JSON-described system from the command line.
+//
+//   sstsim <system.json> [options]
+//
+// Options:
+//   --stats <file.csv>   write statistics as CSV (default: console table)
+//   --validate           validate the description and exit
+//   --ranks <n>          override the parallel rank count
+//   --end <time>         override the end time, e.g. "2ms"
+//   --seed <n>           override the global seed
+//   --list-components    print registered component types and exit
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "mem/mem_lib.h"
+#include "net/net_lib.h"
+#include "proc/proc_lib.h"
+#include "sdl/config_graph.h"
+
+namespace {
+
+int usage(const char* argv0) {
+  std::cerr << "usage: " << argv0
+            << " <system.json> [--stats out.csv] [--validate]"
+               " [--ranks N] [--end TIME] [--seed N] [--list-components]\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  sst::mem::register_library();
+  sst::proc::register_library();
+  sst::net::register_library();
+
+  std::string input;
+  std::string stats_path;
+  bool validate_only = false;
+  std::optional<unsigned> ranks;
+  std::optional<std::string> end_time;
+  std::optional<std::uint64_t> seed;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::cerr << arg << " requires a value\n";
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--list-components") {
+      for (const auto& t : sst::Factory::instance().registered_types()) {
+        std::cout << t << "\n";
+      }
+      return 0;
+    }
+    if (arg == "--stats") {
+      stats_path = next();
+    } else if (arg == "--validate") {
+      validate_only = true;
+    } else if (arg == "--ranks") {
+      ranks = static_cast<unsigned>(std::stoul(next()));
+    } else if (arg == "--end") {
+      end_time = next();
+    } else if (arg == "--seed") {
+      seed = std::stoull(next());
+    } else if (arg.rfind("--", 0) == 0) {
+      std::cerr << "unknown option " << arg << "\n";
+      return usage(argv[0]);
+    } else if (input.empty()) {
+      input = arg;
+    } else {
+      return usage(argv[0]);
+    }
+  }
+  if (input.empty()) return usage(argv[0]);
+
+  std::ifstream in(input);
+  if (!in) {
+    std::cerr << "cannot open " << input << "\n";
+    return 1;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+
+  sst::sdl::ConfigGraph graph;
+  try {
+    graph = sst::sdl::ConfigGraph::from_json_text(buf.str());
+  } catch (const sst::ConfigError& e) {
+    std::cerr << input << ": " << e.what() << "\n";
+    return 1;
+  }
+  if (ranks) graph.sim_config().num_ranks = *ranks;
+  if (end_time) {
+    graph.sim_config().end_time = sst::UnitAlgebra(*end_time).to_simtime();
+  }
+  if (seed) graph.sim_config().seed = *seed;
+
+  const auto problems = graph.validate(sst::Factory::instance());
+  if (!problems.empty()) {
+    std::cerr << input << ": invalid system description:\n";
+    for (const auto& p : problems) std::cerr << "  - " << p << "\n";
+    return 1;
+  }
+  if (validate_only) {
+    std::cout << input << ": OK (" << graph.components().size()
+              << " components, " << graph.links().size() << " links"
+              << (graph.network().present ? ", 1 network" : "") << ")\n";
+    return 0;
+  }
+
+  try {
+    auto sim = graph.build();
+    const sst::RunStats stats = sim->run();
+    std::cerr << "done: t=" << stats.final_time << " ps, "
+              << stats.events_processed << " events, "
+              << stats.wall_seconds << " s wall ("
+              << static_cast<std::uint64_t>(stats.events_per_second())
+              << " events/s)\n";
+    if (stats_path.empty()) {
+      sim->stats().write_console(std::cout);
+    } else {
+      std::ofstream out(stats_path);
+      if (!out) {
+        std::cerr << "cannot write " << stats_path << "\n";
+        return 1;
+      }
+      sim->stats().write_csv(out);
+      std::cerr << "statistics written to " << stats_path << "\n";
+    }
+  } catch (const std::exception& e) {
+    std::cerr << "simulation failed: " << e.what() << "\n";
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,75 @@
+// Factory registration and string-typed construction.
+#include <gtest/gtest.h>
+
+#include "core/factory.h"
+#include "core/sst.h"
+#include "../test_components.h"
+
+namespace sst {
+namespace {
+
+TEST(Factory, RegisterAndCreate) {
+  Factory f;
+  f.register_component(
+      "test.Echo",
+      [](Simulation& sim, const std::string& name, Params& p) -> Component* {
+        return sim.add_component<testing::Echo>(name, p);
+      });
+  EXPECT_TRUE(f.known("test.Echo"));
+  EXPECT_FALSE(f.known("test.Nope"));
+
+  Simulation sim;
+  Params p;
+  Component* c = f.create(sim, "test.Echo", "e0", p);
+  ASSERT_NE(c, nullptr);
+  EXPECT_EQ(c->name(), "e0");
+  EXPECT_EQ(sim.find_component("e0"), c);
+}
+
+TEST(Factory, UnknownTypeThrowsWithKnownList) {
+  Factory f;
+  f.register_component(
+      "lib.A", [](Simulation& sim, const std::string& name,
+                  Params& p) -> Component* {
+        return sim.add_component<testing::Echo>(name, p);
+      });
+  Simulation sim;
+  Params p;
+  try {
+    f.create(sim, "lib.B", "x", p);
+    FAIL() << "expected ConfigError";
+  } catch (const ConfigError& e) {
+    EXPECT_NE(std::string(e.what()).find("lib.A"), std::string::npos);
+  }
+}
+
+TEST(Factory, DuplicateRegistrationThrows) {
+  Factory f;
+  auto builder = [](Simulation& sim, const std::string& name,
+                    Params& p) -> Component* {
+    return sim.add_component<testing::Echo>(name, p);
+  };
+  f.register_component("dup.X", builder);
+  EXPECT_THROW(f.register_component("dup.X", builder), ConfigError);
+}
+
+TEST(Factory, RegisteredTypesSorted) {
+  Factory f;
+  auto builder = [](Simulation& sim, const std::string& name,
+                    Params& p) -> Component* {
+    return sim.add_component<testing::Echo>(name, p);
+  };
+  f.register_component("b.Y", builder);
+  f.register_component("a.X", builder);
+  const auto types = f.registered_types();
+  ASSERT_EQ(types.size(), 2u);
+  EXPECT_EQ(types[0], "a.X");
+  EXPECT_EQ(types[1], "b.Y");
+}
+
+TEST(Factory, GlobalInstanceIsSingleton) {
+  EXPECT_EQ(&Factory::instance(), &Factory::instance());
+}
+
+}  // namespace
+}  // namespace sst

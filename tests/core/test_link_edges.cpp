@@ -1,0 +1,179 @@
+// Link edge cases and misuse diagnostics.
+#include <gtest/gtest.h>
+
+#include "core/sst.h"
+#include "../test_components.h"
+
+namespace sst {
+namespace {
+
+using testing::Echo;
+using testing::IntEvent;
+
+TEST(LinkEdges, PollOnHandlerModeThrows) {
+  class HandlerOwner final : public Component {
+   public:
+    explicit HandlerOwner(Params&) {
+      link_ = configure_link("port", [](EventPtr) {});
+    }
+    Link* link_;
+  };
+  Simulation sim;
+  Params p;
+  auto* c = sim.add_component<HandlerOwner>("c", p);
+  sim.add_component<Echo>("e", p);
+  sim.connect("c", "port", "e", "port", kNanosecond);
+  sim.initialize();
+  EXPECT_THROW((void)c->link_->poll(), SimulationError);
+}
+
+TEST(LinkEdges, RecvInitOutsideInitReturnsNull) {
+  class Plain final : public Component {
+   public:
+    explicit Plain(Params&) {
+      link_ = configure_link("port", [](EventPtr) {});
+    }
+    Link* link_;
+  };
+  Simulation sim;
+  Params p;
+  auto* a = sim.add_component<Plain>("a", p);
+  sim.add_component<Plain>("b", p);
+  sim.connect("a", "port", "b", "port", kNanosecond);
+  sim.initialize();
+  EXPECT_EQ(a->link_->recv_init(), nullptr);
+}
+
+TEST(LinkEdges, SendInitOutsideInitThrows) {
+  class LateIniter final : public Component {
+   public:
+    explicit LateIniter(Params&) {
+      link_ = configure_link("port", [](EventPtr) {});
+    }
+    void setup() override {
+      EXPECT_THROW(link_->send_init(make_event<IntEvent>(1)),
+                   SimulationError);
+    }
+    Link* link_;
+  };
+  Simulation sim;
+  Params p;
+  sim.add_component<LateIniter>("a", p);
+  sim.add_component<Echo>("b", p);
+  sim.connect("a", "port", "b", "port", kNanosecond);
+  sim.initialize();
+}
+
+TEST(LinkEdges, NullEventSendThrows) {
+  class NullSender final : public Component {
+   public:
+    explicit NullSender(Params&) {
+      link_ = configure_link("port", [](EventPtr) {});
+    }
+    void setup() override {
+      EXPECT_THROW(link_->send(nullptr), SimulationError);
+    }
+    Link* link_;
+  };
+  Simulation sim;
+  Params p;
+  sim.add_component<NullSender>("a", p);
+  sim.add_component<Echo>("b", p);
+  sim.connect("a", "port", "b", "port", kNanosecond);
+  sim.initialize();
+}
+
+TEST(LinkEdges, OptionalPortStaysUnconnected) {
+  class Optional final : public Component {
+   public:
+    explicit Optional(Params&) {
+      link_ = configure_link("maybe", [](EventPtr) {}, /*optional=*/true);
+    }
+    Link* link_;
+  };
+  Simulation sim;
+  Params p;
+  auto* c = sim.add_component<Optional>("c", p);
+  sim.initialize();
+  EXPECT_FALSE(c->link_->connected());
+  EXPECT_EQ(c->link_->latency(), 0u);
+}
+
+TEST(LinkEdges, SelfLinkZeroLatencyDeliversSameTimeInOrder) {
+  class ZeroSelf final : public Component {
+   public:
+    explicit ZeroSelf(Params&) {
+      self_ = configure_self_link("loop", 0, [this](EventPtr ev) {
+        auto msg = event_cast<IntEvent>(std::move(ev));
+        order.push_back(msg->value);
+        if (msg->value == 0) {
+          // Same-timestamp follow-ups deliver after, in send order.
+          self_->send(make_event<IntEvent>(1));
+          self_->send(make_event<IntEvent>(2));
+        }
+        if (order.size() == 3) primary_ok_to_end_sim();
+      });
+      register_as_primary();
+    }
+    void setup() override { self_->send(make_event<IntEvent>(0)); }
+    std::vector<std::int64_t> order;
+    Link* self_;
+  };
+  Simulation sim;
+  Params p;
+  auto* c = sim.add_component<ZeroSelf>("c", p);
+  const RunStats stats = sim.run();
+  ASSERT_EQ(c->order.size(), 3u);
+  EXPECT_EQ(c->order[0], 0);
+  EXPECT_EQ(c->order[1], 1);
+  EXPECT_EQ(c->order[2], 2);
+  EXPECT_EQ(stats.final_time, 0u);
+}
+
+TEST(LinkEdges, DuplicatePortNameThrows) {
+  class DoublePort final : public Component {
+   public:
+    explicit DoublePort(Params&) {
+      configure_link("port", [](EventPtr) {});
+      configure_link("port", [](EventPtr) {});
+    }
+  };
+  Simulation sim;
+  Params p;
+  EXPECT_THROW(sim.add_component<DoublePort>("d", p), ConfigError);
+}
+
+TEST(LinkEdges, EventCastRejectsWrongType) {
+  EventPtr ev = make_event<NullEvent>();
+  EXPECT_THROW((void)event_cast<IntEvent>(std::move(ev)), SimulationError);
+}
+
+TEST(LinkEdges, ExtraDelayAddsToLatency) {
+  class DelaySender final : public Component {
+   public:
+    explicit DelaySender(Params&) {
+      link_ = configure_link("port", [](EventPtr) {});
+    }
+    void setup() override {
+      link_->send(make_event<IntEvent>(1), 7 * kNanosecond);
+    }
+    Link* link_;
+  };
+  class Stamp final : public Component {
+   public:
+    explicit Stamp(Params&) {
+      configure_link("port", [this](EventPtr) { at = now(); });
+    }
+    SimTime at = 0;
+  };
+  Simulation sim;
+  Params p;
+  sim.add_component<DelaySender>("s", p);
+  auto* r = sim.add_component<Stamp>("r", p);
+  sim.connect("s", "port", "r", "port", 3 * kNanosecond);
+  sim.run();
+  EXPECT_EQ(r->at, 10 * kNanosecond);
+}
+
+}  // namespace
+}  // namespace sst

@@ -1,0 +1,187 @@
+// Conservative parallel engine: determinism vs. the serial engine,
+// partitioners, lookahead computation, cross-rank statistics.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/sst.h"
+#include "../test_components.h"
+
+namespace sst {
+namespace {
+
+using testing::Echo;
+using testing::PholdNode;
+using testing::Pinger;
+
+struct RingResult {
+  std::uint64_t events;
+  std::vector<std::uint64_t> received;
+  RunStats stats;
+};
+
+RingResult run_ring(unsigned ranks, PartitionStrategy part,
+                    unsigned nodes = 8, SimTime end = 20 * kMicrosecond) {
+  Simulation sim(SimConfig{
+      .num_ranks = ranks, .end_time = end, .seed = 7, .partition = part});
+  Params p;
+  p.set("fanout", "2");
+  p.set("initial_events", "3");
+  p.set("min_delay", "10ns");
+  for (unsigned i = 0; i < nodes; ++i) {
+    sim.add_component<PholdNode>("n" + std::to_string(i), p);
+  }
+  for (unsigned i = 0; i < nodes; ++i) {
+    sim.connect("n" + std::to_string(i), "port0",
+                "n" + std::to_string((i + 1) % nodes), "port1",
+                100 * kNanosecond);
+  }
+  RingResult r;
+  r.stats = sim.run();
+  r.events = r.stats.events_processed;
+  for (unsigned i = 0; i < nodes; ++i) {
+    r.received.push_back(
+        dynamic_cast<PholdNode*>(sim.find_component("n" + std::to_string(i)))
+            ->received);
+  }
+  return r;
+}
+
+TEST(Parallel, MatchesSerialExactly) {
+  const RingResult serial = run_ring(1, PartitionStrategy::kLinear);
+  const RingResult par2 = run_ring(2, PartitionStrategy::kLinear);
+  const RingResult par4 = run_ring(4, PartitionStrategy::kLinear);
+  EXPECT_GT(serial.events, 100u);
+  EXPECT_EQ(serial.received, par2.received);
+  EXPECT_EQ(serial.received, par4.received);
+  EXPECT_EQ(serial.events, par2.events);
+  EXPECT_EQ(serial.events, par4.events);
+}
+
+TEST(Parallel, RepeatedParallelRunsIdentical) {
+  const RingResult a = run_ring(4, PartitionStrategy::kRoundRobin);
+  const RingResult b = run_ring(4, PartitionStrategy::kRoundRobin);
+  EXPECT_EQ(a.received, b.received);
+  EXPECT_EQ(a.events, b.events);
+}
+
+TEST(Parallel, ResultIndependentOfPartitioning) {
+  const RingResult lin = run_ring(2, PartitionStrategy::kLinear);
+  const RingResult rr = run_ring(2, PartitionStrategy::kRoundRobin);
+  const RingResult mc = run_ring(2, PartitionStrategy::kMinCut);
+  EXPECT_EQ(lin.received, rr.received);
+  EXPECT_EQ(lin.received, mc.received);
+}
+
+TEST(Parallel, LookaheadIsMinCrossRankLatency) {
+  const RingResult r = run_ring(2, PartitionStrategy::kLinear);
+  EXPECT_EQ(r.stats.lookahead, 100 * kNanosecond);
+  EXPECT_GT(r.stats.sync_windows, 0u);
+  EXPECT_GT(r.stats.cross_rank_events, 0u);
+  EXPECT_GT(r.stats.cut_links, 0u);
+}
+
+TEST(Parallel, MinCutCutsFewerLinksThanRoundRobin) {
+  // On a ring, contiguous blocks cut exactly 2 bidirectional connections;
+  // round-robin cuts every connection.
+  const RingResult mc = run_ring(4, PartitionStrategy::kMinCut, 16);
+  const RingResult rr = run_ring(4, PartitionStrategy::kRoundRobin, 16);
+  EXPECT_LT(mc.stats.cut_links, rr.stats.cut_links);
+  EXPECT_LE(mc.stats.cross_rank_events, rr.stats.cross_rank_events);
+}
+
+TEST(Parallel, PinnedRanksRespected) {
+  Simulation sim(SimConfig{.num_ranks = 2, .end_time = kMicrosecond});
+  Params pp;
+  pp.set("count", "10");
+  sim.add_component<Pinger>("ping", pp);
+  Params ep;
+  sim.add_component<Echo>("echo", ep);
+  sim.connect("ping", "port", "echo", "port", 50 * kNanosecond);
+  sim.set_component_rank("ping", 0);
+  sim.set_component_rank("echo", 1);
+  sim.initialize();
+  EXPECT_EQ(sim.find_component("ping")->rank(), 0u);
+  EXPECT_EQ(sim.find_component("echo")->rank(), 1u);
+  const RunStats stats = sim.run();
+  // Every event crossed the partition.
+  EXPECT_EQ(stats.cross_rank_events, stats.events_processed);
+}
+
+TEST(Parallel, PinToInvalidRankThrows) {
+  Simulation sim(SimConfig{.num_ranks = 2});
+  Params p;
+  sim.add_component<Echo>("a", p);
+  EXPECT_THROW(sim.set_component_rank("a", 5), ConfigError);
+}
+
+TEST(Parallel, PinUnknownComponentThrows) {
+  Simulation sim(SimConfig{.num_ranks = 2});
+  Params p;
+  sim.add_component<Echo>("a", p);
+  sim.add_component<Echo>("b", p);
+  sim.connect("a", "port", "b", "port", kNanosecond);
+  sim.set_component_rank("zzz", 1);
+  EXPECT_THROW(sim.initialize(), ConfigError);
+}
+
+TEST(Parallel, PrimaryTerminationAcrossRanks) {
+  // Pinger on rank 0, Echo on rank 1: the primary-exit vote must
+  // terminate the parallel run.
+  Simulation sim(SimConfig{.num_ranks = 2});
+  Params pp;
+  pp.set("count", "20");
+  auto* pinger = sim.add_component<Pinger>("ping", pp);
+  Params ep;
+  sim.add_component<Echo>("echo", ep);
+  sim.connect("ping", "port", "echo", "port", 50 * kNanosecond);
+  sim.set_component_rank("ping", 0);
+  sim.set_component_rank("echo", 1);
+  sim.run();
+  EXPECT_EQ(pinger->round_trips.size(), 20u);
+}
+
+TEST(Parallel, IndependentPartitionsTerminate) {
+  // No cross-rank links at all: the engine must still make progress and
+  // terminate (bounded default window).
+  Simulation sim(SimConfig{.num_ranks = 2});
+  Params pp;
+  pp.set("count", "5");
+  sim.add_component<Pinger>("ping0", pp);
+  Params ep;
+  sim.add_component<Echo>("echo0", ep);
+  sim.add_component<Pinger>("ping1", pp);
+  sim.add_component<Echo>("echo1", ep);
+  sim.connect("ping0", "port", "echo0", "port", 10 * kNanosecond);
+  sim.connect("ping1", "port", "echo1", "port", 10 * kNanosecond);
+  sim.set_component_rank("ping0", 0);
+  sim.set_component_rank("echo0", 0);
+  sim.set_component_rank("ping1", 1);
+  sim.set_component_rank("echo1", 1);
+  const RunStats stats = sim.run();
+  EXPECT_EQ(stats.cross_rank_events, 0u);
+  auto* p0 = dynamic_cast<Pinger*>(sim.find_component("ping0"));
+  auto* p1 = dynamic_cast<Pinger*>(sim.find_component("ping1"));
+  EXPECT_EQ(p0->round_trips.size(), 5u);
+  EXPECT_EQ(p1->round_trips.size(), 5u);
+}
+
+TEST(Parallel, ManyRanksMoreThanComponents) {
+  // More ranks than components: some ranks stay empty; must not hang.
+  Simulation sim(SimConfig{.num_ranks = 6});
+  Params pp;
+  pp.set("count", "3");
+  auto* pinger = sim.add_component<Pinger>("ping", pp);
+  Params ep;
+  sim.add_component<Echo>("echo", ep);
+  sim.connect("ping", "port", "echo", "port", 10 * kNanosecond);
+  sim.run();
+  EXPECT_EQ(pinger->round_trips.size(), 3u);
+}
+
+TEST(Parallel, ZeroRanksRejected) {
+  EXPECT_THROW(Simulation sim(SimConfig{.num_ranks = 0}), ConfigError);
+}
+
+}  // namespace
+}  // namespace sst

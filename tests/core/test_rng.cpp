@@ -1,0 +1,116 @@
+// RNG determinism and distribution sanity.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/rng.h"
+
+namespace sst::rng {
+namespace {
+
+TEST(Rng, XorShiftDeterministicPerSeed) {
+  XorShift128Plus a(123), b(123), c(124);
+  bool all_same = true;
+  bool any_diff = false;
+  for (int i = 0; i < 100; ++i) {
+    const auto va = a.next();
+    all_same = all_same && (va == b.next());
+    any_diff = any_diff || (va != c.next());
+  }
+  EXPECT_TRUE(all_same);
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(Rng, DoubleInUnitInterval) {
+  XorShift128Plus r(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double d = r.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Rng, BoundedIsUnbiasedEnough) {
+  XorShift128Plus r(11);
+  constexpr std::uint64_t kBuckets = 10;
+  constexpr int kSamples = 100000;
+  std::uint64_t counts[kBuckets] = {};
+  for (int i = 0; i < kSamples; ++i) {
+    const std::uint64_t v = r.next_bounded(kBuckets);
+    ASSERT_LT(v, kBuckets);
+    ++counts[v];
+  }
+  // Each bucket should be within 5% of the expected share.
+  for (auto c : counts) {
+    EXPECT_NEAR(static_cast<double>(c), kSamples / 10.0, kSamples * 0.005);
+  }
+}
+
+TEST(Rng, BoundedEdgeCases) {
+  XorShift128Plus r(3);
+  EXPECT_EQ(r.next_bounded(1), 0u);
+  EXPECT_THROW((void)r.next_bounded(0), SimulationError);
+  EXPECT_EQ(r.next_range(5, 5), 5u);
+  EXPECT_THROW((void)r.next_range(6, 5), SimulationError);
+  const std::uint64_t v = r.next_range(10, 20);
+  EXPECT_GE(v, 10u);
+  EXPECT_LE(v, 20u);
+}
+
+TEST(Rng, Pcg32StreamsDiffer) {
+  Pcg32 a(1, 1), b(1, 2);
+  bool differ = false;
+  for (int i = 0; i < 16; ++i) differ = differ || (a.next() != b.next());
+  EXPECT_TRUE(differ);
+}
+
+TEST(Rng, ExponentialMeanConverges) {
+  XorShift128Plus r(17);
+  double sum = 0;
+  constexpr int kSamples = 200000;
+  for (int i = 0; i < kSamples; ++i) sum += exponential(r, 100.0);
+  EXPECT_NEAR(sum / kSamples, 100.0, 2.0);
+  EXPECT_THROW((void)exponential(r, 0.0), SimulationError);
+}
+
+TEST(Rng, PoissonMeanConverges) {
+  XorShift128Plus r(23);
+  double sum_small = 0, sum_large = 0;
+  constexpr int kSamples = 50000;
+  for (int i = 0; i < kSamples; ++i) {
+    sum_small += static_cast<double>(poisson(r, 4.0));
+    sum_large += static_cast<double>(poisson(r, 100.0));  // normal approx
+  }
+  EXPECT_NEAR(sum_small / kSamples, 4.0, 0.1);
+  EXPECT_NEAR(sum_large / kSamples, 100.0, 1.0);
+}
+
+TEST(Rng, DiscreteDistributionRespectsWeights) {
+  DiscreteDistribution dist({1.0, 3.0, 6.0});
+  XorShift128Plus r(31);
+  std::uint64_t counts[3] = {};
+  constexpr int kSamples = 100000;
+  for (int i = 0; i < kSamples; ++i) ++counts[dist.sample(r)];
+  EXPECT_NEAR(static_cast<double>(counts[0]) / kSamples, 0.1, 0.01);
+  EXPECT_NEAR(static_cast<double>(counts[1]) / kSamples, 0.3, 0.01);
+  EXPECT_NEAR(static_cast<double>(counts[2]) / kSamples, 0.6, 0.01);
+}
+
+TEST(Rng, DiscreteDistributionValidation) {
+  EXPECT_THROW(DiscreteDistribution({}), SimulationError);
+  EXPECT_THROW(DiscreteDistribution({1.0, -1.0}), SimulationError);
+  EXPECT_THROW(DiscreteDistribution({0.0, 0.0}), SimulationError);
+}
+
+TEST(Rng, SplitMixAvalanche) {
+  // Nearby seeds must produce wildly different outputs.
+  SplitMix64 a(1), b(2);
+  const std::uint64_t va = a.next();
+  const std::uint64_t vb = b.next();
+  int differing_bits = 0;
+  for (std::uint64_t x = va ^ vb; x; x &= x - 1) ++differing_bits;
+  EXPECT_GT(differing_bits, 10);
+}
+
+}  // namespace
+}  // namespace sst::rng

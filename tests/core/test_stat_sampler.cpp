@@ -1,0 +1,139 @@
+// Interval statistics sampling.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/sst.h"
+#include "../test_components.h"
+
+namespace sst {
+namespace {
+
+/// Emits one counter increment per clock tick so intervals are exact.
+class SteadyCounter final : public Component {
+ public:
+  explicit SteadyCounter(Params& p) {
+    const SimTime period = p.find_period("clock", "1GHz");
+    counter_ = stat_counter("ticks");
+    register_clock(period, [this](Cycle) {
+      counter_->add();
+      return false;
+    });
+  }
+
+ private:
+  Counter* counter_;
+};
+
+TEST(StatSampler, SamplesAtFixedIntervals) {
+  Simulation sim(SimConfig{.end_time = 100 * kMicrosecond});
+  Params cp;
+  cp.set("clock", "1GHz");  // 1 tick per ns
+  sim.add_component<SteadyCounter>("work", cp);
+  Params sp;
+  sp.set("period", "10us");
+  auto* sampler = sim.add_component<StatSampler>("sampler", sp);
+  sim.run();
+
+  ASSERT_EQ(sampler->columns().size(), 1u);
+  EXPECT_EQ(sampler->columns()[0], "work.ticks.count");
+  ASSERT_EQ(sampler->samples().size(), 10u);
+  for (std::size_t i = 0; i < sampler->samples().size(); ++i) {
+    EXPECT_EQ(sampler->samples()[i].time, (i + 1) * 10 * kMicrosecond);
+    // 10us at 1 tick/ns = 10000 ticks per interval.
+    EXPECT_NEAR(sampler->delta(0, i), 10'000.0, 1.0);
+  }
+}
+
+TEST(StatSampler, ComponentFilter) {
+  Simulation sim(SimConfig{.end_time = 20 * kMicrosecond});
+  Params cp;
+  cp.set("clock", "1GHz");
+  sim.add_component<SteadyCounter>("keep_me", cp);
+  sim.add_component<SteadyCounter>("drop_me", cp);
+  Params sp;
+  sp.set("period", "5us");
+  sp.set("components", "keep");
+  auto* sampler = sim.add_component<StatSampler>("sampler", sp);
+  sim.run();
+  ASSERT_EQ(sampler->columns().size(), 1u);
+  EXPECT_EQ(sampler->columns()[0], "keep_me.ticks.count");
+}
+
+TEST(StatSampler, FieldFilterAndAccumulators) {
+  class SumEmitter final : public Component {
+   public:
+    explicit SumEmitter(Params&) {
+      acc_ = stat_accumulator("value");
+      register_clock(kMicrosecond, [this](Cycle) {
+        acc_->add(2.5);
+        return false;
+      });
+    }
+    Accumulator* acc_;
+  };
+  Simulation sim(SimConfig{.end_time = 10 * kMicrosecond});
+  Params cp;
+  sim.add_component<SumEmitter>("emitter", cp);
+  Params sp;
+  sp.set("period", "5us");
+  sp.set("fields", "sum");
+  auto* sampler = sim.add_component<StatSampler>("sampler", sp);
+  sim.run();
+  ASSERT_EQ(sampler->columns().size(), 1u);
+  EXPECT_EQ(sampler->columns()[0], "emitter.value.sum");
+  ASSERT_EQ(sampler->samples().size(), 2u);
+  EXPECT_NEAR(sampler->samples()[1].values[0], 25.0, 1e-9);
+}
+
+TEST(StatSampler, CsvOutputShape) {
+  Simulation sim(SimConfig{.end_time = 4 * kMicrosecond});
+  Params cp;
+  cp.set("clock", "1GHz");
+  sim.add_component<SteadyCounter>("work", cp);
+  Params sp;
+  sp.set("period", "2us");
+  auto* sampler = sim.add_component<StatSampler>("sampler", sp);
+  sim.run();
+  std::ostringstream os;
+  sampler->write_csv(os);
+  const std::string text = os.str();
+  EXPECT_NE(text.find("time_ps,work.ticks.count"), std::string::npos);
+  EXPECT_NE(text.find("\n2000000,"), std::string::npos);
+}
+
+TEST(StatSampler, DeltaValidation) {
+  Simulation sim(SimConfig{.end_time = kMicrosecond});
+  Params cp;
+  cp.set("clock", "1GHz");
+  sim.add_component<SteadyCounter>("work", cp);
+  Params sp;
+  sp.set("period", "500ns");
+  auto* sampler = sim.add_component<StatSampler>("sampler", sp);
+  sim.run();
+  EXPECT_THROW((void)sampler->delta(99, 0), ConfigError);
+  EXPECT_THROW((void)sampler->delta(0, 99), ConfigError);
+}
+
+TEST(StatSampler, WorksAlongsidePrimaries) {
+  // A primary-driven simulation with a sampler terminates when the
+  // primaries finish, not at end_time.
+  Simulation sim(SimConfig{.end_time = kSecond});
+  Params pp;
+  pp.set("count", "100");
+  sim.add_component<testing::Pinger>("ping", pp);
+  Params ep;
+  sim.add_component<testing::Echo>("echo", ep);
+  sim.connect("ping", "port", "echo", "port", 100 * kNanosecond);
+  Params sp;
+  sp.set("period", "1us");
+  auto* sampler = sim.add_component<StatSampler>("sampler", sp);
+  const RunStats stats = sim.run();
+  EXPECT_LT(stats.final_time, kMillisecond);
+  // 100 round trips x 200ns = 20us -> 20 samples.
+  EXPECT_GE(sampler->samples().size(), 19u);
+  EXPECT_LE(sampler->samples().size(), 21u);
+}
+
+}  // namespace
+}  // namespace sst

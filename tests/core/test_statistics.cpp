@@ -1,0 +1,108 @@
+// Statistics engine: accumulators, histograms, registry output.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "core/statistics.h"
+
+namespace sst {
+namespace {
+
+TEST(Statistics, CounterAccumulates) {
+  Counter c("comp", "hits");
+  c.add();
+  c.add(9);
+  EXPECT_EQ(c.count(), 10u);
+  const auto f = c.fields();
+  ASSERT_EQ(f.size(), 1u);
+  EXPECT_EQ(f[0].name, "count");
+  EXPECT_DOUBLE_EQ(f[0].value, 10.0);
+}
+
+TEST(Statistics, AccumulatorMoments) {
+  Accumulator a("comp", "lat");
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) a.add(v);
+  EXPECT_EQ(a.count(), 8u);
+  EXPECT_DOUBLE_EQ(a.sum(), 40.0);
+  EXPECT_DOUBLE_EQ(a.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(a.min(), 2.0);
+  EXPECT_DOUBLE_EQ(a.max(), 9.0);
+  // Sample variance of this classic dataset is 32/7.
+  EXPECT_NEAR(a.variance(), 32.0 / 7.0, 1e-12);
+}
+
+TEST(Statistics, AccumulatorEmptyIsSafe) {
+  Accumulator a("comp", "empty");
+  EXPECT_EQ(a.count(), 0u);
+  EXPECT_DOUBLE_EQ(a.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(a.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(a.min(), 0.0);
+  EXPECT_DOUBLE_EQ(a.max(), 0.0);
+}
+
+TEST(Statistics, HistogramBinning) {
+  Histogram h("comp", "lat", 0.0, 10.0, 10);  // [0,100) in 10 bins
+  h.add(-5.0);   // underflow
+  h.add(0.0);    // bin 0
+  h.add(9.99);   // bin 0
+  h.add(10.0);   // bin 1
+  h.add(55.0);   // bin 5
+  h.add(99.9);   // bin 9
+  h.add(100.0);  // overflow
+  h.add(1e9);    // overflow
+  EXPECT_EQ(h.count(), 8u);
+  EXPECT_EQ(h.underflow(), 1u);
+  EXPECT_EQ(h.overflow(), 2u);
+  EXPECT_EQ(h.bin(0), 2u);
+  EXPECT_EQ(h.bin(1), 1u);
+  EXPECT_EQ(h.bin(5), 1u);
+  EXPECT_EQ(h.bin(9), 1u);
+}
+
+TEST(Statistics, HistogramPercentiles) {
+  Histogram h("comp", "lat", 0.0, 1.0, 100);
+  for (int i = 0; i < 100; ++i) h.add(static_cast<double>(i) + 0.5);
+  // p50 is near 50, p99 near 99 (bin resolution).
+  EXPECT_NEAR(h.percentile(0.50), 50.0, 1.5);
+  EXPECT_NEAR(h.percentile(0.99), 99.0, 1.5);
+  EXPECT_THROW((void)h.percentile(1.5), ConfigError);
+}
+
+TEST(Statistics, HistogramValidation) {
+  EXPECT_THROW(Histogram("c", "h", 0.0, 0.0, 4), ConfigError);
+  EXPECT_THROW(Histogram("c", "h", 0.0, 1.0, 0), ConfigError);
+}
+
+TEST(Statistics, RegistryFindAndOutput) {
+  StatisticsRegistry reg;
+  auto* c = reg.create<Counter>("cpu0", "loads");
+  c->add(3);
+  auto* a = reg.create<Accumulator>("cpu0", "latency");
+  a->add(1.5);
+
+  EXPECT_EQ(reg.find("cpu0", "loads"), c);
+  EXPECT_EQ(reg.find("cpu0", "nope"), nullptr);
+  EXPECT_EQ(reg.all().size(), 2u);
+
+  std::ostringstream console;
+  reg.write_console(console);
+  EXPECT_NE(console.str().find("cpu0.loads"), std::string::npos);
+
+  std::ostringstream csv;
+  reg.write_csv(csv);
+  const std::string text = csv.str();
+  EXPECT_NE(text.find("component,statistic,field,value"), std::string::npos);
+  EXPECT_NE(text.find("cpu0,loads,count,3"), std::string::npos);
+}
+
+TEST(Statistics, VarianceGuardsAgainstRounding) {
+  Accumulator a("c", "x");
+  // Identical large values: naive two-pass formula could go slightly
+  // negative; we clamp to zero.
+  for (int i = 0; i < 100; ++i) a.add(1e15);
+  EXPECT_GE(a.variance(), 0.0);
+}
+
+}  // namespace
+}  // namespace sst

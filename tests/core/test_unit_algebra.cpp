@@ -1,0 +1,113 @@
+// UnitAlgebra: parsing, arithmetic, conversions, error handling.
+#include <gtest/gtest.h>
+
+#include "core/unit_algebra.h"
+
+namespace sst {
+namespace {
+
+TEST(UnitAlgebra, ParsesTimes) {
+  EXPECT_EQ(UnitAlgebra("1s").to_simtime(), kSecond);
+  EXPECT_EQ(UnitAlgebra("1ms").to_simtime(), kMillisecond);
+  EXPECT_EQ(UnitAlgebra("1us").to_simtime(), kMicrosecond);
+  EXPECT_EQ(UnitAlgebra("10ns").to_simtime(), 10 * kNanosecond);
+  EXPECT_EQ(UnitAlgebra("500ps").to_simtime(), 500u);
+  EXPECT_EQ(UnitAlgebra("2.5ns").to_simtime(), 2500u);
+  EXPECT_EQ(UnitAlgebra(" 3 ns ").to_simtime(), 3000u);
+}
+
+TEST(UnitAlgebra, ParsesFrequenciesAsPeriods) {
+  EXPECT_EQ(UnitAlgebra("1GHz").to_period(), 1000u);
+  EXPECT_EQ(UnitAlgebra("2GHz").to_period(), 500u);
+  EXPECT_EQ(UnitAlgebra("250MHz").to_period(), 4000u);
+  // Periods pass through to_period unchanged.
+  EXPECT_EQ(UnitAlgebra("3ns").to_period(), 3000u);
+}
+
+TEST(UnitAlgebra, ParsesBytesWithBinaryAndSiPrefixes) {
+  EXPECT_EQ(UnitAlgebra("64B").to_bytes(), 64u);
+  EXPECT_EQ(UnitAlgebra("1KiB").to_bytes(), 1024u);
+  EXPECT_EQ(UnitAlgebra("64KiB").to_bytes(), 65536u);
+  EXPECT_EQ(UnitAlgebra("1MiB").to_bytes(), 1048576u);
+  EXPECT_EQ(UnitAlgebra("2GiB").to_bytes(), 2147483648u);
+  EXPECT_EQ(UnitAlgebra("1kB").to_bytes(), 1000u);
+  EXPECT_EQ(UnitAlgebra("1MB").to_bytes(), 1000000u);
+}
+
+TEST(UnitAlgebra, ParsesBandwidth) {
+  EXPECT_DOUBLE_EQ(UnitAlgebra("1GB/s").to_bytes_per_second(), 1e9);
+  EXPECT_DOUBLE_EQ(UnitAlgebra("3.2GB/s").to_bytes_per_second(), 3.2e9);
+  // Bits convert to bytes.
+  EXPECT_DOUBLE_EQ(UnitAlgebra("8Gb/s").to_bytes_per_second(), 1e9);
+}
+
+TEST(UnitAlgebra, Arithmetic) {
+  const UnitAlgebra bytes("128B");
+  const UnitAlgebra bw("16GB/s");
+  const UnitAlgebra t = bytes / bw;
+  EXPECT_TRUE(t.has_units_of("1s"));
+  EXPECT_EQ(t.to_simtime(), 8 * kNanosecond);  // 128 B / 16 GB/s = 8 ns
+
+  const UnitAlgebra sum = UnitAlgebra("1ns") + UnitAlgebra("500ps");
+  EXPECT_EQ(sum.to_simtime(), 1500u);
+
+  const UnitAlgebra diff = UnitAlgebra("2us") - UnitAlgebra("1us");
+  EXPECT_EQ(diff.to_simtime(), kMicrosecond);
+}
+
+TEST(UnitAlgebra, DimensionMismatchThrows) {
+  EXPECT_THROW((void)(UnitAlgebra("1ns") + UnitAlgebra("1B")), ConfigError);
+  EXPECT_THROW((void)(UnitAlgebra("1ns") - UnitAlgebra("1Hz")), ConfigError);
+  EXPECT_THROW((void)(UnitAlgebra("1ns") < UnitAlgebra("1B")), ConfigError);
+  EXPECT_THROW((void)UnitAlgebra("1B").to_simtime(), ConfigError);
+  EXPECT_THROW((void)UnitAlgebra("1ns").to_bytes(), ConfigError);
+  EXPECT_THROW((void)UnitAlgebra("1B").to_bytes_per_second(), ConfigError);
+}
+
+TEST(UnitAlgebra, Comparisons) {
+  EXPECT_TRUE(UnitAlgebra("1ns") < UnitAlgebra("2ns"));
+  EXPECT_TRUE(UnitAlgebra("1GHz") > UnitAlgebra("500MHz"));
+  EXPECT_TRUE(UnitAlgebra("1KiB") == UnitAlgebra("1024B"));
+}
+
+TEST(UnitAlgebra, Inversion) {
+  const UnitAlgebra freq = UnitAlgebra("2ns").inverted();
+  EXPECT_NEAR(freq.value(), 5e8, 1);
+  EXPECT_THROW((void)UnitAlgebra(0.0, Units{}).inverted(), ConfigError);
+}
+
+TEST(UnitAlgebra, MalformedInputThrows) {
+  EXPECT_THROW(UnitAlgebra(""), ConfigError);
+  EXPECT_THROW(UnitAlgebra("fast"), ConfigError);
+  EXPECT_THROW(UnitAlgebra("12parsecs"), ConfigError);
+  EXPECT_THROW(UnitAlgebra("1Kis"), ConfigError);  // binary prefix on time
+  EXPECT_THROW(UnitAlgebra("ns"), ConfigError);    // no number
+}
+
+TEST(UnitAlgebra, EnergyAndPower) {
+  const UnitAlgebra e = UnitAlgebra("2W") * UnitAlgebra("3s");
+  EXPECT_TRUE(e.has_units_of("1J"));
+  EXPECT_DOUBLE_EQ(e.value(), 6.0);
+}
+
+TEST(UnitAlgebra, RoundedRejectsNegative) {
+  const UnitAlgebra neg = UnitAlgebra("0B") - UnitAlgebra("5B");
+  EXPECT_THROW((void)neg.rounded(), ConfigError);
+}
+
+TEST(UnitAlgebra, ToStringRoundTrips) {
+  EXPECT_EQ(UnitAlgebra(UnitAlgebra("1.5ns").to_string()).to_simtime(),
+            1500u);
+}
+
+TEST(FrequencyHelpers, Conversions) {
+  EXPECT_EQ(frequency_to_period(1e9), 1000u);
+  EXPECT_DOUBLE_EQ(period_to_frequency(1000), 1e9);
+  EXPECT_THROW(frequency_to_period(0), ConfigError);
+  EXPECT_THROW(period_to_frequency(0), ConfigError);
+  // Very high frequencies clamp to 1 ps.
+  EXPECT_EQ(frequency_to_period(5e12), 1u);
+}
+
+}  // namespace
+}  // namespace sst

@@ -1,0 +1,193 @@
+// Integration: full node — core + L1 + L2 + bus + DRAM controller —
+// exercising the complete MemEvent protocol stack and the behaviours the
+// design-space experiments rely on.
+#include <gtest/gtest.h>
+
+#include "mem/mem_lib.h"
+#include "proc/proc_lib.h"
+
+namespace sst {
+namespace {
+
+struct Node {
+  proc::Core* core;
+  mem::Cache* l1;
+  mem::Cache* l2;
+  mem::MemoryController* mc;
+};
+
+/// One core with a two-level hierarchy over a DRAM preset.
+Node build_node(Simulation& sim, const std::string& suffix,
+                const std::string& preset, unsigned width,
+                proc::WorkloadPtr w, const std::string& l2_size = "256KiB",
+                const std::string& bus_name = "") {
+  Node n;
+  Params cp;
+  cp.set("clock", "2GHz");
+  cp.set("issue_width", std::to_string(width));
+  cp.set("max_loads", "64");
+  cp.set("max_stores", "64");
+  n.core = sim.add_component<proc::Core>("cpu" + suffix, cp);
+  n.core->set_workload(std::move(w));
+
+  Params l1p;
+  l1p.set("size", "32KiB");
+  l1p.set("assoc", "4");
+  l1p.set("hit_latency", "1ns");
+  l1p.set("mshrs", "16");
+  n.l1 = sim.add_component<mem::Cache>("l1" + suffix, l1p);
+
+  Params l2p;
+  l2p.set("size", l2_size);
+  l2p.set("assoc", "8");
+  l2p.set("hit_latency", "4ns");
+  l2p.set("mshrs", "32");
+  n.l2 = sim.add_component<mem::Cache>("l2" + suffix, l2p);
+
+  sim.connect("cpu" + suffix, "mem", "l1" + suffix, "cpu", 500);
+  sim.connect("l1" + suffix, "mem", "l2" + suffix, "cpu", kNanosecond);
+
+  if (bus_name.empty()) {
+    Params mp;
+    mp.set("backend", "dram");
+    mp.set("preset", preset);
+    n.mc = sim.add_component<mem::MemoryController>("mc" + suffix, mp);
+    sim.connect("l2" + suffix, "mem", "mc" + suffix, "cpu",
+                2 * kNanosecond);
+  } else {
+    n.mc = nullptr;
+  }
+  return n;
+}
+
+SimTime run_node(const std::string& preset, unsigned width,
+                 proc::WorkloadPtr w) {
+  Simulation sim;
+  Node n = build_node(sim, "", preset, width, std::move(w));
+  sim.run();
+  EXPECT_TRUE(n.core->done());
+  return n.core->completion_time();
+}
+
+TEST(MemorySystemIntegration, HierarchyFiltersTraffic) {
+  Simulation sim;
+  // Working set ~64KiB: fits L2 (256KiB) but not L1 (32KiB).
+  Node n = build_node(sim, "", "DDR3", 2,
+                      std::make_unique<proc::StreamTriad>(2730, 4));
+  sim.run();
+  EXPECT_GT(n.l1->misses(), 0u);
+  // Iterations 2..4 hit in L2, so L2 misses (DRAM fetches) are bounded by
+  // roughly one compulsory pass over the working set.
+  EXPECT_LT(n.l2->misses(), n.l1->misses());
+  EXPECT_LT(n.mc->reads() + n.mc->writes(),
+            n.l1->hits() + n.l1->misses());
+}
+
+TEST(MemorySystemIntegration, CacheFitVsCacheBustRuntime) {
+  // Same op count; small working set reuses cache, big one streams DRAM.
+  const SimTime fits =
+      run_node("DDR3", 2, std::make_unique<proc::StreamTriad>(1024, 16));
+  const SimTime busts =
+      run_node("DDR3", 2, std::make_unique<proc::StreamTriad>(16384, 1));
+  EXPECT_LT(fits, busts);
+}
+
+TEST(MemorySystemIntegration, MemoryTechnologyOrderingOnStream) {
+  // Streaming working set far beyond cache: DRAM bandwidth dominates.
+  auto wl = [] { return std::make_unique<proc::StreamTriad>(1 << 15, 1); };
+  const SimTime ddr2 = run_node("DDR2", 4, wl());
+  const SimTime ddr3 = run_node("DDR3", 4, wl());
+  const SimTime gddr = run_node("GDDR5", 4, wl());
+  EXPECT_LT(gddr, ddr3);
+  EXPECT_LT(ddr3, ddr2);
+}
+
+TEST(MemorySystemIntegration, IssueWidthHelpsLulesh) {
+  auto wl = [] { return std::make_unique<proc::Lulesh>(10, 1); };
+  const SimTime w1 = run_node("DDR3", 1, wl());
+  const SimTime w8 = run_node("DDR3", 8, wl());
+  const double speedup = static_cast<double>(w1) / static_cast<double>(w8);
+  EXPECT_GT(speedup, 1.4);
+}
+
+TEST(MemorySystemIntegration, SharedBusContention) {
+  // Two cores sharing one memory controller through a bus run slower per
+  // core than a single core alone — the "cores per node" effect.
+  auto build_shared = [](Simulation& sim, unsigned ncores) {
+    Params bp;
+    bp.set("num_ports", "4");
+    bp.set("bandwidth", "12.8GB/s");
+    sim.add_component<mem::Bus>("bus", bp);
+    Params mp;
+    mp.set("backend", "dram");
+    mp.set("preset", "DDR3");
+    sim.add_component<mem::MemoryController>("mc", mp);
+    sim.connect("bus", "down", "mc", "cpu", 2 * kNanosecond);
+    std::vector<proc::Core*> cores;
+    for (unsigned c = 0; c < ncores; ++c) {
+      const std::string s = std::to_string(c);
+      Node n = build_node(sim, s, "DDR3", 2,
+                          std::make_unique<proc::StreamTriad>(1 << 14, 1),
+                          "256KiB", "bus");
+      sim.connect("l2" + s, "mem", "bus", "up" + s, 2 * kNanosecond);
+      cores.push_back(n.core);
+    }
+    return cores;
+  };
+  Simulation solo;
+  auto solo_cores = build_shared(solo, 1);
+  solo.run();
+  const SimTime t_solo = solo_cores[0]->completion_time();
+
+  Simulation duo;
+  auto duo_cores = build_shared(duo, 3);
+  duo.run();
+  SimTime t_duo = 0;
+  for (auto* c : duo_cores) {
+    EXPECT_TRUE(c->done());
+    t_duo = std::max(t_duo, c->completion_time());
+  }
+  EXPECT_GT(t_duo, t_solo);
+}
+
+TEST(MemorySystemIntegration, DeterministicAcrossRepeats) {
+  auto once = [] {
+    return run_node("DDR3", 4, std::make_unique<proc::Hpccg>(8, 8, 8, 1));
+  };
+  EXPECT_EQ(once(), once());
+}
+
+TEST(MemorySystemIntegration, ParallelEngineMatchesSerial) {
+  // Two independent nodes, one per rank: identical results either way.
+  auto run_with_ranks = [](unsigned ranks) {
+    Simulation sim(SimConfig{.num_ranks = ranks});
+    Node a = build_node(sim, "_a", "DDR3", 2,
+                        std::make_unique<proc::StreamTriad>(4096, 2));
+    Node b = build_node(sim, "_b", "GDDR5", 4,
+                        std::make_unique<proc::Hpccg>(6, 6, 6, 1));
+    if (ranks > 1) {
+      for (const char* c : {"cpu_a", "l1_a", "l2_a", "mc_a"}) {
+        sim.set_component_rank(c, 0);
+      }
+      for (const char* c : {"cpu_b", "l1_b", "l2_b", "mc_b"}) {
+        sim.set_component_rank(c, 1);
+      }
+    }
+    sim.run();
+    return std::make_pair(a.core->completion_time(),
+                          b.core->completion_time());
+  };
+  EXPECT_EQ(run_with_ranks(1), run_with_ranks(2));
+}
+
+TEST(MemorySystemIntegration, HpccgIsMemoryBoundNotWidthBound) {
+  auto wl = [] { return std::make_unique<proc::Hpccg>(12, 12, 12, 1); };
+  const SimTime w2 = run_node("DDR3", 2, wl());
+  const SimTime w8 = run_node("DDR3", 8, wl());
+  const double speedup = static_cast<double>(w2) / static_cast<double>(w8);
+  // Wider helps a bit but nothing close to 4x.
+  EXPECT_LT(speedup, 2.5);
+}
+
+}  // namespace
+}  // namespace sst

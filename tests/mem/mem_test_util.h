@@ -1,0 +1,103 @@
+// Test driver for memory-hierarchy components: issues a scripted sequence
+// of MemEvents and records the response times.
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "core/sst.h"
+#include "mem/mem_event.h"
+
+namespace sst::mem::testing {
+
+class MemDriver final : public Component {
+ public:
+  struct Response {
+    std::uint64_t req_id;
+    MemCmd cmd;
+    SimTime time;
+  };
+
+  explicit MemDriver(Params&) {
+    mem_ = configure_link("mem",
+                          [this](EventPtr ev) { on_resp(std::move(ev)); });
+    timer_ = configure_self_link("timer", 1, [this](EventPtr ev) {
+      issue(std::move(ev));
+    });
+    register_as_primary();
+  }
+
+  /// Schedules a request to be issued at `at` (call before run()).
+  std::uint64_t read_at(SimTime at, Addr addr, std::uint32_t size = 8) {
+    return add(at, MemCmd::kGetS, addr, size);
+  }
+  std::uint64_t write_at(SimTime at, Addr addr, std::uint32_t size = 8) {
+    return add(at, MemCmd::kGetX, addr, size);
+  }
+  std::uint64_t writeback_at(SimTime at, Addr addr, std::uint32_t size = 64) {
+    return add(at, MemCmd::kPutM, addr, size);
+  }
+
+  void setup() override {
+    if (pending_responses_ == 0) primary_ok_to_end_sim();
+    for (const auto& r : script_) {
+      timer_->send(
+          std::make_unique<ScriptEvent>(r), r.at > 0 ? r.at - 1 : 0);
+    }
+  }
+
+  [[nodiscard]] const std::vector<Response>& responses() const {
+    return responses_;
+  }
+  /// Completion time of request `id`; fails the test contractually when
+  /// absent (returns kTimeNever).
+  [[nodiscard]] SimTime response_time(std::uint64_t id) const {
+    for (const auto& r : responses_) {
+      if (r.req_id == id) return r.time;
+    }
+    return kTimeNever;
+  }
+
+ private:
+  struct Scripted {
+    std::uint64_t id;
+    MemCmd cmd;
+    Addr addr;
+    std::uint32_t size;
+    SimTime at;
+  };
+
+  class ScriptEvent final : public Event {
+   public:
+    explicit ScriptEvent(Scripted s) : req(s) {}
+    Scripted req;
+  };
+
+  std::uint64_t add(SimTime at, MemCmd cmd, Addr addr, std::uint32_t size) {
+    const std::uint64_t id = next_id_++;
+    script_.push_back({id, cmd, addr, size, at});
+    if (expects_response(cmd)) ++pending_responses_;
+    return id;
+  }
+
+  void issue(EventPtr ev) {
+    auto script = event_cast<ScriptEvent>(std::move(ev));
+    const Scripted& r = script->req;
+    mem_->send(std::make_unique<MemEvent>(r.cmd, r.addr, r.size, r.id));
+  }
+
+  void on_resp(EventPtr ev) {
+    auto resp = event_cast<MemEvent>(std::move(ev));
+    responses_.push_back({resp->req_id(), resp->cmd(), now()});
+    if (--pending_responses_ == 0) primary_ok_to_end_sim();
+  }
+
+  Link* mem_;
+  Link* timer_;
+  std::vector<Scripted> script_;
+  std::vector<Response> responses_;
+  std::uint64_t next_id_ = 1;
+  std::uint64_t pending_responses_ = 0;
+};
+
+}  // namespace sst::mem::testing

@@ -1,0 +1,204 @@
+// Cache: hits/misses, LRU, write-back, MSHR merging, stall/replay,
+// configuration validation.
+#include <gtest/gtest.h>
+
+#include "mem/cache.h"
+#include "mem/memory_controller.h"
+#include "mem_test_util.h"
+
+namespace sst::mem {
+namespace {
+
+using testing::MemDriver;
+
+struct CacheRig {
+  Simulation sim;
+  MemDriver* driver;
+  Cache* cache;
+  MemoryController* mc;
+};
+
+std::unique_ptr<CacheRig> make_rig(Params cache_params,
+                                   SimTime mem_latency = 100 * kNanosecond) {
+  auto rig = std::make_unique<CacheRig>();
+  Params dp;
+  rig->driver = rig->sim.add_component<MemDriver>("driver", dp);
+  rig->cache = rig->sim.add_component<Cache>("l1", cache_params);
+  Params mp;
+  mp.set("backend", "simple");
+  mp.set("latency", std::to_string(mem_latency) + "ps");
+  mp.set("bandwidth_gbs", "100");  // effectively latency-only
+  rig->mc = rig->sim.add_component<MemoryController>("mc", mp);
+  rig->sim.connect("driver", "mem", "l1", "cpu", kNanosecond);
+  rig->sim.connect("l1", "mem", "mc", "cpu", kNanosecond);
+  return rig;
+}
+
+Params small_cache() {
+  Params p;
+  p.set("size", "4KiB");
+  p.set("assoc", "2");
+  p.set("line_size", "64");
+  p.set("hit_latency", "2ns");
+  p.set("mshrs", "4");
+  return p;
+}
+
+TEST(Cache, MissThenHitLatency) {
+  auto rig = make_rig(small_cache());
+  const auto miss = rig->driver->read_at(kNanosecond, 0x1000);
+  const auto hit = rig->driver->read_at(2 * kMicrosecond, 0x1008);
+  rig->sim.run();
+  const SimTime t_miss = rig->driver->response_time(miss);
+  const SimTime t_hit = rig->driver->response_time(hit);
+  ASSERT_NE(t_miss, kTimeNever);
+  ASSERT_NE(t_hit, kTimeNever);
+  // Miss pays the ~100ns memory latency; hit costs a few ns.
+  EXPECT_GT(t_miss - kNanosecond, 100 * kNanosecond);
+  EXPECT_LT(t_hit - 2 * kMicrosecond, 10 * kNanosecond);
+  EXPECT_EQ(rig->cache->hits(), 1u);
+  EXPECT_EQ(rig->cache->misses(), 1u);
+}
+
+TEST(Cache, SameLineDifferentWordsHit) {
+  auto rig = make_rig(small_cache());
+  rig->driver->read_at(kNanosecond, 0x2000);
+  for (int i = 1; i < 8; ++i) {
+    rig->driver->read_at(2 * kMicrosecond + static_cast<SimTime>(i),
+                         0x2000 + static_cast<Addr>(i) * 8);
+  }
+  rig->sim.run();
+  EXPECT_EQ(rig->cache->misses(), 1u);
+  EXPECT_EQ(rig->cache->hits(), 7u);
+}
+
+TEST(Cache, LruEvictionOrder) {
+  // 2-way sets: three conflicting lines evict the least recently used.
+  auto rig = make_rig(small_cache());
+  const std::uint32_t sets = rig->cache->num_sets();
+  const Addr stride = static_cast<Addr>(sets) * 64;  // same set index
+  // Fill both ways, touch A again, then C evicts B (the LRU).
+  rig->driver->read_at(1 * kMicrosecond, 0);           // A -> miss
+  rig->driver->read_at(2 * kMicrosecond, stride);      // B -> miss
+  rig->driver->read_at(3 * kMicrosecond, 0);           // A -> hit
+  rig->driver->read_at(4 * kMicrosecond, 2 * stride);  // C -> miss, evicts B
+  rig->driver->read_at(5 * kMicrosecond, 0);           // A -> still a hit
+  rig->driver->read_at(6 * kMicrosecond, stride);      // B -> miss again
+  rig->sim.run();
+  EXPECT_EQ(rig->cache->misses(), 4u);
+  EXPECT_EQ(rig->cache->hits(), 2u);
+}
+
+TEST(Cache, DirtyEvictionWritesBack) {
+  auto rig = make_rig(small_cache());
+  const std::uint32_t sets = rig->cache->num_sets();
+  const Addr stride = static_cast<Addr>(sets) * 64;
+  rig->driver->write_at(1 * kMicrosecond, 0);          // dirty A
+  rig->driver->read_at(2 * kMicrosecond, stride);      // B
+  rig->driver->read_at(3 * kMicrosecond, 2 * stride);  // C evicts dirty A
+  rig->sim.run();
+  // The controller saw: 2+1 line fills (reads) and 1 write-back.
+  EXPECT_EQ(rig->mc->writes(), 1u);
+  EXPECT_EQ(rig->mc->reads(), 3u);
+}
+
+TEST(Cache, CleanEvictionDoesNotWriteBack) {
+  auto rig = make_rig(small_cache());
+  const std::uint32_t sets = rig->cache->num_sets();
+  const Addr stride = static_cast<Addr>(sets) * 64;
+  rig->driver->read_at(1 * kMicrosecond, 0);
+  rig->driver->read_at(2 * kMicrosecond, stride);
+  rig->driver->read_at(3 * kMicrosecond, 2 * stride);
+  rig->sim.run();
+  EXPECT_EQ(rig->mc->writes(), 0u);
+}
+
+TEST(Cache, MshrMergesConcurrentMissesToSameLine) {
+  auto rig = make_rig(small_cache());
+  // Three reads of the same line in flight together: one memory fetch.
+  rig->driver->read_at(kNanosecond, 0x4000);
+  rig->driver->read_at(kNanosecond + 1, 0x4008);
+  rig->driver->read_at(kNanosecond + 2, 0x4010);
+  rig->sim.run();
+  EXPECT_EQ(rig->cache->misses(), 3u);
+  EXPECT_EQ(rig->mc->reads(), 1u);
+  EXPECT_EQ(rig->driver->responses().size(), 3u);
+}
+
+TEST(Cache, MshrExhaustionStallsAndReplays) {
+  Params p = small_cache();
+  p.set("mshrs", "2");
+  auto rig = make_rig(p);
+  // Four distinct-line misses at once: two stall but all complete.
+  for (int i = 0; i < 4; ++i) {
+    rig->driver->read_at(kNanosecond + static_cast<SimTime>(i),
+                         static_cast<Addr>(i) * 0x10000);
+  }
+  rig->sim.run();
+  EXPECT_EQ(rig->driver->responses().size(), 4u);
+  EXPECT_EQ(rig->mc->reads(), 4u);
+  const auto* stalls =
+      dynamic_cast<const Counter*>(rig->sim.stats().find("l1", "stalls"));
+  ASSERT_NE(stalls, nullptr);
+  EXPECT_EQ(stalls->count(), 2u);
+}
+
+TEST(Cache, PutMHitMarksDirty) {
+  auto rig = make_rig(small_cache());
+  rig->driver->read_at(1 * kMicrosecond, 0);  // clean fill
+  rig->driver->writeback_at(2 * kMicrosecond, 0);  // upstream PutM -> dirty
+  const std::uint32_t sets = rig->cache->num_sets();
+  const Addr stride = static_cast<Addr>(sets) * 64;
+  rig->driver->read_at(3 * kMicrosecond, stride);
+  rig->driver->read_at(4 * kMicrosecond, 2 * stride);  // evicts dirty line
+  rig->sim.run();
+  EXPECT_EQ(rig->mc->writes(), 1u);
+}
+
+TEST(Cache, PutMMissForwardsDownstream) {
+  auto rig = make_rig(small_cache());
+  rig->driver->writeback_at(kNanosecond, 0x9000);
+  // A read to force quiescence/termination.
+  rig->driver->read_at(2 * kMicrosecond, 0x100);
+  rig->sim.run();
+  EXPECT_EQ(rig->mc->writes(), 1u);  // the forwarded PutM
+}
+
+TEST(Cache, LineCrossingRequestRejected) {
+  auto rig = make_rig(small_cache());
+  rig->driver->read_at(kNanosecond, 60, 16);  // crosses 64B boundary
+  EXPECT_THROW(rig->sim.run(), SimulationError);
+}
+
+TEST(Cache, ConfigValidation) {
+  Simulation sim;
+  Params p = small_cache();
+  p.set("line_size", "48");  // not a power of two
+  EXPECT_THROW(sim.add_component<Cache>("bad1", p), ConfigError);
+  p = small_cache();
+  p.set("size", "3KiB");  // not divisible by line*assoc into pow2 sets
+  EXPECT_THROW(sim.add_component<Cache>("bad2", p), ConfigError);
+  p = small_cache();
+  p.set("assoc", "0");
+  EXPECT_THROW(sim.add_component<Cache>("bad3", p), ConfigError);
+  p = small_cache();
+  p.set("mshrs", "0");
+  EXPECT_THROW(sim.add_component<Cache>("bad4", p), ConfigError);
+  Params missing;
+  EXPECT_THROW(sim.add_component<Cache>("bad5", missing), ConfigError);
+}
+
+TEST(Cache, GeometryDerivation) {
+  Simulation sim;
+  Params p;
+  p.set("size", "64KiB");
+  p.set("assoc", "8");
+  p.set("line_size", "64");
+  auto* c = sim.add_component<Cache>("c", p);
+  EXPECT_EQ(c->num_sets(), 128u);
+  EXPECT_EQ(c->assoc(), 8u);
+  EXPECT_EQ(c->line_size(), 64u);
+}
+
+}  // namespace
+}  // namespace sst::mem

@@ -1,0 +1,252 @@
+// MESI snooping coherence: state transitions, invalidations,
+// interventions, upgrade races, write-back races, invariants.
+#include <gtest/gtest.h>
+
+#include "mem/coherence.h"
+#include "mem/memory_controller.h"
+#include "mem_test_util.h"
+
+namespace sst::mem {
+namespace {
+
+using testing::MemDriver;
+
+struct SmpRig {
+  Simulation sim;
+  std::vector<MemDriver*> drivers;
+  std::vector<CoherentCache*> caches;
+  SnoopBus* bus;
+  MemoryController* mc;
+};
+
+std::unique_ptr<SmpRig> make_rig(unsigned ncaches,
+                                 const char* cache_size = "4KiB") {
+  auto rig = std::make_unique<SmpRig>();
+  Params bp;
+  bp.set("num_caches", std::to_string(ncaches));
+  bp.set("occupancy", "4ns");
+  rig->bus = rig->sim.add_component<SnoopBus>("bus", bp);
+  Params mp;
+  mp.set("backend", "simple");
+  mp.set("latency", "60ns");
+  mp.set("bandwidth_gbs", "50");
+  rig->mc = rig->sim.add_component<MemoryController>("mc", mp);
+  rig->sim.connect("bus", "mem", "mc", "cpu", 2 * kNanosecond);
+  for (unsigned i = 0; i < ncaches; ++i) {
+    const std::string s = std::to_string(i);
+    Params dp;
+    rig->drivers.push_back(
+        rig->sim.add_component<MemDriver>("drv" + s, dp));
+    Params cp;
+    cp.set("size", cache_size);
+    cp.set("assoc", "2");
+    cp.set("hit_latency", "1ns");
+    rig->caches.push_back(
+        rig->sim.add_component<CoherentCache>("l1_" + s, cp));
+    rig->sim.connect("drv" + s, "mem", "l1_" + s, "cpu", 500);
+    rig->sim.connect("l1_" + s, "bus", "bus", "cache" + s, kNanosecond);
+  }
+  return rig;
+}
+
+// MESI invariant: at most one M/E holder; M/E excludes any S holder.
+void check_invariant(const SmpRig& rig, Addr a) {
+  unsigned exclusive = 0, shared = 0;
+  for (const auto* c : rig.caches) {
+    switch (c->state_of(a)) {
+      case MesiState::kModified:
+      case MesiState::kExclusive:
+        ++exclusive;
+        break;
+      case MesiState::kShared:
+        ++shared;
+        break;
+      case MesiState::kInvalid:
+        break;
+    }
+  }
+  EXPECT_LE(exclusive, 1u) << "multiple exclusive holders of " << a;
+  if (exclusive > 0) {
+    EXPECT_EQ(shared, 0u) << "shared alongside exclusive for " << a;
+  }
+}
+
+TEST(Mesi, FirstReadInstallsExclusive) {
+  auto rig = make_rig(2);
+  rig->drivers[0]->read_at(kNanosecond, 0x1000);
+  rig->sim.run();
+  EXPECT_EQ(rig->caches[0]->state_of(0x1000), MesiState::kExclusive);
+  EXPECT_EQ(rig->caches[1]->state_of(0x1000), MesiState::kInvalid);
+  check_invariant(*rig, 0x1000);
+}
+
+TEST(Mesi, SecondReaderDemotesToShared) {
+  auto rig = make_rig(2);
+  rig->drivers[0]->read_at(kNanosecond, 0x1000);
+  rig->drivers[1]->read_at(kMicrosecond, 0x1000);
+  rig->sim.run();
+  EXPECT_EQ(rig->caches[0]->state_of(0x1000), MesiState::kShared);
+  EXPECT_EQ(rig->caches[1]->state_of(0x1000), MesiState::kShared);
+  check_invariant(*rig, 0x1000);
+}
+
+TEST(Mesi, WriteInstallsModifiedAndInvalidatesOthers) {
+  auto rig = make_rig(3);
+  rig->drivers[0]->read_at(kNanosecond, 0x2000);
+  rig->drivers[1]->read_at(kMicrosecond, 0x2000);
+  rig->drivers[2]->write_at(2 * kMicrosecond, 0x2000);
+  rig->sim.run();
+  EXPECT_EQ(rig->caches[2]->state_of(0x2000), MesiState::kModified);
+  EXPECT_EQ(rig->caches[0]->state_of(0x2000), MesiState::kInvalid);
+  EXPECT_EQ(rig->caches[1]->state_of(0x2000), MesiState::kInvalid);
+  EXPECT_EQ(rig->caches[0]->invalidations_received() +
+                rig->caches[1]->invalidations_received(),
+            2u);
+  check_invariant(*rig, 0x2000);
+}
+
+TEST(Mesi, SilentExclusiveToModified) {
+  auto rig = make_rig(2);
+  rig->drivers[0]->read_at(kNanosecond, 0x3000);
+  rig->drivers[0]->write_at(kMicrosecond, 0x3000);
+  rig->sim.run();
+  EXPECT_EQ(rig->caches[0]->state_of(0x3000), MesiState::kModified);
+  // E->M took no bus transaction: only the initial GetS.
+  EXPECT_EQ(rig->bus->transactions(), 1u);
+  EXPECT_EQ(rig->caches[0]->hits(), 1u);  // the write hit in E
+}
+
+TEST(Mesi, SharedWriteUsesUpgrade) {
+  auto rig = make_rig(2);
+  rig->drivers[0]->read_at(kNanosecond, 0x4000);
+  rig->drivers[1]->read_at(kMicrosecond, 0x4000);     // both S
+  rig->drivers[0]->write_at(2 * kMicrosecond, 0x4000);  // upgrade
+  rig->sim.run();
+  EXPECT_EQ(rig->caches[0]->state_of(0x4000), MesiState::kModified);
+  EXPECT_EQ(rig->caches[1]->state_of(0x4000), MesiState::kInvalid);
+  const auto* upg = dynamic_cast<const Counter*>(
+      rig->sim.stats().find("l1_0", "upgrades"));
+  EXPECT_EQ(upg->count(), 1u);
+  check_invariant(*rig, 0x4000);
+}
+
+TEST(Mesi, DirtyReadTriggersIntervention) {
+  auto rig = make_rig(2);
+  rig->drivers[0]->write_at(kNanosecond, 0x5000);       // M in cache 0
+  rig->drivers[1]->read_at(kMicrosecond, 0x5000);       // c2c transfer
+  rig->sim.run();
+  EXPECT_EQ(rig->caches[0]->state_of(0x5000), MesiState::kShared);
+  EXPECT_EQ(rig->caches[1]->state_of(0x5000), MesiState::kShared);
+  EXPECT_EQ(rig->bus->interventions(), 1u);
+  EXPECT_EQ(rig->caches[0]->interventions_supplied(), 1u);
+  // Memory received the write-back.
+  EXPECT_GE(rig->mc->writes(), 1u);
+  check_invariant(*rig, 0x5000);
+}
+
+TEST(Mesi, DirtyWriteTransfersOwnership) {
+  auto rig = make_rig(2);
+  rig->drivers[0]->write_at(kNanosecond, 0x6000);
+  rig->drivers[1]->write_at(kMicrosecond, 0x6000);
+  rig->sim.run();
+  EXPECT_EQ(rig->caches[0]->state_of(0x6000), MesiState::kInvalid);
+  EXPECT_EQ(rig->caches[1]->state_of(0x6000), MesiState::kModified);
+  EXPECT_EQ(rig->bus->interventions(), 1u);
+  check_invariant(*rig, 0x6000);
+}
+
+TEST(Mesi, UpgradeRaceFallsBackToGetX) {
+  // Both caches hold S; both write "simultaneously".  One upgrade wins;
+  // the other is invalidated first and must re-issue as GetX.
+  auto rig = make_rig(2);
+  rig->drivers[0]->read_at(kNanosecond, 0x7000);
+  rig->drivers[1]->read_at(kMicrosecond, 0x7000);
+  rig->drivers[0]->write_at(2 * kMicrosecond, 0x7000);
+  rig->drivers[1]->write_at(2 * kMicrosecond, 0x7000);
+  rig->sim.run();
+  // Exactly one ends M, the other I; one of them raced.
+  const MesiState s0 = rig->caches[0]->state_of(0x7000);
+  const MesiState s1 = rig->caches[1]->state_of(0x7000);
+  EXPECT_TRUE((s0 == MesiState::kModified && s1 == MesiState::kInvalid) ||
+              (s1 == MesiState::kModified && s0 == MesiState::kInvalid));
+  EXPECT_EQ(rig->caches[0]->upgrade_races() +
+                rig->caches[1]->upgrade_races(),
+            1u);
+  // Every request (one read + one write per driver) was acknowledged
+  // exactly once.
+  EXPECT_EQ(rig->drivers[0]->responses().size(), 2u);
+  EXPECT_EQ(rig->drivers[1]->responses().size(), 2u);
+  check_invariant(*rig, 0x7000);
+}
+
+TEST(Mesi, ModifiedEvictionWritesBackAndStaysSnoopable) {
+  auto rig = make_rig(2, "256B");  // 2 sets x 2 ways of 64B lines
+  // Dirty a line, then evict it with two conflicting fills.
+  rig->drivers[0]->write_at(kNanosecond, 0x0);
+  rig->drivers[0]->read_at(kMicrosecond, 0x100);      // same set (256B cache)
+  rig->drivers[0]->read_at(2 * kMicrosecond, 0x200);  // evicts 0x0 (dirty)
+  // Another cache reads the evicted line right away.
+  rig->drivers[1]->read_at(2 * kMicrosecond + 100, 0x0);
+  rig->sim.run();
+  const auto* wb = dynamic_cast<const Counter*>(
+      rig->sim.stats().find("l1_0", "writebacks"));
+  EXPECT_GE(wb->count(), 1u);
+  EXPECT_GE(rig->mc->writes(), 1u);
+  EXPECT_EQ(rig->drivers[1]->responses().size(), 1u);
+  check_invariant(*rig, 0x0);
+}
+
+TEST(Mesi, ReadSharingScalesWithoutBusStorm) {
+  // N readers of one line: N GetS transactions total, no invalidations.
+  auto rig = make_rig(4);
+  for (unsigned i = 0; i < 4; ++i) {
+    rig->drivers[i]->read_at((i + 1) * kMicrosecond, 0x8000);
+  }
+  rig->sim.run();
+  for (const auto* c : rig->caches) {
+    EXPECT_EQ(c->state_of(0x8000), MesiState::kShared);
+    EXPECT_EQ(c->invalidations_received(), 0u);
+  }
+  EXPECT_EQ(rig->bus->transactions(), 4u);
+  check_invariant(*rig, 0x8000);
+}
+
+TEST(Mesi, FalseSharingPingPongCostsTransactions) {
+  // Two writers alternating on the same line vs on different lines.
+  auto run_case = [](Addr a0, Addr a1) {
+    auto rig = make_rig(2);
+    for (int i = 0; i < 8; ++i) {
+      rig->drivers[0]->write_at((2 * i + 1) * kMicrosecond, a0);
+      rig->drivers[1]->write_at((2 * i + 2) * kMicrosecond, a1);
+    }
+    rig->sim.run();
+    return rig->bus->transactions();
+  };
+  const std::uint64_t same_line = run_case(0x9000, 0x9000);
+  const std::uint64_t disjoint = run_case(0x9000, 0x9040);
+  // Disjoint lines settle into silent M hits (2 transactions total);
+  // false sharing ping-pongs the line on every write.
+  EXPECT_LE(disjoint, 4u);
+  EXPECT_GE(same_line, 14u);
+}
+
+TEST(Mesi, MissLatencyOrdersHitUpgradeMiss) {
+  auto rig = make_rig(2);
+  const auto miss = rig->drivers[0]->read_at(kNanosecond, 0xA000);
+  rig->sim.run();
+  const SimTime t_miss = rig->drivers[0]->response_time(miss);
+  EXPECT_GT(t_miss - kNanosecond, 60 * kNanosecond);  // memory round trip
+}
+
+TEST(Mesi, ConfigValidation) {
+  Simulation sim;
+  Params p;
+  p.set("size", "3000B");
+  EXPECT_THROW(sim.add_component<CoherentCache>("bad", p), ConfigError);
+  Params bp;
+  bp.set("num_caches", "0");
+  EXPECT_THROW(sim.add_component<SnoopBus>("badbus", bp), ConfigError);
+}
+
+}  // namespace
+}  // namespace sst::mem

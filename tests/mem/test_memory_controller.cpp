@@ -1,0 +1,127 @@
+// Memory controller: backend selection, latency accounting, PutM
+// (no-response) handling, statistics.
+#include <gtest/gtest.h>
+
+#include "mem/memory_controller.h"
+#include "mem_test_util.h"
+
+namespace sst::mem {
+namespace {
+
+using testing::MemDriver;
+
+struct McRig {
+  Simulation sim;
+  MemDriver* driver;
+  MemoryController* mc;
+};
+
+std::unique_ptr<McRig> make_rig(Params mc_params) {
+  auto rig = std::make_unique<McRig>();
+  Params dp;
+  rig->driver = rig->sim.add_component<MemDriver>("driver", dp);
+  rig->mc = rig->sim.add_component<MemoryController>("mc", mc_params);
+  rig->sim.connect("driver", "mem", "mc", "cpu", kNanosecond);
+  return rig;
+}
+
+TEST(MemoryController, SimpleBackendLatency) {
+  Params p;
+  p.set("backend", "simple");
+  p.set("latency", "60ns");
+  p.set("bandwidth_gbs", "10");
+  auto rig = make_rig(p);
+  const auto id = rig->driver->read_at(kNanosecond, 0x0, 64);
+  rig->sim.run();
+  const SimTime rt = rig->driver->response_time(id) - kNanosecond;
+  // 2 x 1ns link + 60ns latency + 6.4ns serialization.
+  EXPECT_NEAR(static_cast<double>(rt), 68'400.0, 500.0);
+  EXPECT_EQ(rig->mc->reads(), 1u);
+  EXPECT_EQ(rig->mc->bytes_transferred(), 64u);
+}
+
+TEST(MemoryController, DramBackendByPreset) {
+  Params p;
+  p.set("backend", "dram");
+  p.set("preset", "GDDR5");
+  auto rig = make_rig(p);
+  ASSERT_NE(rig->mc->dram(), nullptr);
+  EXPECT_EQ(rig->mc->dram()->params().name, "GDDR5");
+  rig->driver->read_at(kNanosecond, 0x0, 64);
+  rig->driver->read_at(kMicrosecond, 0x40, 64);  // row hit
+  rig->sim.run();
+  EXPECT_EQ(rig->mc->dram()->row_hits(), 1u);
+  EXPECT_EQ(rig->mc->dram()->row_misses(), 1u);
+}
+
+TEST(MemoryController, PutMConsumedWithoutResponse) {
+  Params p;
+  p.set("backend", "simple");
+  auto rig = make_rig(p);
+  rig->driver->writeback_at(kNanosecond, 0x1000, 64);
+  const auto id = rig->driver->read_at(kMicrosecond, 0x2000, 64);
+  rig->sim.run();
+  // Only the read got a response; the PutM was absorbed but counted.
+  EXPECT_EQ(rig->driver->responses().size(), 1u);
+  EXPECT_EQ(rig->driver->responses()[0].req_id, id);
+  EXPECT_EQ(rig->mc->writes(), 1u);
+  EXPECT_EQ(rig->mc->reads(), 1u);
+}
+
+TEST(MemoryController, WriteGetsAcknowledgement) {
+  Params p;
+  p.set("backend", "simple");
+  auto rig = make_rig(p);
+  const auto id = rig->driver->write_at(kNanosecond, 0x10, 8);
+  rig->sim.run();
+  ASSERT_EQ(rig->driver->responses().size(), 1u);
+  EXPECT_EQ(rig->driver->responses()[0].req_id, id);
+  EXPECT_EQ(rig->driver->responses()[0].cmd, MemCmd::kGetXResp);
+}
+
+TEST(MemoryController, RowStatsExportedAtFinish) {
+  Params p;
+  p.set("backend", "dram");
+  p.set("preset", "DDR3");
+  auto rig = make_rig(p);
+  rig->driver->read_at(kNanosecond, 0x0, 64);
+  rig->driver->read_at(kMicrosecond, 0x40, 64);
+  rig->sim.run();
+  const auto* hits = dynamic_cast<const Counter*>(
+      rig->sim.stats().find("mc", "row_hits"));
+  ASSERT_NE(hits, nullptr);
+  EXPECT_EQ(hits->count(), 1u);
+}
+
+TEST(MemoryController, UnknownBackendThrows) {
+  Simulation sim;
+  Params p;
+  p.set("backend", "quantum");
+  EXPECT_THROW(sim.add_component<MemoryController>("mc", p), ConfigError);
+}
+
+TEST(MemoryController, UnknownPresetThrows) {
+  Simulation sim;
+  Params p;
+  p.set("backend", "dram");
+  p.set("preset", "HBM7");
+  EXPECT_THROW(sim.add_component<MemoryController>("mc", p), ConfigError);
+}
+
+TEST(MemoryController, AccessLatencyStatisticPopulated) {
+  Params p;
+  p.set("backend", "simple");
+  p.set("latency", "50ns");
+  auto rig = make_rig(p);
+  rig->driver->read_at(kNanosecond, 0x0, 64);
+  rig->driver->read_at(2 * kMicrosecond, 0x40, 64);
+  rig->sim.run();
+  const auto* lat = dynamic_cast<const Accumulator*>(
+      rig->sim.stats().find("mc", "access_latency_ps"));
+  ASSERT_NE(lat, nullptr);
+  EXPECT_EQ(lat->count(), 2u);
+  EXPECT_GT(lat->mean(), 50'000.0);
+}
+
+}  // namespace
+}  // namespace sst::mem

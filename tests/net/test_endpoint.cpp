@@ -1,0 +1,133 @@
+// NetEndpoint NIC layer: segmentation, reassembly, injection throttling,
+// interleaved messages, error paths.
+#include <gtest/gtest.h>
+
+#include "net/topology.h"
+
+namespace sst::net {
+namespace {
+
+class RecordingEndpoint final : public NetEndpoint {
+ public:
+  explicit RecordingEndpoint(Params& p) : NetEndpoint(p) {}
+  using NetEndpoint::send_message;
+
+  struct Msg {
+    NodeId src;
+    std::uint64_t bytes;
+    std::uint64_t tag;
+    SimTime at;
+  };
+  std::vector<Msg> msgs;
+
+ private:
+  void on_message(NodeId src, std::uint64_t bytes, std::uint64_t tag,
+                  SimTime) override {
+    msgs.push_back({src, bytes, tag, now()});
+  }
+};
+
+struct Rig {
+  Simulation sim{SimConfig{.end_time = 100 * kMillisecond}};
+  RecordingEndpoint* a;
+  RecordingEndpoint* b;
+};
+
+std::unique_ptr<Rig> make_rig(const std::string& inj_bw,
+                              std::uint32_t mtu = 2048) {
+  auto rig = std::make_unique<Rig>();
+  Params ep;
+  ep.set("injection_bw", inj_bw);
+  ep.set("mtu", std::to_string(mtu));
+  rig->a = rig->sim.add_component<RecordingEndpoint>("a", ep);
+  rig->b = rig->sim.add_component<RecordingEndpoint>("b", ep);
+  TopologySpec s;
+  s.kind = TopologySpec::Kind::kMesh2D;
+  s.x = 2;
+  s.y = 1;
+  s.link_bandwidth = "100GB/s";  // network is never the bottleneck here
+  build_topology(rig->sim, s, {rig->a, rig->b});
+  rig->sim.initialize();
+  return rig;
+}
+
+TEST(NetEndpoint, InjectionBandwidthGovernsLargeMessages) {
+  auto full = make_rig("3.2GB/s");
+  full->a->send_message(1, 1 << 20, 0);
+  full->sim.run();
+  auto eighth = make_rig("0.4GB/s");
+  eighth->a->send_message(1, 1 << 20, 0);
+  eighth->sim.run();
+  ASSERT_EQ(full->b->msgs.size(), 1u);
+  ASSERT_EQ(eighth->b->msgs.size(), 1u);
+  const double ratio = static_cast<double>(eighth->b->msgs[0].at) /
+                       static_cast<double>(full->b->msgs[0].at);
+  // 8x less injection bandwidth => ~8x longer for a 1 MiB message.
+  EXPECT_GT(ratio, 6.0);
+  EXPECT_LT(ratio, 9.0);
+}
+
+TEST(NetEndpoint, InterleavedMessagesReassembleIndependently) {
+  auto rig = make_rig("3.2GB/s", 1024);
+  rig->a->send_message(1, 5000, 11);
+  rig->a->send_message(1, 3000, 22);
+  rig->a->send_message(1, 100, 33);
+  rig->sim.run();
+  ASSERT_EQ(rig->b->msgs.size(), 3u);
+  std::uint64_t total = 0;
+  for (const auto& m : rig->b->msgs) {
+    total += m.bytes;
+    EXPECT_EQ(m.src, 0u);
+  }
+  EXPECT_EQ(total, 8100u);
+  // Tags survive reassembly.
+  std::set<std::uint64_t> tags;
+  for (const auto& m : rig->b->msgs) tags.insert(m.tag);
+  EXPECT_EQ(tags, (std::set<std::uint64_t>{11, 22, 33}));
+}
+
+TEST(NetEndpoint, ZeroByteMessageStillDelivers) {
+  auto rig = make_rig("3.2GB/s");
+  rig->a->send_message(1, 0, 5);
+  rig->sim.run();
+  ASSERT_EQ(rig->b->msgs.size(), 1u);
+  EXPECT_EQ(rig->b->msgs[0].bytes, 1u);  // promoted to 1 byte
+}
+
+TEST(NetEndpoint, MessageToSelfRejected) {
+  auto rig = make_rig("3.2GB/s");
+  EXPECT_THROW(rig->a->send_message(0, 64, 0), SimulationError);
+}
+
+TEST(NetEndpoint, SendWithoutNodeIdRejected) {
+  Simulation sim;
+  Params p;
+  auto* lone = sim.add_component<RecordingEndpoint>("lone", p);
+  EXPECT_THROW(lone->send_message(1, 64, 0), SimulationError);
+}
+
+TEST(NetEndpoint, StatisticsTrackTraffic) {
+  auto rig = make_rig("3.2GB/s", 1024);
+  rig->a->send_message(1, 4096, 0);
+  rig->b->send_message(0, 64, 0);
+  rig->sim.run();
+  EXPECT_EQ(rig->a->messages_sent(), 1u);
+  EXPECT_EQ(rig->a->messages_received(), 1u);
+  EXPECT_EQ(rig->b->messages_received(), 1u);
+  const auto* pkts = dynamic_cast<const Counter*>(
+      rig->sim.stats().find("a", "packets_sent"));
+  EXPECT_EQ(pkts->count(), 4u);  // 4096 / 1024
+  const auto* bytes = dynamic_cast<const Counter*>(
+      rig->sim.stats().find("a", "bytes_sent"));
+  EXPECT_EQ(bytes->count(), 4096u);
+}
+
+TEST(NetEndpoint, MtuValidation) {
+  Simulation sim;
+  Params p;
+  p.set("mtu", "0");
+  EXPECT_THROW(sim.add_component<RecordingEndpoint>("x", p), ConfigError);
+}
+
+}  // namespace
+}  // namespace sst::net

@@ -1,0 +1,277 @@
+// Communication motifs: correctness of the skeleton state machines and
+// the performance signatures the bandwidth study relies on.
+#include <gtest/gtest.h>
+
+#include "net/motifs.h"
+#include "net/topology.h"
+
+namespace sst::net {
+namespace {
+
+template <typename M>
+struct MotifRig {
+  Simulation sim{SimConfig{.end_time = 10 * kSecond}};
+  std::vector<M*> motifs;
+
+  explicit MotifRig(std::uint32_t nodes, Params params,
+                    TopologySpec spec = TopologySpec()) {
+    std::vector<NetEndpoint*> eps;
+    for (std::uint32_t i = 0; i < nodes; ++i) {
+      Params p = params;
+      motifs.push_back(
+          sim.add_component<M>("rank" + std::to_string(i), p));
+      eps.push_back(motifs.back());
+    }
+    if (spec.expected_nodes() != nodes) {
+      // Default wiring: 1-D torus of `nodes` routers.
+      spec.kind = TopologySpec::Kind::kTorus2D;
+      spec.x = nodes;
+      spec.y = 1;
+    }
+    build_topology(sim, spec, eps);
+  }
+
+  SimTime run_and_time() {
+    sim.run();
+    SimTime completion = 0;
+    for (const auto* m : motifs) {
+      EXPECT_TRUE(m->motif_finished()) << m->name();
+      completion = std::max(completion, m->completion_time());
+    }
+    return completion;
+  }
+};
+
+TEST(Motifs, PingPongCompletesAndScalesWithIterations) {
+  Params p10;
+  p10.set("iterations", "10");
+  MotifRig<PingPongMotif> rig10(4, p10);
+  const SimTime t10 = rig10.run_and_time();
+
+  Params p40;
+  p40.set("iterations", "40");
+  MotifRig<PingPongMotif> rig40(4, p40);
+  const SimTime t40 = rig40.run_and_time();
+
+  EXPECT_GT(t40, 3 * t10);
+  // Idle ranks (2, 3) finish immediately.
+  EXPECT_LT(rig10.motifs[2]->completion_time(), kMicrosecond);
+}
+
+TEST(Motifs, PingPongMessageCounts) {
+  Params p;
+  p.set("iterations", "25");
+  MotifRig<PingPongMotif> rig(2, p);
+  rig.run_and_time();
+  EXPECT_EQ(rig.motifs[0]->messages_sent(), 25u);
+  EXPECT_EQ(rig.motifs[1]->messages_sent(), 25u);
+  EXPECT_EQ(rig.motifs[0]->messages_received(), 25u);
+}
+
+TEST(Motifs, HaloExchangeCompletes) {
+  Params p;
+  p.set("px", "2");
+  p.set("py", "2");
+  p.set("pz", "2");
+  p.set("msg_bytes", "4096");
+  p.set("compute", "5us");
+  p.set("iterations", "4");
+  MotifRig<HaloExchangeMotif> rig(8, p);
+  const SimTime t = rig.run_and_time();
+  // At least iterations * compute time.
+  EXPECT_GE(t, 4u * 5 * kMicrosecond);
+  // Every rank exchanged 6 messages per iteration.
+  for (const auto* m : rig.motifs) {
+    EXPECT_EQ(m->messages_sent(), 6u * 4);
+    EXPECT_EQ(m->messages_received(), 6u * 4);
+  }
+}
+
+TEST(Motifs, HaloGridMismatchThrows) {
+  Params p;
+  p.set("px", "3");
+  p.set("py", "3");
+  p.set("pz", "1");
+  MotifRig<HaloExchangeMotif> rig(4, p);
+  EXPECT_THROW(rig.sim.run(), ConfigError);
+}
+
+TEST(Motifs, AllreduceButterflyMessageCount) {
+  Params p;
+  p.set("iterations", "10");
+  p.set("msg_bytes", "8");
+  MotifRig<AllreduceMotif> rig(8, p);
+  rig.run_and_time();
+  // Recursive doubling: log2(8) = 3 sends per rank per iteration.
+  for (const auto* m : rig.motifs) {
+    EXPECT_EQ(m->messages_sent(), 30u);
+    EXPECT_EQ(m->messages_received(), 30u);
+  }
+}
+
+TEST(Motifs, AllreduceRequiresPowerOfTwo) {
+  Params p;
+  MotifRig<AllreduceMotif> rig(6, p);
+  EXPECT_THROW(rig.sim.run(), ConfigError);
+}
+
+TEST(Motifs, AllreduceLatencyBoundNotBandwidthBound) {
+  // Small allreduces care about latency, not injection bandwidth: cutting
+  // bandwidth 8x changes runtime by only a little.
+  auto run_with_bw = [](const char* bw) {
+    Params p;
+    p.set("iterations", "50");
+    p.set("msg_bytes", "16");
+    p.set("compute", "2us");
+    p.set("injection_bw", bw);
+    MotifRig<AllreduceMotif> rig(8, p);
+    return rig.run_and_time();
+  };
+  const SimTime full = run_with_bw("3.2GB/s");
+  const SimTime eighth = run_with_bw("0.4GB/s");
+  const double slowdown =
+      static_cast<double>(eighth) / static_cast<double>(full);
+  EXPECT_LT(slowdown, 1.15);
+}
+
+TEST(Motifs, HaloLargeMessagesAreBandwidthBound) {
+  auto run_with_bw = [](const char* bw) {
+    Params p;
+    p.set("px", "4");
+    p.set("py", "2");
+    p.set("pz", "1");
+    p.set("msg_bytes", "1MiB");
+    p.set("compute", "100us");
+    p.set("iterations", "3");
+    p.set("injection_bw", bw);
+    MotifRig<HaloExchangeMotif> rig(8, p);
+    return rig.run_and_time();
+  };
+  const SimTime full = run_with_bw("3.2GB/s");
+  const SimTime eighth = run_with_bw("0.4GB/s");
+  const double slowdown =
+      static_cast<double>(eighth) / static_cast<double>(full);
+  EXPECT_GT(slowdown, 2.0);
+}
+
+TEST(Motifs, AllToAllCompletes) {
+  Params p;
+  p.set("iterations", "3");
+  p.set("msg_bytes", "1024");
+  MotifRig<AllToAllMotif> rig(6, p);
+  rig.run_and_time();
+  for (const auto* m : rig.motifs) {
+    EXPECT_EQ(m->messages_sent(), 3u * 5);
+    EXPECT_EQ(m->messages_received(), 3u * 5);
+  }
+}
+
+TEST(Motifs, AppProfileComposesPhases) {
+  Params p;
+  p.set("px", "2");
+  p.set("py", "2");
+  p.set("pz", "2");
+  p.set("compute", "10us");
+  p.set("halo_bytes", "8192");
+  p.set("collective_bytes", "16");
+  p.set("collective_count", "2");
+  p.set("iterations", "3");
+  MotifRig<AppProfileMotif> rig(8, p);
+  const SimTime t = rig.run_and_time();
+  EXPECT_GE(t, 30 * kMicrosecond);
+  for (const auto* m : rig.motifs) {
+    // 6 halo + 2 collectives x log2(8) rounds, per iteration.
+    EXPECT_EQ(m->messages_sent(), 3u * (6 + 2 * 3));
+  }
+}
+
+TEST(Motifs, AppProfileComputeOnlyDegeneratesGracefully) {
+  Params p;
+  p.set("px", "1");
+  p.set("py", "1");
+  p.set("pz", "1");
+  p.set("compute", "5us");
+  p.set("halo_bytes", "0");
+  p.set("collective_bytes", "0");
+  p.set("iterations", "4");
+  Simulation sim(SimConfig{.end_time = kSecond});
+  Params ep = p;
+  auto* m = sim.add_component<AppProfileMotif>("solo", ep);
+  // Single node still needs a router to satisfy the "net" port.
+  TopologySpec s;
+  s.kind = TopologySpec::Kind::kMesh2D;
+  s.x = 1;
+  s.y = 1;
+  build_topology(sim, s, {m});
+  sim.run();
+  EXPECT_TRUE(m->motif_finished());
+  EXPECT_GE(m->completion_time(), 20 * kMicrosecond);
+  EXPECT_EQ(m->messages_sent(), 0u);
+}
+
+TEST(Motifs, SweepWavefrontOrderAndCompletion) {
+  Params p;
+  p.set("px", "3");
+  p.set("py", "3");
+  p.set("msg_bytes", "4096");
+  p.set("compute", "10us");
+  p.set("sweeps", "4");
+  MotifRig<SweepMotif> rig(9, p);
+  rig.run_and_time();
+  // The corner rank finishes first; the far corner finishes last, after
+  // the wavefront has crossed the diagonal.
+  const SimTime t_corner = rig.motifs[0]->completion_time();
+  const SimTime t_far = rig.motifs[8]->completion_time();
+  EXPECT_LT(t_corner, t_far);
+  // Far corner needs at least (px-1 + py-1 + 1) stages of the last sweep.
+  EXPECT_GE(t_far, 4u * 10 * kMicrosecond);
+  // Message counts: rank (ix,iy) sends one east (if any) + one south per
+  // sweep.
+  EXPECT_EQ(rig.motifs[0]->messages_sent(), 2u * 4);  // corner: E + S
+  EXPECT_EQ(rig.motifs[8]->messages_sent(), 0u);      // far corner: none
+  EXPECT_EQ(rig.motifs[4]->messages_sent(), 2u * 4);  // centre: E + S
+}
+
+TEST(Motifs, SweepPipelinesSuccessiveSweeps) {
+  auto run_sweeps = [](std::uint32_t sweeps) {
+    Params p;
+    p.set("px", "4");
+    p.set("py", "1");
+    p.set("msg_bytes", "1024");
+    p.set("compute", "10us");
+    p.set("sweeps", std::to_string(sweeps));
+    MotifRig<SweepMotif> rig(4, p);
+    return rig.run_and_time();
+  };
+  const SimTime t4 = run_sweeps(4);
+  const SimTime t12 = run_sweeps(12);
+  // Pipelined: +8 sweeps costs ~8 stage-times, not 8 full pipeline fills.
+  const SimTime delta = t12 - t4;
+  EXPECT_LT(delta, 8u * 4 * 11 * kMicrosecond);
+  EXPECT_GE(delta, 8u * 10 * kMicrosecond);
+}
+
+TEST(Motifs, SweepGridMismatchThrows) {
+  Params p;
+  p.set("px", "3");
+  p.set("py", "2");
+  MotifRig<SweepMotif> rig(4, p);
+  EXPECT_THROW(rig.sim.run(), ConfigError);
+}
+
+TEST(Motifs, DeterministicCompletionTimes) {
+  auto run_once = [] {
+    Params p;
+    p.set("px", "2");
+    p.set("py", "2");
+    p.set("pz", "1");
+    p.set("msg_bytes", "32KiB");
+    p.set("iterations", "5");
+    MotifRig<HaloExchangeMotif> rig(4, p);
+    return rig.run_and_time();
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+}  // namespace
+}  // namespace sst::net

@@ -1,0 +1,119 @@
+// Traffic generators: patterns, load scaling, saturation behaviour.
+#include <gtest/gtest.h>
+
+#include "net/topology.h"
+#include "net/traffic.h"
+
+namespace sst::net {
+namespace {
+
+struct TrafficRig {
+  explicit TrafficRig(SimTime end)
+      : sim(SimConfig{.end_time = end, .seed = 12}) {}
+  Simulation sim;
+  std::vector<TrafficGenerator*> gens;
+};
+
+std::unique_ptr<TrafficRig> make_rig(double load, const char* pattern,
+                                     SimTime end = 200 * kMicrosecond) {
+  auto rig = std::make_unique<TrafficRig>(end);
+  std::vector<NetEndpoint*> eps;
+  for (int i = 0; i < 16; ++i) {
+    Params p;
+    p.set("pattern", pattern);
+    p.set("msg_bytes", "512");
+    p.set("load", std::to_string(load));
+    p.set("injection_bw", "10GB/s");
+    p.set("warmup", "20us");
+    auto* g = rig->sim.add_component<TrafficGenerator>(
+        "gen" + std::to_string(i), p);
+    rig->gens.push_back(g);
+    eps.push_back(g);
+  }
+  TopologySpec s;
+  s.kind = TopologySpec::Kind::kTorus2D;
+  s.x = 4;
+  s.y = 4;
+  build_topology(rig->sim, s, eps);
+  return rig;
+}
+
+double mean_latency(const TrafficRig& rig) {
+  double sum = 0;
+  std::uint64_t n = 0;
+  for (const auto* g : rig.gens) {
+    sum += g->mean_latency_ps() * static_cast<double>(g->measured_messages());
+    n += g->measured_messages();
+  }
+  return n > 0 ? sum / static_cast<double>(n) : 0.0;
+}
+
+TEST(Traffic, LowLoadDeliversAtNearZeroQueueing) {
+  auto rig = make_rig(0.05, "uniform");
+  rig->sim.run();
+  std::uint64_t measured = 0;
+  for (const auto* g : rig->gens) measured += g->measured_messages();
+  EXPECT_GT(measured, 100u);
+  // Latency near the no-load network traversal time (sub-microsecond).
+  EXPECT_LT(mean_latency(*rig), 1'000'000.0);
+}
+
+TEST(Traffic, LatencyRisesWithOfferedLoad) {
+  auto low = make_rig(0.05, "uniform");
+  low->sim.run();
+  auto high = make_rig(0.85, "uniform");
+  high->sim.run();
+  EXPECT_GT(mean_latency(*high), mean_latency(*low) * 1.3);
+}
+
+TEST(Traffic, HotspotCongestsEarlierThanUniform) {
+  auto uni = make_rig(0.5, "uniform");
+  uni->sim.run();
+  auto hot = make_rig(0.5, "hotspot");
+  hot->sim.run();
+  EXPECT_GT(mean_latency(*hot), mean_latency(*uni));
+}
+
+TEST(Traffic, NeighborPatternIsCheapestAtLowLoad) {
+  // At low load latency tracks hop count, where nearest-neighbour wins.
+  // (At high load the pattern concentrates all traffic on a few links and
+  // congests sooner than uniform — also physically correct.)
+  auto nb = make_rig(0.08, "neighbor");
+  nb->sim.run();
+  auto uni = make_rig(0.08, "uniform");
+  uni->sim.run();
+  EXPECT_LT(mean_latency(*nb), mean_latency(*uni));
+}
+
+TEST(Traffic, TransposeDeliversThroughput) {
+  auto rig = make_rig(0.3, "transpose");
+  rig->sim.run();
+  for (const auto* g : rig->gens) {
+    EXPECT_GT(g->delivered_bytes(), 0u);
+  }
+}
+
+TEST(Traffic, DeterministicAcrossRuns) {
+  auto a = make_rig(0.4, "uniform");
+  a->sim.run();
+  auto b = make_rig(0.4, "uniform");
+  b->sim.run();
+  EXPECT_DOUBLE_EQ(mean_latency(*a), mean_latency(*b));
+  for (size_t i = 0; i < a->gens.size(); ++i) {
+    EXPECT_EQ(a->gens[i]->measured_messages(),
+              b->gens[i]->measured_messages());
+  }
+}
+
+TEST(Traffic, ConfigValidation) {
+  Simulation sim;
+  Params p;
+  p.set("pattern", "spiral");
+  EXPECT_THROW(sim.add_component<TrafficGenerator>("g", p), ConfigError);
+  Params p2;
+  p2.set("load", "0");
+  EXPECT_THROW(sim.add_component<TrafficGenerator>("g2", p2), ConfigError);
+}
+
+}  // namespace
+}  // namespace sst::net

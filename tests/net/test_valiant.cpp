@@ -1,0 +1,147 @@
+// Valiant (randomized two-phase) routing: delivery correctness on every
+// topology, path-length doubling, adversarial-pattern load balancing.
+#include <gtest/gtest.h>
+
+#include "net/net_lib.h"
+
+namespace sst::net {
+namespace {
+
+class CountingSink final : public NetEndpoint {
+ public:
+  explicit CountingSink(Params& p) : NetEndpoint(p) {}
+  using NetEndpoint::send_message;
+  std::vector<std::pair<NodeId, std::uint64_t>> got;
+
+ private:
+  void on_message(NodeId src, std::uint64_t bytes, std::uint64_t,
+                  SimTime) override {
+    got.emplace_back(src, bytes);
+  }
+};
+
+TEST(Valiant, AllPairsDeliverOnTorus) {
+  Simulation sim(SimConfig{.end_time = 50 * kMillisecond, .seed = 9});
+  std::vector<NetEndpoint*> eps;
+  std::vector<CountingSink*> sinks;
+  for (int i = 0; i < 16; ++i) {
+    Params p;
+    auto* s = sim.add_component<CountingSink>("ep" + std::to_string(i), p);
+    sinks.push_back(s);
+    eps.push_back(s);
+  }
+  TopologySpec s;
+  s.kind = TopologySpec::Kind::kTorus2D;
+  s.x = 4;
+  s.y = 4;
+  s.routing = TopologySpec::Routing::kValiant;
+  build_topology(sim, s, eps);
+  sim.initialize();
+  for (std::uint32_t i = 0; i < 16; ++i) {
+    for (std::uint32_t j = 0; j < 16; ++j) {
+      if (i != j) sinks[i]->send_message(j, 6000, 0);  // multi-packet
+    }
+  }
+  sim.run();
+  for (const auto* s2 : sinks) {
+    EXPECT_EQ(s2->got.size(), 15u);
+    for (const auto& [src, bytes] : s2->got) EXPECT_EQ(bytes, 6000u);
+  }
+}
+
+struct HopProbe {
+  double avg_router_hops;
+};
+
+HopProbe measure_hops(TopologySpec::Routing routing) {
+  Simulation sim(SimConfig{.end_time = 20 * kMillisecond, .seed = 4});
+  std::vector<NetEndpoint*> eps;
+  std::vector<CountingSink*> sinks;
+  for (int i = 0; i < 16; ++i) {
+    Params p;
+    auto* s = sim.add_component<CountingSink>("ep" + std::to_string(i), p);
+    sinks.push_back(s);
+    eps.push_back(s);
+  }
+  TopologySpec s;
+  s.kind = TopologySpec::Kind::kTorus2D;
+  s.x = 4;
+  s.y = 4;
+  s.routing = routing;
+  const Topology topo = build_topology(sim, s, eps);
+  sim.initialize();
+  for (std::uint32_t i = 0; i < 16; ++i) {
+    for (std::uint32_t j = 0; j < 16; ++j) {
+      if (i != j) sinks[i]->send_message(j, 64, 0);
+    }
+  }
+  sim.run();
+  // Total router traversals / packets = average hop count.
+  double pkts = 0, traversals = 0;
+  for (const auto* r : topo.routers) {
+    const auto* c = dynamic_cast<const Counter*>(
+        sim.stats().find(r->name(), "packets"));
+    traversals += static_cast<double>(c->count());
+  }
+  for (const auto* s2 : sinks) pkts += 15.0;
+  return {traversals / pkts};
+}
+
+TEST(Valiant, RoughlyDoublesPathLength) {
+  const HopProbe minimal = measure_hops(TopologySpec::Routing::kMinimal);
+  const HopProbe valiant = measure_hops(TopologySpec::Routing::kValiant);
+  EXPECT_GT(valiant.avg_router_hops, minimal.avg_router_hops * 1.4);
+  EXPECT_LT(valiant.avg_router_hops, minimal.avg_router_hops * 2.6);
+}
+
+double tornado_latency(TopologySpec::Routing routing) {
+  Simulation sim(SimConfig{.end_time = 300 * kMicrosecond, .seed = 21});
+  std::vector<NetEndpoint*> eps;
+  std::vector<TrafficGenerator*> gens;
+  for (int i = 0; i < 16; ++i) {
+    Params p;
+    p.set("pattern", "tornado");
+    p.set("tornado_stride", "7");
+    p.set("msg_bytes", "512");
+    p.set("load", "0.18");
+    p.set("injection_bw", "10GB/s");
+    p.set("warmup", "30us");
+    auto* g = sim.add_component<TrafficGenerator>(
+        "gen" + std::to_string(i), p);
+    gens.push_back(g);
+    eps.push_back(g);
+  }
+  TopologySpec s;
+  s.kind = TopologySpec::Kind::kTorus2D;
+  s.x = 16;
+  s.y = 1;
+  s.routing = routing;
+  build_topology(sim, s, eps);
+  sim.run();
+  double sum = 0;
+  std::uint64_t n = 0;
+  for (const auto* g : gens) {
+    sum += g->mean_latency_ps() * static_cast<double>(g->measured_messages());
+    n += g->measured_messages();
+  }
+  return n ? sum / static_cast<double>(n) : 0.0;
+}
+
+TEST(Valiant, BeatsMinimalOnTornadoTraffic) {
+  // Tornado on a ring drives every minimal route through the same few
+  // links; Valiant spreads the load and wins despite longer paths.
+  const double minimal = tornado_latency(TopologySpec::Routing::kMinimal);
+  const double valiant = tornado_latency(TopologySpec::Routing::kValiant);
+  ASSERT_GT(minimal, 0.0);
+  ASSERT_GT(valiant, 0.0);
+  EXPECT_LT(valiant, minimal);
+}
+
+TEST(Valiant, DeterministicAcrossRuns) {
+  const double a = tornado_latency(TopologySpec::Routing::kValiant);
+  const double b = tornado_latency(TopologySpec::Routing::kValiant);
+  EXPECT_DOUBLE_EQ(a, b);
+}
+
+}  // namespace
+}  // namespace sst::net

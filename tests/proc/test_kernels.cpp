@@ -1,0 +1,236 @@
+// Workload generators: op counts, arithmetic-intensity signatures,
+// determinism, address patterns.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "proc/kernels.h"
+#include "proc/workload_factory.h"
+
+namespace sst::proc {
+namespace {
+
+struct Mix {
+  std::uint64_t flops = 0, intops = 0, loads = 0, stores = 0, branches = 0;
+  std::uint64_t load_bytes = 0, store_bytes = 0;
+  std::uint64_t total = 0;
+  std::uint64_t dependent = 0;
+  std::vector<Addr> load_addrs;
+};
+
+Mix drain(Workload& w, bool keep_addrs = false) {
+  Mix m;
+  Op op;
+  while (w.next(op)) {
+    ++m.total;
+    if (op.depends_on_loads) ++m.dependent;
+    switch (op.type) {
+      case OpType::kFlop: ++m.flops; break;
+      case OpType::kIntOp: ++m.intops; break;
+      case OpType::kLoad:
+        ++m.loads;
+        m.load_bytes += op.size;
+        if (keep_addrs) m.load_addrs.push_back(op.addr);
+        break;
+      case OpType::kStore:
+        ++m.stores;
+        m.store_bytes += op.size;
+        break;
+      case OpType::kBranch: ++m.branches; break;
+    }
+  }
+  return m;
+}
+
+TEST(StreamTriadKernel, ExactOpCounts) {
+  StreamTriad w(1000, 2);
+  const Mix m = drain(w);
+  EXPECT_EQ(m.loads, 2u * 1000 * 2);
+  EXPECT_EQ(m.stores, 1u * 1000 * 2);
+  EXPECT_EQ(m.flops, 2u * 1000 * 2);
+  EXPECT_EQ(m.flops, w.total_flops());
+  EXPECT_EQ(m.branches, 1000u * 2);
+  EXPECT_EQ(m.dependent, 0u);
+}
+
+TEST(StreamTriadKernel, SequentialAddresses) {
+  StreamTriad w(64, 1);
+  const Mix m = drain(w, true);
+  // Loads alternate between the b and c arrays; within each array the
+  // stride is 8 bytes.
+  std::map<Addr, std::vector<Addr>> by_region;
+  for (Addr a : m.load_addrs) by_region[a >> 32].push_back(a);
+  ASSERT_EQ(by_region.size(), 2u);
+  for (const auto& [region, addrs] : by_region) {
+    (void)region;
+    ASSERT_EQ(addrs.size(), 64u);
+    for (size_t i = 1; i < addrs.size(); ++i) {
+      EXPECT_EQ(addrs[i] - addrs[i - 1], 8u);
+    }
+  }
+}
+
+TEST(HpccgKernel, OpCountsMatchStructure) {
+  const std::uint32_t nx = 4, ny = 4, nz = 4;
+  Hpccg w(nx, ny, nz, 1);
+  const std::uint64_t rows = w.rows();
+  EXPECT_EQ(rows, 64u);
+  const Mix m = drain(w);
+  // SpMV per row: 14 16B value loads + 7 16B index loads + 27 x gathers;
+  // vector phases are 16B-vectorized (two elements per unit):
+  // dot 1 load, p-axpy 2 loads + 1 store, x-axpy 2 loads + 1 store.
+  EXPECT_EQ(m.loads, rows * (14 + 7 + 27) + (rows / 2) * (1 + 2 + 2));
+  EXPECT_EQ(m.stores, rows * 1 + (rows / 2) * 2);
+  EXPECT_EQ(m.flops, w.total_flops());
+  EXPECT_EQ(m.dependent, 0u);
+}
+
+TEST(HpccgKernel, LowArithmeticIntensity) {
+  Hpccg w(8, 8, 8, 1);
+  const Mix m = drain(w);
+  const double intensity = static_cast<double>(m.flops) /
+                           static_cast<double>(m.load_bytes + m.store_bytes);
+  // CG is bandwidth-bound: well under 1 flop/byte.
+  EXPECT_LT(intensity, 0.5);
+}
+
+TEST(LuleshKernel, HydroArithmeticIntensity) {
+  Lulesh w(8, 1);
+  EXPECT_EQ(w.zones(), 512u);
+  const Mix m = drain(w);
+  const double intensity = static_cast<double>(m.flops) /
+                           static_cast<double>(m.load_bytes + m.store_bytes);
+  // Real LULESH runs ~0.3-0.8 flops/byte; the proxy targets that band.
+  EXPECT_GT(intensity, 0.3);
+  EXPECT_LT(intensity, 0.9);
+  EXPECT_EQ(m.flops, w.total_flops());
+  // 8 corner gathers + one load per zone-centred read field.
+  EXPECT_EQ(m.loads, (8u + Lulesh::kZoneReadFields) * 512);
+  EXPECT_EQ(m.stores, Lulesh::kZoneWriteFields * 512u);
+}
+
+TEST(LuleshKernel, MoreComputeBoundThanHpccg) {
+  Hpccg cg(8, 8, 8, 1);
+  Lulesh lu(8, 1);
+  const Mix mc = drain(cg);
+  const Mix ml = drain(lu);
+  const double ic = static_cast<double>(mc.flops) /
+                    static_cast<double>(mc.load_bytes + mc.store_bytes);
+  const double il = static_cast<double>(ml.flops) /
+                    static_cast<double>(ml.load_bytes + ml.store_bytes);
+  EXPECT_GT(il, 3.0 * ic);
+}
+
+TEST(GupsKernel, IndependentUpdatesAndAddressSpread) {
+  Gups w(1 << 20, 1000, 42);
+  const Mix m = drain(w, true);
+  EXPECT_EQ(m.loads, 1000u);
+  EXPECT_EQ(m.stores, 1000u);
+  EXPECT_EQ(m.dependent, 0u);  // updates expose MLP (see kernels.cpp)
+  // Addresses spread across the table: expect many distinct cache lines.
+  std::set<Addr> lines;
+  for (Addr a : m.load_addrs) lines.insert(a / 64);
+  EXPECT_GT(lines.size(), 800u);
+}
+
+TEST(GupsKernel, DeterministicPerSeed) {
+  Gups a(1 << 16, 100, 7), b(1 << 16, 100, 7), c(1 << 16, 100, 8);
+  const Mix ma = drain(a, true), mb = drain(b, true), mc2 = drain(c, true);
+  EXPECT_EQ(ma.load_addrs, mb.load_addrs);
+  EXPECT_NE(ma.load_addrs, mc2.load_addrs);
+}
+
+TEST(PointerChaseKernel, FullySerialized) {
+  PointerChase w(1 << 20, 500, 3);
+  const Mix m = drain(w, true);
+  EXPECT_EQ(m.loads, 500u);
+  EXPECT_EQ(m.dependent, 500u);
+  // The chain must not revisit one address over and over.
+  std::set<Addr> distinct(m.load_addrs.begin(), m.load_addrs.end());
+  EXPECT_GT(distinct.size(), 400u);
+}
+
+TEST(MiniMdKernel, StructureAndIntensity) {
+  MiniMd w(256, 40, 1, 13);
+  EXPECT_EQ(w.atoms(), 256u);
+  const Mix m = drain(w, true);
+  // Per atom: own position + 10 SSE neighbor-index loads + 40 gathers.
+  EXPECT_EQ(m.loads, 256u * (1 + 10 + 40));
+  EXPECT_EQ(m.stores, 256u);
+  EXPECT_EQ(m.flops, w.total_flops());
+  const double intensity = static_cast<double>(m.flops) /
+                           static_cast<double>(m.load_bytes + m.store_bytes);
+  // MD sits between stencils and sparse solvers.
+  EXPECT_GT(intensity, 0.25);
+  EXPECT_LT(intensity, 0.9);
+}
+
+TEST(MiniMdKernel, GathersStayInLocalWindow) {
+  MiniMd w(4096, 16, 1, 13);
+  const Mix m = drain(w, true);
+  // Gather loads are the 24-byte position reads; each must land within
+  // the spatial window of its atom.
+  std::uint64_t atom = 0;
+  std::uint64_t gathers_checked = 0;
+  for (const Addr a : m.load_addrs) {
+    // Position-region loads have region index 0 (base 1<<32).
+    if ((a >> 32) != 1) continue;
+    const std::uint64_t idx = (a - ((1ULL << 32))) / 24;
+    if (idx == atom) continue;  // own-position load: advance the cursor
+    const std::uint64_t fwd = (idx + 4096 - atom) % 4096;
+    EXPECT_LE(fwd, 513u) << "gather outside window";
+    ++gathers_checked;
+    if (gathers_checked % 16 == 0) ++atom;
+  }
+  EXPECT_GT(gathers_checked, 0u);
+}
+
+TEST(MiniMdKernel, DeterministicPerSeed) {
+  MiniMd a(512, 8, 1, 5), b(512, 8, 1, 5), c(512, 8, 1, 6);
+  const Mix ma = drain(a, true), mb = drain(b, true), mc2 = drain(c, true);
+  EXPECT_EQ(ma.load_addrs, mb.load_addrs);
+  EXPECT_NE(ma.load_addrs, mc2.load_addrs);
+}
+
+TEST(Kernels, ValidationErrors) {
+  EXPECT_THROW(StreamTriad(0, 1), ConfigError);
+  EXPECT_THROW(StreamTriad(10, 0), ConfigError);
+  EXPECT_THROW(Hpccg(0, 4, 4, 1), ConfigError);
+  EXPECT_THROW(Lulesh(0, 1), ConfigError);
+  EXPECT_THROW(Gups(32, 10), ConfigError);
+  EXPECT_THROW(PointerChase(8, 10), ConfigError);
+}
+
+TEST(WorkloadFactory, BuildsAllKernels) {
+  for (const char* k :
+       {"stream", "hpccg", "lulesh", "minimd", "gups", "chase"}) {
+    Params p;
+    p.set("workload", k);
+    // Shrink sizes so the drain is fast.
+    p.set("elements", "64");
+    p.set("nx", "2");
+    p.set("ny", "2");
+    p.set("nz", "2");
+    p.set("n", "2");
+    p.set("atoms", "32");
+    p.set("neighbors", "4");
+    p.set("updates", "16");
+    p.set("hops", "16");
+    auto w = make_workload(p);
+    ASSERT_NE(w, nullptr) << k;
+    const Mix m = drain(*w);
+    EXPECT_GT(m.total, 0u) << k;
+  }
+  Params bad;
+  bad.set("workload", "fortnite");
+  EXPECT_THROW((void)make_workload(bad), ConfigError);
+}
+
+TEST(WorkloadFactory, ByNameUsesDefaults) {
+  auto w = make_workload("gups");
+  EXPECT_EQ(w->name(), "synthetic.gups");
+}
+
+}  // namespace
+}  // namespace sst::proc

@@ -1,0 +1,159 @@
+// Trace record / replay: round trips, tee recording, error handling.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <vector>
+
+#include "core/sst.h"
+#include "mem/memory_controller.h"
+#include "proc/core_model.h"
+#include "proc/kernels.h"
+#include "proc/trace.h"
+#include "proc/workload_factory.h"
+
+namespace sst::proc {
+namespace {
+
+std::string temp_path(const char* tag) {
+  return ::testing::TempDir() + "sst_trace_" + tag + "_" +
+         std::to_string(::getpid()) + ".trc";
+}
+
+std::vector<Op> drain_ops(Workload& w) {
+  std::vector<Op> out;
+  Op op;
+  while (w.next(op)) out.push_back(op);
+  return out;
+}
+
+bool ops_equal(const Op& a, const Op& b) {
+  return a.type == b.type && a.addr == b.addr && a.size == b.size &&
+         a.depends_on_loads == b.depends_on_loads;
+}
+
+TEST(Trace, RoundTripPreservesEveryOp) {
+  const std::string path = temp_path("roundtrip");
+  Gups original(1 << 16, 500, 3);
+  Gups reference(1 << 16, 500, 3);
+  const std::uint64_t written = write_trace(original, path);
+  EXPECT_GT(written, 500u);
+
+  TraceWorkload replay(path);
+  const std::vector<Op> expect = drain_ops(reference);
+  const std::vector<Op> got = drain_ops(replay);
+  ASSERT_EQ(got.size(), expect.size());
+  for (size_t i = 0; i < got.size(); ++i) {
+    EXPECT_TRUE(ops_equal(got[i], expect[i])) << "op " << i;
+  }
+  std::remove(path.c_str());
+}
+
+TEST(Trace, DependencyFlagSurvives) {
+  const std::string path = temp_path("dep");
+  PointerChase chase(1 << 16, 50);
+  write_trace(chase, path);
+  TraceWorkload replay(path);
+  const auto ops = drain_ops(replay);
+  std::uint64_t dep_loads = 0;
+  for (const Op& op : ops) {
+    if (op.type == OpType::kLoad && op.depends_on_loads) ++dep_loads;
+  }
+  EXPECT_EQ(dep_loads, 50u);
+  std::remove(path.c_str());
+}
+
+TEST(Trace, MaxOpsTruncates) {
+  const std::string path = temp_path("truncate");
+  StreamTriad w(1000, 1);
+  EXPECT_EQ(write_trace(w, path, 42), 42u);
+  TraceWorkload replay(path);
+  EXPECT_EQ(drain_ops(replay).size(), 42u);
+  std::remove(path.c_str());
+}
+
+TEST(Trace, TracingWorkloadTees) {
+  const std::string path = temp_path("tee");
+  auto traced = std::make_unique<TracingWorkload>(
+      std::make_unique<StreamTriad>(100, 1), path);
+  StreamTriad reference(100, 1);
+  const auto live = drain_ops(*traced);
+  const auto expect = drain_ops(reference);
+  ASSERT_EQ(live.size(), expect.size());
+  EXPECT_EQ(traced->ops_recorded(), live.size());
+
+  TraceWorkload replay(path);
+  const auto got = drain_ops(replay);
+  ASSERT_EQ(got.size(), expect.size());
+  for (size_t i = 0; i < got.size(); ++i) {
+    EXPECT_TRUE(ops_equal(got[i], expect[i])) << "op " << i;
+  }
+  std::remove(path.c_str());
+}
+
+TEST(Trace, ReplayedSimulationMatchesLive) {
+  // The whole point of traces: replaying must reproduce the simulated
+  // run exactly.
+  const std::string path = temp_path("sim");
+  {
+    Hpccg w(6, 6, 6, 1);
+    write_trace(w, path);
+  }
+  auto run_with = [](WorkloadPtr w) {
+    Simulation sim;
+    Params cp{{"clock", "2GHz"}, {"issue_width", "4"}};
+    auto* cpu = sim.add_component<Core>("cpu", cp);
+    cpu->set_workload(std::move(w));
+    Params mp{{"backend", "dram"}, {"preset", "DDR3"}};
+    sim.add_component<mem::MemoryController>("mc", mp);
+    sim.connect("cpu", "mem", "mc", "cpu", 2 * kNanosecond);
+    sim.run();
+    return cpu->completion_time();
+  };
+  const SimTime live = run_with(std::make_unique<Hpccg>(6, 6, 6, 1));
+  const SimTime replayed = run_with(std::make_unique<TraceWorkload>(path));
+  EXPECT_EQ(live, replayed);
+  std::remove(path.c_str());
+}
+
+TEST(Trace, FactoryBuildsTraceWorkload) {
+  const std::string path = temp_path("factory");
+  {
+    StreamTriad w(64, 1);
+    write_trace(w, path);
+  }
+  Params p;
+  p.set("workload", "trace");
+  p.set("trace_file", path);
+  auto w = make_workload(p);
+  EXPECT_NE(w->name().find("trace:"), std::string::npos);
+  EXPECT_EQ(drain_ops(*w).size(), 64u * 6);
+  std::remove(path.c_str());
+}
+
+TEST(Trace, ErrorsOnMissingOrCorruptFiles) {
+  EXPECT_THROW(TraceWorkload("/nonexistent/nope.trc"), ConfigError);
+
+  const std::string bad = temp_path("bad");
+  {
+    std::ofstream f(bad, std::ios::binary);
+    f << "this is not a trace";
+  }
+  EXPECT_THROW(TraceWorkload{bad}, ConfigError);
+  std::remove(bad.c_str());
+
+  // Truncated record after a valid header.
+  const std::string cut = temp_path("cut");
+  {
+    std::ofstream f(cut, std::ios::binary);
+    f.write(kTraceMagic, sizeof kTraceMagic);
+    f.write("abc", 3);
+  }
+  TraceWorkload replay(cut);
+  Op op;
+  EXPECT_THROW((void)replay.next(op), ConfigError);
+  std::remove(cut.c_str());
+}
+
+}  // namespace
+}  // namespace sst::proc

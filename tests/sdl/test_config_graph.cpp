@@ -1,0 +1,151 @@
+// ConfigGraph: validation, JSON round trip, factory-driven build.
+#include <gtest/gtest.h>
+
+#include "mem/mem_lib.h"
+#include "proc/proc_lib.h"
+#include "sdl/config_graph.h"
+
+namespace sst::sdl {
+namespace {
+
+ConfigGraph small_system() {
+  mem::register_library();
+  proc::register_library();
+  ConfigGraph g;
+  g.add_component("cpu0", "proc.Core",
+                  Params{{"clock", "1GHz"},
+                         {"issue_width", "2"},
+                         {"workload", "stream"},
+                         {"elements", "2048"},
+                         {"iterations", "1"}});
+  g.add_component("mc0", "mem.MemoryController",
+                  Params{{"backend", "simple"}, {"latency", "50ns"}});
+  g.add_link("cpu0", "mem", "mc0", "cpu", "2ns");
+  return g;
+}
+
+TEST(ConfigGraph, ValidGraphBuildsAndRuns) {
+  const ConfigGraph g = small_system();
+  EXPECT_TRUE(g.validate(Factory::instance()).empty());
+  auto sim = g.build();
+  const RunStats stats = sim->run();
+  EXPECT_GT(stats.events_processed, 0u);
+  auto* core = dynamic_cast<proc::Core*>(sim->find_component("cpu0"));
+  ASSERT_NE(core, nullptr);
+  EXPECT_TRUE(core->done());
+}
+
+TEST(ConfigGraph, DetectsUnknownType) {
+  ConfigGraph g = small_system();
+  g.add_component("x", "bogus.Type");
+  const auto problems = g.validate(Factory::instance());
+  ASSERT_FALSE(problems.empty());
+  EXPECT_NE(problems[0].find("bogus.Type"), std::string::npos);
+  EXPECT_THROW((void)g.build(), ConfigError);
+}
+
+TEST(ConfigGraph, DetectsDuplicateNamesAndPorts) {
+  mem::register_library();
+  ConfigGraph g;
+  g.add_component("a", "mem.MemoryController", Params{{"backend", "simple"}});
+  g.add_component("a", "mem.MemoryController", Params{{"backend", "simple"}});
+  g.add_link("a", "cpu", "a", "cpu", "1ns");
+  const auto problems = g.validate(Factory::instance());
+  bool dup_name = false, dup_port = false;
+  for (const auto& p : problems) {
+    if (p.find("duplicate component name") != std::string::npos)
+      dup_name = true;
+    if (p.find("port used twice") != std::string::npos) dup_port = true;
+  }
+  EXPECT_TRUE(dup_name);
+  EXPECT_TRUE(dup_port);
+}
+
+TEST(ConfigGraph, DetectsBadLinkEndpointsAndLatency) {
+  mem::register_library();
+  ConfigGraph g;
+  g.add_component("a", "mem.MemoryController", Params{{"backend", "simple"}});
+  g.add_link("a", "cpu", "ghost", "port", "banana");
+  const auto problems = g.validate(Factory::instance());
+  bool unknown = false, bad_lat = false;
+  for (const auto& p : problems) {
+    if (p.find("unknown component 'ghost'") != std::string::npos)
+      unknown = true;
+    if (p.find("bad latency") != std::string::npos) bad_lat = true;
+  }
+  EXPECT_TRUE(unknown);
+  EXPECT_TRUE(bad_lat);
+}
+
+TEST(ConfigGraph, JsonRoundTrip) {
+  const ConfigGraph g = small_system();
+  const JsonValue doc = g.to_json();
+  const ConfigGraph g2 = ConfigGraph::from_json(doc);
+  ASSERT_EQ(g2.components().size(), 2u);
+  EXPECT_EQ(g2.components()[0].name, "cpu0");
+  EXPECT_EQ(g2.components()[0].type, "proc.Core");
+  EXPECT_EQ(*g2.components()[0].params.raw("clock"), "1GHz");
+  ASSERT_EQ(g2.links().size(), 1u);
+  EXPECT_EQ(g2.links()[0].latency, "2ns");
+  // And the round-tripped graph still runs.
+  auto sim = g2.build();
+  sim->run();
+  EXPECT_TRUE(
+      dynamic_cast<proc::Core*>(sim->find_component("cpu0"))->done());
+}
+
+TEST(ConfigGraph, FromJsonTextFullDocument) {
+  mem::register_library();
+  proc::register_library();
+  const char* doc = R"({
+    "config": {"end_time": "1ms", "num_ranks": 1, "seed": 5,
+               "partition": "roundrobin"},
+    "components": [
+      {"name": "cpu0", "type": "proc.Core",
+       "params": {"workload": "stream", "elements": 1024,
+                  "iterations": 1, "clock": "1GHz"}},
+      {"name": "mc0", "type": "mem.MemoryController",
+       "params": {"backend": "simple"}}
+    ],
+    "links": [
+      {"from": "cpu0", "from_port": "mem", "to": "mc0", "to_port": "cpu",
+       "latency": "1ns"}
+    ]
+  })";
+  const ConfigGraph g = ConfigGraph::from_json_text(doc);
+  EXPECT_EQ(g.sim_config().end_time, kMillisecond);
+  EXPECT_EQ(g.sim_config().seed, 5u);
+  EXPECT_EQ(g.sim_config().partition, PartitionStrategy::kRoundRobin);
+  auto sim = g.build();
+  sim->run();
+  EXPECT_TRUE(
+      dynamic_cast<proc::Core*>(sim->find_component("cpu0"))->done());
+}
+
+TEST(ConfigGraph, RankPinningThroughJson) {
+  mem::register_library();
+  const char* doc = R"({
+    "config": {"num_ranks": 2},
+    "components": [
+      {"name": "a", "type": "mem.MemoryController",
+       "params": {"backend": "simple"}, "rank": 1}
+    ],
+    "links": []
+  })";
+  const ConfigGraph g = ConfigGraph::from_json_text(doc);
+  ASSERT_TRUE(g.components()[0].rank.has_value());
+  EXPECT_EQ(*g.components()[0].rank, 1u);
+  // Rank out of range is caught by validation.
+  ConfigGraph bad = g;
+  bad.sim_config().num_ranks = 1;
+  EXPECT_FALSE(bad.validate(Factory::instance()).empty());
+}
+
+TEST(ConfigGraph, UnknownPartitionStrategyThrows) {
+  EXPECT_THROW(ConfigGraph::from_json_text(
+                   R"({"config": {"partition": "magic"}})"),
+               ConfigError);
+}
+
+}  // namespace
+}  // namespace sst::sdl

@@ -1,0 +1,113 @@
+// JSON parser/serializer.
+#include <gtest/gtest.h>
+
+#include "sdl/json.h"
+
+namespace sst::sdl {
+namespace {
+
+TEST(Json, ParsesScalars) {
+  EXPECT_TRUE(JsonValue::parse("null").is_null());
+  EXPECT_TRUE(JsonValue::parse("true").as_bool());
+  EXPECT_FALSE(JsonValue::parse("false").as_bool());
+  EXPECT_DOUBLE_EQ(JsonValue::parse("42").as_number(), 42.0);
+  EXPECT_DOUBLE_EQ(JsonValue::parse("-3.5e2").as_number(), -350.0);
+  EXPECT_EQ(JsonValue::parse("\"hi\"").as_string(), "hi");
+}
+
+TEST(Json, ParsesNested) {
+  const auto v = JsonValue::parse(R"({
+    "name": "cpu0",
+    "params": {"clock": "2GHz", "width": 4},
+    "tags": [1, 2, 3],
+    "enabled": true
+  })");
+  EXPECT_EQ(v.at("name").as_string(), "cpu0");
+  EXPECT_EQ(v.at("params").at("clock").as_string(), "2GHz");
+  EXPECT_DOUBLE_EQ(v.at("params").at("width").as_number(), 4.0);
+  ASSERT_EQ(v.at("tags").as_array().size(), 3u);
+  EXPECT_DOUBLE_EQ(v.at("tags").as_array()[2].as_number(), 3.0);
+  EXPECT_TRUE(v.at("enabled").as_bool());
+}
+
+TEST(Json, StringEscapes) {
+  const auto v = JsonValue::parse(R"("a\"b\\c\nd\teA")");
+  EXPECT_EQ(v.as_string(), "a\"b\\c\nd\teA");
+}
+
+TEST(Json, CommentsAndTrailingCommas) {
+  const auto v = JsonValue::parse(R"({
+    // a comment
+    "a": 1,     // trailing comment
+    "b": [1, 2,],
+  })");
+  EXPECT_DOUBLE_EQ(v.at("a").as_number(), 1.0);
+  EXPECT_EQ(v.at("b").as_array().size(), 2u);
+}
+
+TEST(Json, Accessors) {
+  const auto v = JsonValue::parse(R"({"s": "x", "n": 7, "b": true})");
+  EXPECT_TRUE(v.has("s"));
+  EXPECT_FALSE(v.has("zzz"));
+  EXPECT_EQ(v.get_string("s", "d"), "x");
+  EXPECT_EQ(v.get_string("zzz", "d"), "d");
+  EXPECT_DOUBLE_EQ(v.get_number("n", 0), 7.0);
+  EXPECT_DOUBLE_EQ(v.get_number("zzz", 9), 9.0);
+  EXPECT_TRUE(v.get_bool("b", false));
+  EXPECT_TRUE(v.get_bool("zzz", true));
+}
+
+TEST(Json, ErrorsCarryLineNumbers) {
+  try {
+    JsonValue::parse("{\n  \"a\": 1,\n  \"b\" 2\n}");
+    FAIL() << "expected JsonError";
+  } catch (const JsonError& e) {
+    EXPECT_NE(std::string(e.what()).find("line 3"), std::string::npos);
+  }
+}
+
+TEST(Json, MalformedInputs) {
+  EXPECT_THROW(JsonValue::parse(""), JsonError);
+  EXPECT_THROW(JsonValue::parse("{"), JsonError);
+  EXPECT_THROW(JsonValue::parse("[1 2]"), JsonError);
+  EXPECT_THROW(JsonValue::parse("{\"a\" 1}"), JsonError);
+  EXPECT_THROW(JsonValue::parse("tru"), JsonError);
+  EXPECT_THROW(JsonValue::parse("1 2"), JsonError);
+  EXPECT_THROW(JsonValue::parse("\"unterminated"), JsonError);
+}
+
+TEST(Json, TypeMismatchThrows) {
+  const auto v = JsonValue::parse("{\"a\": 1}");
+  EXPECT_THROW((void)v.as_array(), JsonError);
+  EXPECT_THROW((void)v.at("a").as_string(), JsonError);
+  EXPECT_THROW((void)v.at("missing"), JsonError);
+  EXPECT_THROW((void)JsonValue::parse("3").as_bool(), JsonError);
+}
+
+TEST(Json, DumpRoundTrips) {
+  const char* doc = R"({"a":[1,2,{"b":"x"}],"c":true,"d":null,"e":2.5})";
+  const auto v = JsonValue::parse(doc);
+  const auto reparsed = JsonValue::parse(v.dump());
+  EXPECT_EQ(reparsed.at("a").as_array().size(), 3u);
+  EXPECT_EQ(reparsed.at("a").as_array()[2].at("b").as_string(), "x");
+  EXPECT_TRUE(reparsed.at("c").as_bool());
+  EXPECT_TRUE(reparsed.at("d").is_null());
+  EXPECT_DOUBLE_EQ(reparsed.at("e").as_number(), 2.5);
+}
+
+TEST(Json, PrettyPrintParses) {
+  const auto v = JsonValue::parse(R"({"a": [1, 2], "b": {"c": 3}})");
+  const std::string pretty = v.dump(2);
+  EXPECT_NE(pretty.find('\n'), std::string::npos);
+  const auto reparsed = JsonValue::parse(pretty);
+  EXPECT_DOUBLE_EQ(reparsed.at("b").at("c").as_number(), 3.0);
+}
+
+TEST(Json, IntegersDumpWithoutDecimals) {
+  JsonObject o;
+  o["n"] = JsonValue(42.0);
+  EXPECT_EQ(JsonValue(std::move(o)).dump(), "{\"n\":42}");
+}
+
+}  // namespace
+}  // namespace sst::sdl

@@ -1,0 +1,132 @@
+// Network sections in JSON system descriptions.
+#include <gtest/gtest.h>
+
+#include "mem/mem_lib.h"
+#include "net/net_lib.h"
+#include "sdl/config_graph.h"
+
+namespace sst::sdl {
+namespace {
+
+const char* kHaloSystem = R"({
+  "config": {"seed": 3},
+  "components": [
+    {"name": "rank0", "type": "net.HaloExchange",
+     "params": {"px": 2, "py": 2, "pz": 1, "msg_bytes": 4096,
+                "compute": "5us", "iterations": 3}},
+    {"name": "rank1", "type": "net.HaloExchange",
+     "params": {"px": 2, "py": 2, "pz": 1, "msg_bytes": 4096,
+                "compute": "5us", "iterations": 3}},
+    {"name": "rank2", "type": "net.HaloExchange",
+     "params": {"px": 2, "py": 2, "pz": 1, "msg_bytes": 4096,
+                "compute": "5us", "iterations": 3}},
+    {"name": "rank3", "type": "net.HaloExchange",
+     "params": {"px": 2, "py": 2, "pz": 1, "msg_bytes": 4096,
+                "compute": "5us", "iterations": 3}}
+  ],
+  "links": [],
+  "network": {
+    "topology": "torus2d", "x": 2, "y": 2,
+    "link_bandwidth": "10GB/s", "link_latency": "20ns",
+    "endpoints": ["rank0", "rank1", "rank2", "rank3"]
+  }
+})";
+
+TEST(NetworkSdl, HaloSystemFromJsonRuns) {
+  net::register_library();
+  const ConfigGraph g = ConfigGraph::from_json_text(kHaloSystem);
+  ASSERT_TRUE(g.network().present);
+  EXPECT_TRUE(g.validate(Factory::instance()).empty());
+  auto sim = g.build();
+  sim->run();
+  for (int i = 0; i < 4; ++i) {
+    auto* m = dynamic_cast<net::HaloExchangeMotif*>(
+        sim->find_component("rank" + std::to_string(i)));
+    ASSERT_NE(m, nullptr);
+    EXPECT_TRUE(m->motif_finished());
+    EXPECT_EQ(m->messages_sent(), 4u * 3);  // 4 neighbours x 3 iterations
+  }
+  // Routers were created by the builder.
+  EXPECT_NE(sim->find_component("rtr0"), nullptr);
+}
+
+TEST(NetworkSdl, ValidationCatchesMistakes) {
+  net::register_library();
+  // Wrong endpoint count.
+  {
+    ConfigGraph g = ConfigGraph::from_json_text(kHaloSystem);
+    g.network().endpoints.pop_back();
+    const auto problems = g.validate(Factory::instance());
+    ASSERT_FALSE(problems.empty());
+    EXPECT_NE(problems[0].find("expects"), std::string::npos);
+  }
+  // Unknown endpoint.
+  {
+    ConfigGraph g = ConfigGraph::from_json_text(kHaloSystem);
+    g.network().endpoints[0] = "ghost";
+    EXPECT_FALSE(g.validate(Factory::instance()).empty());
+  }
+  // Duplicate endpoint.
+  {
+    ConfigGraph g = ConfigGraph::from_json_text(kHaloSystem);
+    g.network().endpoints[1] = g.network().endpoints[0];
+    EXPECT_FALSE(g.validate(Factory::instance()).empty());
+  }
+}
+
+TEST(NetworkSdl, NonEndpointComponentRejectedAtBuild) {
+  net::register_library();
+  mem::register_library();
+  ConfigGraph g = ConfigGraph::from_json_text(kHaloSystem);
+  // Replace one motif with a memory controller: passes structural
+  // validation (it is a known component) but fails the endpoint cast.
+  g.add_component("mc", "mem.MemoryController", Params{{"backend", "simple"}});
+  g.network().endpoints[3] = "mc";
+  // The orphaned motif and controller port would also fail wiring, but
+  // the endpoint type check fires first.
+  EXPECT_THROW((void)g.build(), ConfigError);
+}
+
+TEST(NetworkSdl, UnknownTopologyAndRoutingRejected) {
+  EXPECT_THROW(ConfigGraph::from_json_text(
+                   R"({"network": {"topology": "hypercube",
+                       "endpoints": []}})"),
+               ConfigError);
+  EXPECT_THROW(ConfigGraph::from_json_text(
+                   R"({"network": {"topology": "torus2d",
+                       "routing": "psychic", "endpoints": []}})"),
+               ConfigError);
+}
+
+TEST(NetworkSdl, JsonRoundTripPreservesNetwork) {
+  net::register_library();
+  const ConfigGraph g = ConfigGraph::from_json_text(kHaloSystem);
+  const ConfigGraph g2 = ConfigGraph::from_json(g.to_json());
+  ASSERT_TRUE(g2.network().present);
+  EXPECT_EQ(g2.network().spec.kind, net::TopologySpec::Kind::kTorus2D);
+  EXPECT_EQ(g2.network().spec.x, 2u);
+  EXPECT_EQ(g2.network().endpoints.size(), 4u);
+  auto sim = g2.build();
+  sim->run();
+  EXPECT_TRUE(dynamic_cast<net::HaloExchangeMotif*>(
+                  sim->find_component("rank0"))
+                  ->motif_finished());
+}
+
+TEST(NetworkSdl, ValiantRoutingFromJson) {
+  net::register_library();
+  std::string doc = kHaloSystem;
+  doc.replace(doc.find("\"topology\": \"torus2d\""),
+              std::string("\"topology\": \"torus2d\"").size(),
+              "\"topology\": \"torus2d\", \"routing\": \"valiant\"");
+  const ConfigGraph g = ConfigGraph::from_json_text(doc);
+  EXPECT_EQ(g.network().spec.routing, net::TopologySpec::Routing::kValiant);
+  auto sim = g.build();
+  sim->run();
+  EXPECT_TRUE(dynamic_cast<net::HaloExchangeMotif*>(
+                  sim->find_component("rank3"))
+                  ->motif_finished());
+}
+
+}  // namespace
+}  // namespace sst::sdl

@@ -1,0 +1,144 @@
+// Small reusable components for engine tests.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "core/sst.h"
+
+namespace sst::testing {
+
+/// Event carrying one integer.
+class IntEvent final : public Event {
+ public:
+  explicit IntEvent(std::int64_t v) : value(v) {}
+  std::int64_t value;
+};
+
+/// Sends `count` pings and records the round-trip time of each reply.
+/// Primary component: ends the simulation when done.
+class Pinger final : public Component {
+ public:
+  explicit Pinger(Params& params) {
+    count_ = params.find<std::uint32_t>("count", 10);
+    link_ = configure_link("port",
+                           [this](EventPtr ev) { on_reply(std::move(ev)); });
+    register_as_primary();
+  }
+
+  void setup() override {
+    sent_at_ = now();
+    link_->send(make_event<IntEvent>(0));
+  }
+
+  std::vector<SimTime> round_trips;
+  std::vector<std::int64_t> values;
+
+ private:
+  void on_reply(EventPtr ev) {
+    auto reply = event_cast<IntEvent>(std::move(ev));
+    round_trips.push_back(now() - sent_at_);
+    values.push_back(reply->value);
+    if (round_trips.size() >= count_) {
+      primary_ok_to_end_sim();
+      return;
+    }
+    sent_at_ = now();
+    link_->send(make_event<IntEvent>(reply->value + 1));
+  }
+
+  Link* link_;
+  std::uint32_t count_;
+  SimTime sent_at_ = 0;
+};
+
+/// Echoes every event back, incrementing the value.
+class Echo final : public Component {
+ public:
+  explicit Echo(Params&) {
+    link_ = configure_link("port",
+                           [this](EventPtr ev) { on_event(std::move(ev)); });
+  }
+
+  std::uint64_t echoed = 0;
+
+ private:
+  void on_event(EventPtr ev) {
+    auto msg = event_cast<IntEvent>(std::move(ev));
+    ++echoed;
+    link_->send(make_event<IntEvent>(msg->value + 1));
+  }
+
+  Link* link_;
+};
+
+/// Counts clock ticks; unregisters after `limit` ticks.
+class Ticker final : public Component {
+ public:
+  explicit Ticker(Params& params) {
+    limit_ = params.find<std::uint64_t>("limit", 100);
+    const SimTime period = params.find_period("clock", "1GHz");
+    register_clock(period, [this](Cycle c) {
+      ++ticks;
+      last_cycle = c;
+      tick_times.push_back(now());
+      return ticks >= limit_;
+    });
+  }
+
+  std::uint64_t ticks = 0;
+  Cycle last_cycle = 0;
+  std::vector<SimTime> tick_times;
+
+ private:
+  std::uint64_t limit_;
+};
+
+/// PHOLD-style component: on each event, forwards to a random neighbour
+/// after a random delay.  Used for engine throughput and parallel tests.
+class PholdNode final : public Component {
+ public:
+  explicit PholdNode(Params& params) {
+    fanout_ = params.find<std::uint32_t>("fanout", 2);
+    min_delay_ = params.find_time("min_delay", "1ns");
+    for (std::uint32_t i = 0; i < fanout_; ++i) {
+      links_.push_back(configure_link(
+          "port" + std::to_string(i),
+          [this](EventPtr ev) { on_event(std::move(ev)); },
+          /*optional=*/true));
+    }
+    initial_events_ = params.find<std::uint32_t>("initial_events", 0);
+  }
+
+  void setup() override {
+    for (std::uint32_t i = 0; i < initial_events_; ++i) {
+      forward(make_event<IntEvent>(static_cast<std::int64_t>(i)));
+    }
+  }
+
+  std::uint64_t received = 0;
+
+ private:
+  void on_event(EventPtr ev) {
+    ++received;
+    forward(std::move(ev));
+  }
+
+  void forward(EventPtr ev) {
+    std::vector<Link*> connected;
+    for (Link* l : links_) {
+      if (l->connected()) connected.push_back(l);
+    }
+    if (connected.empty()) return;
+    Link* out = connected[rng().next_bounded(connected.size())];
+    out->send(std::move(ev), rng().next_bounded(10) * min_delay_);
+  }
+
+  std::vector<Link*> links_;
+  std::uint32_t fanout_;
+  std::uint32_t initial_events_ = 0;
+  SimTime min_delay_;
+};
+
+}  // namespace sst::testing
