@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_cache_ablation.cpp" "bench/CMakeFiles/bench_cache_ablation.dir/bench_cache_ablation.cpp.o" "gcc" "bench/CMakeFiles/bench_cache_ablation.dir/bench_cache_ablation.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/sst_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sdl/CMakeFiles/sst_sdl.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/sst_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/proc/CMakeFiles/sst_proc.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/sst_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/sst_power.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

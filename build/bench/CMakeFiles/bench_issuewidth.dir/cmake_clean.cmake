@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_issuewidth.dir/bench_issuewidth.cpp.o"
+  "CMakeFiles/bench_issuewidth.dir/bench_issuewidth.cpp.o.d"
+  "bench_issuewidth"
+  "bench_issuewidth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_issuewidth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_memtech.dir/bench_memtech.cpp.o"
+  "CMakeFiles/bench_memtech.dir/bench_memtech.cpp.o.d"
+  "bench_memtech"
+  "bench_memtech.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_memtech.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_netbw.dir/bench_netbw.cpp.o"
+  "CMakeFiles/bench_netbw.dir/bench_netbw.cpp.o.d"
+  "bench_netbw"
+  "bench_netbw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_netbw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_pdes_scaling.dir/bench_pdes_scaling.cpp.o"
+  "CMakeFiles/bench_pdes_scaling.dir/bench_pdes_scaling.cpp.o.d"
+  "bench_pdes_scaling"
+  "bench_pdes_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_pdes_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bandwidth_degradation.dir/bandwidth_degradation.cpp.o"
+  "CMakeFiles/bandwidth_degradation.dir/bandwidth_degradation.cpp.o.d"
+  "bandwidth_degradation"
+  "bandwidth_degradation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bandwidth_degradation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

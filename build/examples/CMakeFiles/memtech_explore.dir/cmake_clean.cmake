@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memtech_explore.dir/memtech_explore.cpp.o"
+  "CMakeFiles/memtech_explore.dir/memtech_explore.cpp.o.d"
+  "memtech_explore"
+  "memtech_explore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memtech_explore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

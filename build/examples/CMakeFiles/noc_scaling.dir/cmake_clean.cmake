@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/noc_scaling.dir/noc_scaling.cpp.o"
+  "CMakeFiles/noc_scaling.dir/noc_scaling.cpp.o.d"
+  "noc_scaling"
+  "noc_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/noc_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdl_from_json.dir/sdl_from_json.cpp.o"
+  "CMakeFiles/sdl_from_json.dir/sdl_from_json.cpp.o.d"
+  "sdl_from_json"
+  "sdl_from_json.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdl_from_json.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

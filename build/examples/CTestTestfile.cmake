@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(example.quickstart "/root/repo/build/examples/quickstart")
+set_tests_properties(example.quickstart PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;14;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example.noc_scaling "/root/repo/build/examples/noc_scaling")
+set_tests_properties(example.noc_scaling PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;15;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example.bandwidth_degradation.charon "/root/repo/build/examples/bandwidth_degradation" "charon")
+set_tests_properties(example.bandwidth_degradation.charon PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;16;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example.sdl_from_json "/root/repo/build/examples/sdl_from_json")
+set_tests_properties(example.sdl_from_json PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;18;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example.sstsim.validate "/root/repo/build/src/tools/sstsim" "/root/repo/examples/systems/halo16_torus.json" "--validate")
+set_tests_properties(example.sstsim.validate PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;19;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example.sstsim.run "/root/repo/build/src/tools/sstsim" "/root/repo/examples/systems/node_ddr3.json" "--ranks" "2")
+set_tests_properties(example.sstsim.run PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;22;add_test;/root/repo/examples/CMakeLists.txt;0;")

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/clock.cpp" "src/core/CMakeFiles/sst_core.dir/clock.cpp.o" "gcc" "src/core/CMakeFiles/sst_core.dir/clock.cpp.o.d"
+  "/root/repo/src/core/component.cpp" "src/core/CMakeFiles/sst_core.dir/component.cpp.o" "gcc" "src/core/CMakeFiles/sst_core.dir/component.cpp.o.d"
+  "/root/repo/src/core/factory.cpp" "src/core/CMakeFiles/sst_core.dir/factory.cpp.o" "gcc" "src/core/CMakeFiles/sst_core.dir/factory.cpp.o.d"
+  "/root/repo/src/core/link.cpp" "src/core/CMakeFiles/sst_core.dir/link.cpp.o" "gcc" "src/core/CMakeFiles/sst_core.dir/link.cpp.o.d"
+  "/root/repo/src/core/params.cpp" "src/core/CMakeFiles/sst_core.dir/params.cpp.o" "gcc" "src/core/CMakeFiles/sst_core.dir/params.cpp.o.d"
+  "/root/repo/src/core/rng.cpp" "src/core/CMakeFiles/sst_core.dir/rng.cpp.o" "gcc" "src/core/CMakeFiles/sst_core.dir/rng.cpp.o.d"
+  "/root/repo/src/core/simulation.cpp" "src/core/CMakeFiles/sst_core.dir/simulation.cpp.o" "gcc" "src/core/CMakeFiles/sst_core.dir/simulation.cpp.o.d"
+  "/root/repo/src/core/stat_sampler.cpp" "src/core/CMakeFiles/sst_core.dir/stat_sampler.cpp.o" "gcc" "src/core/CMakeFiles/sst_core.dir/stat_sampler.cpp.o.d"
+  "/root/repo/src/core/statistics.cpp" "src/core/CMakeFiles/sst_core.dir/statistics.cpp.o" "gcc" "src/core/CMakeFiles/sst_core.dir/statistics.cpp.o.d"
+  "/root/repo/src/core/time_vortex.cpp" "src/core/CMakeFiles/sst_core.dir/time_vortex.cpp.o" "gcc" "src/core/CMakeFiles/sst_core.dir/time_vortex.cpp.o.d"
+  "/root/repo/src/core/unit_algebra.cpp" "src/core/CMakeFiles/sst_core.dir/unit_algebra.cpp.o" "gcc" "src/core/CMakeFiles/sst_core.dir/unit_algebra.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

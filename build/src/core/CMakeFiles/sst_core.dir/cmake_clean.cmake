@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sst_core.dir/clock.cpp.o"
+  "CMakeFiles/sst_core.dir/clock.cpp.o.d"
+  "CMakeFiles/sst_core.dir/component.cpp.o"
+  "CMakeFiles/sst_core.dir/component.cpp.o.d"
+  "CMakeFiles/sst_core.dir/factory.cpp.o"
+  "CMakeFiles/sst_core.dir/factory.cpp.o.d"
+  "CMakeFiles/sst_core.dir/link.cpp.o"
+  "CMakeFiles/sst_core.dir/link.cpp.o.d"
+  "CMakeFiles/sst_core.dir/params.cpp.o"
+  "CMakeFiles/sst_core.dir/params.cpp.o.d"
+  "CMakeFiles/sst_core.dir/rng.cpp.o"
+  "CMakeFiles/sst_core.dir/rng.cpp.o.d"
+  "CMakeFiles/sst_core.dir/simulation.cpp.o"
+  "CMakeFiles/sst_core.dir/simulation.cpp.o.d"
+  "CMakeFiles/sst_core.dir/stat_sampler.cpp.o"
+  "CMakeFiles/sst_core.dir/stat_sampler.cpp.o.d"
+  "CMakeFiles/sst_core.dir/statistics.cpp.o"
+  "CMakeFiles/sst_core.dir/statistics.cpp.o.d"
+  "CMakeFiles/sst_core.dir/time_vortex.cpp.o"
+  "CMakeFiles/sst_core.dir/time_vortex.cpp.o.d"
+  "CMakeFiles/sst_core.dir/unit_algebra.cpp.o"
+  "CMakeFiles/sst_core.dir/unit_algebra.cpp.o.d"
+  "libsst_core.a"
+  "libsst_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sst_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mem/bus.cpp" "src/mem/CMakeFiles/sst_mem.dir/bus.cpp.o" "gcc" "src/mem/CMakeFiles/sst_mem.dir/bus.cpp.o.d"
+  "/root/repo/src/mem/cache.cpp" "src/mem/CMakeFiles/sst_mem.dir/cache.cpp.o" "gcc" "src/mem/CMakeFiles/sst_mem.dir/cache.cpp.o.d"
+  "/root/repo/src/mem/coherence.cpp" "src/mem/CMakeFiles/sst_mem.dir/coherence.cpp.o" "gcc" "src/mem/CMakeFiles/sst_mem.dir/coherence.cpp.o.d"
+  "/root/repo/src/mem/dram.cpp" "src/mem/CMakeFiles/sst_mem.dir/dram.cpp.o" "gcc" "src/mem/CMakeFiles/sst_mem.dir/dram.cpp.o.d"
+  "/root/repo/src/mem/mem_lib.cpp" "src/mem/CMakeFiles/sst_mem.dir/mem_lib.cpp.o" "gcc" "src/mem/CMakeFiles/sst_mem.dir/mem_lib.cpp.o.d"
+  "/root/repo/src/mem/memory_controller.cpp" "src/mem/CMakeFiles/sst_mem.dir/memory_controller.cpp.o" "gcc" "src/mem/CMakeFiles/sst_mem.dir/memory_controller.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/sst_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

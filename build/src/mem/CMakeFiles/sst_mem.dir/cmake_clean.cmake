@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sst_mem.dir/bus.cpp.o"
+  "CMakeFiles/sst_mem.dir/bus.cpp.o.d"
+  "CMakeFiles/sst_mem.dir/cache.cpp.o"
+  "CMakeFiles/sst_mem.dir/cache.cpp.o.d"
+  "CMakeFiles/sst_mem.dir/coherence.cpp.o"
+  "CMakeFiles/sst_mem.dir/coherence.cpp.o.d"
+  "CMakeFiles/sst_mem.dir/dram.cpp.o"
+  "CMakeFiles/sst_mem.dir/dram.cpp.o.d"
+  "CMakeFiles/sst_mem.dir/mem_lib.cpp.o"
+  "CMakeFiles/sst_mem.dir/mem_lib.cpp.o.d"
+  "CMakeFiles/sst_mem.dir/memory_controller.cpp.o"
+  "CMakeFiles/sst_mem.dir/memory_controller.cpp.o.d"
+  "libsst_mem.a"
+  "libsst_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sst_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

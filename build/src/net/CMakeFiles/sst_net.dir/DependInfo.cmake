@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/endpoint.cpp" "src/net/CMakeFiles/sst_net.dir/endpoint.cpp.o" "gcc" "src/net/CMakeFiles/sst_net.dir/endpoint.cpp.o.d"
+  "/root/repo/src/net/motifs.cpp" "src/net/CMakeFiles/sst_net.dir/motifs.cpp.o" "gcc" "src/net/CMakeFiles/sst_net.dir/motifs.cpp.o.d"
+  "/root/repo/src/net/net_lib.cpp" "src/net/CMakeFiles/sst_net.dir/net_lib.cpp.o" "gcc" "src/net/CMakeFiles/sst_net.dir/net_lib.cpp.o.d"
+  "/root/repo/src/net/router.cpp" "src/net/CMakeFiles/sst_net.dir/router.cpp.o" "gcc" "src/net/CMakeFiles/sst_net.dir/router.cpp.o.d"
+  "/root/repo/src/net/topology.cpp" "src/net/CMakeFiles/sst_net.dir/topology.cpp.o" "gcc" "src/net/CMakeFiles/sst_net.dir/topology.cpp.o.d"
+  "/root/repo/src/net/traffic.cpp" "src/net/CMakeFiles/sst_net.dir/traffic.cpp.o" "gcc" "src/net/CMakeFiles/sst_net.dir/traffic.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/sst_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sst_net.dir/endpoint.cpp.o"
+  "CMakeFiles/sst_net.dir/endpoint.cpp.o.d"
+  "CMakeFiles/sst_net.dir/motifs.cpp.o"
+  "CMakeFiles/sst_net.dir/motifs.cpp.o.d"
+  "CMakeFiles/sst_net.dir/net_lib.cpp.o"
+  "CMakeFiles/sst_net.dir/net_lib.cpp.o.d"
+  "CMakeFiles/sst_net.dir/router.cpp.o"
+  "CMakeFiles/sst_net.dir/router.cpp.o.d"
+  "CMakeFiles/sst_net.dir/topology.cpp.o"
+  "CMakeFiles/sst_net.dir/topology.cpp.o.d"
+  "CMakeFiles/sst_net.dir/traffic.cpp.o"
+  "CMakeFiles/sst_net.dir/traffic.cpp.o.d"
+  "libsst_net.a"
+  "libsst_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sst_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/proc/core_model.cpp" "src/proc/CMakeFiles/sst_proc.dir/core_model.cpp.o" "gcc" "src/proc/CMakeFiles/sst_proc.dir/core_model.cpp.o.d"
+  "/root/repo/src/proc/kernels.cpp" "src/proc/CMakeFiles/sst_proc.dir/kernels.cpp.o" "gcc" "src/proc/CMakeFiles/sst_proc.dir/kernels.cpp.o.d"
+  "/root/repo/src/proc/proc_lib.cpp" "src/proc/CMakeFiles/sst_proc.dir/proc_lib.cpp.o" "gcc" "src/proc/CMakeFiles/sst_proc.dir/proc_lib.cpp.o.d"
+  "/root/repo/src/proc/trace.cpp" "src/proc/CMakeFiles/sst_proc.dir/trace.cpp.o" "gcc" "src/proc/CMakeFiles/sst_proc.dir/trace.cpp.o.d"
+  "/root/repo/src/proc/workload_factory.cpp" "src/proc/CMakeFiles/sst_proc.dir/workload_factory.cpp.o" "gcc" "src/proc/CMakeFiles/sst_proc.dir/workload_factory.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/sst_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/sst_mem.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sst_proc.dir/core_model.cpp.o"
+  "CMakeFiles/sst_proc.dir/core_model.cpp.o.d"
+  "CMakeFiles/sst_proc.dir/kernels.cpp.o"
+  "CMakeFiles/sst_proc.dir/kernels.cpp.o.d"
+  "CMakeFiles/sst_proc.dir/proc_lib.cpp.o"
+  "CMakeFiles/sst_proc.dir/proc_lib.cpp.o.d"
+  "CMakeFiles/sst_proc.dir/trace.cpp.o"
+  "CMakeFiles/sst_proc.dir/trace.cpp.o.d"
+  "CMakeFiles/sst_proc.dir/workload_factory.cpp.o"
+  "CMakeFiles/sst_proc.dir/workload_factory.cpp.o.d"
+  "libsst_proc.a"
+  "libsst_proc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sst_proc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sdl/config_graph.cpp" "src/sdl/CMakeFiles/sst_sdl.dir/config_graph.cpp.o" "gcc" "src/sdl/CMakeFiles/sst_sdl.dir/config_graph.cpp.o.d"
+  "/root/repo/src/sdl/json.cpp" "src/sdl/CMakeFiles/sst_sdl.dir/json.cpp.o" "gcc" "src/sdl/CMakeFiles/sst_sdl.dir/json.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/sst_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/sst_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

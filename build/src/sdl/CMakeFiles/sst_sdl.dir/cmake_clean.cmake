@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sst_sdl.dir/config_graph.cpp.o"
+  "CMakeFiles/sst_sdl.dir/config_graph.cpp.o.d"
+  "CMakeFiles/sst_sdl.dir/json.cpp.o"
+  "CMakeFiles/sst_sdl.dir/json.cpp.o.d"
+  "libsst_sdl.a"
+  "libsst_sdl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sst_sdl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

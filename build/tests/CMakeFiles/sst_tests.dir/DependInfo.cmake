@@ -1,0 +1,58 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/test_clock.cpp" "tests/CMakeFiles/sst_tests.dir/core/test_clock.cpp.o" "gcc" "tests/CMakeFiles/sst_tests.dir/core/test_clock.cpp.o.d"
+  "/root/repo/tests/core/test_engine.cpp" "tests/CMakeFiles/sst_tests.dir/core/test_engine.cpp.o" "gcc" "tests/CMakeFiles/sst_tests.dir/core/test_engine.cpp.o.d"
+  "/root/repo/tests/core/test_factory.cpp" "tests/CMakeFiles/sst_tests.dir/core/test_factory.cpp.o" "gcc" "tests/CMakeFiles/sst_tests.dir/core/test_factory.cpp.o.d"
+  "/root/repo/tests/core/test_link_edges.cpp" "tests/CMakeFiles/sst_tests.dir/core/test_link_edges.cpp.o" "gcc" "tests/CMakeFiles/sst_tests.dir/core/test_link_edges.cpp.o.d"
+  "/root/repo/tests/core/test_parallel.cpp" "tests/CMakeFiles/sst_tests.dir/core/test_parallel.cpp.o" "gcc" "tests/CMakeFiles/sst_tests.dir/core/test_parallel.cpp.o.d"
+  "/root/repo/tests/core/test_params.cpp" "tests/CMakeFiles/sst_tests.dir/core/test_params.cpp.o" "gcc" "tests/CMakeFiles/sst_tests.dir/core/test_params.cpp.o.d"
+  "/root/repo/tests/core/test_rng.cpp" "tests/CMakeFiles/sst_tests.dir/core/test_rng.cpp.o" "gcc" "tests/CMakeFiles/sst_tests.dir/core/test_rng.cpp.o.d"
+  "/root/repo/tests/core/test_stat_sampler.cpp" "tests/CMakeFiles/sst_tests.dir/core/test_stat_sampler.cpp.o" "gcc" "tests/CMakeFiles/sst_tests.dir/core/test_stat_sampler.cpp.o.d"
+  "/root/repo/tests/core/test_statistics.cpp" "tests/CMakeFiles/sst_tests.dir/core/test_statistics.cpp.o" "gcc" "tests/CMakeFiles/sst_tests.dir/core/test_statistics.cpp.o.d"
+  "/root/repo/tests/core/test_time_vortex.cpp" "tests/CMakeFiles/sst_tests.dir/core/test_time_vortex.cpp.o" "gcc" "tests/CMakeFiles/sst_tests.dir/core/test_time_vortex.cpp.o.d"
+  "/root/repo/tests/core/test_unit_algebra.cpp" "tests/CMakeFiles/sst_tests.dir/core/test_unit_algebra.cpp.o" "gcc" "tests/CMakeFiles/sst_tests.dir/core/test_unit_algebra.cpp.o.d"
+  "/root/repo/tests/integration/test_memory_system.cpp" "tests/CMakeFiles/sst_tests.dir/integration/test_memory_system.cpp.o" "gcc" "tests/CMakeFiles/sst_tests.dir/integration/test_memory_system.cpp.o.d"
+  "/root/repo/tests/integration/test_network_system.cpp" "tests/CMakeFiles/sst_tests.dir/integration/test_network_system.cpp.o" "gcc" "tests/CMakeFiles/sst_tests.dir/integration/test_network_system.cpp.o.d"
+  "/root/repo/tests/integration/test_properties.cpp" "tests/CMakeFiles/sst_tests.dir/integration/test_properties.cpp.o" "gcc" "tests/CMakeFiles/sst_tests.dir/integration/test_properties.cpp.o.d"
+  "/root/repo/tests/integration/test_sdl_system.cpp" "tests/CMakeFiles/sst_tests.dir/integration/test_sdl_system.cpp.o" "gcc" "tests/CMakeFiles/sst_tests.dir/integration/test_sdl_system.cpp.o.d"
+  "/root/repo/tests/mem/test_bus.cpp" "tests/CMakeFiles/sst_tests.dir/mem/test_bus.cpp.o" "gcc" "tests/CMakeFiles/sst_tests.dir/mem/test_bus.cpp.o.d"
+  "/root/repo/tests/mem/test_cache.cpp" "tests/CMakeFiles/sst_tests.dir/mem/test_cache.cpp.o" "gcc" "tests/CMakeFiles/sst_tests.dir/mem/test_cache.cpp.o.d"
+  "/root/repo/tests/mem/test_coherence.cpp" "tests/CMakeFiles/sst_tests.dir/mem/test_coherence.cpp.o" "gcc" "tests/CMakeFiles/sst_tests.dir/mem/test_coherence.cpp.o.d"
+  "/root/repo/tests/mem/test_dram.cpp" "tests/CMakeFiles/sst_tests.dir/mem/test_dram.cpp.o" "gcc" "tests/CMakeFiles/sst_tests.dir/mem/test_dram.cpp.o.d"
+  "/root/repo/tests/mem/test_memory_controller.cpp" "tests/CMakeFiles/sst_tests.dir/mem/test_memory_controller.cpp.o" "gcc" "tests/CMakeFiles/sst_tests.dir/mem/test_memory_controller.cpp.o.d"
+  "/root/repo/tests/mem/test_prefetch.cpp" "tests/CMakeFiles/sst_tests.dir/mem/test_prefetch.cpp.o" "gcc" "tests/CMakeFiles/sst_tests.dir/mem/test_prefetch.cpp.o.d"
+  "/root/repo/tests/net/test_endpoint.cpp" "tests/CMakeFiles/sst_tests.dir/net/test_endpoint.cpp.o" "gcc" "tests/CMakeFiles/sst_tests.dir/net/test_endpoint.cpp.o.d"
+  "/root/repo/tests/net/test_motifs.cpp" "tests/CMakeFiles/sst_tests.dir/net/test_motifs.cpp.o" "gcc" "tests/CMakeFiles/sst_tests.dir/net/test_motifs.cpp.o.d"
+  "/root/repo/tests/net/test_router.cpp" "tests/CMakeFiles/sst_tests.dir/net/test_router.cpp.o" "gcc" "tests/CMakeFiles/sst_tests.dir/net/test_router.cpp.o.d"
+  "/root/repo/tests/net/test_topology.cpp" "tests/CMakeFiles/sst_tests.dir/net/test_topology.cpp.o" "gcc" "tests/CMakeFiles/sst_tests.dir/net/test_topology.cpp.o.d"
+  "/root/repo/tests/net/test_traffic.cpp" "tests/CMakeFiles/sst_tests.dir/net/test_traffic.cpp.o" "gcc" "tests/CMakeFiles/sst_tests.dir/net/test_traffic.cpp.o.d"
+  "/root/repo/tests/net/test_valiant.cpp" "tests/CMakeFiles/sst_tests.dir/net/test_valiant.cpp.o" "gcc" "tests/CMakeFiles/sst_tests.dir/net/test_valiant.cpp.o.d"
+  "/root/repo/tests/power/test_power.cpp" "tests/CMakeFiles/sst_tests.dir/power/test_power.cpp.o" "gcc" "tests/CMakeFiles/sst_tests.dir/power/test_power.cpp.o.d"
+  "/root/repo/tests/proc/test_core_model.cpp" "tests/CMakeFiles/sst_tests.dir/proc/test_core_model.cpp.o" "gcc" "tests/CMakeFiles/sst_tests.dir/proc/test_core_model.cpp.o.d"
+  "/root/repo/tests/proc/test_kernels.cpp" "tests/CMakeFiles/sst_tests.dir/proc/test_kernels.cpp.o" "gcc" "tests/CMakeFiles/sst_tests.dir/proc/test_kernels.cpp.o.d"
+  "/root/repo/tests/proc/test_trace.cpp" "tests/CMakeFiles/sst_tests.dir/proc/test_trace.cpp.o" "gcc" "tests/CMakeFiles/sst_tests.dir/proc/test_trace.cpp.o.d"
+  "/root/repo/tests/sdl/test_config_graph.cpp" "tests/CMakeFiles/sst_tests.dir/sdl/test_config_graph.cpp.o" "gcc" "tests/CMakeFiles/sst_tests.dir/sdl/test_config_graph.cpp.o.d"
+  "/root/repo/tests/sdl/test_json.cpp" "tests/CMakeFiles/sst_tests.dir/sdl/test_json.cpp.o" "gcc" "tests/CMakeFiles/sst_tests.dir/sdl/test_json.cpp.o.d"
+  "/root/repo/tests/sdl/test_network_sdl.cpp" "tests/CMakeFiles/sst_tests.dir/sdl/test_network_sdl.cpp.o" "gcc" "tests/CMakeFiles/sst_tests.dir/sdl/test_network_sdl.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/sst_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sdl/CMakeFiles/sst_sdl.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/sst_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/proc/CMakeFiles/sst_proc.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/sst_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/sst_power.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
