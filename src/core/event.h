@@ -33,6 +33,12 @@ class Event {
   /// Time at which this event is (or was) delivered.
   [[nodiscard]] SimTime delivery_time() const { return delivery_time_; }
 
+  /// Deep copy of the payload (engine ordering fields are NOT copied; the
+  /// clone is a fresh unsent event).  Returns nullptr for event types that
+  /// do not support copying — fault-injection duplication needs clones, so
+  /// models that should survive duplication faults override this.
+  [[nodiscard]] virtual EventPtr clone() const { return nullptr; }
+
   /// Lower value ⇒ delivered first among events at the same time.
   /// The engine reserves small values; models should not need this.
   [[nodiscard]] std::uint32_t priority() const { return priority_; }
@@ -83,7 +89,12 @@ struct EventOrder {
 };
 
 /// A trivial event with no payload; useful for wakeups and tests.
-class NullEvent final : public Event {};
+class NullEvent final : public Event {
+ public:
+  [[nodiscard]] EventPtr clone() const override {
+    return std::make_unique<NullEvent>();
+  }
+};
 
 /// Convenience helper for models: makes an event of type T.
 template <typename T, typename... Args>

@@ -26,13 +26,31 @@ Link::Link(Simulation& sim, LinkId id, ComponentId owner, std::string port,
 void Link::send(EventPtr ev, SimTime extra_delay) {
   if (!ev) throw SimulationError("Link::send: null event");
   if (peer_ == nullptr) {
-    throw SimulationError("Link::send on unconnected port '" + port_ + "'");
+    throw SimulationError("Link::send on unconnected port '" +
+                          sim_->components_raw_name(owner_) + "." + port_ +
+                          "'");
   }
   if (sim_->in_init_phase()) {
     throw SimulationError(
         "Link::send during init phases; use send_init on port '" + port_ +
         "'");
   }
+  if (fault_ != nullptr) [[unlikely]] {
+    const LinkFault::Action act = fault_->on_send(*ev);
+    if (act.drop) return;
+    if (act.duplicate) {
+      if (EventPtr dup = ev->clone()) {
+        transmit(std::move(dup), extra_delay + act.extra_delay);
+      } else {
+        fault_->on_duplicate_unclonable();
+      }
+    }
+    extra_delay += act.extra_delay;
+  }
+  transmit(std::move(ev), extra_delay);
+}
+
+void Link::transmit(EventPtr ev, SimTime extra_delay) {
   const SimTime now = sim_->rank_now(owner_rank_);
   ev->delivery_time_ = now + latency_ + extra_delay;
   ev->link_id_ = id_;
@@ -46,7 +64,8 @@ void Link::send(EventPtr ev, SimTime extra_delay) {
 void Link::send_init(EventPtr ev) {
   if (!ev) throw SimulationError("Link::send_init: null event");
   if (peer_ == nullptr) {
-    throw SimulationError("Link::send_init on unconnected port '" + port_ +
+    throw SimulationError("Link::send_init on unconnected port '" +
+                          sim_->components_raw_name(owner_) + "." + port_ +
                           "'");
   }
   if (!sim_->in_init_phase()) {

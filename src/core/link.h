@@ -11,6 +11,7 @@
 #pragma once
 
 #include <deque>
+#include <memory>
 #include <optional>
 #include <string>
 
@@ -21,6 +22,29 @@ namespace sst {
 
 class Simulation;
 class Component;
+
+/// Fault-injection hook attached to one link endpoint (the sending side).
+/// Consulted once per Link::send on the owning rank's thread, so a model
+/// instance must never be shared between endpoints.  Concrete models live
+/// in src/fault; core only knows this interface.
+class LinkFault {
+ public:
+  virtual ~LinkFault() = default;
+
+  /// What the fault model decided for one send.
+  struct Action {
+    bool drop = false;         // discard the event entirely
+    bool duplicate = false;    // deliver a cloned copy as well
+    SimTime extra_delay = 0;   // added to the link latency
+  };
+
+  /// Called for every event sent on the faulted endpoint.
+  [[nodiscard]] virtual Action on_send(const Event& ev) = 0;
+
+  /// A duplication was requested but the event type has no clone();
+  /// the original is still delivered exactly once.
+  virtual void on_duplicate_unclonable() {}
+};
 
 class Link {
  public:
@@ -53,6 +77,10 @@ class Link {
   [[nodiscard]] LinkId id() const { return id_; }
   [[nodiscard]] const std::string& port() const { return port_; }
 
+  /// Fault model installed on this endpoint, if any (see
+  /// Simulation::install_link_fault).
+  [[nodiscard]] const LinkFault* fault() const { return fault_.get(); }
+
  private:
   friend class Simulation;
   friend class Component;
@@ -62,6 +90,10 @@ class Link {
 
   /// Engine-side delivery into this endpoint (handler or polling queue).
   void deliver(EventPtr ev);
+
+  /// Stamps ordering fields and hands the event to the engine.  send()
+  /// funnels here after the fault model has had its say.
+  void transmit(EventPtr ev, SimTime extra_delay);
 
   Simulation* sim_;
   LinkId id_;
@@ -77,6 +109,7 @@ class Link {
   RankId owner_rank_ = 0;
   RankId peer_rank_ = 0;
   std::uint64_t send_seq_ = 0;    // deterministic cross-rank ordering
+  std::unique_ptr<LinkFault> fault_;  // null on the (common) healthy path
 
   std::deque<EventPtr> poll_queue_;
   std::deque<EventPtr> init_queue_;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <barrier>
 #include <chrono>
+#include <condition_variable>
 #include <iostream>
 #include <queue>
 #include <thread>
@@ -122,6 +123,26 @@ void Simulation::connect(const std::string& comp_a, const std::string& port_a,
   }
   connections_.push_back(
       {comp_a, port_a, comp_b, port_b, latency_a_to_b, latency_b_to_a});
+}
+
+void Simulation::install_link_fault(const std::string& component,
+                                    const std::string& port,
+                                    std::unique_ptr<LinkFault> fault) {
+  if (!fault) throw ConfigError("install_link_fault: null fault model");
+  if (state_ == State::kRunning || state_ == State::kDone) {
+    throw ConfigError("install_link_fault after run()");
+  }
+  auto it = component_names_.find(component);
+  if (it == component_names_.end()) {
+    throw ConfigError("install_link_fault: unknown component '" + component +
+                      "'");
+  }
+  auto pit = ports_.find({it->second, port});
+  if (pit == ports_.end()) {
+    throw ConfigError("install_link_fault: component '" + component +
+                      "' has no port '" + port + "'");
+  }
+  pit->second->fault_ = std::move(fault);
 }
 
 void Simulation::set_component_rank(const std::string& name, RankId rank) {
@@ -560,13 +581,66 @@ RunStats Simulation::run() {
   }
   state_ = State::kRunning;
 
+  // Wall-clock watchdog: a side thread sleeps for the budget and raises a
+  // flag the run loops poll.  A finished run cancels the wait and joins.
+  watchdog_fired_.store(false, std::memory_order_relaxed);
+  std::thread watchdog;
+  std::mutex wd_mutex;
+  std::condition_variable wd_cv;
+  bool wd_cancel = false;
+  if (config_.watchdog_seconds > 0) {
+    watchdog = std::thread([this, &wd_mutex, &wd_cv, &wd_cancel] {
+      std::unique_lock<std::mutex> lock(wd_mutex);
+      const auto budget =
+          std::chrono::duration<double>(config_.watchdog_seconds);
+      if (!wd_cv.wait_for(lock, budget, [&wd_cancel] { return wd_cancel; })) {
+        watchdog_fired_.store(true, std::memory_order_relaxed);
+      }
+    });
+  }
+  auto stop_watchdog = [&] {
+    if (!watchdog.joinable()) return;
+    {
+      std::lock_guard<std::mutex> lock(wd_mutex);
+      wd_cancel = true;
+    }
+    wd_cv.notify_all();
+    watchdog.join();
+  };
+
   const auto wall_start = std::chrono::steady_clock::now();
-  if (config_.num_ranks == 1) {
-    run_serial();
-  } else {
-    run_parallel();
+  try {
+    if (config_.num_ranks == 1) {
+      run_serial();
+    } else {
+      run_parallel();
+    }
+  } catch (...) {
+    stop_watchdog();
+    state_ = State::kDone;
+    throw;
   }
   const auto wall_end = std::chrono::steady_clock::now();
+  stop_watchdog();
+
+  if (watchdog_fired_.load(std::memory_order_relaxed)) {
+    state_ = State::kDone;
+    throw SimulationError(diagnostic_report(
+        "watchdog: wall-clock budget of " +
+        std::to_string(config_.watchdog_seconds) + "s exceeded"));
+  }
+  if (config_.detect_deadlock &&
+      primary_count_.load(std::memory_order_acquire) > 0 &&
+      !primaries_done()) {
+    bool drained = true;
+    for (const auto& r : ranks_) drained = drained && r.vortex.empty();
+    if (drained) {
+      state_ = State::kDone;
+      throw SimulationError(diagnostic_report(
+          "deadlock: no events pending but primary components never "
+          "signalled completion"));
+    }
+  }
 
   state_ = State::kDone;
   finish_components();
@@ -600,8 +674,13 @@ RunStats Simulation::run() {
 void Simulation::run_serial() {
   RankState& rank = ranks_[0];
   const SimTime end = config_.end_time;
+  std::uint64_t steps = 0;
   while (!rank.vortex.empty()) {
     if (primaries_done()) break;
+    if ((++steps & 1023U) == 0 &&
+        watchdog_fired_.load(std::memory_order_relaxed)) {
+      return;
+    }
     const SimTime t = rank.vortex.next_time();
     if (t > end) {
       rank.now = end;
@@ -619,9 +698,14 @@ void Simulation::run_serial() {
 }
 
 void Simulation::rank_process_until(RankState& rank, SimTime horizon) {
+  std::uint64_t steps = 0;
   while (!rank.vortex.empty()) {
     const SimTime t = rank.vortex.next_time();
     if (t >= horizon) return;
+    if ((++steps & 1023U) == 0 &&
+        watchdog_fired_.load(std::memory_order_relaxed)) {
+      return;
+    }
     EventPtr ev = rank.vortex.pop();
     rank.now = t;
     ++rank.events;
@@ -644,6 +728,10 @@ void Simulation::run_parallel() {
 
   auto compute_sync = [this, &sync, &windows]() noexcept {
     ++windows;
+    if (watchdog_fired_.load(std::memory_order_relaxed)) {
+      sync.done = true;
+      return;
+    }
     SimTime global_min = kTimeNever;
     for (const auto& r : ranks_) {
       global_min = std::min(global_min, r.vortex.next_time());
@@ -693,6 +781,35 @@ void Simulation::run_parallel() {
   worker(0);
   for (auto& t : threads) t.join();
   run_stats_.sync_windows = windows;
+}
+
+std::string Simulation::diagnostic_report(const std::string& reason) const {
+  std::string out = reason + "\n";
+  for (std::size_t r = 0; r < ranks_.size(); ++r) {
+    const RankState& rank = ranks_[r];
+    out += "  rank " + std::to_string(r) + ": t=" + std::to_string(rank.now) +
+           "ps, " + std::to_string(rank.vortex.size()) +
+           " pending events, " + std::to_string(rank.events) + " processed\n";
+  }
+  std::vector<const Component*> blocked;
+  for (const auto& c : components_) {
+    if (c->is_primary_ && !c->said_ok_) blocked.push_back(c.get());
+  }
+  if (!blocked.empty()) {
+    out += "  blocked primary components (" + std::to_string(blocked.size()) +
+           "):\n";
+    std::size_t shown = 0;
+    for (const Component* c : blocked) {
+      if (++shown > 16) {
+        out += "    ... and " + std::to_string(blocked.size() - 16) +
+               " more\n";
+        break;
+      }
+      out += "    '" + c->name() + "' on rank " + std::to_string(c->rank_) +
+             "\n";
+    }
+  }
+  return out;
 }
 
 void Simulation::finish_components() {

@@ -49,6 +49,18 @@ struct SimConfig {
   PartitionStrategy partition = PartitionStrategy::kLinear;
   /// Print engine progress/diagnostics to stderr.
   bool verbose = false;
+  /// Seed for fault-injection RNG streams (src/fault); 0 = reuse `seed`.
+  /// Kept separate so fault scenarios can be varied without perturbing the
+  /// workload's own random behaviour.
+  std::uint64_t fault_seed = 0;
+  /// Wall-clock budget for run() in seconds; 0 disables the watchdog.
+  /// On expiry the run stops and throws a SimulationError carrying a
+  /// per-rank diagnostic report instead of hanging forever.
+  double watchdog_seconds = 0.0;
+  /// Abort with a diagnostic report when every event queue drains while
+  /// registered primary components are still unsatisfied (a model-level
+  /// deadlock that would otherwise end the run silently).
+  bool detect_deadlock = true;
 };
 
 /// Engine-level metrics from a completed run (used by the PDES scaling
@@ -108,6 +120,20 @@ class Simulation {
 
   /// Pins a component to a rank (overrides the partitioner).
   void set_component_rank(const std::string& name, RankId rank);
+
+  /// Installs a fault-injection hook on the sending side of
+  /// (component, port).  Models hold private RNG state and must not be
+  /// shared between endpoints; to fault both directions of a link install
+  /// one model per endpoint.  Must be called before run().
+  void install_link_fault(const std::string& component,
+                          const std::string& port,
+                          std::unique_ptr<LinkFault> fault);
+
+  /// Seed that fault models should derive their streams from
+  /// (config().fault_seed, falling back to config().seed when unset).
+  [[nodiscard]] std::uint64_t effective_fault_seed() const {
+    return config_.fault_seed != 0 ? config_.fault_seed : config_.seed;
+  }
 
   /// Wires links, partitions, runs init phases and setup().  Called
   /// automatically by run() when needed; idempotent.
@@ -203,6 +229,10 @@ class Simulation {
   }
   void finish_components();
 
+  /// Builds the per-rank diagnostic report (time, pending events, blocked
+  /// primaries) attached to watchdog/deadlock SimulationErrors.
+  [[nodiscard]] std::string diagnostic_report(const std::string& reason) const;
+
   SimConfig config_;
   State state_ = State::kBuilding;
 
@@ -222,6 +252,9 @@ class Simulation {
   std::atomic<std::uint32_t> primary_count_{0};
   std::atomic<std::uint32_t> primary_ok_count_{0};
   std::atomic<std::uint64_t> cross_rank_events_{0};
+  // Set by the watchdog thread; run loops poll it every 1024 events so the
+  // check costs nothing measurable on the hot path.
+  std::atomic<bool> watchdog_fired_{false};
 
   SimTime lookahead_ = kTimeNever;
   std::uint64_t cut_links_ = 0;

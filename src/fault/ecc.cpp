@@ -1,0 +1,36 @@
+#include "fault/ecc.h"
+
+#include <cmath>
+#include <string>
+
+namespace sst::fault {
+
+std::uint32_t secded_check_bits(std::uint32_t data_bits) {
+  std::uint32_t r = 0;
+  while ((1ULL << r) < static_cast<std::uint64_t>(data_bits) + r + 1) ++r;
+  return r + 1;  // +1: the overall parity bit that upgrades SEC to SECDED
+}
+
+SecdedModel::SecdedModel(double bit_error_rate, std::uint32_t data_bits,
+                         bool secded)
+    : secded_(secded) {
+  if (bit_error_rate < 0.0 || bit_error_rate >= 1.0) {
+    throw ConfigError("ecc: bit error rate must be in [0, 1), got " +
+                      std::to_string(bit_error_rate));
+  }
+  if (data_bits == 0) throw ConfigError("ecc: word width must be > 0");
+  // ECC widens the stored word: check bits can flip too.
+  word_bits_ = data_bits + (secded_ ? secded_check_bits(data_bits) : 0);
+  if (bit_error_rate == 0.0) return;
+  const double p = bit_error_rate;
+  const auto n = static_cast<double>(word_bits_);
+  // Binomial: P(0 flips) and P(exactly 1 flip) over n independent bits.
+  // exp/log1p keeps (1-p)^n accurate for the tiny rates DRAM studies use.
+  const double p_zero = std::exp(n * std::log1p(-p));
+  p_single_ = n * p * std::exp((n - 1.0) * std::log1p(-p));
+  p_multi_ = 1.0 - p_zero - p_single_;
+  if (p_multi_ < 0.0) p_multi_ = 0.0;  // rounding guard
+  p_any_ = p_single_ + p_multi_;
+}
+
+}  // namespace sst::fault

@@ -1,0 +1,69 @@
+// SECDED ECC model for transient memory bit-flips.
+//
+// Models a (data + check)-bit codeword protected by a single-error-correct /
+// double-error-detect Hamming code.  Given a raw per-bit error probability
+// it precomputes the per-word probabilities of a correctable single-bit
+// flip and of an uncorrectable multi-bit flip, which callers sample with
+// one uniform draw per word.
+#pragma once
+
+#include <cstdint>
+
+#include "core/types.h"
+
+namespace sst::fault {
+
+/// Outcome of reading one protected word.
+enum class EccOutcome : std::uint8_t {
+  kClean,        // no bit flipped
+  kCorrected,    // single flip, fixed by SECDED
+  kUncorrected,  // multi-bit flip, detected but not fixable
+  kSilent,       // flip with no ECC protection (undetected corruption)
+};
+
+/// Number of Hamming check bits for SECDED over `data_bits` data bits
+/// (smallest r with 2^r >= data_bits + r + 1, plus the extra parity bit).
+[[nodiscard]] std::uint32_t secded_check_bits(std::uint32_t data_bits);
+
+class SecdedModel {
+ public:
+  /// bit_error_rate: probability an individual stored bit has flipped when
+  /// a word is read.  data_bits: word width (64 for the usual SECDED(72,64)
+  /// DRAM organisation).  secded=false models unprotected memory: every
+  /// flip is silent corruption.
+  SecdedModel(double bit_error_rate, std::uint32_t data_bits = 64,
+              bool secded = true);
+
+  /// True when the configured error rate can ever produce a fault; callers
+  /// can skip drawing randomness entirely when false.
+  [[nodiscard]] bool enabled() const { return p_any_ > 0.0; }
+
+  /// Classifies one word access given a uniform draw u in [0, 1).
+  [[nodiscard]] EccOutcome classify(double u) const {
+    if (u >= p_any_) return EccOutcome::kClean;
+    if (!secded_) return EccOutcome::kSilent;
+    return u < p_multi_ ? EccOutcome::kUncorrected : EccOutcome::kCorrected;
+  }
+
+  /// Samples one word access from the given generator (one draw, or none
+  /// when the model is disabled).
+  template <typename Rng>
+  [[nodiscard]] EccOutcome sample(Rng& rng) {
+    if (!enabled()) return EccOutcome::kClean;
+    return classify(rng.next_double());
+  }
+
+  [[nodiscard]] double p_single() const { return p_single_; }
+  [[nodiscard]] double p_multi() const { return p_multi_; }
+  [[nodiscard]] std::uint32_t word_bits() const { return word_bits_; }
+  [[nodiscard]] bool secded() const { return secded_; }
+
+ private:
+  double p_single_ = 0.0;  // exactly one of word_bits_ flipped
+  double p_multi_ = 0.0;   // two or more flipped
+  double p_any_ = 0.0;     // p_single_ + p_multi_
+  std::uint32_t word_bits_ = 0;
+  bool secded_ = true;
+};
+
+}  // namespace sst::fault

@@ -1,0 +1,106 @@
+#include "fault/fault_model.h"
+
+#include <memory>
+
+#include "core/simulation.h"
+
+namespace sst::fault {
+
+void LinkFaultConfig::validate() const {
+  auto check_prob = [](double p, const char* what) {
+    if (p < 0.0 || p > 1.0) {
+      throw ConfigError(std::string("link fault: ") + what +
+                        " probability must be in [0, 1], got " +
+                        std::to_string(p));
+    }
+  };
+  check_prob(drop_prob, "drop");
+  check_prob(dup_prob, "duplicate");
+  check_prob(delay_prob, "delay");
+  if (drop_prob + dup_prob + delay_prob > 1.0) {
+    throw ConfigError(
+        "link fault: drop + duplicate + delay probabilities exceed 1");
+  }
+  if (delay_min > delay_max) {
+    throw ConfigError("link fault: delay_min > delay_max");
+  }
+}
+
+LinkFaultModel::LinkFaultModel(const LinkFaultConfig& config,
+                               std::uint64_t seed, Counter* dropped,
+                               Counter* duplicated, Counter* delayed)
+    : config_(config),
+      rng_(seed),
+      dropped_(dropped),
+      duplicated_(duplicated),
+      delayed_(delayed) {
+  config_.validate();
+}
+
+LinkFault::Action LinkFaultModel::on_send(const Event& ev) {
+  (void)ev;
+  ++decisions_;
+  Action act;
+  // One uniform draw selects among the mutually exclusive outcomes; a
+  // possible second draw sizes the delay.  The draw count per decision is
+  // fixed per outcome, keeping the stream aligned across runs.
+  const double u = rng_.next_double();
+  double threshold = config_.drop_prob;
+  if (u < threshold) {
+    act.drop = true;
+    if (dropped_ != nullptr) dropped_->add();
+    return act;
+  }
+  threshold += config_.dup_prob;
+  if (u < threshold) {
+    act.duplicate = true;
+    if (duplicated_ != nullptr) duplicated_->add();
+    return act;
+  }
+  threshold += config_.delay_prob;
+  if (u < threshold) {
+    act.extra_delay = config_.delay_min;
+    if (config_.delay_max > config_.delay_min) {
+      act.extra_delay +=
+          rng_.next_bounded(config_.delay_max - config_.delay_min + 1);
+    }
+    if (delayed_ != nullptr) delayed_->add();
+  }
+  return act;
+}
+
+void LinkFaultModel::on_duplicate_unclonable() { ++unclonable_; }
+
+std::uint64_t stable_hash(std::string_view text) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;  // FNV-1a offset basis
+  for (const char c : text) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;  // FNV prime
+  }
+  return h;
+}
+
+LinkFaultModel* install_link_fault(Simulation& sim,
+                                   const std::string& component,
+                                   const std::string& port,
+                                   const LinkFaultConfig& config) {
+  config.validate();
+  // Mix the endpoint identity into the fault seed through SplitMix64 so
+  // nearby hashes do not yield correlated XorShift streams.
+  rng::SplitMix64 mixer(sim.effective_fault_seed() ^
+                        stable_hash(component + "." + port));
+  const std::uint64_t seed = mixer.next();
+  auto* dropped = sim.stats().create<Counter>(component,
+                                              port + ".fault_dropped");
+  auto* duplicated =
+      sim.stats().create<Counter>(component, port + ".fault_duplicated");
+  auto* delayed = sim.stats().create<Counter>(component,
+                                              port + ".fault_delayed");
+  auto model = std::make_unique<LinkFaultModel>(config, seed, dropped,
+                                                duplicated, delayed);
+  LinkFaultModel* raw = model.get();
+  sim.install_link_fault(component, port, std::move(model));
+  return raw;
+}
+
+}  // namespace sst::fault

@@ -1,0 +1,80 @@
+// Deterministic, seed-driven link fault models.
+//
+// A LinkFaultModel is installed on one link endpoint (the sending side) and
+// decides, per event, whether to drop it, deliver a duplicate, or add
+// delay.  Decisions are drawn from a private RNG stream seeded from the
+// simulation's fault seed and a stable hash of "component.port", so a given
+// scenario is bit-identical across rank counts and install order.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "core/link.h"
+#include "core/rng.h"
+#include "core/statistics.h"
+#include "core/types.h"
+
+namespace sst {
+class Simulation;
+}
+
+namespace sst::fault {
+
+/// Per-endpoint fault probabilities.  The three probabilities are mutually
+/// exclusive outcomes of a single draw, so their sum must be <= 1.
+struct LinkFaultConfig {
+  double drop_prob = 0.0;    // event is discarded
+  double dup_prob = 0.0;     // event is delivered twice
+  double delay_prob = 0.0;   // event is delivered late
+  SimTime delay_min = 0;     // extra delay bounds (inclusive), in ps
+  SimTime delay_max = 0;
+
+  /// Throws ConfigError on out-of-range probabilities or inverted bounds.
+  void validate() const;
+};
+
+/// Concrete LinkFault drawing from its own XorShift128+ stream.  One
+/// instance per endpoint — never share across links or directions.
+class LinkFaultModel final : public LinkFault {
+ public:
+  /// Counters may be null (e.g. in unit tests); install_link_fault wires
+  /// them to the simulation's statistics registry.
+  LinkFaultModel(const LinkFaultConfig& config, std::uint64_t seed,
+                 Counter* dropped = nullptr, Counter* duplicated = nullptr,
+                 Counter* delayed = nullptr);
+
+  [[nodiscard]] Action on_send(const Event& ev) override;
+  void on_duplicate_unclonable() override;
+
+  [[nodiscard]] const LinkFaultConfig& config() const { return config_; }
+  [[nodiscard]] std::uint64_t decisions() const { return decisions_; }
+  [[nodiscard]] std::uint64_t unclonable() const { return unclonable_; }
+
+ private:
+  LinkFaultConfig config_;
+  rng::XorShift128Plus rng_;
+  Counter* dropped_;
+  Counter* duplicated_;
+  Counter* delayed_;
+  std::uint64_t decisions_ = 0;
+  std::uint64_t unclonable_ = 0;
+};
+
+/// Stable 64-bit FNV-1a hash, identical across platforms and runs; used to
+/// derive per-endpoint fault seeds from "component.port" names.
+[[nodiscard]] std::uint64_t stable_hash(std::string_view text);
+
+/// Builds a LinkFaultModel for (component, port), registers its
+/// "<port>.fault_dropped/_duplicated/_delayed" counters in the simulation's
+/// statistics registry, and installs it.  Returns the installed model
+/// (owned by the link).  Seeding: effective_fault_seed() mixed with
+/// stable_hash("component.port"), so identical regardless of rank count or
+/// install order.
+LinkFaultModel* install_link_fault(Simulation& sim,
+                                   const std::string& component,
+                                   const std::string& port,
+                                   const LinkFaultConfig& config);
+
+}  // namespace sst::fault

@@ -18,6 +18,16 @@ MemoryController::MemoryController(Params& params) {
                       "': unknown backend '" + kind + "'");
   }
 
+  const double ber = params.find<double>("ber", 0.0);
+  const std::string ecc = params.find("ecc", "secded");
+  if (ecc != "secded" && ecc != "none") {
+    throw ConfigError("memory controller '" + name() + "': unknown ecc '" +
+                      ecc + "'");
+  }
+  ecc_model_ = fault::SecdedModel(ber, /*data_bits=*/64,
+                                  /*secded=*/ecc == "secded");
+  fatal_uncorrected_ = params.find<bool>("fatal_uncorrected", false);
+
   cpu_link_ = configure_link(
       "cpu", [this](EventPtr ev) { handle_cpu(std::move(ev)); });
   self_link_ = configure_self_link(
@@ -29,6 +39,33 @@ MemoryController::MemoryController(Params& params) {
   access_latency_ = stat_accumulator("access_latency_ps");
   row_hits_ = stat_counter("row_hits");
   row_misses_ = stat_counter("row_misses");
+  ecc_corrected_ = stat_counter("ecc_corrected");
+  ecc_uncorrected_ = stat_counter("ecc_uncorrected");
+  silent_errors_ = stat_counter("silent_errors");
+}
+
+void MemoryController::sample_read_faults(std::uint32_t size) {
+  // One SECDED word per 8 data bytes (partial words still occupy one).
+  const std::uint32_t words = (size + 7) / 8;
+  for (std::uint32_t w = 0; w < words; ++w) {
+    switch (ecc_model_.sample(rng())) {
+      case fault::EccOutcome::kClean:
+        break;
+      case fault::EccOutcome::kCorrected:
+        ecc_corrected_->add();
+        break;
+      case fault::EccOutcome::kUncorrected:
+        ecc_uncorrected_->add();
+        if (fatal_uncorrected_) {
+          throw SimulationError("memctrl '" + name() +
+                                "': uncorrectable ECC error");
+        }
+        break;
+      case fault::EccOutcome::kSilent:
+        silent_errors_->add();
+        break;
+    }
+  }
 }
 
 void MemoryController::handle_cpu(EventPtr ev) {
@@ -42,6 +79,7 @@ void MemoryController::handle_cpu(EventPtr ev) {
     writes_->add();
   } else {
     reads_->add();
+    if (ecc_model_.enabled()) sample_read_faults(req->size());
   }
   bytes_->add(req->size());
 

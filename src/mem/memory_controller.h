@@ -10,6 +10,15 @@
 //   preset         "DDR2" | "DDR3" | "GDDR5"           (default "DDR3")
 //   latency        simple backend latency              (default "60ns")
 //   bandwidth_gbs  simple backend bandwidth in GB/s    (default 10.667)
+//   ber            per-bit transient flip probability  (default 0.0 = off)
+//   ecc            "secded" | "none"                   (default "secded")
+//   fatal_uncorrected  throw on an uncorrectable error (default false)
+//
+// Fault model: with ber > 0 every read samples bit-flips per 64-bit word
+// (SECDED(72,64) organisation).  With ECC, single-bit flips are corrected
+// ("ecc_corrected") and multi-bit flips detected ("ecc_uncorrected");
+// without, any flip is silent corruption ("silent_errors").  Sampling
+// draws from the component RNG stream, so counts are deterministic.
 #pragma once
 
 #include <cstdint>
@@ -17,6 +26,7 @@
 #include <memory>
 
 #include "core/component.h"
+#include "fault/ecc.h"
 #include "mem/dram.h"
 #include "mem/mem_event.h"
 
@@ -37,6 +47,15 @@ class MemoryController final : public Component {
   [[nodiscard]] std::uint64_t bytes_transferred() const {
     return bytes_->count();
   }
+  [[nodiscard]] std::uint64_t corrected_errors() const {
+    return ecc_corrected_->count();
+  }
+  [[nodiscard]] std::uint64_t uncorrected_errors() const {
+    return ecc_uncorrected_->count();
+  }
+  [[nodiscard]] std::uint64_t silent_errors() const {
+    return silent_errors_->count();
+  }
 
   void finish() override;
 
@@ -54,6 +73,8 @@ class MemoryController final : public Component {
 
   void handle_cpu(EventPtr ev);
   void handle_complete(EventPtr ev);
+  /// Samples transient bit-flips for one read of `size` bytes.
+  void sample_read_faults(std::uint32_t size);
   /// Advances the backend, dispatches decided completions, re-arms the
   /// wakeup for the backend's next decision point.
   void pump();
@@ -69,12 +90,18 @@ class MemoryController final : public Component {
   std::uint64_t next_token_ = 1;
   SimTime wake_armed_for_ = kTimeNever;
 
+  fault::SecdedModel ecc_model_{0.0};
+  bool fatal_uncorrected_ = false;
+
   Counter* reads_;
   Counter* writes_;
   Counter* bytes_;
   Accumulator* access_latency_;
   Counter* row_hits_;
   Counter* row_misses_;
+  Counter* ecc_corrected_;
+  Counter* ecc_uncorrected_;
+  Counter* silent_errors_;
 };
 
 }  // namespace sst::mem

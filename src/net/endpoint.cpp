@@ -1,9 +1,33 @@
 #include "net/endpoint.h"
 
 #include <algorithm>
+#include <memory>
 #include <utility>
 
 namespace sst::net {
+
+namespace {
+
+/// Timer event of the retry protocol; carries which attempt armed it so a
+/// late timer from a superseded attempt is ignored.
+class RetryEvent final : public Event {
+ public:
+  RetryEvent(std::uint64_t msg_id, std::uint32_t attempt)
+      : msg_id_(msg_id), attempt_(attempt) {}
+
+  [[nodiscard]] std::uint64_t msg_id() const { return msg_id_; }
+  [[nodiscard]] std::uint32_t attempt() const { return attempt_; }
+
+  [[nodiscard]] EventPtr clone() const override {
+    return std::make_unique<RetryEvent>(msg_id_, attempt_);
+  }
+
+ private:
+  std::uint64_t msg_id_;
+  std::uint32_t attempt_;
+};
+
+}  // namespace
 
 NetEndpoint::NetEndpoint(Params& params) {
   const double bw =
@@ -12,15 +36,42 @@ NetEndpoint::NetEndpoint(Params& params) {
   inj_bytes_per_ps_ = bw / 1e12;
   mtu_ = params.find<std::uint32_t>("mtu", 2048);
   if (mtu_ == 0) throw ConfigError("endpoint '" + name() + "': mtu >= 1");
+  ack_ = params.find<bool>("ack", false);
+  retry_max_ = params.find<std::uint32_t>("retry_max", 4);
+  retry_timeout_ = params.find_time("retry_timeout", "500us");
+  retry_backoff_ = params.find<double>("retry_backoff", 2.0);
+  if (retry_timeout_ == 0) {
+    throw ConfigError("endpoint '" + name() + "': retry_timeout must be > 0");
+  }
+  if (retry_backoff_ < 1.0) {
+    throw ConfigError("endpoint '" + name() + "': retry_backoff must be >= 1");
+  }
 
   net_link_ = configure_link(
       "net", [this](EventPtr ev) { handle_net(std::move(ev)); });
+  if (ack_) {
+    retry_link_ = configure_self_link(
+        "retry", 1, [this](EventPtr ev) { handle_retry(std::move(ev)); });
+  }
 
   msgs_sent_ = stat_counter("messages_sent");
   msgs_recv_ = stat_counter("messages_received");
   bytes_sent_ = stat_counter("bytes_sent");
   packets_sent_ = stat_counter("packets_sent");
+  retries_ = stat_counter("retries");
+  acks_sent_ = stat_counter("acks_sent");
+  delivery_failed_ = stat_counter("delivery_failed");
+  dup_packets_ = stat_counter("dup_packets");
   msg_latency_ = stat_accumulator("message_latency_ps");
+}
+
+bool NetEndpoint::Partial::test_and_set(std::uint32_t seq) {
+  const std::size_t word = seq / 64;
+  const std::uint64_t mask = 1ULL << (seq % 64);
+  if (word >= seen.size()) seen.resize(word + 1, 0);
+  if ((seen[word] & mask) != 0) return true;
+  seen[word] |= mask;
+  return false;
 }
 
 std::uint64_t NetEndpoint::send_message(NodeId dst, std::uint64_t bytes,
@@ -36,17 +87,31 @@ std::uint64_t NetEndpoint::send_message(NodeId dst, std::uint64_t bytes,
   if (bytes == 0) bytes = 1;  // zero-byte messages still cost a packet
   const std::uint64_t msg_id = next_msg_id_++;
   const SimTime msg_start = now();
+  transmit_packets(dst, bytes, tag, msg_id, msg_start);
+  msgs_sent_->add();
+  bytes_sent_->add(bytes);
+  if (ack_) {
+    outstanding_.emplace(msg_id,
+                         Outstanding{dst, bytes, tag, msg_start, 0});
+    arm_retry_timer(msg_id, 0);
+  }
+  return msg_id;
+}
 
+void NetEndpoint::transmit_packets(NodeId dst, std::uint64_t bytes,
+                                   std::uint64_t tag, std::uint64_t msg_id,
+                                   SimTime msg_start, bool randomize_path) {
   // Valiant: all packets of one message share one random intermediate
   // (keeps them on one path, so reassembly order is preserved).
   NodeId via = kInvalidNode;
-  if (valiant_ && num_nodes_ > 2) {
+  if ((valiant_ || randomize_path) && num_nodes_ > 2) {
     do {
       via = static_cast<NodeId>(rng().next_bounded(num_nodes_));
     } while (via == node_id_ || via == dst);
   }
 
   std::uint64_t remaining = bytes;
+  std::uint32_t seq = 0;
   while (remaining > 0) {
     const auto chunk =
         static_cast<std::uint32_t>(std::min<std::uint64_t>(remaining, mtu_));
@@ -60,13 +125,66 @@ std::uint64_t NetEndpoint::send_message(NodeId dst, std::uint64_t bytes,
     auto pkt = std::make_unique<PacketEvent>(node_id_, dst, chunk, msg_id,
                                              bytes, remaining == 0, tag,
                                              msg_start);
+    pkt->set_pkt_seq(seq++);
     if (via != kInvalidNode) pkt->set_via(via);
     net_link_->send(std::move(pkt), inj_busy_ - now());
     packets_sent_->add();
   }
-  msgs_sent_->add();
-  bytes_sent_->add(bytes);
-  return msg_id;
+}
+
+void NetEndpoint::arm_retry_timer(std::uint64_t msg_id,
+                                  std::uint32_t attempt) {
+  double scale = 1.0;
+  for (std::uint32_t i = 0; i < attempt; ++i) scale *= retry_backoff_;
+  const double scaled = static_cast<double>(retry_timeout_) * scale;
+  SimTime delay = scaled >= 9e18 ? static_cast<SimTime>(9e18)
+                                 : static_cast<SimTime>(scaled);
+  if (delay < 1) delay = 1;
+  // Self-link latency is 1ps; the remainder rides as extra delay.
+  retry_link_->send(std::make_unique<RetryEvent>(msg_id, attempt), delay - 1);
+}
+
+void NetEndpoint::send_ack(NodeId dst, std::uint64_t msg_id,
+                           bool randomize_path) {
+  // ACKs are tiny control packets; they bypass NIC injection
+  // serialization (modelled as a dedicated control channel).
+  auto ack = std::make_unique<PacketEvent>(node_id_, dst, /*bytes=*/8,
+                                           msg_id, /*msg_bytes=*/8,
+                                           /*is_tail=*/true, /*tag=*/0,
+                                           now());
+  ack->set_kind(PacketEvent::Kind::kAck);
+  if (randomize_path && num_nodes_ > 2) {
+    NodeId via;
+    do {
+      via = static_cast<NodeId>(rng().next_bounded(num_nodes_));
+    } while (via == node_id_ || via == dst);
+    ack->set_via(via);
+  }
+  net_link_->send(std::move(ack));
+  acks_sent_->add();
+}
+
+void NetEndpoint::handle_retry(EventPtr ev) {
+  auto timer = event_cast<RetryEvent>(std::move(ev));
+  auto it = outstanding_.find(timer->msg_id());
+  if (it == outstanding_.end()) return;           // ACKed meanwhile
+  if (it->second.attempts != timer->attempt()) return;  // superseded timer
+  Outstanding& msg = it->second;
+  if (msg.attempts >= retry_max_) {
+    delivery_failed_->add();
+    const Outstanding failed = msg;
+    outstanding_.erase(it);
+    on_delivery_failed(failed.dst, failed.bytes, failed.tag);
+    return;
+  }
+  ++msg.attempts;
+  retries_->add();
+  // Randomize the path: deterministic routing would retrace the exact
+  // hops that just lost the message (e.g. a deflection loop around a
+  // dead port), so retries bounce through a fresh intermediate.
+  transmit_packets(msg.dst, msg.bytes, msg.tag, timer->msg_id(),
+                   msg.msg_start, /*randomize_path=*/true);
+  arm_retry_timer(timer->msg_id(), msg.attempts);
 }
 
 void NetEndpoint::handle_net(EventPtr ev) {
@@ -75,8 +193,24 @@ void NetEndpoint::handle_net(EventPtr ev) {
     throw SimulationError("endpoint '" + name() + "': misrouted packet for " +
                           std::to_string(pkt->dst()));
   }
+  if (pkt->kind() == PacketEvent::Kind::kAck) {
+    outstanding_.erase(pkt->msg_id());
+    return;
+  }
   const auto key = std::make_pair(pkt->src(), pkt->msg_id());
+  if (ack_ && completed_.contains(key)) {
+    // The sender retried after our ACK was lost; re-ACK, don't re-deliver.
+    dup_packets_->add();
+    if (pkt->is_tail()) {
+      send_ack(pkt->src(), pkt->msg_id(), /*randomize_path=*/true);
+    }
+    return;
+  }
   Partial& part = reassembly_[key];
+  if (part.test_and_set(pkt->pkt_seq())) {
+    dup_packets_->add();
+    return;
+  }
   part.received += pkt->bytes();
   if (part.received >= pkt->msg_bytes()) {
     if (part.received > pkt->msg_bytes()) {
@@ -84,6 +218,10 @@ void NetEndpoint::handle_net(EventPtr ev) {
                             "': reassembly byte-count overflow");
     }
     reassembly_.erase(key);
+    if (ack_) {
+      completed_.insert(key);
+      send_ack(pkt->src(), pkt->msg_id());
+    }
     msgs_recv_->add();
     msg_latency_->add(static_cast<double>(now() - pkt->msg_start()));
     on_message(pkt->src(), pkt->msg_bytes(), pkt->tag(), pkt->msg_start());

@@ -5,16 +5,31 @@
 // study), and receive-side reassembly.  Subclasses implement on_message()
 // and drive traffic with send_message().
 //
+// Reassembly tracks per-packet sequence numbers, so duplicated packets
+// (fault models, retransmissions) are discarded rather than corrupting
+// byte counts.  With `ack` enabled the endpoint runs a reliable-delivery
+// protocol: receivers acknowledge completed messages, senders retransmit
+// on timeout with exponential backoff, and a message that exhausts its
+// retries is recorded in the "delivery_failed" counter (plus the
+// on_delivery_failed() hook) instead of crashing the run.
+//
 // Ports:
 //   "net" — to the attached router
 //
 // Params:
-//   injection_bw  NIC injection bandwidth           (default "3.2GB/s")
-//   mtu           packet payload size               (default "2KiB")
+//   injection_bw   NIC injection bandwidth            (default "3.2GB/s")
+//   mtu            packet payload size                (default "2KiB")
+//   ack            enable ACK/timeout retry protocol  (default false)
+//   retry_max      retransmissions before giving up   (default 4;
+//                  0 = detect and count loss, never retransmit)
+//   retry_timeout  first retransmit timeout           (default "500us")
+//   retry_backoff  timeout multiplier per attempt     (default 2.0)
 #pragma once
 
 #include <cstdint>
 #include <map>
+#include <set>
+#include <vector>
 
 #include "core/component.h"
 #include "net/net_event.h"
@@ -43,6 +58,11 @@ class NetEndpoint : public Component {
   [[nodiscard]] std::uint64_t messages_received() const {
     return msgs_recv_->count();
   }
+  [[nodiscard]] std::uint64_t retries() const { return retries_->count(); }
+  [[nodiscard]] std::uint64_t delivery_failures() const {
+    return delivery_failed_->count();
+  }
+  [[nodiscard]] bool ack_enabled() const { return ack_; }
 
  protected:
   explicit NetEndpoint(Params& params);
@@ -57,16 +77,44 @@ class NetEndpoint : public Component {
   virtual void on_message(NodeId src, std::uint64_t bytes, std::uint64_t tag,
                           SimTime msg_start) = 0;
 
+  /// Called when a message exhausts its retries (ack mode).  The loss is
+  /// already recorded in "delivery_failed"; override to react.
+  virtual void on_delivery_failed(NodeId dst, std::uint64_t bytes,
+                                  std::uint64_t tag) {
+    (void)dst;
+    (void)bytes;
+    (void)tag;
+  }
+
   /// Observed message latency statistic (post time -> last byte arrival).
   Accumulator* msg_latency_;
 
  private:
   void handle_net(EventPtr ev);
+  void handle_retry(EventPtr ev);
+  /// Segments one message into packets on the NIC (used for both first
+  /// transmission and retransmissions).  `randomize_path` forces a random
+  /// intermediate hop (Valiant-style), so retransmissions explore a
+  /// different route than the one that just failed.
+  void transmit_packets(NodeId dst, std::uint64_t bytes, std::uint64_t tag,
+                        std::uint64_t msg_id, SimTime msg_start,
+                        bool randomize_path = false);
+  void arm_retry_timer(std::uint64_t msg_id, std::uint32_t attempt);
+  /// `randomize_path` bounces the ACK off a random intermediate —
+  /// re-ACKs of retransmitted messages use it so a deterministically
+  /// black-holed ACK route cannot starve the sender forever.
+  void send_ack(NodeId dst, std::uint64_t msg_id,
+                bool randomize_path = false);
 
   Link* net_link_;
+  Link* retry_link_ = nullptr;  // only configured in ack mode
   NodeId node_id_ = kInvalidNode;
   std::uint32_t num_nodes_ = 0;
   bool valiant_ = false;
+  bool ack_ = false;
+  std::uint32_t retry_max_ = 0;
+  SimTime retry_timeout_ = 0;
+  double retry_backoff_ = 2.0;
   double inj_bytes_per_ps_;
   std::uint32_t mtu_;
   SimTime inj_busy_ = 0;
@@ -74,13 +122,31 @@ class NetEndpoint : public Component {
 
   struct Partial {
     std::uint64_t received = 0;
+    std::vector<std::uint64_t> seen;  // bitmap over pkt_seq
+    /// True if seq was already received (and marks it received).
+    bool test_and_set(std::uint32_t seq);
   };
   std::map<std::pair<NodeId, std::uint64_t>, Partial> reassembly_;
+  // Messages already delivered to on_message (ack mode: duplicates of a
+  // completed message are re-ACKed, never re-delivered).
+  std::set<std::pair<NodeId, std::uint64_t>> completed_;
+  struct Outstanding {
+    NodeId dst;
+    std::uint64_t bytes;
+    std::uint64_t tag;
+    SimTime msg_start;
+    std::uint32_t attempts = 0;
+  };
+  std::map<std::uint64_t, Outstanding> outstanding_;
 
   Counter* msgs_sent_;
   Counter* msgs_recv_;
   Counter* bytes_sent_;
   Counter* packets_sent_;
+  Counter* retries_;
+  Counter* acks_sent_;
+  Counter* delivery_failed_;
+  Counter* dup_packets_;
 };
 
 }  // namespace sst::net

@@ -6,6 +6,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 
 #include "core/event.h"
 #include "core/types.h"
@@ -17,6 +18,10 @@ inline constexpr NodeId kInvalidNode = ~0U;
 
 class PacketEvent final : public Event {
  public:
+  /// Data packets carry message payload; ACK packets are the tiny control
+  /// messages of the endpoint retry protocol.
+  enum class Kind : std::uint8_t { kData, kAck };
+
   PacketEvent(NodeId src, NodeId dst, std::uint32_t bytes,
               std::uint64_t msg_id, std::uint64_t msg_bytes, bool is_tail,
               std::uint64_t tag, SimTime msg_start)
@@ -53,6 +58,25 @@ class PacketEvent final : public Event {
   void set_via(NodeId v) { via_ = v; }
   void clear_via() { via_ = kInvalidNode; }
 
+  [[nodiscard]] Kind kind() const { return kind_; }
+  void set_kind(Kind k) { kind_ = k; }
+
+  /// 0-based index of this packet within its message; receivers use it to
+  /// discard duplicates injected by fault models or retransmissions.
+  [[nodiscard]] std::uint32_t pkt_seq() const { return pkt_seq_; }
+  void set_pkt_seq(std::uint32_t s) { pkt_seq_ = s; }
+
+  [[nodiscard]] EventPtr clone() const override {
+    auto copy = std::make_unique<PacketEvent>(src_, dst_, bytes_, msg_id_,
+                                              msg_bytes_, is_tail_, tag_,
+                                              msg_start_);
+    copy->via_ = via_;
+    copy->hops_ = hops_;
+    copy->kind_ = kind_;
+    copy->pkt_seq_ = pkt_seq_;
+    return copy;
+  }
+
  private:
   NodeId src_;
   NodeId dst_;
@@ -64,6 +88,27 @@ class PacketEvent final : public Event {
   std::uint64_t tag_;
   SimTime msg_start_;
   std::uint32_t hops_ = 0;
+  std::uint32_t pkt_seq_ = 0;
+  Kind kind_ = Kind::kData;
+};
+
+/// Timed router port failure / repair, delivered through the router's
+/// internal fault self-link (see Router::schedule_port_fail/heal).
+class PortFaultEvent final : public Event {
+ public:
+  PortFaultEvent(std::uint32_t port, bool fail) : port_(port), fail_(fail) {}
+
+  [[nodiscard]] std::uint32_t port() const { return port_; }
+  /// true = the port goes down, false = it comes back up.
+  [[nodiscard]] bool fail() const { return fail_; }
+
+  [[nodiscard]] EventPtr clone() const override {
+    return std::make_unique<PortFaultEvent>(port_, fail_);
+  }
+
+ private:
+  std::uint32_t port_;
+  bool fail_;
 };
 
 }  // namespace sst::net

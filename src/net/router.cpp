@@ -15,19 +15,29 @@ Router::Router(Params& params) {
           .to_bytes_per_second();
   bytes_per_ps_ = bw / 1e12;
   hop_latency_ = params.find_time("hop_latency", "50ns");
+  ttl_ = params.find<std::uint32_t>("ttl", 64);
+  if (ttl_ == 0) throw ConfigError("router '" + name() + "': ttl must be >= 1");
 
   ports_.reserve(nports);
   for (std::uint32_t i = 0; i < nports; ++i) {
     ports_.push_back(configure_link(
         "port" + std::to_string(i),
-        [this](EventPtr ev) { handle_packet(std::move(ev)); },
+        [this, i](EventPtr ev) { handle_packet(i, std::move(ev)); },
         /*optional=*/true));
   }
   port_busy_.assign(nports, 0);
+  port_alive_.assign(nports, true);
+  endpoint_port_.assign(nports, false);
+  fault_link_ = configure_self_link(
+      "fault", 1, [this](EventPtr ev) { handle_fault(std::move(ev)); });
 
   packets_ = stat_counter("packets");
   bytes_stat_ = stat_counter("bytes");
   queue_delay_ = stat_accumulator("queue_delay_ps");
+  reroutes_ = stat_counter("reroutes");
+  fault_dropped_ = stat_counter("fault_dropped");
+  ttl_dropped_ = stat_counter("ttl_dropped");
+  port_fault_events_ = stat_counter("port_fault_events");
 }
 
 void Router::set_route_table(std::vector<std::uint8_t> table) {
@@ -44,7 +54,100 @@ void Router::set_local_nodes(std::vector<bool> local) {
   local_nodes_ = std::move(local);
 }
 
-void Router::handle_packet(EventPtr ev) {
+void Router::set_route_candidates(std::vector<std::vector<std::uint8_t>> cands) {
+  for (const auto& ports : cands) {
+    for (const std::uint8_t p : ports) {
+      if (p >= ports_.size()) {
+        throw ConfigError("router '" + name() + "': candidate port " +
+                          std::to_string(p) + " out of range");
+      }
+    }
+  }
+  candidates_ = std::move(cands);
+}
+
+void Router::schedule_port_fail(std::uint32_t port, SimTime at) {
+  schedule_port_event(port, /*fail=*/true, at);
+}
+
+void Router::schedule_port_heal(std::uint32_t port, SimTime at) {
+  schedule_port_event(port, /*fail=*/false, at);
+}
+
+void Router::schedule_port_event(std::uint32_t port, bool fail, SimTime at) {
+  if (port >= ports_.size()) {
+    throw ConfigError("router '" + name() + "': fault on unknown port " +
+                      std::to_string(port));
+  }
+  if (at < 1) {
+    throw ConfigError("router '" + name() +
+                      "': port fault time must be >= 1ps");
+  }
+  if (!setup_done_) {
+    // Time has not started; stage the event until setup() can send it.
+    pending_faults_.push_back({port, fail, at});
+    return;
+  }
+  if (at <= now()) {
+    throw ConfigError("router '" + name() + "': port fault time " +
+                      std::to_string(at) + "ps is not in the future");
+  }
+  fault_link_->send(std::make_unique<PortFaultEvent>(port, fail),
+                    at - now() - 1);
+}
+
+void Router::setup() {
+  // Mark endpoint attach ports: deflection must never push a transit
+  // packet into a NIC, which would reject it as misrouted.
+  for (std::uint32_t n = 0;
+       n < local_nodes_.size() && n < route_.size(); ++n) {
+    if (local_nodes_[n]) endpoint_port_[route_[n]] = true;
+  }
+  setup_done_ = true;
+  for (const auto& pf : pending_faults_) {
+    fault_link_->send(std::make_unique<PortFaultEvent>(pf.port, pf.fail),
+                      pf.at - 1);
+  }
+  pending_faults_.clear();
+}
+
+void Router::handle_fault(EventPtr ev) {
+  auto pf = event_cast<PortFaultEvent>(std::move(ev));
+  if (pf->port() >= ports_.size()) {
+    throw SimulationError("router '" + name() + "': fault for unknown port " +
+                          std::to_string(pf->port()));
+  }
+  port_alive_[pf->port()] = !pf->fail();
+  any_port_down_ =
+      std::find(port_alive_.begin(), port_alive_.end(), false) !=
+      port_alive_.end();
+  port_fault_events_->add();
+}
+
+int Router::pick_output(NodeId steer, std::uint32_t in_port) const {
+  const std::uint8_t primary = route_[steer];
+  auto usable = [this](std::uint32_t p) {
+    return port_alive_[p] && ports_[p]->connected();
+  };
+  if (usable(primary)) return primary;
+  // A local destination is only reachable through its attach port.
+  if (steer < local_nodes_.size() && local_nodes_[steer]) return -1;
+  // Remaining minimal candidates first (still shortest paths).
+  if (steer < candidates_.size()) {
+    for (const std::uint8_t p : candidates_[steer]) {
+      if (p != primary && usable(p)) return p;
+    }
+  }
+  // Deflection fallback: any alive transit port except the inbound one.
+  // Non-minimal, but the TTL bounds the resulting detours.
+  for (std::uint32_t p = 0; p < ports_.size(); ++p) {
+    if (p == primary || p == in_port || endpoint_port_[p]) continue;
+    if (usable(p)) return static_cast<int>(p);
+  }
+  return -1;
+}
+
+void Router::handle_packet(std::uint32_t in_port, EventPtr ev) {
   auto pkt = event_cast<PacketEvent>(std::move(ev));
   if (route_.empty()) {
     throw SimulationError("router '" + name() + "': no routing table");
@@ -63,7 +166,20 @@ void Router::handle_packet(EventPtr ev) {
     }
   }
   const NodeId steer = pkt->via() != kInvalidNode ? pkt->via() : pkt->dst();
-  const std::uint8_t out = route_[steer];
+  std::uint32_t out = route_[steer];
+  if (any_port_down_) [[unlikely]] {
+    if (pkt->hops() >= ttl_) {
+      ttl_dropped_->add();
+      return;
+    }
+    const int alt = pick_output(steer, in_port);
+    if (alt < 0) {
+      fault_dropped_->add();
+      return;
+    }
+    if (static_cast<std::uint32_t>(alt) != out) reroutes_->add();
+    out = static_cast<std::uint32_t>(alt);
+  }
   Link* link = ports_[out];
   if (!link->connected()) {
     throw SimulationError("router '" + name() + "': route to node " +

@@ -274,13 +274,16 @@ Topology build_topology(Simulation& sim, const TopologySpec& spec,
     }
   }
 
-  // Routing tables: route[node] on router r.
+  // Routing tables: route[node] on router r, plus the full minimal
+  // candidate sets that let routers reroute around failed ports.
   for (std::uint32_t r = 0; r < bp.num_routers; ++r) {
     std::vector<std::uint8_t> table(num_nodes, 0);
+    std::vector<std::vector<std::uint8_t>> cands(num_nodes);
     for (std::uint32_t n = 0; n < num_nodes; ++n) {
       const std::uint32_t dr = router_of_node[n];
       if (dr == r) {
         table[n] = static_cast<std::uint8_t>(bp.attachments[n].port);
+        cands[n] = {table[n]};
         continue;
       }
       if (dist[dr][r] == kInf) {
@@ -297,8 +300,16 @@ Topology build_topology(Simulation& sim, const TopologySpec& spec,
       const std::uint64_t pick = route_hash(r, n, spec.seed);
       table[n] = static_cast<std::uint8_t>(
           candidates[pick % candidates.size()]);
+      // Preference order: the hashed pick first, the rest ascending.
+      cands[n].push_back(table[n]);
+      for (const std::uint32_t port : candidates) {
+        if (port != table[n]) {
+          cands[n].push_back(static_cast<std::uint8_t>(port));
+        }
+      }
     }
     topo.routers[r]->set_route_table(std::move(table));
+    topo.routers[r]->set_route_candidates(std::move(cands));
   }
 
   // Diameter / average hops over node pairs (router part only).

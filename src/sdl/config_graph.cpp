@@ -4,6 +4,8 @@
 #include <utility>
 
 #include "core/unit_algebra.h"
+#include "fault/fault_model.h"
+#include "net/router.h"
 
 namespace sst::sdl {
 
@@ -31,6 +33,19 @@ const char* topology_name(net::TopologySpec::Kind kind) {
     case Kind::kDragonfly: return "dragonfly";
   }
   return "?";
+}
+
+/// Fault probabilities + parsed delay bounds for one ConfigLinkFault.
+/// Throws ConfigError on bad times or probabilities.
+fault::LinkFaultConfig link_fault_config(const ConfigLinkFault& f) {
+  fault::LinkFaultConfig cfg;
+  cfg.drop_prob = f.drop;
+  cfg.dup_prob = f.duplicate;
+  cfg.delay_prob = f.delay;
+  cfg.delay_min = UnitAlgebra(f.delay_min).to_simtime();
+  cfg.delay_max = UnitAlgebra(f.delay_max).to_simtime();
+  cfg.validate();
+  return cfg;
 }
 
 }  // namespace
@@ -114,7 +129,59 @@ std::vector<std::string> ConfigGraph::validate(const Factory& factory) const {
       }
     }
   }
+  for (const auto& f : faults_.links) {
+    if (!names.contains(f.component)) {
+      problems.push_back("link fault references unknown component '" +
+                         f.component + "'");
+    }
+    try {
+      (void)link_fault_config(f);
+    } catch (const ConfigError& e) {
+      problems.push_back("link fault on " + f.component + "." + f.port +
+                         ": " + e.what());
+    }
+    if (f.both) {
+      try {
+        (void)link_peer(f.component, f.port);
+      } catch (const ConfigError& e) {
+        problems.emplace_back(e.what());
+      }
+    }
+  }
+  for (const auto& f : faults_.ports) {
+    // Network-built routers (e.g. "rtr3") are created at build time, so
+    // names can only be checked statically when no network is declared.
+    if (!network_.present && !names.contains(f.router)) {
+      problems.push_back("port fault references unknown router '" + f.router +
+                         "'");
+    }
+    try {
+      const SimTime fail_at = UnitAlgebra(f.fail_at).to_simtime();
+      if (fail_at < 1) {
+        problems.push_back("port fault on '" + f.router +
+                           "': fail_at must be >= 1ps");
+      }
+      if (f.heal_at && UnitAlgebra(*f.heal_at).to_simtime() <= fail_at) {
+        problems.push_back("port fault on '" + f.router +
+                           "': heal_at must be after fail_at");
+      }
+    } catch (const ConfigError& e) {
+      problems.push_back("port fault on '" + f.router + "': " + e.what());
+    }
+  }
   return problems;
+}
+
+std::pair<std::string, std::string> ConfigGraph::link_peer(
+    const std::string& component, const std::string& port) const {
+  for (const auto& l : links_) {
+    if (l.from == component && l.from_port == port) return {l.to, l.to_port};
+    if (l.to == component && l.to_port == port) return {l.from, l.from_port};
+  }
+  throw ConfigError("fault on " + component + "." + port +
+                    ": 'both' requires an explicit \"links\" entry naming "
+                    "this port (fault each network-built endpoint "
+                    "separately)");
 }
 
 std::unique_ptr<Simulation> ConfigGraph::build(const Factory& factory) const {
@@ -149,6 +216,25 @@ std::unique_ptr<Simulation> ConfigGraph::build(const Factory& factory) const {
     }
     net::build_topology(*sim, network_.spec, endpoints);
   }
+  for (const auto& f : faults_.links) {
+    const fault::LinkFaultConfig cfg = link_fault_config(f);
+    fault::install_link_fault(*sim, f.component, f.port, cfg);
+    if (f.both) {
+      const auto [peer, peer_port] = link_peer(f.component, f.port);
+      fault::install_link_fault(*sim, peer, peer_port, cfg);
+    }
+  }
+  for (const auto& f : faults_.ports) {
+    auto* rtr = dynamic_cast<net::Router*>(sim->find_component(f.router));
+    if (rtr == nullptr) {
+      throw ConfigError("port fault target '" + f.router +
+                        "' is not a net router");
+    }
+    rtr->schedule_port_fail(f.port, UnitAlgebra(f.fail_at).to_simtime());
+    if (f.heal_at) {
+      rtr->schedule_port_heal(f.port, UnitAlgebra(*f.heal_at).to_simtime());
+    }
+  }
   return sim;
 }
 
@@ -167,6 +253,11 @@ ConfigGraph ConfigGraph::from_json(const JsonValue& doc) {
     sc.num_ranks =
         static_cast<unsigned>(cfg.get_number("num_ranks", sc.num_ranks));
     sc.seed = static_cast<std::uint64_t>(cfg.get_number("seed", 1));
+    sc.fault_seed = static_cast<std::uint64_t>(
+        cfg.get_number("fault_seed", static_cast<double>(sc.fault_seed)));
+    sc.watchdog_seconds =
+        cfg.get_number("watchdog_seconds", sc.watchdog_seconds);
+    sc.detect_deadlock = cfg.get_bool("detect_deadlock", sc.detect_deadlock);
     sc.verbose = cfg.get_bool("verbose", false);
     const std::string part = cfg.get_string("partition", "linear");
     if (part == "linear") {
@@ -267,6 +358,37 @@ ConfigGraph ConfigGraph::from_json(const JsonValue& doc) {
       graph.links_.push_back(std::move(cl));
     }
   }
+  if (doc.has("faults")) {
+    const JsonValue& jf = doc.at("faults");
+    if (jf.has("seed")) {
+      graph.sim_config_.fault_seed =
+          static_cast<std::uint64_t>(jf.at("seed").as_number());
+    }
+    if (jf.has("links")) {
+      for (const auto& jl : jf.at("links").as_array()) {
+        ConfigLinkFault lf;
+        lf.component = jl.at("component").as_string();
+        lf.port = jl.at("port").as_string();
+        lf.drop = jl.get_number("drop", 0.0);
+        lf.duplicate = jl.get_number("duplicate", 0.0);
+        lf.delay = jl.get_number("delay", 0.0);
+        lf.delay_min = jl.get_string("delay_min", "0ps");
+        lf.delay_max = jl.get_string("delay_max", lf.delay_min);
+        lf.both = jl.get_bool("both", false);
+        graph.faults_.links.push_back(std::move(lf));
+      }
+    }
+    if (jf.has("ports")) {
+      for (const auto& jp : jf.at("ports").as_array()) {
+        ConfigPortFault pf;
+        pf.router = jp.at("router").as_string();
+        pf.port = static_cast<std::uint32_t>(jp.at("port").as_number());
+        pf.fail_at = jp.at("fail_at").as_string();
+        if (jp.has("heal_at")) pf.heal_at = jp.at("heal_at").as_string();
+        graph.faults_.ports.push_back(std::move(pf));
+      }
+    }
+  }
   return graph;
 }
 
@@ -279,6 +401,13 @@ JsonValue ConfigGraph::to_json() const {
   }
   cfg["num_ranks"] = JsonValue(static_cast<double>(sim_config_.num_ranks));
   cfg["seed"] = JsonValue(static_cast<double>(sim_config_.seed));
+  if (sim_config_.fault_seed != 0) {
+    cfg["fault_seed"] = JsonValue(static_cast<double>(sim_config_.fault_seed));
+  }
+  if (sim_config_.watchdog_seconds > 0) {
+    cfg["watchdog_seconds"] = JsonValue(sim_config_.watchdog_seconds);
+  }
+  if (!sim_config_.detect_deadlock) cfg["detect_deadlock"] = JsonValue(false);
   switch (sim_config_.partition) {
     case PartitionStrategy::kLinear: cfg["partition"] = "linear"; break;
     case PartitionStrategy::kRoundRobin:
@@ -346,6 +475,35 @@ JsonValue ConfigGraph::to_json() const {
     for (const auto& e : network_.endpoints) eps.push_back(JsonValue(e));
     jn["endpoints"] = JsonValue(std::move(eps));
     doc["network"] = JsonValue(std::move(jn));
+  }
+
+  if (!faults_.empty()) {
+    JsonObject jf;
+    JsonArray lfs;
+    for (const auto& f : faults_.links) {
+      JsonObject jl;
+      jl["component"] = f.component;
+      jl["port"] = f.port;
+      jl["drop"] = JsonValue(f.drop);
+      jl["duplicate"] = JsonValue(f.duplicate);
+      jl["delay"] = JsonValue(f.delay);
+      jl["delay_min"] = f.delay_min;
+      jl["delay_max"] = f.delay_max;
+      if (f.both) jl["both"] = JsonValue(true);
+      lfs.push_back(JsonValue(std::move(jl)));
+    }
+    if (!lfs.empty()) jf["links"] = JsonValue(std::move(lfs));
+    JsonArray pfs;
+    for (const auto& f : faults_.ports) {
+      JsonObject jp;
+      jp["router"] = f.router;
+      jp["port"] = JsonValue(static_cast<double>(f.port));
+      jp["fail_at"] = f.fail_at;
+      if (f.heal_at) jp["heal_at"] = *f.heal_at;
+      pfs.push_back(JsonValue(std::move(jp)));
+    }
+    if (!pfs.empty()) jf["ports"] = JsonValue(std::move(pfs));
+    doc["faults"] = JsonValue(std::move(jf));
   }
   return JsonValue(std::move(doc));
 }

@@ -27,8 +27,25 @@
 //     "routing": "minimal",           // or "valiant"
 //     "link_bandwidth": "10GB/s", "link_latency": "20ns",
 //     "endpoints": ["rank0", "rank1", "rank2", "rank3"]
+//   },
+//   // optional: deterministic fault injection (see src/fault)
+//   "faults": {
+//     "seed": 99,                     // fault RNG seed (default: config seed)
+//     "links": [
+//       { "component": "rank0", "port": "net",
+//         "drop": 0.01, "duplicate": 0.001, "delay": 0.05,
+//         "delay_min": "10ns", "delay_max": "200ns",
+//         "both": true }              // also fault the peer endpoint
+//     ],
+//     "ports": [
+//       { "router": "rtr0", "port": 1,
+//         "fail_at": "10us", "heal_at": "60us" }   // heal_at optional
+//     ]
 //   }
 // }
+//
+// "config" additionally accepts "fault_seed", "watchdog_seconds", and
+// "detect_deadlock".
 #pragma once
 
 #include <optional>
@@ -64,6 +81,34 @@ struct ConfigNetwork {
   std::vector<std::string> endpoints;  // component names, node order
 };
 
+/// Probabilistic fault model on one link endpoint (the sending side of
+/// component.port); `both` also faults the peer endpoint with its own
+/// independent stream.
+struct ConfigLinkFault {
+  std::string component;
+  std::string port;
+  double drop = 0.0;
+  double duplicate = 0.0;
+  double delay = 0.0;
+  std::string delay_min = "0ps";
+  std::string delay_max = "0ps";
+  bool both = false;
+};
+
+/// Timed router port failure (optionally healing later).
+struct ConfigPortFault {
+  std::string router;
+  std::uint32_t port = 0;
+  std::string fail_at;
+  std::optional<std::string> heal_at;
+};
+
+struct ConfigFaults {
+  std::vector<ConfigLinkFault> links;
+  std::vector<ConfigPortFault> ports;
+  [[nodiscard]] bool empty() const { return links.empty() && ports.empty(); }
+};
+
 class ConfigGraph {
  public:
   ConfigGraph() = default;
@@ -84,6 +129,8 @@ class ConfigGraph {
   [[nodiscard]] const SimConfig& sim_config() const { return sim_config_; }
   [[nodiscard]] ConfigNetwork& network() { return network_; }
   [[nodiscard]] const ConfigNetwork& network() const { return network_; }
+  [[nodiscard]] ConfigFaults& faults() { return faults_; }
+  [[nodiscard]] const ConfigFaults& faults() const { return faults_; }
 
   /// Structural validation: unique names, known types (against the given
   /// factory), link endpoints exist, no port used twice, parsable
@@ -102,9 +149,15 @@ class ConfigGraph {
   [[nodiscard]] JsonValue to_json() const;
 
  private:
+  /// Peer endpoint of (component, port) among the explicit links; throws
+  /// ConfigError when the port is not on any explicit link.
+  [[nodiscard]] std::pair<std::string, std::string> link_peer(
+      const std::string& component, const std::string& port) const;
+
   std::vector<ConfigComponent> components_;
   std::vector<ConfigLink> links_;
   ConfigNetwork network_;
+  ConfigFaults faults_;
   SimConfig sim_config_;
 };
 

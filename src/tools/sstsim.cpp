@@ -8,7 +8,10 @@
 //   --ranks <n>          override the parallel rank count
 //   --end <time>         override the end time, e.g. "2ms"
 //   --seed <n>           override the global seed
+//   --fault-seed <n>     override the fault-injection seed
+//   --watchdog <secs>    abort with diagnostics after this much wall clock
 //   --list-components    print registered component types and exit
+//   --version            print the version and exit
 #include <cstring>
 #include <fstream>
 #include <iostream>
@@ -19,12 +22,17 @@
 #include "proc/proc_lib.h"
 #include "sdl/config_graph.h"
 
+#ifndef SSTSIM_VERSION
+#define SSTSIM_VERSION "dev"
+#endif
+
 namespace {
 
 int usage(const char* argv0) {
   std::cerr << "usage: " << argv0
             << " <system.json> [--stats out.csv] [--validate]"
-               " [--ranks N] [--end TIME] [--seed N] [--list-components]\n";
+               " [--ranks N] [--end TIME] [--seed N] [--fault-seed N]"
+               " [--watchdog SECS] [--list-components] [--version]\n";
   return 2;
 }
 
@@ -41,13 +49,17 @@ int main(int argc, char** argv) {
   std::optional<unsigned> ranks;
   std::optional<std::string> end_time;
   std::optional<std::uint64_t> seed;
+  std::optional<std::uint64_t> fault_seed;
+  std::optional<double> watchdog;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
+    // Null when the option is missing its value; callers fall through to
+    // usage() instead of dying mid-parse.
     auto next = [&]() -> const char* {
       if (i + 1 >= argc) {
         std::cerr << arg << " requires a value\n";
-        std::exit(2);
+        return nullptr;
       }
       return argv[++i];
     };
@@ -57,22 +69,47 @@ int main(int argc, char** argv) {
       }
       return 0;
     }
-    if (arg == "--stats") {
-      stats_path = next();
-    } else if (arg == "--validate") {
-      validate_only = true;
-    } else if (arg == "--ranks") {
-      ranks = static_cast<unsigned>(std::stoul(next()));
-    } else if (arg == "--end") {
-      end_time = next();
-    } else if (arg == "--seed") {
-      seed = std::stoull(next());
-    } else if (arg.rfind("--", 0) == 0) {
-      std::cerr << "unknown option " << arg << "\n";
-      return usage(argv[0]);
-    } else if (input.empty()) {
-      input = arg;
-    } else {
+    if (arg == "--version") {
+      std::cout << "sstsim " << SSTSIM_VERSION << "\n";
+      return 0;
+    }
+    try {
+      if (arg == "--stats") {
+        const char* v = next();
+        if (v == nullptr) return usage(argv[0]);
+        stats_path = v;
+      } else if (arg == "--validate") {
+        validate_only = true;
+      } else if (arg == "--ranks") {
+        const char* v = next();
+        if (v == nullptr) return usage(argv[0]);
+        ranks = static_cast<unsigned>(std::stoul(v));
+      } else if (arg == "--end") {
+        const char* v = next();
+        if (v == nullptr) return usage(argv[0]);
+        end_time = v;
+      } else if (arg == "--seed") {
+        const char* v = next();
+        if (v == nullptr) return usage(argv[0]);
+        seed = std::stoull(v);
+      } else if (arg == "--fault-seed") {
+        const char* v = next();
+        if (v == nullptr) return usage(argv[0]);
+        fault_seed = std::stoull(v);
+      } else if (arg == "--watchdog") {
+        const char* v = next();
+        if (v == nullptr) return usage(argv[0]);
+        watchdog = std::stod(v);
+      } else if (arg.rfind("--", 0) == 0) {
+        std::cerr << "unknown option " << arg << "\n";
+        return usage(argv[0]);
+      } else if (input.empty()) {
+        input = arg;
+      } else {
+        return usage(argv[0]);
+      }
+    } catch (const std::exception&) {
+      std::cerr << "bad value for " << arg << "\n";
       return usage(argv[0]);
     }
   }
@@ -98,6 +135,8 @@ int main(int argc, char** argv) {
     graph.sim_config().end_time = sst::UnitAlgebra(*end_time).to_simtime();
   }
   if (seed) graph.sim_config().seed = *seed;
+  if (fault_seed) graph.sim_config().fault_seed = *fault_seed;
+  if (watchdog) graph.sim_config().watchdog_seconds = *watchdog;
 
   const auto problems = graph.validate(sst::Factory::instance());
   if (!problems.empty()) {
@@ -108,7 +147,14 @@ int main(int argc, char** argv) {
   if (validate_only) {
     std::cout << input << ": OK (" << graph.components().size()
               << " components, " << graph.links().size() << " links"
-              << (graph.network().present ? ", 1 network" : "") << ")\n";
+              << (graph.network().present ? ", 1 network" : "")
+              << (graph.faults().empty()
+                      ? ""
+                      : ", " +
+                            std::to_string(graph.faults().links.size() +
+                                           graph.faults().ports.size()) +
+                            " fault rules")
+              << ")\n";
     return 0;
   }
 

@@ -130,6 +130,27 @@ TEST(LinkEdges, SelfLinkZeroLatencyDeliversSameTimeInOrder) {
   EXPECT_EQ(stats.final_time, 0u);
 }
 
+TEST(LinkEdges, SendOnUnconnectedPortNamesComponentAndPort) {
+  class Optional final : public Component {
+   public:
+    explicit Optional(Params&) {
+      link_ = configure_link("maybe", [](EventPtr) {}, /*optional=*/true);
+    }
+    Link* link_;
+  };
+  Simulation sim;
+  Params p;
+  auto* c = sim.add_component<Optional>("widget", p);
+  sim.initialize();
+  try {
+    c->link_->send(make_event<IntEvent>(1));
+    FAIL() << "send on unconnected port should throw";
+  } catch (const SimulationError& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("widget.maybe"), std::string::npos) << msg;
+  }
+}
+
 TEST(LinkEdges, DuplicatePortNameThrows) {
   class DoublePort final : public Component {
    public:

@@ -1,0 +1,146 @@
+// SECDED ECC model: check-bit math, outcome classification, and the
+// memory controller's corrected / uncorrected / silent error accounting.
+#include <gtest/gtest.h>
+
+#include "fault/ecc.h"
+#include "mem/memory_controller.h"
+#include "../mem/mem_test_util.h"
+
+namespace sst::fault {
+namespace {
+
+using sst::mem::MemoryController;
+using sst::mem::testing::MemDriver;
+
+TEST(Secded, CheckBitCounts) {
+  // Hamming r: smallest r with 2^r >= data + r + 1, plus overall parity.
+  EXPECT_EQ(secded_check_bits(64), 8u);   // SECDED(72,64)
+  EXPECT_EQ(secded_check_bits(32), 7u);   // SECDED(39,32)
+  EXPECT_EQ(secded_check_bits(8), 5u);    // SECDED(13,8)
+  EXPECT_EQ(secded_check_bits(1), 3u);
+}
+
+TEST(Secded, WordBitsIncludeCheckBits) {
+  const SecdedModel with(1e-6, 64, true);
+  EXPECT_EQ(with.word_bits(), 72u);
+  const SecdedModel without(1e-6, 64, false);
+  EXPECT_EQ(without.word_bits(), 64u);
+}
+
+TEST(Secded, DisabledModelStaysClean) {
+  SecdedModel model(0.0);
+  EXPECT_FALSE(model.enabled());
+  // No RNG draw when disabled: the stream stays untouched.
+  rng::XorShift128Plus a(5);
+  rng::XorShift128Plus b(5);
+  EXPECT_EQ(model.sample(a), EccOutcome::kClean);
+  EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Secded, ClassifyBoundaries) {
+  const SecdedModel model(1e-4);
+  EXPECT_GT(model.p_single(), 0.0);
+  EXPECT_GT(model.p_multi(), 0.0);
+  EXPECT_LT(model.p_multi(), model.p_single());
+  // u below p_multi: multi-bit flip, uncorrectable.
+  EXPECT_EQ(model.classify(0.0), EccOutcome::kUncorrected);
+  // u in [p_multi, p_multi + p_single): single-bit flip, corrected.
+  EXPECT_EQ(model.classify(model.p_multi()), EccOutcome::kCorrected);
+  // u past both: clean word.
+  EXPECT_EQ(model.classify(0.999999), EccOutcome::kClean);
+}
+
+TEST(Secded, WithoutEccEveryFlipIsSilent) {
+  const SecdedModel model(1e-4, 64, /*secded=*/false);
+  EXPECT_EQ(model.classify(0.0), EccOutcome::kSilent);
+  EXPECT_EQ(model.classify(0.999999), EccOutcome::kClean);
+}
+
+TEST(Secded, RejectsBadParameters) {
+  EXPECT_THROW(SecdedModel(-0.1), ConfigError);
+  EXPECT_THROW(SecdedModel(1.0), ConfigError);
+  EXPECT_THROW(SecdedModel(1e-6, 0), ConfigError);
+}
+
+struct McRig {
+  Simulation sim;
+  MemDriver* driver;
+  MemoryController* mc;
+};
+
+std::unique_ptr<McRig> make_rig(const std::string& ber,
+                                const std::string& ecc) {
+  auto rig = std::make_unique<McRig>();
+  Params dp;
+  rig->driver = rig->sim.add_component<MemDriver>("driver", dp);
+  Params mp;
+  mp.set("backend", "simple");
+  mp.set("ber", ber);
+  mp.set("ecc", ecc);
+  rig->mc = rig->sim.add_component<MemoryController>("mc", mp);
+  rig->sim.connect("driver", "mem", "mc", "cpu", kNanosecond);
+  for (int i = 0; i < 400; ++i) {
+    rig->driver->read_at((i + 1) * kMicrosecond,
+                         static_cast<std::uint64_t>(i) * 64, 64);
+  }
+  return rig;
+}
+
+TEST(MemoryEcc, SecdedCountsCorrectedAndUncorrected) {
+  // ber 5e-3 over 72-bit words: ~25% single-bit, ~5% multi-bit per word,
+  // 8 words per 64B read, 400 reads — plenty of both outcomes.
+  auto rig = make_rig("5e-3", "secded");
+  rig->sim.run();
+  EXPECT_GT(rig->mc->corrected_errors(), 0u);
+  EXPECT_GT(rig->mc->uncorrected_errors(), 0u);
+  EXPECT_EQ(rig->mc->silent_errors(), 0u);
+}
+
+TEST(MemoryEcc, WithoutEccErrorsAreSilent) {
+  auto rig = make_rig("5e-3", "none");
+  rig->sim.run();
+  EXPECT_GT(rig->mc->silent_errors(), 0u);
+  EXPECT_EQ(rig->mc->corrected_errors(), 0u);
+  EXPECT_EQ(rig->mc->uncorrected_errors(), 0u);
+}
+
+TEST(MemoryEcc, ZeroBerMeansZeroErrors) {
+  auto rig = make_rig("0", "secded");
+  rig->sim.run();
+  EXPECT_EQ(rig->mc->corrected_errors(), 0u);
+  EXPECT_EQ(rig->mc->uncorrected_errors(), 0u);
+  EXPECT_EQ(rig->mc->silent_errors(), 0u);
+}
+
+TEST(MemoryEcc, ErrorCountsAreDeterministic) {
+  auto a = make_rig("5e-3", "secded");
+  a->sim.run();
+  auto b = make_rig("5e-3", "secded");
+  b->sim.run();
+  EXPECT_EQ(a->mc->corrected_errors(), b->mc->corrected_errors());
+  EXPECT_EQ(a->mc->uncorrected_errors(), b->mc->uncorrected_errors());
+}
+
+TEST(MemoryEcc, FatalUncorrectedThrows) {
+  Simulation sim;
+  Params dp;
+  auto* driver = sim.add_component<MemDriver>("driver", dp);
+  Params mp;
+  mp.set("backend", "simple");
+  mp.set("ber", "0.05");  // virtually every word multi-bit flips
+  mp.set("fatal_uncorrected", "true");
+  sim.add_component<MemoryController>("mc", mp);
+  sim.connect("driver", "mem", "mc", "cpu", kNanosecond);
+  driver->read_at(kMicrosecond, 0x0, 4096);
+  EXPECT_THROW(sim.run(), SimulationError);
+}
+
+TEST(MemoryEcc, RejectsUnknownEccKind) {
+  Simulation sim;
+  Params mp;
+  mp.set("ecc", "chipkill");
+  EXPECT_THROW(sim.add_component<MemoryController>("mc", mp), ConfigError);
+}
+
+}  // namespace
+}  // namespace sst::fault

@@ -1,0 +1,280 @@
+// Link fault models: config validation, seed-stable streams, drop /
+// duplicate / delay semantics, and bit-identical behaviour across rank
+// counts.
+#include <gtest/gtest.h>
+
+#include "fault/fault_model.h"
+#include "../test_components.h"
+
+namespace sst::fault {
+namespace {
+
+using sst::testing::IntEvent;
+using sst::testing::PholdNode;
+
+TEST(LinkFaultConfig, RejectsOutOfRangeProbabilities) {
+  LinkFaultConfig cfg;
+  cfg.drop_prob = 1.5;
+  EXPECT_THROW(cfg.validate(), ConfigError);
+  cfg.drop_prob = -0.1;
+  EXPECT_THROW(cfg.validate(), ConfigError);
+  cfg.drop_prob = 0.6;
+  cfg.dup_prob = 0.6;  // sum > 1
+  EXPECT_THROW(cfg.validate(), ConfigError);
+  cfg.dup_prob = 0.0;
+  cfg.delay_min = 10;
+  cfg.delay_max = 5;
+  EXPECT_THROW(cfg.validate(), ConfigError);
+}
+
+TEST(LinkFaultConfig, AcceptsValidConfig) {
+  LinkFaultConfig cfg;
+  cfg.drop_prob = 0.3;
+  cfg.dup_prob = 0.3;
+  cfg.delay_prob = 0.4;
+  cfg.delay_min = 1;
+  cfg.delay_max = 100;
+  EXPECT_NO_THROW(cfg.validate());
+}
+
+TEST(LinkFault, StableHashIsFnv1a) {
+  // Standard FNV-1a 64-bit vectors: the hash (and thus every per-endpoint
+  // fault seed) must never change across platforms or releases.
+  EXPECT_EQ(stable_hash(""), 0xcbf29ce484222325ULL);
+  EXPECT_EQ(stable_hash("a"), 0xaf63dc4c8601ec8cULL);
+  EXPECT_NE(stable_hash("ep0.net"), stable_hash("ep1.net"));
+}
+
+TEST(LinkFault, SameSeedSameDecisions) {
+  LinkFaultConfig cfg;
+  cfg.drop_prob = 0.5;
+  LinkFaultModel a(cfg, 42);
+  LinkFaultModel b(cfg, 42);
+  const NullEvent ev;
+  for (int i = 0; i < 64; ++i) {
+    EXPECT_EQ(a.on_send(ev).drop, b.on_send(ev).drop);
+  }
+}
+
+TEST(LinkFault, DifferentSeedDifferentStream) {
+  LinkFaultConfig cfg;
+  cfg.drop_prob = 0.5;
+  LinkFaultModel a(cfg, 42);
+  LinkFaultModel b(cfg, 43);
+  const NullEvent ev;
+  bool differed = false;
+  for (int i = 0; i < 64 && !differed; ++i) {
+    differed = a.on_send(ev).drop != b.on_send(ev).drop;
+  }
+  EXPECT_TRUE(differed);  // P(identical) = 2^-64
+}
+
+/// Sends `count` IntEvents at setup; peer records arrivals.
+class Blaster final : public Component {
+ public:
+  explicit Blaster(Params& params) {
+    count_ = params.find<std::uint32_t>("count", 100);
+    link_ = configure_link("port", [](EventPtr) {});
+  }
+  void setup() override {
+    for (std::uint32_t i = 0; i < count_; ++i) {
+      link_->send(make_event<IntEvent>(i), i * kNanosecond);
+    }
+  }
+
+ private:
+  Link* link_;
+  std::uint32_t count_;
+};
+
+class Sink final : public Component {
+ public:
+  explicit Sink(Params&) {
+    configure_link("port", [this](EventPtr ev) {
+      auto msg = event_cast<IntEvent>(std::move(ev));
+      values.push_back(msg->value);
+      times.push_back(now());
+    });
+  }
+  std::vector<std::int64_t> values;
+  std::vector<SimTime> times;
+};
+
+struct WireRig {
+  Simulation sim{SimConfig{.end_time = 10 * kMillisecond}};
+  Blaster* src;
+  Sink* dst;
+
+  explicit WireRig(const LinkFaultConfig& cfg, std::uint32_t count = 100) {
+    Params bp;
+    bp.set("count", std::to_string(count));
+    Params sp;
+    src = sim.add_component<Blaster>("src", bp);
+    dst = sim.add_component<Sink>("dst", sp);
+    sim.connect("src", "port", "dst", "port", kNanosecond);
+    install_link_fault(sim, "src", "port", cfg);
+  }
+
+  [[nodiscard]] std::uint64_t counter(const char* name) const {
+    const auto* c = dynamic_cast<const Counter*>(
+        sim.stats().find("src", std::string("port.") + name));
+    return c != nullptr ? c->count() : 0;
+  }
+};
+
+TEST(LinkFault, DropAllDeliversNothing) {
+  LinkFaultConfig cfg;
+  cfg.drop_prob = 1.0;
+  WireRig rig(cfg);
+  rig.sim.run();
+  EXPECT_TRUE(rig.dst->values.empty());
+  EXPECT_EQ(rig.counter("fault_dropped"), 100u);
+}
+
+TEST(LinkFault, UnclonableEventsDeliverOnceOnDuplicate) {
+  // IntEvent does not implement clone(): the duplicate is skipped, the
+  // original still arrives, and the model records the miss.
+  LinkFaultConfig cfg;
+  cfg.dup_prob = 1.0;
+  WireRig rig(cfg);
+  rig.sim.run();
+  EXPECT_EQ(rig.dst->values.size(), 100u);
+  EXPECT_EQ(rig.counter("fault_duplicated"), 100u);
+}
+
+TEST(LinkFault, CloneableEventsArriveTwiceOnDuplicate) {
+  class TwinEvent final : public Event {
+   public:
+    explicit TwinEvent(std::int64_t v) : value(v) {}
+    [[nodiscard]] EventPtr clone() const override {
+      return std::make_unique<TwinEvent>(value);
+    }
+    std::int64_t value;
+  };
+  class TwinSender final : public Component {
+   public:
+    explicit TwinSender(Params&) {
+      link_ = configure_link("port", [](EventPtr) {});
+    }
+    void setup() override {
+      for (int i = 0; i < 10; ++i) {
+        link_->send(make_event<TwinEvent>(i), i * kNanosecond);
+      }
+    }
+    Link* link_;
+  };
+  class TwinSink final : public Component {
+   public:
+    explicit TwinSink(Params&) {
+      configure_link("port", [this](EventPtr) { ++received; });
+    }
+    std::uint64_t received = 0;
+  };
+  Simulation sim{SimConfig{.end_time = kMillisecond}};
+  Params p;
+  sim.add_component<TwinSender>("src", p);
+  auto* snk = sim.add_component<TwinSink>("dst", p);
+  sim.connect("src", "port", "dst", "port", kNanosecond);
+  LinkFaultConfig cfg;
+  cfg.dup_prob = 1.0;
+  install_link_fault(sim, "src", "port", cfg);
+  sim.run();
+  EXPECT_EQ(snk->received, 20u);
+}
+
+TEST(LinkFault, DelayShiftsArrivalWithinBounds) {
+  LinkFaultConfig cfg;
+  cfg.delay_prob = 1.0;
+  cfg.delay_min = 5 * kNanosecond;
+  cfg.delay_max = 9 * kNanosecond;
+  WireRig rig(cfg, 50);
+  rig.sim.run();
+  ASSERT_EQ(rig.dst->times.size(), 50u);
+  for (std::size_t i = 0; i < rig.dst->times.size(); ++i) {
+    // Send at i ns + 1ns link latency + [5, 9] ns fault delay.  Delayed
+    // events may reorder; check bounds against the recorded payload.
+    const auto v = static_cast<SimTime>(rig.dst->values[i]);
+    const SimTime base = v * kNanosecond + kNanosecond;
+    EXPECT_GE(rig.dst->times[i], base + 5 * kNanosecond);
+    EXPECT_LE(rig.dst->times[i], base + 9 * kNanosecond);
+  }
+  EXPECT_EQ(rig.counter("fault_delayed"), 50u);
+}
+
+TEST(LinkFault, InstallValidatesComponentAndPort) {
+  Simulation sim;
+  Params p;
+  sim.add_component<Sink>("only", p);
+  LinkFaultConfig cfg;
+  cfg.drop_prob = 0.5;
+  EXPECT_THROW(install_link_fault(sim, "ghost", "port", cfg), ConfigError);
+  EXPECT_THROW(install_link_fault(sim, "only", "ghost", cfg), ConfigError);
+}
+
+// --- Determinism across rank counts -------------------------------------
+
+struct PholdRun {
+  std::vector<std::uint64_t> received;
+  std::vector<std::uint64_t> dropped;
+  std::vector<std::uint64_t> delayed;
+  std::uint64_t events = 0;
+};
+
+PholdRun run_faulty_ring(unsigned ranks) {
+  constexpr std::uint32_t kNodes = 8;
+  Simulation sim{SimConfig{.num_ranks = ranks,
+                           .end_time = 50 * kMicrosecond,
+                           .seed = 7}};
+  std::vector<PholdNode*> nodes;
+  for (std::uint32_t i = 0; i < kNodes; ++i) {
+    Params p;
+    p.set("fanout", "2");
+    p.set("initial_events", "4");
+    nodes.push_back(
+        sim.add_component<PholdNode>("n" + std::to_string(i), p));
+  }
+  for (std::uint32_t i = 0; i < kNodes; ++i) {
+    // Ring: n_i.port0 -> n_{i+1}.port1.
+    sim.connect("n" + std::to_string(i), "port0",
+                "n" + std::to_string((i + 1) % kNodes), "port1",
+                10 * kNanosecond);
+  }
+  fault::LinkFaultConfig cfg;
+  cfg.drop_prob = 0.05;
+  cfg.delay_prob = 0.3;
+  cfg.delay_min = kNanosecond;
+  cfg.delay_max = 20 * kNanosecond;
+  for (std::uint32_t i = 0; i < kNodes; i += 2) {
+    install_link_fault(sim, "n" + std::to_string(i), "port0", cfg);
+  }
+  const RunStats stats = sim.run();
+  PholdRun out;
+  out.events = stats.events_processed;
+  for (std::uint32_t i = 0; i < kNodes; ++i) {
+    out.received.push_back(nodes[i]->received);
+    const auto* d = dynamic_cast<const Counter*>(
+        sim.stats().find("n" + std::to_string(i), "port0.fault_dropped"));
+    const auto* w = dynamic_cast<const Counter*>(
+        sim.stats().find("n" + std::to_string(i), "port0.fault_delayed"));
+    out.dropped.push_back(d != nullptr ? d->count() : 0);
+    out.delayed.push_back(w != nullptr ? w->count() : 0);
+  }
+  return out;
+}
+
+TEST(LinkFault, FaultyRingBitIdenticalAcrossRankCounts) {
+  const PholdRun serial = run_faulty_ring(1);
+  const PholdRun parallel = run_faulty_ring(4);
+  EXPECT_EQ(serial.events, parallel.events);
+  EXPECT_EQ(serial.received, parallel.received);
+  EXPECT_EQ(serial.dropped, parallel.dropped);
+  EXPECT_EQ(serial.delayed, parallel.delayed);
+  // The scenario actually exercised the fault models.
+  std::uint64_t total_faults = 0;
+  for (const auto d : serial.dropped) total_faults += d;
+  for (const auto d : serial.delayed) total_faults += d;
+  EXPECT_GT(total_faults, 0u);
+}
+
+}  // namespace
+}  // namespace sst::fault

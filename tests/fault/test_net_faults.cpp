@@ -1,0 +1,209 @@
+// Network-level fault tolerance: rerouting around dead router ports, the
+// ACK/timeout retry protocol, duplicate suppression, and structured
+// delivery-failure reporting.
+#include <gtest/gtest.h>
+
+#include "fault/fault_model.h"
+#include "net/motifs.h"
+#include "net/topology.h"
+
+namespace sst::net {
+namespace {
+
+std::uint64_t counter(const Simulation& sim, const std::string& component,
+                      const std::string& name) {
+  const auto* c =
+      dynamic_cast<const Counter*>(sim.stats().find(component, name));
+  return c != nullptr ? c->count() : 0;
+}
+
+struct TorusRig {
+  Simulation sim{SimConfig{.end_time = 10 * kSecond}};
+  std::vector<AllreduceMotif*> motifs;
+  Topology topo;
+
+  explicit TorusRig(Params params) {
+    std::vector<NetEndpoint*> eps;
+    for (std::uint32_t i = 0; i < 16; ++i) {
+      Params p = params;
+      motifs.push_back(
+          sim.add_component<AllreduceMotif>("rank" + std::to_string(i), p));
+      eps.push_back(motifs.back());
+    }
+    TopologySpec spec;
+    spec.kind = TopologySpec::Kind::kTorus2D;
+    spec.x = 4;
+    spec.y = 4;
+    topo = build_topology(sim, spec, eps);
+  }
+};
+
+Params reliable_allreduce_params() {
+  Params p;
+  p.set("iterations", "6");
+  p.set("msg_bytes", "64");
+  p.set("ack", "true");
+  p.set("retry_max", "10");
+  p.set("retry_timeout", "20us");
+  return p;
+}
+
+TEST(NetFaults, AllreduceCompletesAroundDeadPort) {
+  TorusRig rig(reliable_allreduce_params());
+  // Kill the rtr5 <-> rtr6 cable (+x out of rtr5, -x out of rtr6) before
+  // any traffic flows.
+  rig.topo.routers[5]->schedule_port_fail(0, 1);
+  rig.topo.routers[6]->schedule_port_fail(1, 1);
+  rig.sim.run();
+  std::uint64_t reroutes = 0;
+  for (const auto* r : rig.topo.routers) {
+    reroutes += counter(rig.sim, r->name(), "reroutes");
+  }
+  std::uint64_t failures = 0;
+  for (const auto* m : rig.motifs) {
+    EXPECT_TRUE(m->motif_finished()) << m->name();
+    failures += m->delivery_failures();
+  }
+  EXPECT_GT(reroutes, 0u);
+  EXPECT_EQ(failures, 0u);
+  EXPECT_FALSE(rig.topo.routers[5]->port_alive(0));
+}
+
+TEST(NetFaults, PortHealRestoresRoutingAndCountsEvents) {
+  TorusRig rig(reliable_allreduce_params());
+  rig.topo.routers[5]->schedule_port_fail(0, 1);
+  rig.topo.routers[5]->schedule_port_heal(0, 50 * kMicrosecond);
+  rig.sim.run();
+  for (const auto* m : rig.motifs) {
+    EXPECT_TRUE(m->motif_finished()) << m->name();
+  }
+  EXPECT_TRUE(rig.topo.routers[5]->port_alive(0));
+  EXPECT_EQ(counter(rig.sim, "rtr5", "port_fault_events"), 2u);
+}
+
+TEST(NetFaults, SchedulingValidatesPortAndTime) {
+  TorusRig rig(reliable_allreduce_params());
+  EXPECT_THROW(rig.topo.routers[0]->schedule_port_fail(99, kNanosecond),
+               ConfigError);
+  EXPECT_THROW(rig.topo.routers[0]->schedule_port_fail(0, 0), ConfigError);
+}
+
+/// Minimal concrete endpoint recording deliveries and failures.
+class ProbeEndpoint final : public NetEndpoint {
+ public:
+  explicit ProbeEndpoint(Params& p) : NetEndpoint(p) {}
+  using NetEndpoint::send_message;
+  std::uint64_t delivered = 0;
+  std::uint64_t failed_cb = 0;
+
+ private:
+  void on_message(NodeId, std::uint64_t, std::uint64_t, SimTime) override {
+    ++delivered;
+  }
+  void on_delivery_failed(NodeId, std::uint64_t, std::uint64_t) override {
+    ++failed_cb;
+  }
+};
+
+struct PairRig {
+  Simulation sim{SimConfig{.end_time = kSecond}};
+  ProbeEndpoint* a;
+  ProbeEndpoint* b;
+
+  explicit PairRig(Params ep) {
+    Params pa = ep;
+    Params pb = ep;
+    a = sim.add_component<ProbeEndpoint>("a", pa);
+    b = sim.add_component<ProbeEndpoint>("b", pb);
+    TopologySpec s;
+    s.kind = TopologySpec::Kind::kMesh2D;
+    s.x = 2;
+    s.y = 1;
+    build_topology(sim, s, {a, b});
+  }
+};
+
+TEST(NetFaults, RetriesRecoverFromLossyLink) {
+  Params ep;
+  ep.set("ack", "true");
+  ep.set("retry_max", "20");
+  ep.set("retry_timeout", "10us");
+  PairRig rig(ep);
+  // Half the packets (data and tail alike) vanish on a's uplink.
+  fault::LinkFaultConfig cfg;
+  cfg.drop_prob = 0.5;
+  fault::install_link_fault(rig.sim, "a", "net", cfg);
+  rig.sim.initialize();
+  for (int i = 0; i < 10; ++i) rig.a->send_message(1, 4096, 0);
+  rig.sim.run();
+  EXPECT_EQ(rig.b->delivered, 10u);
+  EXPECT_GT(rig.a->retries(), 0u);
+  EXPECT_EQ(rig.a->delivery_failures(), 0u);
+}
+
+TEST(NetFaults, ExhaustedRetriesReportFailureInsteadOfThrowing) {
+  Params ep;
+  ep.set("ack", "true");
+  ep.set("retry_max", "2");
+  ep.set("retry_timeout", "5us");
+  PairRig rig(ep);
+  fault::LinkFaultConfig cfg;
+  cfg.drop_prob = 1.0;  // nothing ever gets through
+  fault::install_link_fault(rig.sim, "a", "net", cfg);
+  rig.sim.initialize();
+  rig.a->send_message(1, 256, 7);
+  EXPECT_NO_THROW(rig.sim.run());
+  EXPECT_EQ(rig.b->delivered, 0u);
+  EXPECT_EQ(rig.a->retries(), 2u);
+  EXPECT_EQ(rig.a->delivery_failures(), 1u);
+  EXPECT_EQ(rig.a->failed_cb, 1u);
+}
+
+TEST(NetFaults, RetryMaxZeroDetectsWithoutRetransmitting) {
+  Params ep;
+  ep.set("ack", "true");
+  ep.set("retry_max", "0");
+  ep.set("retry_timeout", "5us");
+  PairRig rig(ep);
+  fault::LinkFaultConfig cfg;
+  cfg.drop_prob = 1.0;
+  fault::install_link_fault(rig.sim, "a", "net", cfg);
+  rig.sim.initialize();
+  rig.a->send_message(1, 256, 0);
+  rig.sim.run();
+  EXPECT_EQ(rig.a->retries(), 0u);
+  EXPECT_EQ(rig.a->delivery_failures(), 1u);
+}
+
+TEST(NetFaults, DuplicatedPacketsDeliverExactlyOnce) {
+  Params ep;
+  PairRig rig(ep);
+  fault::LinkFaultConfig cfg;
+  cfg.dup_prob = 1.0;  // every packet arrives twice
+  fault::install_link_fault(rig.sim, "a", "net", cfg);
+  rig.sim.initialize();
+  for (int i = 0; i < 5; ++i) rig.a->send_message(1, 4096, 0);
+  rig.sim.run();
+  EXPECT_EQ(rig.b->delivered, 5u);
+  EXPECT_GT(counter(rig.sim, "b", "dup_packets"), 0u);
+}
+
+TEST(NetFaults, AckModeIsTransparentOnHealthyFabric) {
+  Params ep;
+  ep.set("ack", "true");
+  PairRig rig(ep);
+  rig.sim.initialize();
+  for (int i = 0; i < 8; ++i) {
+    rig.a->send_message(1, 1024, 0);
+    rig.b->send_message(0, 1024, 0);
+  }
+  rig.sim.run();
+  EXPECT_EQ(rig.a->delivered, 8u);
+  EXPECT_EQ(rig.b->delivered, 8u);
+  EXPECT_EQ(rig.a->retries(), 0u);
+  EXPECT_EQ(rig.b->retries(), 0u);
+  EXPECT_GT(counter(rig.sim, "b", "acks_sent"), 0u);
+}
+
+}  // namespace
+}  // namespace sst::net
