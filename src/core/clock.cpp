@@ -18,9 +18,9 @@ Clock::Clock(Simulation& sim, RankId rank, SimTime period)
   tick_handler_ = [this](EventPtr ev) { tick(ev->delivery_time()); };
 }
 
-void Clock::add_handler(ClockHandler h) {
+void Clock::add_handler(ComponentId comp, ClockHandler h) {
   if (!h) throw ConfigError("null clock handler");
-  handlers_.push_back(std::move(h));
+  handlers_.push_back({comp, std::move(h)});
   if (!scheduled_) schedule_next(sim_->rank_now(rank_));
 }
 
@@ -50,7 +50,10 @@ void Clock::tick(SimTime now) {
   // rather than iterate.
   std::size_t i = 0;
   while (i < handlers_.size()) {
-    const bool done = handlers_[i](cycle);
+    if (sim_->tracing() && handlers_[i].comp != kInvalidComponent) {
+      sim_->trace_clock_dispatch(rank_, now, handlers_[i].comp, cycle);
+    }
+    const bool done = handlers_[i].fn(cycle);
     if (done) {
       handlers_.erase(handlers_.begin() + static_cast<std::ptrdiff_t>(i));
     } else {

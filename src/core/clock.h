@@ -26,6 +26,14 @@ class Clock {
   Clock(const Clock&) = delete;
   Clock& operator=(const Clock&) = delete;
 
+  /// A registered handler, attributed to the component that owns it so
+  /// the event tracer can label dispatches (kInvalidComponent marks
+  /// engine-internal handlers, which are never traced).
+  struct Handler {
+    ComponentId comp = kInvalidComponent;
+    ClockHandler fn;
+  };
+
   [[nodiscard]] SimTime period() const { return period_; }
   [[nodiscard]] Cycle current_cycle() const { return cycle_; }
   [[nodiscard]] std::size_t handler_count() const { return handlers_.size(); }
@@ -39,7 +47,7 @@ class Clock {
   Clock(Simulation& sim, RankId rank, SimTime period);
 
   /// Adds a handler; (re)schedules the tick event if the clock was idle.
-  void add_handler(ClockHandler h);
+  void add_handler(ComponentId comp, ClockHandler h);
 
   /// Delivers one tick to all handlers; drops those that return true;
   /// reschedules when handlers remain.
@@ -53,7 +61,7 @@ class Clock {
   Cycle cycle_ = 0;
   bool scheduled_ = false;
   std::uint64_t ticks_ = 0;
-  std::vector<ClockHandler> handlers_;
+  std::vector<Handler> handlers_;
   EventHandler tick_handler_;  // bound once; target of tick events
 };
 

@@ -69,6 +69,12 @@ Histogram* Component::stat_histogram(const std::string& name, double lo,
   return sim_->stats().create<Histogram>(name_, name, lo, width, nbins);
 }
 
+void Component::trace_event(const std::string& name,
+                            const std::string& detail) {
+  if (!sim_->tracing()) return;
+  sim_->trace_marker(rank_, now(), id_, trace_seq_++, name, detail);
+}
+
 void Component::register_as_primary() {
   if (is_primary_) return;
   is_primary_ = true;

@@ -83,6 +83,13 @@ class Component {
   Histogram* stat_histogram(const std::string& name, double lo, double width,
                             std::size_t nbins);
 
+  /// Emits a marker into the event trace (no-op unless the run has
+  /// tracing enabled — see SimConfig::trace / --trace).  Markers appear
+  /// on this component's track at the current simulated time and are
+  /// part of the deterministic trace: a parallel run records exactly the
+  /// same markers as a serial one.
+  void trace_event(const std::string& name, const std::string& detail = {});
+
   /// Termination protocol (see Simulation): a primary component keeps the
   /// simulation alive until it declares completion.
   void register_as_primary();
@@ -101,6 +108,7 @@ class Component {
   RankId rank_ = 0;
   bool is_primary_ = false;
   bool said_ok_ = false;
+  std::uint64_t trace_seq_ = 0;  // per-component marker sequence number
   rng::XorShift128Plus rng_;
 };
 

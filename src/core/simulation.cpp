@@ -4,10 +4,15 @@
 #include <barrier>
 #include <chrono>
 #include <condition_variable>
+#include <fstream>
 #include <iostream>
 #include <queue>
 #include <thread>
 #include <utility>
+
+#include "obs/json_util.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace sst {
 
@@ -478,7 +483,7 @@ void Simulation::register_component_clock(ComponentId comp, SimTime period,
     pending_clocks_.push_back({comp, period, std::move(handler)});
   } else {
     get_clock(components_[comp]->rank_, period)
-        ->add_handler(std::move(handler));
+        ->add_handler(comp, std::move(handler));
   }
 }
 
@@ -505,9 +510,10 @@ void Simulation::initialize() {
   // Now that ranks are known, create clocks registered during build.
   for (auto& pc : pending_clocks_) {
     get_clock(components_[pc.comp]->rank_, pc.period)
-        ->add_handler(std::move(pc.handler));
+        ->add_handler(pc.comp, std::move(pc.handler));
   }
   pending_clocks_.clear();
+  setup_observability();
   run_init_phases();
   state_ = State::kInitialized;
   for (auto& c : components_) c->setup();
@@ -561,6 +567,7 @@ void Simulation::drain_mailbox(RankState& rank) {
     std::lock_guard<std::mutex> lock(rank.mailbox_mutex);
     incoming.swap(rank.mailbox);
   }
+  rank.mailbox_received += incoming.size();
   // Deterministic total order independent of sender thread interleaving:
   // EventOrder is (time, priority, source link, per-link sequence).
   std::sort(incoming.begin(), incoming.end(),
@@ -580,6 +587,7 @@ RunStats Simulation::run() {
     throw SimulationError("Simulation::run called twice");
   }
   state_ = State::kRunning;
+  if (metrics_) build_metrics_index();
 
   // Wall-clock watchdog: a side thread sleeps for the budget and raises a
   // flag the run loops poll.  A finished run cancels the wait and joins.
@@ -625,7 +633,9 @@ RunStats Simulation::run() {
 
   if (watchdog_fired_.load(std::memory_order_relaxed)) {
     state_ = State::kDone;
-    throw SimulationError(diagnostic_report(
+    // Best-effort trace/metrics flush so the aborted run can be inspected.
+    flush_observability(/*nothrow=*/true);
+    throw WatchdogError(diagnostic_report(
         "watchdog: wall-clock budget of " +
         std::to_string(config_.watchdog_seconds) + "s exceeded"));
   }
@@ -636,7 +646,8 @@ RunStats Simulation::run() {
     for (const auto& r : ranks_) drained = drained && r.vortex.empty();
     if (drained) {
       state_ = State::kDone;
-      throw SimulationError(diagnostic_report(
+      flush_observability(/*nothrow=*/true);
+      throw DeadlockError(diagnostic_report(
           "deadlock: no events pending but primary components never "
           "signalled completion"));
     }
@@ -661,6 +672,11 @@ RunStats Simulation::run() {
   SimTime final_time = 0;
   for (const auto& r : ranks_) final_time = std::max(final_time, r.now);
   run_stats_.final_time = final_time;
+
+  if (config_.profile_engine) {
+    finalize_engine_stats(run_stats_.wall_seconds);
+  }
+  flush_observability(/*nothrow=*/false);
 
   if (config_.verbose) {
     std::cerr << "[sst] run complete: " << run_stats_.events_processed
@@ -689,6 +705,9 @@ void Simulation::run_serial() {
     EventPtr ev = rank.vortex.pop();
     rank.now = t;
     ++rank.events;
+    if (tracer_ && ev->link_id_ < Event::kClockSourceBase) {
+      tracer_->record_delivery(0, t, ev->link_id_, ev->order_);
+    }
     const EventHandler* handler = ev->handler_;
     if (handler == nullptr) {
       throw SimulationError("event with no handler in queue");
@@ -697,7 +716,8 @@ void Simulation::run_serial() {
   }
 }
 
-void Simulation::rank_process_until(RankState& rank, SimTime horizon) {
+void Simulation::rank_process_until(RankId me, SimTime horizon) {
+  RankState& rank = ranks_[me];
   std::uint64_t steps = 0;
   while (!rank.vortex.empty()) {
     const SimTime t = rank.vortex.next_time();
@@ -709,6 +729,9 @@ void Simulation::rank_process_until(RankState& rank, SimTime horizon) {
     EventPtr ev = rank.vortex.pop();
     rank.now = t;
     ++rank.events;
+    if (tracer_ && ev->link_id_ < Event::kClockSourceBase) {
+      tracer_->record_delivery(me, t, ev->link_id_, ev->order_);
+    }
     const EventHandler* handler = ev->handler_;
     if (handler == nullptr) {
       throw SimulationError("event with no handler in queue");
@@ -725,8 +748,9 @@ void Simulation::run_parallel() {
   };
   Sync sync;
   std::uint64_t windows = 0;
+  bool priming = true;  // the first call computes the initial horizon only
 
-  auto compute_sync = [this, &sync, &windows]() noexcept {
+  auto compute_sync = [this, &sync, &windows, &priming]() noexcept {
     ++windows;
     if (watchdog_fired_.load(std::memory_order_relaxed)) {
       sync.done = true;
@@ -751,6 +775,31 @@ void Simulation::run_parallel() {
     sync.horizon = (config_.end_time == kTimeNever)
                        ? horizon
                        : std::min(horizon, config_.end_time + 1);
+    // Engine observability: runs single-threaded here (every rank thread
+    // is parked in the barrier), so reading all rank states is safe.
+    if (priming) return;
+    if (tracer_ && config_.trace_engine) {
+      tracer_->record_window(global_min, sync.horizon, windows);
+    }
+    if (config_.profile_engine && !engine_stats_.empty()) {
+      for (std::size_t r = 0; r < ranks_.size(); ++r) {
+        const RankState& rs = ranks_[r];
+        engine_stats_[r].vortex_depth->add(
+            static_cast<double>(rs.vortex.size()));
+        if (metrics_) {
+          std::string payload = "{\"events\":" + std::to_string(rs.events) +
+                                ",\"vortex_depth\":" +
+                                std::to_string(rs.vortex.size()) +
+                                ",\"mailbox_received\":" +
+                                std::to_string(rs.mailbox_received) +
+                                ",\"barrier_wait_s\":" +
+                                obs::json_number(rs.barrier_wait_seconds) +
+                                "}";
+          metrics_->record_engine(static_cast<RankId>(r), global_min,
+                                  std::move(payload));
+        }
+      }
+    }
   };
 
   // Cross-rank events sent during setup() are sitting in mailboxes; they
@@ -759,17 +808,31 @@ void Simulation::run_parallel() {
   for (auto& r : ranks_) drain_mailbox(r);
   compute_sync();
   --windows;  // the priming call is not a sync round
+  priming = false;
 
   std::barrier after_send(static_cast<std::ptrdiff_t>(R));
   std::barrier<decltype(compute_sync)> after_drain(
       static_cast<std::ptrdiff_t>(R), compute_sync);
 
-  auto worker = [this, &sync, &after_send, &after_drain](RankId me) {
+  const bool time_barriers = config_.profile_engine;
+  auto worker = [this, &sync, &after_send, &after_drain,
+                 time_barriers](RankId me) {
+    auto wait = [this, me, time_barriers](auto& barrier) {
+      if (!time_barriers) {
+        barrier.arrive_and_wait();
+        return;
+      }
+      const auto t0 = std::chrono::steady_clock::now();
+      barrier.arrive_and_wait();
+      ranks_[me].barrier_wait_seconds +=
+          std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+              .count();
+    };
     while (!sync.done) {
-      rank_process_until(ranks_[me], sync.horizon);
-      after_send.arrive_and_wait();
+      rank_process_until(me, sync.horizon);
+      wait(after_send);
       drain_mailbox(ranks_[me]);
-      after_drain.arrive_and_wait();
+      wait(after_drain);
     }
   };
 
@@ -810,6 +873,192 @@ std::string Simulation::diagnostic_report(const std::string& reason) const {
     }
   }
   return out;
+}
+
+// ---------------------------------------------------------------------
+// Observability (src/obs)
+// ---------------------------------------------------------------------
+
+/// Resolves the construction-time ids buffered in trace/metrics records
+/// to component and port names at write time.
+class Simulation::ObsResolver final : public obs::TraceResolver {
+ public:
+  explicit ObsResolver(const Simulation& sim) : sim_(sim) {}
+
+  [[nodiscard]] ComponentId delivery_target(LinkId link) const override {
+    const Link* l = sim_.links_[link].get();
+    return l->peer_ != nullptr ? l->peer_->owner_ : l->owner_;
+  }
+
+  [[nodiscard]] std::string delivery_label(LinkId link) const override {
+    const Link* l = sim_.links_[link].get();
+    const Link* dst = l->peer_ != nullptr ? l->peer_ : l;
+    return sim_.components_[dst->owner_]->name() + "." + dst->port_;
+  }
+
+  [[nodiscard]] std::string component_name(ComponentId comp) const override {
+    return sim_.components_[comp]->name();
+  }
+
+  [[nodiscard]] std::size_t component_count() const override {
+    return sim_.components_.size();
+  }
+
+ private:
+  const Simulation& sim_;
+};
+
+void Simulation::setup_observability() {
+  if (config_.trace || !config_.trace_path.empty()) {
+    tracer_ = std::make_unique<obs::Tracer>(config_.num_ranks);
+    tracer_->set_include_engine(config_.trace_engine);
+  }
+  if (config_.metrics || !config_.metrics_path.empty()) {
+    if (config_.metrics_period == 0) {
+      throw ConfigError("metrics_period must be >= 1ps");
+    }
+    if (config_.end_time == kTimeNever &&
+        primary_count_.load(std::memory_order_acquire) == 0) {
+      throw ConfigError(
+          "metrics sampling requires an end_time or primary components "
+          "(the sampling clock would otherwise keep the simulation alive "
+          "forever)");
+    }
+    metrics_ = std::make_unique<obs::MetricsCollector>(config_.num_ranks);
+    metrics_->set_include_engine(config_.profile_engine);
+    // One sampling clock per rank that owns components.  Each handler
+    // snapshots only its own rank's components, so parallel sampling is
+    // race-free and the merged stream matches the serial one exactly.
+    std::vector<bool> rank_used(config_.num_ranks, false);
+    for (const auto& c : components_) rank_used[c->rank_] = true;
+    for (RankId r = 0; r < config_.num_ranks; ++r) {
+      if (!rank_used[r]) continue;
+      get_clock(r, config_.metrics_period)
+          ->add_handler(kInvalidComponent, [this, r](Cycle) {
+            sample_metrics(r);
+            return false;
+          });
+    }
+  }
+  if (config_.profile_engine) {
+    engine_stats_.resize(config_.num_ranks);
+    for (RankId r = 0; r < config_.num_ranks; ++r) {
+      const std::string comp = "engine.rank" + std::to_string(r);
+      EngineStats& es = engine_stats_[r];
+      es.events = stats_.create<Counter>(comp, "events_processed");
+      es.mailbox = stats_.create<Counter>(comp, "mailbox_received");
+      es.vortex_depth = stats_.create<Accumulator>(comp, "vortex_depth");
+      es.barrier_wait =
+          stats_.create<Accumulator>(comp, "barrier_wait_seconds");
+      es.events_per_sec = stats_.create<Accumulator>(comp, "events_per_sec");
+    }
+  }
+}
+
+void Simulation::build_metrics_index() {
+  metrics_stats_.assign(components_.size(), {});
+  for (const auto& s : stats_.all()) {
+    auto it = component_names_.find(s->component());
+    if (it == component_names_.end()) continue;  // engine.rankN etc.
+    metrics_stats_[it->second].push_back(s.get());
+  }
+}
+
+void Simulation::sample_metrics(RankId rank) {
+  const SimTime t = ranks_[rank].now;
+  for (std::size_t c = 0; c < components_.size(); ++c) {
+    if (components_[c]->rank_ != rank) continue;
+    const auto& list = metrics_stats_[c];
+    if (list.empty()) continue;
+    std::string payload = "{";
+    bool first = true;
+    for (const Statistic* s : list) {
+      if (!first) payload += ",";
+      first = false;
+      payload += "\"" + obs::json_escape(s->name()) + "\":{";
+      bool first_field = true;
+      for (const auto& f : s->fields()) {
+        if (!first_field) payload += ",";
+        first_field = false;
+        payload +=
+            "\"" + obs::json_escape(f.name) + "\":" + obs::json_number(f.value);
+      }
+      payload += "}";
+    }
+    payload += "}";
+    metrics_->record(rank, t, static_cast<ComponentId>(c),
+                     std::move(payload));
+  }
+}
+
+void Simulation::finalize_engine_stats(double wall_seconds) {
+  for (std::size_t r = 0; r < ranks_.size(); ++r) {
+    EngineStats& es = engine_stats_[r];
+    es.events->add(ranks_[r].events);
+    es.mailbox->add(ranks_[r].mailbox_received);
+    es.barrier_wait->add(ranks_[r].barrier_wait_seconds);
+    if (wall_seconds > 0) {
+      es.events_per_sec->add(static_cast<double>(ranks_[r].events) /
+                             wall_seconds);
+    }
+  }
+}
+
+void Simulation::flush_observability(bool nothrow) {
+  auto write_file = [&](const std::string& path, const char* what,
+                        auto&& writer) {
+    if (path.empty()) return;
+    std::ofstream f(path, std::ios::binary);
+    if (!f) {
+      if (nothrow) {
+        std::cerr << "[sst] cannot open " << what << " output '" << path
+                  << "'\n";
+        return;
+      }
+      throw SimulationError("cannot open " + std::string(what) +
+                            " output '" + path + "'");
+    }
+    writer(f);
+    if (!f && !nothrow) {
+      throw SimulationError("error writing " + std::string(what) +
+                            " output '" + path + "'");
+    }
+  };
+  if (tracer_) {
+    write_file(config_.trace_path, "trace",
+               [this](std::ostream& os) { write_trace_json(os); });
+  }
+  if (metrics_) {
+    write_file(config_.metrics_path, "metrics",
+               [this](std::ostream& os) { write_metrics_jsonl(os); });
+  }
+}
+
+void Simulation::trace_clock_dispatch(RankId rank, SimTime t,
+                                      ComponentId comp, Cycle cycle) {
+  tracer_->record_clock(rank, t, comp, cycle);
+}
+
+void Simulation::trace_marker(RankId rank, SimTime t, ComponentId comp,
+                              std::uint64_t seq, const std::string& name,
+                              const std::string& detail) {
+  tracer_->record_marker(rank, t, comp, seq, name, detail);
+}
+
+void Simulation::write_trace_json(std::ostream& os) const {
+  if (!tracer_) {
+    throw ConfigError("tracing was not enabled (SimConfig::trace)");
+  }
+  ObsResolver resolver(*this);
+  tracer_->write_json(os, resolver);
+}
+
+void Simulation::write_metrics_jsonl(std::ostream& os) const {
+  if (!metrics_) {
+    throw ConfigError("metrics were not enabled (SimConfig::metrics)");
+  }
+  ObsResolver resolver(*this);
+  metrics_->write_jsonl(os, resolver);
 }
 
 void Simulation::finish_components() {

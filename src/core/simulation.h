@@ -18,6 +18,7 @@
 #include <atomic>
 #include <cstdint>
 #include <functional>
+#include <iosfwd>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -31,6 +32,11 @@
 #include "core/types.h"
 
 namespace sst {
+
+namespace obs {
+class Tracer;
+class MetricsCollector;
+}  // namespace obs
 
 /// How components are assigned to ranks when no explicit rank is given.
 enum class PartitionStrategy {
@@ -61,6 +67,33 @@ struct SimConfig {
   /// registered primary components are still unsatisfied (a model-level
   /// deadlock that would otherwise end the run silently).
   bool detect_deadlock = true;
+
+  // --- observability (src/obs) ---------------------------------------
+  /// Enable the event tracer (implied when trace_path is set).  The
+  /// default trace records only model-level activity and is byte-identical
+  /// at any rank count.
+  bool trace = false;
+  /// Write Chrome trace-event JSON here at the end of run() ("" = don't).
+  std::string trace_path;
+  /// Also record rank-dependent engine spans (sync windows) in the trace.
+  /// Opt-in because it breaks the rank-count byte-identity.
+  bool trace_engine = false;
+  /// Enable periodic metrics snapshots (implied when metrics_path is set).
+  bool metrics = false;
+  /// Write JSONL metrics snapshots here at the end of run() ("" = don't).
+  std::string metrics_path;
+  /// Simulated-time period between metrics snapshots.
+  SimTime metrics_period = kMillisecond;
+  /// Engine self-profiling: per-rank engine.rankN statistics (events
+  /// processed, TimeVortex depth, mailbox traffic, barrier wait) plus
+  /// per-rank engine lines in the metrics stream.  Opt-in because the
+  /// values are inherently rank-count-dependent.
+  bool profile_engine = false;
+  /// Stats output destination and format for tools ("" = tool default;
+  /// format is "console", "csv", or "json").  The engine itself does not
+  /// write these — sstsim honours them after run().
+  std::string stats_path;
+  std::string stats_format;
 };
 
 /// Engine-level metrics from a completed run (used by the PDES scaling
@@ -169,6 +202,18 @@ class Simulation {
   /// Rank assignment of each component (valid after initialize()).
   [[nodiscard]] RankId component_rank(ComponentId id) const;
 
+  // ---- observability ------------------------------------------------
+
+  /// True when the event tracer is active for this run.
+  [[nodiscard]] bool tracing() const { return tracer_ != nullptr; }
+  /// True when periodic metrics snapshots are being collected.
+  [[nodiscard]] bool metrics_enabled() const { return metrics_ != nullptr; }
+
+  /// Writes the merged Chrome trace-event JSON (requires tracing()).
+  void write_trace_json(std::ostream& os) const;
+  /// Writes the merged metrics snapshot stream (requires metrics_enabled()).
+  void write_metrics_jsonl(std::ostream& os) const;
+
  private:
   friend class Component;
   friend class Link;
@@ -188,6 +233,10 @@ class Simulation {
     // Incoming cross-rank events, locked by senders.
     std::mutex mailbox_mutex;
     std::vector<EventPtr> mailbox;
+    // Self-profiler gauges (mailbox count is always maintained — one add
+    // per drain; barrier wait is only measured under profile_engine).
+    std::uint64_t mailbox_received = 0;
+    double barrier_wait_seconds = 0.0;
   };
 
   // Component construction context.
@@ -221,7 +270,7 @@ class Simulation {
   void run_init_phases();
   void run_serial();
   void run_parallel();
-  void rank_process_until(RankState& rank, SimTime horizon);
+  void rank_process_until(RankId me, SimTime horizon);
   void drain_mailbox(RankState& rank);
   [[nodiscard]] bool primaries_done() const {
     const auto p = primary_count_.load(std::memory_order_acquire);
@@ -232,6 +281,30 @@ class Simulation {
   /// Builds the per-rank diagnostic report (time, pending events, blocked
   /// primaries) attached to watchdog/deadlock SimulationErrors.
   [[nodiscard]] std::string diagnostic_report(const std::string& reason) const;
+
+  // Observability internals (src/obs).
+  class ObsResolver;
+  /// Creates the tracer/collector, registers engine sampling clocks and
+  /// self-profiler statistics.  Part of initialize().
+  void setup_observability();
+  /// Maps each component to its registered statistics (done at run()
+  /// start, after setup(), so late-registered statistics are included).
+  void build_metrics_index();
+  /// One metrics snapshot of every stat-bearing component on `rank`
+  /// (called from that rank's sampling clock).
+  void sample_metrics(RankId rank);
+  /// Folds per-rank gauges into the engine.rankN statistics.
+  void finalize_engine_stats(double wall_seconds);
+  /// Writes trace/metrics files if configured.  `nothrow` swallows I/O
+  /// errors (used on the watchdog/deadlock paths so the original error
+  /// propagates).
+  void flush_observability(bool nothrow);
+  // Trace hooks (cheap no-ops when tracing is off).
+  void trace_clock_dispatch(RankId rank, SimTime t, ComponentId comp,
+                            Cycle cycle);
+  void trace_marker(RankId rank, SimTime t, ComponentId comp,
+                    std::uint64_t seq, const std::string& name,
+                    const std::string& detail);
 
   SimConfig config_;
   State state_ = State::kBuilding;
@@ -259,6 +332,21 @@ class Simulation {
   SimTime lookahead_ = kTimeNever;
   std::uint64_t cut_links_ = 0;
   RunStats run_stats_;
+
+  // Observability state (null unless enabled in SimConfig).
+  std::unique_ptr<obs::Tracer> tracer_;
+  std::unique_ptr<obs::MetricsCollector> metrics_;
+  // Per-component statistics index for metrics sampling.
+  std::vector<std::vector<const Statistic*>> metrics_stats_;
+  // Self-profiler statistics, one set per rank (profile_engine only).
+  struct EngineStats {
+    Counter* events = nullptr;
+    Counter* mailbox = nullptr;
+    Accumulator* vortex_depth = nullptr;
+    Accumulator* barrier_wait = nullptr;
+    Accumulator* events_per_sec = nullptr;
+  };
+  std::vector<EngineStats> engine_stats_;
 
   // Clocks registered during construction, created once ranks are known.
   struct PendingClock {

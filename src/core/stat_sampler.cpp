@@ -73,7 +73,7 @@ double StatSampler::delta(std::size_t column, std::size_t sample) const {
 
 void StatSampler::write_csv(std::ostream& os) const {
   os << "time_ps";
-  for (const auto& c : columns_) os << "," << c;
+  for (const auto& c : columns_) os << "," << csv_escape(c);
   os << "\n";
   for (const auto& s : samples_) {
     os << s.time;

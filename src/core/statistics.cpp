@@ -4,7 +4,24 @@
 #include <iomanip>
 #include <ostream>
 
+#include "obs/json_util.h"
+
 namespace sst {
+
+std::string csv_escape(std::string_view field) {
+  if (field.find_first_of(",\"\n\r") == std::string_view::npos) {
+    return std::string(field);
+  }
+  std::string out;
+  out.reserve(field.size() + 2);
+  out += '"';
+  for (const char c : field) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
 
 std::vector<StatField> Accumulator::fields() const {
   return {
@@ -93,10 +110,32 @@ void StatisticsRegistry::write_csv(std::ostream& os) const {
   os << "component,statistic,field,value\n";
   for (const auto& s : stats_) {
     for (const auto& f : s->fields()) {
-      os << s->component() << "," << s->name() << "," << f.name << ","
-         << std::setprecision(12) << f.value << "\n";
+      os << csv_escape(s->component()) << "," << csv_escape(s->name()) << ","
+         << csv_escape(f.name) << "," << std::setprecision(12) << f.value
+         << "\n";
     }
   }
+}
+
+void StatisticsRegistry::write_json(std::ostream& os) const {
+  os << "[";
+  bool first_stat = true;
+  for (const auto& s : stats_) {
+    os << (first_stat ? "\n" : ",\n");
+    first_stat = false;
+    os << "{\"component\":\"" << obs::json_escape(s->component())
+       << "\",\"statistic\":\"" << obs::json_escape(s->name())
+       << "\",\"fields\":{";
+    bool first_field = true;
+    for (const auto& f : s->fields()) {
+      if (!first_field) os << ",";
+      first_field = false;
+      os << "\"" << obs::json_escape(f.name)
+         << "\":" << obs::json_number(f.value);
+    }
+    os << "}}";
+  }
+  os << "\n]\n";
 }
 
 }  // namespace sst

@@ -14,11 +14,18 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "core/types.h"
 
 namespace sst {
+
+/// Escapes one CSV field per RFC 4180: fields containing a comma, quote,
+/// or newline are quoted, with embedded quotes doubled.  Component and
+/// statistic names are user-chosen, so the CSV writers must not assume
+/// they are delimiter-free.
+[[nodiscard]] std::string csv_escape(std::string_view field);
 
 /// One named output field of a statistic ("sum", "count", "mean", ...).
 struct StatField {
@@ -158,6 +165,11 @@ class StatisticsRegistry {
 
   /// Writes CSV: component,statistic,field,value
   void write_csv(std::ostream& os) const;
+
+  /// Writes JSON: [{"component":...,"statistic":...,"fields":{...}}, ...]
+  /// in registration order, with deterministic number formatting (the
+  /// golden-run corpus hashes this output).
+  void write_json(std::ostream& os) const;
 
  private:
   std::vector<std::unique_ptr<Statistic>> stats_;

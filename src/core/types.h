@@ -54,6 +54,21 @@ class SimulationError : public std::runtime_error {
       : std::runtime_error(what) {}
 };
 
+/// Thrown when run() exceeds its wall-clock watchdog budget.  A subclass
+/// of SimulationError so existing handlers keep working; tools that need
+/// to distinguish the failure (sstsim's exit codes) catch this first.
+class WatchdogError : public SimulationError {
+ public:
+  explicit WatchdogError(const std::string& what) : SimulationError(what) {}
+};
+
+/// Thrown when every event queue drains while registered primary
+/// components are still unsatisfied (a model-level deadlock).
+class DeadlockError : public SimulationError {
+ public:
+  explicit DeadlockError(const std::string& what) : SimulationError(what) {}
+};
+
 /// Converts a clock frequency in Hz to a period in picoseconds (rounded to
 /// the nearest picosecond, minimum 1 ps).
 SimTime frequency_to_period(double hz);

@@ -2,6 +2,7 @@
 
 #include <cctype>
 #include <cmath>
+#include <cstdio>
 #include <cstdlib>
 #include <map>
 #include <ostream>
@@ -60,7 +61,10 @@ std::string Units::to_string() const {
   }
   if (num.empty() && den.empty()) return "";
   if (den.empty()) return num;
-  if (num.empty()) return "1/" + den;
+  // Denominator-only units print with a leading slash ("2 /s"), which the
+  // parser accepts; "1/s" would glue onto the magnitude after whitespace
+  // stripping ("2 1/s" -> "21/s") and reparse as a different value.
+  if (num.empty()) return "/" + den;
   return num + "/" + den;
 }
 
@@ -125,11 +129,37 @@ constexpr Prefix kPrefixes[] = {
     {"p", 1e-12, false}, {"f", 1e-15, false},
 };
 
-// Parses one unit token, e.g. "GHz", "KiB", "ns", "W".
+// Parses one unit token, e.g. "GHz", "KiB", "ns", "W", "s^2".
 UnitDef parse_unit_token(std::string_view tok, std::string_view full) {
+  // Integer exponent suffix, as printed by Units::to_string ("s^2").
+  int expn = 1;
+  if (const auto caret = tok.find('^'); caret != std::string_view::npos) {
+    const std::string digits(tok.substr(caret + 1));
+    if (digits.empty() ||
+        digits.find_first_not_of("0123456789") != std::string::npos) {
+      throw ConfigError("bad unit exponent in '" + std::string(full) + "'");
+    }
+    expn = std::atoi(digits.c_str());
+    if (expn < 1 || expn > 8) {
+      throw ConfigError("unit exponent out of range in '" +
+                        std::string(full) + "'");
+    }
+    tok = tok.substr(0, caret);
+  }
+  auto apply_exponent = [expn](UnitDef def) {
+    UnitDef out{1.0, Units{}};
+    for (int n = 0; n < expn; ++n) {
+      out.scale *= def.scale;
+      out.units = out.units * def.units;
+    }
+    return out;
+  };
+
   const auto& table = unit_table();
   // Exact match first ("s", "B", "b", "Hz", ...).
-  if (auto it = table.find(tok); it != table.end()) return it->second;
+  if (auto it = table.find(tok); it != table.end()) {
+    return apply_exponent(it->second);
+  }
   // Try prefix + unit.
   for (const auto& p : kPrefixes) {
     const std::string_view pt = p.text;
@@ -143,7 +173,7 @@ UnitDef parse_unit_token(std::string_view tok, std::string_view full) {
             throw ConfigError("binary prefix only valid for bytes/bits in '" +
                               std::string(full) + "'");
         }
-        return {p.scale * it->second.scale, it->second.units};
+        return apply_exponent({p.scale * it->second.scale, it->second.units});
       }
     }
   }
@@ -177,6 +207,12 @@ UnitAlgebra::UnitAlgebra(std::string_view text) {
   Units units;
   bool divide = false;
   size_t i = pos;
+  // A leading '/' means "per" — denominator-only quantities ("2 /s")
+  // print this way.
+  if (i < s.size() && s[i] == '/') {
+    divide = true;
+    ++i;
+  }
   while (i < s.size()) {
     size_t j = i;
     while (j < s.size() && s[j] != '/' && s[j] != '*') ++j;
@@ -293,11 +329,23 @@ bool UnitAlgebra::operator==(const UnitAlgebra& o) const {
 }
 
 std::string UnitAlgebra::to_string() const {
-  std::ostringstream os;
-  os << value_;
+  // Shortest decimal form that parses back to exactly the same double, so
+  // print -> parse is a lossless round trip.
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.15g", value_);
+  if (std::strtod(buf, nullptr) != value_) {
+    std::snprintf(buf, sizeof buf, "%.16g", value_);
+    if (std::strtod(buf, nullptr) != value_) {
+      std::snprintf(buf, sizeof buf, "%.17g", value_);
+    }
+  }
+  std::string out = buf;
   const std::string u = units_.to_string();
-  if (!u.empty()) os << " " << u;
-  return os.str();
+  if (!u.empty()) {
+    out += " ";
+    out += u;
+  }
+  return out;
 }
 
 std::ostream& operator<<(std::ostream& os, const UnitAlgebra& ua) {

@@ -1,0 +1,55 @@
+// Small JSON formatting helpers shared by the observability writers
+// (src/obs) and the statistics JSON output (src/core/statistics.cpp).
+//
+// These are deliberately tiny and deterministic: the golden-run corpus
+// (tests/golden) and the 1-vs-N-rank trace determinism tests hash these
+// writers' output byte-for-byte, so formatting must depend only on the
+// values themselves — no locales, no pointer ordering, no platform
+// printf quirks beyond IEEE-754 text conversion.
+#pragma once
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <string_view>
+
+namespace sst::obs {
+
+/// Escapes a string for inclusion inside a JSON string literal.
+inline std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+/// Formats a double as a JSON number (12 significant digits, matching the
+/// CSV writer's precision).  Non-finite values have no JSON number
+/// representation and become null.
+inline std::string json_number(double v) {
+  if (!std::isfinite(v)) return "null";
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.12g", v);
+  return buf;
+}
+
+}  // namespace sst::obs

@@ -101,6 +101,16 @@ std::vector<std::string> ConfigGraph::validate(const Factory& factory) const {
       }
     }
   }
+  if (!sim_config_.stats_format.empty() &&
+      sim_config_.stats_format != "console" &&
+      sim_config_.stats_format != "csv" &&
+      sim_config_.stats_format != "json") {
+    problems.push_back("unknown stats_format '" + sim_config_.stats_format +
+                       "' (known: console, csv, json)");
+  }
+  if (sim_config_.metrics_period == 0) {
+    problems.push_back("metrics_period must be >= 1ps");
+  }
   std::set<std::pair<std::string, std::string>> used_ports;
   for (const auto& l : links_) {
     if (!names.contains(l.from)) {
@@ -389,6 +399,34 @@ ConfigGraph ConfigGraph::from_json(const JsonValue& doc) {
       }
     }
   }
+  if (doc.has("observability")) {
+    const JsonValue& jo = doc.at("observability");
+    SimConfig& sc = graph.sim_config_;
+    if (jo.has("trace")) {
+      const JsonValue& t = jo.at("trace");
+      if (t.is_string()) {
+        sc.trace_path = t.as_string();
+      } else {
+        sc.trace = t.as_bool();
+      }
+    }
+    sc.trace_engine = jo.get_bool("trace_engine", sc.trace_engine);
+    if (jo.has("metrics")) {
+      const JsonValue& m = jo.at("metrics");
+      if (m.is_string()) {
+        sc.metrics_path = m.as_string();
+      } else {
+        sc.metrics = m.as_bool();
+      }
+    }
+    if (jo.has("metrics_period")) {
+      sc.metrics_period =
+          UnitAlgebra(jo.at("metrics_period").as_string()).to_simtime();
+    }
+    sc.profile_engine = jo.get_bool("profile_engine", sc.profile_engine);
+    sc.stats_path = jo.get_string("stats", sc.stats_path);
+    sc.stats_format = jo.get_string("stats_format", sc.stats_format);
+  }
   return graph;
 }
 
@@ -504,6 +542,34 @@ JsonValue ConfigGraph::to_json() const {
     }
     if (!pfs.empty()) jf["ports"] = JsonValue(std::move(pfs));
     doc["faults"] = JsonValue(std::move(jf));
+  }
+
+  if (sim_config_.trace || !sim_config_.trace_path.empty() ||
+      sim_config_.metrics || !sim_config_.metrics_path.empty() ||
+      sim_config_.profile_engine || !sim_config_.stats_path.empty() ||
+      !sim_config_.stats_format.empty()) {
+    JsonObject jo;
+    if (!sim_config_.trace_path.empty()) {
+      jo["trace"] = sim_config_.trace_path;
+    } else if (sim_config_.trace) {
+      jo["trace"] = JsonValue(true);
+    }
+    if (sim_config_.trace_engine) jo["trace_engine"] = JsonValue(true);
+    if (!sim_config_.metrics_path.empty()) {
+      jo["metrics"] = sim_config_.metrics_path;
+    } else if (sim_config_.metrics) {
+      jo["metrics"] = JsonValue(true);
+    }
+    if (sim_config_.metrics || !sim_config_.metrics_path.empty()) {
+      jo["metrics_period"] =
+          JsonValue(std::to_string(sim_config_.metrics_period) + "ps");
+    }
+    if (sim_config_.profile_engine) jo["profile_engine"] = JsonValue(true);
+    if (!sim_config_.stats_path.empty()) jo["stats"] = sim_config_.stats_path;
+    if (!sim_config_.stats_format.empty()) {
+      jo["stats_format"] = sim_config_.stats_format;
+    }
+    doc["observability"] = JsonValue(std::move(jo));
   }
   return JsonValue(std::move(doc));
 }

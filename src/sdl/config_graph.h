@@ -41,6 +41,16 @@
 //       { "router": "rtr0", "port": 1,
 //         "fail_at": "10us", "heal_at": "60us" }   // heal_at optional
 //     ]
+//   },
+//   // optional: tracing / self-profiling / stats output (see src/obs)
+//   "observability": {
+//     "trace": "run.trace.json",      // path, or true for in-memory only
+//     "trace_engine": false,          // add rank-dependent sync-window spans
+//     "metrics": "run.metrics.jsonl", // path, or true for in-memory only
+//     "metrics_period": "1ms",
+//     "profile_engine": false,        // engine.rankN statistics + lines
+//     "stats": "stats.csv",           // stats dump path ("-" = stdout)
+//     "stats_format": "csv"           // console | csv | json
 //   }
 // }
 //

@@ -3,7 +3,14 @@
 //   sstsim <system.json> [options]
 //
 // Options:
-//   --stats <file.csv>   write statistics as CSV (default: console table)
+//   --stats <file>       write statistics here ("-" = stdout; default:
+//                        console table on stdout)
+//   --stats-format <f>   console | csv | json (default: by file extension)
+//   --trace <file.json>  write a Chrome trace-event JSON of the run
+//   --trace-engine       include rank-dependent sync-window spans
+//   --metrics <file>     write periodic JSONL metrics snapshots
+//   --metrics-period <t> snapshot period, e.g. "1ms" (default 1ms)
+//   --profile-engine     engine self-profiling stats + metrics lines
 //   --validate           validate the description and exit
 //   --ranks <n>          override the parallel rank count
 //   --end <time>         override the end time, e.g. "2ms"
@@ -12,6 +19,13 @@
 //   --watchdog <secs>    abort with diagnostics after this much wall clock
 //   --list-components    print registered component types and exit
 //   --version            print the version and exit
+//
+// Exit codes:
+//   0  success
+//   1  runtime simulation failure
+//   2  usage or configuration error
+//   3  watchdog abort (wall-clock budget exceeded)
+//   4  deadlock detected (queues drained, primaries unsatisfied)
 #include <cstring>
 #include <fstream>
 #include <iostream>
@@ -28,12 +42,44 @@
 
 namespace {
 
+constexpr int kExitRuntime = 1;
+constexpr int kExitConfig = 2;
+constexpr int kExitWatchdog = 3;
+constexpr int kExitDeadlock = 4;
+
 int usage(const char* argv0) {
   std::cerr << "usage: " << argv0
-            << " <system.json> [--stats out.csv] [--validate]"
+            << " <system.json> [--stats out] [--stats-format console|csv|json]"
+               " [--trace out.json] [--trace-engine]"
+               " [--metrics out.jsonl] [--metrics-period TIME]"
+               " [--profile-engine] [--validate]"
                " [--ranks N] [--end TIME] [--seed N] [--fault-seed N]"
                " [--watchdog SECS] [--list-components] [--version]\n";
-  return 2;
+  return kExitConfig;
+}
+
+/// Resolves the stats output format: explicit flag/config wins, then the
+/// output file extension, then console (no file) / csv (file).
+std::string resolve_stats_format(const std::string& requested,
+                                 const std::string& path) {
+  if (!requested.empty()) return requested;
+  if (path.size() > 4 && path.rfind(".csv") == path.size() - 4) return "csv";
+  if (path.size() > 5 && path.rfind(".json") == path.size() - 5) {
+    return "json";
+  }
+  if (path.empty() || path == "-") return "console";
+  return "csv";
+}
+
+void write_stats(const sst::StatisticsRegistry& stats, std::ostream& os,
+                 const std::string& format) {
+  if (format == "csv") {
+    stats.write_csv(os);
+  } else if (format == "json") {
+    stats.write_json(os);
+  } else {
+    stats.write_console(os);
+  }
 }
 
 }  // namespace
@@ -45,6 +91,12 @@ int main(int argc, char** argv) {
 
   std::string input;
   std::string stats_path;
+  std::string stats_format;
+  std::string trace_path;
+  std::string metrics_path;
+  std::optional<std::string> metrics_period;
+  bool trace_engine = false;
+  bool profile_engine = false;
   bool validate_only = false;
   std::optional<unsigned> ranks;
   std::optional<std::string> end_time;
@@ -78,6 +130,31 @@ int main(int argc, char** argv) {
         const char* v = next();
         if (v == nullptr) return usage(argv[0]);
         stats_path = v;
+      } else if (arg == "--stats-format") {
+        const char* v = next();
+        if (v == nullptr) return usage(argv[0]);
+        stats_format = v;
+        if (stats_format != "console" && stats_format != "csv" &&
+            stats_format != "json") {
+          std::cerr << "unknown stats format '" << stats_format << "'\n";
+          return usage(argv[0]);
+        }
+      } else if (arg == "--trace") {
+        const char* v = next();
+        if (v == nullptr) return usage(argv[0]);
+        trace_path = v;
+      } else if (arg == "--trace-engine") {
+        trace_engine = true;
+      } else if (arg == "--metrics") {
+        const char* v = next();
+        if (v == nullptr) return usage(argv[0]);
+        metrics_path = v;
+      } else if (arg == "--metrics-period") {
+        const char* v = next();
+        if (v == nullptr) return usage(argv[0]);
+        metrics_period = v;
+      } else if (arg == "--profile-engine") {
+        profile_engine = true;
       } else if (arg == "--validate") {
         validate_only = true;
       } else if (arg == "--ranks") {
@@ -118,7 +195,7 @@ int main(int argc, char** argv) {
   std::ifstream in(input);
   if (!in) {
     std::cerr << "cannot open " << input << "\n";
-    return 1;
+    return kExitConfig;
   }
   std::ostringstream buf;
   buf << in.rdbuf();
@@ -128,21 +205,35 @@ int main(int argc, char** argv) {
     graph = sst::sdl::ConfigGraph::from_json_text(buf.str());
   } catch (const sst::ConfigError& e) {
     std::cerr << input << ": " << e.what() << "\n";
-    return 1;
+    return kExitConfig;
   }
-  if (ranks) graph.sim_config().num_ranks = *ranks;
-  if (end_time) {
-    graph.sim_config().end_time = sst::UnitAlgebra(*end_time).to_simtime();
+  sst::SimConfig& sc = graph.sim_config();
+  if (ranks) sc.num_ranks = *ranks;
+  try {
+    if (end_time) sc.end_time = sst::UnitAlgebra(*end_time).to_simtime();
+    if (metrics_period) {
+      sc.metrics_period = sst::UnitAlgebra(*metrics_period).to_simtime();
+    }
+  } catch (const sst::ConfigError& e) {
+    std::cerr << e.what() << "\n";
+    return kExitConfig;
   }
-  if (seed) graph.sim_config().seed = *seed;
-  if (fault_seed) graph.sim_config().fault_seed = *fault_seed;
-  if (watchdog) graph.sim_config().watchdog_seconds = *watchdog;
+  if (seed) sc.seed = *seed;
+  if (fault_seed) sc.fault_seed = *fault_seed;
+  if (watchdog) sc.watchdog_seconds = *watchdog;
+  // CLI observability flags override the SDL "observability" section.
+  if (!trace_path.empty()) sc.trace_path = trace_path;
+  if (trace_engine) sc.trace_engine = true;
+  if (!metrics_path.empty()) sc.metrics_path = metrics_path;
+  if (profile_engine) sc.profile_engine = true;
+  if (!stats_path.empty()) sc.stats_path = stats_path;
+  if (!stats_format.empty()) sc.stats_format = stats_format;
 
   const auto problems = graph.validate(sst::Factory::instance());
   if (!problems.empty()) {
     std::cerr << input << ": invalid system description:\n";
     for (const auto& p : problems) std::cerr << "  - " << p << "\n";
-    return 1;
+    return kExitConfig;
   }
   if (validate_only) {
     std::cout << input << ": OK (" << graph.components().size()
@@ -166,20 +257,38 @@ int main(int argc, char** argv) {
               << stats.wall_seconds << " s wall ("
               << static_cast<std::uint64_t>(stats.events_per_second())
               << " events/s)\n";
-    if (stats_path.empty()) {
-      sim->stats().write_console(std::cout);
-    } else {
-      std::ofstream out(stats_path);
-      if (!out) {
-        std::cerr << "cannot write " << stats_path << "\n";
-        return 1;
-      }
-      sim->stats().write_csv(out);
-      std::cerr << "statistics written to " << stats_path << "\n";
+    if (!sc.trace_path.empty()) {
+      std::cerr << "trace written to " << sc.trace_path << "\n";
     }
+    if (!sc.metrics_path.empty()) {
+      std::cerr << "metrics written to " << sc.metrics_path << "\n";
+    }
+    const std::string format =
+        resolve_stats_format(sc.stats_format, sc.stats_path);
+    if (sc.stats_path.empty() || sc.stats_path == "-") {
+      write_stats(sim->stats(), std::cout, format);
+    } else {
+      std::ofstream out(sc.stats_path);
+      if (!out) {
+        std::cerr << "cannot write " << sc.stats_path << "\n";
+        return kExitRuntime;
+      }
+      write_stats(sim->stats(), out, format);
+      std::cerr << "statistics written to " << sc.stats_path << " ("
+                << format << ")\n";
+    }
+  } catch (const sst::WatchdogError& e) {
+    std::cerr << "simulation aborted: " << e.what() << "\n";
+    return kExitWatchdog;
+  } catch (const sst::DeadlockError& e) {
+    std::cerr << "simulation deadlocked: " << e.what() << "\n";
+    return kExitDeadlock;
+  } catch (const sst::ConfigError& e) {
+    std::cerr << "configuration error: " << e.what() << "\n";
+    return kExitConfig;
   } catch (const std::exception& e) {
     std::cerr << "simulation failed: " << e.what() << "\n";
-    return 1;
+    return kExitRuntime;
   }
   return 0;
 }

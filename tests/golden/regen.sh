@@ -1,0 +1,9 @@
+#!/bin/sh
+# One-command regeneration of the golden-run digests after an
+# intentional behaviour change:
+#
+#   tests/golden/regen.sh [build_dir]     # default: ./build
+set -eu
+SRC="$(cd "$(dirname "$0")/../.." && pwd)"
+BUILD="${1:-$SRC/build}"
+exec "$SRC/tests/golden/run_golden.sh" regen "$BUILD" "$SRC"

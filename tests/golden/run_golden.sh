@@ -1,0 +1,95 @@
+#!/bin/sh
+# Golden-run determinism corpus.
+#
+#   run_golden.sh check <build_dir> <source_dir>   # fail on any drift
+#   run_golden.sh regen <build_dir> <source_dir>   # rewrite digests.sha256
+#
+# Each case runs a model end to end and hashes its deterministic output
+# (statistics dump or filtered stdout).  The hashes live in
+# tests/golden/digests.sha256, checked into the repository; `check` is
+# wired into ctest as golden.corpus, and `regen` is the one command to
+# run after an intentional behaviour change (see tests/golden/regen.sh).
+set -u
+
+MODE="${1:?usage: run_golden.sh check|regen <build_dir> <source_dir>}"
+BUILD="${2:?missing build dir}"
+SRC="${3:?missing source dir}"
+
+SSTSIM="$BUILD/src/tools/sstsim"
+EXAMPLES="$BUILD/examples"
+SYSTEMS="$SRC/examples/systems"
+DIGESTS="$SRC/tests/golden/digests.sha256"
+
+WORK="$(mktemp -d)"
+trap 'rm -rf "$WORK"' EXIT
+
+fail=0
+
+hash_of() { sha256sum "$1" | cut -d' ' -f1; }
+
+# run_case <name> <output_file> -- <command...>
+# The command must create <output_file>; its hash is the golden value.
+run_case() {
+  name="$1"; out="$2"; shift 3
+  if ! "$@" > "$WORK/$name.stdout" 2> "$WORK/$name.stderr"; then
+    echo "golden: $name: command failed:" >&2
+    sed 's/^/  | /' "$WORK/$name.stderr" >&2
+    fail=1
+    return
+  fi
+  if [ ! -f "$out" ]; then
+    echo "golden: $name: expected output $out was not produced" >&2
+    fail=1
+    return
+  fi
+  printf '%s  %s\n' "$(hash_of "$out")" "$name" >> "$WORK/digests.new"
+}
+
+# --- corpus ----------------------------------------------------------
+# Stats dumps from each examples/systems model, serial and 4-rank: the
+# parallel digest matching the serial one IS the determinism guarantee.
+run_case node_ddr3.r1.csv "$WORK/n1.csv" -- \
+  "$SSTSIM" "$SYSTEMS/node_ddr3.json" --ranks 1 --stats "$WORK/n1.csv"
+run_case node_ddr3.r4.csv "$WORK/n4.csv" -- \
+  "$SSTSIM" "$SYSTEMS/node_ddr3.json" --ranks 4 --stats "$WORK/n4.csv"
+run_case node_ddr3.r1.json "$WORK/n1.json" -- \
+  "$SSTSIM" "$SYSTEMS/node_ddr3.json" --ranks 1 --stats "$WORK/n1.json"
+run_case halo16.r1.csv "$WORK/h1.csv" -- \
+  "$SSTSIM" "$SYSTEMS/halo16_torus.json" --ranks 1 --stats "$WORK/h1.csv"
+run_case halo16.r4.csv "$WORK/h4.csv" -- \
+  "$SSTSIM" "$SYSTEMS/halo16_torus.json" --ranks 4 --stats "$WORK/h4.csv"
+
+# Example binaries: full stdout, minus wall-clock timing lines.
+run_case quickstart.stdout "$WORK/quickstart.txt" -- \
+  sh -c "'$EXAMPLES/quickstart' | grep -v 'wall clock' > '$WORK/quickstart.txt'"
+run_case fault_storm.stdout "$WORK/fault_storm.txt" -- \
+  sh -c "'$EXAMPLES/fault_storm' > '$WORK/fault_storm.txt'"
+# ---------------------------------------------------------------------
+
+if [ "$fail" -ne 0 ]; then
+  exit 1
+fi
+
+if [ "$MODE" = regen ]; then
+  cp "$WORK/digests.new" "$DIGESTS"
+  echo "golden: wrote $(wc -l < "$DIGESTS") digests to $DIGESTS"
+  exit 0
+fi
+
+if [ ! -f "$DIGESTS" ]; then
+  echo "golden: $DIGESTS missing — run tests/golden/regen.sh once" >&2
+  exit 1
+fi
+
+if ! diff -u "$DIGESTS" "$WORK/digests.new" > "$WORK/digests.diff"; then
+  echo "golden: OUTPUT DRIFT DETECTED" >&2
+  echo "golden: a model's statistics or stdout no longer matches the" >&2
+  echo "golden: checked-in digest.  If the change is intentional, rerun:" >&2
+  echo "golden:   tests/golden/regen.sh <build_dir>" >&2
+  echo "golden: and commit the updated digests.sha256.  Diff:" >&2
+  sed 's/^/  | /' "$WORK/digests.diff" >&2
+  exit 1
+fi
+
+echo "golden: $(wc -l < "$DIGESTS") digests match"
+exit 0

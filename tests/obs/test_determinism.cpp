@@ -1,0 +1,160 @@
+// The observability determinism contract, at the API level: the same
+// model run at 1, 2, and 4 ranks must produce byte-identical traces,
+// metrics streams, and statistics dumps.  (tests/tools exercises the
+// same contract through the sstsim CLI.)
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "core/sst.h"
+#include "../test_components.h"
+
+namespace sst {
+namespace {
+
+using sst::testing::IntEvent;
+
+/// Ring node: forwards a token around the ring, counts hops, runs a
+/// clock, accumulates a latency-like value, and drops trace markers —
+/// touching every observability channel at once.
+class RingNode final : public Component {
+ public:
+  explicit RingNode(Params& params) {
+    start_ = params.find<std::uint32_t>("start", 0) != 0;
+    out_ = configure_link("out", [](EventPtr) {}, /*optional=*/true);
+    in_ = configure_link("in", [this](EventPtr ev) { on_token(std::move(ev)); },
+                         /*optional=*/true);
+    hops_ = stat_counter("hops");
+    gap_ = stat_accumulator("gap_ps");
+    register_clock(10 * kNanosecond, [this](Cycle) {
+      ticks_->add();
+      return false;
+    });
+    ticks_ = stat_counter("ticks");
+  }
+
+  void setup() override {
+    if (start_) out_->send(make_event<IntEvent>(0));
+  }
+
+ private:
+  void on_token(EventPtr ev) {
+    auto token = event_cast<IntEvent>(std::move(ev));
+    hops_->add();
+    gap_->add(static_cast<double>(now() - last_seen_));
+    last_seen_ = now();
+    if (token->value % 7 == 0) {
+      trace_event("lucky_token", std::to_string(token->value));
+    }
+    out_->send(make_event<IntEvent>(token->value + 1));
+  }
+
+  Link* out_;
+  Link* in_;
+  Counter* hops_;
+  Counter* ticks_;
+  Accumulator* gap_;
+  SimTime last_seen_ = 0;
+  bool start_ = false;
+};
+
+struct Artifacts {
+  std::string trace;
+  std::string metrics;
+  std::string stats_csv;
+  std::string stats_json;
+};
+
+Artifacts run_ring(unsigned num_ranks) {
+  SimConfig cfg;
+  cfg.num_ranks = num_ranks;
+  cfg.end_time = 3 * kMicrosecond;
+  cfg.trace = true;
+  cfg.metrics = true;
+  cfg.metrics_period = 100 * kNanosecond;
+  Simulation sim{cfg};
+  constexpr unsigned kNodes = 8;
+  Params start, plain;
+  start.set("start", "1");
+  for (unsigned i = 0; i < kNodes; ++i) {
+    sim.add_component<RingNode>("node" + std::to_string(i),
+                                i == 0 ? start : plain);
+  }
+  for (unsigned i = 0; i < kNodes; ++i) {
+    sim.connect("node" + std::to_string(i), "out",
+                "node" + std::to_string((i + 1) % kNodes), "in",
+                25 * kNanosecond);
+  }
+  sim.run();
+
+  Artifacts a;
+  std::ostringstream trace, metrics, csv, json;
+  sim.write_trace_json(trace);
+  sim.write_metrics_jsonl(metrics);
+  sim.stats().write_csv(csv);
+  sim.stats().write_json(json);
+  a.trace = trace.str();
+  a.metrics = metrics.str();
+  a.stats_csv = csv.str();
+  a.stats_json = json.str();
+  return a;
+}
+
+TEST(ObservabilityDeterminism, RankCountDoesNotChangeAnyArtifact) {
+  const Artifacts serial = run_ring(1);
+
+  // The run actually produced content to compare.
+  EXPECT_NE(serial.trace.find("delivery"), std::string::npos);
+  EXPECT_NE(serial.trace.find("lucky_token"), std::string::npos);
+  EXPECT_NE(serial.trace.find("\"cat\":\"clock\""), std::string::npos);
+  EXPECT_NE(serial.metrics.find("\"component\":\"node0\""),
+            std::string::npos);
+  EXPECT_NE(serial.stats_csv.find("hops"), std::string::npos);
+
+  for (unsigned ranks : {2u, 4u}) {
+    const Artifacts parallel = run_ring(ranks);
+    EXPECT_EQ(serial.trace, parallel.trace) << ranks << " ranks";
+    EXPECT_EQ(serial.metrics, parallel.metrics) << ranks << " ranks";
+    EXPECT_EQ(serial.stats_csv, parallel.stats_csv) << ranks << " ranks";
+    EXPECT_EQ(serial.stats_json, parallel.stats_json) << ranks << " ranks";
+  }
+}
+
+TEST(ObservabilityDeterminism, RepeatedRunsAreBitIdentical) {
+  const Artifacts a = run_ring(2);
+  const Artifacts b = run_ring(2);
+  EXPECT_EQ(a.trace, b.trace);
+  EXPECT_EQ(a.metrics, b.metrics);
+  EXPECT_EQ(a.stats_csv, b.stats_csv);
+}
+
+TEST(ObservabilityDeterminism, MetricsWithoutTerminationIsConfigError) {
+  // A sampling clock alone would keep the vortex non-empty forever; the
+  // engine must reject the configuration instead of hanging.
+  SimConfig cfg;
+  cfg.metrics = true;
+  Simulation sim{cfg};
+  Params p;
+  sim.add_component<testing::Ticker>("t", p);
+  EXPECT_THROW(sim.run(), ConfigError);
+}
+
+TEST(ObservabilityDeterminism, ProfileEngineAddsRankStats) {
+  SimConfig cfg;
+  cfg.num_ranks = 2;
+  cfg.profile_engine = true;
+  Simulation sim{cfg};
+  Params p;
+  sim.add_component<testing::Pinger>("ping", p);
+  sim.add_component<testing::Echo>("echo", p);
+  sim.connect("ping", "port", "echo", "port", kMicrosecond);
+  sim.run();
+  EXPECT_NE(sim.stats().find("engine.rank0", "events_processed"), nullptr);
+  EXPECT_NE(sim.stats().find("engine.rank1", "vortex_depth"), nullptr);
+  EXPECT_NE(sim.stats().find("engine.rank0", "barrier_wait_seconds"),
+            nullptr);
+}
+
+}  // namespace
+}  // namespace sst

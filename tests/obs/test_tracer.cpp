@@ -1,0 +1,216 @@
+// Event tracer: Chrome trace-event JSON output, rank-merge behaviour,
+// marker emission, and the engine-span opt-in.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/sst.h"
+#include "obs/trace.h"
+#include "sdl/json.h"
+#include "../test_components.h"
+
+namespace sst {
+namespace {
+
+using sst::testing::IntEvent;
+
+/// Resolver with fixed names, independent of any Simulation.
+class FakeResolver final : public obs::TraceResolver {
+ public:
+  [[nodiscard]] ComponentId delivery_target(LinkId link) const override {
+    return static_cast<ComponentId>(link % 2);
+  }
+  [[nodiscard]] std::string delivery_label(LinkId link) const override {
+    return "link" + std::to_string(link);
+  }
+  [[nodiscard]] std::string component_name(ComponentId id) const override {
+    return "comp" + std::to_string(id);
+  }
+  [[nodiscard]] std::size_t component_count() const override { return 2; }
+};
+
+std::string render(const obs::Tracer& tracer) {
+  std::ostringstream os;
+  tracer.write_json(os, FakeResolver{});
+  return os.str();
+}
+
+TEST(Tracer, MergeIsIndependentOfRecordingRank) {
+  // The same logical records land in different per-rank buffers; the
+  // merged JSON must not depend on which rank recorded what.
+  obs::Tracer serial(1);
+  serial.record_delivery(0, 100, 1, 0);
+  serial.record_delivery(0, 100, 2, 0);
+  serial.record_clock(0, 200, 0, 5);
+  serial.record_marker(0, 200, 1, 0, "m", "");
+
+  obs::Tracer parallel(2);
+  parallel.record_clock(1, 200, 0, 5);
+  parallel.record_delivery(1, 100, 2, 0);
+  parallel.record_marker(0, 200, 1, 0, "m", "");
+  parallel.record_delivery(0, 100, 1, 0);
+
+  EXPECT_EQ(render(serial), render(parallel));
+}
+
+TEST(Tracer, OrdersByTimeKindIdSeq) {
+  obs::Tracer t(1);
+  t.record_marker(0, 100, 0, 1, "second_marker", "");
+  t.record_marker(0, 100, 0, 0, "first_marker", "");
+  t.record_delivery(0, 100, 3, 0);  // deliveries sort before markers
+  t.record_clock(0, 100, 0, 1);     // clocks sort before deliveries
+  const std::string json = render(t);
+  const auto clock_at = json.find("\"cat\":\"clock\"");
+  const auto delivery_at = json.find("link3");
+  const auto first_at = json.find("first_marker");
+  const auto second_at = json.find("second_marker");
+  ASSERT_NE(clock_at, std::string::npos);
+  ASSERT_NE(delivery_at, std::string::npos);
+  ASSERT_NE(first_at, std::string::npos);
+  ASSERT_NE(second_at, std::string::npos);
+  EXPECT_LT(clock_at, delivery_at);
+  EXPECT_LT(delivery_at, first_at);
+  EXPECT_LT(first_at, second_at);
+}
+
+TEST(Tracer, EngineSpansOnlyWhenOptedIn) {
+  obs::Tracer t(1);
+  t.record_window(0, 1000, 0);
+  EXPECT_EQ(render(t).find("sync_window"), std::string::npos);
+  t.set_include_engine(true);
+  EXPECT_NE(render(t).find("sync_window"), std::string::npos);
+}
+
+TEST(Tracer, EscapesMarkerNamesAndDetails) {
+  obs::Tracer t(1);
+  t.record_marker(0, 10, 0, 0, "quote\"back\\slash", "tab\there");
+  const std::string json = render(t);
+  const sdl::JsonValue doc = sdl::JsonValue::parse(json);
+  const auto& events = doc.as_object().at("traceEvents").as_array();
+  bool found = false;
+  for (const auto& ev : events) {
+    const auto& obj = ev.as_object();
+    if (obj.at("ph").as_string() != "i") continue;
+    if (obj.at("cat").as_string() != "marker") continue;
+    EXPECT_EQ(obj.at("name").as_string(), "quote\"back\\slash");
+    EXPECT_EQ(obj.at("args").as_object().at("detail").as_string(),
+              "tab\there");
+    found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(TracedSimulation, EmitsParsableTraceWithDeliveriesAndMarkers) {
+  /// Pinger variant that drops a marker on every reply.
+  class MarkingPinger final : public Component {
+   public:
+    explicit MarkingPinger(Params& params) {
+      count_ = params.find<std::uint32_t>("count", 5);
+      link_ = configure_link("port", [this](EventPtr ev) {
+        auto reply = event_cast<IntEvent>(std::move(ev));
+        trace_event("reply", std::to_string(reply->value));
+        if (++replies_ >= count_) {
+          primary_ok_to_end_sim();
+          return;
+        }
+        link_->send(make_event<IntEvent>(reply->value + 1));
+      });
+      register_as_primary();
+    }
+    void setup() override { link_->send(make_event<IntEvent>(0)); }
+
+   private:
+    Link* link_;
+    std::uint32_t count_;
+    std::uint32_t replies_ = 0;
+  };
+
+  Simulation sim{SimConfig{.trace = true}};
+  Params p;
+  sim.add_component<MarkingPinger>("ping", p);
+  sim.add_component<testing::Echo>("echo", p);
+  sim.connect("ping", "port", "echo", "port", kNanosecond);
+  sim.run();
+
+  std::ostringstream os;
+  sim.write_trace_json(os);
+  const sdl::JsonValue doc = sdl::JsonValue::parse(os.str());
+  const auto& root = doc.as_object();
+  EXPECT_EQ(root.at("displayTimeUnit").as_string(), "ns");
+  const auto& events = root.at("traceEvents").as_array();
+
+  std::size_t deliveries = 0, markers = 0, names = 0;
+  for (const auto& ev : events) {
+    const auto& obj = ev.as_object();
+    if (obj.at("ph").as_string() == "M") {
+      if (obj.at("name").as_string() == "thread_name") ++names;
+      continue;
+    }
+    const std::string& cat = obj.at("cat").as_string();
+    if (cat == "delivery") {
+      ++deliveries;
+      // Delivery labels are "component.port" of the receiving end.
+      const std::string& label = obj.at("name").as_string();
+      EXPECT_TRUE(label == "ping.port" || label == "echo.port") << label;
+    } else if (cat == "marker") {
+      ++markers;
+      EXPECT_EQ(obj.at("name").as_string(), "reply");
+    }
+  }
+  EXPECT_EQ(names, 2u);        // ping + echo tracks
+  EXPECT_EQ(markers, 5u);      // one per reply
+  EXPECT_EQ(deliveries, 10u);  // 5 round trips, 2 deliveries each
+}
+
+TEST(TracedSimulation, EngineSpansAppearOnlyWithTraceEngine) {
+  auto run = [](bool engine) {
+    Simulation sim{SimConfig{.num_ranks = 2, .trace = true,
+                             .trace_engine = engine}};
+    Params p;
+    sim.add_component<testing::Pinger>("ping", p);
+    sim.add_component<testing::Echo>("echo", p);
+    sim.connect("ping", "port", "echo", "port", kMicrosecond);
+    sim.run();
+    std::ostringstream os;
+    sim.write_trace_json(os);
+    return os.str();
+  };
+  EXPECT_EQ(run(false).find("sync_window"), std::string::npos);
+  const std::string with_engine = run(true);
+  EXPECT_NE(with_engine.find("sync_window"), std::string::npos);
+  // Still valid JSON with the engine process present.
+  const sdl::JsonValue doc = sdl::JsonValue::parse(with_engine);
+  EXPECT_TRUE(doc.as_object().contains("traceEvents"));
+}
+
+TEST(TracedSimulation, WriteTraceRequiresTracingEnabled) {
+  Simulation sim;
+  Params p;
+  sim.add_component<testing::Pinger>("ping", p);
+  sim.add_component<testing::Echo>("echo", p);
+  sim.connect("ping", "port", "echo", "port", kNanosecond);
+  sim.run();
+  std::ostringstream os;
+  EXPECT_THROW(sim.write_trace_json(os), ConfigError);
+}
+
+TEST(TracedSimulation, UntracedRunRecordsNothing) {
+  // trace_event must be a cheap no-op when tracing is off.
+  class Marky final : public Component {
+   public:
+    explicit Marky(Params&) {
+      register_clock(kNanosecond, [this](Cycle c) {
+        trace_event("tick");
+        return c >= 10;
+      });
+    }
+  };
+  Simulation sim;
+  Params p;
+  sim.add_component<Marky>("m", p);
+  EXPECT_NO_THROW(sim.run());
+  EXPECT_FALSE(sim.tracing());
+}
+
+}  // namespace
+}  // namespace sst

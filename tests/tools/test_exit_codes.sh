@@ -1,0 +1,39 @@
+#!/bin/sh
+# sstsim exit-code contract:
+#   0 success, 1 runtime failure, 2 usage/config error,
+#   3 watchdog abort, 4 deadlock detected.
+#
+#   test_exit_codes.sh <sstsim> <models_dir>
+set -u
+
+SSTSIM="${1:?usage: test_exit_codes.sh <sstsim> <models_dir>}"
+MODELS="${2:?missing models dir}"
+
+WORK="$(mktemp -d)"
+trap 'rm -rf "$WORK"' EXIT
+
+fail=0
+
+# expect <code> <label> <command...>
+expect() {
+  want="$1"; label="$2"; shift 2
+  "$@" > "$WORK/out" 2> "$WORK/err"
+  got=$?
+  if [ "$got" -ne "$want" ]; then
+    echo "exit_codes: $label: expected exit $want, got $got" >&2
+    sed 's/^/  | /' "$WORK/err" >&2
+    fail=1
+  fi
+}
+
+expect 0 "clean run"       "$SSTSIM" "$MODELS/pingpong.json"
+expect 2 "missing args"    "$SSTSIM"
+expect 2 "unknown option"  "$SSTSIM" "$MODELS/pingpong.json" --bogus
+expect 2 "missing input"   "$SSTSIM" "$WORK/does_not_exist.json"
+expect 2 "unknown type"    "$SSTSIM" "$MODELS/bad_type.json"
+expect 2 "bad time value"  "$SSTSIM" "$MODELS/pingpong.json" --end "1 parsec"
+expect 3 "watchdog abort"  "$SSTSIM" "$MODELS/hog.json" --watchdog 0.3
+expect 4 "deadlock"        "$SSTSIM" "$MODELS/deadlock.json"
+
+if [ "$fail" -ne 0 ]; then exit 1; fi
+echo "exit_codes: all codes as documented"

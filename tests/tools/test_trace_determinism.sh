@@ -1,0 +1,55 @@
+#!/bin/sh
+# The acceptance bar for the observability layer: a traced 4-rank run
+# must emit byte-identical trace, metrics, and stats files to the same
+# model run serially.
+#
+#   test_trace_determinism.sh <sstsim> <models_dir>
+set -u
+
+SSTSIM="${1:?usage: test_trace_determinism.sh <sstsim> <models_dir>}"
+MODELS="${2:?missing models dir}"
+
+WORK="$(mktemp -d)"
+trap 'rm -rf "$WORK"' EXIT
+
+fail=0
+
+run() {
+  ranks="$1"
+  if ! "$SSTSIM" "$MODELS/pingpong.json" --ranks "$ranks" \
+      --trace "$WORK/t$ranks.json" \
+      --metrics "$WORK/m$ranks.jsonl" --metrics-period 100ns \
+      --stats "$WORK/s$ranks.csv" > /dev/null 2> "$WORK/err$ranks"; then
+    echo "trace_determinism: $ranks-rank run failed:" >&2
+    sed 's/^/  | /' "$WORK/err$ranks" >&2
+    exit 1
+  fi
+}
+
+run 1
+run 4
+
+check() {
+  if ! cmp -s "$WORK/${1}1$2" "$WORK/${1}4$2"; then
+    echo "trace_determinism: $3 differs between 1 and 4 ranks" >&2
+    diff "$WORK/${1}1$2" "$WORK/${1}4$2" | head -10 | sed 's/^/  | /' >&2
+    fail=1
+  fi
+}
+
+check t .json  "trace"
+check m .jsonl "metrics stream"
+check s .csv   "statistics dump"
+
+# The trace must hold actual content, not vacuously match as empty.
+if [ "$(wc -c < "$WORK/t1.json")" -lt 1000 ]; then
+  echo "trace_determinism: trace suspiciously small" >&2
+  fail=1
+fi
+if [ ! -s "$WORK/m1.jsonl" ]; then
+  echo "trace_determinism: metrics stream is empty" >&2
+  fail=1
+fi
+
+if [ "$fail" -ne 0 ]; then exit 1; fi
+echo "trace_determinism: trace, metrics, and stats byte-identical at 1 and 4 ranks"
