@@ -1,0 +1,90 @@
+#include "ckpt/event_registry.h"
+
+#include <typeinfo>
+#include <utility>
+
+namespace sst::ckpt {
+
+EventRegistry& EventRegistry::instance() {
+  static EventRegistry registry;
+  return registry;
+}
+
+EventRegistry::EventRegistry() {
+  // The one engine-level event type models can leave in flight.
+  register_type("core.Null", [] { return make_event<NullEvent>(); });
+}
+
+void EventRegistry::register_type(const std::string& tag, Factory factory) {
+  factories_[tag] = std::move(factory);
+}
+
+bool EventRegistry::known(const std::string& tag) const {
+  return factories_.find(tag) != factories_.end();
+}
+
+std::vector<std::string> EventRegistry::registered_tags() const {
+  std::vector<std::string> tags;
+  tags.reserve(factories_.size());
+  for (const auto& [tag, factory] : factories_) {
+    (void)factory;
+    tags.push_back(tag);
+  }
+  return tags;
+}
+
+void EventRegistry::write(Serializer& s, const Event& ev) const {
+  const char* tag = ev.ckpt_type();
+  if (tag == nullptr) {
+    throw CheckpointError(
+        std::string("cannot checkpoint: pending event of type '") +
+        typeid(ev).name() + "' does not implement ckpt_type()");
+  }
+  std::string name = tag;
+  if (!known(name)) {
+    throw CheckpointError("cannot checkpoint: event type '" + name +
+                          "' is not registered (missing register_library "
+                          "call?)");
+  }
+  s & name;
+  // Engine ordering fields (friend access); the handler pointer is
+  // recomputed from link_id on restore.
+  auto& mut = const_cast<Event&>(ev);
+  s & mut.delivery_time_;
+  s & mut.priority_;
+  s & mut.link_id_;
+  s & mut.order_;
+  mut.ckpt_fields(s);
+}
+
+EventPtr EventRegistry::read(Serializer& s) const {
+  std::string name;
+  s & name;
+  auto it = factories_.find(name);
+  if (it == factories_.end()) {
+    throw CheckpointError("checkpoint holds event type '" + name +
+                          "' that is not registered in this build");
+  }
+  EventPtr ev = it->second();
+  s & ev->delivery_time_;
+  s & ev->priority_;
+  s & ev->link_id_;
+  s & ev->order_;
+  ev->handler_ = nullptr;
+  ev->ckpt_fields(s);
+  return ev;
+}
+
+namespace detail {
+
+void write_event(Serializer& s, const Event& ev) {
+  EventRegistry::instance().write(s, ev);
+}
+
+EventPtr read_event(Serializer& s) {
+  return EventRegistry::instance().read(s);
+}
+
+}  // namespace detail
+
+}  // namespace sst::ckpt

@@ -1,0 +1,57 @@
+// Checkpoint event registry: maps stable event type tags to factories so
+// pending events can be reconstructed on restart.
+//
+// Every event type that can be in flight at a checkpoint registers a
+// factory under its ckpt_type() tag; element libraries do this inside
+// their register_library() call (next to component factory
+// registration), so linking a library makes its events checkpointable.
+// The registry then writes events as
+//
+//   tag | delivery_time | priority | link_id | order | payload
+//
+// where payload is the subclass's ckpt_fields().  The delivery handler
+// is intentionally NOT serialized: it is a pointer into the rebuilt
+// link table and is recomputed from link_id on restore.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "ckpt/serializer.h"
+#include "core/event.h"
+
+namespace sst::ckpt {
+
+class EventRegistry {
+ public:
+  using Factory = std::function<EventPtr()>;
+
+  /// Process-wide registry (registered from register_library() calls).
+  static EventRegistry& instance();
+
+  /// Registers a factory under `tag`.  Re-registering the same tag is
+  /// idempotent (library registration helpers run under a once-guard,
+  /// but tests may call them repeatedly).
+  void register_type(const std::string& tag, Factory factory);
+
+  [[nodiscard]] bool known(const std::string& tag) const;
+  [[nodiscard]] std::vector<std::string> registered_tags() const;
+
+  /// Packs one event (tag + engine fields + payload).  Throws
+  /// CheckpointError when the event type is not registered.
+  void write(Serializer& s, const Event& ev) const;
+
+  /// Unpacks one event.  The handler field is left null; the checkpoint
+  /// engine recomputes it from link_id.  Throws CheckpointError on an
+  /// unknown tag.
+  [[nodiscard]] EventPtr read(Serializer& s) const;
+
+ private:
+  EventRegistry();
+
+  std::map<std::string, Factory> factories_;
+};
+
+}  // namespace sst::ckpt

@@ -43,6 +43,7 @@ class Clock {
 
  private:
   friend class Simulation;
+  friend class ckpt::CheckpointEngine;  // cycle/handler-order overlay
 
   Clock(Simulation& sim, RankId rank, SimTime period);
 

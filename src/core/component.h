@@ -43,6 +43,14 @@ class Component {
   /// derived statistics.
   virtual void finish() {}
 
+  /// Checkpoint hook: (un)packs this component's dynamic state through
+  /// the bidirectional serializer (`s & field` both saves and restores —
+  /// see src/ckpt/serializer.h).  The base-class state (primary flag,
+  /// RNG stream, trace sequence) is handled by the checkpoint engine;
+  /// overrides serialize model fields only.  Components whose state is
+  /// fully determined by construction need not override.
+  virtual void serialize_state(ckpt::Serializer& s) { (void)s; }
+
   [[nodiscard]] ComponentId id() const { return id_; }
   [[nodiscard]] const std::string& name() const { return name_; }
   [[nodiscard]] RankId rank() const { return rank_; }
@@ -101,6 +109,7 @@ class Component {
 
  private:
   friend class Simulation;
+  friend class ckpt::CheckpointEngine;  // base state capture/overlay
 
   Simulation* sim_ = nullptr;
   ComponentId id_ = kInvalidComponent;

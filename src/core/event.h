@@ -13,6 +13,12 @@
 
 namespace sst {
 
+namespace ckpt {
+class Serializer;
+class EventRegistry;
+class CheckpointEngine;
+}  // namespace ckpt
+
 class Event;
 using EventPtr = std::unique_ptr<Event>;
 
@@ -47,6 +53,17 @@ class Event {
   /// (kInvalidLink for engine-internal activities such as clock ticks).
   [[nodiscard]] LinkId link_id() const { return link_id_; }
 
+  /// Checkpoint support: the stable type tag this event registers in the
+  /// checkpoint event registry, or nullptr when the type is not
+  /// checkpoint-serializable (a pending event of such a type makes the
+  /// simulation uncheckpointable, which save() reports).
+  [[nodiscard]] virtual const char* ckpt_type() const { return nullptr; }
+
+  /// Checkpoint support: (un)packs the subclass payload.  The engine
+  /// ordering fields are handled by the registry; overrides serialize
+  /// model fields only.
+  virtual void ckpt_fields(ckpt::Serializer&) {}
+
  private:
   friend class Simulation;
   friend class Link;
@@ -54,6 +71,8 @@ class Event {
   friend class TimeVortex;
   friend struct EventOrder;
   friend class TimeVortexTestPeer;  // unit tests stamp events directly
+  friend class ckpt::EventRegistry;      // checkpoints engine fields
+  friend class ckpt::CheckpointEngine;   // recomputes handler_ on restore
 
   SimTime delivery_time_ = 0;
   std::uint32_t priority_ = kPriorityDefault;
@@ -94,6 +113,7 @@ class NullEvent final : public Event {
   [[nodiscard]] EventPtr clone() const override {
     return std::make_unique<NullEvent>();
   }
+  [[nodiscard]] const char* ckpt_type() const override { return "core.Null"; }
 };
 
 /// Convenience helper for models: makes an event of type T.

@@ -44,6 +44,10 @@ class LinkFault {
   /// A duplication was requested but the event type has no clone();
   /// the original is still delivered exactly once.
   virtual void on_duplicate_unclonable() {}
+
+  /// Checkpoint hook: (un)packs the model's dynamic state (RNG stream,
+  /// decision counters).  Stateless models need not override.
+  virtual void serialize(ckpt::Serializer& s) { (void)s; }
 };
 
 class Link {
@@ -84,6 +88,7 @@ class Link {
  private:
   friend class Simulation;
   friend class Component;
+  friend class ckpt::CheckpointEngine;  // send_seq_/poll_queue_ overlay
 
   Link(Simulation& sim, LinkId id, ComponentId owner, std::string port,
        EventHandler handler, bool polling, bool optional);

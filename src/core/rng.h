@@ -82,6 +82,19 @@ class XorShift128Plus {
     return lo + next_bounded(span + 1);
   }
 
+  /// Raw generator state, exposed so checkpoints can capture and resume
+  /// the stream mid-sequence.
+  struct State {
+    std::uint64_t s0 = 0;
+    std::uint64_t s1 = 0;
+  };
+  [[nodiscard]] State state() const { return {s0_, s1_}; }
+  void set_state(State st) {
+    s0_ = st.s0;
+    s1_ = st.s1;
+    if (s0_ == 0 && s1_ == 0) s1_ = 1;
+  }
+
  private:
   std::uint64_t s0_;
   std::uint64_t s1_;
@@ -119,6 +132,17 @@ class Pcg32 {
   double next_double() {
     // 32 random bits are enough for model-level probabilities.
     return static_cast<double>(next()) * 0x1.0p-32;
+  }
+
+  /// Raw generator state for checkpoint capture/resume.
+  struct State {
+    std::uint64_t state = 0;
+    std::uint64_t inc = 0;
+  };
+  [[nodiscard]] State state() const { return {state_, inc_}; }
+  void set_state(State st) {
+    state_ = st.state;
+    inc_ = st.inc | 1;
   }
 
  private:

@@ -507,6 +507,18 @@ void Simulation::initialize() {
   if (state_ != State::kBuilding) return;
   assign_ranks();
   wire_links();
+  // Parallel checkpoints are cut at sync-window barriers, so a period
+  // shorter than the window cannot be honoured — it would silently snap
+  // to the barrier cadence.  Reject it with both values spelled out.
+  if (config_.num_ranks > 1 && config_.checkpoint_period > 0 &&
+      config_.checkpoint_period < lookahead_) {
+    throw ConfigError(
+        "checkpointing: period " + std::to_string(config_.checkpoint_period) +
+        "ps is shorter than the parallel sync window (lookahead) of " +
+        std::to_string(lookahead_) +
+        "ps; checkpoints are cut at sync-window barriers, so use a period "
+        ">= the sync window (or run with --ranks 1)");
+  }
   // Now that ranks are known, create clocks registered during build.
   for (auto& pc : pending_clocks_) {
     get_clock(components_[pc.comp]->rank_, pc.period)
@@ -591,6 +603,10 @@ RunStats Simulation::run() {
 
   // Wall-clock watchdog: a side thread sleeps for the budget and raises a
   // flag the run loops poll.  A finished run cancels the wait and joins.
+  // Checkpoint writes suspend the countdown: their wall time accumulates
+  // in ckpt_pause_ns_ and extends the deadline, and an expiry observed
+  // while a write is in flight is deferred until the write completes, so
+  // a slow disk cannot convert a healthy run into a spurious abort.
   watchdog_fired_.store(false, std::memory_order_relaxed);
   std::thread watchdog;
   std::mutex wd_mutex;
@@ -599,10 +615,30 @@ RunStats Simulation::run() {
   if (config_.watchdog_seconds > 0) {
     watchdog = std::thread([this, &wd_mutex, &wd_cv, &wd_cancel] {
       std::unique_lock<std::mutex> lock(wd_mutex);
+      const auto start = std::chrono::steady_clock::now();
       const auto budget =
-          std::chrono::duration<double>(config_.watchdog_seconds);
-      if (!wd_cv.wait_for(lock, budget, [&wd_cancel] { return wd_cancel; })) {
-        watchdog_fired_.store(true, std::memory_order_relaxed);
+          std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+              std::chrono::duration<double>(config_.watchdog_seconds));
+      for (;;) {
+        auto deadline =
+            start + budget +
+            std::chrono::nanoseconds(
+                ckpt_pause_ns_.load(std::memory_order_relaxed));
+        const auto now = std::chrono::steady_clock::now();
+        if (now >= deadline) {
+          if (ckpt_writing_.load(std::memory_order_acquire)) {
+            // Snapshot in flight: re-check shortly; its duration will be
+            // credited to the budget when it finishes.
+            deadline = now + std::chrono::milliseconds(50);
+          } else {
+            watchdog_fired_.store(true, std::memory_order_relaxed);
+            return;
+          }
+        }
+        if (wd_cv.wait_until(lock, deadline,
+                             [&wd_cancel] { return wd_cancel; })) {
+          return;
+        }
       }
     });
   }
@@ -617,6 +653,7 @@ RunStats Simulation::run() {
   };
 
   const auto wall_start = std::chrono::steady_clock::now();
+  ckpt_last_wall_ = wall_start;
   try {
     if (config_.num_ranks == 1) {
       run_serial();
@@ -669,6 +706,8 @@ RunStats Simulation::run() {
       cross_rank_events_.load(std::memory_order_relaxed);
   run_stats_.cut_links = cut_links_;
   run_stats_.lookahead = config_.num_ranks > 1 ? lookahead_ : 0;
+  run_stats_.checkpoints = ckpt_taken_;
+  run_stats_.checkpoint_seconds = ckpt_write_seconds_;
   SimTime final_time = 0;
   for (const auto& r : ranks_) final_time = std::max(final_time, r.now);
   run_stats_.final_time = final_time;
@@ -690,6 +729,7 @@ RunStats Simulation::run() {
 void Simulation::run_serial() {
   RankState& rank = ranks_[0];
   const SimTime end = config_.end_time;
+  const bool ckpt = checkpointing();
   std::uint64_t steps = 0;
   while (!rank.vortex.empty()) {
     if (primaries_done()) break;
@@ -701,6 +741,12 @@ void Simulation::run_serial() {
     if (t > end) {
       rank.now = end;
       return;
+    }
+    // Safe point: the checkpoint lands between two events, with the
+    // pending one still in the vortex.  The wall-clock trigger is only
+    // polled every 1024 events to keep it off the hot path.
+    if (ckpt && checkpoint_due(t, (steps & 1023U) == 0)) {
+      take_checkpoint();
     }
     EventPtr ev = rank.vortex.pop();
     rank.now = t;
@@ -777,7 +823,12 @@ void Simulation::run_parallel() {
                        : std::min(horizon, config_.end_time + 1);
     // Engine observability: runs single-threaded here (every rank thread
     // is parked in the barrier), so reading all rank states is safe.
-    if (priming) return;
+    if (priming) {
+      // Arm the checkpoint period mark from the first event time, so a
+      // restarted run reproduces the original checkpoint schedule.
+      if (checkpointing()) (void)checkpoint_due(global_min, false);
+      return;
+    }
     if (tracer_ && config_.trace_engine) {
       tracer_->record_window(global_min, sync.horizon, windows);
     }
@@ -799,6 +850,14 @@ void Simulation::run_parallel() {
                                   std::move(payload));
         }
       }
+    }
+    // Safe point: every rank thread is parked in the barrier and the
+    // mailboxes are drained, so the global state is a consistent cut.
+    // Runs after the window's observability so the snapshot carries this
+    // window's records (the restarted run's priming pass skips them).
+    run_stats_.sync_windows = ckpt_windows_base_ + windows;
+    if (checkpointing() && checkpoint_due(global_min, true)) {
+      take_checkpoint();
     }
   };
 
@@ -843,7 +902,71 @@ void Simulation::run_parallel() {
   }
   worker(0);
   for (auto& t : threads) t.join();
-  run_stats_.sync_windows = windows;
+  run_stats_.sync_windows = ckpt_windows_base_ + windows;
+}
+
+// ---------------------------------------------------------------------
+// Checkpointing (writer lives in src/ckpt; cadence and watchdog
+// suspension live here so serial and parallel runs trigger identically)
+// ---------------------------------------------------------------------
+
+void Simulation::set_checkpoint_writer(
+    std::function<void(Simulation&)> writer) {
+  ckpt_writer_ = std::move(writer);
+}
+
+bool Simulation::checkpoint_due(SimTime t, bool check_wall) {
+  if (config_.checkpoint_period > 0) {
+    const SimTime period = config_.checkpoint_period;
+    if (ckpt_next_mark_ == kTimeNever) {
+      // First event time seen this run arms the first period mark.  A
+      // restarted run sees the same first event the uninterrupted run
+      // saw right after its checkpoint, so both compute the same mark.
+      ckpt_next_mark_ = (t / period + 1) * period;
+    } else if (t >= ckpt_next_mark_) {
+      ckpt_next_mark_ = (t / period + 1) * period;
+      return true;
+    }
+  }
+  if (check_wall && config_.checkpoint_wall > 0) {
+    const auto now = std::chrono::steady_clock::now();
+    if (std::chrono::duration<double>(now - ckpt_last_wall_).count() >=
+        config_.checkpoint_wall) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void Simulation::take_checkpoint() noexcept {
+  // The count is bumped before capture so the snapshot includes its own
+  // occurrence: a restarted run then continues the sequence instead of
+  // recounting the checkpoint it resumed from.
+  ++ckpt_taken_;
+  if (ckpt_count_stat_ != nullptr) ckpt_count_stat_->add(1);
+  ckpt_writing_.store(true, std::memory_order_release);
+  const auto t0 = std::chrono::steady_clock::now();
+  try {
+    ckpt_writer_(*this);
+  } catch (const std::exception& e) {
+    std::cerr << "[sst] checkpoint write failed (run continues): " << e.what()
+              << "\n";
+  }
+  const auto t1 = std::chrono::steady_clock::now();
+  const auto ns =
+      std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0).count();
+  ckpt_write_seconds_ += 1e-9 * static_cast<double>(ns);
+  ckpt_pause_ns_.fetch_add(static_cast<std::uint64_t>(ns),
+                           std::memory_order_relaxed);
+  ckpt_writing_.store(false, std::memory_order_release);
+  ckpt_last_wall_ = t1;
+  if (ckpt_write_stat_ != nullptr) {
+    ckpt_write_stat_->add(1e-9 * static_cast<double>(ns));
+  }
+  if (config_.verbose) {
+    std::cerr << "[sst] checkpoint " << ckpt_taken_ << " written in "
+              << (1e-9 * static_cast<double>(ns)) << "s\n";
+  }
 }
 
 std::string Simulation::diagnostic_report(const std::string& reason) const {
@@ -951,6 +1074,13 @@ void Simulation::setup_observability() {
       es.barrier_wait =
           stats_.create<Accumulator>(comp, "barrier_wait_seconds");
       es.events_per_sec = stats_.create<Accumulator>(comp, "events_per_sec");
+    }
+    if (config_.checkpoint_period > 0 || config_.checkpoint_wall > 0) {
+      // Checkpoint pause/resume window: how often the run was paused to
+      // snapshot, and for how long (wall time the watchdog was credited).
+      ckpt_count_stat_ = stats_.create<Counter>("engine.ckpt", "checkpoints");
+      ckpt_write_stat_ =
+          stats_.create<Accumulator>("engine.ckpt", "write_seconds");
     }
   }
 }

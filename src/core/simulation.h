@@ -16,6 +16,7 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <functional>
 #include <iosfwd>
@@ -37,6 +38,10 @@ namespace obs {
 class Tracer;
 class MetricsCollector;
 }  // namespace obs
+
+namespace ckpt {
+class CheckpointEngine;
+}  // namespace ckpt
 
 /// How components are assigned to ranks when no explicit rank is given.
 enum class PartitionStrategy {
@@ -94,6 +99,20 @@ struct SimConfig {
   /// write these — sstsim honours them after run().
   std::string stats_path;
   std::string stats_format;
+
+  // --- checkpointing (src/ckpt) --------------------------------------
+  /// Simulated-time cadence between checkpoints; 0 disables the
+  /// simulated-time trigger.  In parallel runs checkpoints are cut at
+  /// sync-window barriers, so the period must be >= the sync window
+  /// (initialize() rejects shorter periods with a ConfigError).
+  SimTime checkpoint_period = 0;
+  /// Wall-clock cadence between checkpoints in seconds; 0 disables the
+  /// wall-clock trigger.  Either trigger may be used alone or combined.
+  double checkpoint_wall = 0.0;
+  /// Directory receiving checkpoint files (created on demand).
+  std::string checkpoint_dir = "ckpt";
+  /// Rotating retention: only the newest K checkpoint files are kept.
+  unsigned checkpoint_keep = 3;
 };
 
 /// Engine-level metrics from a completed run (used by the PDES scaling
@@ -107,6 +126,8 @@ struct RunStats {
   double wall_seconds = 0.0;
   std::uint64_t cut_links = 0;         // link endpoints crossing ranks
   SimTime lookahead = 0;               // sync window lookahead used
+  std::uint64_t checkpoints = 0;       // snapshots written this run
+  double checkpoint_seconds = 0.0;     // wall time spent writing them
   [[nodiscard]] double events_per_second() const {
     return wall_seconds > 0 ? static_cast<double>(events_processed) /
                                   wall_seconds
@@ -214,10 +235,25 @@ class Simulation {
   /// Writes the merged metrics snapshot stream (requires metrics_enabled()).
   void write_metrics_jsonl(std::ostream& os) const;
 
+  // ---- checkpointing (src/ckpt) -------------------------------------
+
+  /// Installs the checkpoint writer callback.  The engine invokes it at
+  /// safe points (between events in serial runs, inside the sync-window
+  /// barrier in parallel runs) whenever the configured simulated-time or
+  /// wall-clock cadence is due.  Writer failures are reported to stderr
+  /// and the run continues.  Installed by ckpt::install_writer().
+  void set_checkpoint_writer(std::function<void(Simulation&)> writer);
+
+  /// True when a checkpoint writer is installed.
+  [[nodiscard]] bool checkpointing() const {
+    return static_cast<bool>(ckpt_writer_);
+  }
+
  private:
   friend class Component;
   friend class Link;
   friend class Clock;
+  friend class ckpt::CheckpointEngine;  // captures/overlays engine state
 
   enum class State { kBuilding, kInitialized, kRunning, kDone };
 
@@ -281,6 +317,16 @@ class Simulation {
   /// Builds the per-rank diagnostic report (time, pending events, blocked
   /// primaries) attached to watchdog/deadlock SimulationErrors.
   [[nodiscard]] std::string diagnostic_report(const std::string& reason) const;
+
+  // Checkpoint internals.
+  /// Whether the simulated-time/wall-clock cadence is due at global next
+  /// event time `t`; arms the first period mark lazily so a restarted run
+  /// reproduces the uninterrupted run's checkpoint schedule exactly.
+  [[nodiscard]] bool checkpoint_due(SimTime t, bool check_wall);
+  /// Runs the installed writer, suspending the watchdog for the duration
+  /// (the write's wall time is credited back to the budget).  noexcept:
+  /// a failed write warns and the run continues.
+  void take_checkpoint() noexcept;
 
   // Observability internals (src/obs).
   class ObsResolver;
@@ -355,6 +401,23 @@ class Simulation {
     ClockHandler handler;
   };
   std::vector<PendingClock> pending_clocks_;
+
+  // Checkpoint state (src/ckpt installs the writer; the engine owns the
+  // cadence so serial and parallel runs trigger at deterministic points).
+  std::function<void(Simulation&)> ckpt_writer_;
+  SimTime ckpt_next_mark_ = kTimeNever;  // lazily armed from first event
+  std::chrono::steady_clock::time_point ckpt_last_wall_{};
+  // Watchdog suspension: wall time spent writing checkpoints is added
+  // back to the watchdog budget, and an in-progress write defers expiry.
+  std::atomic<std::uint64_t> ckpt_pause_ns_{0};
+  std::atomic<bool> ckpt_writing_{false};
+  std::uint64_t ckpt_taken_ = 0;
+  double ckpt_write_seconds_ = 0.0;
+  // Sync windows carried over from the run this one was restored from.
+  std::uint64_t ckpt_windows_base_ = 0;
+  // Self-profiler statistics for the pause/resume window (profile_engine).
+  Counter* ckpt_count_stat_ = nullptr;
+  Accumulator* ckpt_write_stat_ = nullptr;
 
   // Construction bookkeeping.
   std::string pending_name_;

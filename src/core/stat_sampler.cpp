@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <ostream>
 
+#include "ckpt/serializer.h"
 #include "core/simulation.h"
 
 namespace sst {
@@ -81,5 +82,11 @@ void StatSampler::write_csv(std::ostream& os) const {
     os << "\n";
   }
 }
+
+void StatSampler::Sample::ckpt_io(ckpt::Serializer& s) {
+  s & time & values;
+}
+
+void StatSampler::serialize_state(ckpt::Serializer& s) { s & samples_; }
 
 }  // namespace sst

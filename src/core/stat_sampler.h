@@ -33,6 +33,8 @@ class StatSampler final : public Component {
   struct Sample {
     SimTime time;
     std::vector<double> values;  // parallel to columns()
+
+    void ckpt_io(ckpt::Serializer& s);
   };
 
   /// Column labels: "component.statistic.field".
@@ -49,6 +51,8 @@ class StatSampler final : public Component {
 
   /// CSV: time_ps,<column>,<column>,...
   void write_csv(std::ostream& os) const;
+
+  void serialize_state(ckpt::Serializer& s) override;
 
  private:
   bool tick(Cycle cycle);

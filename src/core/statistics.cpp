@@ -4,9 +4,22 @@
 #include <iomanip>
 #include <ostream>
 
+#include "ckpt/serializer.h"
 #include "obs/json_util.h"
 
 namespace sst {
+
+void Counter::ckpt_io(ckpt::Serializer& s) { s & count_; }
+
+void Accumulator::ckpt_io(ckpt::Serializer& s) {
+  s & count_ & sum_ & sum_sq_ & min_ & max_;
+}
+
+void Histogram::ckpt_io(ckpt::Serializer& s) {
+  // Geometry (lo_/width_/bins_.size()) is construction state; only the
+  // accumulated tallies travel through the checkpoint.
+  s & bins_ & underflow_ & overflow_ & count_;
+}
 
 std::string csv_escape(std::string_view field) {
   if (field.find_first_of(",\"\n\r") == std::string_view::npos) {

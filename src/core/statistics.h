@@ -21,6 +21,10 @@
 
 namespace sst {
 
+namespace ckpt {
+class Serializer;
+}  // namespace ckpt
+
 /// Escapes one CSV field per RFC 4180: fields containing a comma, quote,
 /// or newline are quoted, with embedded quotes doubled.  Component and
 /// statistic names are user-chosen, so the CSV writers must not assume
@@ -49,6 +53,10 @@ class Statistic {
   /// Flattens the statistic into named fields for output.
   [[nodiscard]] virtual std::vector<StatField> fields() const = 0;
 
+  /// Checkpoint hook: (un)packs the accumulated values (identity and
+  /// configuration are rebuilt from the model, not the checkpoint).
+  virtual void ckpt_io(ckpt::Serializer& s) { (void)s; }
+
  private:
   std::string component_;
   std::string name_;
@@ -65,6 +73,8 @@ class Counter final : public Statistic {
   [[nodiscard]] std::vector<StatField> fields() const override {
     return {{"count", static_cast<double>(count_)}};
   }
+
+  void ckpt_io(ckpt::Serializer& s) override;
 
  private:
   std::uint64_t count_ = 0;
@@ -99,6 +109,8 @@ class Accumulator final : public Statistic {
 
   [[nodiscard]] std::vector<StatField> fields() const override;
 
+  void ckpt_io(ckpt::Serializer& s) override;
+
  private:
   std::uint64_t count_ = 0;
   double sum_ = 0.0;
@@ -129,6 +141,8 @@ class Histogram final : public Statistic {
   [[nodiscard]] double percentile(double p) const;
 
   [[nodiscard]] std::vector<StatField> fields() const override;
+
+  void ckpt_io(ckpt::Serializer& s) override;
 
  private:
   double lo_;

@@ -42,6 +42,8 @@ class TimeVortex {
   [[nodiscard]] std::size_t max_depth() const { return max_depth_; }
 
  private:
+  friend class ckpt::CheckpointEngine;  // heap capture/counter overlay
+
   void sift_up(std::size_t i);
   void sift_down(std::size_t i);
   [[nodiscard]] bool before(std::size_t a, std::size_t b) const {

@@ -2,6 +2,7 @@
 
 #include <memory>
 
+#include "ckpt/serializer.h"
 #include "core/simulation.h"
 
 namespace sst::fault {
@@ -101,6 +102,10 @@ LinkFaultModel* install_link_fault(Simulation& sim,
   LinkFaultModel* raw = model.get();
   sim.install_link_fault(component, port, std::move(model));
   return raw;
+}
+
+void LinkFaultModel::serialize(ckpt::Serializer& s) {
+  s & rng_ & decisions_ & unclonable_;
 }
 
 }  // namespace sst::fault

@@ -52,6 +52,8 @@ class LinkFaultModel final : public LinkFault {
   [[nodiscard]] std::uint64_t decisions() const { return decisions_; }
   [[nodiscard]] std::uint64_t unclonable() const { return unclonable_; }
 
+  void serialize(ckpt::Serializer& s) override;
+
  private:
   LinkFaultConfig config_;
   rng::XorShift128Plus rng_;

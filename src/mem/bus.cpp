@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <utility>
 
+#include "ckpt/serializer.h"
+
 namespace sst::mem {
 
 Bus::Bus(Params& params) {
@@ -65,5 +67,7 @@ void Bus::handle_down(EventPtr ev) {
   const SimTime extra = occupy(resp->size());
   up_links_[port]->send(std::move(resp), extra);
 }
+
+void Bus::serialize_state(ckpt::Serializer& s) { s & busy_until_; }
 
 }  // namespace sst::mem

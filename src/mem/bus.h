@@ -28,6 +28,8 @@ class Bus final : public Component {
     return static_cast<std::uint32_t>(up_links_.size());
   }
 
+  void serialize_state(ckpt::Serializer& s) override;
+
  private:
   void handle_up(std::uint32_t port, EventPtr ev);
   void handle_down(EventPtr ev);

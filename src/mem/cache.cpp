@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "ckpt/serializer.h"
+
 namespace sst::mem {
 
 namespace {
@@ -242,6 +244,18 @@ void Cache::handle_mem(EventPtr ev) {
     // Replays were counted (hit/miss) at first sight; don't recount.
     process_request(std::move(next), /*count_stats=*/false);
   }
+}
+
+void Cache::Line::ckpt_io(ckpt::Serializer& s) {
+  s & tag & valid & dirty & prefetched & lru;
+}
+
+void Cache::Mshr::ckpt_io(ckpt::Serializer& s) {
+  s & line_addr & prefetch & waiters;
+}
+
+void Cache::serialize_state(ckpt::Serializer& s) {
+  s & sets_ & lru_clock_ & mshrs_ & mshr_by_line_ & stalled_ & next_req_id_;
 }
 
 }  // namespace sst::mem

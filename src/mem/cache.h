@@ -46,6 +46,8 @@ class Cache final : public Component {
   [[nodiscard]] std::uint32_t assoc() const { return assoc_; }
   [[nodiscard]] std::uint32_t line_size() const { return line_size_; }
 
+  void serialize_state(ckpt::Serializer& s) override;
+
  private:
   struct Line {
     std::uint64_t tag = 0;
@@ -53,12 +55,16 @@ class Cache final : public Component {
     bool dirty = false;
     bool prefetched = false;  // brought in by the prefetcher, untouched
     std::uint64_t lru = 0;    // higher = more recently used
+
+    void ckpt_io(ckpt::Serializer& s);
   };
 
   struct Mshr {
     Addr line_addr = 0;
     bool prefetch = false;  // no waiters expected
     std::vector<std::unique_ptr<MemEvent>> waiters;
+
+    void ckpt_io(ckpt::Serializer& s);
   };
 
   void handle_cpu(EventPtr ev);

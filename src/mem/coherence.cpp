@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "ckpt/serializer.h"
+
 namespace sst::mem {
 
 namespace {
@@ -440,6 +442,32 @@ void CoherentCache::install(Addr line_addr, MesiState state) {
   victim->tag = tag_of(line_addr);
   victim->state = state;
   victim->lru = lru_clock_++;
+}
+
+// ---------------------------------------------------------------------
+// Checkpoint hooks
+// ---------------------------------------------------------------------
+
+void SnoopBus::Txn::ckpt_io(ckpt::Serializer& s) {
+  s & src_port & cmd & line & size & req_id & txn_id & pending_snoops &
+      shared & intervention;
+}
+
+void SnoopBus::serialize_state(ckpt::Serializer& s) {
+  s & queue_ & busy_ & active_ & next_txn_id_;
+}
+
+void CoherentCache::Line::ckpt_io(ckpt::Serializer& s) {
+  s & tag & state & lru;
+}
+
+void CoherentCache::Pending::ckpt_io(ckpt::Serializer& s) {
+  s & line_addr & wants_write & waiters;
+}
+
+void CoherentCache::serialize_state(ckpt::Serializer& s) {
+  s & sets_ & lru_clock_ & pending_ & pending_by_line_ & stalled_ &
+      next_id_ & writeback_buffer_;
 }
 
 }  // namespace sst::mem

@@ -61,6 +61,11 @@ class SnoopEvent final : public Event {
   [[nodiscard]] Addr line() const { return line_; }
   [[nodiscard]] std::uint64_t txn() const { return txn_; }
 
+  [[nodiscard]] const char* ckpt_type() const override {
+    return "mem.Snoop";
+  }
+  void ckpt_fields(ckpt::Serializer& s) override;
+
  private:
   Kind kind_;
   Addr line_;
@@ -76,6 +81,11 @@ class SnoopRespEvent final : public Event {
   [[nodiscard]] std::uint64_t txn() const { return txn_; }
   [[nodiscard]] bool had_line() const { return had_line_; }
   [[nodiscard]] bool supplied_data() const { return supplied_data_; }
+
+  [[nodiscard]] const char* ckpt_type() const override {
+    return "mem.SnoopResp";
+  }
+  void ckpt_fields(ckpt::Serializer& s) override;
 
  private:
   std::uint64_t txn_;
@@ -113,6 +123,11 @@ class CoherenceEvent final : public Event {
   [[nodiscard]] bool intervention() const { return intervention_; }
   void set_intervention(bool i) { intervention_ = i; }
 
+  [[nodiscard]] const char* ckpt_type() const override {
+    return "mem.Coherence";
+  }
+  void ckpt_fields(ckpt::Serializer& s) override;
+
  private:
   Cmd cmd_;
   Addr line_;
@@ -142,6 +157,8 @@ class SnoopBus final : public Component {
     return interventions_->count();
   }
 
+  void serialize_state(ckpt::Serializer& s) override;
+
  private:
   struct Txn {
     std::uint32_t src_port;
@@ -153,6 +170,8 @@ class SnoopBus final : public Component {
     std::uint32_t pending_snoops = 0;
     bool shared = false;
     bool intervention = false;
+
+    void ckpt_io(ckpt::Serializer& s);
   };
 
   void handle_cache(std::uint32_t port, EventPtr ev);
@@ -202,17 +221,23 @@ class CoherentCache final : public Component {
     return upgrade_races_->count();
   }
 
+  void serialize_state(ckpt::Serializer& s) override;
+
  private:
   struct Line {
     std::uint64_t tag = 0;
     MesiState state = MesiState::kInvalid;
     std::uint64_t lru = 0;
+
+    void ckpt_io(ckpt::Serializer& s);
   };
 
   struct Pending {
     Addr line_addr = 0;
     bool wants_write = false;  // at least one waiter is a store
     std::vector<std::unique_ptr<MemEvent>> waiters;
+
+    void ckpt_io(ckpt::Serializer& s);
   };
 
   void handle_cpu(EventPtr ev);

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "ckpt/serializer.h"
+
 namespace sst::mem {
 
 SimTime DramTimingParams::burst_time(std::uint32_t bytes) const {
@@ -213,6 +215,28 @@ SimTime DramBackend::next_action() const {
     t = std::min(t, issue_time(p));
   }
   return t;
+}
+
+// ---------------------------------------------------------------------
+// Checkpoint hooks
+// ---------------------------------------------------------------------
+
+void MemCompletion::ckpt_io(ckpt::Serializer& s) { s & token & time; }
+
+void SimpleBackend::serialize(ckpt::Serializer& s) {
+  s & bus_free_ & decided_;
+}
+
+void DramBackend::Bank::ckpt_io(ckpt::Serializer& s) {
+  s & open_row & ready & ras_done;
+}
+
+void DramBackend::Pending::ckpt_io(ckpt::Serializer& s) {
+  s & token & addr & bytes & arrival & seq;
+}
+
+void DramBackend::serialize(ckpt::Serializer& s) {
+  s & banks_ & data_bus_free_ & queue_ & next_seq_ & row_hits_ & row_misses_;
 }
 
 }  // namespace sst::mem

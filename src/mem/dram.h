@@ -58,6 +58,8 @@ struct DramTimingParams {
 struct MemCompletion {
   std::uint64_t token;
   SimTime time;
+
+  void ckpt_io(ckpt::Serializer& s);
 };
 
 /// Interface for memory-controller backends.
@@ -79,6 +81,10 @@ class MemBackend {
   [[nodiscard]] virtual SimTime next_action() const = 0;
 
   [[nodiscard]] virtual const std::string& name() const = 0;
+
+  /// Checkpoint hook: (un)packs dynamic scheduling state.  Backends are
+  /// rebuilt from config on restore, so only runtime state goes here.
+  virtual void serialize(ckpt::Serializer& s) = 0;
 };
 
 /// Fixed-latency, bandwidth-throttled backend (the "abstract model" end
@@ -92,6 +98,7 @@ class SimpleBackend final : public MemBackend {
   std::vector<MemCompletion> advance(SimTime now) override;
   [[nodiscard]] SimTime next_action() const override { return kTimeNever; }
   [[nodiscard]] const std::string& name() const override { return name_; }
+  void serialize(ckpt::Serializer& s) override;
 
  private:
   std::string name_ = "simple";
@@ -128,11 +135,15 @@ class DramBackend final : public MemBackend {
   [[nodiscard]] std::uint32_t bank_of(Addr addr) const;
   [[nodiscard]] std::uint64_t row_of(Addr addr) const;
 
+  void serialize(ckpt::Serializer& s) override;
+
  private:
   struct Bank {
     std::uint64_t open_row = ~0ULL;
     SimTime ready = 0;      // earliest next command issue
     SimTime ras_done = 0;   // row-active window end (tRAS)
+
+    void ckpt_io(ckpt::Serializer& s);
   };
 
   struct Pending {
@@ -141,6 +152,8 @@ class DramBackend final : public MemBackend {
     std::uint32_t bytes;
     SimTime arrival;
     std::uint64_t seq;  // FCFS order among equal priority
+
+    void ckpt_io(ckpt::Serializer& s);
   };
 
   /// Earliest time request `p` could issue its first command.

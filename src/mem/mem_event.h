@@ -80,6 +80,11 @@ class MemEvent final : public Event {
     }() + " size=" + std::to_string(size_);
   }
 
+  [[nodiscard]] const char* ckpt_type() const override {
+    return "mem.MemEvent";
+  }
+  void ckpt_fields(ckpt::Serializer& s) override;
+
  private:
   MemCmd cmd_;
   Addr addr_;

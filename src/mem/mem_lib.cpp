@@ -1,8 +1,48 @@
 #include "mem/mem_lib.h"
 
 #include "core/factory.h"
+#include "ckpt/event_registry.h"
+#include "ckpt/serializer.h"
 
 namespace sst::mem {
+
+void MemEvent::ckpt_fields(ckpt::Serializer& s) {
+  s & cmd_ & addr_ & size_ & req_id_ & bus_src_;
+}
+
+void SnoopEvent::ckpt_fields(ckpt::Serializer& s) {
+  s & kind_ & line_ & txn_;
+}
+
+void SnoopRespEvent::ckpt_fields(ckpt::Serializer& s) {
+  s & txn_ & had_line_ & supplied_data_;
+}
+
+void CoherenceEvent::ckpt_fields(ckpt::Serializer& s) {
+  s & cmd_ & line_ & size_ & id_ & shared_ & intervention_;
+}
+
+namespace {
+
+void register_ckpt_events() {
+  auto& r = ckpt::EventRegistry::instance();
+  r.register_type("mem.MemEvent", [] {
+    return std::make_unique<MemEvent>(MemCmd::kGetS, 0, 0, 0);
+  });
+  r.register_type("mem.Snoop", [] {
+    return std::make_unique<SnoopEvent>(SnoopEvent::Kind::kRead, 0, 0);
+  });
+  r.register_type("mem.SnoopResp", [] {
+    return std::make_unique<SnoopRespEvent>(0, false, false);
+  });
+  r.register_type("mem.Coherence", [] {
+    return std::make_unique<CoherenceEvent>(CoherenceEvent::Cmd::kGetS, 0, 0,
+                                            0);
+  });
+  MemoryController::register_ckpt_events();
+}
+
+}  // namespace
 
 void register_library() {
   static const bool once = [] {
@@ -32,6 +72,7 @@ void register_library() {
         [](Simulation& sim, const std::string& name, Params& p) -> Component* {
           return sim.add_component<MemoryController>(name, p);
         });
+    register_ckpt_events();
     return true;
   }();
   (void)once;

@@ -2,6 +2,9 @@
 
 #include <utility>
 
+#include "ckpt/event_registry.h"
+#include "ckpt/serializer.h"
+
 namespace sst::mem {
 
 MemoryController::MemoryController(Params& params) {
@@ -138,6 +141,21 @@ void MemoryController::finish() {
     row_hits_->add(d->row_hits());
     row_misses_->add(d->row_misses());
   }
+}
+
+void MemoryController::CompletionEvent::ckpt_fields(ckpt::Serializer& s) {
+  s & resp_;
+}
+
+void MemoryController::register_ckpt_events() {
+  ckpt::EventRegistry::instance().register_type("mem.Completion", [] {
+    return std::make_unique<CompletionEvent>(nullptr);
+  });
+}
+
+void MemoryController::serialize_state(ckpt::Serializer& s) {
+  s & awaiting_ & arrival_ & next_token_ & wake_armed_for_;
+  backend_->serialize(s);
 }
 
 }  // namespace sst::mem

@@ -59,6 +59,11 @@ class MemoryController final : public Component {
 
   void finish() override;
 
+  void serialize_state(ckpt::Serializer& s) override;
+  /// Registers the private CompletionEvent with the checkpoint event
+  /// registry (called from mem::register_library()).
+  static void register_ckpt_events();
+
  private:
   /// Carries the prepared response until the backend completion time.
   class CompletionEvent final : public Event {
@@ -66,6 +71,11 @@ class MemoryController final : public Component {
     explicit CompletionEvent(EventPtr resp) : resp_(std::move(resp)) {}
     [[nodiscard]] EventPtr take_response() { return std::move(resp_); }
     [[nodiscard]] bool is_wakeup() const { return resp_ == nullptr; }
+
+    [[nodiscard]] const char* ckpt_type() const override {
+      return "mem.Completion";
+    }
+    void ckpt_fields(ckpt::Serializer& s) override;
 
    private:
     EventPtr resp_;

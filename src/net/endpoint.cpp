@@ -4,6 +4,8 @@
 #include <memory>
 #include <utility>
 
+#include "ckpt/serializer.h"
+
 namespace sst::net {
 
 namespace {
@@ -226,6 +228,18 @@ void NetEndpoint::handle_net(EventPtr ev) {
     msg_latency_->add(static_cast<double>(now() - pkt->msg_start()));
     on_message(pkt->src(), pkt->msg_bytes(), pkt->tag(), pkt->msg_start());
   }
+}
+
+void NetEndpoint::Partial::ckpt_io(ckpt::Serializer& s) {
+  s & received & seen;
+}
+
+void NetEndpoint::Outstanding::ckpt_io(ckpt::Serializer& s) {
+  s & dst & bytes & tag & msg_start & attempts;
+}
+
+void NetEndpoint::serialize_state(ckpt::Serializer& s) {
+  s & inj_busy_ & next_msg_id_ & reassembly_ & completed_ & outstanding_;
 }
 
 }  // namespace sst::net

@@ -64,6 +64,8 @@ class NetEndpoint : public Component {
   }
   [[nodiscard]] bool ack_enabled() const { return ack_; }
 
+  void serialize_state(ckpt::Serializer& s) override;
+
  protected:
   explicit NetEndpoint(Params& params);
 
@@ -125,6 +127,8 @@ class NetEndpoint : public Component {
     std::vector<std::uint64_t> seen;  // bitmap over pkt_seq
     /// True if seq was already received (and marks it received).
     bool test_and_set(std::uint32_t seq);
+
+    void ckpt_io(ckpt::Serializer& s);
   };
   std::map<std::pair<NodeId, std::uint64_t>, Partial> reassembly_;
   // Messages already delivered to on_message (ack mode: duplicates of a
@@ -136,6 +140,8 @@ class NetEndpoint : public Component {
     std::uint64_t tag;
     SimTime msg_start;
     std::uint32_t attempts = 0;
+
+    void ckpt_io(ckpt::Serializer& s);
   };
   std::map<std::uint64_t, Outstanding> outstanding_;
 

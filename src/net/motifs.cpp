@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "ckpt/serializer.h"
+
 namespace sst::net {
 
 namespace {
@@ -442,6 +444,46 @@ void AppProfileMotif::step() {
         break;
     }
   }
+}
+
+// ---------------------------------------------------------------------
+// Checkpoint hooks
+// ---------------------------------------------------------------------
+
+void MotifEndpoint::serialize_state(ckpt::Serializer& s) {
+  NetEndpoint::serialize_state(s);
+  s & started_ & finished_ & in_step_ & blocked_set_ & completion_time_ &
+      awaiting_ & await_tag_ & await_need_ & arrived_;
+}
+
+void PingPongMotif::serialize_state(ckpt::Serializer& s) {
+  MotifEndpoint::serialize_state(s);
+  s & iter_ & phase_;
+}
+
+void HaloExchangeMotif::serialize_state(ckpt::Serializer& s) {
+  MotifEndpoint::serialize_state(s);
+  s & iter_ & phase_;
+}
+
+void AllreduceMotif::serialize_state(ckpt::Serializer& s) {
+  MotifEndpoint::serialize_state(s);
+  s & iter_ & round_ & phase_;
+}
+
+void AllToAllMotif::serialize_state(ckpt::Serializer& s) {
+  MotifEndpoint::serialize_state(s);
+  s & iter_ & phase_;
+}
+
+void SweepMotif::serialize_state(ckpt::Serializer& s) {
+  MotifEndpoint::serialize_state(s);
+  s & sweep_ & phase_;
+}
+
+void AppProfileMotif::serialize_state(ckpt::Serializer& s) {
+  MotifEndpoint::serialize_state(s);
+  s & iter_ & collective_i_ & round_ & phase_;
 }
 
 }  // namespace sst::net

@@ -25,6 +25,8 @@ class MotifEndpoint : public NetEndpoint {
 
   void setup() override;
 
+  void serialize_state(ckpt::Serializer& s) override;
+
  protected:
   explicit MotifEndpoint(Params& params);
 
@@ -80,6 +82,7 @@ class PingPongMotif final : public MotifEndpoint {
 
  private:
   void step() override;
+  void serialize_state(ckpt::Serializer& s) override;
 
   std::uint32_t iterations_;
   std::uint64_t msg_bytes_;
@@ -98,6 +101,7 @@ class HaloExchangeMotif final : public MotifEndpoint {
 
  private:
   void step() override;
+  void serialize_state(ckpt::Serializer& s) override;
   [[nodiscard]] NodeId neighbor(int dim, int dir) const;
 
   std::uint32_t px_, py_, pz_;
@@ -116,6 +120,7 @@ class AllreduceMotif final : public MotifEndpoint {
 
  private:
   void step() override;
+  void serialize_state(ckpt::Serializer& s) override;
 
   std::uint64_t msg_bytes_;
   std::uint32_t iterations_;
@@ -134,6 +139,7 @@ class AllToAllMotif final : public MotifEndpoint {
 
  private:
   void step() override;
+  void serialize_state(ckpt::Serializer& s) override;
 
   std::uint64_t msg_bytes_;
   std::uint32_t iterations_;
@@ -154,6 +160,7 @@ class SweepMotif final : public MotifEndpoint {
 
  private:
   void step() override;
+  void serialize_state(ckpt::Serializer& s) override;
 
   std::uint32_t px_, py_;
   std::uint64_t msg_bytes_;
@@ -176,6 +183,7 @@ class AppProfileMotif final : public MotifEndpoint {
 
  private:
   void step() override;
+  void serialize_state(ckpt::Serializer& s) override;
   [[nodiscard]] NodeId neighbor(int dim, int dir) const;
 
   std::uint32_t px_, py_, pz_;

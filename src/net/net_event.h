@@ -77,6 +77,11 @@ class PacketEvent final : public Event {
     return copy;
   }
 
+  [[nodiscard]] const char* ckpt_type() const override {
+    return "net.Packet";
+  }
+  void ckpt_fields(ckpt::Serializer& s) override;
+
  private:
   NodeId src_;
   NodeId dst_;
@@ -105,6 +110,11 @@ class PortFaultEvent final : public Event {
   [[nodiscard]] EventPtr clone() const override {
     return std::make_unique<PortFaultEvent>(port_, fail_);
   }
+
+  [[nodiscard]] const char* ckpt_type() const override {
+    return "net.PortFault";
+  }
+  void ckpt_fields(ckpt::Serializer& s) override;
 
  private:
   std::uint32_t port_;

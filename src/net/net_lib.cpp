@@ -1,8 +1,33 @@
 #include "net/net_lib.h"
 
 #include "core/factory.h"
+#include "ckpt/event_registry.h"
+#include "ckpt/serializer.h"
 
 namespace sst::net {
+
+void PacketEvent::ckpt_fields(ckpt::Serializer& s) {
+  s & src_ & dst_ & via_ & bytes_ & msg_id_ & msg_bytes_ & is_tail_ & tag_ &
+      msg_start_ & hops_ & pkt_seq_ & kind_;
+}
+
+void PortFaultEvent::ckpt_fields(ckpt::Serializer& s) {
+  s & port_ & fail_;
+}
+
+namespace {
+
+void register_ckpt_events() {
+  auto& r = ckpt::EventRegistry::instance();
+  r.register_type("net.Packet", [] {
+    return std::make_unique<PacketEvent>(0, 0, 0, 0, 0, false, 0, 0);
+  });
+  r.register_type("net.PortFault", [] {
+    return std::make_unique<PortFaultEvent>(0, false);
+  });
+}
+
+}  // namespace
 
 void register_library() {
   static const bool once = [] {
@@ -42,6 +67,7 @@ void register_library() {
           return static_cast<Component*>(
               sim.add_component<AppProfileMotif>(n, p));
         });
+    register_ckpt_events();
     return true;
   }();
   (void)once;

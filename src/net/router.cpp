@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <utility>
 
+#include "ckpt/serializer.h"
+
 namespace sst::net {
 
 Router::Router(Params& params) {
@@ -198,6 +200,10 @@ void Router::handle_packet(std::uint32_t in_port, EventPtr ev) {
   bytes_stat_->add(pkt->bytes());
   pkt->add_hop();
   link->send(std::move(pkt), port_busy_[out] - now());
+}
+
+void Router::serialize_state(ckpt::Serializer& s) {
+  s & port_busy_ & port_alive_ & any_port_down_;
 }
 
 }  // namespace sst::net

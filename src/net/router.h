@@ -64,6 +64,8 @@ class Router final : public Component {
 
   void setup() override;
 
+  void serialize_state(ckpt::Serializer& s) override;
+
  private:
   void handle_packet(std::uint32_t in_port, EventPtr ev);
   void handle_fault(EventPtr ev);

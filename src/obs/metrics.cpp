@@ -3,9 +3,22 @@
 #include <algorithm>
 #include <ostream>
 
+#include "ckpt/serializer.h"
 #include "obs/json_util.h"
 
 namespace sst::obs {
+
+void MetricsCollector::ModelSample::ckpt_io(ckpt::Serializer& s) {
+  s & time & comp & payload;
+}
+
+void MetricsCollector::EngineSample::ckpt_io(ckpt::Serializer& s) {
+  s & time & rank & payload;
+}
+
+void MetricsCollector::ckpt_io(ckpt::Serializer& s) {
+  s & per_rank_ & engine_;
+}
 
 MetricsCollector::MetricsCollector(unsigned num_ranks)
     : per_rank_(num_ranks) {}

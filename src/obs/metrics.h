@@ -47,16 +47,24 @@ class MetricsCollector {
   /// JSON object per line.
   void write_jsonl(std::ostream& os, const TraceResolver& resolver) const;
 
+  /// Checkpoint hook: (un)packs the buffered snapshots so a restarted
+  /// run's metrics stream matches the uninterrupted one.
+  void ckpt_io(ckpt::Serializer& s);
+
  private:
   struct ModelSample {
     SimTime time = 0;
     ComponentId comp = 0;
     std::string payload;
+
+    void ckpt_io(ckpt::Serializer& s);
   };
   struct EngineSample {
     SimTime time = 0;
     RankId rank = 0;
     std::string payload;
+
+    void ckpt_io(ckpt::Serializer& s);
   };
 
   std::vector<std::vector<ModelSample>> per_rank_;

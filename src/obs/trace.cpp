@@ -3,9 +3,22 @@
 #include <algorithm>
 #include <ostream>
 
+#include "ckpt/serializer.h"
 #include "obs/json_util.h"
 
 namespace sst::obs {
+
+void TraceRecord::ckpt_io(ckpt::Serializer& s) {
+  s & time & kind & id & seq & name & detail;
+}
+
+void SyncWindowRecord::ckpt_io(ckpt::Serializer& s) {
+  s & start & end & index;
+}
+
+void Tracer::ckpt_io(ckpt::Serializer& s) {
+  s & per_rank_ & windows_;
+}
 
 Tracer::Tracer(unsigned num_ranks) : per_rank_(num_ranks) {}
 

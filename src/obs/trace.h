@@ -26,6 +26,10 @@
 
 #include "core/types.h"
 
+namespace sst::ckpt {
+class Serializer;
+}  // namespace sst::ckpt
+
 namespace sst::obs {
 
 /// One buffered trace record; resolved to names only at write time.
@@ -40,6 +44,8 @@ struct TraceRecord {
   std::uint64_t seq = 0;  // per-link send seq / clock cycle / marker seq
   std::string name;       // marker name (empty for engine record kinds)
   std::string detail;     // optional marker payload
+
+  void ckpt_io(ckpt::Serializer& s);
 };
 
 /// One conservative-PDES synchronization window (engine track).
@@ -47,6 +53,8 @@ struct SyncWindowRecord {
   SimTime start = 0;
   SimTime end = 0;
   std::uint64_t index = 0;
+
+  void ckpt_io(ckpt::Serializer& s);
 };
 
 /// Resolves construction-time ids to stable names when the trace is
@@ -92,6 +100,10 @@ class Tracer {
   /// Merges the per-rank buffers into the deterministic total order
   /// (time, kind, id, seq) and writes Chrome trace-event JSON.
   void write_json(std::ostream& os, const TraceResolver& resolver) const;
+
+  /// Checkpoint hook: (un)packs the buffered records so a restarted run
+  /// emits a trace identical to the uninterrupted one.
+  void ckpt_io(ckpt::Serializer& s);
 
  private:
   std::vector<std::vector<TraceRecord>> per_rank_;

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <utility>
 
+#include "ckpt/serializer.h"
+
 namespace sst::proc {
 
 Core::Core(Params& params) {
@@ -206,6 +208,13 @@ void Core::finish() {
   if (cycles > 0) {
     ipc->add(static_cast<double>(instructions_->count()) / cycles);
   }
+}
+
+void Core::serialize_state(ckpt::Serializer& s) {
+  s & pending_ & stream_done_ & completed_ & clock_active_ &
+      completion_time_ & outstanding_loads_ & outstanding_stores_ &
+      next_req_id_ & in_flight_ & issue_time_;
+  if (workload_ != nullptr) workload_->serialize(s);
 }
 
 }  // namespace sst::proc

@@ -56,6 +56,8 @@ class Core final : public Component {
   [[nodiscard]] SimTime clock_period() const { return period_; }
   [[nodiscard]] unsigned issue_width() const { return issue_width_; }
 
+  void serialize_state(ckpt::Serializer& s) override;
+
  private:
   bool tick(Cycle cycle);
   void handle_mem(EventPtr ev);

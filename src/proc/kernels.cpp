@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "ckpt/serializer.h"
+
 namespace sst::proc {
 
 namespace {
@@ -334,6 +336,48 @@ bool PointerChase::refill() {
   emit_intops(1);
   ++done_;
   return true;
+}
+
+// ---------------------------------------------------------------------
+// Checkpoint hooks
+// ---------------------------------------------------------------------
+
+void Op::ckpt_io(ckpt::Serializer& s) {
+  s & type & addr & size & depends_on_loads;
+}
+
+void BufferedWorkload::serialize(ckpt::Serializer& s) {
+  s & buffer_ & pos_;
+}
+
+void StreamTriad::serialize(ckpt::Serializer& s) {
+  BufferedWorkload::serialize(s);
+  s & i_ & iter_;
+}
+
+void Hpccg::serialize(ckpt::Serializer& s) {
+  BufferedWorkload::serialize(s);
+  s & iter_ & phase_ & index_;
+}
+
+void Lulesh::serialize(ckpt::Serializer& s) {
+  BufferedWorkload::serialize(s);
+  s & iter_ & zone_;
+}
+
+void MiniMd::serialize(ckpt::Serializer& s) {
+  BufferedWorkload::serialize(s);
+  s & atom_ & iter_ & rng_;
+}
+
+void Gups::serialize(ckpt::Serializer& s) {
+  BufferedWorkload::serialize(s);
+  s & done_ & rng_;
+}
+
+void PointerChase::serialize(ckpt::Serializer& s) {
+  BufferedWorkload::serialize(s);
+  s & done_ & cursor_;
 }
 
 }  // namespace sst::proc

@@ -25,6 +25,8 @@ class BufferedWorkload : public Workload {
  public:
   bool next(Op& op) final;
 
+  void serialize(ckpt::Serializer& s) override;
+
  protected:
   BufferedWorkload() = default;
 
@@ -62,6 +64,8 @@ class StreamTriad final : public BufferedWorkload {
     return 2ULL * elements_ * iterations_;
   }
 
+  void serialize(ckpt::Serializer& s) override;
+
  private:
   bool refill() override;
 
@@ -85,6 +89,8 @@ class Hpccg final : public BufferedWorkload {
   [[nodiscard]] std::uint64_t total_flops() const override;
 
   [[nodiscard]] std::uint64_t rows() const { return rows_; }
+
+  void serialize(ckpt::Serializer& s) override;
 
  private:
   bool refill() override;
@@ -116,6 +122,8 @@ class Lulesh final : public BufferedWorkload {
   static constexpr unsigned kZoneReadFields = 3;
   static constexpr unsigned kZoneWriteFields = 1;
 
+  void serialize(ckpt::Serializer& s) override;
+
  private:
   bool refill() override;
 
@@ -146,6 +154,8 @@ class MiniMd final : public BufferedWorkload {
   [[nodiscard]] std::uint64_t atoms() const { return atoms_; }
   static constexpr unsigned kFlopsPerPair = 12;
 
+  void serialize(ckpt::Serializer& s) override;
+
  private:
   bool refill() override;
 
@@ -167,6 +177,8 @@ class Gups final : public BufferedWorkload {
 
   [[nodiscard]] const std::string& name() const override { return name_; }
 
+  void serialize(ckpt::Serializer& s) override;
+
  private:
   bool refill() override;
 
@@ -185,6 +197,8 @@ class PointerChase final : public BufferedWorkload {
                std::uint64_t seed = 11);
 
   [[nodiscard]] const std::string& name() const override { return name_; }
+
+  void serialize(ckpt::Serializer& s) override;
 
  private:
   bool refill() override;

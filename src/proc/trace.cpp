@@ -2,6 +2,8 @@
 
 #include <cstring>
 
+#include "ckpt/serializer.h"
+
 namespace sst::proc {
 
 namespace {
@@ -130,6 +132,25 @@ bool TracingWorkload::next(Op& op) {
     ++recorded_;
   }
   return true;
+}
+
+void TraceWorkload::serialize(ckpt::Serializer& s) {
+  std::int64_t offset = 0;
+  if (s.packing()) {
+    offset = file_ != nullptr ? std::ftell(file_) : -1;
+  }
+  s & offset;
+  if (!s.packing() && file_ != nullptr && offset >= 0) {
+    if (std::fseek(file_, static_cast<long>(offset), SEEK_SET) != 0) {
+      throw ckpt::CheckpointError("cannot seek trace file '" + path_ +
+                                  "' to checkpointed offset");
+    }
+  }
+}
+
+void TracingWorkload::serialize(ckpt::Serializer& s) {
+  inner_->serialize(s);
+  s & recorded_;
 }
 
 }  // namespace sst::proc

@@ -40,6 +40,9 @@ class TraceWorkload final : public Workload {
   bool next(Op& op) override;
   [[nodiscard]] const std::string& name() const override { return name_; }
 
+  /// (Un)packs the replay cursor as a file offset.
+  void serialize(ckpt::Serializer& s) override;
+
  private:
   std::string name_;
   std::FILE* file_ = nullptr;
@@ -61,6 +64,10 @@ class TracingWorkload final : public Workload {
     return inner_->total_flops();
   }
   [[nodiscard]] std::uint64_t ops_recorded() const { return recorded_; }
+
+  /// Restores the wrapped workload's cursor.  The recording itself is not
+  /// resumed: a restarted run records only post-restart ops.
+  void serialize(ckpt::Serializer& s) override;
 
  private:
   WorkloadPtr inner_;

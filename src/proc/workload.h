@@ -15,6 +15,10 @@
 
 #include "core/types.h"
 
+namespace sst::ckpt {
+class Serializer;
+}
+
 namespace sst::proc {
 
 using Addr = std::uint64_t;
@@ -35,6 +39,8 @@ struct Op {
   // before it can issue (models address dependence: pointer chasing,
   // indexed gather).
   bool depends_on_loads = false;
+
+  void ckpt_io(ckpt::Serializer& s);
 };
 
 /// Pull-based op stream.  Implementations must be deterministic for a
@@ -54,6 +60,10 @@ class Workload {
   /// Nominal floating-point operations in the whole stream (for GFLOP/s
   /// style reporting); 0 when not meaningful.
   [[nodiscard]] virtual std::uint64_t total_flops() const { return 0; }
+
+  /// Checkpoint hook: (un)packs stream progress.  Workloads are rebuilt
+  /// from config on restore, so only dynamic cursor state goes here.
+  virtual void serialize(ckpt::Serializer& s) { (void)s; }
 
  protected:
   Workload() = default;

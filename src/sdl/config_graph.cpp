@@ -427,6 +427,18 @@ ConfigGraph ConfigGraph::from_json(const JsonValue& doc) {
     sc.stats_path = jo.get_string("stats", sc.stats_path);
     sc.stats_format = jo.get_string("stats_format", sc.stats_format);
   }
+  if (doc.has("checkpointing")) {
+    const JsonValue& jk = doc.at("checkpointing");
+    SimConfig& sc = graph.sim_config_;
+    if (jk.has("period")) {
+      sc.checkpoint_period =
+          UnitAlgebra(jk.at("period").as_string()).to_simtime();
+    }
+    sc.checkpoint_wall = jk.get_number("wall_seconds", sc.checkpoint_wall);
+    sc.checkpoint_dir = jk.get_string("dir", sc.checkpoint_dir);
+    sc.checkpoint_keep = static_cast<unsigned>(
+        jk.get_number("keep", sc.checkpoint_keep));
+  }
   return graph;
 }
 
@@ -570,6 +582,20 @@ JsonValue ConfigGraph::to_json() const {
       jo["stats_format"] = sim_config_.stats_format;
     }
     doc["observability"] = JsonValue(std::move(jo));
+  }
+
+  if (sim_config_.checkpoint_period > 0 || sim_config_.checkpoint_wall > 0) {
+    JsonObject jk;
+    if (sim_config_.checkpoint_period > 0) {
+      jk["period"] =
+          JsonValue(std::to_string(sim_config_.checkpoint_period) + "ps");
+    }
+    if (sim_config_.checkpoint_wall > 0) {
+      jk["wall_seconds"] = JsonValue(sim_config_.checkpoint_wall);
+    }
+    jk["dir"] = sim_config_.checkpoint_dir;
+    jk["keep"] = JsonValue(static_cast<double>(sim_config_.checkpoint_keep));
+    doc["checkpointing"] = JsonValue(std::move(jk));
   }
   return JsonValue(std::move(doc));
 }

@@ -17,7 +17,15 @@
 //   --seed <n>           override the global seed
 //   --fault-seed <n>     override the fault-injection seed
 //   --watchdog <secs>    abort with diagnostics after this much wall clock
+//   --checkpoint-period <t>  write a snapshot every <t> of simulated time
+//   --checkpoint-wall <secs> write a snapshot every <secs> of wall clock
+//   --checkpoint-dir <dir>   snapshot directory (default "ckpt")
+//   --checkpoint-keep <n>    rotating retention (default 3)
+//   --restart <path>     resume from a checkpoint file or directory
+//                        (replaces <system.json>; outputs byte-identical
+//                        to the uninterrupted run)
 //   --list-components    print registered component types and exit
+//   --help               print options and the exit-code contract
 //   --version            print the version and exit
 //
 // Exit codes:
@@ -26,11 +34,14 @@
 //   2  usage or configuration error
 //   3  watchdog abort (wall-clock budget exceeded)
 //   4  deadlock detected (queues drained, primaries unsatisfied)
+//   5  restart failed (checkpoint unreadable, corrupt, version-mismatched,
+//      or inconsistent with the rebuilt model)
 #include <cstring>
 #include <fstream>
 #include <iostream>
 #include <sstream>
 
+#include "ckpt/checkpoint.h"
 #include "mem/mem_lib.h"
 #include "net/net_lib.h"
 #include "proc/proc_lib.h"
@@ -46,16 +57,52 @@ constexpr int kExitRuntime = 1;
 constexpr int kExitConfig = 2;
 constexpr int kExitWatchdog = 3;
 constexpr int kExitDeadlock = 4;
+constexpr int kExitRestartFailed = 5;
+
+void print_options(std::ostream& os, const char* argv0) {
+  os << "usage: " << argv0
+     << " <system.json> [--stats out] [--stats-format console|csv|json]"
+        " [--trace out.json] [--trace-engine]"
+        " [--metrics out.jsonl] [--metrics-period TIME]"
+        " [--profile-engine] [--validate]"
+        " [--ranks N] [--end TIME] [--seed N] [--fault-seed N]"
+        " [--watchdog SECS]"
+        " [--checkpoint-period TIME] [--checkpoint-wall SECS]"
+        " [--checkpoint-dir DIR] [--checkpoint-keep N]"
+        " [--list-components] [--help] [--version]\n"
+     << "       " << argv0
+     << " --restart <checkpoint-file-or-dir> [output/override options]\n";
+}
 
 int usage(const char* argv0) {
-  std::cerr << "usage: " << argv0
-            << " <system.json> [--stats out] [--stats-format console|csv|json]"
-               " [--trace out.json] [--trace-engine]"
-               " [--metrics out.jsonl] [--metrics-period TIME]"
-               " [--profile-engine] [--validate]"
-               " [--ranks N] [--end TIME] [--seed N] [--fault-seed N]"
-               " [--watchdog SECS] [--list-components] [--version]\n";
+  print_options(std::cerr, argv0);
   return kExitConfig;
+}
+
+int help(const char* argv0) {
+  print_options(std::cout, argv0);
+  std::cout <<
+      "\nCheckpointing:\n"
+      "  --checkpoint-period TIME   snapshot every TIME of simulated time\n"
+      "                             (parallel runs cut at sync-window\n"
+      "                             barriers; must be >= the sync window)\n"
+      "  --checkpoint-wall SECS     snapshot every SECS of wall clock\n"
+      "  --checkpoint-dir DIR       snapshot directory (default \"ckpt\")\n"
+      "  --checkpoint-keep N        keep only the newest N snapshots "
+      "(default 3)\n"
+      "  --restart PATH             resume from a checkpoint file or from\n"
+      "                             the newest intact snapshot in a\n"
+      "                             directory; a corrupt file falls back to\n"
+      "                             the newest intact sibling\n"
+      "\nExit codes:\n"
+      "  0  success\n"
+      "  1  runtime simulation failure\n"
+      "  2  usage or configuration error\n"
+      "  3  watchdog abort (wall-clock budget exceeded)\n"
+      "  4  deadlock detected (queues drained, primaries unsatisfied)\n"
+      "  5  restart failed (checkpoint unreadable, corrupt,\n"
+      "     version-mismatched, or inconsistent with the rebuilt model)\n";
+  return 0;
 }
 
 /// Resolves the stats output format: explicit flag/config wins, then the
@@ -103,6 +150,11 @@ int main(int argc, char** argv) {
   std::optional<std::uint64_t> seed;
   std::optional<std::uint64_t> fault_seed;
   std::optional<double> watchdog;
+  std::string restart_path;
+  std::optional<std::string> ckpt_period;
+  std::optional<double> ckpt_wall;
+  std::string ckpt_dir;
+  std::optional<unsigned> ckpt_keep;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -124,6 +176,9 @@ int main(int argc, char** argv) {
     if (arg == "--version") {
       std::cout << "sstsim " << SSTSIM_VERSION << "\n";
       return 0;
+    }
+    if (arg == "--help") {
+      return help(argv[0]);
     }
     try {
       if (arg == "--stats") {
@@ -177,6 +232,26 @@ int main(int argc, char** argv) {
         const char* v = next();
         if (v == nullptr) return usage(argv[0]);
         watchdog = std::stod(v);
+      } else if (arg == "--restart") {
+        const char* v = next();
+        if (v == nullptr) return usage(argv[0]);
+        restart_path = v;
+      } else if (arg == "--checkpoint-period") {
+        const char* v = next();
+        if (v == nullptr) return usage(argv[0]);
+        ckpt_period = v;
+      } else if (arg == "--checkpoint-wall") {
+        const char* v = next();
+        if (v == nullptr) return usage(argv[0]);
+        ckpt_wall = std::stod(v);
+      } else if (arg == "--checkpoint-dir") {
+        const char* v = next();
+        if (v == nullptr) return usage(argv[0]);
+        ckpt_dir = v;
+      } else if (arg == "--checkpoint-keep") {
+        const char* v = next();
+        if (v == nullptr) return usage(argv[0]);
+        ckpt_keep = static_cast<unsigned>(std::stoul(v));
       } else if (arg.rfind("--", 0) == 0) {
         std::cerr << "unknown option " << arg << "\n";
         return usage(argv[0]);
@@ -190,22 +265,48 @@ int main(int argc, char** argv) {
       return usage(argv[0]);
     }
   }
-  if (input.empty()) return usage(argv[0]);
-
-  std::ifstream in(input);
-  if (!in) {
-    std::cerr << "cannot open " << input << "\n";
+  const bool restarting = !restart_path.empty();
+  if (restarting && !input.empty()) {
+    std::cerr << "--restart rebuilds the model from the system description "
+                 "embedded in the checkpoint; drop the <system.json> "
+                 "argument\n";
     return kExitConfig;
   }
-  std::ostringstream buf;
-  buf << in.rdbuf();
+  if (!restarting && input.empty()) return usage(argv[0]);
 
   sst::sdl::ConfigGraph graph;
-  try {
-    graph = sst::sdl::ConfigGraph::from_json_text(buf.str());
-  } catch (const sst::ConfigError& e) {
-    std::cerr << input << ": " << e.what() << "\n";
-    return kExitConfig;
+  sst::ckpt::CheckpointData ckpt_data;
+  std::string ckpt_loaded_path;
+  if (restarting) {
+    try {
+      ckpt_data = sst::ckpt::load_checkpoint(restart_path, &ckpt_loaded_path);
+    } catch (const sst::ckpt::CheckpointError& e) {
+      std::cerr << "restart failed: " << e.what() << "\n";
+      return kExitRestartFailed;
+    }
+    try {
+      graph = sst::sdl::ConfigGraph::from_json_text(ckpt_data.graph_json);
+    } catch (const sst::ConfigError& e) {
+      std::cerr << "restart failed: " << ckpt_loaded_path
+                << ": embedded system description is invalid: " << e.what()
+                << "\n";
+      return kExitRestartFailed;
+    }
+    input = ckpt_loaded_path;
+  } else {
+    std::ifstream in(input);
+    if (!in) {
+      std::cerr << "cannot open " << input << "\n";
+      return kExitConfig;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    try {
+      graph = sst::sdl::ConfigGraph::from_json_text(buf.str());
+    } catch (const sst::ConfigError& e) {
+      std::cerr << input << ": " << e.what() << "\n";
+      return kExitConfig;
+    }
   }
   sst::SimConfig& sc = graph.sim_config();
   if (ranks) sc.num_ranks = *ranks;
@@ -228,6 +329,19 @@ int main(int argc, char** argv) {
   if (profile_engine) sc.profile_engine = true;
   if (!stats_path.empty()) sc.stats_path = stats_path;
   if (!stats_format.empty()) sc.stats_format = stats_format;
+  // CLI checkpoint flags override the SDL "checkpointing" section (and,
+  // on restart, the cadence embedded in the checkpoint).
+  try {
+    if (ckpt_period) {
+      sc.checkpoint_period = sst::UnitAlgebra(*ckpt_period).to_simtime();
+    }
+  } catch (const sst::ConfigError& e) {
+    std::cerr << e.what() << "\n";
+    return kExitConfig;
+  }
+  if (ckpt_wall) sc.checkpoint_wall = *ckpt_wall;
+  if (!ckpt_dir.empty()) sc.checkpoint_dir = ckpt_dir;
+  if (ckpt_keep) sc.checkpoint_keep = *ckpt_keep;
 
   const auto problems = graph.validate(sst::Factory::instance());
   if (!problems.empty()) {
@@ -251,6 +365,18 @@ int main(int argc, char** argv) {
 
   try {
     auto sim = graph.build();
+    if (restarting) {
+      sim->initialize();
+      sst::ckpt::CheckpointEngine::restore(*sim, std::move(ckpt_data.state));
+      std::cerr << "[sst] restored from " << ckpt_loaded_path
+                << " (snapshot " << ckpt_data.seq << ", t="
+                << ckpt_data.sim_time << " ps)\n";
+    }
+    if (sim->config().checkpoint_period > 0 ||
+        sim->config().checkpoint_wall > 0) {
+      sst::ckpt::install_writer(*sim, graph.to_json().dump(),
+                                restarting ? ckpt_data.seq : 0);
+    }
     const sst::RunStats stats = sim->run();
     std::cerr << "done: t=" << stats.final_time << " ps, "
               << stats.events_processed << " events, "
@@ -277,6 +403,9 @@ int main(int argc, char** argv) {
       std::cerr << "statistics written to " << sc.stats_path << " ("
                 << format << ")\n";
     }
+  } catch (const sst::ckpt::CheckpointError& e) {
+    std::cerr << "restart failed: " << e.what() << "\n";
+    return kExitRestartFailed;
   } catch (const sst::WatchdogError& e) {
     std::cerr << "simulation aborted: " << e.what() << "\n";
     return kExitWatchdog;

@@ -59,6 +59,21 @@ run_case halo16.r1.csv "$WORK/h1.csv" -- \
 run_case halo16.r4.csv "$WORK/h4.csv" -- \
   "$SSTSIM" "$SYSTEMS/halo16_torus.json" --ranks 4 --stats "$WORK/h4.csv"
 
+# Interrupted-and-resumed runs: a checkpointing run's digest must equal
+# the base digest (snapshots are invisible), and a restart from the
+# newest mid-run snapshot must converge to the same bytes — at 1 and 4
+# ranks.  These digests ARE the bit-exact-resume guarantee.
+run_case node_ddr3.ckpt.r1.csv "$WORK/nc1.csv" -- \
+  "$SSTSIM" "$SYSTEMS/node_ddr3.json" --ranks 1 --stats "$WORK/nc1.csv" \
+  --checkpoint-period 50us --checkpoint-dir "$WORK/cp1"
+run_case node_ddr3.resume.r1.csv "$WORK/nr1.csv" -- \
+  "$SSTSIM" --restart "$WORK/cp1" --ranks 1 --stats "$WORK/nr1.csv"
+run_case halo16.ckpt.r4.csv "$WORK/hc4.csv" -- \
+  "$SSTSIM" "$SYSTEMS/halo16_torus.json" --ranks 4 --stats "$WORK/hc4.csv" \
+  --checkpoint-period 20us --checkpoint-dir "$WORK/cp4"
+run_case halo16.resume.r4.csv "$WORK/hr4.csv" -- \
+  "$SSTSIM" --restart "$WORK/cp4" --ranks 4 --stats "$WORK/hr4.csv"
+
 # Example binaries: full stdout, minus wall-clock timing lines.
 run_case quickstart.stdout "$WORK/quickstart.txt" -- \
   sh -c "'$EXAMPLES/quickstart' | grep -v 'wall clock' > '$WORK/quickstart.txt'"

@@ -1,0 +1,124 @@
+#!/bin/sh
+# Checkpoint/restart contract, end to end through the real CLI:
+#
+#   1. A run with checkpointing enabled produces stats byte-identical to
+#      the same run without it (snapshot writes are invisible).
+#   2. Restarting from a mid-run snapshot finishes with stats, trace and
+#      metrics byte-identical to the uninterrupted run.
+#   3. A run SIGKILLed mid-flight restarts from its latest snapshot and
+#      still converges to the reference output (the crash-recovery case
+#      the subsystem exists for).
+#   4. A truncated newest snapshot falls back to the previous intact one
+#      (exit 0, with a diagnostic); a directory with no intact snapshot
+#      fails with exit 5.
+#
+#   test_checkpoint_restart.sh <sstsim> <models_dir>
+set -u
+
+SSTSIM="${1:?usage: test_checkpoint_restart.sh <sstsim> <models_dir>}"
+MODELS="${2:?missing models dir}"
+MODEL="$MODELS/pingpong.json"
+
+WORK="$(mktemp -d)"
+trap 'rm -rf "$WORK"' EXIT
+
+fail=0
+
+check() {  # check <label> <command...>
+  label="$1"; shift
+  if ! "$@"; then
+    echo "ckpt_restart: FAIL: $label" >&2
+    fail=1
+  fi
+}
+
+run() {  # run <label> <command...>  (must exit 0)
+  label="$1"; shift
+  if ! "$@" > "$WORK/$label.out" 2> "$WORK/$label.err"; then
+    echo "ckpt_restart: $label: command failed:" >&2
+    sed 's/^/  | /' "$WORK/$label.err" >&2
+    fail=1
+    return 1
+  fi
+}
+
+# --- 1: checkpointing is invisible to the simulation ------------------
+run ref "$SSTSIM" "$MODEL" --ranks 4 --stats "$WORK/ref.csv" \
+    --trace "$WORK/ref.trace" --metrics "$WORK/ref.json"
+run full "$SSTSIM" "$MODEL" --ranks 4 --stats "$WORK/full.csv" \
+    --trace "$WORK/full.trace" --metrics "$WORK/full.json" \
+    --checkpoint-period 2us --checkpoint-dir "$WORK/cp" --checkpoint-keep 4
+check "checkpointing run matches plain run (stats)" \
+    cmp -s "$WORK/ref.csv" "$WORK/full.csv"
+check "checkpointing run matches plain run (trace)" \
+    cmp -s "$WORK/ref.trace" "$WORK/full.trace"
+check "checkpoint files were written" \
+    test -f "$WORK/cp/$(ls "$WORK/cp" 2>/dev/null | tail -1)"
+
+# --- 2: resume from a mid-run snapshot is byte-identical --------------
+run resume "$SSTSIM" --restart "$WORK/cp" --ranks 4 \
+    --stats "$WORK/res.csv" --trace "$WORK/res.trace" \
+    --metrics "$WORK/res.json"
+check "resumed stats identical"   cmp -s "$WORK/ref.csv"   "$WORK/res.csv"
+check "resumed trace identical"   cmp -s "$WORK/ref.trace" "$WORK/res.trace"
+check "resumed metrics identical" cmp -s "$WORK/ref.json"  "$WORK/res.json"
+
+# Resume must also work from the OLDEST retained snapshot, not just the
+# most recent one.
+oldest="$WORK/cp/$(ls "$WORK/cp" | head -1)"
+run resume_old "$SSTSIM" --restart "$oldest" --ranks 4 \
+    --stats "$WORK/res_old.csv"
+check "resume from oldest snapshot identical" \
+    cmp -s "$WORK/ref.csv" "$WORK/res_old.csv"
+
+# --- 3: SIGKILL mid-run, restart from latest snapshot -----------------
+# Slow the victim down with a wall-clock checkpoint cadence so there is
+# time to kill it mid-flight; the simulated-time cadence keeps writing
+# deterministic snapshots.
+rm -rf "$WORK/kcp"
+"$SSTSIM" "$MODEL" --ranks 1 --stats "$WORK/kill.csv" \
+    --checkpoint-period 2us --checkpoint-dir "$WORK/kcp" \
+    > /dev/null 2>&1 &
+victim=$!
+# Busy-wait until at least two snapshots exist, then kill -9.
+tries=0
+while [ "$(ls "$WORK/kcp" 2>/dev/null | wc -l)" -lt 2 ]; do
+  tries=$((tries + 1))
+  if [ "$tries" -gt 2000 ]; then break; fi
+  if ! kill -0 "$victim" 2>/dev/null; then break; fi
+done
+kill -9 "$victim" 2>/dev/null
+wait "$victim" 2>/dev/null
+if [ "$(ls "$WORK/kcp" 2>/dev/null | wc -l)" -lt 1 ]; then
+  # The run finished before we could kill it — snapshots still exist
+  # unless rotation removed them all, which keep>=1 forbids.
+  echo "ckpt_restart: FAIL: no snapshot survived the kill window" >&2
+  fail=1
+else
+  run killres "$SSTSIM" --restart "$WORK/kcp" --ranks 1 \
+      --stats "$WORK/killres.csv"
+  run killref "$SSTSIM" "$MODEL" --ranks 1 --stats "$WORK/killref.csv"
+  check "post-kill restart converges to reference" \
+      cmp -s "$WORK/killref.csv" "$WORK/killres.csv"
+fi
+
+# --- 4: corrupt-snapshot handling -------------------------------------
+newest="$WORK/cp/$(ls "$WORK/cp" | tail -1)"
+dd if=/dev/null of="$newest" bs=1 seek=100 2>/dev/null  # truncate to 100B
+run fallback "$SSTSIM" --restart "$WORK/cp" --ranks 4 \
+    --stats "$WORK/fb.csv"
+check "fallback restart still byte-identical" \
+    cmp -s "$WORK/ref.csv" "$WORK/fb.csv"
+check "fallback diagnostic names the rejected file" \
+    grep -q "checkpoint rejected" "$WORK/fallback.err"
+
+mkdir -p "$WORK/bad"
+echo "not a checkpoint" > "$WORK/bad/sim.ckpt.000001"
+"$SSTSIM" --restart "$WORK/bad" --stats - > /dev/null 2> "$WORK/bad.err"
+rc=$?
+check "no intact snapshot exits 5" test "$rc" -eq 5
+check "exit-5 diagnostic says restart failed" \
+    grep -q "restart failed" "$WORK/bad.err"
+
+if [ "$fail" -ne 0 ]; then exit 1; fi
+echo "ckpt_restart: all checkpoint/restart contracts hold"

@@ -1,7 +1,7 @@
 #!/bin/sh
 # sstsim exit-code contract:
 #   0 success, 1 runtime failure, 2 usage/config error,
-#   3 watchdog abort, 4 deadlock detected.
+#   3 watchdog abort, 4 deadlock detected, 5 restart failed.
 #
 #   test_exit_codes.sh <sstsim> <models_dir>
 set -u
@@ -34,6 +34,17 @@ expect 2 "unknown type"    "$SSTSIM" "$MODELS/bad_type.json"
 expect 2 "bad time value"  "$SSTSIM" "$MODELS/pingpong.json" --end "1 parsec"
 expect 3 "watchdog abort"  "$SSTSIM" "$MODELS/hog.json" --watchdog 0.3
 expect 4 "deadlock"        "$SSTSIM" "$MODELS/deadlock.json"
+
+# Checkpoint/restart additions: bad cadence values are usage errors (2),
+# an unusable restart source is the dedicated restart failure (5).
+expect 2 "bad ckpt period" "$SSTSIM" "$MODELS/pingpong.json" \
+                           --checkpoint-period "1 parsec"
+expect 2 "restart + input" "$SSTSIM" "$MODELS/pingpong.json" \
+                           --restart "$WORK/nowhere"
+expect 5 "restart missing" "$SSTSIM" --restart "$WORK/does_not_exist"
+mkdir -p "$WORK/badckpt"
+echo "garbage" > "$WORK/badckpt/sim.ckpt.000001"
+expect 5 "restart corrupt" "$SSTSIM" --restart "$WORK/badckpt"
 
 if [ "$fail" -ne 0 ]; then exit 1; fi
 echo "exit_codes: all codes as documented"
