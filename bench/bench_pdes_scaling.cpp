@@ -12,7 +12,16 @@
 // cross-rank event fraction grows with rank count but is far lower for
 // the min-cut partitioner than round-robin; events-per-window (the
 // available parallelism per sync) stays high for good partitions.
+//
+// Usage: bench_pdes_scaling [--end-us N] [--repeat N] [--json PATH]
+//   --end-us N    simulated end time in microseconds (default 2000)
+//   --repeat N    measure each configuration N times and report the
+//                 fastest run (default 3; results are deterministic, so
+//                 repeats differ only in wall time / scheduler noise)
+//   --json PATH   also write the E5/E9 rows as machine-readable JSON
+//                 (consumed by bench/run_benchmarks.sh -> BENCH_pdes.json)
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <vector>
 
@@ -23,8 +32,8 @@ namespace {
 
 using namespace sst;
 
-RunStats run_phold(unsigned ranks, PartitionStrategy part, unsigned x,
-                   unsigned y, SimTime end) {
+RunStats run_phold_once(unsigned ranks, PartitionStrategy part, unsigned x,
+                        unsigned y, SimTime end) {
   Simulation sim(SimConfig{
       .num_ranks = ranks, .end_time = end, .seed = 11, .partition = part});
   Params p;
@@ -51,6 +60,20 @@ RunStats run_phold(unsigned ranks, PartitionStrategy part, unsigned x,
   return sim.run();
 }
 
+/// Best-of-N measurement: every repeat produces identical simulation
+/// results (same events, windows, cross-rank counts — that is the
+/// determinism contract), so the minimum wall time is the run least
+/// perturbed by the host scheduler.
+RunStats run_phold(unsigned ranks, PartitionStrategy part, unsigned x,
+                   unsigned y, SimTime end, unsigned repeat) {
+  RunStats best = run_phold_once(ranks, part, x, y, end);
+  for (unsigned i = 1; i < repeat; ++i) {
+    const RunStats s = run_phold_once(ranks, part, x, y, end);
+    if (s.wall_seconds < best.wall_seconds) best = s;
+  }
+  return best;
+}
+
 const char* part_name(PartitionStrategy p) {
   switch (p) {
     case PartitionStrategy::kLinear: return "linear";
@@ -60,9 +83,78 @@ const char* part_name(PartitionStrategy p) {
   return "?";
 }
 
+/// One measured configuration, kept for the optional JSON dump.
+struct BenchRow {
+  unsigned ranks;
+  const char* partitioner;
+  RunStats stats;
+};
+
+double cross_fraction(const RunStats& s) {
+  return s.events_processed
+             ? static_cast<double>(s.cross_rank_events) /
+                   static_cast<double>(s.events_processed)
+             : 0.0;
+}
+
+void write_json(const std::string& path, const std::vector<BenchRow>& rows,
+                SimTime end) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "bench_pdes_scaling: cannot write '%s'\n",
+                 path.c_str());
+    std::exit(1);
+  }
+  std::fprintf(f, "{\n  \"benchmark\": \"phold_torus_16x16\",\n");
+  std::fprintf(f, "  \"end_us\": %llu,\n",
+               static_cast<unsigned long long>(end / kMicrosecond));
+  std::fprintf(f, "  \"runs\": [\n");
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const BenchRow& r = rows[i];
+    const RunStats& s = r.stats;
+    std::fprintf(
+        f,
+        "    {\"ranks\": %u, \"partitioner\": \"%s\", \"events\": %llu, "
+        "\"sync_windows\": %llu, \"cross_rank_events\": %llu, "
+        "\"cross_rank_fraction\": %.4f, \"cut_links\": %llu, "
+        "\"wall_seconds\": %.4f, \"events_per_sec\": %.0f}%s\n",
+        r.ranks, r.partitioner,
+        static_cast<unsigned long long>(s.events_processed),
+        static_cast<unsigned long long>(s.sync_windows),
+        static_cast<unsigned long long>(s.cross_rank_events),
+        cross_fraction(s), static_cast<unsigned long long>(s.cut_links),
+        s.wall_seconds, s.events_per_second(),
+        i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  SimTime end = 2 * kMillisecond;
+  unsigned repeat = 3;
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--end-us" && i + 1 < argc) {
+      end = static_cast<SimTime>(std::strtoull(argv[++i], nullptr, 10)) *
+            kMicrosecond;
+    } else if (arg == "--repeat" && i + 1 < argc) {
+      repeat = static_cast<unsigned>(std::strtoul(argv[++i], nullptr, 10));
+      if (repeat == 0) repeat = 1;
+    } else if (arg == "--json" && i + 1 < argc) {
+      json_path = argv[++i];
+    } else {
+      std::fprintf(stderr,
+                   "usage: bench_pdes_scaling [--end-us N] [--repeat N] "
+                   "[--json PATH]\n");
+      return 1;
+    }
+  }
+  std::vector<BenchRow> rows;
+
   std::printf("--------------------------------------------------------------------------\n");
   std::printf("E5 PDES engine scaling (PHOLD on a 16x16 torus, 1024 initial events)\n");
   std::printf("  reproduces: SC'06 poster scalability claim (threads stand in for MPI\n");
@@ -73,7 +165,8 @@ int main() {
               "windows", "evts/window", "cross-rank", "Mevt/s");
   for (unsigned ranks : {1u, 2u, 4u, 8u}) {
     const RunStats s = run_phold(ranks, PartitionStrategy::kMinCut, 16, 16,
-                                 2 * kMillisecond);
+                                 end, repeat);
+    rows.push_back({ranks, "mincut", s});
     const double per_window =
         s.sync_windows ? static_cast<double>(s.events_processed) /
                              static_cast<double>(s.sync_windows)
@@ -81,23 +174,32 @@ int main() {
     std::printf("%-6u %12llu %10llu %12.1f %11.1f%% %10.2f\n", ranks,
                 static_cast<unsigned long long>(s.events_processed),
                 static_cast<unsigned long long>(s.sync_windows), per_window,
-                100.0 * static_cast<double>(s.cross_rank_events) /
-                    static_cast<double>(s.events_processed),
-                s.events_per_second() / 1e6);
+                100.0 * cross_fraction(s), s.events_per_second() / 1e6);
   }
 
   std::printf("\nE9 partitioner quality (4 ranks, same torus)\n");
   std::printf("%-12s %10s %14s %12s %12s\n", "partitioner", "cut links",
               "cross-rank", "windows", "events");
   for (PartitionStrategy part :
-       {PartitionStrategy::kLinear, PartitionStrategy::kRoundRobin,
-        PartitionStrategy::kMinCut}) {
-    const RunStats s =
-        run_phold(4, part, 16, 16, 2 * kMillisecond);
+       {PartitionStrategy::kLinear, PartitionStrategy::kRoundRobin}) {
+    const RunStats s = run_phold(4, part, 16, 16, end, repeat);
+    rows.push_back({4, part_name(part), s});
     std::printf("%-12s %10llu %13.1f%% %12llu %12llu\n", part_name(part),
                 static_cast<unsigned long long>(s.cut_links),
-                100.0 * static_cast<double>(s.cross_rank_events) /
-                    static_cast<double>(s.events_processed),
+                100.0 * cross_fraction(s),
+                static_cast<unsigned long long>(s.sync_windows),
+                static_cast<unsigned long long>(s.events_processed));
+  }
+  {
+    // The min-cut row reuses the E5 4-rank measurement above.
+    const BenchRow* mc = nullptr;
+    for (const BenchRow& r : rows) {
+      if (r.ranks == 4 && std::string(r.partitioner) == "mincut") mc = &r;
+    }
+    const RunStats& s = mc->stats;
+    std::printf("%-12s %10llu %13.1f%% %12llu %12llu\n", "mincut",
+                static_cast<unsigned long long>(s.cut_links),
+                100.0 * cross_fraction(s),
                 static_cast<unsigned long long>(s.sync_windows),
                 static_cast<unsigned long long>(s.events_processed));
   }
@@ -110,7 +212,7 @@ int main() {
   // times is unnecessary — vary via the torus link latency directly.
   for (SimTime lat : {50 * kNanosecond, 200 * kNanosecond, kMicrosecond}) {
     Simulation sim(SimConfig{.num_ranks = 2,
-                             .end_time = 2 * kMillisecond,
+                             .end_time = end,
                              .seed = 11,
                              .partition = PartitionStrategy::kMinCut});
     Params p;
@@ -132,5 +234,7 @@ int main() {
                                      static_cast<double>(s.sync_windows)
                                : 0.0);
   }
+
+  if (!json_path.empty()) write_json(json_path, rows, end);
   return 0;
 }

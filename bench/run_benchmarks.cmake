@@ -1,0 +1,45 @@
+# CMake-script twin of run_benchmarks.sh for hosts without a POSIX shell:
+#
+#   cmake -DSOURCE_DIR=<repo> [-DBUILD_DIR=<dir>] [-DEND_US=2000]
+#         [-DREPEAT=3] -P bench/run_benchmarks.cmake
+#
+# Configures a Release build, builds the PHOLD scaling benchmark, and runs
+# it with a JSON dump.  Merging the dump into BENCH_pdes.json (baseline
+# preservation, speedup computation) is delegated to run_benchmarks.sh,
+# which is the canonical entry point where a shell is available.
+if(NOT DEFINED SOURCE_DIR)
+  message(FATAL_ERROR "run_benchmarks.cmake: pass -DSOURCE_DIR=<repo root>")
+endif()
+if(NOT DEFINED BUILD_DIR)
+  set(BUILD_DIR "${SOURCE_DIR}/build-bench")
+endif()
+if(NOT DEFINED END_US)
+  set(END_US 2000)
+endif()
+if(NOT DEFINED REPEAT)
+  set(REPEAT 3)
+endif()
+
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -B ${BUILD_DIR} -S ${SOURCE_DIR}
+          -DCMAKE_BUILD_TYPE=Release
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "run_benchmarks.cmake: configure failed")
+endif()
+
+execute_process(
+  COMMAND ${CMAKE_COMMAND} --build ${BUILD_DIR} --target bench_pdes_scaling
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "run_benchmarks.cmake: build failed")
+endif()
+
+execute_process(
+  COMMAND ${BUILD_DIR}/bench/bench_pdes_scaling --end-us ${END_US}
+          --repeat ${REPEAT} --json ${BUILD_DIR}/bench_pdes_current.json
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "run_benchmarks.cmake: benchmark run failed")
+endif()
+message(STATUS "PHOLD results: ${BUILD_DIR}/bench_pdes_current.json")

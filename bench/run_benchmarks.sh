@@ -1,0 +1,76 @@
+#!/bin/sh
+# PDES performance trajectory runner.
+#
+#   bench/run_benchmarks.sh [build_dir]
+#
+# Configures and builds a Release build (reusing build_dir if given,
+# default <repo>/build-bench), runs the PHOLD scaling benchmark, and
+# (re)writes BENCH_pdes.json at the repo root:
+#
+#   {"baseline": {...},   # first recorded measurement, kept forever
+#    "current":  {...},   # this run
+#    "speedup":  {...}}   # current/baseline events/sec, serial and 4-rank
+#
+# The baseline section is preserved across reruns so every PR has a
+# before/after record; delete BENCH_pdes.json to re-seed it.
+#
+# Environment:
+#   SST_BENCH_END_US   simulated microseconds per configuration
+#                      (default 2000; CI smoke uses 200)
+#   SST_BENCH_REPEAT   repeats per configuration, fastest kept (default 3)
+set -eu
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD="${1:-$ROOT/build-bench}"
+END_US="${SST_BENCH_END_US:-2000}"
+REPEAT="${SST_BENCH_REPEAT:-3}"
+OUT="$ROOT/BENCH_pdes.json"
+
+cmake -B "$BUILD" -S "$ROOT" -DCMAKE_BUILD_TYPE=Release
+cmake --build "$BUILD" --target bench_pdes_scaling -j"$(getconf _NPROCESSORS_ONLN)"
+
+CURRENT="$BUILD/bench_pdes_current.json"
+"$BUILD/bench/bench_pdes_scaling" --end-us "$END_US" --repeat "$REPEAT" \
+    --json "$CURRENT"
+
+python3 - "$OUT" "$CURRENT" <<'EOF'
+import json, subprocess, sys
+
+out_path, current_path = sys.argv[1], sys.argv[2]
+with open(current_path) as f:
+    current = json.load(f)
+try:
+    rev = subprocess.run(["git", "rev-parse", "--short", "HEAD"],
+                         capture_output=True, text=True,
+                         check=True).stdout.strip()
+except Exception:
+    rev = "unknown"
+current["git_rev"] = rev
+
+try:
+    with open(out_path) as f:
+        doc = json.load(f)
+    baseline = doc.get("baseline", current)
+except (OSError, ValueError):
+    baseline = current
+
+def eps(doc, ranks, part="mincut"):
+    for run in doc.get("runs", []):
+        if run["ranks"] == ranks and run["partitioner"] == part:
+            return run["events_per_sec"]
+    return None
+
+speedup = {}
+for label, ranks in (("serial", 1), ("ranks4", 4)):
+    base, cur = eps(baseline, ranks), eps(current, ranks)
+    if base and cur:
+        speedup[label] = round(cur / base, 3)
+
+with open(out_path, "w") as f:
+    json.dump({"baseline": baseline, "current": current,
+               "speedup": speedup}, f, indent=2)
+    f.write("\n")
+print(f"wrote {out_path}")
+print(f"  baseline rev {baseline.get('git_rev', '?')}, "
+      f"current rev {rev}, speedup {speedup}")
+EOF

@@ -113,8 +113,19 @@ std::vector<std::byte> CheckpointEngine::capture(Simulation& sim) {
   // --- per-rank engine state: time, queues, counters ------------------
   for (auto& r : sim.ranks_) {
     s & r.now & r.events & r.mailbox_received & r.barrier_wait_seconds;
-    const auto pending = sorted_events(r.vortex.heap_,
-                                       /*skip_clock_ticks=*/true);
+    // The vortex heap stores inline-key nodes; collect the event pointers
+    // (clock ticks skipped, see is_clock_tick above) and sort them into
+    // the engine's deterministic total order for reproducible bytes.
+    std::vector<const Event*> pending;
+    pending.reserve(r.vortex.heap_.size());
+    for (const auto& node : r.vortex.heap_) {
+      if (is_clock_tick(*node.ev)) continue;
+      pending.push_back(node.ev.get());
+    }
+    std::sort(pending.begin(), pending.end(),
+              [](const Event* a, const Event* b) {
+                return EventOrder{}(*a, *b);
+              });
     std::uint64_t n = pending.size();
     s & n;
     for (const Event* ev : pending) detail::write_event(s, *ev);
@@ -316,7 +327,7 @@ void CheckpointEngine::restore(Simulation& sim,
     Simulation::RankState& rank = sim.ranks_[r];
     // The rebuild's initial events (first clock ticks, setup sends) are
     // replaced wholesale by the checkpointed queues.
-    rank.vortex.heap_.clear();
+    rank.vortex.clear();
     rank.mailbox.clear();
     s & rank.now & rank.events & rank.mailbox_received &
         rank.barrier_wait_seconds;
@@ -358,6 +369,9 @@ void CheckpointEngine::restore(Simulation& sim,
     }
     rank.vortex.inserted_ = staged[r].inserted;
     rank.vortex.max_depth_ = static_cast<std::size_t>(staged[r].max_depth);
+    // The original run's heap grew to max_depth; pre-size the restored
+    // heap so the resumed run doesn't re-pay the growth reallocations.
+    rank.vortex.reserve(static_cast<std::size_t>(staged[r].max_depth));
     for (auto& ev : staged[r].mailbox) {
       fix_handler(sim, *ev);
       rank.mailbox.push_back(std::move(ev));

@@ -15,7 +15,14 @@ class ClockTickEvent final : public Event {};
 Clock::Clock(Simulation& sim, RankId rank, SimTime period)
     : sim_(&sim), rank_(rank), period_(period) {
   if (period_ == 0) throw ConfigError("clock period must be >= 1ps");
-  tick_handler_ = [this](EventPtr ev) { tick(ev->delivery_time()); };
+  tick_handler_ = [this](EventPtr ev) {
+    const SimTime now = ev->delivery_time();
+    // Recycle in place: the consumed tick returns to the spare slot
+    // before dispatch, so a schedule_next() from tick() (or from a
+    // handler re-registering) reuses it instead of allocating.
+    spare_tick_ = std::move(ev);
+    tick(now);
+  };
 }
 
 void Clock::add_handler(ComponentId comp, ClockHandler h) {
@@ -27,7 +34,14 @@ void Clock::add_handler(ComponentId comp, ClockHandler h) {
 void Clock::schedule_next(SimTime now) {
   // First tick strictly after `now`, aligned to multiples of the period.
   const Cycle next_cycle = now / period_ + 1;
-  auto ev = std::make_unique<ClockTickEvent>();
+  EventPtr ev;
+  if (spare_tick_ != nullptr) {
+    ev = std::move(spare_tick_);
+    ++tick_recycles_;
+  } else {
+    ev = std::make_unique<ClockTickEvent>();
+    ++tick_allocs_;
+  }
   ev->delivery_time_ = next_cycle * period_;
   ev->priority_ = Event::kPriorityClock;
   ev->handler_ = &tick_handler_;
@@ -45,12 +59,15 @@ void Clock::tick(SimTime now) {
   scheduled_ = false;
   ++ticks_;
   const Cycle cycle = cycle_;
+  // One tracer check per tick, not per handler (the flag cannot change
+  // mid-run).
+  const bool tracing = sim_->tracing();
   // Dispatch in registration order; drop handlers that return true.
   // A handler may register new clocks/handlers while running, so index
   // rather than iterate.
   std::size_t i = 0;
   while (i < handlers_.size()) {
-    if (sim_->tracing() && handlers_[i].comp != kInvalidComponent) {
+    if (tracing && handlers_[i].comp != kInvalidComponent) {
       sim_->trace_clock_dispatch(rank_, now, handlers_[i].comp, cycle);
     }
     const bool done = handlers_[i].fn(cycle);

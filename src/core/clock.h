@@ -5,6 +5,11 @@
 // costs one event per cycle, not N.  A handler returning true unregisters
 // itself; the Clock stops ticking when no handlers remain (and resumes when
 // one is added), so simulated time can fast-forward through idle phases.
+//
+// Tick events are pooled: every Clock owns at most one ClockTickEvent,
+// which shuttles between the TimeVortex and the clock's spare slot instead
+// of being heap-allocated every cycle.  A steady-state clock therefore
+// performs exactly one allocation over the whole run.
 #pragma once
 
 #include <cstdint>
@@ -41,6 +46,14 @@ class Clock {
   /// Total ticks dispatched (for engine statistics).
   [[nodiscard]] std::uint64_t ticks() const { return ticks_; }
 
+  /// Tick-pool traffic: fresh ClockTickEvent allocations vs. reuses of
+  /// the spare slot.  allocs is 1 for a clock that never went idle;
+  /// allocs + recycles equals the number of ticks scheduled.
+  [[nodiscard]] std::uint64_t tick_allocs() const { return tick_allocs_; }
+  [[nodiscard]] std::uint64_t tick_recycles() const {
+    return tick_recycles_;
+  }
+
  private:
   friend class Simulation;
   friend class ckpt::CheckpointEngine;  // cycle/handler-order overlay
@@ -64,6 +77,12 @@ class Clock {
   std::uint64_t ticks_ = 0;
   std::vector<Handler> handlers_;
   EventHandler tick_handler_;  // bound once; target of tick events
+  // Tick-event pool: the delivered tick parks here until schedule_next
+  // re-stamps and re-inserts it (null while a tick is in the vortex or
+  // after checkpoint restore cleared the queues).
+  EventPtr spare_tick_;
+  std::uint64_t tick_allocs_ = 0;
+  std::uint64_t tick_recycles_ = 0;
 };
 
 }  // namespace sst

@@ -64,10 +64,24 @@ class XorShift128Plus {
   }
 
   /// Uniform integer in [0, bound).  bound == 0 is a checked error.
+  /// Rejection sampling to avoid modulo bias; the exact accepted set and
+  /// returned values are part of the reproducibility contract, so the
+  /// fast paths below must (and do) produce bit-identical streams.
   std::uint64_t next_bounded(std::uint64_t bound) {
     if (bound == 0) throw SimulationError("rng: zero bound");
-    // Rejection sampling to avoid modulo bias.
-    const std::uint64_t threshold = (~bound + 1) % bound;  // 2^64 mod bound
+    if ((bound & (bound - 1)) == 0) {
+      // Power of two: 2^64 mod bound == 0, so nothing is ever rejected
+      // and the modulo reduces to a mask — no 64-bit division at all.
+      return next() & (bound - 1);
+    }
+    // Hot-path callers draw from the same bound over and over; remember
+    // the last threshold so the 2^64-mod-bound division is paid once.
+    std::uint64_t threshold = bounded_threshold_;
+    if (bound != bounded_last_) {
+      threshold = (~bound + 1) % bound;  // 2^64 mod bound
+      bounded_last_ = bound;
+      bounded_threshold_ = threshold;
+    }
     for (;;) {
       const std::uint64_t r = next();
       if (r >= threshold) return r % bound;
@@ -98,6 +112,10 @@ class XorShift128Plus {
  private:
   std::uint64_t s0_;
   std::uint64_t s1_;
+  // next_bounded threshold memo (derived data, not part of State: it is
+  // recomputed on demand and never affects the output stream).
+  std::uint64_t bounded_last_ = 0;
+  std::uint64_t bounded_threshold_ = 0;
 };
 
 /// PCG32: small-state generator with excellent statistical quality.  Used

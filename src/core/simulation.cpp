@@ -558,23 +558,29 @@ void Simulation::run_init_phases() {
 // Scheduling
 // ---------------------------------------------------------------------
 
-void Simulation::schedule(RankId src_rank, RankId dst_rank, EventPtr ev) {
-  if (src_rank == dst_rank) {
-    ranks_[dst_rank].vortex.insert(std::move(ev));
-    return;
+void Simulation::flush_outbox(RankId me) {
+  RankState& src = ranks_[me];
+  std::uint64_t staged = 0;
+  for (RankId dst = 0; dst < src.outbox.size(); ++dst) {
+    auto& buf = src.outbox[dst];
+    if (buf.empty()) continue;
+    staged += buf.size();
+    {
+      std::lock_guard<std::mutex> lock(ranks_[dst].mailbox_mutex);
+      auto& mailbox = ranks_[dst].mailbox;
+      for (auto& ev : buf) mailbox.push_back(std::move(ev));
+    }
+    buf.clear();  // capacity is reused by the next window
+    ++src.outbox_flushes;
   }
-  cross_rank_events_.fetch_add(1, std::memory_order_relaxed);
-  RankState& dst = ranks_[dst_rank];
-  std::lock_guard<std::mutex> lock(dst.mailbox_mutex);
-  dst.mailbox.push_back(std::move(ev));
-}
-
-void Simulation::schedule_local(RankId rank, EventPtr ev) {
-  ranks_[rank].vortex.insert(std::move(ev));
+  if (staged > 0) {
+    // One atomic add per flushed buffer set instead of one per event.
+    cross_rank_events_.fetch_add(staged, std::memory_order_relaxed);
+  }
 }
 
 void Simulation::drain_mailbox(RankState& rank) {
-  std::vector<EventPtr> incoming;
+  std::vector<EventPtr>& incoming = rank.drain_scratch;
   {
     std::lock_guard<std::mutex> lock(rank.mailbox_mutex);
     incoming.swap(rank.mailbox);
@@ -587,6 +593,9 @@ void Simulation::drain_mailbox(RankState& rank) {
               return EventOrder{}(*a, *b);
             });
   for (auto& ev : incoming) rank.vortex.insert(std::move(ev));
+  // The swap left the (empty) scratch capacity in the mailbox; clearing
+  // here leaves this window's capacity staged for the next drain.
+  incoming.clear();
 }
 
 // ---------------------------------------------------------------------
@@ -704,6 +713,15 @@ RunStats Simulation::run() {
   }
   run_stats_.cross_rank_events =
       cross_rank_events_.load(std::memory_order_relaxed);
+  run_stats_.pool_allocs = 0;
+  run_stats_.pool_recycles = 0;
+  for (const auto& [key, clock] : clocks_) {
+    (void)key;
+    run_stats_.pool_allocs += clock->tick_allocs();
+    run_stats_.pool_recycles += clock->tick_recycles();
+  }
+  run_stats_.exchange_flushes = 0;
+  for (const auto& r : ranks_) run_stats_.exchange_flushes += r.outbox_flushes;
   run_stats_.cut_links = cut_links_;
   run_stats_.lookahead = config_.num_ranks > 1 ? lookahead_ : 0;
   run_stats_.checkpoints = ckpt_taken_;
@@ -733,7 +751,7 @@ void Simulation::run_serial() {
   std::uint64_t steps = 0;
   while (!rank.vortex.empty()) {
     if (primaries_done()) break;
-    if ((++steps & 1023U) == 0 &&
+    if ((++steps & kEnginePollMask) == 0 &&
         watchdog_fired_.load(std::memory_order_relaxed)) {
       return;
     }
@@ -744,8 +762,9 @@ void Simulation::run_serial() {
     }
     // Safe point: the checkpoint lands between two events, with the
     // pending one still in the vortex.  The wall-clock trigger is only
-    // polled every 1024 events to keep it off the hot path.
-    if (ckpt && checkpoint_due(t, (steps & 1023U) == 0)) {
+    // polled every kEnginePollInterval events to keep it off the hot
+    // path.
+    if (ckpt && checkpoint_due(t, (steps & kEnginePollMask) == 0)) {
       take_checkpoint();
     }
     EventPtr ev = rank.vortex.pop();
@@ -768,7 +787,7 @@ void Simulation::rank_process_until(RankId me, SimTime horizon) {
   while (!rank.vortex.empty()) {
     const SimTime t = rank.vortex.next_time();
     if (t >= horizon) return;
-    if ((++steps & 1023U) == 0 &&
+    if ((++steps & kEnginePollMask) == 0 &&
         watchdog_fired_.load(std::memory_order_relaxed)) {
       return;
     }
@@ -873,6 +892,12 @@ void Simulation::run_parallel() {
   std::barrier<decltype(compute_sync)> after_drain(
       static_cast<std::ptrdiff_t>(R), compute_sync);
 
+  // Window-batched exchange: every rank gets one staging buffer per
+  // destination; sends inside a window are lock-free appends, flushed
+  // with one lock per destination at the after_send barrier.
+  for (auto& r : ranks_) r.outbox.resize(R);
+  exchange_batching_ = true;
+
   const bool time_barriers = config_.profile_engine;
   auto worker = [this, &sync, &after_send, &after_drain,
                  time_barriers](RankId me) {
@@ -889,6 +914,7 @@ void Simulation::run_parallel() {
     };
     while (!sync.done) {
       rank_process_until(me, sync.horizon);
+      flush_outbox(me);
       wait(after_send);
       drain_mailbox(ranks_[me]);
       wait(after_drain);
@@ -902,6 +928,7 @@ void Simulation::run_parallel() {
   }
   worker(0);
   for (auto& t : threads) t.join();
+  exchange_batching_ = false;
   run_stats_.sync_windows = ckpt_windows_base_ + windows;
 }
 
@@ -1070,6 +1097,10 @@ void Simulation::setup_observability() {
       EngineStats& es = engine_stats_[r];
       es.events = stats_.create<Counter>(comp, "events_processed");
       es.mailbox = stats_.create<Counter>(comp, "mailbox_received");
+      es.pool_allocs = stats_.create<Counter>(comp, "tick_pool_allocs");
+      es.pool_recycles = stats_.create<Counter>(comp, "tick_pool_recycles");
+      es.exchange_flushes =
+          stats_.create<Counter>(comp, "exchange_flushes");
       es.vortex_depth = stats_.create<Accumulator>(comp, "vortex_depth");
       es.barrier_wait =
           stats_.create<Accumulator>(comp, "barrier_wait_seconds");
@@ -1122,10 +1153,21 @@ void Simulation::sample_metrics(RankId rank) {
 }
 
 void Simulation::finalize_engine_stats(double wall_seconds) {
+  // Clocks are keyed by (rank, period); fold each rank's tick-pool
+  // traffic into its engine.rankN counters.
+  std::vector<std::uint64_t> allocs(ranks_.size(), 0);
+  std::vector<std::uint64_t> recycles(ranks_.size(), 0);
+  for (const auto& [key, clock] : clocks_) {
+    allocs[key.first] += clock->tick_allocs();
+    recycles[key.first] += clock->tick_recycles();
+  }
   for (std::size_t r = 0; r < ranks_.size(); ++r) {
     EngineStats& es = engine_stats_[r];
     es.events->add(ranks_[r].events);
     es.mailbox->add(ranks_[r].mailbox_received);
+    es.pool_allocs->add(allocs[r]);
+    es.pool_recycles->add(recycles[r]);
+    es.exchange_flushes->add(ranks_[r].outbox_flushes);
     es.barrier_wait->add(ranks_[r].barrier_wait_seconds);
     if (wall_seconds > 0) {
       es.events_per_sec->add(static_cast<double>(ranks_[r].events) /

@@ -43,6 +43,14 @@ namespace ckpt {
 class CheckpointEngine;
 }  // namespace ckpt
 
+/// The run loops poll cheap-but-not-free conditions (the watchdog flag,
+/// the wall-clock checkpoint cadence) once every kEnginePollInterval
+/// events, so the hot path pays one AND-and-branch instead of an atomic
+/// load or a clock read per event.  Power of two; kEnginePollMask is the
+/// corresponding `(steps & mask) == 0` mask.
+inline constexpr std::uint64_t kEnginePollInterval = 1024;
+inline constexpr std::uint64_t kEnginePollMask = kEnginePollInterval - 1;
+
 /// How components are assigned to ranks when no explicit rank is given.
 enum class PartitionStrategy {
   kLinear,      // contiguous blocks by creation order
@@ -128,6 +136,9 @@ struct RunStats {
   SimTime lookahead = 0;               // sync window lookahead used
   std::uint64_t checkpoints = 0;       // snapshots written this run
   double checkpoint_seconds = 0.0;     // wall time spent writing them
+  std::uint64_t pool_allocs = 0;       // fresh clock-tick allocations
+  std::uint64_t pool_recycles = 0;     // tick events reused from the pool
+  std::uint64_t exchange_flushes = 0;  // batched cross-rank buffer flushes
   [[nodiscard]] double events_per_second() const {
     return wall_seconds > 0 ? static_cast<double>(events_processed) /
                                   wall_seconds
@@ -269,6 +280,16 @@ class Simulation {
     // Incoming cross-rank events, locked by senders.
     std::mutex mailbox_mutex;
     std::vector<EventPtr> mailbox;
+    // Outbound cross-rank staging, one buffer per destination rank.
+    // Filled lock-free by this rank's thread while a sync window runs;
+    // flushed with one mailbox lock per destination at the after_send
+    // barrier.  Buffers keep their capacity across windows.
+    std::vector<std::vector<EventPtr>> outbox;
+    // drain_mailbox swaps the mailbox into this scratch vector under the
+    // lock, so both vectors' capacities ping-pong between windows instead
+    // of being reallocated every drain.
+    std::vector<EventPtr> drain_scratch;
+    std::uint64_t outbox_flushes = 0;  // non-empty per-destination flushes
     // Self-profiler gauges (mailbox count is always maintained — one add
     // per drain; barrier wait is only measured under profile_engine).
     std::uint64_t mailbox_received = 0;
@@ -293,9 +314,28 @@ class Simulation {
   void note_primary() { ++primary_count_; }
   void note_primary_ok() { ++primary_ok_count_; }
 
-  // Called by Link / Clock.
-  void schedule(RankId src_rank, RankId dst_rank, EventPtr ev);
-  void schedule_local(RankId rank, EventPtr ev);
+  // Called by Link / Clock on every send — defined inline so the whole
+  // send -> vortex-insert chain compiles into the caller.
+  void schedule(RankId src_rank, RankId dst_rank, EventPtr ev) {
+    if (src_rank == dst_rank) {
+      ranks_[dst_rank].vortex.insert(std::move(ev));
+      return;
+    }
+    if (exchange_batching_) {
+      // We are on src_rank's worker thread: stage locally, no lock.  The
+      // whole buffer moves to dst's mailbox under one lock in
+      // flush_outbox() at the end of the window.
+      ranks_[src_rank].outbox[dst_rank].push_back(std::move(ev));
+      return;
+    }
+    cross_rank_events_.fetch_add(1, std::memory_order_relaxed);
+    RankState& dst = ranks_[dst_rank];
+    std::lock_guard<std::mutex> lock(dst.mailbox_mutex);
+    dst.mailbox.push_back(std::move(ev));
+  }
+  void schedule_local(RankId rank, EventPtr ev) {
+    ranks_[rank].vortex.insert(std::move(ev));
+  }
   [[nodiscard]] bool in_init_phase() const { return init_phase_active_; }
   void note_init_data_sent() { init_data_sent_ = true; }
 
@@ -308,6 +348,11 @@ class Simulation {
   void run_parallel();
   void rank_process_until(RankId me, SimTime horizon);
   void drain_mailbox(RankState& rank);
+  /// Moves rank `me`'s staged outbound events into the destination
+  /// mailboxes, one lock per non-empty destination buffer.  Called right
+  /// before the after_send barrier, so every event is in its mailbox
+  /// before any rank drains.
+  void flush_outbox(RankId me);
   [[nodiscard]] bool primaries_done() const {
     const auto p = primary_count_.load(std::memory_order_acquire);
     return p > 0 && primary_ok_count_.load(std::memory_order_acquire) >= p;
@@ -378,6 +423,11 @@ class Simulation {
   SimTime lookahead_ = kTimeNever;
   std::uint64_t cut_links_ = 0;
   RunStats run_stats_;
+  // True while the parallel worker loops run: cross-rank sends stage in
+  // the sender's outbox instead of locking the destination mailbox.
+  // Only toggled while the engine is single-threaded (before workers
+  // start / after they join), so a plain bool is race-free.
+  bool exchange_batching_ = false;
 
   // Observability state (null unless enabled in SimConfig).
   std::unique_ptr<obs::Tracer> tracer_;
@@ -388,6 +438,9 @@ class Simulation {
   struct EngineStats {
     Counter* events = nullptr;
     Counter* mailbox = nullptr;
+    Counter* pool_allocs = nullptr;
+    Counter* pool_recycles = nullptr;
+    Counter* exchange_flushes = nullptr;
     Accumulator* vortex_depth = nullptr;
     Accumulator* barrier_wait = nullptr;
     Accumulator* events_per_sec = nullptr;

@@ -27,6 +27,7 @@
 #include "core/clock.h"
 #include "core/component.h"
 #include "core/event.h"
+#include "core/event_pool.h"
 #include "core/link.h"
 #include "core/params.h"
 #include "core/rng.h"

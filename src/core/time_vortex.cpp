@@ -1,51 +1,4 @@
+// TimeVortex is header-only for performance (see time_vortex.h): the
+// queue operations run on every simulated event and are inlined into the
+// run loops.  This translation unit only anchors the header in the build.
 #include "core/time_vortex.h"
-
-#include <utility>
-
-namespace sst {
-
-void TimeVortex::insert(EventPtr ev) {
-  if (!ev) throw SimulationError("TimeVortex::insert: null event");
-  heap_.push_back(std::move(ev));
-  sift_up(heap_.size() - 1);
-  ++inserted_;
-  if (heap_.size() > max_depth_) max_depth_ = heap_.size();
-}
-
-EventPtr TimeVortex::pop() {
-  if (heap_.empty()) throw SimulationError("TimeVortex::pop: empty queue");
-  EventPtr top = std::move(heap_.front());
-  heap_.front() = std::move(heap_.back());
-  heap_.pop_back();
-  if (!heap_.empty()) sift_down(0);
-  return top;
-}
-
-SimTime TimeVortex::next_time() const {
-  return heap_.empty() ? kTimeNever : heap_.front()->delivery_time();
-}
-
-void TimeVortex::sift_up(std::size_t i) {
-  while (i > 0) {
-    const std::size_t parent = (i - 1) / 2;
-    if (!before(i, parent)) break;
-    std::swap(heap_[i], heap_[parent]);
-    i = parent;
-  }
-}
-
-void TimeVortex::sift_down(std::size_t i) {
-  const std::size_t n = heap_.size();
-  for (;;) {
-    std::size_t smallest = i;
-    const std::size_t l = 2 * i + 1;
-    const std::size_t r = 2 * i + 2;
-    if (l < n && before(l, smallest)) smallest = l;
-    if (r < n && before(r, smallest)) smallest = r;
-    if (smallest == i) return;
-    std::swap(heap_[i], heap_[smallest]);
-    i = smallest;
-  }
-}
-
-}  // namespace sst

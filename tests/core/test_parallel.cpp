@@ -183,5 +183,82 @@ TEST(Parallel, ZeroRanksRejected) {
   EXPECT_THROW(Simulation sim(SimConfig{.num_ranks = 0}), ConfigError);
 }
 
+struct GridResult {
+  std::vector<std::uint64_t> received;
+  std::uint64_t ticks = 0;
+  RunStats stats;
+};
+
+/// PHOLD 4x4 torus plus a clocked ticker: exercises the batched
+/// cross-rank exchange (every window stages and flushes events) and the
+/// clock-tick pool at the same time.
+GridResult run_grid(unsigned ranks) {
+  Simulation sim(SimConfig{.num_ranks = ranks,
+                           .end_time = 30 * kMicrosecond,
+                           .seed = 11,
+                           .partition = PartitionStrategy::kMinCut});
+  constexpr unsigned kSide = 4;
+  Params p;
+  p.set("fanout", "4");
+  p.set("initial_events", "2");
+  p.set("min_delay", "20ns");
+  auto name = [](unsigned x, unsigned y) {
+    return "n" + std::to_string(x) + "_" + std::to_string(y);
+  };
+  for (unsigned y = 0; y < kSide; ++y) {
+    for (unsigned x = 0; x < kSide; ++x) {
+      sim.add_component<PholdNode>(name(x, y), p);
+    }
+  }
+  for (unsigned y = 0; y < kSide; ++y) {
+    for (unsigned x = 0; x < kSide; ++x) {
+      sim.connect(name(x, y), "port0", name((x + 1) % kSide, y), "port1",
+                  200 * kNanosecond);
+      sim.connect(name(x, y), "port2", name(x, (y + 1) % kSide), "port3",
+                  200 * kNanosecond);
+    }
+  }
+  Params tp;
+  tp.set("limit", "400");
+  auto* ticker = sim.add_component<testing::Ticker>("ticker", tp);
+  GridResult r;
+  r.stats = sim.run();
+  r.ticks = ticker->ticks;
+  for (unsigned y = 0; y < kSide; ++y) {
+    for (unsigned x = 0; x < kSide; ++x) {
+      r.received.push_back(
+          dynamic_cast<PholdNode*>(sim.find_component(name(x, y)))->received);
+    }
+  }
+  return r;
+}
+
+TEST(Parallel, PooledBatchedExchangeDeterminism) {
+  // The pooled tick path and the window-batched exchange must not change
+  // a single model-visible value at any rank count.
+  const GridResult serial = run_grid(1);
+  const GridResult par2 = run_grid(2);
+  const GridResult par4 = run_grid(4);
+  EXPECT_GT(serial.stats.events_processed, 1000u);
+  EXPECT_EQ(serial.received, par2.received);
+  EXPECT_EQ(serial.received, par4.received);
+  EXPECT_EQ(serial.ticks, par2.ticks);
+  EXPECT_EQ(serial.ticks, par4.ticks);
+  EXPECT_EQ(serial.stats.events_processed, par2.stats.events_processed);
+  EXPECT_EQ(serial.stats.events_processed, par4.stats.events_processed);
+
+  // The tick pool allocated once per clock and recycled every re-arm.
+  EXPECT_EQ(serial.stats.pool_allocs, 1u);
+  EXPECT_EQ(serial.stats.pool_recycles, serial.ticks - 1);
+  EXPECT_EQ(par4.stats.pool_allocs, 1u);
+
+  // Serial runs never stage; parallel runs moved all cross-rank traffic
+  // through batched flushes.
+  EXPECT_EQ(serial.stats.exchange_flushes, 0u);
+  EXPECT_GT(par2.stats.exchange_flushes, 0u);
+  EXPECT_GT(par4.stats.exchange_flushes, 0u);
+  EXPECT_GT(par4.stats.cross_rank_events, 0u);
+}
+
 }  // namespace
 }  // namespace sst

@@ -112,6 +112,11 @@ class PholdNode final : public Component {
   }
 
   void setup() override {
+    // Connectivity is fixed once wiring is done; cache the connected
+    // subset here so forward() is allocation-free on the hot path.
+    for (Link* l : links_) {
+      if (l->connected()) connected_.push_back(l);
+    }
     for (std::uint32_t i = 0; i < initial_events_; ++i) {
       forward(make_event<IntEvent>(static_cast<std::int64_t>(i)));
     }
@@ -126,16 +131,13 @@ class PholdNode final : public Component {
   }
 
   void forward(EventPtr ev) {
-    std::vector<Link*> connected;
-    for (Link* l : links_) {
-      if (l->connected()) connected.push_back(l);
-    }
-    if (connected.empty()) return;
-    Link* out = connected[rng().next_bounded(connected.size())];
+    if (connected_.empty()) return;
+    Link* out = connected_[rng().next_bounded(connected_.size())];
     out->send(std::move(ev), rng().next_bounded(10) * min_delay_);
   }
 
   std::vector<Link*> links_;
+  std::vector<Link*> connected_;
   std::uint32_t fanout_;
   std::uint32_t initial_events_ = 0;
   SimTime min_delay_;
