@@ -33,6 +33,24 @@ Component* Factory::create(Simulation& sim, const std::string& type,
   return it->second(sim, name, params);
 }
 
+void Factory::describe_params(const std::string& type,
+                              std::vector<ParamDoc> docs) {
+  if (!known(type)) {
+    throw ConfigError("describe_params: unregistered type '" + type + "'");
+  }
+  auto [it, inserted] = param_docs_.emplace(type, std::move(docs));
+  (void)it;
+  if (!inserted) {
+    throw ConfigError("params documented twice for '" + type + "'");
+  }
+}
+
+const std::vector<ParamDoc>* Factory::param_docs(
+    const std::string& type) const {
+  auto it = param_docs_.find(type);
+  return it == param_docs_.end() ? nullptr : &it->second;
+}
+
 std::vector<std::string> Factory::registered_types() const {
   std::vector<std::string> out;
   out.reserve(builders_.size());

@@ -17,6 +17,17 @@ namespace sst {
 class Component;
 class Simulation;
 
+/// One declared parameter of a registered component type: the knob name,
+/// a one-line description, and the default ("" = required).  Element
+/// libraries attach these via Factory::describe_params so configuration
+/// authors (and DSE sweep axes) can discover what is overridable without
+/// reading the model source.
+struct ParamDoc {
+  std::string name;
+  std::string description;
+  std::string default_value;
+};
+
 class Factory {
  public:
   using Builder = std::function<Component*(Simulation&, const std::string&,
@@ -40,8 +51,18 @@ class Factory {
   /// All registered type names, sorted.
   [[nodiscard]] std::vector<std::string> registered_types() const;
 
+  /// Attaches parameter documentation to an already-registered type
+  /// (sstsim --list-components prints it).  Unknown type or duplicate
+  /// documentation is a programming error.
+  void describe_params(const std::string& type, std::vector<ParamDoc> docs);
+
+  /// Declared parameters for the type; nullptr when none were attached.
+  [[nodiscard]] const std::vector<ParamDoc>* param_docs(
+      const std::string& type) const;
+
  private:
   std::map<std::string, Builder> builders_;
+  std::map<std::string, std::vector<ParamDoc>> param_docs_;
 };
 
 /// Helper used by the registration macro.

@@ -1,0 +1,239 @@
+#include "dse/aggregate.h"
+
+#include <algorithm>
+#include <fstream>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "core/statistics.h"
+#include "dse/orchestrator.h"
+#include "obs/json_util.h"
+
+namespace sst::dse {
+
+namespace {
+
+/// Objective values print like the stats writers (12 significant
+/// digits): the table must be byte-stable across runs.
+std::string format_number(double v) { return obs::json_number(v); }
+
+}  // namespace
+
+std::vector<double> extract_objectives(const SweepSpec& spec,
+                                       const sdl::JsonValue& stats) {
+  std::vector<double> out;
+  out.reserve(spec.objectives.size());
+  for (const auto& obj : spec.objectives) {
+    const sdl::JsonValue* found = nullptr;
+    for (const auto& entry : stats.as_array()) {
+      if (entry.at("component").as_string() == obj.component &&
+          entry.at("statistic").as_string() == obj.statistic) {
+        found = &entry;
+        break;
+      }
+    }
+    if (found == nullptr) {
+      throw SweepError("objective '" + obj.name + "': no statistic '" +
+                       obj.component + "." + obj.statistic +
+                       "' in the stats dump");
+    }
+    const sdl::JsonValue& fields = found->at("fields");
+    if (!fields.has(obj.field)) {
+      std::string known;
+      for (const auto& [k, v] : fields.as_object()) {
+        (void)v;
+        known += known.empty() ? "" : ", ";
+        known += k;
+      }
+      throw SweepError("objective '" + obj.name + "': statistic '" +
+                       obj.component + "." + obj.statistic +
+                       "' has no field '" + obj.field + "' (fields: " +
+                       known + ")");
+    }
+    out.push_back(fields.at(obj.field).as_number());
+  }
+  return out;
+}
+
+std::vector<PointResult> collect_results(const SweepSpec& spec,
+                                         const std::vector<Point>& points,
+                                         const Ledger& ledger,
+                                         const std::string& out_dir) {
+  std::vector<PointResult> rows;
+  rows.reserve(points.size());
+  for (const auto& p : points) {
+    PointResult row;
+    row.point = p;
+    const LedgerRecord* rec = ledger.record(p.id);
+    if (rec != nullptr) row.status = rec->status;
+    if (rec != nullptr && rec->status == "ok") {
+      const std::string stats_path =
+          point_dir(out_dir, p.id) + "/stats.json";
+      std::ifstream in(stats_path);
+      if (in) {
+        std::ostringstream buf;
+        buf << in.rdbuf();
+        try {
+          row.objectives =
+              extract_objectives(spec, sdl::JsonValue::parse(buf.str()));
+          row.complete = true;
+        } catch (const ConfigError&) {
+          // Torn or incompatible stats: surface as incomplete rather
+          // than aborting the whole report.
+          row.status = "no-stats";
+        }
+      } else {
+        row.status = "no-stats";
+      }
+    }
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+void compute_pareto(const SweepSpec& spec, std::vector<PointResult>& rows) {
+  const std::size_t n_obj = spec.objectives.size();
+  // Canonicalize to maximize-all so domination is a single comparison.
+  auto canon = [&](const PointResult& r, std::size_t k) {
+    return spec.objectives[k].maximize ? r.objectives[k] : -r.objectives[k];
+  };
+  for (auto& row : rows) {
+    if (!row.complete) continue;
+    bool dominated = false;
+    for (const auto& other : rows) {
+      if (!other.complete || &other == &row) continue;
+      bool geq_all = true, gt_any = false;
+      for (std::size_t k = 0; k < n_obj; ++k) {
+        if (canon(other, k) < canon(row, k)) geq_all = false;
+        if (canon(other, k) > canon(row, k)) gt_any = true;
+      }
+      if (geq_all && gt_any) {
+        dominated = true;
+        break;
+      }
+    }
+    row.pareto = !dominated;
+  }
+
+  // Scalarized score: per-objective min-max normalization over complete
+  // rows, "better" mapped toward 1, weighted sum.
+  for (std::size_t k = 0; k < n_obj; ++k) {
+    double lo = 0.0, hi = 0.0;
+    bool first = true;
+    for (const auto& row : rows) {
+      if (!row.complete) continue;
+      const double v = canon(row, k);
+      lo = first ? v : std::min(lo, v);
+      hi = first ? v : std::max(hi, v);
+      first = false;
+    }
+    const double span = hi - lo;
+    for (auto& row : rows) {
+      if (!row.complete) continue;
+      const double norm =
+          span > 0 ? (canon(row, k) - lo) / span : 1.0;
+      row.score += spec.objectives[k].weight * norm;
+    }
+  }
+}
+
+const PointResult* best_point(const std::vector<PointResult>& rows) {
+  const PointResult* best = nullptr;
+  for (const auto& row : rows) {
+    if (!row.complete) continue;
+    if (best == nullptr || row.score > best->score) best = &row;
+  }
+  return best;
+}
+
+void write_results_csv(const SweepSpec& spec,
+                       const std::vector<PointResult>& rows,
+                       std::ostream& os) {
+  os << "point,status";
+  for (const auto& a : spec.axes) os << "," << csv_escape(a.name);
+  for (const auto& o : spec.objectives) os << "," << csv_escape(o.name);
+  os << ",pareto,score\n";
+  for (const auto& row : rows) {
+    os << row.point.id << "," << (row.status.empty() ? "pending" : row.status);
+    for (const auto& v : row.point.values) os << "," << csv_escape(v);
+    for (std::size_t k = 0; k < spec.objectives.size(); ++k) {
+      os << ",";
+      if (row.complete) os << format_number(row.objectives[k]);
+    }
+    os << "," << (row.pareto ? "1" : "0") << ","
+       << (row.complete ? format_number(row.score) : "") << "\n";
+  }
+}
+
+void write_results_jsonl(const SweepSpec& spec,
+                         const std::vector<PointResult>& rows,
+                         std::ostream& os) {
+  for (const auto& row : rows) {
+    os << "{\"point\":" << row.point.id << ",\"status\":\""
+       << obs::json_escape(row.status.empty() ? "pending" : row.status)
+       << "\",\"values\":{";
+    for (std::size_t a = 0; a < spec.axes.size(); ++a) {
+      os << (a ? "," : "") << "\"" << obs::json_escape(spec.axes[a].name)
+         << "\":\"" << obs::json_escape(row.point.values[a]) << "\"";
+    }
+    os << "}";
+    if (row.complete) {
+      os << ",\"objectives\":{";
+      for (std::size_t k = 0; k < spec.objectives.size(); ++k) {
+        os << (k ? "," : "") << "\""
+           << obs::json_escape(spec.objectives[k].name)
+           << "\":" << format_number(row.objectives[k]);
+      }
+      os << "},\"pareto\":" << (row.pareto ? "true" : "false")
+         << ",\"score\":" << format_number(row.score);
+    }
+    os << "}\n";
+  }
+}
+
+void write_report(const SweepSpec& spec,
+                  const std::vector<PointResult>& rows, std::ostream& os) {
+  std::uint64_t ok = 0, failed = 0, pending = 0;
+  for (const auto& row : rows) {
+    if (row.status == "ok" || row.status == "no-stats") {
+      ++ok;
+    } else if (row.status.empty()) {
+      ++pending;
+    } else {
+      ++failed;
+    }
+  }
+  os << "sweep '" << spec.name << "': " << rows.size() << " points, " << ok
+     << " ok, " << failed << " failed, " << pending << " pending\n";
+  if (spec.objectives.empty()) {
+    os << "(no objectives declared; results table has raw axis values "
+          "only)\n";
+    return;
+  }
+
+  auto print_row = [&](const PointResult& row) {
+    os << "  point " << row.point.id;
+    for (std::size_t a = 0; a < spec.axes.size(); ++a) {
+      os << "  " << spec.axes[a].name << "=" << row.point.values[a];
+    }
+    for (std::size_t k = 0; k < spec.objectives.size(); ++k) {
+      os << "  " << spec.objectives[k].name << "="
+         << format_number(row.objectives[k]);
+    }
+    os << "  score=" << format_number(row.score) << "\n";
+  };
+
+  std::uint64_t frontier = 0;
+  for (const auto& row : rows) frontier += row.pareto ? 1 : 0;
+  os << "Pareto frontier (" << frontier << " of " << ok << " complete):\n";
+  for (const auto& row : rows) {
+    if (row.pareto) print_row(row);
+  }
+  if (const PointResult* best = best_point(rows)) {
+    os << "best (weighted score):\n";
+    print_row(*best);
+  }
+}
+
+}  // namespace sst::dse

@@ -1,0 +1,70 @@
+// Results aggregation: ingests each completed point's stats JSON,
+// extracts the user-declared objective values, computes the Pareto
+// frontier and a scalarized best-point summary, and writes the results
+// table (CSV + JSONL).
+//
+// The table is deterministic by construction: rows are ordered by point
+// id, values come from the (deterministic) simulator, and nothing
+// wall-clock- or concurrency-dependent is included — an interrupted and
+// resumed sweep must produce the byte-identical table.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "dse/ledger.h"
+#include "dse/point_gen.h"
+#include "dse/sweep_spec.h"
+
+namespace sst::dse {
+
+/// One row of the results table.
+struct PointResult {
+  Point point;
+  std::string status;              // ledger status ("" = never ran)
+  std::vector<double> objectives;  // parallel to spec.objectives
+  bool complete = false;  // ran ok and every objective was found
+  bool pareto = false;    // on the non-dominated frontier
+  double score = 0.0;     // weighted normalized score (higher = better)
+};
+
+/// Extracts objective values from one stats JSON document.  Missing
+/// component/statistic/field entries throw SweepError naming what was
+/// available.
+[[nodiscard]] std::vector<double> extract_objectives(
+    const SweepSpec& spec, const sdl::JsonValue& stats);
+
+/// Builds the results table from the ledger plus each ok point's
+/// <out>/points/p<id>/stats.json.
+[[nodiscard]] std::vector<PointResult> collect_results(
+    const SweepSpec& spec, const std::vector<Point>& points,
+    const Ledger& ledger, const std::string& out_dir);
+
+/// Marks the Pareto-optimal rows (goal-aware non-domination over
+/// complete rows) and computes each row's scalarized score: objectives
+/// min-max normalized to [0, 1] with "better" mapped high, then
+/// weight-summed.  With no objectives declared every complete row is
+/// trivially on the frontier with score 0.
+void compute_pareto(const SweepSpec& spec, std::vector<PointResult>& rows);
+
+/// Results table writers (rows must already be scored).
+void write_results_csv(const SweepSpec& spec,
+                       const std::vector<PointResult>& rows,
+                       std::ostream& os);
+void write_results_jsonl(const SweepSpec& spec,
+                         const std::vector<PointResult>& rows,
+                         std::ostream& os);
+
+/// Human-readable report: summary counts, the Pareto frontier, and the
+/// best point by score.
+void write_report(const SweepSpec& spec,
+                  const std::vector<PointResult>& rows, std::ostream& os);
+
+/// Best complete row by score (ties -> lowest point id); nullptr when
+/// nothing completed.
+[[nodiscard]] const PointResult* best_point(
+    const std::vector<PointResult>& rows);
+
+}  // namespace sst::dse

@@ -1,0 +1,150 @@
+#include "dse/driver.h"
+
+#include <filesystem>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+#include "dse/aggregate.h"
+#include "dse/ledger.h"
+#include "dse/orchestrator.h"
+#include "dse/point_gen.h"
+#include "dse/sweep_spec.h"
+
+namespace fs = std::filesystem;
+
+namespace sst::dse {
+
+namespace {
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw SweepError("cannot open '" + path + "'");
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+void write_file(const std::string& path, const std::string& content) {
+  std::ofstream out(path);
+  out << content;
+  if (!out) throw SweepError("cannot write '" + path + "'");
+}
+
+/// Executes the orchestrate + aggregate + report tail shared by run and
+/// resume.  `spec` must already have its model path resolved.
+int execute(const SweepSpec& spec, const std::string& out_dir,
+            const std::string& sstsim_path, bool quiet, std::ostream& out,
+            std::ostream& err) {
+  const sdl::JsonValue base_model =
+      sdl::JsonValue::parse(read_file(spec.model_path));
+  validate_axes(spec, base_model);
+  const std::vector<Point> points = generate_points(spec);
+
+  Ledger ledger(out_dir + "/ledger.jsonl");
+  ledger.load(spec.name, points.size());
+
+  OrchestratorOptions orch;
+  orch.sstsim_path = sstsim_path;
+  orch.out_dir = out_dir;
+  orch.verbose = !quiet;
+  const OrchestratorSummary summary =
+      run_points(spec, points, base_model, ledger, orch);
+
+  std::vector<PointResult> rows =
+      collect_results(spec, points, ledger, out_dir);
+  compute_pareto(spec, rows);
+  {
+    std::ofstream csv(out_dir + "/results.csv");
+    write_results_csv(spec, rows, csv);
+    std::ofstream jsonl(out_dir + "/results.jsonl");
+    write_results_jsonl(spec, rows, jsonl);
+    if (!csv || !jsonl) {
+      err << "cannot write results table under " << out_dir << "\n";
+      return kSweepExitFailed;
+    }
+  }
+  write_report(spec, rows, out);
+  out << "results: " << out_dir << "/results.csv\n";
+  return summary.failed == 0 ? kSweepExitOk : kSweepExitFailed;
+}
+
+}  // namespace
+
+int run_sweep(const DriverOptions& options, std::ostream& out,
+              std::ostream& err) {
+  try {
+    const fs::path spec_path(options.spec_path);
+    SweepSpec spec = SweepSpec::from_json_text(
+        read_file(options.spec_path),
+        spec_path.parent_path().string());
+    if (options.jobs > 0) spec.run.concurrency = options.jobs;
+
+    std::string out_dir = options.out_dir;
+    if (out_dir.empty()) {
+      out_dir = spec_path.stem().string() + ".sweep";
+    }
+    fs::create_directories(out_dir);
+
+    // Make the directory self-contained: copy the base model in and
+    // rewrite the spec to reference the copy, so resume works after the
+    // original spec file moves or changes.
+    write_file(out_dir + "/model.json", read_file(spec.model_path));
+    spec.model_path = out_dir + "/model.json";
+    SweepSpec archived = spec;
+    archived.model_path = "model.json";  // relative to the sweep dir
+    write_file(out_dir + "/sweep.json", archived.to_json().dump(2) + "\n");
+
+    return execute(spec, out_dir, options.sstsim_path, options.quiet, out,
+                   err);
+  } catch (const ConfigError& e) {
+    err << "sweep failed: " << e.what() << "\n";
+    return kSweepExitConfig;
+  }
+}
+
+int resume_sweep(const std::string& out_dir, const std::string& sstsim_path,
+                 unsigned jobs, bool quiet, std::ostream& out,
+                 std::ostream& err) {
+  try {
+    const std::string spec_file = out_dir + "/sweep.json";
+    if (!fs::exists(spec_file)) {
+      err << "resume: no sweep.json under '" << out_dir
+          << "' (was this directory created by 'run'?)\n";
+      return kSweepExitConfig;
+    }
+    SweepSpec spec =
+        SweepSpec::from_json_text(read_file(spec_file), out_dir);
+    if (jobs > 0) spec.run.concurrency = jobs;
+    return execute(spec, out_dir, sstsim_path, quiet, out, err);
+  } catch (const ConfigError& e) {
+    err << "resume failed: " << e.what() << "\n";
+    return kSweepExitConfig;
+  }
+}
+
+int report_sweep(const std::string& out_dir, std::ostream& out,
+                 std::ostream& err) {
+  try {
+    const std::string spec_file = out_dir + "/sweep.json";
+    if (!fs::exists(spec_file)) {
+      err << "report: no sweep.json under '" << out_dir << "'\n";
+      return kSweepExitConfig;
+    }
+    const SweepSpec spec =
+        SweepSpec::from_json_text(read_file(spec_file), out_dir);
+    const std::vector<Point> points = generate_points(spec);
+    Ledger ledger(out_dir + "/ledger.jsonl");
+    ledger.load(spec.name, points.size());
+    std::vector<PointResult> rows =
+        collect_results(spec, points, ledger, out_dir);
+    compute_pareto(spec, rows);
+    write_report(spec, rows, out);
+    return kSweepExitOk;
+  } catch (const ConfigError& e) {
+    err << "report failed: " << e.what() << "\n";
+    return kSweepExitConfig;
+  }
+}
+
+}  // namespace sst::dse

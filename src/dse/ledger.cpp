@@ -1,0 +1,146 @@
+#include "dse/ledger.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "obs/json_util.h"
+
+namespace fs = std::filesystem;
+
+namespace sst::dse {
+
+namespace {
+
+std::string record_to_line(const LedgerRecord& r) {
+  std::ostringstream os;
+  os << "{\"point\":" << r.point << ",\"status\":\""
+     << obs::json_escape(r.status) << "\",\"exit\":" << r.exit_code
+     << ",\"signal\":" << r.term_signal << ",\"attempts\":" << r.attempts
+     << ",\"values\":[";
+  for (std::size_t i = 0; i < r.values.size(); ++i) {
+    os << (i ? "," : "") << "\"" << obs::json_escape(r.values[i]) << "\"";
+  }
+  os << "]}";
+  return os.str();
+}
+
+/// tmp + write + fsync + rename + directory fsync: the ckpt publish
+/// discipline, so a crash never leaves a torn ledger.
+void publish(const std::string& path, const std::string& content) {
+  const fs::path target(path);
+  const fs::path tmp =
+      target.parent_path() / (".tmp." + target.filename().string());
+  const int fd =
+      ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    throw SweepError("cannot write ledger temp file '" + tmp.string() + "'");
+  }
+  std::size_t off = 0;
+  while (off < content.size()) {
+    const ::ssize_t n =
+        ::write(fd, content.data() + off, content.size() - off);
+    if (n <= 0) {
+      ::close(fd);
+      ::unlink(tmp.c_str());
+      throw SweepError("short write to ledger temp file '" + tmp.string() +
+                       "'");
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  if (::fsync(fd) != 0) {
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    throw SweepError("fsync of ledger temp file '" + tmp.string() +
+                     "' failed");
+  }
+  ::close(fd);
+  if (::rename(tmp.c_str(), target.c_str()) != 0) {
+    ::unlink(tmp.c_str());
+    throw SweepError("cannot publish ledger '" + path + "'");
+  }
+  const std::string dir =
+      target.parent_path().empty() ? "." : target.parent_path().string();
+  const int dirfd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (dirfd >= 0) {
+    ::fsync(dirfd);
+    ::close(dirfd);
+  }
+}
+
+}  // namespace
+
+Ledger::Ledger(std::string path) : path_(std::move(path)) {}
+
+bool Ledger::load(const std::string& sweep_name, std::uint64_t point_count) {
+  std::ifstream in(path_);
+  if (!in) return false;
+  std::string line;
+  bool saw_header = false;
+  std::size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (line.empty()) continue;
+    sdl::JsonValue doc;
+    try {
+      doc = sdl::JsonValue::parse(line);
+    } catch (const sdl::JsonError& e) {
+      throw SweepError("ledger '" + path_ + "' line " +
+                       std::to_string(lineno) + " is malformed: " + e.what());
+    }
+    if (!saw_header) {
+      // Header: {"sweep": name, "points": N}
+      if (!doc.has("sweep") || !doc.has("points")) {
+        throw SweepError("ledger '" + path_ + "' has no header line");
+      }
+      if (doc.at("sweep").as_string() != sweep_name) {
+        throw SweepError("ledger '" + path_ + "' belongs to sweep '" +
+                         doc.at("sweep").as_string() + "', not '" +
+                         sweep_name + "'");
+      }
+      if (static_cast<std::uint64_t>(doc.at("points").as_number()) !=
+          point_count) {
+        throw SweepError("ledger '" + path_ + "' records " +
+                         std::to_string(static_cast<std::uint64_t>(
+                             doc.at("points").as_number())) +
+                         " points but the spec generates " +
+                         std::to_string(point_count) +
+                         " (was the spec edited mid-sweep?)");
+      }
+      saw_header = true;
+      continue;
+    }
+    LedgerRecord r;
+    r.point = static_cast<std::uint64_t>(doc.at("point").as_number());
+    r.status = doc.at("status").as_string();
+    r.exit_code = static_cast<int>(doc.get_number("exit", 0));
+    r.term_signal = static_cast<int>(doc.get_number("signal", 0));
+    r.attempts = static_cast<unsigned>(doc.get_number("attempts", 1));
+    if (doc.has("values")) {
+      for (const auto& v : doc.at("values").as_array()) {
+        r.values.push_back(v.as_string());
+      }
+    }
+    records_[r.point] = std::move(r);
+  }
+  return saw_header;
+}
+
+void Ledger::append(const LedgerRecord& record, const std::string& sweep_name,
+                    std::uint64_t point_count) {
+  records_[record.point] = record;
+  std::ostringstream os;
+  os << "{\"sweep\":\"" << obs::json_escape(sweep_name)
+     << "\",\"points\":" << point_count << "}\n";
+  for (const auto& [id, r] : records_) {
+    (void)id;
+    os << record_to_line(r) << "\n";
+  }
+  publish(path_, os.str());
+}
+
+}  // namespace sst::dse

@@ -1,0 +1,256 @@
+#include "dse/orchestrator.h"
+
+#include <fcntl.h>
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <deque>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <thread>
+
+namespace fs = std::filesystem;
+
+namespace sst::dse {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+// sstsim's documented watchdog exit code: the transient-outcome marker.
+constexpr int kChildWatchdogExit = 3;
+// _exit() value of a child whose execv failed (distinct from every
+// documented sstsim code).
+constexpr int kExecFailedExit = 127;
+
+struct PendingPoint {
+  const Point* point = nullptr;
+  unsigned attempts = 0;          // attempts already made
+  Clock::time_point not_before;   // backoff gate
+};
+
+struct RunningPoint {
+  const Point* point = nullptr;
+  unsigned attempts = 1;          // attempts including this one
+  Clock::time_point hard_deadline;
+  bool hard_killed = false;
+};
+
+/// Writes the point's materialized model (base + axis overrides).
+void write_point_model(const SweepSpec& spec, const Point& point,
+                       const sdl::JsonValue& base_model,
+                       const std::string& dir) {
+  sdl::ConfigGraph graph = sdl::ConfigGraph::from_json(base_model);
+  apply_point(spec, point, graph);
+  const std::string path = dir + "/model.json";
+  std::ofstream out(path);
+  out << graph.to_json().dump(2) << "\n";
+  if (!out) throw SweepError("cannot write point model '" + path + "'");
+}
+
+/// fsync a finished child's output so the ledger's "ok" never outlives
+/// the stats it vouches for.
+void fsync_file(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd >= 0) {
+    ::fsync(fd);
+    ::close(fd);
+  }
+}
+
+/// fork + chdir + redirect + execv.  Only async-signal-safe calls run
+/// between fork and execv.
+pid_t spawn_child(const std::vector<std::string>& argv,
+                  const std::string& dir) {
+  std::vector<char*> cargv;
+  cargv.reserve(argv.size() + 1);
+  for (const auto& a : argv) cargv.push_back(const_cast<char*>(a.c_str()));
+  cargv.push_back(nullptr);
+  const pid_t pid = ::fork();
+  if (pid < 0) throw SweepError("fork failed");
+  if (pid == 0) {
+    if (::chdir(dir.c_str()) != 0) ::_exit(kExecFailedExit);
+    const int log =
+        ::open("run.log", O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    if (log >= 0) {
+      ::dup2(log, 1);
+      ::dup2(log, 2);
+      if (log > 2) ::close(log);
+    }
+    ::execv(cargv[0], cargv.data());
+    ::_exit(kExecFailedExit);
+  }
+  return pid;
+}
+
+}  // namespace
+
+std::string point_dir(const std::string& out_dir, std::uint64_t id) {
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "p%06llu",
+                static_cast<unsigned long long>(id));
+  return out_dir + "/points/" + buf;
+}
+
+OrchestratorSummary run_points(const SweepSpec& spec,
+                               const std::vector<Point>& points,
+                               const sdl::JsonValue& base_model,
+                               Ledger& ledger,
+                               const OrchestratorOptions& options) {
+  OrchestratorSummary summary;
+  // The child chdirs into its point directory, so the binary path must
+  // survive the move.
+  const std::string sstsim = fs::absolute(options.sstsim_path).string();
+  if (!fs::exists(sstsim)) {
+    throw SweepError("simulator binary '" + options.sstsim_path +
+                     "' does not exist");
+  }
+
+  std::deque<PendingPoint> pending;
+  for (const auto& p : points) {
+    const LedgerRecord* rec = ledger.record(p.id);
+    if (rec != nullptr && rec->status == "ok") {
+      ++summary.skipped;
+      continue;
+    }
+    pending.push_back({&p, 0, Clock::now()});
+  }
+  const std::uint64_t to_run = pending.size();
+  if (options.verbose && summary.skipped > 0) {
+    std::cerr << "[dse] resuming: " << summary.skipped
+              << " points already complete, " << to_run << " to run\n";
+  }
+
+  const double timeout = spec.run.timeout_seconds;
+  std::map<pid_t, RunningPoint> running;
+  std::uint64_t finished = 0;
+
+  auto finalize = [&](const RunningPoint& run, const std::string& status,
+                      int exit_code, int sig) {
+    LedgerRecord rec;
+    rec.point = run.point->id;
+    rec.status = status;
+    rec.exit_code = exit_code;
+    rec.term_signal = sig;
+    rec.attempts = run.attempts;
+    rec.values = run.point->values;
+    if (status == "ok") {
+      fsync_file(point_dir(options.out_dir, rec.point) + "/stats.json");
+      ++summary.ok;
+    } else {
+      ++summary.failed;
+    }
+    ledger.append(rec, spec.name, points.size());
+    ++finished;
+    if (options.verbose) {
+      std::cerr << "[dse] point " << rec.point << " " << status << " ("
+                << finished << "/" << to_run << ")\n";
+    }
+  };
+
+  while (!pending.empty() || !running.empty()) {
+    // Fill free worker slots with ready pending points.
+    while (running.size() < spec.run.concurrency && !pending.empty()) {
+      // Pull the first ready entry (backoff may gate the head while a
+      // later first-attempt point is ready).
+      auto ready = pending.end();
+      for (auto it = pending.begin(); it != pending.end(); ++it) {
+        if (it->not_before <= Clock::now()) {
+          ready = it;
+          break;
+        }
+      }
+      if (ready == pending.end()) break;
+      const PendingPoint job = *ready;
+      pending.erase(ready);
+
+      const std::string dir = point_dir(options.out_dir, job.point->id);
+      fs::create_directories(dir);
+      write_point_model(spec, *job.point, base_model, dir);
+
+      std::vector<std::string> argv = {sstsim, "model.json", "--stats",
+                                       "stats.json", "--stats-format",
+                                       "json"};
+      if (timeout > 0) {
+        argv.push_back("--watchdog");
+        argv.push_back(std::to_string(timeout));
+      }
+      if (spec.run.ranks > 0) {
+        argv.push_back("--ranks");
+        argv.push_back(std::to_string(spec.run.ranks));
+      }
+      if (!spec.run.end_time.empty()) {
+        argv.push_back("--end");
+        argv.push_back(spec.run.end_time);
+      }
+      const pid_t pid = spawn_child(argv, dir);
+      RunningPoint run;
+      run.point = job.point;
+      run.attempts = job.attempts + 1;
+      // The child's own watchdog fires at `timeout`; the hard deadline
+      // only catches children too wedged to honour it.
+      run.hard_deadline =
+          Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                             std::chrono::duration<double>(
+                                 timeout > 0 ? timeout * 1.5 + 2.0 : 1e9));
+      running.emplace(pid, run);
+    }
+
+    // Reap.
+    int status = 0;
+    const pid_t pid = ::waitpid(-1, &status, WNOHANG);
+    if (pid > 0) {
+      auto it = running.find(pid);
+      if (it == running.end()) continue;  // not ours (shouldn't happen)
+      const RunningPoint run = it->second;
+      running.erase(it);
+
+      const bool exited = WIFEXITED(status);
+      const int exit_code = exited ? WEXITSTATUS(status) : 0;
+      const int sig = WIFSIGNALED(status) ? WTERMSIG(status) : 0;
+      const bool transient =
+          (exited && exit_code == kChildWatchdogExit) || sig != 0;
+      if (exited && exit_code == 0) {
+        finalize(run, "ok", 0, 0);
+      } else if (transient && run.attempts <= spec.run.retries) {
+        const double backoff =
+            spec.run.backoff_seconds * static_cast<double>(1u << (run.attempts - 1));
+        if (options.verbose) {
+          std::cerr << "[dse] point " << run.point->id << " attempt "
+                    << run.attempts << " "
+                    << (sig != 0
+                            ? "killed (signal " + std::to_string(sig) + ")"
+                            : "timed out (exit " +
+                                  std::to_string(exit_code) + ")")
+                    << "; retrying in " << backoff << "s\n";
+        }
+        pending.push_back(
+            {run.point, run.attempts,
+             Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                                std::chrono::duration<double>(backoff))});
+      } else {
+        finalize(run,
+                 transient || run.hard_killed ? "timeout" : "failed",
+                 exit_code, sig);
+      }
+      continue;  // look for more finished children before sleeping
+    }
+
+    // Enforce hard deadlines on stragglers.
+    for (auto& [cpid, run] : running) {
+      if (!run.hard_killed && Clock::now() > run.hard_deadline) {
+        ::kill(cpid, SIGKILL);
+        run.hard_killed = true;
+      }
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  return summary;
+}
+
+}  // namespace sst::dse

@@ -1,0 +1,54 @@
+// Sweep orchestrator: executes points through a pool of isolated child
+// sstsim processes.
+//
+//   * Each point runs in its own directory (<out>/points/p<id>/) with
+//     its materialized model.json, stats.json, and run.log — children
+//     never share files, so any concurrency level is safe.
+//   * The per-point timeout reuses the sstsim watchdog exit-code
+//     contract: the child gets --watchdog <timeout> and exits 3 with
+//     diagnostics; the orchestrator SIGKILLs only stragglers that
+//     outlive even that.
+//   * Transient outcomes (watchdog, signal death) are retried with
+//     doubling backoff up to run.retries times; deterministic failures
+//     (config/runtime/deadlock exits) are recorded immediately.
+//   * Final outcomes go to the crash-consistent ledger, so a killed
+//     driver resumes without re-running finished points.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dse/ledger.h"
+#include "dse/point_gen.h"
+#include "dse/sweep_spec.h"
+
+namespace sst::dse {
+
+struct OrchestratorOptions {
+  std::string sstsim_path;  // child simulator binary
+  std::string out_dir;      // sweep output directory
+  bool verbose = true;      // per-point progress lines on stderr
+};
+
+struct OrchestratorSummary {
+  std::uint64_t ok = 0;       // points that finished with exit 0
+  std::uint64_t failed = 0;   // permanent failures (incl. exhausted retries)
+  std::uint64_t skipped = 0;  // already "ok" in the ledger (resume)
+};
+
+/// Runs every point not already completed in the ledger.  Points with a
+/// previous "failed"/"timeout" record are re-attempted.  Throws
+/// SweepError on orchestration-level problems (unspawnable children,
+/// unwritable point directories).
+OrchestratorSummary run_points(const SweepSpec& spec,
+                               const std::vector<Point>& points,
+                               const sdl::JsonValue& base_model,
+                               Ledger& ledger,
+                               const OrchestratorOptions& options);
+
+/// Point directory for an id: <out>/points/p<id (zero-padded)>.
+[[nodiscard]] std::string point_dir(const std::string& out_dir,
+                                    std::uint64_t id);
+
+}  // namespace sst::dse

@@ -1,0 +1,285 @@
+#include "dse/sweep_spec.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <set>
+
+namespace sst::dse {
+
+namespace {
+
+/// Formats a range sample as a parameter value: integral values print
+/// without a decimal point so "/config/seed"-style integer overrides and
+/// byte counts stay parseable; everything else uses shortest-round-trip
+/// %g, matching the SDL's number-to-param normalization.
+std::string format_value(double v, const std::string& suffix) {
+  char buf[40];
+  if (v == static_cast<double>(static_cast<long long>(v))) {
+    std::snprintf(buf, sizeof buf, "%lld", static_cast<long long>(v));
+  } else {
+    std::snprintf(buf, sizeof buf, "%g", v);
+  }
+  return std::string(buf) + suffix;
+}
+
+std::vector<std::string> expand_range(const sdl::JsonValue& jr,
+                                      const std::string& suffix,
+                                      const std::string& path) {
+  auto fail = [&path](const std::string& msg) -> void {
+    throw SweepError("axis '" + path + "': " + msg);
+  };
+  if (!jr.has("from") || !jr.has("to")) fail("range requires from and to");
+  const double from = jr.at("from").as_number();
+  const double to = jr.at("to").as_number();
+  const auto steps =
+      static_cast<std::uint64_t>(jr.get_number("steps", 2));
+  const std::string scale = jr.get_string("scale", "linear");
+  if (steps == 0) fail("empty range (steps must be >= 1)");
+  if (scale != "linear" && scale != "log") {
+    fail("unknown scale '" + scale + "' (known: linear, log)");
+  }
+  const bool log = scale == "log";
+  if (log && (from <= 0 || to <= 0)) {
+    fail("log range requires positive from/to");
+  }
+  std::vector<std::string> out;
+  out.reserve(steps);
+  for (std::uint64_t i = 0; i < steps; ++i) {
+    const double t =
+        steps == 1 ? 0.0
+                   : static_cast<double>(i) / static_cast<double>(steps - 1);
+    const double v = log ? from * std::pow(to / from, t)
+                         : from + (to - from) * t;
+    out.push_back(format_value(v, suffix));
+  }
+  return out;
+}
+
+/// Scalar JSON value -> parameter string, with the SDL's integral-number
+/// normalization.
+std::string value_to_string(const sdl::JsonValue& v, const std::string& path) {
+  if (v.is_string()) return v.as_string();
+  if (v.is_number()) return format_value(v.as_number(), "");
+  if (v.is_bool()) return v.as_bool() ? "true" : "false";
+  throw SweepError("axis '" + path + "': values must be scalars");
+}
+
+/// Last pointer segment, the default column name ("/components/l1/params/
+/// size" -> "size" is ambiguous across axes, so prefix the owner:
+/// "l1.size"; "/config/seed" -> "seed").
+std::string default_axis_name(const std::string& path) {
+  std::vector<std::string> seg;
+  for (std::size_t start = 1; start <= path.size();) {
+    const std::size_t slash = std::min(path.find('/', start), path.size());
+    seg.push_back(path.substr(start, slash - start));
+    start = slash + 1;
+  }
+  if (seg.size() >= 4 && seg[0] == "components" && seg[2] == "params") {
+    return seg[1] + "." + seg[3];
+  }
+  if (seg.size() >= 3 && seg[0] == "links") {
+    return "link" + seg[1] + "." + seg[2];
+  }
+  return seg.empty() ? path : seg.back();
+}
+
+}  // namespace
+
+SweepSpec SweepSpec::from_json_text(std::string_view text,
+                                    const std::string& spec_dir) {
+  return from_json(sdl::JsonValue::parse(text), spec_dir);
+}
+
+SweepSpec SweepSpec::from_json(const sdl::JsonValue& doc,
+                               const std::string& spec_dir) {
+  SweepSpec spec;
+  spec.name = doc.get_string("name", "sweep");
+  if (!doc.has("model")) {
+    throw SweepError("sweep spec requires a \"model\" path");
+  }
+  spec.model_path = doc.at("model").as_string();
+  if (!spec.model_path.empty() && spec.model_path[0] != '/' &&
+      !spec_dir.empty()) {
+    spec.model_path = spec_dir + "/" + spec.model_path;
+  }
+
+  if (!doc.has("axes") || doc.at("axes").as_array().empty()) {
+    throw SweepError("sweep spec requires a non-empty \"axes\" array");
+  }
+  std::set<std::string> seen_paths;
+  for (const auto& ja : doc.at("axes").as_array()) {
+    Axis axis;
+    if (!ja.has("path")) throw SweepError("axis missing \"path\"");
+    axis.path = ja.at("path").as_string();
+    if (axis.path.empty() || axis.path[0] != '/') {
+      throw SweepError("axis '" + axis.path +
+                       "': path must start with '/' (a ConfigGraph "
+                       "override path, e.g. /components/<name>/params/"
+                       "<key>)");
+    }
+    if (!seen_paths.insert(axis.path).second) {
+      throw SweepError("duplicate axis path '" + axis.path + "'");
+    }
+    axis.name = ja.get_string("name", default_axis_name(axis.path));
+    const bool has_values = ja.has("values");
+    const bool has_range = ja.has("range");
+    if (has_values == has_range) {
+      throw SweepError("axis '" + axis.path +
+                       "': declare exactly one of \"values\" or \"range\"");
+    }
+    if (has_values) {
+      for (const auto& v : ja.at("values").as_array()) {
+        axis.values.push_back(value_to_string(v, axis.path));
+      }
+    } else {
+      axis.values = expand_range(ja.at("range"),
+                                 ja.get_string("suffix", ""), axis.path);
+    }
+    if (axis.values.empty()) {
+      throw SweepError("axis '" + axis.path + "': empty value list");
+    }
+    spec.axes.push_back(std::move(axis));
+  }
+  std::set<std::string> axis_names;
+  for (const auto& a : spec.axes) {
+    if (!axis_names.insert(a.name).second) {
+      throw SweepError("duplicate axis name '" + a.name +
+                       "' (disambiguate with \"name\")");
+    }
+  }
+
+  if (doc.has("sample")) {
+    const sdl::JsonValue& js = doc.at("sample");
+    const std::string mode = js.get_string("mode", "cross");
+    if (mode == "cross") {
+      spec.sampling.mode = Sampling::Mode::kCross;
+    } else if (mode == "random") {
+      spec.sampling.mode = Sampling::Mode::kRandom;
+      if (!js.has("count")) {
+        throw SweepError("random sampling requires \"count\"");
+      }
+      spec.sampling.count = static_cast<std::uint64_t>(
+          js.at("count").as_number());
+      if (spec.sampling.count == 0) {
+        throw SweepError("random sampling count must be >= 1");
+      }
+      spec.sampling.seed =
+          static_cast<std::uint64_t>(js.get_number("seed", 1));
+    } else {
+      throw SweepError("unknown sampling mode '" + mode +
+                       "' (known: cross, random)");
+    }
+  }
+
+  if (doc.has("objectives")) {
+    std::set<std::string> obj_names;
+    for (const auto& jo : doc.at("objectives").as_array()) {
+      Objective obj;
+      obj.component = jo.at("component").as_string();
+      obj.statistic = jo.at("statistic").as_string();
+      obj.field = jo.get_string("field", "count");
+      obj.name = jo.get_string("name", obj.component + "." + obj.statistic +
+                                           (obj.field == "count"
+                                                ? ""
+                                                : "." + obj.field));
+      const std::string goal = jo.get_string("goal", "min");
+      if (goal == "max") {
+        obj.maximize = true;
+      } else if (goal == "min") {
+        obj.maximize = false;
+      } else {
+        throw SweepError("objective '" + obj.name + "': unknown goal '" +
+                         goal + "' (known: min, max)");
+      }
+      obj.weight = jo.get_number("weight", 1.0);
+      if (obj.weight < 0) {
+        throw SweepError("objective '" + obj.name +
+                         "': weight must be >= 0");
+      }
+      if (!obj_names.insert(obj.name).second) {
+        throw SweepError("duplicate objective name '" + obj.name + "'");
+      }
+      spec.objectives.push_back(std::move(obj));
+    }
+  }
+
+  if (doc.has("run")) {
+    const sdl::JsonValue& jr = doc.at("run");
+    RunPolicy& run = spec.run;
+    run.concurrency =
+        static_cast<unsigned>(jr.get_number("concurrency", run.concurrency));
+    if (run.concurrency == 0) {
+      throw SweepError("run.concurrency must be >= 1");
+    }
+    run.timeout_seconds =
+        jr.get_number("timeout_seconds", run.timeout_seconds);
+    if (run.timeout_seconds < 0) {
+      throw SweepError("run.timeout_seconds must be >= 0");
+    }
+    run.retries = static_cast<unsigned>(jr.get_number("retries", run.retries));
+    run.backoff_seconds =
+        jr.get_number("backoff_seconds", run.backoff_seconds);
+    run.ranks = static_cast<unsigned>(jr.get_number("ranks", 0));
+    run.end_time = jr.get_string("end", "");
+  }
+  return spec;
+}
+
+sdl::JsonValue SweepSpec::to_json() const {
+  sdl::JsonObject doc;
+  doc["name"] = name;
+  doc["model"] = model_path;
+  sdl::JsonArray axes_json;
+  for (const auto& a : axes) {
+    sdl::JsonObject ja;
+    ja["path"] = a.path;
+    ja["name"] = a.name;
+    sdl::JsonArray values;
+    for (const auto& v : a.values) values.push_back(sdl::JsonValue(v));
+    ja["values"] = sdl::JsonValue(std::move(values));
+    axes_json.push_back(sdl::JsonValue(std::move(ja)));
+  }
+  doc["axes"] = sdl::JsonValue(std::move(axes_json));
+  sdl::JsonObject js;
+  js["mode"] =
+      sampling.mode == Sampling::Mode::kRandom ? "random" : "cross";
+  if (sampling.mode == Sampling::Mode::kRandom) {
+    js["count"] = sdl::JsonValue(sampling.count);
+    js["seed"] = sdl::JsonValue(sampling.seed);
+  }
+  doc["sample"] = sdl::JsonValue(std::move(js));
+  sdl::JsonArray objs;
+  for (const auto& o : objectives) {
+    sdl::JsonObject jo;
+    jo["name"] = o.name;
+    jo["component"] = o.component;
+    jo["statistic"] = o.statistic;
+    jo["field"] = o.field;
+    jo["goal"] = o.maximize ? "max" : "min";
+    jo["weight"] = sdl::JsonValue(o.weight);
+    objs.push_back(sdl::JsonValue(std::move(jo)));
+  }
+  doc["objectives"] = sdl::JsonValue(std::move(objs));
+  sdl::JsonObject jr;
+  jr["concurrency"] = sdl::JsonValue(static_cast<double>(run.concurrency));
+  jr["timeout_seconds"] = sdl::JsonValue(run.timeout_seconds);
+  jr["retries"] = sdl::JsonValue(static_cast<double>(run.retries));
+  jr["backoff_seconds"] = sdl::JsonValue(run.backoff_seconds);
+  if (run.ranks > 0) {
+    jr["ranks"] = sdl::JsonValue(static_cast<double>(run.ranks));
+  }
+  if (!run.end_time.empty()) jr["end"] = run.end_time;
+  doc["run"] = sdl::JsonValue(std::move(jr));
+  return sdl::JsonValue(std::move(doc));
+}
+
+std::uint64_t SweepSpec::cross_size() const {
+  std::uint64_t total = 1;
+  for (const auto& a : axes) {
+    total *= static_cast<std::uint64_t>(a.values.size());
+  }
+  return total;
+}
+
+}  // namespace sst::dse

@@ -25,7 +25,7 @@ Cache::Cache(Params& params) {
     prefetch_enabled_ = true;
   } else {
     throw ConfigError("cache '" + name() + "': unknown prefetch policy '" +
-                      pf + "'");
+                      pf + "' (known: none, nextline)");
   }
   prefetch_degree_ = params.find<std::uint32_t>("prefetch_degree", 2);
 

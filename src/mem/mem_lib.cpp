@@ -72,6 +72,41 @@ void register_library() {
         [](Simulation& sim, const std::string& name, Params& p) -> Component* {
           return sim.add_component<MemoryController>(name, p);
         });
+    f.describe_params("mem.Cache", {
+        {"size", "total capacity, e.g. \"32KiB\"", ""},
+        {"line_size", "cache line size in bytes (power of two)", "64"},
+        {"assoc", "set associativity", "8"},
+        {"hit_latency", "hit latency (period or frequency)", "2ns"},
+        {"mshrs", "outstanding-miss registers", "8"},
+        {"prefetch", "prefetch policy: none | nextline", "none"},
+        {"prefetch_degree", "lines fetched ahead per miss", "2"},
+    });
+    f.describe_params("mem.Bus", {
+        {"num_ports", "number of attached cpu-side ports", ""},
+        {"bandwidth", "shared bus bandwidth", "25.6GB/s"},
+        {"header", "per-transaction header time", "1ns"},
+    });
+    f.describe_params("mem.CoherentCache", {
+        {"size", "total capacity, e.g. \"64KiB\"", ""},
+        {"num_caches", "peer caches on the snoop bus", ""},
+        {"line_size", "cache line size in bytes (power of two)", "64"},
+        {"assoc", "set associativity", "4"},
+        {"hit_latency", "hit latency (period or frequency)", "1ns"},
+        {"mshrs", "outstanding-miss registers", "8"},
+    });
+    f.describe_params("mem.SnoopBus", {
+        {"num_caches", "coherent caches arbitrating for the bus", ""},
+        {"occupancy", "bus occupancy per snoop transaction", "6ns"},
+    });
+    f.describe_params("mem.MemoryController", {
+        {"backend", "timing backend: dram | simple", "dram"},
+        {"preset", "dram timing preset: DDR2 | DDR3 | GDDR5", "DDR3"},
+        {"latency", "simple-backend fixed latency", "60ns"},
+        {"bandwidth_gbs", "simple-backend bandwidth in GB/s", "10.667"},
+        {"ber", "bit error rate fed to the ECC model", "0"},
+        {"ecc", "error correction: secded | none", "secded"},
+        {"fatal_uncorrected", "abort on uncorrectable errors", "false"},
+    });
     register_ckpt_events();
     return true;
   }();

@@ -18,14 +18,15 @@ MemoryController::MemoryController(Params& params) {
     backend_ = std::make_unique<SimpleBackend>(latency, bw);
   } else {
     throw ConfigError("memory controller '" + name() +
-                      "': unknown backend '" + kind + "'");
+                      "': unknown backend '" + kind +
+                      "' (known: dram, simple)");
   }
 
   const double ber = params.find<double>("ber", 0.0);
   const std::string ecc = params.find("ecc", "secded");
   if (ecc != "secded" && ecc != "none") {
     throw ConfigError("memory controller '" + name() + "': unknown ecc '" +
-                      ecc + "'");
+                      ecc + "' (known: secded, none)");
   }
   ecc_model_ = fault::SecdedModel(ber, /*data_bits=*/64,
                                   /*secded=*/ecc == "secded");

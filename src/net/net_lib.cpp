@@ -67,6 +67,74 @@ void register_library() {
           return static_cast<Component*>(
               sim.add_component<AppProfileMotif>(n, p));
         });
+    // Shared NetEndpoint knobs, re-attached to every endpoint type.
+    const std::vector<ParamDoc> endpoint_docs = {
+        {"injection_bw", "endpoint injection bandwidth", "3.2GB/s"},
+        {"mtu", "packet payload size in bytes", "2048"},
+        {"ack", "end-to-end ACK/retry protocol", "false"},
+        {"retry_max", "delivery attempts before delivery_failed", "4"},
+        {"retry_timeout", "initial retry timeout", "500us"},
+        {"retry_backoff", "timeout multiplier per retry", "2"},
+    };
+    auto doc_endpoint = [&f, &endpoint_docs](const std::string& type,
+                                             std::vector<ParamDoc> own) {
+      own.insert(own.end(), endpoint_docs.begin(), endpoint_docs.end());
+      f.describe_params(type, std::move(own));
+    };
+    f.describe_params("net.Router", {
+        {"ports", "number of router ports", ""},
+        {"bandwidth", "per-port link bandwidth", "10GB/s"},
+        {"hop_latency", "per-hop forwarding latency", "50ns"},
+        {"ttl", "deflection-routing hop budget", "64"},
+    });
+    doc_endpoint("net.TrafficGenerator", {
+        {"pattern",
+         "uniform | transpose | neighbor | hotspot | tornado", "uniform"},
+        {"msg_bytes", "message size in bytes", "512"},
+        {"load", "offered load fraction (0, 1.5]", "0.1"},
+        {"warmup", "measurement warmup time", "5us"},
+        {"hotspot_fraction", "traffic share aimed at the hotspot", "0.2"},
+        {"tornado_stride", "tornado pattern stride", "3"},
+    });
+    doc_endpoint("net.PingPong", {
+        {"iterations", "round trips to complete", "100"},
+        {"msg_bytes", "message size in bytes", "8"},
+    });
+    doc_endpoint("net.HaloExchange", {
+        {"px", "process grid extent x", "2"},
+        {"py", "process grid extent y", "2"},
+        {"pz", "process grid extent z", "1"},
+        {"msg_bytes", "halo face size in bytes", "65536"},
+        {"compute", "compute phase per iteration", "10us"},
+        {"iterations", "halo-exchange iterations", "10"},
+    });
+    doc_endpoint("net.Allreduce", {
+        {"iterations", "allreduce rounds", "100"},
+        {"msg_bytes", "contribution size in bytes", "8"},
+        {"compute", "compute phase per round", "1us"},
+    });
+    doc_endpoint("net.AllToAll", {
+        {"iterations", "all-to-all rounds", "10"},
+        {"msg_bytes", "per-peer message size in bytes", "4096"},
+        {"compute", "compute phase per round", "10us"},
+    });
+    doc_endpoint("net.Sweep", {
+        {"px", "process grid extent x", "2"},
+        {"py", "process grid extent y", "2"},
+        {"msg_bytes", "wavefront message size in bytes", "16384"},
+        {"compute", "compute phase per sweep step", "20us"},
+        {"sweeps", "wavefront sweeps to run", "8"},
+    });
+    doc_endpoint("net.AppProfile", {
+        {"px", "process grid extent x", "2"},
+        {"py", "process grid extent y", "2"},
+        {"pz", "process grid extent z", "1"},
+        {"compute", "compute phase per iteration", "1ms"},
+        {"halo_bytes", "halo exchanged per iteration", "0"},
+        {"collective_bytes", "collective payload per iteration", "0"},
+        {"collective_count", "collectives per iteration", "1"},
+        {"iterations", "profile iterations", "10"},
+    });
     register_ckpt_events();
     return true;
   }();

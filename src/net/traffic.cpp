@@ -19,7 +19,8 @@ TrafficGenerator::TrafficGenerator(Params& params) : NetEndpoint(params) {
     pattern_ = Pattern::kTornado;
   } else {
     throw ConfigError("traffic '" + name() + "': unknown pattern '" + pat +
-                      "'");
+                      "' (known: uniform, transpose, neighbor, hotspot, "
+                      "tornado)");
   }
   msg_bytes_ = params.find<std::uint64_t>("msg_bytes", 512);
   load_ = params.find<double>("load", 0.1);

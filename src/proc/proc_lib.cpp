@@ -13,6 +13,27 @@ void register_library() {
           core->set_workload(make_workload(p));
           return core;
         });
+    Factory::instance().describe_params("proc.Core", {
+        {"clock", "core clock (period or frequency)", "2GHz"},
+        {"issue_width", "instructions issued per cycle", "2"},
+        {"max_loads", "load-queue entries", "8"},
+        {"max_stores", "store-queue entries", "8"},
+        {"line_split", "memory-access split granularity in bytes", "64"},
+        {"workload",
+         "kernel: stream | hpccg | lulesh | minimd | gups | chase", "stream"},
+        {"iterations", "workload outer iterations", "workload-specific"},
+        {"nx", "workload grid extent x (hpccg/lulesh)", "workload-specific"},
+        {"ny", "workload grid extent y (hpccg/lulesh)", "workload-specific"},
+        {"nz", "workload grid extent z (hpccg/lulesh)", "workload-specific"},
+        {"n", "working-set elements (stream/chase)", "workload-specific"},
+        {"atoms", "minimd atom count", "workload-specific"},
+        {"elements", "lulesh element count", "workload-specific"},
+        {"updates", "gups update count", "workload-specific"},
+        {"table", "gups table size", "workload-specific"},
+        {"hops", "chase pointer hops", "workload-specific"},
+        {"seed", "workload-private RNG seed", "config seed"},
+        {"trace_file", "address-trace input (trace workload)", ""},
+    });
     return true;
   }();
   (void)once;

@@ -1,5 +1,6 @@
 #include "sdl/config_graph.h"
 
+#include <algorithm>
 #include <set>
 #include <utility>
 
@@ -31,6 +32,23 @@ const char* topology_name(net::TopologySpec::Kind kind) {
     case Kind::kTorus3D: return "torus3d";
     case Kind::kFatTree: return "fattree";
     case Kind::kDragonfly: return "dragonfly";
+  }
+  return "?";
+}
+
+PartitionStrategy partition_from_string(const std::string& name) {
+  if (name == "linear") return PartitionStrategy::kLinear;
+  if (name == "roundrobin") return PartitionStrategy::kRoundRobin;
+  if (name == "mincut") return PartitionStrategy::kMinCut;
+  throw ConfigError("unknown partition strategy '" + name +
+                    "' (known: linear, roundrobin, mincut)");
+}
+
+const char* partition_name(PartitionStrategy strategy) {
+  switch (strategy) {
+    case PartitionStrategy::kLinear: return "linear";
+    case PartitionStrategy::kRoundRobin: return "roundrobin";
+    case PartitionStrategy::kMinCut: return "mincut";
   }
   return "?";
 }
@@ -269,16 +287,7 @@ ConfigGraph ConfigGraph::from_json(const JsonValue& doc) {
         cfg.get_number("watchdog_seconds", sc.watchdog_seconds);
     sc.detect_deadlock = cfg.get_bool("detect_deadlock", sc.detect_deadlock);
     sc.verbose = cfg.get_bool("verbose", false);
-    const std::string part = cfg.get_string("partition", "linear");
-    if (part == "linear") {
-      sc.partition = PartitionStrategy::kLinear;
-    } else if (part == "roundrobin") {
-      sc.partition = PartitionStrategy::kRoundRobin;
-    } else if (part == "mincut") {
-      sc.partition = PartitionStrategy::kMinCut;
-    } else {
-      throw ConfigError("unknown partition strategy '" + part + "'");
-    }
+    sc.partition = partition_from_string(cfg.get_string("partition", "linear"));
   }
   if (doc.has("components")) {
     for (const auto& jc : doc.at("components").as_array()) {
@@ -442,6 +451,167 @@ ConfigGraph ConfigGraph::from_json(const JsonValue& doc) {
   return graph;
 }
 
+void ConfigGraph::apply_override(std::string_view path,
+                                 const std::string& value) {
+  const std::string p(path);
+  auto fail = [&p](const std::string& msg) -> void {
+    throw ConfigError("override '" + p + "': " + msg);
+  };
+  if (p.empty() || p[0] != '/') {
+    fail("path must start with '/' "
+         "(e.g. /components/<name>/params/<key>)");
+  }
+  std::vector<std::string> seg;
+  for (std::size_t start = 1; start <= p.size();) {
+    const std::size_t slash = std::min(p.find('/', start), p.size());
+    seg.push_back(p.substr(start, slash - start));
+    start = slash + 1;
+  }
+  if (seg.empty() || seg.front().empty()) fail("empty path segment");
+  // `p` feeds parse errors ("bad value for <path>"-style messages).
+  auto as_u32 = [&](const std::string& v) {
+    return detail::parse_param<std::uint32_t>(v, p);
+  };
+  auto as_u64 = [&](const std::string& v) {
+    return detail::parse_param<std::uint64_t>(v, p);
+  };
+
+  if (seg[0] == "config") {
+    if (seg.size() != 2) fail("expected /config/<key>");
+    const std::string& key = seg[1];
+    if (key == "end_time") {
+      sim_config_.end_time = UnitAlgebra(value).to_simtime();
+    } else if (key == "num_ranks") {
+      sim_config_.num_ranks = as_u32(value);
+    } else if (key == "seed") {
+      sim_config_.seed = as_u64(value);
+    } else if (key == "fault_seed") {
+      sim_config_.fault_seed = as_u64(value);
+    } else if (key == "partition") {
+      sim_config_.partition = partition_from_string(value);
+    } else if (key == "watchdog_seconds") {
+      sim_config_.watchdog_seconds = detail::parse_param<double>(value, p);
+    } else if (key == "detect_deadlock") {
+      sim_config_.detect_deadlock = detail::parse_param<bool>(value, p);
+    } else if (key == "verbose") {
+      sim_config_.verbose = detail::parse_param<bool>(value, p);
+    } else {
+      fail("unknown config key '" + key +
+           "' (known: end_time, num_ranks, seed, fault_seed, partition, "
+           "watchdog_seconds, detect_deadlock, verbose)");
+    }
+    return;
+  }
+
+  if (seg[0] == "components") {
+    if (seg.size() != 3 && seg.size() != 4) {
+      fail("expected /components/<name>/rank or "
+           "/components/<name>/params/<key>");
+    }
+    ConfigComponent* comp = nullptr;
+    for (auto& c : components_) {
+      if (c.name == seg[1]) comp = &c;
+    }
+    if (comp == nullptr) {
+      std::string names;
+      for (const auto& c : components_) {
+        names += names.empty() ? "" : ", ";
+        names += c.name;
+      }
+      fail("unknown component '" + seg[1] + "' (components: " + names + ")");
+    }
+    if (seg.size() == 3 && seg[2] == "rank") {
+      comp->rank = static_cast<RankId>(as_u32(value));
+    } else if (seg.size() == 4 && seg[2] == "params") {
+      comp->params.set(seg[3], value);
+    } else {
+      fail("expected /components/" + seg[1] + "/rank or /components/" +
+           seg[1] + "/params/<key>");
+    }
+    return;
+  }
+
+  if (seg[0] == "links") {
+    if (seg.size() != 3) fail("expected /links/<index>/latency[_back]");
+    std::size_t idx = 0;
+    try {
+      idx = static_cast<std::size_t>(as_u32(seg[1]));
+    } catch (const ConfigError&) {
+      fail("link index '" + seg[1] + "' is not a number");
+    }
+    if (idx >= links_.size()) {
+      fail("link index " + seg[1] + " out of range (model has " +
+           std::to_string(links_.size()) + " links)");
+    }
+    if (seg[2] == "latency") {
+      links_[idx].latency = value;
+    } else if (seg[2] == "latency_back") {
+      links_[idx].latency_back = value;
+    } else {
+      fail("unknown link field '" + seg[2] +
+           "' (known: latency, latency_back)");
+    }
+    return;
+  }
+
+  if (seg[0] == "network") {
+    if (seg.size() != 2) fail("expected /network/<key>");
+    if (!network_.present) fail("model declares no \"network\" section");
+    const std::string& key = seg[1];
+    net::TopologySpec& spec = network_.spec;
+    if (key == "topology") {
+      spec.kind = topology_kind(value);
+    } else if (key == "x") {
+      spec.x = as_u32(value);
+    } else if (key == "y") {
+      spec.y = as_u32(value);
+    } else if (key == "z") {
+      spec.z = as_u32(value);
+    } else if (key == "concentration") {
+      spec.concentration = as_u32(value);
+    } else if (key == "leaves") {
+      spec.leaves = as_u32(value);
+    } else if (key == "spines") {
+      spec.spines = as_u32(value);
+    } else if (key == "down") {
+      spec.down = as_u32(value);
+    } else if (key == "groups") {
+      spec.groups = as_u32(value);
+    } else if (key == "group_routers") {
+      spec.group_routers = as_u32(value);
+    } else if (key == "group_conc") {
+      spec.group_conc = as_u32(value);
+    } else if (key == "global_per_router") {
+      spec.global_per_router = as_u32(value);
+    } else if (key == "link_bandwidth") {
+      spec.link_bandwidth = value;
+    } else if (key == "link_latency") {
+      spec.link_latency = value;
+    } else if (key == "hop_latency") {
+      spec.hop_latency = value;
+    } else if (key == "seed") {
+      spec.seed = as_u64(value);
+    } else if (key == "routing") {
+      if (value == "minimal") {
+        spec.routing = net::TopologySpec::Routing::kMinimal;
+      } else if (value == "valiant") {
+        spec.routing = net::TopologySpec::Routing::kValiant;
+      } else {
+        fail("unknown routing '" + value + "' (known: minimal, valiant)");
+      }
+    } else {
+      fail("unknown network key '" + key +
+           "' (known: topology, x, y, z, concentration, leaves, spines, "
+           "down, groups, group_routers, group_conc, global_per_router, "
+           "link_bandwidth, link_latency, hop_latency, seed, routing)");
+    }
+    return;
+  }
+
+  fail("unknown root '" + seg[0] +
+       "' (known: /config, /components, /links, /network)");
+}
+
 JsonValue ConfigGraph::to_json() const {
   JsonObject doc;
   JsonObject cfg;
@@ -458,13 +628,7 @@ JsonValue ConfigGraph::to_json() const {
     cfg["watchdog_seconds"] = JsonValue(sim_config_.watchdog_seconds);
   }
   if (!sim_config_.detect_deadlock) cfg["detect_deadlock"] = JsonValue(false);
-  switch (sim_config_.partition) {
-    case PartitionStrategy::kLinear: cfg["partition"] = "linear"; break;
-    case PartitionStrategy::kRoundRobin:
-      cfg["partition"] = "roundrobin";
-      break;
-    case PartitionStrategy::kMinCut: cfg["partition"] = "mincut"; break;
-  }
+  cfg["partition"] = partition_name(sim_config_.partition);
   doc["config"] = JsonValue(std::move(cfg));
 
   JsonArray comps;

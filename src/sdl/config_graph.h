@@ -158,6 +158,22 @@ class ConfigGraph {
   [[nodiscard]] static ConfigGraph from_json_text(std::string_view text);
   [[nodiscard]] JsonValue to_json() const;
 
+  /// Applies a single JSON-pointer-style override to the graph:
+  ///
+  ///   /config/<key>                     engine knobs (seed, end_time,
+  ///                                     num_ranks, partition, ...)
+  ///   /components/<name>/params/<key>   a component parameter
+  ///   /components/<name>/rank           pin the component to a rank
+  ///   /links/<index>/latency[_back]     link latency overrides
+  ///   /network/<key>                    fabric knobs (topology, x, y,
+  ///                                     link_latency, routing, ...)
+  ///
+  /// This is the substrate of DSE sweep axes (src/dse): every axis path
+  /// resolves through here.  Unknown paths throw ConfigError naming the
+  /// valid alternatives at the failing segment so sweep authors can
+  /// self-correct.
+  void apply_override(std::string_view path, const std::string& value);
+
  private:
   /// Peer endpoint of (component, port) among the explicit links; throws
   /// ConfigError when the port is not on any explicit link.

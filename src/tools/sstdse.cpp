@@ -1,0 +1,189 @@
+// sstdse — design-space exploration driver: run a parameter sweep of
+// sstsim processes, resume an interrupted one, and report the results.
+//
+//   sstdse run <sweep.json> [--out DIR] [--jobs N] [--sstsim PATH] [-q]
+//   sstdse resume <sweep-dir> [--jobs N] [--sstsim PATH] [-q]
+//   sstdse report <sweep-dir>
+//   sstdse points <sweep.json>      list the generated points and exit
+//
+// `run` creates (or resumes) the sweep directory; every point executes
+// as an isolated child sstsim with its own directory, watchdog timeout,
+// and bounded retries, and completions are recorded in a
+// crash-consistent ledger — SIGKILL the driver at any moment and
+// `resume` continues without re-running finished points.
+//
+// Exit codes (aligned with sstsim):
+//   0  success (every point completed)
+//   2  usage or configuration error
+//   6  sweep finished with permanently failed points
+#include <unistd.h>
+
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "dse/driver.h"
+#include "dse/point_gen.h"
+#include "dse/sweep_spec.h"
+
+namespace {
+
+void print_options(std::ostream& os, const char* argv0) {
+  os << "usage: " << argv0
+     << " run <sweep.json> [--out DIR] [--jobs N] [--sstsim PATH] [-q]\n"
+     << "       " << argv0
+     << " resume <sweep-dir> [--jobs N] [--sstsim PATH] [-q]\n"
+     << "       " << argv0 << " report <sweep-dir>\n"
+     << "       " << argv0 << " points <sweep.json>\n";
+}
+
+int usage(const char* argv0) {
+  print_options(std::cerr, argv0);
+  return sst::dse::kSweepExitConfig;
+}
+
+int help(const char* argv0) {
+  print_options(std::cout, argv0);
+  std::cout <<
+      "\nSubcommands:\n"
+      "  run      execute the sweep (resumes when DIR already has a "
+      "ledger)\n"
+      "  resume   continue an interrupted sweep from its ledger\n"
+      "  report   re-aggregate and print the Pareto report, run nothing\n"
+      "  points   print the expanded point list and exit\n"
+      "\nOptions:\n"
+      "  --out DIR      sweep output directory (default <spec>.sweep)\n"
+      "  --jobs N       override the spec's run.concurrency\n"
+      "  --sstsim PATH  child simulator binary (default: sstsim next to\n"
+      "                 this executable, then PATH)\n"
+      "  -q, --quiet    suppress per-point progress lines\n"
+      "\nExit codes:\n"
+      "  0  success (every point completed)\n"
+      "  2  usage or configuration error\n"
+      "  6  sweep finished with permanently failed points\n";
+  return 0;
+}
+
+/// Default child binary: "sstsim" in this executable's directory, else
+/// bare "sstsim" (resolved through PATH by execv's caller... which does
+/// not search PATH — so the sibling lookup is the one that matters for
+/// installed layouts).
+std::string default_sstsim_path() {
+  char buf[4096];
+  const ::ssize_t n = ::readlink("/proc/self/exe", buf, sizeof buf - 1);
+  if (n > 0) {
+    buf[n] = '\0';
+    const std::filesystem::path sibling =
+        std::filesystem::path(buf).parent_path() / "sstsim";
+    if (std::filesystem::exists(sibling)) return sibling.string();
+  }
+  return "sstsim";
+}
+
+int list_points(const std::string& spec_path) {
+  try {
+    std::ifstream in(spec_path);
+    if (!in) {
+      std::cerr << "cannot open " << spec_path << "\n";
+      return sst::dse::kSweepExitConfig;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    const sst::dse::SweepSpec spec = sst::dse::SweepSpec::from_json_text(
+        buf.str(),
+        std::filesystem::path(spec_path).parent_path().string());
+    const auto points = sst::dse::generate_points(spec);
+    std::cout << "sweep '" << spec.name << "': " << points.size()
+              << " points (cross product " << spec.cross_size() << ")\n";
+    for (const auto& p : points) {
+      std::cout << "  point " << p.id;
+      for (std::size_t a = 0; a < spec.axes.size(); ++a) {
+        std::cout << "  " << spec.axes[a].name << "=" << p.values[a];
+      }
+      std::cout << "\n";
+    }
+    return 0;
+  } catch (const sst::ConfigError& e) {
+    std::cerr << e.what() << "\n";
+    return sst::dse::kSweepExitConfig;
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage(argv[0]);
+  const std::string cmd = argv[1];
+  if (cmd == "--help" || cmd == "help") return help(argv[0]);
+
+  std::string target;
+  std::string out_dir;
+  std::string sstsim_path;
+  unsigned jobs = 0;
+  bool quiet = false;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::cerr << arg << " requires a value\n";
+        return nullptr;
+      }
+      return argv[++i];
+    };
+    try {
+      if (arg == "--out") {
+        const char* v = next();
+        if (v == nullptr) return usage(argv[0]);
+        out_dir = v;
+      } else if (arg == "--jobs") {
+        const char* v = next();
+        if (v == nullptr) return usage(argv[0]);
+        jobs = static_cast<unsigned>(std::stoul(v));
+      } else if (arg == "--sstsim") {
+        const char* v = next();
+        if (v == nullptr) return usage(argv[0]);
+        sstsim_path = v;
+      } else if (arg == "-q" || arg == "--quiet") {
+        quiet = true;
+      } else if (arg.rfind("-", 0) == 0) {
+        std::cerr << "unknown option " << arg << "\n";
+        return usage(argv[0]);
+      } else if (target.empty()) {
+        target = arg;
+      } else {
+        return usage(argv[0]);
+      }
+    } catch (const std::exception&) {
+      std::cerr << "bad value for " << arg << "\n";
+      return usage(argv[0]);
+    }
+  }
+  if (target.empty()) {
+    std::cerr << cmd << " requires an argument\n";
+    return usage(argv[0]);
+  }
+  if (sstsim_path.empty()) sstsim_path = default_sstsim_path();
+
+  if (cmd == "run") {
+    sst::dse::DriverOptions opts;
+    opts.spec_path = target;
+    opts.out_dir = out_dir;
+    opts.sstsim_path = sstsim_path;
+    opts.jobs = jobs;
+    opts.quiet = quiet;
+    return sst::dse::run_sweep(opts, std::cout, std::cerr);
+  }
+  if (cmd == "resume") {
+    return sst::dse::resume_sweep(target, sstsim_path, jobs, quiet,
+                                  std::cout, std::cerr);
+  }
+  if (cmd == "report") {
+    return sst::dse::report_sweep(target, std::cout, std::cerr);
+  }
+  if (cmd == "points") {
+    return list_points(target);
+  }
+  std::cerr << "unknown subcommand '" << cmd << "'\n";
+  return usage(argv[0]);
+}

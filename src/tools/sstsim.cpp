@@ -24,7 +24,12 @@
 //   --restart <path>     resume from a checkpoint file or directory
 //                        (replaces <system.json>; outputs byte-identical
 //                        to the uninterrupted run)
-//   --list-components    print registered component types and exit
+//   --sweep <spec.json>  run a design-space sweep (shorthand for sstdse
+//                        run; children are this same binary)
+//   --sweep-out <dir>    sweep output directory (default <spec>.sweep)
+//   --jobs <n>           sweep worker concurrency override
+//   --list-components    print registered component types with their
+//                        declared parameters and exit
 //   --help               print options and the exit-code contract
 //   --version            print the version and exit
 //
@@ -36,12 +41,16 @@
 //   4  deadlock detected (queues drained, primaries unsatisfied)
 //   5  restart failed (checkpoint unreadable, corrupt, version-mismatched,
 //      or inconsistent with the rebuilt model)
+//   6  sweep failed (one or more points failed permanently)
+#include <unistd.h>
+
 #include <cstring>
 #include <fstream>
 #include <iostream>
 #include <sstream>
 
 #include "ckpt/checkpoint.h"
+#include "dse/driver.h"
 #include "mem/mem_lib.h"
 #include "net/net_lib.h"
 #include "proc/proc_lib.h"
@@ -71,7 +80,9 @@ void print_options(std::ostream& os, const char* argv0) {
         " [--checkpoint-dir DIR] [--checkpoint-keep N]"
         " [--list-components] [--help] [--version]\n"
      << "       " << argv0
-     << " --restart <checkpoint-file-or-dir> [output/override options]\n";
+     << " --restart <checkpoint-file-or-dir> [output/override options]\n"
+     << "       " << argv0
+     << " --sweep <sweep.json> [--sweep-out DIR] [--jobs N]\n";
 }
 
 int usage(const char* argv0) {
@@ -94,6 +105,14 @@ int help(const char* argv0) {
       "                             the newest intact snapshot in a\n"
       "                             directory; a corrupt file falls back to\n"
       "                             the newest intact sibling\n"
+      "\nDesign-space sweeps:\n"
+      "  --sweep SPEC               run the sweep described by SPEC: one\n"
+      "                             child process per point, a crash-\n"
+      "                             consistent ledger, and a Pareto report\n"
+      "                             (equivalent to: sstdse run SPEC)\n"
+      "  --sweep-out DIR            sweep output directory\n"
+      "                             (default <spec stem>.sweep)\n"
+      "  --jobs N                   sweep worker concurrency override\n"
       "\nExit codes:\n"
       "  0  success\n"
       "  1  runtime simulation failure\n"
@@ -101,8 +120,41 @@ int help(const char* argv0) {
       "  3  watchdog abort (wall-clock budget exceeded)\n"
       "  4  deadlock detected (queues drained, primaries unsatisfied)\n"
       "  5  restart failed (checkpoint unreadable, corrupt,\n"
-      "     version-mismatched, or inconsistent with the rebuilt model)\n";
+      "     version-mismatched, or inconsistent with the rebuilt model)\n"
+      "  6  sweep failed (one or more points failed permanently)\n";
   return 0;
+}
+
+/// Prints the factory registry: every component type, with its declared
+/// parameters when the library documented them.
+void list_components(std::ostream& os) {
+  const sst::Factory& factory = sst::Factory::instance();
+  for (const auto& type : factory.registered_types()) {
+    os << type << "\n";
+    const auto* docs = factory.param_docs(type);
+    if (docs == nullptr) continue;
+    for (const auto& doc : *docs) {
+      os << "  " << doc.name;
+      if (doc.default_value.empty()) {
+        os << " (required)";
+      } else {
+        os << " (default " << doc.default_value << ")";
+      }
+      if (!doc.description.empty()) os << "  " << doc.description;
+      os << "\n";
+    }
+  }
+}
+
+/// The sweep shorthand spawns children that are this same binary.
+std::string self_path(const char* argv0) {
+  char buf[4096];
+  const ::ssize_t n = ::readlink("/proc/self/exe", buf, sizeof buf - 1);
+  if (n > 0) {
+    buf[n] = '\0';
+    return std::string(buf);
+  }
+  return std::string(argv0);
 }
 
 /// Resolves the stats output format: explicit flag/config wins, then the
@@ -155,6 +207,9 @@ int main(int argc, char** argv) {
   std::optional<double> ckpt_wall;
   std::string ckpt_dir;
   std::optional<unsigned> ckpt_keep;
+  std::string sweep_path;
+  std::string sweep_out;
+  unsigned sweep_jobs = 0;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -168,9 +223,7 @@ int main(int argc, char** argv) {
       return argv[++i];
     };
     if (arg == "--list-components") {
-      for (const auto& t : sst::Factory::instance().registered_types()) {
-        std::cout << t << "\n";
-      }
+      list_components(std::cout);
       return 0;
     }
     if (arg == "--version") {
@@ -252,6 +305,18 @@ int main(int argc, char** argv) {
         const char* v = next();
         if (v == nullptr) return usage(argv[0]);
         ckpt_keep = static_cast<unsigned>(std::stoul(v));
+      } else if (arg == "--sweep") {
+        const char* v = next();
+        if (v == nullptr) return usage(argv[0]);
+        sweep_path = v;
+      } else if (arg == "--sweep-out") {
+        const char* v = next();
+        if (v == nullptr) return usage(argv[0]);
+        sweep_out = v;
+      } else if (arg == "--jobs") {
+        const char* v = next();
+        if (v == nullptr) return usage(argv[0]);
+        sweep_jobs = static_cast<unsigned>(std::stoul(v));
       } else if (arg.rfind("--", 0) == 0) {
         std::cerr << "unknown option " << arg << "\n";
         return usage(argv[0]);
@@ -264,6 +329,23 @@ int main(int argc, char** argv) {
       std::cerr << "bad value for " << arg << "\n";
       return usage(argv[0]);
     }
+  }
+  if (!sweep_path.empty()) {
+    if (!input.empty() || !restart_path.empty()) {
+      std::cerr << "--sweep runs a batch of child simulations; drop the "
+                   "<system.json> / --restart arguments\n";
+      return kExitConfig;
+    }
+    sst::dse::DriverOptions opts;
+    opts.spec_path = sweep_path;
+    opts.out_dir = sweep_out;
+    opts.sstsim_path = self_path(argv[0]);
+    opts.jobs = sweep_jobs;
+    return sst::dse::run_sweep(opts, std::cout, std::cerr);
+  }
+  if (!sweep_out.empty() || sweep_jobs > 0) {
+    std::cerr << "--sweep-out/--jobs only apply together with --sweep\n";
+    return kExitConfig;
   }
   const bool restarting = !restart_path.empty();
   if (restarting && !input.empty()) {

@@ -1,0 +1,126 @@
+// Sweep ledger: crash-consistent append/load round trip and the header
+// checks that keep a resumed sweep from mixing results across specs.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "dse/ledger.h"
+
+namespace sst::dse {
+namespace {
+
+namespace fs = std::filesystem;
+
+class LedgerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() /
+           ("sst_ledger_test_" + std::to_string(::getpid()));
+    fs::create_directories(dir_);
+    path_ = (dir_ / "ledger.jsonl").string();
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  fs::path dir_;
+  std::string path_;
+};
+
+LedgerRecord make_record(std::uint64_t point, const std::string& status) {
+  LedgerRecord r;
+  r.point = point;
+  r.status = status;
+  r.exit_code = status == "ok" ? 0 : 3;
+  r.attempts = 2;
+  r.values = {"16KiB", "20ns"};
+  return r;
+}
+
+TEST_F(LedgerTest, AppendLoadRoundTrip) {
+  {
+    Ledger ledger(path_);
+    EXPECT_FALSE(ledger.load("demo", 4));  // absent file = empty ledger
+    ledger.append(make_record(2, "ok"), "demo", 4);
+    ledger.append(make_record(0, "timeout"), "demo", 4);
+  }
+  Ledger again(path_);
+  EXPECT_TRUE(again.load("demo", 4));
+  ASSERT_EQ(again.records().size(), 2u);
+  EXPECT_TRUE(again.has(0));
+  EXPECT_FALSE(again.has(1));
+  const LedgerRecord* rec = again.record(2);
+  ASSERT_NE(rec, nullptr);
+  EXPECT_EQ(rec->status, "ok");
+  EXPECT_EQ(rec->attempts, 2u);
+  EXPECT_EQ(rec->values, (std::vector<std::string>{"16KiB", "20ns"}));
+  EXPECT_EQ(again.record(0)->status, "timeout");
+  EXPECT_EQ(again.record(0)->exit_code, 3);
+}
+
+TEST_F(LedgerTest, ReRecordingReplacesTheRecord) {
+  Ledger ledger(path_);
+  ledger.append(make_record(1, "timeout"), "demo", 4);
+  ledger.append(make_record(1, "ok"), "demo", 4);
+  Ledger again(path_);
+  EXPECT_TRUE(again.load("demo", 4));
+  ASSERT_EQ(again.records().size(), 1u);
+  EXPECT_EQ(again.record(1)->status, "ok");
+}
+
+TEST_F(LedgerTest, RejectsWrongSweepName) {
+  {
+    Ledger ledger(path_);
+    ledger.append(make_record(0, "ok"), "demo", 4);
+  }
+  Ledger other(path_);
+  try {
+    other.load("different", 4);
+    FAIL() << "expected SweepError";
+  } catch (const SweepError& e) {
+    EXPECT_NE(std::string(e.what()).find("belongs to sweep 'demo'"),
+              std::string::npos);
+  }
+}
+
+TEST_F(LedgerTest, RejectsWrongPointCount) {
+  {
+    Ledger ledger(path_);
+    ledger.append(make_record(0, "ok"), "demo", 4);
+  }
+  Ledger other(path_);
+  EXPECT_THROW(other.load("demo", 9), SweepError);
+}
+
+TEST_F(LedgerTest, RejectsMalformedLine) {
+  {
+    std::ofstream out(path_);
+    out << "{\"sweep\":\"demo\",\"points\":4}\n"
+        << "{\"point\":0,\"status\":\"ok\"\n";  // torn line
+  }
+  Ledger ledger(path_);
+  EXPECT_THROW(ledger.load("demo", 4), SweepError);
+}
+
+TEST_F(LedgerTest, RejectsMissingHeader) {
+  {
+    std::ofstream out(path_);
+    out << "{\"point\":0,\"status\":\"ok\"}\n";
+  }
+  Ledger ledger(path_);
+  EXPECT_THROW(ledger.load("demo", 4), SweepError);
+}
+
+TEST_F(LedgerTest, PublishLeavesNoTempFile) {
+  Ledger ledger(path_);
+  ledger.append(make_record(0, "ok"), "demo", 1);
+  std::size_t entries = 0;
+  for (const auto& e : fs::directory_iterator(dir_)) {
+    (void)e;
+    ++entries;
+  }
+  EXPECT_EQ(entries, 1u);  // just ledger.jsonl, no .tmp.* left behind
+}
+
+}  // namespace
+}  // namespace sst::dse

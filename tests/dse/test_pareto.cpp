@@ -1,0 +1,183 @@
+// Pareto frontier + scalarized scoring over aggregated sweep results.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "dse/aggregate.h"
+
+namespace sst::dse {
+namespace {
+
+/// Two-objective spec: maximize "a", minimize "b", unit weights.
+SweepSpec max_min_spec() {
+  SweepSpec spec;
+  spec.name = "t";
+  Axis ax;
+  ax.name = "x";
+  ax.path = "/network/x";
+  ax.values = {"0"};
+  spec.axes.push_back(ax);
+  Objective a;
+  a.name = "a";
+  a.component = "c";
+  a.statistic = "a";
+  a.maximize = true;
+  Objective b;
+  b.name = "b";
+  b.component = "c";
+  b.statistic = "b";
+  b.maximize = false;
+  spec.objectives = {a, b};
+  return spec;
+}
+
+PointResult row(std::uint64_t id, double a, double b,
+                bool complete = true) {
+  PointResult r;
+  r.point.id = id;
+  r.point.values = {std::to_string(id)};
+  r.objectives = {a, b};
+  r.complete = complete;
+  if (complete) r.status = "ok";
+  return r;
+}
+
+TEST(Pareto, GoalAwareFrontier) {
+  const SweepSpec spec = max_min_spec();
+  //           a (max)  b (min)
+  // p0:       10       5     dominated by p1 and p2
+  // p1:       20       5     dominated by p2 (equal a, worse b)
+  // p2:       20       2     frontier
+  // p3:       5        1     frontier (worse a, better b than p2)
+  std::vector<PointResult> rows = {row(0, 10, 5), row(1, 20, 5),
+                                   row(2, 20, 2), row(3, 5, 1)};
+  compute_pareto(spec, rows);
+  EXPECT_FALSE(rows[0].pareto);
+  EXPECT_FALSE(rows[1].pareto);
+  EXPECT_TRUE(rows[2].pareto);
+  EXPECT_TRUE(rows[3].pareto);
+}
+
+TEST(Pareto, ScoreIsWeightedMinMaxNormalization) {
+  const SweepSpec spec = max_min_spec();
+  std::vector<PointResult> rows = {row(0, 10, 5), row(1, 20, 5),
+                                   row(2, 20, 2), row(3, 5, 1)};
+  compute_pareto(spec, rows);
+  // a spans [5, 20]; canonical b = -b spans [-5, -1].
+  EXPECT_NEAR(rows[0].score, (10.0 - 5) / 15 + 0.0, 1e-12);
+  EXPECT_NEAR(rows[1].score, 1.0 + 0.0, 1e-12);
+  EXPECT_NEAR(rows[2].score, 1.0 + 0.75, 1e-12);
+  EXPECT_NEAR(rows[3].score, 0.0 + 1.0, 1e-12);
+  const PointResult* best = best_point(rows);
+  ASSERT_NE(best, nullptr);
+  EXPECT_EQ(best->point.id, 2u);
+}
+
+TEST(Pareto, WeightsScaleTheScore) {
+  SweepSpec spec = max_min_spec();
+  spec.objectives[1].weight = 3.0;
+  std::vector<PointResult> rows = {row(0, 10, 5), row(1, 20, 1)};
+  compute_pareto(spec, rows);
+  EXPECT_NEAR(rows[0].score, 0.0, 1e-12);
+  EXPECT_NEAR(rows[1].score, 1.0 + 3.0, 1e-12);
+}
+
+TEST(Pareto, IncompleteRowsAreExcluded) {
+  const SweepSpec spec = max_min_spec();
+  std::vector<PointResult> rows = {row(0, 10, 5),
+                                   row(1, 1000, 0, /*complete=*/false),
+                                   row(2, 20, 2)};
+  compute_pareto(spec, rows);
+  EXPECT_FALSE(rows[1].pareto);  // would dominate everything if counted
+  EXPECT_DOUBLE_EQ(rows[1].score, 0.0);
+  EXPECT_TRUE(rows[2].pareto);
+  EXPECT_FALSE(rows[0].pareto);
+}
+
+TEST(Pareto, ConstantObjectiveNormalizesToOne) {
+  const SweepSpec spec = max_min_spec();
+  std::vector<PointResult> rows = {row(0, 7, 7), row(1, 7, 7)};
+  compute_pareto(spec, rows);
+  // Zero span on both objectives: every row gets the full weight.
+  EXPECT_NEAR(rows[0].score, 2.0, 1e-12);
+  EXPECT_NEAR(rows[1].score, 2.0, 1e-12);
+  EXPECT_TRUE(rows[0].pareto);
+  EXPECT_TRUE(rows[1].pareto);
+  // Tie on score: best is the lowest point id.
+  EXPECT_EQ(best_point(rows)->point.id, 0u);
+}
+
+TEST(Pareto, FrontierIsOrderIndependent) {
+  const SweepSpec spec = max_min_spec();
+  std::vector<PointResult> fwd = {row(0, 10, 5), row(1, 20, 5),
+                                  row(2, 20, 2), row(3, 5, 1)};
+  std::vector<PointResult> rev = {row(3, 5, 1), row(2, 20, 2),
+                                  row(1, 20, 5), row(0, 10, 5)};
+  compute_pareto(spec, fwd);
+  compute_pareto(spec, rev);
+  for (const auto& f : fwd) {
+    for (const auto& r : rev) {
+      if (f.point.id == r.point.id) {
+        EXPECT_EQ(f.pareto, r.pareto) << "point " << f.point.id;
+        EXPECT_NEAR(f.score, r.score, 1e-12);
+      }
+    }
+  }
+}
+
+TEST(Pareto, ExtractObjectivesReadsStatsDump) {
+  const SweepSpec spec = max_min_spec();
+  const char* stats = R"([
+    {"component": "c", "statistic": "a", "fields": {"count": 42}},
+    {"component": "c", "statistic": "b", "fields": {"count": 7}}
+  ])";
+  const auto values =
+      extract_objectives(spec, sdl::JsonValue::parse(stats));
+  ASSERT_EQ(values.size(), 2u);
+  EXPECT_DOUBLE_EQ(values[0], 42.0);
+  EXPECT_DOUBLE_EQ(values[1], 7.0);
+}
+
+TEST(Pareto, ExtractObjectivesNamesMissingPieces) {
+  const SweepSpec spec = max_min_spec();
+  try {
+    (void)extract_objectives(spec, sdl::JsonValue::parse(
+        R"([{"component": "c", "statistic": "b",
+             "fields": {"count": 7}}])"));
+    FAIL() << "expected SweepError";
+  } catch (const SweepError& e) {
+    EXPECT_NE(std::string(e.what()).find("c.a"), std::string::npos);
+  }
+  try {
+    (void)extract_objectives(spec, sdl::JsonValue::parse(
+        R"([{"component": "c", "statistic": "a",
+             "fields": {"sum": 1, "mean": 2}},
+            {"component": "c", "statistic": "b",
+             "fields": {"count": 7}}])"));
+    FAIL() << "expected SweepError";
+  } catch (const SweepError& e) {
+    // Lists what IS available.
+    EXPECT_NE(std::string(e.what()).find("mean"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("sum"), std::string::npos);
+  }
+}
+
+TEST(Pareto, CsvIsStableAndMarksFrontier) {
+  const SweepSpec spec = max_min_spec();
+  std::vector<PointResult> rows = {row(0, 10, 5), row(1, 20, 2)};
+  PointResult pending;
+  pending.point.id = 2;
+  pending.point.values = {"2"};
+  rows.push_back(pending);
+  compute_pareto(spec, rows);
+  std::ostringstream os;
+  write_results_csv(spec, rows, os);
+  EXPECT_EQ(os.str(),
+            "point,status,x,a,b,pareto,score\n"
+            "0,ok,0,10,5,0,0\n"
+            "1,ok,1,20,2,1,2\n"
+            "2,pending,2,,,0,\n");
+}
+
+}  // namespace
+}  // namespace sst::dse

@@ -147,5 +147,83 @@ TEST(ConfigGraph, UnknownPartitionStrategyThrows) {
                ConfigError);
 }
 
+TEST(ConfigGraph, UnknownPartitionStrategyListsKnownOnes) {
+  try {
+    (void)ConfigGraph::from_json_text(
+        R"({"config": {"partition": "magic"}})");
+    FAIL() << "expected ConfigError";
+  } catch (const ConfigError& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("linear"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("roundrobin"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("mincut"), std::string::npos) << msg;
+  }
+}
+
+TEST(ConfigGraph, PartitionAndRankSurviveEmitReparseByteIdentical) {
+  mem::register_library();
+  const char* doc = R"({
+    "config": {"num_ranks": 2, "partition": "mincut"},
+    "components": [
+      {"name": "a", "type": "mem.MemoryController",
+       "params": {"backend": "simple"}, "rank": 1},
+      {"name": "b", "type": "mem.MemoryController",
+       "params": {"backend": "simple"}}
+    ],
+    "links": []
+  })";
+  const ConfigGraph g = ConfigGraph::from_json_text(doc);
+  EXPECT_EQ(g.sim_config().partition, PartitionStrategy::kMinCut);
+  const std::string emitted = g.to_json().dump(2);
+  const ConfigGraph g2 = ConfigGraph::from_json_text(emitted);
+  EXPECT_EQ(g2.sim_config().partition, PartitionStrategy::kMinCut);
+  ASSERT_TRUE(g2.components()[0].rank.has_value());
+  EXPECT_EQ(*g2.components()[0].rank, 1u);
+  EXPECT_FALSE(g2.components()[1].rank.has_value());
+  // Emit -> re-parse -> emit is byte-identical.
+  EXPECT_EQ(g2.to_json().dump(2), emitted);
+}
+
+TEST(ConfigGraph, ApplyOverrideRewritesConfigParamsAndLinks) {
+  ConfigGraph g = small_system();
+  g.apply_override("/config/seed", "99");
+  g.apply_override("/config/partition", "roundrobin");
+  g.apply_override("/components/cpu0/params/elements", "4096");
+  g.apply_override("/components/cpu0/rank", "0");
+  g.apply_override("/links/0/latency", "7ns");
+  EXPECT_EQ(g.sim_config().seed, 99u);
+  EXPECT_EQ(g.sim_config().partition, PartitionStrategy::kRoundRobin);
+  EXPECT_EQ(*g.components()[0].params.raw("elements"), "4096");
+  ASSERT_TRUE(g.components()[0].rank.has_value());
+  EXPECT_EQ(*g.components()[0].rank, 0u);
+  EXPECT_EQ(g.links()[0].latency, "7ns");
+  // The overridden graph still validates and runs.
+  EXPECT_TRUE(g.validate(Factory::instance()).empty());
+}
+
+TEST(ConfigGraph, ApplyOverrideErrorsNameTheAlternatives) {
+  ConfigGraph g = small_system();
+  try {
+    g.apply_override("/components/ghost/params/x", "1");
+    FAIL() << "expected ConfigError";
+  } catch (const ConfigError& e) {
+    const std::string msg = e.what();
+    // Unknown component: the message lists the components that exist.
+    EXPECT_NE(msg.find("cpu0"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("mc0"), std::string::npos) << msg;
+  }
+  try {
+    g.apply_override("/config/bogus_key", "1");
+    FAIL() << "expected ConfigError";
+  } catch (const ConfigError& e) {
+    EXPECT_NE(std::string(e.what()).find("seed"), std::string::npos);
+  }
+  EXPECT_THROW(g.apply_override("/links/5/latency", "1ns"), ConfigError);
+  EXPECT_THROW(g.apply_override("no-leading-slash", "1"), ConfigError);
+  // No network section in this model.
+  EXPECT_THROW(g.apply_override("/network/link_latency", "1ns"),
+               ConfigError);
+}
+
 }  // namespace
 }  // namespace sst::sdl
