@@ -9,7 +9,8 @@
 #
 #   {"baseline": {...},   # first recorded measurement, kept forever
 #    "current":  {...},   # this run
-#    "speedup":  {...}}   # current/baseline events/sec, serial and 4-rank
+#    "speedup":  {...}}   # current/baseline events/sec, serial and 4-rank,
+#                         # plus lax-vs-conservative at 8 ranks
 #
 # The baseline section is preserved across reruns so every PR has a
 # before/after record; delete BENCH_pdes.json to re-seed it.
@@ -18,6 +19,10 @@
 #   SST_BENCH_END_US   simulated microseconds per configuration
 #                      (default 2000; CI smoke uses 200)
 #   SST_BENCH_REPEAT   repeats per configuration, fastest kept (default 3)
+#   SST_BENCH_MIN_LAX_SPEEDUP
+#                      when set (e.g. "1.2"), fail unless lax events/sec at
+#                      8 ranks is at least this multiple of conservative
+#                      (the CI sync-modes job gate)
 set -eu
 
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
@@ -54,9 +59,11 @@ try:
 except (OSError, ValueError):
     baseline = current
 
-def eps(doc, ranks, part="mincut"):
+def eps(doc, ranks, part="mincut", sync="conservative"):
     for run in doc.get("runs", []):
-        if run["ranks"] == ranks and run["partitioner"] == part:
+        # Rows predating the sync-mode column are conservative runs.
+        if (run["ranks"] == ranks and run["partitioner"] == part
+                and run.get("sync_mode", "conservative") == sync):
             return run["events_per_sec"]
     return None
 
@@ -66,6 +73,11 @@ for label, ranks in (("serial", 1), ("ranks4", 4)):
     if base and cur:
         speedup[label] = round(cur / base, 3)
 
+# Lax-vs-conservative at 8 ranks, within this run (the E17 headline).
+cons8, lax8 = eps(current, 8), eps(current, 8, sync="lax")
+if cons8 and lax8:
+    speedup["lax8_vs_conservative8"] = round(lax8 / cons8, 3)
+
 with open(out_path, "w") as f:
     json.dump({"baseline": baseline, "current": current,
                "speedup": speedup}, f, indent=2)
@@ -73,4 +85,14 @@ with open(out_path, "w") as f:
 print(f"wrote {out_path}")
 print(f"  baseline rev {baseline.get('git_rev', '?')}, "
       f"current rev {rev}, speedup {speedup}")
+
+import os
+gate = os.environ.get("SST_BENCH_MIN_LAX_SPEEDUP")
+if gate:
+    got = speedup.get("lax8_vs_conservative8")
+    if got is None:
+        sys.exit("lax gate: no 8-rank lax/conservative rows in this run")
+    if got < float(gate):
+        sys.exit(f"lax gate: 8-rank lax speedup {got} < required {gate}")
+    print(f"  lax gate passed: {got} >= {gate}")
 EOF

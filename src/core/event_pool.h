@@ -1,0 +1,83 @@
+// EventPool: bounded free-list recycling for high-churn event types.
+//
+// Clock ticks are pooled by Clock's one-slot spare (see clock.h); this is
+// the general-purpose version for model traffic that sends the same event
+// type millions of times (memory requests, network flits).  acquire()
+// reuses a previously released instance when one is available and
+// allocates otherwise; release() parks an instance for reuse up to the
+// configured capacity, beyond which it is simply destroyed.
+//
+// Recycled events keep stale engine ordering fields (delivery time,
+// source id, sequence); that is safe because Link::send re-stamps every
+// field when the event is next sent.  A recycled event must therefore be
+// re-sent, never inspected, after acquire().
+//
+// Pools are per-component (hence per-rank) objects: they are not thread
+// safe, matching the engine rule that a component's events are only
+// touched from its own partition's thread.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
+
+namespace sst {
+
+template <typename T>
+class EventPool {
+ public:
+  /// `capacity` bounds how many released events are kept for reuse; the
+  /// default suits request/response protocols with small in-flight
+  /// windows.
+  explicit EventPool(std::size_t capacity = 64) : capacity_(capacity) {}
+
+  /// Returns a ready-to-send event.  When a pooled instance is available
+  /// it is re-initialized via T::reset(args...); otherwise a fresh T is
+  /// constructed with the same arguments.
+  template <typename... Args>
+  [[nodiscard]] std::unique_ptr<T> acquire(Args&&... args) {
+    if (free_.empty()) {
+      ++allocs_;
+      return std::make_unique<T>(std::forward<Args>(args)...);
+    }
+    std::unique_ptr<T> ev = std::move(free_.back());
+    free_.pop_back();
+    ev->reset(std::forward<Args>(args)...);
+    ++recycles_;
+    return ev;
+  }
+
+  /// Parks an event for reuse (or destroys it when the pool is full).
+  /// Only events whose ownership has fully returned to the model — e.g.
+  /// a consumed response — may be released; events still referenced by
+  /// the engine must not be.
+  void release(std::unique_ptr<T> ev) {
+    if (ev == nullptr) return;
+    if (free_.size() < capacity_) {
+      free_.push_back(std::move(ev));
+      return;
+    }
+    ev.reset();  // pool full: let it die
+    ++overflow_;
+  }
+
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+  [[nodiscard]] std::size_t size() const { return free_.size(); }
+
+  /// Pool traffic counters, mirroring Clock's tick-pool accounting:
+  /// allocs + recycles equals the number of acquire() calls.
+  [[nodiscard]] std::uint64_t allocs() const { return allocs_; }
+  [[nodiscard]] std::uint64_t recycles() const { return recycles_; }
+  [[nodiscard]] std::uint64_t overflow() const { return overflow_; }
+
+ private:
+  std::size_t capacity_;
+  std::vector<std::unique_ptr<T>> free_;
+  std::uint64_t allocs_ = 0;
+  std::uint64_t recycles_ = 0;
+  std::uint64_t overflow_ = 0;
+};
+
+}  // namespace sst

@@ -450,10 +450,11 @@ void Simulation::wire_links() {
     lb->latency_ = c.latency_ba;
   }
 
-  // Fill rank fields, find the lookahead, count cut links, and check for
-  // dangling required ports.
+  // Fill rank fields, find the lookahead (global and per sending rank),
+  // count cut links, and check for dangling required ports.
   lookahead_ = kTimeNever;
   cut_links_ = 0;
+  rank_min_out_.assign(config_.num_ranks, kTimeNever);
   for (const auto& link : links_) {
     link->owner_rank_ = components_[link->owner_]->rank_;
     if (link->peer_ == nullptr) {
@@ -468,6 +469,8 @@ void Simulation::wire_links() {
     if (link->owner_rank_ != link->peer_rank_) {
       ++cut_links_;
       lookahead_ = std::min(lookahead_, link->latency_);
+      rank_min_out_[link->owner_rank_] =
+          std::min(rank_min_out_[link->owner_rank_], link->latency_);
     }
   }
   if (config_.num_ranks > 1 && lookahead_ == kTimeNever) {
@@ -507,6 +510,37 @@ void Simulation::initialize() {
   if (state_ != State::kBuilding) return;
   assign_ranks();
   wire_links();
+  // Synchronization-mode validation.  Serial runs ignore the mode (there
+  // is nothing to synchronize), so the rules below only bind when the
+  // run is actually parallel.
+  if (config_.num_ranks > 1) {
+    if (config_.sync_mode == SyncMode::kLax) {
+      if (config_.lax_skew < 1) {
+        throw ConfigError(
+            "sync: lax mode needs a skew bound of >= 1ps "
+            "(--lax-skew, or \"lax_skew\" in the SDL config section)");
+      }
+      if (config_.checkpoint_period > 0 || config_.checkpoint_wall > 0) {
+        throw ConfigError(
+            "sync: checkpointing requires conservative or adaptive "
+            "synchronization; lax mode corrects event timestamps, so a "
+            "snapshot could not resume bit-exactly");
+      }
+    } else if (config_.lax_skew > 0) {
+      throw ConfigError(
+          "sync: lax_skew is only meaningful with sync_mode=lax (current "
+          "mode: " +
+          std::string(sync_mode_name(config_.sync_mode)) + ")");
+    }
+    if (config_.sync_mode == SyncMode::kAdaptive &&
+        config_.sync_window_max > 0 && config_.sync_window_max < lookahead_) {
+      throw ConfigError(
+          "sync: sync_window_max " + std::to_string(config_.sync_window_max) +
+          "ps is smaller than the conservative lookahead of " +
+          std::to_string(lookahead_) +
+          "ps; the adaptive window never shrinks below the lookahead");
+    }
+  }
   // Parallel checkpoints are cut at sync-window barriers, so a period
   // shorter than the window cannot be honoured — it would silently snap
   // to the barrier cadence.  Reject it with both values spelled out.
@@ -592,6 +626,23 @@ void Simulation::drain_mailbox(RankState& rank) {
             [](const EventPtr& a, const EventPtr& b) {
               return EventOrder{}(*a, *b);
             });
+  if (lax_active_) {
+    // Lax contract: a straggler (an event whose timestamp this rank has
+    // already run past) is applied at the rank's current time instead of
+    // being delivered into the past.  The correction is < the configured
+    // skew: arrivals are >= the previous window's conservative horizon,
+    // and rank.now < that horizon + skew.  The vector is time-sorted, so
+    // stragglers form a prefix; corrected events keep their deterministic
+    // (priority, source, sequence) order at the corrected time.
+    const SimTime now = rank.now;
+    for (auto& ev : incoming) {
+      if (ev->delivery_time_ >= now) break;
+      const SimTime skew = now - ev->delivery_time_;
+      ev->delivery_time_ = now;
+      ++rank.lax_stragglers;
+      if (skew > rank.lax_max_skew) rank.lax_max_skew = skew;
+    }
+  }
   for (auto& ev : incoming) rank.vortex.insert(std::move(ev));
   // The swap left the (empty) scratch capacity in the mailbox; clearing
   // here leaves this window's capacity staged for the next drain.
@@ -724,6 +775,18 @@ RunStats Simulation::run() {
   for (const auto& r : ranks_) run_stats_.exchange_flushes += r.outbox_flushes;
   run_stats_.cut_links = cut_links_;
   run_stats_.lookahead = config_.num_ranks > 1 ? lookahead_ : 0;
+  run_stats_.sync_mode = config_.sync_mode;
+  run_stats_.lax_stragglers = 0;
+  run_stats_.lax_max_skew = 0;
+  for (const auto& r : ranks_) {
+    run_stats_.lax_stragglers += r.lax_stragglers;
+    run_stats_.lax_max_skew = std::max(run_stats_.lax_max_skew,
+                                       r.lax_max_skew);
+  }
+  if (lax_straggler_stat_ != nullptr) {
+    lax_straggler_stat_->add(run_stats_.lax_stragglers);
+    lax_skew_stat_->add(static_cast<double>(run_stats_.lax_max_skew));
+  }
   run_stats_.checkpoints = ckpt_taken_;
   run_stats_.checkpoint_seconds = ckpt_write_seconds_;
   SimTime final_time = 0;
@@ -815,7 +878,28 @@ void Simulation::run_parallel() {
   std::uint64_t windows = 0;
   bool priming = true;  // the first call computes the initial horizon only
 
-  auto compute_sync = [this, &sync, &windows, &priming]() noexcept {
+  const bool adaptive = config_.sync_mode == SyncMode::kAdaptive;
+  const bool lax = config_.sync_mode == SyncMode::kLax;
+  lax_active_ = lax;
+  // Adaptive window controller: starts at the conservative lookahead and
+  // earns larger windows from measured barrier overhead.  Bounds were
+  // validated in initialize(), so the constructor cannot throw here.
+  const SimTime max_window =
+      config_.sync_window_max > 0
+          ? config_.sync_window_max
+          : std::max(lookahead_, kMaxSyncWindow);
+  AdaptiveWindowController controller(lookahead_, max_window);
+  // Epoch bookkeeping for the controller (single-threaded inside the
+  // barrier completion, so plain members suffice).
+  auto epoch_wall_last = std::chrono::steady_clock::now();
+  double epoch_barrier_last = 0.0;
+  std::uint64_t epoch_events_last = 0;
+  run_stats_.min_window = 0;
+  run_stats_.max_window = 0;
+
+  auto compute_sync = [this, &sync, &windows, &priming, adaptive, lax,
+                       &controller, &epoch_wall_last, &epoch_barrier_last,
+                       &epoch_events_last, R]() noexcept {
     ++windows;
     if (watchdog_fired_.load(std::memory_order_relaxed)) {
       sync.done = true;
@@ -833,7 +917,71 @@ void Simulation::run_parallel() {
       }
       return;
     }
-    const SimTime window = lookahead_;
+    SimTime window = lookahead_;
+    if (adaptive) {
+      const auto wall_now = std::chrono::steady_clock::now();
+      if (!priming) {
+        // Feed the finished epoch to the controller: how much of its wall
+        // time the ranks spent parked, how much work it retired, and how
+        // deep the queues are now.
+        const double epoch_wall =
+            std::chrono::duration<double>(wall_now - epoch_wall_last)
+                .count();
+        double barrier_total = 0.0;
+        std::uint64_t events_total = 0;
+        std::uint64_t depth_total = 0;
+        for (const auto& r : ranks_) {
+          barrier_total += r.barrier_wait_seconds;
+          events_total += r.events;
+          depth_total += r.vortex.size();
+        }
+        SyncEpochStats es;
+        if (epoch_wall > 0.0) {
+          es.barrier_wait_fraction = std::min(
+              1.0, std::max(0.0, (barrier_total - epoch_barrier_last) /
+                                     (static_cast<double>(R) * epoch_wall)));
+        }
+        es.events_processed = events_total - epoch_events_last;
+        es.vortex_depth = depth_total;
+        window = controller.update(es);
+        epoch_barrier_last = barrier_total;
+        epoch_events_last = events_total;
+      }
+      epoch_wall_last = wall_now;
+      // Causal cap: rank r cannot influence any other rank before its
+      // next event time plus its minimum cross-rank out-latency, so the
+      // minimum of those bounds is the exact conservative horizon.  It is
+      // never below global_min + lookahead, so adaptive never synchronizes
+      // more often than conservative — and never violates causality.
+      SimTime safe = kTimeNever;
+      for (std::size_t r = 0; r < ranks_.size(); ++r) {
+        const SimTime next = ranks_[r].vortex.next_time();
+        if (next == kTimeNever || rank_min_out_[r] == kTimeNever) continue;
+        safe = std::min(safe, (next >= kTimeNever - rank_min_out_[r])
+                                  ? kTimeNever
+                                  : next + rank_min_out_[r]);
+      }
+      if (safe != kTimeNever && window > safe - global_min) {
+        window = safe - global_min;
+      }
+    }
+    if (lax) {
+      // Ranks may run up to lax_skew past the conservative bound; the
+      // resulting stragglers are corrected forward in drain_mailbox by
+      // strictly less than that skew.
+      window = (window >= kTimeNever - config_.lax_skew)
+                   ? kTimeNever
+                   : window + config_.lax_skew;
+    }
+    if (!priming) {
+      if (run_stats_.min_window == 0 || window < run_stats_.min_window) {
+        run_stats_.min_window = window;
+      }
+      if (window > run_stats_.max_window) run_stats_.max_window = window;
+      if (window_stat_ != nullptr) {
+        window_stat_->add(static_cast<double>(window));
+      }
+    }
     const SimTime horizon = (global_min >= kTimeNever - window)
                                 ? kTimeNever
                                 : global_min + window;
@@ -898,7 +1046,8 @@ void Simulation::run_parallel() {
   for (auto& r : ranks_) r.outbox.resize(R);
   exchange_batching_ = true;
 
-  const bool time_barriers = config_.profile_engine;
+  // Barrier timing feeds both the profiler and the adaptive controller.
+  const bool time_barriers = config_.profile_engine || adaptive;
   auto worker = [this, &sync, &after_send, &after_drain,
                  time_barriers](RankId me) {
     auto wait = [this, me, time_barriers](auto& barrier) {
@@ -907,10 +1056,20 @@ void Simulation::run_parallel() {
         return;
       }
       const auto t0 = std::chrono::steady_clock::now();
+      // Checkpoints are written inside the barrier completion while every
+      // rank is parked, and the watchdog is credited that wall time via
+      // ckpt_pause_ns_.  Credit the barrier-wait profile the same way, so
+      // barrier_wait_seconds measures synchronization, not snapshot I/O.
+      const std::uint64_t ckpt0 =
+          ckpt_pause_ns_.load(std::memory_order_relaxed);
       barrier.arrive_and_wait();
-      ranks_[me].barrier_wait_seconds +=
+      double waited =
           std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
               .count();
+      waited -= 1e-9 * static_cast<double>(
+                           ckpt_pause_ns_.load(std::memory_order_relaxed) -
+                           ckpt0);
+      if (waited > 0) ranks_[me].barrier_wait_seconds += waited;
     };
     while (!sync.done) {
       rank_process_until(me, sync.horizon);
@@ -929,6 +1088,7 @@ void Simulation::run_parallel() {
   worker(0);
   for (auto& t : threads) t.join();
   exchange_batching_ = false;
+  lax_active_ = false;
   run_stats_.sync_windows = ckpt_windows_base_ + windows;
 }
 
@@ -1089,6 +1249,19 @@ void Simulation::setup_observability() {
             return false;
           });
     }
+  }
+  if (config_.num_ranks > 1 && config_.sync_mode == SyncMode::kLax) {
+    // The lax accuracy report: always present in lax runs (it is the
+    // run's error bound, not a profiling detail).  stragglers counts the
+    // late events that were corrected; max_skew_ps is the largest
+    // correction actually applied, guaranteed < config lax_skew.
+    lax_straggler_stat_ = stats_.create<Counter>("engine.lax", "stragglers");
+    lax_skew_stat_ = stats_.create<Accumulator>("engine.lax", "max_skew_ps");
+  }
+  if (config_.profile_engine && config_.num_ranks > 1 &&
+      config_.sync_mode == SyncMode::kAdaptive) {
+    // One sample per sync epoch: the window the controller chose (ps).
+    window_stat_ = stats_.create<Accumulator>("engine.sync", "window_ps");
   }
   if (config_.profile_engine) {
     engine_stats_.resize(config_.num_ranks);

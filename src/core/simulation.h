@@ -29,6 +29,7 @@
 #include "core/component.h"
 #include "core/link.h"
 #include "core/statistics.h"
+#include "core/sync_policy.h"
 #include "core/time_vortex.h"
 #include "core/types.h"
 
@@ -80,6 +81,20 @@ struct SimConfig {
   /// registered primary components are still unsatisfied (a model-level
   /// deadlock that would otherwise end the run silently).
   bool detect_deadlock = true;
+
+  // --- synchronization (src/core/sync_policy.h) ----------------------
+  /// How parallel ranks synchronize.  kConservative (default) is the
+  /// golden-pinned fixed-lookahead engine; kAdaptive sizes windows per
+  /// epoch (still causally exact); kLax trades timestamp accuracy for
+  /// fewer barriers.  Ignored when num_ranks == 1.
+  SyncMode sync_mode = SyncMode::kConservative;
+  /// kLax only: how far ranks may run ahead of the conservative horizon.
+  /// Late cross-rank events are applied with a timestamp correction that
+  /// is always smaller than this bound.  Must be >= 1ps in lax mode.
+  SimTime lax_skew = 0;
+  /// kAdaptive only: upper clamp for the adaptive window controller
+  /// (0 = the engine's kMaxSyncWindow default of 10us).
+  SimTime sync_window_max = 0;
 
   // --- observability (src/obs) ---------------------------------------
   /// Enable the event tracer (implied when trace_path is set).  The
@@ -139,6 +154,11 @@ struct RunStats {
   std::uint64_t pool_allocs = 0;       // fresh clock-tick allocations
   std::uint64_t pool_recycles = 0;     // tick events reused from the pool
   std::uint64_t exchange_flushes = 0;  // batched cross-rank buffer flushes
+  SyncMode sync_mode = SyncMode::kConservative;  // mode this run used
+  SimTime min_window = 0;              // smallest sync window used (parallel)
+  SimTime max_window = 0;              // largest sync window used (parallel)
+  std::uint64_t lax_stragglers = 0;    // late events given a corrected time
+  SimTime lax_max_skew = 0;            // largest correction applied (ps)
   [[nodiscard]] double events_per_second() const {
     return wall_seconds > 0 ? static_cast<double>(events_processed) /
                                   wall_seconds
@@ -291,9 +311,14 @@ class Simulation {
     std::vector<EventPtr> drain_scratch;
     std::uint64_t outbox_flushes = 0;  // non-empty per-destination flushes
     // Self-profiler gauges (mailbox count is always maintained — one add
-    // per drain; barrier wait is only measured under profile_engine).
+    // per drain; barrier wait is measured under profile_engine and in
+    // adaptive mode, where it feeds the window controller).
     std::uint64_t mailbox_received = 0;
     double barrier_wait_seconds = 0.0;
+    // Lax mode: late cross-rank events this rank corrected forward, and
+    // the largest correction it applied.
+    std::uint64_t lax_stragglers = 0;
+    SimTime lax_max_skew = 0;
   };
 
   // Component construction context.
@@ -422,6 +447,16 @@ class Simulation {
 
   SimTime lookahead_ = kTimeNever;
   std::uint64_t cut_links_ = 0;
+  // Per-rank minimum latency over cross-rank links whose *sending*
+  // endpoint lives on that rank (kTimeNever when the rank has none).
+  // next_time(r) + rank_min_out_[r] bounds rank r's earliest possible
+  // future influence on any other rank — the exact causal cap adaptive
+  // windows respect.
+  std::vector<SimTime> rank_min_out_;
+  // True while a lax-mode parallel run is in flight: drain_mailbox
+  // applies bounded timestamp corrections to late events.  Only toggled
+  // while the engine is single-threaded.
+  bool lax_active_ = false;
   RunStats run_stats_;
   // True while the parallel worker loops run: cross-rank sends stage in
   // the sender's outbox instead of locking the destination mailbox.
@@ -471,6 +506,16 @@ class Simulation {
   // Self-profiler statistics for the pause/resume window (profile_engine).
   Counter* ckpt_count_stat_ = nullptr;
   Accumulator* ckpt_write_stat_ = nullptr;
+
+  // Lax-mode accuracy contract block (engine.lax statistics).  Created
+  // whenever a parallel lax run is configured — not gated on
+  // profile_engine, because the straggler count and max observed skew are
+  // the run's accuracy report, not a profiling detail.
+  Counter* lax_straggler_stat_ = nullptr;
+  Accumulator* lax_skew_stat_ = nullptr;
+  // Adaptive-mode window trace (profile_engine only): one sample per
+  // sync epoch, in picoseconds.
+  Accumulator* window_stat_ = nullptr;
 
   // Construction bookkeeping.
   std::string pending_name_;

@@ -1,0 +1,110 @@
+// Synchronization policy for the parallel engine: the sync-mode contract
+// and the adaptive window controller.
+//
+// The parallel engine (Simulation::run_parallel) advances in sync epochs:
+// every rank processes events below a shared horizon, then all ranks
+// barrier and exchange cross-rank events.  How that horizon is chosen is
+// the synchronization mode:
+//
+//   * kConservative — horizon = global minimum next event time + the
+//     minimum cross-rank link latency (the lookahead).  Classic
+//     conservative PDES; byte-identical to the serial engine and the
+//     mode every golden digest is pinned against.  The default.
+//
+//   * kAdaptive — still conservative (no event is ever processed before
+//     everything that could affect it has arrived), but the window is
+//     chosen per epoch by the AdaptiveWindowController below and capped
+//     by the *exact* causal bound
+//
+//         safe = min over ranks r of (next event time of r
+//                                     + min cross-rank out-latency of r)
+//
+//     which is never smaller than the conservative horizon.  When some
+//     ranks are idle or far in the future (compute phases, drained
+//     partitions) the window grows and barriers collapse; on saturated
+//     workloads it degenerates to conservative.  Model-visible results
+//     are identical to conservative; only the barrier cadence (an engine
+//     counter) adapts to measured barrier overhead, i.e. to wall clock.
+//
+//   * kLax — opt-in accuracy/throughput trade: the horizon is extended by
+//     a configured skew beyond the conservative bound, so ranks may run
+//     ahead of incoming cross-rank traffic.  A late ("straggler") event
+//     that arrives with a timestamp the receiving rank has already passed
+//     is applied with a bounded timestamp correction (forwarded to the
+//     rank's current time; the correction is provably < the configured
+//     skew).  Deterministic run-to-run — the horizon formula uses no wall
+//     clock — but not byte-identical to conservative.
+#pragma once
+
+#include <cstdint>
+
+#include "core/types.h"
+
+namespace sst {
+
+/// How the parallel engine chooses sync-window horizons.  Serial runs
+/// (num_ranks == 1) ignore the mode entirely.
+enum class SyncMode {
+  kConservative,  // fixed lookahead window (default, golden-pinned)
+  kAdaptive,      // controller-sized window, capped by the causal bound
+  kLax,           // lookahead + configured skew, bounded corrections
+};
+
+[[nodiscard]] const char* sync_mode_name(SyncMode mode);
+
+/// What one sync epoch looked like, as fed to the adaptive controller.
+struct SyncEpochStats {
+  /// Fraction of the epoch's wall time the ranks spent parked in
+  /// barriers, averaged over ranks; in [0, 1].  High values mean the
+  /// window is too small for the available work (sync-bound).
+  double barrier_wait_fraction = 0.0;
+  /// Events retired across all ranks during the epoch.  Zero means the
+  /// epoch was pure synchronization overhead.
+  std::uint64_t events_processed = 0;
+  /// Total pending events across all rank vortices after the epoch.
+  std::uint64_t vortex_depth = 0;
+};
+
+/// Pure multiplicative-increase / multiplicative-decrease controller for
+/// the adaptive sync window.  Deliberately a pure function of its inputs
+/// (no wall clock, no globals) so its contract is property-testable:
+///
+///   * clamping     — the window always lies in [min_window, max_window];
+///   * monotonicity — with the other inputs fixed, a higher barrier-wait
+///     fraction never yields a smaller next window;
+///   * convergence  — under constant epoch stats the window reaches a
+///     fixed point within log2(max/min) + 1 updates and stays there.
+///
+/// The engine clamps min_window to the lookahead, so the controller can
+/// never choose a window below the conservative one, and the causal cap
+/// in compute_sync keeps any choice safe.
+class AdaptiveWindowController {
+ public:
+  /// Grow when barriers eat at least this fraction of an epoch.
+  static constexpr double kGrowThreshold = 0.20;
+  /// Shrink when barriers cost less than this fraction (window larger
+  /// than the workload needs; smaller windows bound straggler latency
+  /// and vortex growth).
+  static constexpr double kShrinkThreshold = 0.02;
+  /// Multiplicative step for both directions.
+  static constexpr SimTime kStepFactor = 2;
+
+  /// Throws ConfigError unless 1 <= min_window <= max_window.
+  AdaptiveWindowController(SimTime min_window, SimTime max_window);
+
+  /// Current window (starts at min_window: adaptive mode begins exactly
+  /// conservative and earns larger windows from evidence).
+  [[nodiscard]] SimTime window() const { return window_; }
+  [[nodiscard]] SimTime min_window() const { return min_window_; }
+  [[nodiscard]] SimTime max_window() const { return max_window_; }
+
+  /// Feeds one epoch's stats and returns the window for the next epoch.
+  SimTime update(const SyncEpochStats& stats);
+
+ private:
+  SimTime min_window_;
+  SimTime max_window_;
+  SimTime window_;
+};
+
+}  // namespace sst

@@ -44,6 +44,14 @@ PartitionStrategy partition_from_string(const std::string& name) {
                     "' (known: linear, roundrobin, mincut)");
 }
 
+SyncMode sync_mode_from_string(const std::string& name) {
+  if (name == "conservative") return SyncMode::kConservative;
+  if (name == "adaptive") return SyncMode::kAdaptive;
+  if (name == "lax") return SyncMode::kLax;
+  throw ConfigError("unknown sync mode '" + name +
+                    "' (known: conservative, adaptive, lax)");
+}
+
 const char* partition_name(PartitionStrategy strategy) {
   switch (strategy) {
     case PartitionStrategy::kLinear: return "linear";
@@ -288,6 +296,15 @@ ConfigGraph ConfigGraph::from_json(const JsonValue& doc) {
     sc.detect_deadlock = cfg.get_bool("detect_deadlock", sc.detect_deadlock);
     sc.verbose = cfg.get_bool("verbose", false);
     sc.partition = partition_from_string(cfg.get_string("partition", "linear"));
+    sc.sync_mode =
+        sync_mode_from_string(cfg.get_string("sync_mode", "conservative"));
+    if (cfg.has("lax_skew")) {
+      sc.lax_skew = UnitAlgebra(cfg.at("lax_skew").as_string()).to_simtime();
+    }
+    if (cfg.has("sync_window_max")) {
+      sc.sync_window_max =
+          UnitAlgebra(cfg.at("sync_window_max").as_string()).to_simtime();
+    }
   }
   if (doc.has("components")) {
     for (const auto& jc : doc.at("components").as_array()) {
@@ -489,6 +506,12 @@ void ConfigGraph::apply_override(std::string_view path,
       sim_config_.fault_seed = as_u64(value);
     } else if (key == "partition") {
       sim_config_.partition = partition_from_string(value);
+    } else if (key == "sync_mode") {
+      sim_config_.sync_mode = sync_mode_from_string(value);
+    } else if (key == "lax_skew") {
+      sim_config_.lax_skew = UnitAlgebra(value).to_simtime();
+    } else if (key == "sync_window_max") {
+      sim_config_.sync_window_max = UnitAlgebra(value).to_simtime();
     } else if (key == "watchdog_seconds") {
       sim_config_.watchdog_seconds = detail::parse_param<double>(value, p);
     } else if (key == "detect_deadlock") {
@@ -498,6 +521,7 @@ void ConfigGraph::apply_override(std::string_view path,
     } else {
       fail("unknown config key '" + key +
            "' (known: end_time, num_ranks, seed, fault_seed, partition, "
+           "sync_mode, lax_skew, sync_window_max, "
            "watchdog_seconds, detect_deadlock, verbose)");
     }
     return;
@@ -629,6 +653,16 @@ JsonValue ConfigGraph::to_json() const {
   }
   if (!sim_config_.detect_deadlock) cfg["detect_deadlock"] = JsonValue(false);
   cfg["partition"] = partition_name(sim_config_.partition);
+  if (sim_config_.sync_mode != SyncMode::kConservative) {
+    cfg["sync_mode"] = JsonValue(std::string(sync_mode_name(sim_config_.sync_mode)));
+  }
+  if (sim_config_.lax_skew != 0) {
+    cfg["lax_skew"] = JsonValue(std::to_string(sim_config_.lax_skew) + "ps");
+  }
+  if (sim_config_.sync_window_max != 0) {
+    cfg["sync_window_max"] =
+        JsonValue(std::to_string(sim_config_.sync_window_max) + "ps");
+  }
   doc["config"] = JsonValue(std::move(cfg));
 
   JsonArray comps;

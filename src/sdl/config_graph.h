@@ -7,7 +7,10 @@
 // JSON schema:
 // {
 //   "config": { "end_time": "1ms", "num_ranks": 2, "seed": 7,
-//               "partition": "mincut" },
+//               "partition": "mincut",
+//               "sync_mode": "conservative",  // conservative|adaptive|lax
+//               "lax_skew": "2us",            // required when sync_mode=lax
+//               "sync_window_max": "10us" },  // optional adaptive window cap
 //   "components": [
 //     { "name": "cpu0", "type": "proc.Core",
 //       "params": { "clock": "2GHz", "issue_width": "4" },
@@ -55,7 +58,10 @@
 // }
 //
 // "config" additionally accepts "fault_seed", "watchdog_seconds", and
-// "detect_deadlock".
+// "detect_deadlock".  "sync_mode" selects the parallel synchronization
+// protocol (see DESIGN.md "Synchronization modes"): "conservative" and
+// "adaptive" reproduce golden results byte-identically; "lax" trades bounded
+// timestamp skew (<= "lax_skew") for fewer barriers.
 #pragma once
 
 #include <optional>

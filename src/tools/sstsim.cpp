@@ -16,6 +16,16 @@
 //   --end <time>         override the end time, e.g. "2ms"
 //   --seed <n>           override the global seed
 //   --fault-seed <n>     override the fault-injection seed
+//   --sync-mode <mode>   parallel synchronization protocol:
+//                        conservative (default, byte-identical results),
+//                        adaptive (byte-identical results, windows grow
+//                        from engine-profiling feedback), or lax (bounded
+//                        timestamp skew, fewer barriers; needs --lax-skew)
+//   --lax-skew <time>    max cross-rank skew under --sync-mode=lax,
+//                        e.g. "2us"; late events are corrected by less
+//                        than this bound
+//   --sync-window-max <time>  cap on the adaptive window (default: an
+//                        engine heuristic; must be >= the min link latency)
 //   --watchdog <secs>    abort with diagnostics after this much wall clock
 //   --checkpoint-period <t>  write a snapshot every <t> of simulated time
 //   --checkpoint-wall <secs> write a snapshot every <secs> of wall clock
@@ -75,6 +85,8 @@ void print_options(std::ostream& os, const char* argv0) {
         " [--metrics out.jsonl] [--metrics-period TIME]"
         " [--profile-engine] [--validate]"
         " [--ranks N] [--end TIME] [--seed N] [--fault-seed N]"
+        " [--sync-mode conservative|adaptive|lax] [--lax-skew TIME]"
+        " [--sync-window-max TIME]"
         " [--watchdog SECS]"
         " [--checkpoint-period TIME] [--checkpoint-wall SECS]"
         " [--checkpoint-dir DIR] [--checkpoint-keep N]"
@@ -105,6 +117,19 @@ int help(const char* argv0) {
       "                             the newest intact snapshot in a\n"
       "                             directory; a corrupt file falls back to\n"
       "                             the newest intact sibling\n"
+      "\nSynchronization modes (parallel runs; see DESIGN.md):\n"
+      "  --sync-mode conservative   barrier every min-link-latency window;\n"
+      "                             byte-identical to serial (default)\n"
+      "  --sync-mode adaptive       windows grow/shrink from barrier-wait\n"
+      "                             feedback, capped by the causal bound;\n"
+      "                             model results stay byte-identical\n"
+      "  --sync-mode lax            ranks run ahead up to --lax-skew; late\n"
+      "                             cross-rank events are corrected by less\n"
+      "                             than the bound (results differ from\n"
+      "                             conservative; deterministic per seed);\n"
+      "                             incompatible with checkpointing\n"
+      "  --lax-skew TIME            required with --sync-mode=lax\n"
+      "  --sync-window-max TIME     optional cap on the adaptive window\n"
       "\nDesign-space sweeps:\n"
       "  --sweep SPEC               run the sweep described by SPEC: one\n"
       "                             child process per point, a crash-\n"
@@ -201,6 +226,9 @@ int main(int argc, char** argv) {
   std::optional<std::string> end_time;
   std::optional<std::uint64_t> seed;
   std::optional<std::uint64_t> fault_seed;
+  std::optional<std::string> sync_mode;
+  std::optional<std::string> lax_skew;
+  std::optional<std::string> sync_window_max;
   std::optional<double> watchdog;
   std::string restart_path;
   std::optional<std::string> ckpt_period;
@@ -281,6 +309,18 @@ int main(int argc, char** argv) {
         const char* v = next();
         if (v == nullptr) return usage(argv[0]);
         fault_seed = std::stoull(v);
+      } else if (arg == "--sync-mode") {
+        const char* v = next();
+        if (v == nullptr) return usage(argv[0]);
+        sync_mode = v;
+      } else if (arg == "--lax-skew") {
+        const char* v = next();
+        if (v == nullptr) return usage(argv[0]);
+        lax_skew = v;
+      } else if (arg == "--sync-window-max") {
+        const char* v = next();
+        if (v == nullptr) return usage(argv[0]);
+        sync_window_max = v;
       } else if (arg == "--watchdog") {
         const char* v = next();
         if (v == nullptr) return usage(argv[0]);
@@ -403,6 +443,16 @@ int main(int argc, char** argv) {
   }
   if (seed) sc.seed = *seed;
   if (fault_seed) sc.fault_seed = *fault_seed;
+  try {
+    if (sync_mode) graph.apply_override("/config/sync_mode", *sync_mode);
+    if (lax_skew) graph.apply_override("/config/lax_skew", *lax_skew);
+    if (sync_window_max) {
+      graph.apply_override("/config/sync_window_max", *sync_window_max);
+    }
+  } catch (const sst::ConfigError& e) {
+    std::cerr << e.what() << "\n";
+    return kExitConfig;
+  }
   if (watchdog) sc.watchdog_seconds = *watchdog;
   // CLI observability flags override the SDL "observability" section.
   if (!trace_path.empty()) sc.trace_path = trace_path;
@@ -465,6 +515,12 @@ int main(int argc, char** argv) {
               << stats.wall_seconds << " s wall ("
               << static_cast<std::uint64_t>(stats.events_per_second())
               << " events/s)\n";
+    if (stats.sync_mode == sst::SyncMode::kLax) {
+      std::cerr << "lax: " << stats.lax_stragglers
+                << " straggler events corrected, max observed skew "
+                << stats.lax_max_skew << " ps (budget "
+                << sim->config().lax_skew << " ps)\n";
+    }
     if (!sc.trace_path.empty()) {
       std::cerr << "trace written to " << sc.trace_path << "\n";
     }

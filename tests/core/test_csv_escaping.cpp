@@ -1,0 +1,54 @@
+// RFC 4180 CSV escaping in statistics dumps: component and statistic
+// names chosen by models must never corrupt the row structure.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+
+#include "core/statistics.h"
+
+namespace sst {
+namespace {
+
+TEST(CsvEscaping, PlainFieldsPassThrough) {
+  EXPECT_EQ(csv_escape("plain"), "plain");
+  EXPECT_EQ(csv_escape("with space"), "with space");
+  EXPECT_EQ(csv_escape(""), "");
+  EXPECT_EQ(csv_escape("dots.and-dashes_ok"), "dots.and-dashes_ok");
+}
+
+TEST(CsvEscaping, CommaForcesQuoting) {
+  EXPECT_EQ(csv_escape("a,b"), "\"a,b\"");
+}
+
+TEST(CsvEscaping, EmbeddedQuotesAreDoubled) {
+  EXPECT_EQ(csv_escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+  // A field that is nothing but a quote.
+  EXPECT_EQ(csv_escape("\""), "\"\"\"\"");
+}
+
+TEST(CsvEscaping, NewlinesForceQuoting) {
+  EXPECT_EQ(csv_escape("line1\nline2"), "\"line1\nline2\"");
+  EXPECT_EQ(csv_escape("cr\rlf"), "\"cr\rlf\"");
+}
+
+TEST(CsvEscaping, RegistryDumpQuotesHostileNames) {
+  StatisticsRegistry reg;
+  auto* c = reg.create<Counter>("comp,with\"everything\"", "evil\nstat");
+  c->add(3);
+  std::ostringstream os;
+  reg.write_csv(os);
+  const std::string out = os.str();
+  // The hostile component name appears exactly once, quoted and doubled.
+  EXPECT_NE(out.find("\"comp,with\"\"everything\"\"\""), std::string::npos);
+  EXPECT_NE(out.find("\"evil\nstat\""), std::string::npos);
+  // Every data row still has the same column count as the header.
+  // Count unquoted commas on the header line.
+  const std::string header = out.substr(0, out.find('\n'));
+  const auto commas = static_cast<int>(
+      std::count(header.begin(), header.end(), ','));
+  EXPECT_GE(commas, 3);
+}
+
+}  // namespace
+}  // namespace sst

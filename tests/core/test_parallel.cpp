@@ -2,6 +2,9 @@
 // partitioners, lookahead computation, cross-rank statistics.
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
+#include <thread>
 #include <vector>
 
 #include "core/sst.h"
@@ -21,9 +24,15 @@ struct RingResult {
 };
 
 RingResult run_ring(unsigned ranks, PartitionStrategy part,
-                    unsigned nodes = 8, SimTime end = 20 * kMicrosecond) {
-  Simulation sim(SimConfig{
-      .num_ranks = ranks, .end_time = end, .seed = 7, .partition = part});
+                    unsigned nodes = 8, SimTime end = 20 * kMicrosecond,
+                    SyncMode mode = SyncMode::kConservative,
+                    SimTime lax_skew = 0) {
+  Simulation sim(SimConfig{.num_ranks = ranks,
+                           .end_time = end,
+                           .seed = 7,
+                           .partition = part,
+                           .sync_mode = mode,
+                           .lax_skew = lax_skew});
   Params p;
   p.set("fanout", "2");
   p.set("initial_events", "3");
@@ -258,6 +267,159 @@ TEST(Parallel, PooledBatchedExchangeDeterminism) {
   EXPECT_GT(par2.stats.exchange_flushes, 0u);
   EXPECT_GT(par4.stats.exchange_flushes, 0u);
   EXPECT_GT(par4.stats.cross_rank_events, 0u);
+}
+
+// ---- synchronization modes (src/core/sync_policy.h) -------------------
+
+TEST(SyncMode, AdaptiveMatchesSerialExactly) {
+  // Adaptive windows are capped by the exact causal bound, so every
+  // model-visible value must equal the serial run's, at any rank count.
+  const RingResult serial = run_ring(1, PartitionStrategy::kLinear);
+  const RingResult ad2 = run_ring(2, PartitionStrategy::kLinear, 8,
+                                  20 * kMicrosecond, SyncMode::kAdaptive);
+  const RingResult ad4 = run_ring(4, PartitionStrategy::kLinear, 8,
+                                  20 * kMicrosecond, SyncMode::kAdaptive);
+  EXPECT_GT(serial.events, 100u);
+  EXPECT_EQ(serial.received, ad2.received);
+  EXPECT_EQ(serial.received, ad4.received);
+  EXPECT_EQ(serial.events, ad2.events);
+  EXPECT_EQ(serial.events, ad4.events);
+  EXPECT_EQ(ad4.stats.sync_mode, SyncMode::kAdaptive);
+  EXPECT_EQ(ad4.stats.lax_stragglers, 0u);
+}
+
+TEST(SyncMode, AdaptiveWindowNeverBelowLookahead) {
+  const RingResult r = run_ring(2, PartitionStrategy::kLinear, 8,
+                                20 * kMicrosecond, SyncMode::kAdaptive);
+  EXPECT_GE(r.stats.min_window, r.stats.lookahead);
+  EXPECT_GE(r.stats.max_window, r.stats.min_window);
+}
+
+TEST(SyncMode, LaxDeterministicRunToRun) {
+  // Lax trades accuracy, not determinism: the horizon formula uses no
+  // wall clock, so identical runs must agree on everything — including
+  // the straggler corrections themselves.
+  const SimTime skew = kMicrosecond;
+  const RingResult a = run_ring(4, PartitionStrategy::kMinCut, 8,
+                                20 * kMicrosecond, SyncMode::kLax, skew);
+  const RingResult b = run_ring(4, PartitionStrategy::kMinCut, 8,
+                                20 * kMicrosecond, SyncMode::kLax, skew);
+  EXPECT_EQ(a.received, b.received);
+  EXPECT_EQ(a.events, b.events);
+  EXPECT_EQ(a.stats.lax_stragglers, b.stats.lax_stragglers);
+  EXPECT_EQ(a.stats.lax_max_skew, b.stats.lax_max_skew);
+  EXPECT_EQ(a.stats.sync_windows, b.stats.sync_windows);
+}
+
+TEST(SyncMode, LaxSkewWithinBudgetAndFewerBarriers) {
+  const SimTime skew = kMicrosecond;
+  const RingResult cons = run_ring(4, PartitionStrategy::kMinCut);
+  const RingResult lax = run_ring(4, PartitionStrategy::kMinCut, 8,
+                                  20 * kMicrosecond, SyncMode::kLax, skew);
+  EXPECT_EQ(lax.stats.sync_mode, SyncMode::kLax);
+  // Every correction stays strictly below the configured bound.
+  EXPECT_LT(lax.stats.lax_max_skew, skew);
+  // The wider horizon must collapse barrier windows.
+  EXPECT_LT(lax.stats.sync_windows, cons.stats.sync_windows);
+}
+
+TEST(SyncMode, LaxNeedsSkewBound) {
+  Simulation sim(SimConfig{.num_ranks = 2,
+                           .end_time = kMicrosecond,
+                           .sync_mode = SyncMode::kLax});
+  Params p;
+  sim.add_component<Echo>("a", p);
+  sim.add_component<Echo>("b", p);
+  sim.connect("a", "port", "b", "port", kNanosecond);
+  EXPECT_THROW(sim.initialize(), ConfigError);
+}
+
+TEST(SyncMode, SkewWithoutLaxRejected) {
+  Simulation sim(SimConfig{.num_ranks = 2,
+                           .end_time = kMicrosecond,
+                           .lax_skew = kMicrosecond});
+  Params p;
+  sim.add_component<Echo>("a", p);
+  sim.add_component<Echo>("b", p);
+  sim.connect("a", "port", "b", "port", kNanosecond);
+  EXPECT_THROW(sim.initialize(), ConfigError);
+}
+
+TEST(SyncMode, LaxRejectsCheckpointing) {
+  SimConfig cfg{.num_ranks = 2,
+                .end_time = kMicrosecond,
+                .sync_mode = SyncMode::kLax,
+                .lax_skew = kMicrosecond};
+  cfg.checkpoint_period = 10 * kMicrosecond;
+  Simulation sim(cfg);
+  Params p;
+  sim.add_component<Echo>("a", p);
+  sim.add_component<Echo>("b", p);
+  sim.connect("a", "port", "b", "port", kNanosecond);
+  EXPECT_THROW(sim.initialize(), ConfigError);
+}
+
+TEST(SyncMode, AdaptiveWindowMaxBelowLookaheadRejected) {
+  SimConfig cfg{.num_ranks = 2,
+                .end_time = kMicrosecond,
+                .sync_mode = SyncMode::kAdaptive};
+  cfg.sync_window_max = 1;  // lookahead will be 1ns = 1000ps
+  Simulation sim(cfg);
+  Params p;
+  sim.add_component<Echo>("a", p);
+  sim.add_component<Echo>("b", p);
+  sim.connect("a", "port", "b", "port", kNanosecond);
+  EXPECT_THROW(sim.initialize(), ConfigError);
+}
+
+TEST(SyncMode, BarrierWaitExcludesCheckpointIo) {
+  // Regression: checkpoint writes happen while the other ranks are parked
+  // at the window barrier.  The watchdog already credits that pause
+  // (ckpt_pause_ns_); the --profile-engine barrier-wait accounting must
+  // subtract the same credit, or every snapshot's I/O time shows up as
+  // phantom synchronization cost.
+  SimConfig cfg{.num_ranks = 2,
+                .end_time = 20 * kMicrosecond,
+                .seed = 7,
+                .partition = PartitionStrategy::kLinear};
+  cfg.profile_engine = true;
+  cfg.checkpoint_period = 5 * kMicrosecond;
+  Simulation sim(cfg);
+  Params p;
+  p.set("fanout", "2");
+  p.set("initial_events", "3");
+  p.set("min_delay", "10ns");
+  for (unsigned i = 0; i < 8; ++i) {
+    sim.add_component<PholdNode>("n" + std::to_string(i), p);
+  }
+  for (unsigned i = 0; i < 8; ++i) {
+    sim.connect("n" + std::to_string(i), "port0",
+                "n" + std::to_string((i + 1) % 8), "port1",
+                100 * kNanosecond);
+  }
+  std::atomic<unsigned> snapshots{0};
+  constexpr auto kSleep = std::chrono::milliseconds(60);
+  sim.set_checkpoint_writer([&](Simulation&) {
+    ++snapshots;
+    std::this_thread::sleep_for(kSleep);
+  });
+  sim.run();
+  ASSERT_GE(snapshots.load(), 2u);
+
+  double barrier_wait_total = 0.0;
+  for (unsigned r = 0; r < 2; ++r) {
+    const auto* stat = dynamic_cast<const Accumulator*>(sim.stats().find(
+        "engine.rank" + std::to_string(r), "barrier_wait_seconds"));
+    ASSERT_NE(stat, nullptr);
+    barrier_wait_total += stat->sum();
+  }
+  // Without the credit the parked rank books ~snapshots * kSleep of wait;
+  // with it the total stays far below a single snapshot's write time.
+  const double sleep_s =
+      std::chrono::duration<double>(kSleep).count();
+  EXPECT_LT(barrier_wait_total, 0.5 * sleep_s)
+      << "snapshot I/O leaked into barrier_wait_seconds ("
+      << snapshots.load() << " snapshots of " << sleep_s << "s each)";
 }
 
 }  // namespace

@@ -1,0 +1,146 @@
+// AdaptiveWindowController properties: the window reacts monotonically to
+// barrier pressure, never leaves its [min, max] bounds, and converges in a
+// bounded number of epochs under constant load.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "core/sync_policy.h"
+
+namespace sst {
+namespace {
+
+SyncEpochStats epoch(double fraction, std::uint64_t events = 1000,
+                     std::uint64_t depth = 64) {
+  SyncEpochStats es;
+  es.barrier_wait_fraction = fraction;
+  es.events_processed = events;
+  es.vortex_depth = depth;
+  return es;
+}
+
+TEST(AdaptiveWindow, StartsAtMinWindow) {
+  AdaptiveWindowController c(100, 10000);
+  EXPECT_EQ(c.window(), 100u);
+  EXPECT_EQ(c.min_window(), 100u);
+  EXPECT_EQ(c.max_window(), 10000u);
+}
+
+TEST(AdaptiveWindow, ConstructorValidatesBounds) {
+  EXPECT_THROW(AdaptiveWindowController(0, 100), ConfigError);
+  EXPECT_THROW(AdaptiveWindowController(200, 100), ConfigError);
+  EXPECT_NO_THROW(AdaptiveWindowController(100, 100));
+}
+
+TEST(AdaptiveWindow, GrowsUnderBarrierPressure) {
+  AdaptiveWindowController c(100, 10000);
+  EXPECT_EQ(c.update(epoch(0.5)), 200u);
+  EXPECT_EQ(c.update(epoch(0.5)), 400u);
+}
+
+TEST(AdaptiveWindow, EmptyEpochCountsAsPureOverhead) {
+  // An epoch that retired no events grows the window even when the
+  // measured barrier fraction is (meaninglessly) low.
+  AdaptiveWindowController c(100, 10000);
+  EXPECT_EQ(c.update(epoch(0.0, /*events=*/0)), 200u);
+}
+
+TEST(AdaptiveWindow, ShrinksWhenBarriersAreCheap) {
+  AdaptiveWindowController c(100, 10000);
+  c.update(epoch(0.5));
+  c.update(epoch(0.5));
+  ASSERT_EQ(c.window(), 400u);
+  EXPECT_EQ(c.update(epoch(0.0)), 200u);
+  EXPECT_EQ(c.update(epoch(0.01)), 100u);
+}
+
+TEST(AdaptiveWindow, DeadBandHoldsTheWindow) {
+  AdaptiveWindowController c(100, 10000);
+  c.update(epoch(0.5));
+  ASSERT_EQ(c.window(), 200u);
+  // Between the shrink and grow thresholds nothing moves.
+  for (double f : {0.03, 0.10, 0.19}) {
+    EXPECT_EQ(c.update(epoch(f)), 200u) << "fraction " << f;
+  }
+}
+
+// Monotonicity: from any common starting state, a higher barrier-wait
+// fraction never produces a smaller next window.
+TEST(AdaptiveWindow, UpdateIsMonotoneInBarrierFraction) {
+  const std::vector<double> fractions = {0.0,  0.01, 0.02, 0.05, 0.1,
+                                         0.19, 0.2,  0.3,  0.5,  1.0};
+  // Try several starting windows, reached by replaying a warm-up.
+  for (int warmup = 0; warmup < 5; ++warmup) {
+    SimTime prev_result = 0;
+    for (double f : fractions) {
+      AdaptiveWindowController c(100, 100000);
+      for (int i = 0; i < warmup; ++i) c.update(epoch(0.5));
+      const SimTime w = c.update(epoch(f));
+      EXPECT_GE(w, prev_result)
+          << "fraction " << f << " after warmup " << warmup;
+      prev_result = w;
+    }
+  }
+}
+
+// Clamping: no adversarial epoch sequence can push the window outside
+// [min_window, max_window].
+TEST(AdaptiveWindow, WindowAlwaysWithinBounds) {
+  AdaptiveWindowController c(250, 4000);
+  // Deterministic pseudo-random walk over extreme inputs.
+  std::uint64_t x = 0x9e3779b97f4a7c15ull;
+  for (int i = 0; i < 1000; ++i) {
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    const double f = static_cast<double>(x % 101) / 100.0;
+    const std::uint64_t events = (x >> 32) % 3 == 0 ? 0 : x % 100000;
+    const SimTime w = c.update(epoch(f, events, x % 1024));
+    EXPECT_GE(w, c.min_window());
+    EXPECT_LE(w, c.max_window());
+  }
+}
+
+// Convergence: under constant saturating load the window reaches the
+// relevant bound within log2(max/min) + 1 epochs and then stays there.
+TEST(AdaptiveWindow, ConvergesUnderConstantLoad) {
+  const SimTime min_w = 100, max_w = 102400;  // ratio 1024 = 2^10
+  const int budget =
+      static_cast<int>(std::log2(static_cast<double>(max_w) /
+                                 static_cast<double>(min_w))) +
+      1;
+
+  AdaptiveWindowController up(min_w, max_w);
+  for (int i = 0; i < budget; ++i) up.update(epoch(1.0));
+  EXPECT_EQ(up.window(), max_w);
+  up.update(epoch(1.0));
+  EXPECT_EQ(up.window(), max_w) << "must hold at the bound";
+
+  AdaptiveWindowController down(min_w, max_w);
+  for (int i = 0; i < budget; ++i) down.update(epoch(1.0));
+  ASSERT_EQ(down.window(), max_w);
+  for (int i = 0; i < budget; ++i) down.update(epoch(0.0));
+  EXPECT_EQ(down.window(), min_w);
+  down.update(epoch(0.0));
+  EXPECT_EQ(down.window(), min_w) << "must hold at the bound";
+}
+
+TEST(AdaptiveWindow, MaxWindowOverflowSafe) {
+  // Growing from a window already past max/2 must clamp, not overflow.
+  const SimTime huge = kTimeNever / 2 + 1;
+  AdaptiveWindowController c(huge, kTimeNever - 1);
+  c.update(epoch(1.0));
+  EXPECT_EQ(c.window(), kTimeNever - 1);
+  c.update(epoch(1.0));
+  EXPECT_EQ(c.window(), kTimeNever - 1);
+}
+
+TEST(AdaptiveWindow, SyncModeNames) {
+  EXPECT_STREQ(sync_mode_name(SyncMode::kConservative), "conservative");
+  EXPECT_STREQ(sync_mode_name(SyncMode::kAdaptive), "adaptive");
+  EXPECT_STREQ(sync_mode_name(SyncMode::kLax), "lax");
+}
+
+}  // namespace
+}  // namespace sst

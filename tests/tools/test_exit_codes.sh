@@ -35,6 +35,25 @@ expect 2 "bad time value"  "$SSTSIM" "$MODELS/pingpong.json" --end "1 parsec"
 expect 3 "watchdog abort"  "$SSTSIM" "$MODELS/hog.json" --watchdog 0.3
 expect 4 "deadlock"        "$SSTSIM" "$MODELS/deadlock.json"
 
+# Synchronization-mode additions: every misuse is a usage/config error
+# (2); a correctly configured lax run is a clean 0.
+expect 2 "bad sync mode"   "$SSTSIM" "$MODELS/pingpong.json" --ranks 2 \
+                           --sync-mode bogus
+expect 2 "lax no skew"     "$SSTSIM" "$MODELS/pingpong.json" --ranks 2 \
+                           --sync-mode lax
+expect 2 "skew no lax"     "$SSTSIM" "$MODELS/pingpong.json" --ranks 2 \
+                           --lax-skew 1us
+expect 2 "lax + ckpt"      "$SSTSIM" "$MODELS/pingpong.json" --ranks 2 \
+                           --sync-mode lax --lax-skew 1us \
+                           --checkpoint-period 10us \
+                           --checkpoint-dir "$WORK/laxcp"
+expect 2 "bad skew value"  "$SSTSIM" "$MODELS/pingpong.json" --ranks 2 \
+                           --sync-mode lax --lax-skew "1 parsec"
+expect 0 "lax clean run"   "$SSTSIM" "$MODELS/pingpong.json" --ranks 2 \
+                           --sync-mode lax --lax-skew 1us
+expect 0 "adaptive run"    "$SSTSIM" "$MODELS/pingpong.json" --ranks 2 \
+                           --sync-mode adaptive
+
 # Checkpoint/restart additions: bad cadence values are usage errors (2),
 # an unusable restart source is the dedicated restart failure (5).
 expect 2 "bad ckpt period" "$SSTSIM" "$MODELS/pingpong.json" \
