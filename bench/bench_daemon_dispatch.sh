@@ -1,0 +1,137 @@
+#!/bin/sh
+# E18: warm-dispatch vs fork/exec sweep overhead.
+#
+#   bench/bench_daemon_dispatch.sh [build_dir]
+#
+# Runs the same >=100-point sweep twice through sstdse — once fork/exec
+# (one sstsim process per point, SDL re-parsed every time) and once
+# through a 1-worker sstsimd (model parsed once, points dispatched to a
+# warm worker over the socket) — on a near-zero-work model, so wall
+# time is dominated by per-point dispatch overhead.  Records the result
+# under the "daemon_dispatch" key of BENCH_pdes.json (the baseline /
+# current / speedup sections are owned by run_benchmarks.sh and left
+# untouched).
+#
+# Environment:
+#   SST_BENCH_DISPATCH_POINTS   sweep points (default 100, min 100)
+#   SST_BENCH_MIN_DISPATCH_SPEEDUP
+#                               when set (e.g. "5"), fail unless the
+#                               fork/exec per-point overhead is at least
+#                               this multiple of the daemon's (the CI
+#                               daemon job gate)
+set -eu
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD="${1:-$ROOT/build-bench}"
+OUT="$ROOT/BENCH_pdes.json"
+
+cmake -B "$BUILD" -S "$ROOT" -DCMAKE_BUILD_TYPE=Release
+cmake --build "$BUILD" --target sstsim sstsimd sstdse \
+    -j"$(getconf _NPROCESSORS_ONLN)"
+
+python3 - "$ROOT" "$BUILD" "$OUT" <<'EOF'
+import json, os, subprocess, sys, tempfile, time
+
+root, build, out_path = sys.argv[1], sys.argv[2], sys.argv[3]
+sstsim = os.path.join(build, "src/tools/sstsim")
+sstsimd = os.path.join(build, "src/tools/sstsimd")
+sstdse = os.path.join(build, "src/tools/sstdse")
+points = max(100, int(os.environ.get("SST_BENCH_DISPATCH_POINTS", "100")))
+
+work = tempfile.mkdtemp(prefix="sst_dispatch_bench_")
+
+# Near-zero simulated work: one ping per endpoint pair, so per-point
+# wall time is almost entirely dispatch overhead.
+with open(os.path.join(root, "tests/tools/models/pingpong.json")) as f:
+    model = f.read().replace('"iterations": 200', '"iterations": 1')
+model_path = os.path.join(work, "light.json")
+with open(model_path, "w") as f:
+    f.write(model)
+
+spec = {
+    "name": "dispatch_overhead",
+    "model": model_path,
+    "axes": [{"path": "/components/rank0/params/msg_bytes",
+              "values": list(range(64, 64 + points))}],
+    "run": {"concurrency": 1, "timeout_seconds": 60, "retries": 0},
+}
+spec_path = os.path.join(work, "spec.json")
+with open(spec_path, "w") as f:
+    json.dump(spec, f)
+
+def run_sweep(label, out_dir, extra):
+    t0 = time.monotonic()
+    subprocess.run([sstdse, "run", spec_path, "--out", out_dir,
+                    "--sstsim", sstsim, "-q"] + extra, check=True)
+    dt = time.monotonic() - t0
+    print(f"  {label}: {points} points in {dt:.2f}s "
+          f"({1000 * dt / points:.2f} ms/point)")
+    return dt
+
+print(f"dispatch bench: {points}-point sweep, fork/exec vs daemon")
+forkexec_s = run_sweep("fork/exec", os.path.join(work, "sw_forkexec"),
+                       ["--jobs", "1"])
+
+sock = os.path.join(work, "d.sock")
+daemon = subprocess.Popen([sstsimd, "--socket", sock, "--workers", "1"],
+                          stdout=subprocess.DEVNULL,
+                          stderr=subprocess.DEVNULL)
+try:
+    for _ in range(100):
+        if subprocess.run([sstsimd, "--socket", sock, "--status"],
+                          stdout=subprocess.DEVNULL,
+                          stderr=subprocess.DEVNULL).returncode == 0:
+            break
+        time.sleep(0.1)
+    else:
+        sys.exit("dispatch bench: daemon never came up")
+    daemon_s = run_sweep("daemon", os.path.join(work, "sw_daemon"),
+                         ["--daemon", sock])
+finally:
+    subprocess.run([sstsimd, "--socket", sock, "--drain"],
+                   stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL)
+    daemon.wait(timeout=30)
+
+# Same sweep, same answers: overhead must be the only difference.
+with open(os.path.join(work, "sw_forkexec/results.csv"), "rb") as f:
+    forkexec_csv = f.read()
+with open(os.path.join(work, "sw_daemon/results.csv"), "rb") as f:
+    daemon_csv = f.read()
+if forkexec_csv != daemon_csv:
+    sys.exit("dispatch bench: daemon sweep results differ from fork/exec")
+
+ratio = round(forkexec_s / daemon_s, 2)
+record = {
+    "points": points,
+    "forkexec_seconds": round(forkexec_s, 3),
+    "daemon_seconds": round(daemon_s, 3),
+    "forkexec_ms_per_point": round(1000 * forkexec_s / points, 3),
+    "daemon_ms_per_point": round(1000 * daemon_s / points, 3),
+    "overhead_ratio": ratio,
+}
+try:
+    rev = subprocess.run(["git", "rev-parse", "--short", "HEAD"],
+                         capture_output=True, text=True,
+                         check=True).stdout.strip()
+except Exception:
+    rev = "unknown"
+record["git_rev"] = rev
+
+try:
+    with open(out_path) as f:
+        doc = json.load(f)
+except (OSError, ValueError):
+    doc = {}
+doc["daemon_dispatch"] = record
+with open(out_path, "w") as f:
+    json.dump(doc, f, indent=2)
+    f.write("\n")
+print(f"wrote {out_path} (daemon_dispatch: overhead ratio {ratio}x)")
+
+gate = os.environ.get("SST_BENCH_MIN_DISPATCH_SPEEDUP")
+if gate:
+    if ratio < float(gate):
+        sys.exit(f"dispatch gate: fork/exec-to-daemon overhead ratio "
+                 f"{ratio} < required {gate}")
+    print(f"  dispatch gate passed: {ratio} >= {gate}")
+EOF

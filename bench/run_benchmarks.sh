@@ -57,6 +57,7 @@ try:
         doc = json.load(f)
     baseline = doc.get("baseline", current)
 except (OSError, ValueError):
+    doc = {}
     baseline = current
 
 def eps(doc, ranks, part="mincut", sync="conservative"):
@@ -78,9 +79,11 @@ cons8, lax8 = eps(current, 8), eps(current, 8, sync="lax")
 if cons8 and lax8:
     speedup["lax8_vs_conservative8"] = round(lax8 / cons8, 3)
 
+# Update in place so sections owned by other benches (e.g. the
+# daemon_dispatch record from bench_daemon_dispatch.sh) survive reruns.
+doc.update({"baseline": baseline, "current": current, "speedup": speedup})
 with open(out_path, "w") as f:
-    json.dump({"baseline": baseline, "current": current,
-               "speedup": speedup}, f, indent=2)
+    json.dump(doc, f, indent=2)
     f.write("\n")
 print(f"wrote {out_path}")
 print(f"  baseline rev {baseline.get('git_rev', '?')}, "

@@ -543,8 +543,12 @@ void write_checkpoint_file(const std::string& dir, const CheckpointData& data,
                           "': " + ec.message());
   }
   const fs::path final_path = fs::path(dir) / checkpoint_file_name(data.seq);
-  const fs::path tmp_path = fs::path(dir) / (".tmp." + checkpoint_file_name(
-                                                           data.seq));
+  // PID-tagged temp name: two processes sharing a checkpoint directory
+  // (e.g. a daemon worker and a direct sstsim) can never collide on the
+  // same in-flight temp file.
+  const fs::path tmp_path =
+      fs::path(dir) / (".tmp." + std::to_string(::getpid()) + "." +
+                       checkpoint_file_name(data.seq));
 
   FileHeader hdr{};
   std::memcpy(hdr.magic, kMagic, sizeof kMagic);

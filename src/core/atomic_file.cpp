@@ -1,0 +1,148 @@
+#include "core/atomic_file.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <filesystem>
+
+namespace fs = std::filesystem;
+
+namespace sst {
+
+std::string atomic_tmp_name(const std::string& path) {
+  const fs::path target(path);
+  const std::string tmp = ".tmp." + std::to_string(::getpid()) + "." +
+                          target.filename().string();
+  return (target.parent_path() / tmp).string();
+}
+
+std::string atomic_publish(const std::string& path,
+                           std::string_view content) {
+  const std::string tmp = atomic_tmp_name(path);
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    return "cannot create temp file '" + tmp +
+           "': " + std::strerror(errno);
+  }
+  std::size_t off = 0;
+  while (off < content.size()) {
+    const ::ssize_t n =
+        ::write(fd, content.data() + off, content.size() - off);
+    if (n <= 0) {
+      ::close(fd);
+      ::unlink(tmp.c_str());
+      return "short write to temp file '" + tmp + "'";
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  if (::fsync(fd) != 0) {
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    return "fsync of temp file '" + tmp + "' failed: " +
+           std::strerror(errno);
+  }
+  ::close(fd);
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    const int err = errno;
+    ::unlink(tmp.c_str());
+    return "cannot publish '" + path + "': " + std::strerror(err);
+  }
+  const fs::path parent = fs::path(path).parent_path();
+  const std::string dir = parent.empty() ? "." : parent.string();
+  const int dirfd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (dirfd >= 0) {  // best effort, like the checkpoint writer
+    ::fsync(dirfd);
+    ::close(dirfd);
+  }
+  return "";
+}
+
+std::string append_durable(const std::string& path,
+                           std::string_view content) {
+  std::error_code ec;
+  const bool existed = fs::exists(path, ec);
+  const int fd =
+      ::open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+  if (fd < 0) {
+    return "cannot open '" + path + "' for append: " + std::strerror(errno);
+  }
+  std::size_t off = 0;
+  while (off < content.size()) {
+    const ::ssize_t n =
+        ::write(fd, content.data() + off, content.size() - off);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) {
+      ::close(fd);
+      return "short append to '" + path + "'";
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  if (::fsync(fd) != 0) {
+    ::close(fd);
+    return "fsync of '" + path + "' failed: " + std::strerror(errno);
+  }
+  ::close(fd);
+  if (!existed) {  // make the file's directory entry durable too
+    const fs::path parent = fs::path(path).parent_path();
+    const std::string dir = parent.empty() ? "." : parent.string();
+    const int dirfd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+    if (dirfd >= 0) {
+      ::fsync(dirfd);
+      ::close(dirfd);
+    }
+  }
+  return "";
+}
+
+std::string write_durable(const std::string& path,
+                          std::string_view content) {
+  const int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    return "cannot create '" + path + "': " + std::strerror(errno);
+  }
+  std::size_t off = 0;
+  while (off < content.size()) {
+    const ::ssize_t n =
+        ::write(fd, content.data() + off, content.size() - off);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) {
+      ::close(fd);
+      return "short write to '" + path + "'";
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  if (::fsync(fd) != 0) {
+    ::close(fd);
+    return "fsync of '" + path + "' failed: " + std::strerror(errno);
+  }
+  ::close(fd);
+  return "";
+}
+
+std::string truncate_torn_tail(const std::string& path,
+                               std::size_t fragment_chars) {
+  const int fd = ::open(path.c_str(), O_RDWR);
+  if (fd < 0) {
+    return "cannot open '" + path + "': " + std::strerror(errno);
+  }
+  const ::off_t size = ::lseek(fd, 0, SEEK_END);
+  ::off_t cut = static_cast<::off_t>(fragment_chars);
+  // std::getline strips newlines; if the fragment is newline-terminated
+  // on disk, that byte belongs to the fragment too.
+  char last = '\0';
+  if (size > 0 && ::pread(fd, &last, 1, size - 1) == 1 && last == '\n') {
+    ++cut;
+  }
+  if (cut > size) cut = size;
+  if (::ftruncate(fd, size - cut) != 0) {
+    ::close(fd);
+    return "cannot truncate '" + path + "': " + std::strerror(errno);
+  }
+  ::fsync(fd);
+  ::close(fd);
+  return "";
+}
+
+}  // namespace sst

@@ -1,0 +1,57 @@
+// Crash-consistent file publishing shared by every durable writer in the
+// tree (the dse sweep ledger, the daemon request ledger, worker stats
+// dumps).  One discipline everywhere:
+//
+//   write .tmp.<pid>.<name>  ->  fsync  ->  rename  ->  fsync(dir)
+//
+// A SIGKILL at any instant leaves either the previous intact file or the
+// new intact file, never a torn one.  The temp name embeds the writer's
+// PID so two processes sharing an output directory (a daemon worker and
+// a stray sstsim, say) can never collide on the same *.tmp and publish
+// each other's half-written bytes.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace sst {
+
+/// The PID-tagged temp sibling used while publishing `path`
+/// (".tmp.<pid>.<filename>" in the same directory).  Exposed so tests
+/// can assert on the naming contract.
+[[nodiscard]] std::string atomic_tmp_name(const std::string& path);
+
+/// Atomically replaces `path` with `content` through the tmp + fsync +
+/// rename + directory-fsync protocol.  Returns "" on success, otherwise
+/// a human-readable error message (callers wrap it in their own
+/// exception types).  The temp file is always unlinked on failure.
+[[nodiscard]] std::string atomic_publish(const std::string& path,
+                                         std::string_view content);
+
+/// Durably appends `content` to `path` (creating it if absent): a
+/// single O_APPEND write followed by fsync, plus a directory fsync when
+/// the call created the file.  A SIGKILL mid-append leaves at most one
+/// torn tail fragment, which JSONL readers with torn-tail recovery (the
+/// sweep and request ledgers) discard on load.  Returns "" on success,
+/// otherwise a human-readable error message.
+[[nodiscard]] std::string append_durable(const std::string& path,
+                                         std::string_view content);
+
+/// Writes `content` to `path` in place (O_TRUNC) with a single data
+/// fsync — no temp file, no rename, no directory fsync.  The cheap tier
+/// of the durability ladder, for files whose loss or tearing is
+/// *detected and reported* by their reader rather than prevented (the
+/// daemon's request spool: recovery turns a missing or garbled spool
+/// into an explicit error record).  Use atomic_publish when a torn file
+/// must never be observed.  Returns "" on success, else an error.
+[[nodiscard]] std::string write_durable(const std::string& path,
+                                        std::string_view content);
+
+/// Repairs a JSONL file whose final line is a torn append fragment:
+/// truncates the last `fragment_chars` characters (plus the trailing
+/// newline, if one follows them) so the next append starts on a fresh
+/// line.  Returns "" on success, otherwise an error message.
+[[nodiscard]] std::string truncate_torn_tail(const std::string& path,
+                                             std::size_t fragment_chars);
+
+}  // namespace sst

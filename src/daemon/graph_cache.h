@@ -1,0 +1,63 @@
+// ConfigGraph content-hash cache: the warm-dispatch half of sstsimd.
+//
+// Requests carry their SDL bytes inline; the cache keys parsed (and, on
+// the daemon side, validated) ConfigGraphs by the FNV-1a hash of those
+// exact bytes.  Identical bytes hit; a one-byte change misses.  Both the
+// daemon (admission validation) and each worker (parse-once execution)
+// hold an instance — workers are forked before requests arrive, so the
+// caches are warmed independently, keyed identically.
+//
+// Hits return the graph parsed from byte-identical input, so a cached
+// run is byte-identical to a cold-parse run by construction (pinned by
+// tests/daemon/test_graph_cache.cpp).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "sdl/config_graph.h"
+
+namespace sst::daemon {
+
+class GraphCache {
+ public:
+  /// `capacity` bounds resident parsed graphs (FIFO eviction) so a
+  /// long-lived daemon serving many distinct models cannot grow without
+  /// bound.
+  explicit GraphCache(std::size_t capacity = 64) : capacity_(capacity) {}
+
+  /// FNV-1a 64-bit over the raw SDL bytes.
+  [[nodiscard]] static std::uint64_t content_hash(std::string_view bytes);
+
+  /// Admission-side lookup: parse + validate on miss, no work on hit.
+  /// Returns the content hash.  Throws ConfigError when the model fails
+  /// to parse or validate (the daemon rejects the request up front
+  /// instead of burning a worker on it).
+  std::uint64_t admit(const std::string& bytes, const Factory& factory);
+
+  /// Execution-side lookup: the parsed graph for `bytes` (parsed on
+  /// miss, reused on hit).  `hash` must be content_hash(bytes) — passed
+  /// in so daemon and worker agree on keys without rehashing.  The
+  /// returned reference is invalidated by the next insertion.
+  const sdl::ConfigGraph& graph(std::uint64_t hash, const std::string& bytes);
+
+  [[nodiscard]] std::uint64_t hits() const { return hits_; }
+  [[nodiscard]] std::uint64_t misses() const { return misses_; }
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+
+ private:
+  const sdl::ConfigGraph& insert(std::uint64_t hash, const std::string& bytes);
+
+  std::map<std::uint64_t, std::unique_ptr<sdl::ConfigGraph>> entries_;
+  std::deque<std::uint64_t> order_;  // insertion order for FIFO eviction
+  std::size_t capacity_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
+}  // namespace sst::daemon

@@ -1,0 +1,144 @@
+#include "daemon/protocol.h"
+
+#include <sstream>
+
+#include "obs/json_util.h"
+
+namespace sst::daemon {
+
+namespace {
+
+void append_common_run_fields(std::ostream& os, const RunRequest& req) {
+  os << "\"id\":\"" << obs::json_escape(req.id) << "\",\"model\":\""
+     << obs::json_escape(req.model_json) << "\",\"out\":\""
+     << obs::json_escape(req.out_dir) << "\",\"overrides\":{";
+  bool first = true;
+  for (const auto& [path, value] : req.overrides) {
+    if (!first) os << ",";
+    first = false;
+    os << "\"" << obs::json_escape(path) << "\":\""
+       << obs::json_escape(value) << "\"";
+  }
+  os << "},\"ranks\":" << req.ranks << ",\"end\":\""
+     << obs::json_escape(req.end_time) << "\"";
+  if (req.seed) os << ",\"seed\":" << *req.seed;
+  os << ",\"timeout\":" << obs::json_number(req.timeout_seconds)
+     << ",\"retries\":" << req.retries
+     << ",\"backoff\":" << obs::json_number(req.backoff_seconds);
+  if (req.test_signal != 0) os << ",\"test_signal\":" << req.test_signal;
+}
+
+}  // namespace
+
+ClientMessage parse_client_message(const std::string& line) {
+  sdl::JsonValue doc;
+  try {
+    doc = sdl::JsonValue::parse(line);
+  } catch (const sdl::JsonError& e) {
+    throw DaemonError(std::string("malformed request line: ") + e.what());
+  }
+  if (!doc.is_object() || !doc.has("op")) {
+    throw DaemonError("request line must be an object with an \"op\" field");
+  }
+  const std::string op = doc.at("op").as_string();
+  ClientMessage msg;
+  if (op == "run") {
+    msg.op = ClientMessage::Op::kRun;
+    msg.run = run_request_from_json(doc);
+  } else if (op == "status") {
+    msg.op = ClientMessage::Op::kStatus;
+  } else if (op == "result") {
+    msg.op = ClientMessage::Op::kResult;
+    if (!doc.has("id")) throw DaemonError("result op requires an \"id\"");
+    msg.id = doc.at("id").as_string();
+  } else if (op == "drain") {
+    msg.op = ClientMessage::Op::kDrain;
+  } else {
+    throw DaemonError("unknown op '" + op +
+                      "' (expected run|status|result|drain)");
+  }
+  return msg;
+}
+
+RunRequest run_request_from_json(const sdl::JsonValue& doc) {
+  RunRequest req;
+  req.id = doc.get_string("id", "");
+  if (!doc.has("model") || !doc.at("model").is_string() ||
+      doc.at("model").as_string().empty()) {
+    throw DaemonError("run op requires a non-empty \"model\" field "
+                      "carrying the SDL JSON text inline");
+  }
+  req.model_json = doc.at("model").as_string();
+  req.out_dir = doc.get_string("out", "");
+  if (req.out_dir.empty()) {
+    throw DaemonError("run op requires an \"out\" directory for "
+                      "request.json and stats.json");
+  }
+  if (doc.has("overrides")) {
+    for (const auto& [path, value] : doc.at("overrides").as_object()) {
+      req.overrides.emplace_back(path, value.as_string());
+    }
+  }
+  req.ranks = static_cast<unsigned>(doc.get_number("ranks", 0));
+  req.end_time = doc.get_string("end", "");
+  if (doc.has("seed")) {
+    req.seed = static_cast<std::uint64_t>(doc.at("seed").as_number());
+  }
+  req.timeout_seconds = doc.get_number("timeout", 300);
+  if (req.timeout_seconds < 0) {
+    throw DaemonError("run op \"timeout\" must be >= 0");
+  }
+  req.retries = static_cast<unsigned>(doc.get_number("retries", 2));
+  req.backoff_seconds = doc.get_number("backoff", 0.5);
+  req.test_signal = static_cast<int>(doc.get_number("test_signal", 0));
+  return req;
+}
+
+std::string run_request_to_line(const RunRequest& req) {
+  std::ostringstream os;
+  os << "{\"op\":\"run\",";
+  append_common_run_fields(os, req);
+  os << "}";
+  return os.str();
+}
+
+std::string worker_job_to_line(const RunRequest& req,
+                               std::uint64_t content_hash) {
+  std::ostringstream os;
+  os << "{\"op\":\"run\",\"hash\":\"" << std::hex << content_hash
+     << std::dec << "\",";
+  append_common_run_fields(os, req);
+  os << "}";
+  return os.str();
+}
+
+std::string worker_reply_to_line(const WorkerReply& reply) {
+  std::ostringstream os;
+  os << "{\"id\":\"" << obs::json_escape(reply.id) << "\",\"status\":\""
+     << obs::json_escape(reply.status) << "\",\"exit\":" << reply.exit_code
+     << ",\"error\":\"" << obs::json_escape(reply.error)
+     << "\",\"events\":" << reply.events
+     << ",\"wall\":" << obs::json_number(reply.wall_seconds)
+     << ",\"cache_hit\":" << (reply.cache_hit ? "true" : "false") << "}";
+  return os.str();
+}
+
+WorkerReply parse_worker_reply(const std::string& line) {
+  sdl::JsonValue doc;
+  try {
+    doc = sdl::JsonValue::parse(line);
+  } catch (const sdl::JsonError& e) {
+    throw DaemonError(std::string("malformed worker reply: ") + e.what());
+  }
+  WorkerReply reply;
+  reply.id = doc.get_string("id", "");
+  reply.status = doc.get_string("status", "failed");
+  reply.exit_code = static_cast<int>(doc.get_number("exit", 1));
+  reply.error = doc.get_string("error", "");
+  reply.events = static_cast<std::uint64_t>(doc.get_number("events", 0));
+  reply.wall_seconds = doc.get_number("wall", 0.0);
+  reply.cache_hit = doc.get_bool("cache_hit", false);
+  return reply;
+}
+
+}  // namespace sst::daemon

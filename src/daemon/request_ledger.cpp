@@ -1,0 +1,122 @@
+#include "daemon/request_ledger.h"
+
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "core/atomic_file.h"
+#include "obs/json_util.h"
+
+namespace sst::daemon {
+
+namespace {
+
+constexpr int kLedgerVersion = 1;
+
+std::string record_to_line(const RequestRecord& r) {
+  std::ostringstream os;
+  os << "{\"id\":\"" << obs::json_escape(r.id) << "\",\"status\":\""
+     << obs::json_escape(r.status) << "\",\"exit\":" << r.exit_code
+     << ",\"signal\":" << r.term_signal << ",\"attempts\":" << r.attempts
+     << ",\"out\":\"" << obs::json_escape(r.out_dir) << "\",\"hash\":\""
+     << std::hex << r.content_hash << std::dec << "\",\"error\":\""
+     << obs::json_escape(r.error) << "\"}";
+  return os.str();
+}
+
+}  // namespace
+
+void RequestLedger::load() {
+  std::ifstream in(path_);
+  if (!in) return;
+  std::vector<std::pair<std::size_t, std::string>> lines;
+  {
+    std::string line;
+    std::size_t lineno = 0;
+    while (std::getline(in, line)) {
+      ++lineno;
+      if (!line.empty()) lines.emplace_back(lineno, std::move(line));
+    }
+  }
+  bool saw_header = false;
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    const auto& [lineno, line] = lines[i];
+    sdl::JsonValue doc;
+    try {
+      doc = sdl::JsonValue::parse(line);
+    } catch (const sdl::JsonError& e) {
+      if (i + 1 == lines.size()) {
+        std::cerr << "[sstsimd] ledger '" << path_
+                  << "': dropping torn final line " << lineno
+                  << " (interrupted append)\n";
+        // Truncate the fragment so this daemon's appends start fresh
+        // instead of gluing onto it.
+        const std::string terr = truncate_torn_tail(path_, line.size());
+        if (!terr.empty()) {
+          throw DaemonError("ledger '" + path_ +
+                            "': cannot repair torn tail: " + terr);
+        }
+        break;
+      }
+      throw DaemonError("ledger '" + path_ + "' line " +
+                        std::to_string(lineno) +
+                        " is malformed: " + e.what());
+    }
+    if (!saw_header) {
+      if (!doc.has("daemon") || doc.at("daemon").as_string() != "sstsimd") {
+        throw DaemonError("'" + path_ + "' is not an sstsimd request ledger");
+      }
+      if (static_cast<int>(doc.get_number("version", 0)) != kLedgerVersion) {
+        throw DaemonError("ledger '" + path_ + "' has version " +
+                          std::to_string(static_cast<int>(
+                              doc.get_number("version", 0))) +
+                          ", this daemon writes version " +
+                          std::to_string(kLedgerVersion));
+      }
+      saw_header = true;
+      continue;
+    }
+    RequestRecord r;
+    r.id = doc.at("id").as_string();
+    r.status = doc.at("status").as_string();
+    r.exit_code = static_cast<int>(doc.get_number("exit", 0));
+    r.term_signal = static_cast<int>(doc.get_number("signal", 0));
+    r.attempts = static_cast<unsigned>(doc.get_number("attempts", 0));
+    r.out_dir = doc.get_string("out", "");
+    r.content_hash = std::stoull(doc.get_string("hash", "0"), nullptr, 16);
+    r.error = doc.get_string("error", "");
+    records_[r.id] = std::move(r);
+  }
+  header_written_ = saw_header;
+}
+
+void RequestLedger::record(const RequestRecord& rec) {
+  records_[rec.id] = rec;
+  pending_ += record_to_line(rec);
+  pending_ += '\n';
+}
+
+void RequestLedger::flush() {
+  if (pending_.empty()) return;
+  std::string payload;
+  if (!header_written_) {
+    payload = "{\"daemon\":\"sstsimd\",\"version\":" +
+              std::to_string(kLedgerVersion) + "}\n";
+  }
+  payload += pending_;
+  const std::string err = append_durable(path_, payload);
+  if (!err.empty()) throw DaemonError("request ledger: " + err);
+  header_written_ = true;
+  pending_.clear();
+}
+
+std::vector<RequestRecord> RequestLedger::pending() const {
+  std::vector<RequestRecord> out;
+  for (const auto& [id, r] : records_) {
+    (void)id;
+    if (!r.final()) out.push_back(r);
+  }
+  return out;
+}
+
+}  // namespace sst::daemon

@@ -1,0 +1,81 @@
+// Bounded admission queue with retry scheduling.
+//
+// Admission (`push`) is capacity-limited: when the queue is full the
+// daemon sheds load with an explicit `rejected: overloaded` reply
+// instead of letting clients hang behind unbounded memory growth.
+// Retries and crash-recovered requests re-enter through `defer`, which
+// is *not* capacity-limited — that work was already accepted and must
+// complete — and carries a not-before gate implementing the doubling
+// backoff.
+//
+// Time is passed in by the caller so the scheduling policy is testable
+// without wall-clock sleeps (tests/daemon/test_request_queue.cpp).
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <string>
+
+#include "daemon/protocol.h"
+
+namespace sst::daemon {
+
+using SteadyTime = std::chrono::steady_clock::time_point;
+
+struct QueuedRequest {
+  RunRequest req;
+  std::uint64_t content_hash = 0;
+  unsigned attempts = 0;       // attempts already made
+  SteadyTime not_before{};     // backoff gate (default: immediately ready)
+};
+
+class RequestQueue {
+ public:
+  explicit RequestQueue(std::size_t capacity) : capacity_(capacity) {}
+
+  /// Admission: false when the queue is at capacity (shed the request).
+  bool push(QueuedRequest q) {
+    if (queue_.size() >= capacity_) return false;
+    queue_.push_back(std::move(q));
+    return true;
+  }
+
+  /// Re-entry for retries and recovered requests: always accepted.
+  void defer(QueuedRequest q) { queue_.push_back(std::move(q)); }
+
+  /// Pops the first request whose backoff gate has passed.  Preserves
+  /// submission order among ready requests (a gated head does not block
+  /// a ready successor).
+  std::optional<QueuedRequest> pop_ready(SteadyTime now) {
+    for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+      if (it->not_before <= now) {
+        QueuedRequest q = std::move(*it);
+        queue_.erase(it);
+        return q;
+      }
+    }
+    return std::nullopt;
+  }
+
+  /// Earliest backoff gate among queued requests (nullopt when empty).
+  /// Bounds the daemon's poll timeout so retries fire on schedule.
+  [[nodiscard]] std::optional<SteadyTime> next_ready_at() const {
+    std::optional<SteadyTime> earliest;
+    for (const auto& q : queue_) {
+      if (!earliest || q.not_before < *earliest) earliest = q.not_before;
+    }
+    return earliest;
+  }
+
+  [[nodiscard]] std::size_t size() const { return queue_.size(); }
+  [[nodiscard]] bool empty() const { return queue_.empty(); }
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+
+ private:
+  std::deque<QueuedRequest> queue_;
+  std::size_t capacity_;
+};
+
+}  // namespace sst::daemon

@@ -1,0 +1,290 @@
+#include "daemon/worker_pool.h"
+
+#include <signal.h>
+#include <sys/socket.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <filesystem>
+#include <iostream>
+#include <sstream>
+
+#include "core/atomic_file.h"
+#include "core/simulation.h"
+#include "core/unit_algebra.h"
+#include "daemon/graph_cache.h"
+
+namespace fs = std::filesystem;
+
+namespace sst::daemon {
+
+namespace {
+
+/// Writes the whole buffer, riding out EINTR.  Returns false on error
+/// (for the daemon side that means the worker is gone).
+bool write_all(int fd, const std::string& data) {
+  std::size_t off = 0;
+  while (off < data.size()) {
+    const ::ssize_t n = ::write(fd, data.data() + off, data.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+/// Runs one job inside the worker process and reports the outcome using
+/// the sstsim exit-code contract — the same diagnosis a fork/exec'd
+/// sstsim child would produce, just delivered in-band.
+WorkerReply execute_job(GraphCache& cache, const RunRequest& req,
+                        std::uint64_t hash) {
+  WorkerReply reply;
+  reply.id = req.id;
+  try {
+    if (req.test_signal != 0) {
+      // Harness hook: die the way a crashing simulation would, so the
+      // daemon's reap/diagnose/respawn path is exercised deterministically.
+      ::signal(req.test_signal, SIG_DFL);
+      ::raise(req.test_signal);
+    }
+    const std::uint64_t hits_before = cache.hits();
+    // Copy so per-request overrides never mutate the cached graph.
+    sdl::ConfigGraph graph = cache.graph(hash, req.model_json);
+    reply.cache_hit = cache.hits() > hits_before;
+    for (const auto& [path, value] : req.overrides) {
+      graph.apply_override(path, value);
+    }
+    SimConfig& sc = graph.sim_config();
+    if (req.ranks > 0) sc.num_ranks = req.ranks;
+    if (!req.end_time.empty()) {
+      sc.end_time = UnitAlgebra(req.end_time).to_simtime();
+    }
+    if (req.seed) sc.seed = *req.seed;
+    if (req.timeout_seconds > 0) sc.watchdog_seconds = req.timeout_seconds;
+    const auto problems = graph.validate(Factory::instance());
+    if (!problems.empty()) {
+      std::ostringstream os;
+      os << "invalid system description:";
+      for (const auto& p : problems) os << "\n  - " << p;
+      throw ConfigError(os.str());
+    }
+    std::error_code ec;
+    fs::create_directories(req.out_dir, ec);
+    // Match the fork/exec path: simulations run with the request's out
+    // directory as cwd, so model-relative observability paths land there.
+    if (::chdir(req.out_dir.c_str()) != 0) {
+      throw ConfigError("cannot enter out directory '" + req.out_dir + "'");
+    }
+    auto sim = graph.build();
+    const RunStats stats = sim->run();
+    std::ostringstream os;
+    sim->stats().write_json(os);
+    const std::string err = atomic_publish("stats.json", os.str());
+    if (err.empty()) {
+      reply.status = "ok";
+      reply.exit_code = 0;
+      reply.events = stats.events_processed;
+      reply.wall_seconds = stats.wall_seconds;
+    } else {
+      reply.status = "failed";
+      reply.exit_code = 1;
+      reply.error = "stats publish failed: " + err;
+    }
+  } catch (const WatchdogError& e) {
+    reply.status = "timeout";
+    reply.exit_code = 3;
+    reply.error = e.what();
+  } catch (const DeadlockError& e) {
+    reply.status = "failed";
+    reply.exit_code = 4;
+    reply.error = e.what();
+  } catch (const ConfigError& e) {
+    reply.status = "failed";
+    reply.exit_code = 2;
+    reply.error = e.what();
+  } catch (const std::exception& e) {
+    reply.status = "failed";
+    reply.exit_code = 1;
+    reply.error = e.what();
+  }
+  return reply;
+}
+
+}  // namespace
+
+void run_worker_loop(int fd) {
+  // Undo the daemon's signal arrangements: workers die by default
+  // dispositions so the daemon's waitpid diagnosis sees the real cause.
+  ::signal(SIGTERM, SIG_DFL);
+  ::signal(SIGINT, SIG_DFL);
+  ::signal(SIGPIPE, SIG_IGN);
+  GraphCache cache;
+  LineBuffer in;
+  std::string line;
+  char buf[65536];
+  for (;;) {
+    while (in.next(line)) {
+      if (line.empty()) continue;
+      WorkerReply reply;
+      try {
+        const sdl::JsonValue doc = sdl::JsonValue::parse(line);
+        const RunRequest req = run_request_from_json(doc);
+        const std::uint64_t hash =
+            std::stoull(doc.get_string("hash", "0"), nullptr, 16);
+        reply = execute_job(cache, req, hash);
+      } catch (const std::exception& e) {
+        reply.status = "failed";
+        reply.exit_code = 2;
+        reply.error = std::string("bad job line: ") + e.what();
+      }
+      if (!write_all(fd, worker_reply_to_line(reply) + "\n")) ::_exit(0);
+    }
+    const ::ssize_t n = ::read(fd, buf, sizeof buf);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) ::_exit(0);  // daemon closed the socket: clean drain
+    in.feed(buf, static_cast<std::size_t>(n));
+  }
+}
+
+WorkerPool::WorkerPool(unsigned count, std::function<void()> child_prelude)
+    : slots_(count), child_prelude_(std::move(child_prelude)) {}
+
+WorkerPool::~WorkerPool() {
+  shutting_down_ = true;
+  for (auto& s : slots_) {
+    if (s.fd >= 0) ::close(s.fd);
+    if (s.pid > 0) {
+      ::kill(s.pid, SIGKILL);
+      ::waitpid(s.pid, nullptr, 0);
+    }
+  }
+}
+
+void WorkerPool::start() {
+  started_ = true;
+  for (int i = 0; i < static_cast<int>(slots_.size()); ++i) spawn(i);
+}
+
+void WorkerPool::spawn(int slot) {
+  int sv[2];
+  if (::socketpair(AF_UNIX, SOCK_STREAM, 0, sv) != 0) {
+    throw DaemonError("socketpair failed for worker slot " +
+                      std::to_string(slot));
+  }
+  const pid_t pid = ::fork();
+  if (pid < 0) {
+    ::close(sv[0]);
+    ::close(sv[1]);
+    throw DaemonError("fork failed for worker slot " + std::to_string(slot));
+  }
+  if (pid == 0) {
+    ::close(sv[0]);
+    // Drop the daemon ends of every sibling's socketpair: a worker that
+    // kept them open would stop siblings from ever seeing EOF on drain.
+    for (const auto& other : slots_) {
+      if (other.fd >= 0) ::close(other.fd);
+    }
+    if (child_prelude_) child_prelude_();
+    run_worker_loop(sv[1]);  // never returns
+  }
+  ::close(sv[1]);
+  Slot& s = slots_[slot];
+  s.pid = pid;
+  s.fd = sv[0];
+  s.busy = false;
+  s.hard_killed = false;
+  s.request_id.clear();
+  s.in = LineBuffer{};
+}
+
+int WorkerPool::idle_slot() const {
+  for (int i = 0; i < static_cast<int>(slots_.size()); ++i) {
+    if (slots_[i].pid > 0 && !slots_[i].busy) return i;
+  }
+  return -1;
+}
+
+unsigned WorkerPool::busy_count() const {
+  unsigned n = 0;
+  for (const auto& s : slots_) {
+    if (s.busy) ++n;
+  }
+  return n;
+}
+
+bool WorkerPool::dispatch(int slot, const std::string& job_line,
+                          const std::string& request_id,
+                          std::chrono::steady_clock::time_point deadline) {
+  Slot& s = slots_[slot];
+  s.busy = true;
+  s.hard_killed = false;
+  s.request_id = request_id;
+  s.deadline = deadline;
+  return write_all(s.fd, job_line + "\n");
+}
+
+void WorkerPool::kill_slot(int slot) {
+  Slot& s = slots_[slot];
+  if (s.pid > 0 && !s.hard_killed) {
+    s.hard_killed = true;
+    ::kill(s.pid, SIGKILL);
+  }
+}
+
+void WorkerPool::mark_idle(int slot) {
+  Slot& s = slots_[slot];
+  s.busy = false;
+  s.hard_killed = false;
+  s.request_id.clear();
+}
+
+std::vector<WorkerExit> WorkerPool::reap_and_respawn() {
+  std::vector<WorkerExit> exits;
+  for (;;) {
+    int status = 0;
+    const pid_t pid = ::waitpid(-1, &status, WNOHANG);
+    if (pid <= 0) break;
+    for (int i = 0; i < static_cast<int>(slots_.size()); ++i) {
+      Slot& s = slots_[i];
+      if (s.pid != pid) continue;
+      WorkerExit ex;
+      ex.slot = i;
+      ex.pid = pid;
+      if (WIFEXITED(status)) ex.exit_code = WEXITSTATUS(status);
+      if (WIFSIGNALED(status)) ex.term_signal = WTERMSIG(status);
+      ex.was_busy = s.busy;
+      ex.request_id = s.request_id;
+      ex.hard_killed = s.hard_killed;
+      exits.push_back(std::move(ex));
+      if (s.fd >= 0) ::close(s.fd);
+      s = Slot{};
+      if (started_ && !shutting_down_) {
+        spawn(i);
+        ++restarts_;
+      }
+      break;
+    }
+  }
+  return exits;
+}
+
+void WorkerPool::shutdown() {
+  shutting_down_ = true;
+  for (auto& s : slots_) {
+    if (s.fd >= 0) {
+      ::close(s.fd);  // worker sees EOF and _exit(0)s
+      s.fd = -1;
+    }
+  }
+  for (auto& s : slots_) {
+    if (s.pid > 0) {
+      ::waitpid(s.pid, nullptr, 0);
+      s.pid = -1;
+    }
+  }
+}
+
+}  // namespace sst::daemon

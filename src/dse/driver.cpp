@@ -5,6 +5,7 @@
 #include <ostream>
 #include <sstream>
 
+#include "daemon/protocol.h"
 #include "dse/aggregate.h"
 #include "dse/ledger.h"
 #include "dse/orchestrator.h"
@@ -34,7 +35,8 @@ void write_file(const std::string& path, const std::string& content) {
 /// Executes the orchestrate + aggregate + report tail shared by run and
 /// resume.  `spec` must already have its model path resolved.
 int execute(const SweepSpec& spec, const std::string& out_dir,
-            const std::string& sstsim_path, bool quiet, std::ostream& out,
+            const std::string& sstsim_path, bool quiet,
+            const std::string& daemon_socket, std::ostream& out,
             std::ostream& err) {
   const sdl::JsonValue base_model =
       sdl::JsonValue::parse(read_file(spec.model_path));
@@ -48,6 +50,7 @@ int execute(const SweepSpec& spec, const std::string& out_dir,
   orch.sstsim_path = sstsim_path;
   orch.out_dir = out_dir;
   orch.verbose = !quiet;
+  orch.daemon_socket = daemon_socket;
   const OrchestratorSummary summary =
       run_points(spec, points, base_model, ledger, orch);
 
@@ -95,8 +98,11 @@ int run_sweep(const DriverOptions& options, std::ostream& out,
     archived.model_path = "model.json";  // relative to the sweep dir
     write_file(out_dir + "/sweep.json", archived.to_json().dump(2) + "\n");
 
-    return execute(spec, out_dir, options.sstsim_path, options.quiet, out,
-                   err);
+    return execute(spec, out_dir, options.sstsim_path, options.quiet,
+                   options.daemon_socket, out, err);
+  } catch (const daemon::DaemonError& e) {
+    err << "sweep failed: " << e.what() << "\n";
+    return kSweepExitDaemon;
   } catch (const ConfigError& e) {
     err << "sweep failed: " << e.what() << "\n";
     return kSweepExitConfig;
@@ -105,7 +111,7 @@ int run_sweep(const DriverOptions& options, std::ostream& out,
 
 int resume_sweep(const std::string& out_dir, const std::string& sstsim_path,
                  unsigned jobs, bool quiet, std::ostream& out,
-                 std::ostream& err) {
+                 std::ostream& err, const std::string& daemon_socket) {
   try {
     const std::string spec_file = out_dir + "/sweep.json";
     if (!fs::exists(spec_file)) {
@@ -116,7 +122,11 @@ int resume_sweep(const std::string& out_dir, const std::string& sstsim_path,
     SweepSpec spec =
         SweepSpec::from_json_text(read_file(spec_file), out_dir);
     if (jobs > 0) spec.run.concurrency = jobs;
-    return execute(spec, out_dir, sstsim_path, quiet, out, err);
+    return execute(spec, out_dir, sstsim_path, quiet, daemon_socket, out,
+                   err);
+  } catch (const daemon::DaemonError& e) {
+    err << "resume failed: " << e.what() << "\n";
+    return kSweepExitDaemon;
   } catch (const ConfigError& e) {
     err << "resume failed: " << e.what() << "\n";
     return kSweepExitConfig;

@@ -26,6 +26,7 @@ namespace sst::dse {
 constexpr int kSweepExitOk = 0;
 constexpr int kSweepExitConfig = 2;
 constexpr int kSweepExitFailed = 6;
+constexpr int kSweepExitDaemon = 7;  // --daemon socket unreachable/protocol
 
 struct DriverOptions {
   std::string spec_path;    // run: the sweep spec file
@@ -33,6 +34,8 @@ struct DriverOptions {
   std::string sstsim_path;  // child simulator binary
   unsigned jobs = 0;        // override spec run.concurrency (0 = spec's)
   bool quiet = false;       // suppress per-point progress on stderr
+  std::string daemon_socket;  // submit points to sstsimd instead of
+                              // fork/exec ("" = fork/exec children)
 };
 
 /// Runs (or resumes, when out_dir already has a ledger) a sweep.
@@ -41,10 +44,13 @@ struct DriverOptions {
 int run_sweep(const DriverOptions& options, std::ostream& out,
               std::ostream& err);
 
-/// Resumes a previously created sweep directory.
+/// Resumes a previously created sweep directory.  A non-empty
+/// `daemon_socket` resumes through the daemon; finished requests the
+/// daemon already completed (e.g. after it recovered a kill -9) are
+/// replayed from its ledger without re-running.
 int resume_sweep(const std::string& out_dir, const std::string& sstsim_path,
                  unsigned jobs, bool quiet, std::ostream& out,
-                 std::ostream& err);
+                 std::ostream& err, const std::string& daemon_socket = "");
 
 /// Re-aggregates and reports an existing sweep directory without
 /// running anything.

@@ -1,16 +1,11 @@
 #include "dse/ledger.h"
 
-#include <fcntl.h>
-#include <unistd.h>
-
-#include <cstdio>
-#include <filesystem>
 #include <fstream>
+#include <iostream>
 #include <sstream>
 
+#include "core/atomic_file.h"
 #include "obs/json_util.h"
-
-namespace fs = std::filesystem;
 
 namespace sst::dse {
 
@@ -29,49 +24,6 @@ std::string record_to_line(const LedgerRecord& r) {
   return os.str();
 }
 
-/// tmp + write + fsync + rename + directory fsync: the ckpt publish
-/// discipline, so a crash never leaves a torn ledger.
-void publish(const std::string& path, const std::string& content) {
-  const fs::path target(path);
-  const fs::path tmp =
-      target.parent_path() / (".tmp." + target.filename().string());
-  const int fd =
-      ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
-  if (fd < 0) {
-    throw SweepError("cannot write ledger temp file '" + tmp.string() + "'");
-  }
-  std::size_t off = 0;
-  while (off < content.size()) {
-    const ::ssize_t n =
-        ::write(fd, content.data() + off, content.size() - off);
-    if (n <= 0) {
-      ::close(fd);
-      ::unlink(tmp.c_str());
-      throw SweepError("short write to ledger temp file '" + tmp.string() +
-                       "'");
-    }
-    off += static_cast<std::size_t>(n);
-  }
-  if (::fsync(fd) != 0) {
-    ::close(fd);
-    ::unlink(tmp.c_str());
-    throw SweepError("fsync of ledger temp file '" + tmp.string() +
-                     "' failed");
-  }
-  ::close(fd);
-  if (::rename(tmp.c_str(), target.c_str()) != 0) {
-    ::unlink(tmp.c_str());
-    throw SweepError("cannot publish ledger '" + path + "'");
-  }
-  const std::string dir =
-      target.parent_path().empty() ? "." : target.parent_path().string();
-  const int dirfd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
-  if (dirfd >= 0) {
-    ::fsync(dirfd);
-    ::close(dirfd);
-  }
-}
-
 }  // namespace
 
 Ledger::Ledger(std::string path) : path_(std::move(path)) {}
@@ -79,16 +31,38 @@ Ledger::Ledger(std::string path) : path_(std::move(path)) {}
 bool Ledger::load(const std::string& sweep_name, std::uint64_t point_count) {
   std::ifstream in(path_);
   if (!in) return false;
-  std::string line;
+  std::vector<std::pair<std::size_t, std::string>> lines;  // (lineno, text)
+  {
+    std::string line;
+    std::size_t lineno = 0;
+    while (std::getline(in, line)) {
+      ++lineno;
+      if (!line.empty()) lines.emplace_back(lineno, std::move(line));
+    }
+  }
   bool saw_header = false;
-  std::size_t lineno = 0;
-  while (std::getline(in, line)) {
-    ++lineno;
-    if (line.empty()) continue;
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    const auto& [lineno, line] = lines[i];
     sdl::JsonValue doc;
     try {
       doc = sdl::JsonValue::parse(line);
     } catch (const sdl::JsonError& e) {
+      // A malformed *final* line is a torn tail — an appender died
+      // mid-write.  The prefix is still a valid ledger, so ignore the
+      // fragment instead of failing the whole resume.  Malformed
+      // interior lines mean real corruption and still throw.
+      if (i + 1 == lines.size()) {
+        std::cerr << "[dse] ledger '" << path_ << "': dropping torn final "
+                  << "line " << lineno << " (interrupted append)\n";
+        // Truncate the fragment so this sweep's appends start fresh
+        // instead of gluing onto it.
+        const std::string terr = truncate_torn_tail(path_, line.size());
+        if (!terr.empty()) {
+          throw SweepError("ledger '" + path_ +
+                           "': cannot repair torn tail: " + terr);
+        }
+        break;
+      }
       throw SweepError("ledger '" + path_ + "' line " +
                        std::to_string(lineno) + " is malformed: " + e.what());
     }
@@ -127,6 +101,7 @@ bool Ledger::load(const std::string& sweep_name, std::uint64_t point_count) {
     }
     records_[r.point] = std::move(r);
   }
+  header_written_ = saw_header;
   return saw_header;
 }
 
@@ -134,13 +109,14 @@ void Ledger::append(const LedgerRecord& record, const std::string& sweep_name,
                     std::uint64_t point_count) {
   records_[record.point] = record;
   std::ostringstream os;
-  os << "{\"sweep\":\"" << obs::json_escape(sweep_name)
-     << "\",\"points\":" << point_count << "}\n";
-  for (const auto& [id, r] : records_) {
-    (void)id;
-    os << record_to_line(r) << "\n";
+  if (!header_written_) {
+    os << "{\"sweep\":\"" << obs::json_escape(sweep_name)
+       << "\",\"points\":" << point_count << "}\n";
   }
-  publish(path_, os.str());
+  os << record_to_line(record) << "\n";
+  const std::string err = append_durable(path_, os.str());
+  if (!err.empty()) throw SweepError("ledger: " + err);
+  header_written_ = true;
 }
 
 }  // namespace sst::dse

@@ -4,12 +4,11 @@
 // sweep can refuse a mismatched directory instead of silently mixing
 // results.
 //
-// Every append rewrites the whole file through the tmp + fsync + rename
-// protocol (the same publish discipline as src/ckpt checkpoint files):
-// a SIGKILL at any instant leaves either the previous intact ledger or
-// the new intact ledger, never a torn line.  Sweeps are, at most, a few
-// thousand points, so the O(n) rewrite is noise next to a single child
-// simulation.
+// Appends are durable (single O_APPEND write + fsync via
+// append_durable): a SIGKILL at any instant leaves at most one torn
+// tail fragment, which load() discards as an interrupted append.  A
+// later line for the same point supersedes the earlier one, so
+// re-recording never needs a rewrite.
 #pragma once
 
 #include <cstdint>
@@ -42,8 +41,9 @@ class Ledger {
   /// with the given sweep identity or a line is malformed.
   bool load(const std::string& sweep_name, std::uint64_t point_count);
 
-  /// Records a final outcome and publishes the updated ledger
-  /// atomically.  Re-recording a point replaces its record.
+  /// Durably appends a final outcome (writing the header line first if
+  /// the file is new).  Re-recording a point appends a superseding
+  /// line; load() keeps the last one.
   void append(const LedgerRecord& record, const std::string& sweep_name,
               std::uint64_t point_count);
 
@@ -62,6 +62,7 @@ class Ledger {
  private:
   std::string path_;
   std::map<std::uint64_t, LedgerRecord> records_;
+  bool header_written_ = false;  // true once the file has a header line
 };
 
 }  // namespace sst::dse

@@ -12,7 +12,10 @@
 #include <fstream>
 #include <iostream>
 #include <map>
+#include <sstream>
 #include <thread>
+
+#include "daemon/client.h"
 
 namespace fs = std::filesystem;
 
@@ -88,13 +91,152 @@ pid_t spawn_child(const std::vector<std::string>& argv,
   return pid;
 }
 
-}  // namespace
-
-std::string point_dir(const std::string& out_dir, std::uint64_t id) {
+/// Zero-padded point label ("p000042") — the request-id component and
+/// the directory name share it.
+std::string point_label(std::uint64_t id) {
   char buf[24];
   std::snprintf(buf, sizeof buf, "p%06llu",
                 static_cast<unsigned long long>(id));
-  return out_dir + "/points/" + buf;
+  return buf;
+}
+
+/// Daemon-backed execution: every point becomes one run request on the
+/// sstsimd socket.  The daemon owns the per-point lifecycle (watchdog
+/// deadline, doubling-backoff retries, crash isolation in its worker
+/// pool); this side only submits with bounded in-flight credit and folds
+/// the "done" replies into the sweep ledger.  Request ids are stable
+/// ("<sweep>/p<id>"), so resuming after the daemon recovered a kill -9
+/// replays already-finished work from its ledger instead of re-running.
+OrchestratorSummary run_points_daemon(const SweepSpec& spec,
+                                      const std::vector<Point>& points,
+                                      Ledger& ledger,
+                                      const OrchestratorOptions& options) {
+  OrchestratorSummary summary;
+  std::string model_bytes;
+  {
+    std::ifstream in(spec.model_path);
+    if (!in) throw SweepError("cannot open '" + spec.model_path + "'");
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    model_bytes = buf.str();
+  }
+
+  struct Job {
+    const Point* point = nullptr;
+    std::string id;
+  };
+  std::deque<Job> todo;
+  for (const auto& p : points) {
+    const LedgerRecord* rec = ledger.record(p.id);
+    if (rec != nullptr && rec->status == "ok") {
+      ++summary.skipped;
+      continue;
+    }
+    std::string id = spec.name + "/" + point_label(p.id);
+    // A re-attempt of a previously failed point needs a fresh request id,
+    // or the daemon would replay the recorded failure verbatim.
+    if (rec != nullptr) id += "@a" + std::to_string(rec->attempts);
+    todo.push_back({&p, std::move(id)});
+  }
+  const std::uint64_t to_run = todo.size();
+  if (options.verbose && summary.skipped > 0) {
+    std::cerr << "[dse] resuming: " << summary.skipped
+              << " points already complete, " << to_run << " to run\n";
+  }
+  if (to_run == 0) return summary;
+
+  daemon::DaemonClient client(options.daemon_socket);
+  // In-flight credit: never submit more than the daemon's admission
+  // queue can hold, so a single sweep cannot trip its own overload
+  // shedding.
+  std::size_t window = 16;
+  {
+    const sdl::JsonValue st = client.status();
+    const auto cap =
+        static_cast<std::size_t>(st.get_number("queue_capacity", 16));
+    window = cap > 0 ? cap : 1;
+  }
+
+  std::map<std::string, const Point*> inflight;
+  std::uint64_t finished = 0;
+  auto submit = [&](Job job) {
+    const std::string dir = point_dir(options.out_dir, job.point->id);
+    fs::create_directories(dir);
+    daemon::RunRequest req;
+    req.id = job.id;
+    req.model_json = model_bytes;
+    req.out_dir = dir;
+    for (std::size_t a = 0; a < spec.axes.size(); ++a) {
+      req.overrides.emplace_back(spec.axes[a].path, job.point->values[a]);
+    }
+    req.ranks = spec.run.ranks;
+    req.end_time = spec.run.end_time;
+    req.timeout_seconds = spec.run.timeout_seconds;
+    req.retries = spec.run.retries;
+    req.backoff_seconds = spec.run.backoff_seconds;
+    client.send(req);
+    inflight.emplace(std::move(job.id), job.point);
+  };
+
+  while (!todo.empty() || !inflight.empty()) {
+    while (!todo.empty() && inflight.size() < window) {
+      submit(std::move(todo.front()));
+      todo.pop_front();
+    }
+    const sdl::JsonValue reply = client.next_reply();
+    const std::string type = reply.get_string("type", "");
+    const std::string id = reply.get_string("id", "");
+    if (type == "accepted") continue;
+    if (type == "rejected") {
+      if (reply.get_string("reason", "") == "draining") {
+        throw daemon::DaemonError("daemon at '" + options.daemon_socket +
+                                  "' is draining and refused the sweep");
+      }
+      const auto it = inflight.find(id);
+      if (it == inflight.end()) continue;
+      // Overloaded (other clients share the queue): back off briefly,
+      // then resubmit — the shed is explicit and bounded, not a hang.
+      todo.push_back({it->second, it->first});
+      inflight.erase(it);
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+      continue;
+    }
+    if (type == "error") {
+      throw daemon::DaemonError("daemon: " + reply.get_string("error", "?"));
+    }
+    if (type != "done") continue;
+    const auto it = inflight.find(id);
+    if (it == inflight.end()) continue;
+    const Point* point = it->second;
+    inflight.erase(it);
+
+    LedgerRecord rec;
+    rec.point = point->id;
+    const std::string status = reply.get_string("status", "failed");
+    rec.status = (status == "ok" || status == "timeout") ? status : "failed";
+    rec.exit_code = static_cast<int>(reply.get_number("exit", 1));
+    rec.term_signal = static_cast<int>(reply.get_number("signal", 0));
+    rec.attempts = static_cast<unsigned>(reply.get_number("attempts", 1));
+    rec.values = point->values;
+    if (rec.status == "ok") {
+      ++summary.ok;  // the worker published stats.json durably already
+    } else {
+      ++summary.failed;
+    }
+    ledger.append(rec, spec.name, points.size());
+    ++finished;
+    if (options.verbose) {
+      std::cerr << "[dse] point " << rec.point << " " << rec.status << " ("
+                << finished << "/" << to_run << ", daemon)\n";
+    }
+  }
+  return summary;
+}
+
+}  // namespace
+
+std::string point_dir(const std::string& out_dir, std::uint64_t id) {
+  return out_dir + "/points/" + point_label(id);
 }
 
 OrchestratorSummary run_points(const SweepSpec& spec,
@@ -102,6 +244,9 @@ OrchestratorSummary run_points(const SweepSpec& spec,
                                const sdl::JsonValue& base_model,
                                Ledger& ledger,
                                const OrchestratorOptions& options) {
+  if (!options.daemon_socket.empty()) {
+    return run_points_daemon(spec, points, ledger, options);
+  }
   OrchestratorSummary summary;
   // The child chdirs into its point directory, so the binary path must
   // survive the move.

@@ -29,6 +29,13 @@ struct OrchestratorOptions {
   std::string sstsim_path;  // child simulator binary
   std::string out_dir;      // sweep output directory
   bool verbose = true;      // per-point progress lines on stderr
+  /// When set, points are submitted to a running sstsimd daemon on this
+  /// socket instead of fork/exec'ing child sstsim processes: the daemon
+  /// parses the shared base model once (content-hash cache) and its
+  /// worker pool applies the per-point deadline/retry policy, so the
+  /// per-point dispatch overhead drops from a process spawn to a socket
+  /// round trip (EXPERIMENTS.md E18).
+  std::string daemon_socket;
 };
 
 struct OrchestratorSummary {

@@ -31,9 +31,11 @@ namespace {
 
 void print_options(std::ostream& os, const char* argv0) {
   os << "usage: " << argv0
-     << " run <sweep.json> [--out DIR] [--jobs N] [--sstsim PATH] [-q]\n"
+     << " run <sweep.json> [--out DIR] [--jobs N] [--sstsim PATH]"
+        " [--daemon SOCKET] [-q]\n"
      << "       " << argv0
-     << " resume <sweep-dir> [--jobs N] [--sstsim PATH] [-q]\n"
+     << " resume <sweep-dir> [--jobs N] [--sstsim PATH]"
+        " [--daemon SOCKET] [-q]\n"
      << "       " << argv0 << " report <sweep-dir>\n"
      << "       " << argv0 << " points <sweep.json>\n";
 }
@@ -57,11 +59,19 @@ int help(const char* argv0) {
       "  --jobs N       override the spec's run.concurrency\n"
       "  --sstsim PATH  child simulator binary (default: sstsim next to\n"
       "                 this executable, then PATH)\n"
+      "  --daemon SOCKET  submit points to the sstsimd daemon on this\n"
+      "                 unix socket instead of fork/exec'ing children;\n"
+      "                 the daemon's warm graph cache and worker pool\n"
+      "                 cut per-point dispatch overhead, and resuming\n"
+      "                 after a daemon restart replays completed\n"
+      "                 requests from its ledger\n"
       "  -q, --quiet    suppress per-point progress lines\n"
       "\nExit codes:\n"
       "  0  success (every point completed)\n"
       "  2  usage or configuration error\n"
-      "  6  sweep finished with permanently failed points\n";
+      "  6  sweep finished with permanently failed points\n"
+      "  7  daemon error (--daemon socket unreachable or protocol "
+      "failure)\n";
   return 0;
 }
 
@@ -120,6 +130,7 @@ int main(int argc, char** argv) {
   std::string target;
   std::string out_dir;
   std::string sstsim_path;
+  std::string daemon_socket;
   unsigned jobs = 0;
   bool quiet = false;
   for (int i = 2; i < argc; ++i) {
@@ -144,6 +155,10 @@ int main(int argc, char** argv) {
         const char* v = next();
         if (v == nullptr) return usage(argv[0]);
         sstsim_path = v;
+      } else if (arg == "--daemon") {
+        const char* v = next();
+        if (v == nullptr) return usage(argv[0]);
+        daemon_socket = v;
       } else if (arg == "-q" || arg == "--quiet") {
         quiet = true;
       } else if (arg.rfind("-", 0) == 0) {
@@ -172,11 +187,12 @@ int main(int argc, char** argv) {
     opts.sstsim_path = sstsim_path;
     opts.jobs = jobs;
     opts.quiet = quiet;
+    opts.daemon_socket = daemon_socket;
     return sst::dse::run_sweep(opts, std::cout, std::cerr);
   }
   if (cmd == "resume") {
     return sst::dse::resume_sweep(target, sstsim_path, jobs, quiet,
-                                  std::cout, std::cerr);
+                                  std::cout, std::cerr, daemon_socket);
   }
   if (cmd == "report") {
     return sst::dse::report_sweep(target, std::cout, std::cerr);

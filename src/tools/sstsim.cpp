@@ -38,6 +38,13 @@
 //                        run; children are this same binary)
 //   --sweep-out <dir>    sweep output directory (default <spec>.sweep)
 //   --jobs <n>           sweep worker concurrency override
+//   --daemon <socket>    submit the model to the sstsimd daemon on this
+//                        unix socket instead of simulating in-process;
+//                        exits with the run's contract code
+//   --daemon-out <dir>   request output directory for --daemon
+//                        (request.json + stats.json; default ".")
+//   --daemon-id <id>     explicit request id for --daemon (resubmitting
+//                        a finished id replays the recorded result)
 //   --list-components    print registered component types with their
 //                        declared parameters and exit
 //   --help               print options and the exit-code contract
@@ -52,14 +59,18 @@
 //   5  restart failed (checkpoint unreadable, corrupt, version-mismatched,
 //      or inconsistent with the rebuilt model)
 //   6  sweep failed (one or more points failed permanently)
+//   7  daemon error (sstsimd unreachable, rejected the request, or a
+//      protocol failure; reserved for daemon-side faults)
 #include <unistd.h>
 
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iostream>
 #include <sstream>
 
 #include "ckpt/checkpoint.h"
+#include "daemon/client.h"
 #include "dse/driver.h"
 #include "mem/mem_lib.h"
 #include "net/net_lib.h"
@@ -77,6 +88,7 @@ constexpr int kExitConfig = 2;
 constexpr int kExitWatchdog = 3;
 constexpr int kExitDeadlock = 4;
 constexpr int kExitRestartFailed = 5;
+constexpr int kExitDaemon = 7;
 
 void print_options(std::ostream& os, const char* argv0) {
   os << "usage: " << argv0
@@ -94,7 +106,10 @@ void print_options(std::ostream& os, const char* argv0) {
      << "       " << argv0
      << " --restart <checkpoint-file-or-dir> [output/override options]\n"
      << "       " << argv0
-     << " --sweep <sweep.json> [--sweep-out DIR] [--jobs N]\n";
+     << " --sweep <sweep.json> [--sweep-out DIR] [--jobs N]\n"
+     << "       " << argv0
+     << " <system.json> --daemon SOCKET [--daemon-out DIR]"
+        " [--daemon-id ID]\n";
 }
 
 int usage(const char* argv0) {
@@ -138,6 +153,18 @@ int help(const char* argv0) {
       "  --sweep-out DIR            sweep output directory\n"
       "                             (default <spec stem>.sweep)\n"
       "  --jobs N                   sweep worker concurrency override\n"
+      "\nDaemon submission (see sstsimd --help):\n"
+      "  --daemon SOCKET            submit the model to the sstsimd\n"
+      "                             daemon on this unix socket; the run\n"
+      "                             executes in a daemon worker process\n"
+      "                             and this command exits with the\n"
+      "                             run's contract code below\n"
+      "  --daemon-out DIR           request output directory (receives\n"
+      "                             request.json + stats.json;\n"
+      "                             default \".\")\n"
+      "  --daemon-id ID             explicit request id; resubmitting a\n"
+      "                             finished id replays the recorded\n"
+      "                             result without re-running\n"
       "\nExit codes:\n"
       "  0  success\n"
       "  1  runtime simulation failure\n"
@@ -146,7 +173,9 @@ int help(const char* argv0) {
       "  4  deadlock detected (queues drained, primaries unsatisfied)\n"
       "  5  restart failed (checkpoint unreadable, corrupt,\n"
       "     version-mismatched, or inconsistent with the rebuilt model)\n"
-      "  6  sweep failed (one or more points failed permanently)\n";
+      "  6  sweep failed (one or more points failed permanently)\n"
+      "  7  daemon error (sstsimd unreachable, rejected the request, or\n"
+      "     a protocol failure; reserved for daemon-side faults)\n";
   return 0;
 }
 
@@ -238,6 +267,9 @@ int main(int argc, char** argv) {
   std::string sweep_path;
   std::string sweep_out;
   unsigned sweep_jobs = 0;
+  std::string daemon_socket;
+  std::string daemon_out;
+  std::string daemon_id;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -357,6 +389,18 @@ int main(int argc, char** argv) {
         const char* v = next();
         if (v == nullptr) return usage(argv[0]);
         sweep_jobs = static_cast<unsigned>(std::stoul(v));
+      } else if (arg == "--daemon") {
+        const char* v = next();
+        if (v == nullptr) return usage(argv[0]);
+        daemon_socket = v;
+      } else if (arg == "--daemon-out") {
+        const char* v = next();
+        if (v == nullptr) return usage(argv[0]);
+        daemon_out = v;
+      } else if (arg == "--daemon-id") {
+        const char* v = next();
+        if (v == nullptr) return usage(argv[0]);
+        daemon_id = v;
       } else if (arg.rfind("--", 0) == 0) {
         std::cerr << "unknown option " << arg << "\n";
         return usage(argv[0]);
@@ -369,6 +413,74 @@ int main(int argc, char** argv) {
       std::cerr << "bad value for " << arg << "\n";
       return usage(argv[0]);
     }
+  }
+  if (!daemon_socket.empty()) {
+    if (input.empty() || !restart_path.empty() || !sweep_path.empty() ||
+        validate_only) {
+      std::cerr << "--daemon submits <system.json> to a running sstsimd; "
+                   "it cannot be combined with --restart/--sweep/"
+                   "--validate\n";
+      return kExitConfig;
+    }
+    std::ifstream in(input);
+    if (!in) {
+      std::cerr << "cannot open " << input << "\n";
+      return kExitConfig;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    sst::daemon::RunRequest req;
+    req.id = daemon_id;
+    req.model_json = buf.str();
+    req.out_dir = daemon_out.empty() ? "." : daemon_out;
+    if (ranks) req.ranks = *ranks;
+    if (end_time) req.end_time = *end_time;
+    req.seed = seed;
+    if (watchdog) req.timeout_seconds = *watchdog;
+    // Harness hook (see daemon/protocol.h): lets the CLI contract tests
+    // make a worker die by signal deterministically.
+    if (const char* ts = std::getenv("SSTSIM_DAEMON_TEST_SIGNAL")) {
+      req.test_signal = std::atoi(ts);
+    }
+    try {
+      sst::daemon::DaemonClient client(daemon_socket);
+      client.send(req);
+      for (;;) {
+        const sst::sdl::JsonValue reply = client.next_reply();
+        const std::string type = reply.get_string("type", "");
+        if (type == "accepted") continue;  // wait for the outcome
+        if (type == "rejected") {
+          std::cerr << "daemon rejected the request: "
+                    << reply.get_string("reason", "?") << "\n";
+          return kExitDaemon;
+        }
+        if (type == "done") {
+          const std::string status = reply.get_string("status", "failed");
+          const int code = static_cast<int>(reply.get_number("exit", 1));
+          if (status == "ok") {
+            std::cerr << "daemon run ok ("
+                      << reply.get_number("attempts", 1)
+                      << " attempt(s)); statistics written to "
+                      << reply.get_string("stats", "") << "\n";
+            return 0;
+          }
+          std::cerr << "daemon run " << status << ": "
+                    << reply.get_string("error", "") << "\n";
+          return code != 0 ? code : kExitRuntime;
+        }
+        std::cerr << "daemon error: " << reply.get_string("error", "?")
+                  << "\n";
+        return kExitDaemon;
+      }
+    } catch (const sst::daemon::DaemonError& e) {
+      std::cerr << e.what() << "\n";
+      return kExitDaemon;
+    }
+  }
+  if (!daemon_out.empty() || !daemon_id.empty()) {
+    std::cerr << "--daemon-out/--daemon-id only apply together with "
+                 "--daemon\n";
+    return kExitConfig;
   }
   if (!sweep_path.empty()) {
     if (!input.empty() || !restart_path.empty()) {

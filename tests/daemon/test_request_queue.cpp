@@ -1,0 +1,84 @@
+// RequestQueue: bounded admission, capacity-exempt deferral, and the
+// backoff gate scheduling retries.  Time is injected, so the policy is
+// pinned without wall-clock sleeps.
+#include <gtest/gtest.h>
+
+#include "daemon/request_queue.h"
+
+namespace sst::daemon {
+namespace {
+
+QueuedRequest make(const std::string& id, SteadyTime not_before = {}) {
+  QueuedRequest q;
+  q.req.id = id;
+  q.not_before = not_before;
+  return q;
+}
+
+TEST(RequestQueue, ShedsAtCapacity) {
+  RequestQueue queue(2);
+  EXPECT_TRUE(queue.push(make("a")));
+  EXPECT_TRUE(queue.push(make("b")));
+  EXPECT_FALSE(queue.push(make("c")));  // shed: explicit overload signal
+  EXPECT_EQ(queue.size(), 2u);
+}
+
+TEST(RequestQueue, DeferBypassesCapacity) {
+  // Retries and crash-recovered requests were already accepted; they
+  // must re-enter even when admission would shed new work.
+  RequestQueue queue(1);
+  EXPECT_TRUE(queue.push(make("a")));
+  queue.defer(make("retry"));
+  EXPECT_EQ(queue.size(), 2u);
+  EXPECT_FALSE(queue.push(make("new")));
+}
+
+TEST(RequestQueue, PopReadyPreservesSubmissionOrder) {
+  RequestQueue queue(8);
+  const SteadyTime now = std::chrono::steady_clock::now();
+  EXPECT_TRUE(queue.push(make("first", now)));
+  EXPECT_TRUE(queue.push(make("second", now)));
+  EXPECT_EQ(queue.pop_ready(now)->req.id, "first");
+  EXPECT_EQ(queue.pop_ready(now)->req.id, "second");
+  EXPECT_FALSE(queue.pop_ready(now).has_value());
+}
+
+TEST(RequestQueue, GatedHeadDoesNotBlockReadySuccessor) {
+  RequestQueue queue(8);
+  const SteadyTime now = std::chrono::steady_clock::now();
+  const SteadyTime later = now + std::chrono::seconds(10);
+  queue.defer(make("backing-off", later));
+  EXPECT_TRUE(queue.push(make("ready", now)));
+  auto popped = queue.pop_ready(now);
+  ASSERT_TRUE(popped.has_value());
+  EXPECT_EQ(popped->req.id, "ready");
+  // The gated request surfaces once its backoff expires.
+  EXPECT_FALSE(queue.pop_ready(now).has_value());
+  EXPECT_EQ(queue.pop_ready(later)->req.id, "backing-off");
+  EXPECT_TRUE(queue.empty());
+}
+
+TEST(RequestQueue, NextReadyAtReportsEarliestGate) {
+  RequestQueue queue(8);
+  EXPECT_FALSE(queue.next_ready_at().has_value());
+  const SteadyTime now = std::chrono::steady_clock::now();
+  queue.defer(make("late", now + std::chrono::seconds(8)));
+  queue.defer(make("soon", now + std::chrono::seconds(2)));
+  ASSERT_TRUE(queue.next_ready_at().has_value());
+  EXPECT_EQ(*queue.next_ready_at(), now + std::chrono::seconds(2));
+}
+
+TEST(RequestQueue, AttemptsAndHashTravelWithTheRequest) {
+  RequestQueue queue(4);
+  QueuedRequest q = make("r");
+  q.attempts = 2;
+  q.content_hash = 0xabcdef12345678ULL;
+  queue.defer(std::move(q));
+  const auto popped = queue.pop_ready(std::chrono::steady_clock::now());
+  ASSERT_TRUE(popped.has_value());
+  EXPECT_EQ(popped->attempts, 2u);
+  EXPECT_EQ(popped->content_hash, 0xabcdef12345678ULL);
+}
+
+}  // namespace
+}  // namespace sst::daemon

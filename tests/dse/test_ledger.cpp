@@ -92,14 +92,33 @@ TEST_F(LedgerTest, RejectsWrongPointCount) {
   EXPECT_THROW(other.load("demo", 9), SweepError);
 }
 
-TEST_F(LedgerTest, RejectsMalformedLine) {
+TEST_F(LedgerTest, ToleratesTornFinalLineButRejectsInteriorDamage) {
   {
     std::ofstream out(path_);
     out << "{\"sweep\":\"demo\",\"points\":4}\n"
-        << "{\"point\":0,\"status\":\"ok\"\n";  // torn line
+        << "{\"point\":0,\"status\":\"ok\",\"values\":[]}\n"
+        << "{\"point\":1,\"status\":\"ok\"";  // torn tail: appender killed
   }
-  Ledger ledger(path_);
-  EXPECT_THROW(ledger.load("demo", 4), SweepError);
+  Ledger torn(path_);
+  EXPECT_TRUE(torn.load("demo", 4));  // fragment dropped, prefix kept
+  EXPECT_TRUE(torn.has(0));
+  EXPECT_FALSE(torn.has(1));
+  // The repair truncates the fragment, so a subsequent append lands on
+  // a fresh line instead of gluing onto it.
+  torn.append(make_record(1, "ok"), "demo", 4);
+  Ledger again(path_);
+  EXPECT_TRUE(again.load("demo", 4));
+  EXPECT_TRUE(again.has(0));
+  EXPECT_TRUE(again.has(1));
+
+  {
+    std::ofstream out(path_, std::ios::trunc);
+    out << "{\"sweep\":\"demo\",\"points\":4}\n"
+        << "{\"point\":0,\"status\":\"ok\"\n"  // interior: real corruption
+        << "{\"point\":1,\"status\":\"ok\",\"values\":[]}\n";
+  }
+  Ledger damaged(path_);
+  EXPECT_THROW(damaged.load("demo", 4), SweepError);
 }
 
 TEST_F(LedgerTest, RejectsMissingHeader) {

@@ -1,7 +1,8 @@
 #!/bin/sh
 # sstsim exit-code contract:
 #   0 success, 1 runtime failure, 2 usage/config error,
-#   3 watchdog abort, 4 deadlock detected, 5 restart failed.
+#   3 watchdog abort, 4 deadlock detected, 5 restart failed,
+#   7 daemon error.
 #
 #   test_exit_codes.sh <sstsim> <models_dir>
 set -u
@@ -64,6 +65,20 @@ expect 5 "restart missing" "$SSTSIM" --restart "$WORK/does_not_exist"
 mkdir -p "$WORK/badckpt"
 echo "garbage" > "$WORK/badckpt/sim.ckpt.000001"
 expect 5 "restart corrupt" "$SSTSIM" --restart "$WORK/badckpt"
+
+# Daemon additions: submitting through sstsimd when it is unreachable is
+# the dedicated daemon error (7); daemon-flag misuse stays a usage
+# error (2).
+expect 7 "daemon no socket"   "$SSTSIM" "$MODELS/pingpong.json" \
+                              --daemon "$WORK/no_such_daemon.sock"
+touch "$WORK/not_a_socket"
+expect 7 "daemon not socket"  "$SSTSIM" "$MODELS/pingpong.json" \
+                              --daemon "$WORK/not_a_socket"
+expect 2 "daemon-out alone"   "$SSTSIM" "$MODELS/pingpong.json" \
+                              --daemon-out "$WORK/dout"
+expect 2 "daemon-id alone"    "$SSTSIM" --daemon-id r1
+expect 2 "daemon + restart"   "$SSTSIM" --daemon "$WORK/d.sock" \
+                              --restart "$WORK/ckpt"
 
 if [ "$fail" -ne 0 ]; then exit 1; fi
 echo "exit_codes: all codes as documented"
