@@ -23,6 +23,11 @@
 #                      when set (e.g. "1.2"), fail unless lax events/sec at
 #                      8 ranks is at least this multiple of conservative
 #                      (the CI sync-modes job gate)
+#   SST_BENCH_MIN_REBALANCE_SPEEDUP
+#                      when set (e.g. "1.25"), fail unless rebalanced
+#                      events/sec on the 8-rank moving-hotspot scenario is
+#                      at least this multiple of the static min-cut run
+#                      (the CI rebalance job gate)
 set -eu
 
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
@@ -38,14 +43,18 @@ CURRENT="$BUILD/bench_pdes_current.json"
 "$BUILD/bench/bench_pdes_scaling" --end-us "$END_US" --repeat "$REPEAT" \
     --json "$CURRENT"
 
-python3 - "$OUT" "$CURRENT" <<'EOF'
+python3 - "$OUT" "$CURRENT" "$ROOT" <<'EOF'
 import json, subprocess, sys
 
-out_path, current_path = sys.argv[1], sys.argv[2]
+out_path, current_path, root = sys.argv[1], sys.argv[2], sys.argv[3]
 with open(current_path) as f:
     current = json.load(f)
 try:
-    rev = subprocess.run(["git", "rev-parse", "--short", "HEAD"],
+    # -C pins the lookup to the benchmarked checkout: the script may be
+    # invoked from any working directory (build trees, CI runners), and a
+    # bare rev-parse would stamp whatever repo that directory happens to
+    # be in.
+    rev = subprocess.run(["git", "-C", root, "rev-parse", "--short", "HEAD"],
                          capture_output=True, text=True,
                          check=True).stdout.strip()
 except Exception:
@@ -60,11 +69,15 @@ except (OSError, ValueError):
     doc = {}
     baseline = current
 
-def eps(doc, ranks, part="mincut", sync="conservative"):
+def eps(doc, ranks, part="mincut", sync="conservative", scenario="phold",
+        rebalance=False):
     for run in doc.get("runs", []):
-        # Rows predating the sync-mode column are conservative runs.
+        # Rows predating the sync-mode/scenario/rebalance columns are
+        # conservative static-partition PHOLD runs.
         if (run["ranks"] == ranks and run["partitioner"] == part
-                and run.get("sync_mode", "conservative") == sync):
+                and run.get("sync_mode", "conservative") == sync
+                and run.get("scenario", "phold") == scenario
+                and run.get("rebalance", False) == rebalance):
             return run["events_per_sec"]
     return None
 
@@ -78,6 +91,14 @@ for label, ranks in (("serial", 1), ("ranks4", 4)):
 cons8, lax8 = eps(current, 8), eps(current, 8, sync="lax")
 if cons8 and lax8:
     speedup["lax8_vs_conservative8"] = round(lax8 / cons8, 3)
+
+# Rebalanced-vs-static min-cut on the moving-hotspot scenario, within
+# this run (the E19 headline).
+for ranks in (4, 8):
+    stat = eps(current, ranks, scenario="hotspot")
+    rebal = eps(current, ranks, scenario="hotspot", rebalance=True)
+    if stat and rebal:
+        speedup[f"rebalance{ranks}_vs_static{ranks}"] = round(rebal / stat, 3)
 
 # Update in place so sections owned by other benches (e.g. the
 # daemon_dispatch record from bench_daemon_dispatch.sh) survive reruns.
@@ -98,4 +119,14 @@ if gate:
     if got < float(gate):
         sys.exit(f"lax gate: 8-rank lax speedup {got} < required {gate}")
     print(f"  lax gate passed: {got} >= {gate}")
+
+gate = os.environ.get("SST_BENCH_MIN_REBALANCE_SPEEDUP")
+if gate:
+    got = speedup.get("rebalance8_vs_static8")
+    if got is None:
+        sys.exit("rebalance gate: no 8-rank hotspot rows in this run")
+    if got < float(gate):
+        sys.exit(f"rebalance gate: 8-rank rebalance speedup {got} "
+                 f"< required {gate}")
+    print(f"  rebalance gate passed: {got} >= {gate}")
 EOF

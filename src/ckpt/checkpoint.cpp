@@ -77,7 +77,11 @@ std::vector<std::byte> CheckpointEngine::capture(Simulation& sim) {
     std::string name = c.name_;
     std::uint8_t primary = c.is_primary_ ? 1 : 0;
     std::uint8_t ok = c.said_ok_ ? 1 : 0;
-    s & name & primary & ok & c.trace_seq_ & c.rng_;
+    // The rank is dynamic state since online rebalancing: a migrated
+    // component must resume on the rank it was on at the snapshot, not
+    // the one the partitioner would rebuild it on.
+    std::uint32_t rank = c.rank_;
+    s & name & primary & ok & rank & c.trace_seq_ & c.rng_;
     c.serialize_state(s);
   }
 
@@ -145,6 +149,11 @@ std::vector<std::byte> CheckpointEngine::capture(Simulation& sim) {
   std::uint64_t cross = sim.cross_rank_events_.load(std::memory_order_relaxed);
   s & cross & sim.run_stats_.sync_windows & sim.ckpt_taken_ &
       sim.ckpt_next_mark_;
+  // Rebalance bookkeeping: the epoch phase and the current group's
+  // per-component counts, so a resumed run reproduces the original
+  // run's migration schedule exactly (conservative mode).
+  s & sim.comp_epoch_events_ & sim.rebalance_epoch_ & sim.rebalances_ &
+      sim.comps_migrated_;
 
   // --- statistics values (identity rebuilt, values overlaid) ----------
   std::uint64_t nstats = sim.stats_.all().size();
@@ -237,12 +246,14 @@ void CheckpointEngine::restore(Simulation& sim,
                           " components but the rebuilt model has " +
                           std::to_string(sim.components_.size()));
   }
+  std::vector<std::pair<ComponentId, RankId>> moved;
   for (const auto& cp : sim.components_) {
     Component& c = *cp;
     std::string name;
     std::uint8_t primary = 0;
     std::uint8_t ok = 0;
-    s & name & primary & ok;
+    std::uint32_t rank = 0;
+    s & name & primary & ok & rank;
     if (name != c.name_) {
       throw CheckpointError("checkpoint component '" + name +
                             "' does not match rebuilt component '" + c.name_ +
@@ -252,10 +263,50 @@ void CheckpointEngine::restore(Simulation& sim,
       throw CheckpointError("checkpoint primary flag of '" + name +
                             "' does not match the rebuilt model");
     }
+    if (rank >= sim.config_.num_ranks) {
+      throw CheckpointError("checkpoint places component '" + name +
+                            "' on rank " + std::to_string(rank) +
+                            " but this run has only " +
+                            std::to_string(sim.config_.num_ranks) +
+                            " rank(s)");
+    }
+    if (rank != c.rank_) moved.emplace_back(c.id_, rank);
     c.said_ok_ = (ok != 0);
     s & c.trace_seq_ & c.rng_;
     c.serialize_state(s);
   }
+
+  // Apply online-rebalancing migrations that happened before the
+  // snapshot: set the checkpointed rank and move the component's clock
+  // handlers to the destination rank's clocks (created on demand, as
+  // migration created them).  No vortex or arming work is needed — the
+  // clock section below overlays cycle/tick/scheduled state and the
+  // vortices are replaced wholesale.  The handler ORDER within each
+  // clock is also overlaid below, so only membership matters here.
+  for (const auto& [comp_id, to] : moved) {
+    Component& c = *sim.components_[comp_id];
+    const RankId from = c.rank_;
+    c.rank_ = to;
+    std::vector<std::pair<SimTime, Clock::Handler>> relocated;
+    for (auto& [key, clock] : sim.clocks_) {
+      if (key.first != from) continue;
+      auto& handlers = clock->handlers_;
+      for (std::size_t i = 0; i < handlers.size();) {
+        if (handlers[i].comp == comp_id) {
+          relocated.emplace_back(key.second, std::move(handlers[i]));
+          handlers.erase(handlers.begin() +
+                         static_cast<std::ptrdiff_t>(i));
+        } else {
+          ++i;
+        }
+      }
+    }
+    for (auto& [period, handler] : relocated) {
+      // Direct push (not add_handler): restore must not auto-arm.
+      sim.get_clock(to, period)->handlers_.push_back(std::move(handler));
+    }
+  }
+  if (!moved.empty()) sim.refresh_partition();
 
   // --- links ----------------------------------------------------------
   std::uint64_t nlinks = 0;
@@ -288,7 +339,13 @@ void CheckpointEngine::restore(Simulation& sim,
   // --- clocks ---------------------------------------------------------
   std::uint64_t nclocks = 0;
   s & nclocks;
-  if (nclocks != sim.clocks_.size()) {
+  // With rebalancing the checkpoint may hold MORE clocks than the
+  // rebuild + migration replay produced: a multi-hop migration leaves
+  // empty (handler-less) clocks on intermediate ranks.  Those are
+  // recreated on demand below; fewer checkpointed clocks than rebuilt
+  // ones is still a mismatch.
+  if (nclocks != sim.clocks_.size() &&
+      !(sim.config_.rebalance && nclocks > sim.clocks_.size())) {
     throw CheckpointError("checkpoint has " + std::to_string(nclocks) +
                           " clocks but the rebuilt model has " +
                           std::to_string(sim.clocks_.size()));
@@ -301,9 +358,17 @@ void CheckpointEngine::restore(Simulation& sim,
     s & rank & period;
     auto it = sim.clocks_.find({rank, period});
     if (it == sim.clocks_.end()) {
-      throw CheckpointError("checkpoint clock (rank " + std::to_string(rank) +
-                            ", period " + std::to_string(period) +
-                            "ps) not present in the rebuilt model");
+      if (sim.config_.rebalance && rank < sim.config_.num_ranks) {
+        // Handler-less intermediate clock left behind by migration; the
+        // order list below must be empty (reorder throws otherwise).
+        (void)sim.get_clock(rank, period);
+        it = sim.clocks_.find({rank, period});
+      } else {
+        throw CheckpointError("checkpoint clock (rank " +
+                              std::to_string(rank) + ", period " +
+                              std::to_string(period) +
+                              "ps) not present in the rebuilt model");
+      }
     }
     Clock& c = *it->second;
     std::uint8_t scheduled = 0;
@@ -382,6 +447,8 @@ void CheckpointEngine::restore(Simulation& sim,
   std::uint64_t cross = 0;
   std::uint64_t windows = 0;
   s & cross & windows & sim.ckpt_taken_ & sim.ckpt_next_mark_;
+  s & sim.comp_epoch_events_ & sim.rebalance_epoch_ & sim.rebalances_ &
+      sim.comps_migrated_;
   sim.cross_rank_events_.store(cross, std::memory_order_relaxed);
   sim.run_stats_.sync_windows = windows;
   sim.ckpt_windows_base_ = windows;

@@ -38,7 +38,9 @@ class Simulation;
 namespace sst::ckpt {
 
 /// On-disk format version; bumped on any incompatible layout change.
-inline constexpr std::uint32_t kCheckpointVersion = 1;
+/// v2: per-component rank (online rebalancing moves components, so the
+/// partition is dynamic state) + rebalance bookkeeping counters.
+inline constexpr std::uint32_t kCheckpointVersion = 2;
 
 /// One decoded checkpoint: header metadata + payload sections.
 struct CheckpointData {

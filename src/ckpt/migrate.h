@@ -1,0 +1,59 @@
+// Component migration: moves one component between ranks at a sync
+// barrier, reusing the checkpoint Serializer for the state transfer.
+//
+// A migration packs the component's dynamic state (the same bytes a
+// checkpoint would carry: said_ok, trace sequence, RNG stream,
+// Component::serialize_state) plus its pending TimeVortex events into a
+// Serializer blob, unpacks it back onto the component, rewrites the rank
+// field and re-inserts the events into the target rank's vortex.  Link
+// objects never move — only their cached endpoint-rank fields change,
+// which Simulation::refresh_partition recomputes after a rebalance pass.
+//
+// The pack/unpack round trip is deliberate, not an implementation quirk:
+// it proves at migration time that the component's full state survives
+// serialization, so a checkpoint taken after the move restores
+// byte-identically.  It also means migration shares the checkpoint
+// contract: every pending event type must be registered in the
+// EventRegistry (ckpt_type()), or the migration fails with a
+// CheckpointError naming the offender.
+//
+// Clock handlers move tick-exactly: at a sync barrier every armed clock
+// of period p — on any rank, in every sync mode — has pending cycle
+// ceil(H/p) for the shared horizon H, so handlers can be re-homed onto
+// the target rank's clock of the same period without skipping or
+// repeating a tick.  A violated cycle invariant is an engine bug and
+// throws SimulationError.
+#pragma once
+
+#include "core/types.h"
+
+namespace sst {
+class Simulation;
+}  // namespace sst
+
+namespace sst::ckpt {
+
+/// The migration mechanism behind Simulation's online rebalancer.  A
+/// friend of the core classes for the same reason CheckpointEngine is:
+/// event queues, clock phases and rank fields are engine state, not
+/// model API.
+class Migrator {
+ public:
+  /// Moves component `comp` to rank `to`.  Must be called at a sync
+  /// barrier safe point: single-threaded, mailboxes drained, outboxes
+  /// flushed.  A no-op when the component already lives on `to`.  The
+  /// caller is responsible for running Simulation::refresh_partition()
+  /// after a batch of moves (link rank fields are stale until then).
+  /// Throws CheckpointError when a pending event's type is not
+  /// registered for serialization, SimulationError on engine invariant
+  /// violations.
+  static void migrate(Simulation& sim, ComponentId comp, RankId to);
+};
+
+/// Installs Migrator::migrate as `sim`'s migration callback
+/// (Simulation::set_migrator).  ConfigGraph::build calls this
+/// automatically when rebalancing is enabled; embedding APIs that build
+/// Simulations directly must call it themselves before run().
+void install_migrator(Simulation& sim);
+
+}  // namespace sst::ckpt

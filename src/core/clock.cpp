@@ -62,6 +62,11 @@ void Clock::tick(SimTime now) {
   // One tracer check per tick, not per handler (the flag cannot change
   // mid-run).
   const bool tracing = sim_->tracing();
+  // Rebalance accounting: a tick's work is attributed to each component
+  // that handles it (flag only toggled while the engine is
+  // single-threaded; the counters are per-component, owned by this
+  // clock's rank).
+  const bool account = sim_->rebalance_accounting_;
   // Dispatch in registration order; drop handlers that return true.
   // A handler may register new clocks/handlers while running, so index
   // rather than iterate.
@@ -69,6 +74,9 @@ void Clock::tick(SimTime now) {
   while (i < handlers_.size()) {
     if (tracing && handlers_[i].comp != kInvalidComponent) {
       sim_->trace_clock_dispatch(rank_, now, handlers_[i].comp, cycle);
+    }
+    if (account && handlers_[i].comp != kInvalidComponent) {
+      ++sim_->comp_epoch_events_[handlers_[i].comp];
     }
     const bool done = handlers_[i].fn(cycle);
     if (done) {

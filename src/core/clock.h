@@ -57,6 +57,7 @@ class Clock {
  private:
   friend class Simulation;
   friend class ckpt::CheckpointEngine;  // cycle/handler-order overlay
+  friend class ckpt::Migrator;          // moves handlers between ranks
 
   Clock(Simulation& sim, RankId rank, SimTime period);
 

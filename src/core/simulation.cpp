@@ -450,13 +450,12 @@ void Simulation::wire_links() {
     lb->latency_ = c.latency_ba;
   }
 
-  // Fill rank fields, find the lookahead (global and per sending rank),
-  // count cut links, and check for dangling required ports.
-  lookahead_ = kTimeNever;
-  cut_links_ = 0;
-  rank_min_out_.assign(config_.num_ranks, kTimeNever);
+  // Check for dangling required ports and record which component each
+  // link delivers into (the receiving endpoint's owner).  Link objects
+  // and their owners never change after this point — migration only
+  // rewrites rank fields — so link_target_ is built once.
+  link_target_.assign(links_.size(), kInvalidComponent);
   for (const auto& link : links_) {
-    link->owner_rank_ = components_[link->owner_]->rank_;
     if (link->peer_ == nullptr) {
       if (!link->optional_) {
         throw ConfigError("port never connected: '" +
@@ -465,6 +464,22 @@ void Simulation::wire_links() {
       }
       continue;
     }
+    link_target_[link->id_] = link->peer_->owner_;
+  }
+  refresh_partition();
+}
+
+void Simulation::refresh_partition() {
+  // Everything derived from component ranks: link endpoint ranks, the
+  // lookahead (global and per sending rank) and the cut-link count.
+  // Called from wire_links at initialization, after checkpoint restore,
+  // and at a sync barrier after migrations moved components.
+  lookahead_ = kTimeNever;
+  cut_links_ = 0;
+  rank_min_out_.assign(config_.num_ranks, kTimeNever);
+  for (const auto& link : links_) {
+    link->owner_rank_ = components_[link->owner_]->rank_;
+    if (link->peer_ == nullptr) continue;
     link->peer_rank_ = components_[link->peer_->owner_]->rank_;
     if (link->owner_rank_ != link->peer_rank_) {
       ++cut_links_;
@@ -540,6 +555,25 @@ void Simulation::initialize() {
           std::to_string(lookahead_) +
           "ps; the adaptive window never shrinks below the lookahead");
     }
+  }
+  // Online rebalancing: serial runs ignore the flag (there is only one
+  // rank), matching the sync-mode rules above.  The controller validates
+  // the tuning; lax mode gets a derived, more aggressive variant — lax
+  // already trades strict reproducibility for throughput, so it may
+  // chase imbalance harder.
+  if (config_.rebalance && config_.num_ranks > 1) {
+    RebalanceConfig rc;
+    rc.threshold = config_.rebalance_threshold;
+    rc.period = config_.rebalance_period;
+    rc.max_moves = config_.rebalance_max_moves;
+    if (config_.sync_mode == SyncMode::kLax) {
+      rc.threshold = 1.0 + (rc.threshold - 1.0) / 2.0;
+      rc.period = std::max<std::uint64_t>(1, rc.period / 2);
+      rc.max_moves = rc.max_moves * 2;
+    }
+    rebalance_ctl_ =
+        std::make_unique<RebalanceController>(rc, config_.num_ranks);
+    comp_epoch_events_.assign(components_.size(), 0);
   }
   // Parallel checkpoints are cut at sync-window barriers, so a period
   // shorter than the window cannot be honoured — it would silently snap
@@ -657,6 +691,12 @@ RunStats Simulation::run() {
   if (state_ == State::kBuilding) initialize();
   if (state_ == State::kDone) {
     throw SimulationError("Simulation::run called twice");
+  }
+  if (rebalance_ctl_ != nullptr && !migrator_) {
+    throw ConfigError(
+        "rebalance: no migrator installed; call ckpt::install_migrator() "
+        "(ConfigGraph::build does this automatically when rebalancing is "
+        "enabled)");
   }
   state_ = State::kRunning;
   if (metrics_) build_metrics_index();
@@ -787,6 +827,8 @@ RunStats Simulation::run() {
     lax_straggler_stat_->add(run_stats_.lax_stragglers);
     lax_skew_stat_->add(static_cast<double>(run_stats_.lax_max_skew));
   }
+  run_stats_.rebalances = rebalances_;
+  run_stats_.components_migrated = comps_migrated_;
   run_stats_.checkpoints = ckpt_taken_;
   run_stats_.checkpoint_seconds = ckpt_write_seconds_;
   SimTime final_time = 0;
@@ -847,6 +889,7 @@ void Simulation::run_serial() {
 void Simulation::rank_process_until(RankId me, SimTime horizon) {
   RankState& rank = ranks_[me];
   std::uint64_t steps = 0;
+  const bool account = rebalance_accounting_;
   while (!rank.vortex.empty()) {
     const SimTime t = rank.vortex.next_time();
     if (t >= horizon) return;
@@ -859,6 +902,11 @@ void Simulation::rank_process_until(RankId me, SimTime horizon) {
     ++rank.events;
     if (tracer_ && ev->link_id_ < Event::kClockSourceBase) {
       tracer_->record_delivery(me, t, ev->link_id_, ev->order_);
+    }
+    if (account && ev->link_id_ < Event::kClockSourceBase) {
+      // Attribute the delivery to the receiving component; clock ticks
+      // are attributed per handler in Clock::tick.
+      ++comp_epoch_events_[link_target_[ev->link_id_]];
     }
     const EventHandler* handler = ev->handler_;
     if (handler == nullptr) {
@@ -881,6 +929,10 @@ void Simulation::run_parallel() {
   const bool adaptive = config_.sync_mode == SyncMode::kAdaptive;
   const bool lax = config_.sync_mode == SyncMode::kLax;
   lax_active_ = lax;
+  // Rebalance accounting: per-component counters written only by the
+  // owning rank's thread during a window and read at the barrier.
+  rebalance_accounting_ = rebalance_ctl_ != nullptr;
+  rank_epoch_mark_.assign(R, 0);
   // Adaptive window controller: starts at the conservative lookahead and
   // earns larger windows from measured barrier overhead.  Bounds were
   // validated in initialize(), so the constructor cannot throw here.
@@ -916,6 +968,20 @@ void Simulation::run_parallel() {
         for (auto& r : ranks_) r.now = config_.end_time;
       }
       return;
+    }
+    // Rebalance check — before the window is computed: a migration can
+    // create a new cut link with a smaller latency, and the next horizon
+    // must honour the new lookahead to stay causal.  The epoch counter
+    // advances on sync windows only (deterministic in conservative mode,
+    // where window boundaries are a pure function of the event times).
+    if (rebalance_ctl_ != nullptr && !priming &&
+        ++rebalance_epoch_ >= rebalance_ctl_->config().period) {
+      rebalance_epoch_ = 0;
+      maybe_rebalance(global_min);
+      if (!rebalance_error_.empty()) {
+        sync.done = true;
+        return;
+      }
     }
     SimTime window = lookahead_;
     if (adaptive) {
@@ -1000,12 +1066,36 @@ void Simulation::run_parallel() {
       tracer_->record_window(global_min, sync.horizon, windows);
     }
     if (config_.profile_engine && !engine_stats_.empty()) {
+      // Per-rank events retired this epoch, and the epoch imbalance
+      // ratio (max/mean) — what the rebalance controller sees, visible
+      // without tracing.
+      std::uint64_t epoch_max = 0;
+      std::uint64_t epoch_total = 0;
+      for (std::size_t r = 0; r < ranks_.size(); ++r) {
+        const std::uint64_t d = ranks_[r].events - rank_epoch_mark_[r];
+        epoch_total += d;
+        if (d > epoch_max) epoch_max = d;
+      }
+      const double epoch_imbalance =
+          epoch_total == 0
+              ? 0.0
+              : static_cast<double>(epoch_max) * static_cast<double>(R) /
+                    static_cast<double>(epoch_total);
+      if (imbalance_stat_ != nullptr && epoch_total > 0) {
+        imbalance_stat_->add(epoch_imbalance);
+      }
       for (std::size_t r = 0; r < ranks_.size(); ++r) {
         const RankState& rs = ranks_[r];
+        const std::uint64_t epoch_events = rs.events - rank_epoch_mark_[r];
+        rank_epoch_mark_[r] = rs.events;
         engine_stats_[r].vortex_depth->add(
             static_cast<double>(rs.vortex.size()));
         if (metrics_) {
           std::string payload = "{\"events\":" + std::to_string(rs.events) +
+                                ",\"epoch_events\":" +
+                                std::to_string(epoch_events) +
+                                ",\"imbalance\":" +
+                                obs::json_number(epoch_imbalance) +
                                 ",\"vortex_depth\":" +
                                 std::to_string(rs.vortex.size()) +
                                 ",\"mailbox_received\":" +
@@ -1089,7 +1179,15 @@ void Simulation::run_parallel() {
   for (auto& t : threads) t.join();
   exchange_batching_ = false;
   lax_active_ = false;
+  rebalance_accounting_ = false;
   run_stats_.sync_windows = ckpt_windows_base_ + windows;
+  if (!rebalance_error_.empty()) {
+    // A half-applied migration leaves an inconsistent partition; the run
+    // cannot continue.  (Never expected: the migrator only throws on
+    // engine invariant violations.)
+    throw SimulationError("rebalance: migration failed: " +
+                          rebalance_error_);
+  }
 }
 
 // ---------------------------------------------------------------------
@@ -1100,6 +1198,72 @@ void Simulation::run_parallel() {
 void Simulation::set_checkpoint_writer(
     std::function<void(Simulation&)> writer) {
   ckpt_writer_ = std::move(writer);
+}
+
+// ---------------------------------------------------------------------
+// Online rebalancing (the migrator lives in src/ckpt; the accounting,
+// the decision cadence and the partition refresh live here)
+// ---------------------------------------------------------------------
+
+void Simulation::set_migrator(
+    std::function<void(Simulation&, ComponentId, RankId)> migrator) {
+  migrator_ = std::move(migrator);
+}
+
+void Simulation::maybe_rebalance(SimTime global_min) {
+  // Runs inside the (noexcept) barrier completion, single-threaded, with
+  // every mailbox drained — the same safe point checkpoints use.  Any
+  // failure parks in rebalance_error_; run_parallel rethrows it.
+  try {
+    std::vector<std::uint64_t> rank_events(config_.num_ranks, 0);
+    std::vector<ComponentLoad> loads(components_.size());
+    for (std::size_t c = 0; c < components_.size(); ++c) {
+      loads[c].comp = static_cast<ComponentId>(c);
+      loads[c].rank = components_[c]->rank_;
+      loads[c].events = comp_epoch_events_[c];
+      rank_events[loads[c].rank] += loads[c].events;
+    }
+    const std::vector<MigrationDecision> moves = rebalance_ctl_->plan(loads);
+    if (!moves.empty()) {
+      const double before = RebalanceController::imbalance(rank_events);
+      for (const MigrationDecision& m : moves) {
+        migrator_(*this, m.comp, m.to);
+        rank_events[m.from] -= comp_epoch_events_[m.comp];
+        rank_events[m.to] += comp_epoch_events_[m.comp];
+      }
+      refresh_partition();
+      const double after = RebalanceController::imbalance(rank_events);
+      ++rebalances_;
+      comps_migrated_ += moves.size();
+      if (rebalance_count_stat_ != nullptr) {
+        rebalance_count_stat_->add(1);
+        rebalance_moved_stat_->add(moves.size());
+        imb_before_stat_->add(before);
+        imb_after_stat_->add(after);
+      }
+      if (tracer_ && config_.trace_engine) {
+        // One span per move on the engine track, spanning the barrier's
+        // sync point to the first horizon the new partition computes.
+        const SimTime span_end = (global_min >= kTimeNever - lookahead_)
+                                     ? global_min
+                                     : global_min + lookahead_;
+        for (const MigrationDecision& m : moves) {
+          tracer_->record_migration(global_min, span_end, m.comp, m.from,
+                                    m.to);
+        }
+      }
+      if (config_.verbose) {
+        std::cerr << "[sst] rebalance @" << global_min << "ps: moved "
+                  << moves.size() << " component(s), imbalance " << before
+                  << " -> " << after << "\n";
+      }
+    }
+    // Each period is measured independently: reset the counters whether
+    // or not anything moved.
+    std::fill(comp_epoch_events_.begin(), comp_epoch_events_.end(), 0);
+  } catch (const std::exception& e) {
+    rebalance_error_ = e.what();
+  }
 }
 
 bool Simulation::checkpoint_due(SimTime t, bool check_wall) {
@@ -1262,6 +1426,23 @@ void Simulation::setup_observability() {
       config_.sync_mode == SyncMode::kAdaptive) {
     // One sample per sync epoch: the window the controller chose (ps).
     window_stat_ = stats_.create<Accumulator>("engine.sync", "window_ps");
+  }
+  if (config_.profile_engine && config_.num_ranks > 1) {
+    // One sample per sync epoch that retired events: the per-rank
+    // event-rate imbalance (max/mean) — the quantity the rebalance
+    // controller thresholds on, observable without tracing.
+    imbalance_stat_ =
+        stats_.create<Accumulator>("engine.sync", "imbalance_ratio");
+  }
+  if (config_.profile_engine && config_.num_ranks > 1 && config_.rebalance) {
+    rebalance_count_stat_ =
+        stats_.create<Counter>("engine.rebalance", "migrations");
+    rebalance_moved_stat_ =
+        stats_.create<Counter>("engine.rebalance", "components_moved");
+    imb_before_stat_ =
+        stats_.create<Accumulator>("engine.rebalance", "imbalance_before");
+    imb_after_stat_ =
+        stats_.create<Accumulator>("engine.rebalance", "imbalance_after");
   }
   if (config_.profile_engine) {
     engine_stats_.resize(config_.num_ranks);

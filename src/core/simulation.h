@@ -42,6 +42,7 @@ class MetricsCollector;
 
 namespace ckpt {
 class CheckpointEngine;
+class Migrator;
 }  // namespace ckpt
 
 /// The run loops poll cheap-but-not-free conditions (the watchdog flag,
@@ -95,6 +96,22 @@ struct SimConfig {
   /// kAdaptive only: upper clamp for the adaptive window controller
   /// (0 = the engine's kMaxSyncWindow default of 10us).
   SimTime sync_window_max = 0;
+
+  // --- online rebalancing (sync_policy.h + src/ckpt/migrate.h) --------
+  /// Migrate components across ranks at sync barriers when the measured
+  /// per-rank event-rate imbalance crosses rebalance_threshold.  The
+  /// decision function is deterministic (epoch event counts + component
+  /// ids only), and a migration is invisible to the model — conservative
+  /// and adaptive runs stay byte-identical to their non-rebalanced
+  /// selves at every rank count.  Requires an installed migrator
+  /// (ckpt::install_migrator) when num_ranks > 1.  Ignored serially.
+  bool rebalance = false;
+  /// Fire when max/mean per-rank epoch event rate reaches this ratio.
+  double rebalance_threshold = 1.5;
+  /// Sync epochs between imbalance checks.
+  std::uint64_t rebalance_period = 8;
+  /// Components migrated per rebalance at most.
+  std::uint32_t rebalance_max_moves = 8;
 
   // --- observability (src/obs) ---------------------------------------
   /// Enable the event tracer (implied when trace_path is set).  The
@@ -159,6 +176,8 @@ struct RunStats {
   SimTime max_window = 0;              // largest sync window used (parallel)
   std::uint64_t lax_stragglers = 0;    // late events given a corrected time
   SimTime lax_max_skew = 0;            // largest correction applied (ps)
+  std::uint64_t rebalances = 0;        // rebalance passes that moved >= 1
+  std::uint64_t components_migrated = 0;  // cross-rank component moves
   [[nodiscard]] double events_per_second() const {
     return wall_seconds > 0 ? static_cast<double>(events_processed) /
                                   wall_seconds
@@ -280,11 +299,26 @@ class Simulation {
     return static_cast<bool>(ckpt_writer_);
   }
 
+  // ---- online rebalancing (src/ckpt/migrate.h) ----------------------
+
+  /// Installs the migration callback invoked at sync barriers to move
+  /// one component (state + pending events) to another rank.  The
+  /// engine never migrates without one; ckpt::install_migrator() wires
+  /// the Serializer-backed implementation.
+  void set_migrator(
+      std::function<void(Simulation&, ComponentId, RankId)> migrator);
+
+  /// True when a migrator is installed.
+  [[nodiscard]] bool can_migrate() const {
+    return static_cast<bool>(migrator_);
+  }
+
  private:
   friend class Component;
   friend class Link;
   friend class Clock;
   friend class ckpt::CheckpointEngine;  // captures/overlays engine state
+  friend class ckpt::Migrator;          // moves components between ranks
 
   enum class State { kBuilding, kInitialized, kRunning, kDone };
 
@@ -366,6 +400,17 @@ class Simulation {
 
   // Engine internals.
   void wire_links();
+  /// Recomputes everything wire_links derives from component ranks (link
+  /// owner/peer ranks, lookahead, cut-link count, per-rank min
+  /// out-latency) after migrations changed the partition.  Runs at the
+  /// sync barrier while every rank thread is parked.
+  void refresh_partition();
+  /// Rebalance check at the sync barrier (single-threaded, before the
+  /// next horizon is computed — a migration can change the lookahead and
+  /// the new window must honour it).  Builds per-component loads from
+  /// comp_epoch_events_, asks the RebalanceController for a plan, and
+  /// runs the installed migrator for each decision.
+  void maybe_rebalance(SimTime global_min);
   void assign_ranks();
   void assign_ranks_mincut();
   void run_init_phases();
@@ -506,6 +551,41 @@ class Simulation {
   // Self-profiler statistics for the pause/resume window (profile_engine).
   Counter* ckpt_count_stat_ = nullptr;
   Accumulator* ckpt_write_stat_ = nullptr;
+
+  // Online-rebalancing state (ckpt::Migrator does the actual moves).
+  std::function<void(Simulation&, ComponentId, RankId)> migrator_;
+  std::unique_ptr<RebalanceController> rebalance_ctl_;
+  // True while a rebalancing parallel run is in flight: event delivery
+  // and clock dispatch attribute per-component epoch counts.  Only
+  // toggled while the engine is single-threaded.
+  bool rebalance_accounting_ = false;
+  // LinkId -> component whose handler the event drives (the receiving
+  // endpoint's owner).  Built in wire_links; migration never changes it
+  // (Link objects and their owners are immutable — only ranks move).
+  std::vector<ComponentId> link_target_;
+  // Per-component event counts over the current epoch group.  Each slot
+  // is written only by the owning rank's thread during a window and read
+  // at the barrier, so no synchronization is needed beyond the barrier
+  // itself.  Checkpointed: a resumed run reproduces the migration
+  // schedule.
+  std::vector<std::uint64_t> comp_epoch_events_;
+  // Per-rank events marks from the previous epoch (profile-only: feeds
+  // the engine.sync imbalance_ratio stat and metrics JSONL).
+  std::vector<std::uint64_t> rank_epoch_mark_;
+  // A migration failure detected inside the (noexcept) barrier
+  // completion parks here; run_parallel rethrows it after the workers
+  // join.  An inconsistent partition cannot continue.
+  std::string rebalance_error_;
+  std::uint64_t rebalance_epoch_ = 0;  // epochs since last check (ckpt'd)
+  std::uint64_t rebalances_ = 0;       // passes that moved >= 1 component
+  std::uint64_t comps_migrated_ = 0;   // total cross-rank moves
+  // engine.rebalance statistics (profile_engine && rebalance && R > 1).
+  Counter* rebalance_count_stat_ = nullptr;
+  Counter* rebalance_moved_stat_ = nullptr;
+  Accumulator* imb_before_stat_ = nullptr;
+  Accumulator* imb_after_stat_ = nullptr;
+  // engine.sync imbalance_ratio (profile_engine && R > 1, any mode).
+  Accumulator* imbalance_stat_ = nullptr;
 
   // Lax-mode accuracy contract block (engine.lax statistics).  Created
   // whenever a parallel lax run is configured — not gated on

@@ -75,6 +75,33 @@ class TimeVortex {
   /// wholesale).  Counters are left for the caller to overlay.
   void clear() { heap_.clear(); }
 
+  /// Removes every event whose *source id* satisfies `pred(LinkId)` and
+  /// returns them in heap (not time) order; the heap is rebuilt in place
+  /// with an O(n) bottom-up make-heap.  Used by component migration to
+  /// pull a component's pending events out of the queue; callers needing
+  /// time order must sort the result with EventOrder.
+  template <typename Pred>
+  [[nodiscard]] std::vector<EventPtr> extract_if(Pred pred) {
+    std::vector<EventPtr> out;
+    std::size_t w = 0;
+    for (std::size_t r = 0; r < heap_.size(); ++r) {
+      if (pred(heap_[r].source)) {
+        out.push_back(std::move(heap_[r].ev));
+      } else {
+        if (w != r) heap_[w] = std::move(heap_[r]);
+        ++w;
+      }
+    }
+    if (w == heap_.size()) return out;  // nothing matched; heap untouched
+    heap_.resize(w);
+    if (heap_.size() > 1) {
+      for (std::size_t i = (heap_.size() - 2) / kArity + 1; i-- > 0;) {
+        sift_down(i);
+      }
+    }
+    return out;
+  }
+
   /// Pre-sizes the heap storage (e.g. to a restored high-water mark).
   void reserve(std::size_t n) { heap_.reserve(n); }
 

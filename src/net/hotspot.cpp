@@ -1,0 +1,131 @@
+#include "net/hotspot.h"
+
+#include <string>
+#include <utility>
+
+#include "ckpt/serializer.h"
+
+namespace sst::net {
+
+void HotspotTokenEvent::ckpt_fields(ckpt::Serializer& s) { s & service_; }
+
+HotspotNode::HotspotNode(Params& params) {
+  x_ = params.find<std::uint32_t>("x", 0);
+  y_ = params.find<std::uint32_t>("y", 0);
+  size_x_ = params.find<std::uint32_t>("size_x", 8);
+  size_y_ = params.find<std::uint32_t>("size_y", 8);
+  min_delay_ = params.find_time("min_delay", "20ns");
+  self_delay_ = params.find_time("self_delay", "5ns");
+  service_hops_ = params.find<std::uint32_t>("service_hops", 8);
+  hot_span_ = params.find<std::uint32_t>("hot_span", 1);
+  bias_pct_ = params.find<std::uint32_t>("bias_pct", 75);
+  drift_period_ = params.find_time("drift_period", "200us");
+  initial_tokens_ = params.find<std::uint32_t>("initial_tokens", 2);
+  if (size_x_ == 0 || size_y_ == 0) {
+    throw ConfigError(name() + ": size_x/size_y must be >= 1");
+  }
+  if (x_ >= size_x_ || y_ >= size_y_) {
+    throw ConfigError(name() + ": coordinate (" + std::to_string(x_) + "," +
+                      std::to_string(y_) + ") outside " +
+                      std::to_string(size_x_) + "x" + std::to_string(size_y_) +
+                      " torus");
+  }
+  if (drift_period_ == 0) {
+    throw ConfigError(name() + ": drift_period must be > 0");
+  }
+  if (min_delay_ == 0 || self_delay_ == 0) {
+    throw ConfigError(name() + ": min_delay/self_delay must be > 0");
+  }
+  if (bias_pct_ > 100) bias_pct_ = 100;
+  for (std::size_t i = 0; i < out_.size(); ++i) {
+    out_[i] = configure_link(
+        "port" + std::to_string(i),
+        [this](EventPtr ev) { on_token(std::move(ev)); });
+  }
+  self_ = configure_self_link(
+      "service", self_delay_,
+      [this](EventPtr ev) { on_service(std::move(ev)); });
+  received_stat_ = stat_counter("received");
+  forwarded_stat_ = stat_counter("forwarded");
+}
+
+void HotspotNode::setup() {
+  for (std::uint32_t i = 0; i < initial_tokens_; ++i) {
+    forward(make_event<HotspotTokenEvent>());
+  }
+}
+
+void HotspotNode::serialize_state(ckpt::Serializer& s) {
+  s & received_ & forwarded_;
+}
+
+void HotspotNode::hot_center(std::uint32_t& cx, std::uint32_t& cy) const {
+  // Raster scan over the torus: one x-step per drift period, wrapping
+  // into a y-step — every node derives the same center from simulated
+  // time alone.
+  const std::uint64_t step = now() / drift_period_;
+  cx = static_cast<std::uint32_t>(step % size_x_);
+  cy = static_cast<std::uint32_t>((step / size_x_) % size_y_);
+}
+
+bool HotspotNode::in_hot_zone() const {
+  std::uint32_t cx = 0;
+  std::uint32_t cy = 0;
+  hot_center(cx, cy);
+  const std::uint32_t ax = x_ > cx ? x_ - cx : cx - x_;
+  const std::uint32_t ay = y_ > cy ? y_ - cy : cy - y_;
+  const std::uint32_t dx = ax < size_x_ - ax ? ax : size_x_ - ax;
+  const std::uint32_t dy = ay < size_y_ - ay ? ay : size_y_ - ay;
+  return dx <= hot_span_ && dy <= hot_span_;
+}
+
+void HotspotNode::on_token(EventPtr ev) {
+  ++received_;
+  received_stat_->add(1);
+  if (service_hops_ > 0 && in_hot_zone()) {
+    auto* tok = static_cast<HotspotTokenEvent*>(ev.get());
+    tok->set_service(0);
+    self_->send(std::move(ev), 0);
+    return;
+  }
+  forward(std::move(ev));
+}
+
+void HotspotNode::on_service(EventPtr ev) {
+  auto* tok = static_cast<HotspotTokenEvent*>(ev.get());
+  tok->set_service(tok->service() + 1);
+  // Keep servicing only while the zone is still hot here: tokens drain
+  // away naturally when the center drifts on.
+  if (tok->service() < service_hops_ && in_hot_zone()) {
+    self_->send(std::move(ev), 0);
+    return;
+  }
+  forward(std::move(ev));
+}
+
+void HotspotNode::forward(EventPtr ev) {
+  ++forwarded_;
+  forwarded_stat_->add(1);
+  std::uint32_t cx = 0;
+  std::uint32_t cy = 0;
+  hot_center(cx, cy);
+  Link* out = nullptr;
+  const bool at_center = cx == x_ && cy == y_;
+  if (!at_center && rng().next_bounded(100) < bias_pct_) {
+    // Step toward the center along the shorter torus direction.
+    const std::uint32_t dxf = (cx + size_x_ - x_) % size_x_;
+    const std::uint32_t dyf = (cy + size_y_ - y_) % size_y_;
+    const bool move_x =
+        dxf != 0 && (dyf == 0 || rng().next_bounded(2) == 0);
+    if (move_x) {
+      out = out_[dxf <= size_x_ / 2 ? 0 : 1];
+    } else {
+      out = out_[dyf <= size_y_ / 2 ? 2 : 3];
+    }
+  } else {
+    out = out_[rng().next_bounded(out_.size())];
+  }
+  out->send(std::move(ev), (1 + rng().next_bounded(8)) * min_delay_);
+}
+
+}  // namespace sst::net

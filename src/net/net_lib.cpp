@@ -3,6 +3,7 @@
 #include "core/factory.h"
 #include "ckpt/event_registry.h"
 #include "ckpt/serializer.h"
+#include "net/hotspot.h"
 
 namespace sst::net {
 
@@ -25,6 +26,8 @@ void register_ckpt_events() {
   r.register_type("net.PortFault", [] {
     return std::make_unique<PortFaultEvent>(0, false);
   });
+  r.register_type("net.HotspotToken",
+                  [] { return std::make_unique<HotspotTokenEvent>(0); });
 }
 
 }  // namespace
@@ -66,6 +69,10 @@ void register_library() {
         [](Simulation& sim, const std::string& n, Params& p) {
           return static_cast<Component*>(
               sim.add_component<AppProfileMotif>(n, p));
+        });
+    reg("net.HotspotPhold",
+        [](Simulation& sim, const std::string& n, Params& p) {
+          return static_cast<Component*>(sim.add_component<HotspotNode>(n, p));
         });
     // Shared NetEndpoint knobs, re-attached to every endpoint type.
     const std::vector<ParamDoc> endpoint_docs = {
@@ -124,6 +131,19 @@ void register_library() {
         {"msg_bytes", "wavefront message size in bytes", "16384"},
         {"compute", "compute phase per sweep step", "20us"},
         {"sweeps", "wavefront sweeps to run", "8"},
+    });
+    f.describe_params("net.HotspotPhold", {
+        {"x", "this node's torus coordinate x", "0"},
+        {"y", "this node's torus coordinate y", "0"},
+        {"size_x", "torus extent x", "8"},
+        {"size_y", "torus extent y", "8"},
+        {"min_delay", "forwarding delay quantum", "20ns"},
+        {"self_delay", "per-service-hop self-link latency", "5ns"},
+        {"service_hops", "self-bounces per token in the hot zone", "8"},
+        {"hot_span", "hot-zone radius (torus Chebyshev)", "1"},
+        {"bias_pct", "percent of forwards aimed at the hot center", "75"},
+        {"drift_period", "time between hot-center steps", "200us"},
+        {"initial_tokens", "tokens this node emits in setup()", "2"},
     });
     doc_endpoint("net.AppProfile", {
         {"px", "process grid extent x", "2"},

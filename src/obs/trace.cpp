@@ -16,8 +16,12 @@ void SyncWindowRecord::ckpt_io(ckpt::Serializer& s) {
   s & start & end & index;
 }
 
+void MigrationRecord::ckpt_io(ckpt::Serializer& s) {
+  s & start & end & comp & from & to;
+}
+
 void Tracer::ckpt_io(ckpt::Serializer& s) {
-  s & per_rank_ & windows_;
+  s & per_rank_ & windows_ & migrations_;
 }
 
 Tracer::Tracer(unsigned num_ranks) : per_rank_(num_ranks) {}
@@ -43,6 +47,11 @@ void Tracer::record_marker(RankId rank, SimTime t, ComponentId comp,
 
 void Tracer::record_window(SimTime start, SimTime end, std::uint64_t index) {
   windows_.push_back({start, end, index});
+}
+
+void Tracer::record_migration(SimTime start, SimTime end, ComponentId comp,
+                              RankId from, RankId to) {
+  migrations_.push_back({start, end, comp, from, to});
 }
 
 std::size_t Tracer::record_count() const {
@@ -99,6 +108,11 @@ void Tracer::write_json(std::ostream& os,
     sep();
     os << "{\"ph\":\"M\",\"pid\":1,\"tid\":0,\"name\":\"process_name\","
           "\"args\":{\"name\":\"engine\"}}";
+    if (!migrations_.empty()) {
+      sep();
+      os << "{\"ph\":\"M\",\"pid\":1,\"tid\":1,\"name\":\"thread_name\","
+            "\"args\":{\"name\":\"rebalance\"}}";
+    }
   }
 
   for (const auto& r : merged) {
@@ -137,6 +151,15 @@ void Tracer::write_json(std::ostream& os,
          << ",\"cat\":\"engine\",\"name\":\"sync_window\","
             "\"args\":{\"index\":"
          << w.index << "}}";
+    }
+    for (const auto& m : migrations_) {
+      sep();
+      os << "{\"ph\":\"X\",\"pid\":1,\"tid\":1,\"ts\":" << m.start
+         << ",\"dur\":" << (m.end - m.start)
+         << ",\"cat\":\"engine\",\"name\":\""
+         << json_escape(resolver.component_name(m.comp))
+         << "\",\"args\":{\"component\":" << m.comp << ",\"from\":" << m.from
+         << ",\"to\":" << m.to << "}}";
     }
   }
 

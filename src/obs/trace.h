@@ -57,6 +57,18 @@ struct SyncWindowRecord {
   void ckpt_io(ckpt::Serializer& s);
 };
 
+/// One component migration performed by the online rebalancer (engine
+/// track): the span covers the sync window the move took effect in.
+struct MigrationRecord {
+  SimTime start = 0;
+  SimTime end = 0;
+  ComponentId comp = 0;
+  RankId from = 0;
+  RankId to = 0;
+
+  void ckpt_io(ckpt::Serializer& s);
+};
+
 /// Resolves construction-time ids to stable names when the trace is
 /// written.  Implemented by Simulation.
 class TraceResolver {
@@ -88,6 +100,8 @@ class Tracer {
   void record_marker(RankId rank, SimTime t, ComponentId comp,
                      std::uint64_t seq, std::string name, std::string detail);
   void record_window(SimTime start, SimTime end, std::uint64_t index);
+  void record_migration(SimTime start, SimTime end, ComponentId comp,
+                        RankId from, RankId to);
 
   /// Include rank-dependent engine spans in the output (breaks the
   /// R-rank == serial byte-identity, which is why it is opt-in).
@@ -96,6 +110,9 @@ class Tracer {
 
   [[nodiscard]] std::size_t record_count() const;
   [[nodiscard]] std::size_t window_count() const { return windows_.size(); }
+  [[nodiscard]] std::size_t migration_count() const {
+    return migrations_.size();
+  }
 
   /// Merges the per-rank buffers into the deterministic total order
   /// (time, kind, id, seq) and writes Chrome trace-event JSON.
@@ -108,6 +125,7 @@ class Tracer {
  private:
   std::vector<std::vector<TraceRecord>> per_rank_;
   std::vector<SyncWindowRecord> windows_;
+  std::vector<MigrationRecord> migrations_;
   bool include_engine_ = false;
 };
 

@@ -4,6 +4,7 @@
 #include <set>
 #include <utility>
 
+#include "ckpt/migrate.h"
 #include "core/unit_algebra.h"
 #include "fault/fault_model.h"
 #include "net/router.h"
@@ -50,6 +51,13 @@ SyncMode sync_mode_from_string(const std::string& name) {
   if (name == "lax") return SyncMode::kLax;
   throw ConfigError("unknown sync mode '" + name +
                     "' (known: conservative, adaptive, lax)");
+}
+
+bool rebalance_mode_from_string(const std::string& name) {
+  if (name == "on") return true;
+  if (name == "off") return false;
+  throw ConfigError("unknown rebalance mode '" + name +
+                    "' (known: on, off)");
 }
 
 const char* partition_name(PartitionStrategy strategy) {
@@ -271,6 +279,9 @@ std::unique_ptr<Simulation> ConfigGraph::build(const Factory& factory) const {
       rtr->schedule_port_heal(f.port, UnitAlgebra(*f.heal_at).to_simtime());
     }
   }
+  // Online rebalancing needs a migration mechanism; every SDL-built run
+  // (sstsim, daemon, DSE, restart) gets the checkpoint-based one.
+  if (sim_config_.rebalance) ckpt::install_migrator(*sim);
   return sim;
 }
 
@@ -305,6 +316,16 @@ ConfigGraph ConfigGraph::from_json(const JsonValue& doc) {
       sc.sync_window_max =
           UnitAlgebra(cfg.at("sync_window_max").as_string()).to_simtime();
     }
+    if (cfg.has("rebalance_mode")) {
+      sc.rebalance =
+          rebalance_mode_from_string(cfg.at("rebalance_mode").as_string());
+    }
+    sc.rebalance_threshold =
+        cfg.get_number("rebalance_threshold", sc.rebalance_threshold);
+    sc.rebalance_period = static_cast<std::uint64_t>(cfg.get_number(
+        "rebalance_period", static_cast<double>(sc.rebalance_period)));
+    sc.rebalance_max_moves = static_cast<std::uint32_t>(
+        cfg.get_number("rebalance_max_moves", sc.rebalance_max_moves));
   }
   if (doc.has("components")) {
     for (const auto& jc : doc.at("components").as_array()) {
@@ -512,6 +533,14 @@ void ConfigGraph::apply_override(std::string_view path,
       sim_config_.lax_skew = UnitAlgebra(value).to_simtime();
     } else if (key == "sync_window_max") {
       sim_config_.sync_window_max = UnitAlgebra(value).to_simtime();
+    } else if (key == "rebalance_mode") {
+      sim_config_.rebalance = rebalance_mode_from_string(value);
+    } else if (key == "rebalance_threshold") {
+      sim_config_.rebalance_threshold = detail::parse_param<double>(value, p);
+    } else if (key == "rebalance_period") {
+      sim_config_.rebalance_period = as_u64(value);
+    } else if (key == "rebalance_max_moves") {
+      sim_config_.rebalance_max_moves = as_u32(value);
     } else if (key == "watchdog_seconds") {
       sim_config_.watchdog_seconds = detail::parse_param<double>(value, p);
     } else if (key == "detect_deadlock") {
@@ -521,7 +550,8 @@ void ConfigGraph::apply_override(std::string_view path,
     } else {
       fail("unknown config key '" + key +
            "' (known: end_time, num_ranks, seed, fault_seed, partition, "
-           "sync_mode, lax_skew, sync_window_max, "
+           "sync_mode, lax_skew, sync_window_max, rebalance_mode, "
+           "rebalance_threshold, rebalance_period, rebalance_max_moves, "
            "watchdog_seconds, detect_deadlock, verbose)");
     }
     return;
@@ -662,6 +692,14 @@ JsonValue ConfigGraph::to_json() const {
   if (sim_config_.sync_window_max != 0) {
     cfg["sync_window_max"] =
         JsonValue(std::to_string(sim_config_.sync_window_max) + "ps");
+  }
+  if (sim_config_.rebalance) {
+    cfg["rebalance_mode"] = JsonValue(std::string("on"));
+    cfg["rebalance_threshold"] = JsonValue(sim_config_.rebalance_threshold);
+    cfg["rebalance_period"] =
+        JsonValue(static_cast<double>(sim_config_.rebalance_period));
+    cfg["rebalance_max_moves"] =
+        JsonValue(static_cast<double>(sim_config_.rebalance_max_moves));
   }
   doc["config"] = JsonValue(std::move(cfg));
 

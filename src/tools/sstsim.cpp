@@ -99,6 +99,8 @@ void print_options(std::ostream& os, const char* argv0) {
         " [--ranks N] [--end TIME] [--seed N] [--fault-seed N]"
         " [--sync-mode conservative|adaptive|lax] [--lax-skew TIME]"
         " [--sync-window-max TIME]"
+        " [--rebalance] [--rebalance-threshold X]"
+        " [--rebalance-period N] [--rebalance-max-moves N]"
         " [--watchdog SECS]"
         " [--checkpoint-period TIME] [--checkpoint-wall SECS]"
         " [--checkpoint-dir DIR] [--checkpoint-keep N]"
@@ -145,6 +147,18 @@ int help(const char* argv0) {
       "                             incompatible with checkpointing\n"
       "  --lax-skew TIME            required with --sync-mode=lax\n"
       "  --sync-window-max TIME     optional cap on the adaptive window\n"
+      "\nOnline repartitioning (parallel runs; see DESIGN.md):\n"
+      "  --rebalance                migrate components between ranks at\n"
+      "                             sync barriers when the per-epoch event\n"
+      "                             imbalance exceeds the threshold; model\n"
+      "                             results stay byte-identical in\n"
+      "                             conservative/adaptive modes (lax\n"
+      "                             rebalances more aggressively)\n"
+      "  --rebalance-threshold X    max/mean event-rate ratio that\n"
+      "                             triggers a pass (default 1.5)\n"
+      "  --rebalance-period N       check every N sync windows "
+      "(default 8)\n"
+      "  --rebalance-max-moves N    component moves per pass (default 8)\n"
       "\nDesign-space sweeps:\n"
       "  --sweep SPEC               run the sweep described by SPEC: one\n"
       "                             child process per point, a crash-\n"
@@ -258,6 +272,10 @@ int main(int argc, char** argv) {
   std::optional<std::string> sync_mode;
   std::optional<std::string> lax_skew;
   std::optional<std::string> sync_window_max;
+  bool rebalance = false;
+  std::optional<std::string> rebalance_threshold;
+  std::optional<std::string> rebalance_period;
+  std::optional<std::string> rebalance_max_moves;
   std::optional<double> watchdog;
   std::string restart_path;
   std::optional<std::string> ckpt_period;
@@ -353,6 +371,20 @@ int main(int argc, char** argv) {
         const char* v = next();
         if (v == nullptr) return usage(argv[0]);
         sync_window_max = v;
+      } else if (arg == "--rebalance") {
+        rebalance = true;
+      } else if (arg == "--rebalance-threshold") {
+        const char* v = next();
+        if (v == nullptr) return usage(argv[0]);
+        rebalance_threshold = v;
+      } else if (arg == "--rebalance-period") {
+        const char* v = next();
+        if (v == nullptr) return usage(argv[0]);
+        rebalance_period = v;
+      } else if (arg == "--rebalance-max-moves") {
+        const char* v = next();
+        if (v == nullptr) return usage(argv[0]);
+        rebalance_max_moves = v;
       } else if (arg == "--watchdog") {
         const char* v = next();
         if (v == nullptr) return usage(argv[0]);
@@ -560,6 +592,18 @@ int main(int argc, char** argv) {
     if (lax_skew) graph.apply_override("/config/lax_skew", *lax_skew);
     if (sync_window_max) {
       graph.apply_override("/config/sync_window_max", *sync_window_max);
+    }
+    if (rebalance) graph.apply_override("/config/rebalance_mode", "on");
+    if (rebalance_threshold) {
+      graph.apply_override("/config/rebalance_threshold",
+                           *rebalance_threshold);
+    }
+    if (rebalance_period) {
+      graph.apply_override("/config/rebalance_period", *rebalance_period);
+    }
+    if (rebalance_max_moves) {
+      graph.apply_override("/config/rebalance_max_moves",
+                           *rebalance_max_moves);
     }
   } catch (const sst::ConfigError& e) {
     std::cerr << e.what() << "\n";

@@ -58,6 +58,13 @@ run_case halo16.r1.csv "$WORK/h1.csv" -- \
   "$SSTSIM" "$SYSTEMS/halo16_torus.json" --ranks 1 --stats "$WORK/h1.csv"
 run_case halo16.r4.csv "$WORK/h4.csv" -- \
   "$SSTSIM" "$SYSTEMS/halo16_torus.json" --ranks 4 --stats "$WORK/h4.csv"
+# moving_hotspot has rebalance_mode on in its SDL config: the 4-rank run
+# migrates components mid-flight, and its digest matching the serial one
+# IS the online-repartitioning determinism guarantee.
+run_case moving_hotspot.r1.csv "$WORK/mh1.csv" -- \
+  "$SSTSIM" "$SYSTEMS/moving_hotspot.json" --ranks 1 --stats "$WORK/mh1.csv"
+run_case moving_hotspot.r4.csv "$WORK/mh4.csv" -- \
+  "$SSTSIM" "$SYSTEMS/moving_hotspot.json" --ranks 4 --stats "$WORK/mh4.csv"
 
 # Interrupted-and-resumed runs: a checkpointing run's digest must equal
 # the base digest (snapshots are invisible), and a restart from the

@@ -1,0 +1,140 @@
+#!/bin/sh
+# Online-repartitioning acceptance harness (see DESIGN.md "Online
+# repartitioning").
+#
+#   1. The pinned corpus models run with --rebalance at 1/2/4 ranks under
+#      conservative and adaptive sync and must reproduce the golden
+#      serial digests byte for byte — turning the rebalancer on is
+#      invisible to the model even when it never fires.
+#   2. The moving-hotspot model (rebalance_mode on in its SDL) produces
+#      byte-identical stats at 1/2/4/8 ranks while actually migrating
+#      components (engine.rebalance migrations >= 1 under
+#      --profile-engine).
+#   3. A checkpoint taken after migrations restores byte-identically:
+#      a mid-run snapshot of the rebalanced run resumes to the same
+#      stats as the uninterrupted run.
+#   4. Lax + rebalance finishes cleanly with a lax report.
+#
+#   test_rebalance.sh <sstsim> <source_dir>
+set -u
+
+SSTSIM="${1:?usage: test_rebalance.sh <sstsim> <source_dir>}"
+SRC="${2:?missing source dir}"
+
+SYSTEMS="$SRC/examples/systems"
+DIGESTS="$SRC/tests/golden/digests.sha256"
+HOTSPOT="$SYSTEMS/moving_hotspot.json"
+
+WORK="$(mktemp -d)"
+trap 'rm -rf "$WORK"' EXIT
+
+fail=0
+
+hash_of() { sha256sum "$1" | cut -d' ' -f1; }
+
+golden_digest() {
+  awk -v name="$1" '$2 == name { print $1 }' "$DIGESTS"
+}
+
+# --- 1: --rebalance leaves the pinned corpus untouched ----------------
+for model in node_ddr3 halo16; do
+  case "$model" in
+    node_ddr3) sdl="$SYSTEMS/node_ddr3.json"; gold="node_ddr3.r1.csv" ;;
+    halo16)    sdl="$SYSTEMS/halo16_torus.json"; gold="halo16.r1.csv" ;;
+  esac
+  want="$(golden_digest "$gold")"
+  if [ -z "$want" ]; then
+    echo "rebalance: no golden digest named $gold in $DIGESTS" >&2
+    exit 1
+  fi
+  for mode in conservative adaptive; do
+    for ranks in 1 2 4; do
+      out="$WORK/$model.$mode.r$ranks.csv"
+      if ! "$SSTSIM" "$sdl" --ranks "$ranks" --sync-mode "$mode" \
+          --rebalance --stats "$out" > /dev/null 2> "$WORK/err"; then
+        echo "rebalance: $model $mode r$ranks run failed:" >&2
+        sed 's/^/  | /' "$WORK/err" >&2
+        fail=1
+        continue
+      fi
+      got="$(hash_of "$out")"
+      if [ "$got" != "$want" ]; then
+        echo "rebalance: $model $mode r$ranks stats drifted from the" >&2
+        echo "rebalance: golden serial digest ($gold)" >&2
+        fail=1
+      fi
+    done
+  done
+done
+
+# --- 2: the moving-hotspot model is rank-count invariant --------------
+run() {  # run <label> <command...>  (must exit 0)
+  label="$1"; shift
+  if ! "$@" > "$WORK/$label.out" 2> "$WORK/$label.err"; then
+    echo "rebalance: $label: command failed:" >&2
+    sed 's/^/  | /' "$WORK/$label.err" >&2
+    fail=1
+    return 1
+  fi
+}
+
+run hot_r1 "$SSTSIM" "$HOTSPOT" --ranks 1 --stats "$WORK/hot.r1.csv"
+for ranks in 2 4 8; do
+  run "hot_r$ranks" "$SSTSIM" "$HOTSPOT" --ranks "$ranks" \
+      --stats "$WORK/hot.r$ranks.csv" || continue
+  if ! cmp -s "$WORK/hot.r1.csv" "$WORK/hot.r$ranks.csv"; then
+    echo "rebalance: hotspot r$ranks stats differ from serial" >&2
+    fail=1
+  fi
+done
+
+# The invariance above must not be vacuous: under --profile-engine the
+# 4-rank run has to report actual migration passes.
+run hot_prof "$SSTSIM" "$HOTSPOT" --ranks 4 --profile-engine \
+    --stats "$WORK/hot.prof.csv"
+moves="$(awk -F, '$1 == "engine.rebalance" && $2 == "migrations" \
+    { print $4 }' "$WORK/hot.prof.csv")"
+if [ -z "$moves" ] || [ "$moves" -lt 1 ]; then
+  echo "rebalance: hotspot r4 reported no migration passes ('$moves')" >&2
+  fail=1
+fi
+
+# --- 3: checkpoint after migration resumes byte-identically -----------
+# 100us cadence on a 400us run: the first snapshot lands well after the
+# rebalancer has begun migrating (it fires every 8 epochs).
+run hot_ckpt "$SSTSIM" "$HOTSPOT" --ranks 4 --stats "$WORK/hot.ckpt.csv" \
+    --checkpoint-period 100us --checkpoint-dir "$WORK/cp" \
+    --checkpoint-keep 8
+if ! cmp -s "$WORK/hot.r1.csv" "$WORK/hot.ckpt.csv"; then
+  echo "rebalance: checkpointing run drifted from the plain run" >&2
+  fail=1
+fi
+run hot_resume "$SSTSIM" --restart "$WORK/cp" --ranks 4 \
+    --stats "$WORK/hot.resume.csv"
+if ! cmp -s "$WORK/hot.r1.csv" "$WORK/hot.resume.csv"; then
+  echo "rebalance: restart from a post-migration snapshot is not" >&2
+  echo "rebalance: byte-identical to the uninterrupted run" >&2
+  fail=1
+fi
+# Resume from the oldest retained snapshot too: it forces the restored
+# run to replay (and re-apply) later migrations itself.
+oldest="$WORK/cp/$(ls "$WORK/cp" | head -1)"
+run hot_resume_old "$SSTSIM" --restart "$oldest" --ranks 4 \
+    --stats "$WORK/hot.resume_old.csv"
+if ! cmp -s "$WORK/hot.r1.csv" "$WORK/hot.resume_old.csv"; then
+  echo "rebalance: restart from the oldest snapshot drifted" >&2
+  fail=1
+fi
+
+# --- 4: lax + rebalance completes cleanly -----------------------------
+run hot_lax "$SSTSIM" "$HOTSPOT" --ranks 4 --sync-mode lax \
+    --lax-skew 2us --stats "$WORK/hot.lax.csv"
+if ! grep -q '^lax: ' "$WORK/hot_lax.err"; then
+  echo "rebalance: lax hotspot run missing its lax report" >&2
+  fail=1
+fi
+
+if [ "$fail" -ne 0 ]; then exit 1; fi
+echo "rebalance: corpus goldens unchanged under --rebalance;" \
+     "hotspot byte-identical at 1/2/4/8 ranks with $moves migration" \
+     "passes; post-migration checkpoints resume byte-identically"
