@@ -1,0 +1,112 @@
+#!/bin/sh
+# E20: the cost of address translation on the cache/DRAM path.
+#
+#   bench/bench_vm_translation.sh [build_dir]
+#
+# Runs the translation-bound node_vm example four ways through sstsim:
+#
+#   vm_on     the full path (two-level TLB, radix-4 walker, 16-entry
+#             walk cache, 2MiB promotion)
+#   vm_off    --override /vm/enable=false: the TLB degrades to
+#             pass-through and the core issues physical addresses
+#   wc_off    --override /vm/walker/walk_cache_entries=0: every walk
+#             pays the full radix depth in PTE reads
+#   huge_off  --override /vm/walker/huge_pages=none: no 2MiB promotion,
+#             so the TLB's reach stays 4KiB pages
+#
+# and records committed instructions (the work the core got done in the
+# model's fixed 30us window), TLB walks, PTE reads and wall time per arm
+# under the "vm_translation" key of BENCH_pdes.json (the baseline /
+# current / speedup sections are owned by run_benchmarks.sh and left
+# untouched).
+set -eu
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD="${1:-$ROOT/build-bench}"
+OUT="$ROOT/BENCH_pdes.json"
+
+cmake -B "$BUILD" -S "$ROOT" -DCMAKE_BUILD_TYPE=Release
+cmake --build "$BUILD" --target sstsim \
+    -j"$(getconf _NPROCESSORS_ONLN)"
+
+python3 - "$ROOT" "$BUILD" "$OUT" <<'EOF'
+import csv, json, os, subprocess, sys, tempfile, time
+
+root, build, out_path = sys.argv[1], sys.argv[2], sys.argv[3]
+sstsim = os.path.join(build, "src/tools/sstsim")
+model = os.path.join(root, "examples/systems/node_vm.json")
+
+work = tempfile.mkdtemp(prefix="sst_vm_bench_")
+
+ARMS = [
+    ("vm_on", []),
+    ("vm_off", ["--override", "/vm/enable=false"]),
+    ("wc_off", ["--override", "/vm/walker/walk_cache_entries=0"]),
+    ("huge_off", ["--override", "/vm/walker/huge_pages=none"]),
+]
+
+def stat(rows, component, statistic):
+    return rows.get((component, statistic, "count"), 0.0)
+
+record = {}
+print("vm translation bench: node_vm.json, 4 arms")
+for name, extra in ARMS:
+    stats_path = os.path.join(work, name + ".csv")
+    t0 = time.monotonic()
+    subprocess.run([sstsim, model, "--stats", stats_path] + extra,
+                   check=True, stdout=subprocess.DEVNULL)
+    dt = time.monotonic() - t0
+    rows = {}
+    with open(stats_path) as f:
+        for r in csv.reader(f):
+            if len(r) != 4:
+                continue
+            try:
+                rows[(r[0], r[1], r[2])] = float(r[3])
+            except ValueError:
+                continue  # header row
+    arm = {
+        "instructions": int(stat(rows, "cpu", "instructions")),
+        "tlb_walks": int(stat(rows, "tlb", "walks")),
+        "pte_reads": int(stat(rows, "ptw", "pte_reads")),
+        "promotions": int(stat(rows, "ptw", "promotions")),
+        "wall_seconds": round(dt, 3),
+    }
+    record[name] = arm
+    print(f"  {name}: {arm['instructions']} instructions, "
+          f"{arm['tlb_walks']} walks, {arm['pte_reads']} PTE reads, "
+          f"{arm['promotions']} promotions ({dt:.2f}s wall)")
+
+on, off = record["vm_on"], record["vm_off"]
+if off["instructions"] < on["instructions"]:
+    sys.exit("vm bench: translation made the core FASTER than "
+             "pass-through; the model is not measuring overhead")
+record["translation_overhead_pct"] = round(
+    100.0 * (off["instructions"] - on["instructions"])
+    / off["instructions"], 2)
+record["walk_cache_pte_read_savings_pct"] = round(
+    100.0 * (record["wc_off"]["pte_reads"] - on["pte_reads"])
+    / max(1, record["wc_off"]["pte_reads"]), 2)
+
+try:
+    rev = subprocess.run(["git", "rev-parse", "--short", "HEAD"],
+                         capture_output=True, text=True,
+                         check=True).stdout.strip()
+except Exception:
+    rev = "unknown"
+record["git_rev"] = rev
+
+try:
+    with open(out_path) as f:
+        doc = json.load(f)
+except (OSError, ValueError):
+    doc = {}
+doc["vm_translation"] = record
+with open(out_path, "w") as f:
+    json.dump(doc, f, indent=2)
+    f.write("\n")
+print(f"wrote {out_path} (vm_translation: "
+      f"{record['translation_overhead_pct']}% instruction overhead, "
+      f"walk cache saves "
+      f"{record['walk_cache_pte_read_savings_pct']}% of PTE reads)")
+EOF

@@ -63,11 +63,20 @@ class MemEvent final : public Event {
   [[nodiscard]] std::uint32_t bus_src() const { return bus_src_; }
   void set_bus_src(std::uint32_t p) { bus_src_ = p; }
 
+  /// True while addr() is a virtual address that still needs translation
+  /// by a vm.Tlb; cleared when the TLB rewrites the address. The asid
+  /// names the address space the virtual address belongs to.
+  [[nodiscard]] bool virt() const { return virt_; }
+  void set_virt(bool v) { virt_ = v; }
+  [[nodiscard]] std::uint32_t asid() const { return asid_; }
+  void set_asid(std::uint32_t a) { asid_ = a; }
+
   /// Builds the matching response event (same id / addr / size).
   [[nodiscard]] EventPtr make_response() const {
     auto resp =
         std::make_unique<MemEvent>(response_for(cmd_), addr_, size_, req_id_);
     resp->bus_src_ = bus_src_;
+    resp->asid_ = asid_;
     return resp;
   }
 
@@ -91,6 +100,8 @@ class MemEvent final : public Event {
   std::uint32_t size_;
   std::uint64_t req_id_;
   std::uint32_t bus_src_ = 0;
+  bool virt_ = false;
+  std::uint32_t asid_ = 0;
 };
 
 }  // namespace sst::mem

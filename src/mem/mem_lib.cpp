@@ -7,7 +7,7 @@
 namespace sst::mem {
 
 void MemEvent::ckpt_fields(ckpt::Serializer& s) {
-  s & cmd_ & addr_ & size_ & req_id_ & bus_src_;
+  s & cmd_ & addr_ & size_ & req_id_ & bus_src_ & virt_ & asid_;
 }
 
 void SnoopEvent::ckpt_fields(ckpt::Serializer& s) {

@@ -13,6 +13,8 @@ Core::Core(Params& params) {
   max_loads_ = params.find<std::uint32_t>("max_loads", 8);
   max_stores_ = params.find<std::uint32_t>("max_stores", 8);
   line_split_ = params.find<std::uint32_t>("line_split", 64);
+  virt_ = params.find<bool>("virt", false);
+  asid_ = params.find<std::uint32_t>("asid", 0);
   if (issue_width_ == 0) {
     throw ConfigError("core '" + name() + "': issue_width must be >= 1");
   }
@@ -60,7 +62,12 @@ void Core::send_mem(mem::MemCmd cmd, Addr addr, std::uint32_t size) {
   } else {
     ++outstanding_stores_;
   }
-  mem_link_->send(std::make_unique<mem::MemEvent>(cmd, addr, size, id));
+  auto ev = std::make_unique<mem::MemEvent>(cmd, addr, size, id);
+  if (virt_) {
+    ev->set_virt(true);
+    ev->set_asid(asid_);
+  }
+  mem_link_->send(std::move(ev));
 }
 
 bool Core::try_issue(const Op& op) {

@@ -55,6 +55,9 @@ class Core final : public Component {
   }
   [[nodiscard]] SimTime clock_period() const { return period_; }
   [[nodiscard]] unsigned issue_width() const { return issue_width_; }
+  /// True when memory requests carry virtual addresses for a vm.Tlb.
+  [[nodiscard]] bool virtual_addressing() const { return virt_; }
+  [[nodiscard]] std::uint32_t asid() const { return asid_; }
 
   void serialize_state(ckpt::Serializer& s) override;
 
@@ -75,6 +78,8 @@ class Core final : public Component {
   unsigned max_loads_;
   unsigned max_stores_;
   std::uint32_t line_split_;
+  bool virt_;
+  std::uint32_t asid_;
 
   std::optional<Op> pending_;
   bool stream_done_ = false;

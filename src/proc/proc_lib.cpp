@@ -19,6 +19,8 @@ void register_library() {
         {"max_loads", "load-queue entries", "8"},
         {"max_stores", "store-queue entries", "8"},
         {"line_split", "memory-access split granularity in bytes", "64"},
+        {"virt", "emit virtual addresses for a downstream vm.Tlb", "false"},
+        {"asid", "address-space id stamped on memory requests", "0"},
         {"workload",
          "kernel: stream | hpccg | lulesh | minimd | gups | chase", "stream"},
         {"iterations", "workload outer iterations", "workload-specific"},

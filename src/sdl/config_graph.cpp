@@ -69,6 +69,29 @@ const char* partition_name(PartitionStrategy strategy) {
   return "?";
 }
 
+/// Reads a JSON object of scalar values into `out` as stringified params;
+/// `ctx` prefixes error messages ("component 'cpu0'", "vm tlb", ...).
+void read_scalar_params(const JsonValue& jp, const std::string& ctx,
+                        Params& out) {
+  for (const auto& [k, v] : jp.as_object()) {
+    if (v.is_string()) {
+      out.set(k, v.as_string());
+    } else if (v.is_number()) {
+      // Normalize integral numbers to integer strings.
+      const double d = v.as_number();
+      if (d == static_cast<double>(static_cast<long long>(d))) {
+        out.set(k, std::to_string(static_cast<long long>(d)));
+      } else {
+        out.set(k, std::to_string(d));
+      }
+    } else if (v.is_bool()) {
+      out.set(k, v.as_bool() ? "true" : "false");
+    } else {
+      throw ConfigError(ctx + " param '" + k + "' must be a scalar");
+    }
+  }
+}
+
 /// Fault probabilities + parsed delay bounds for one ConfigLinkFault.
 /// Throws ConfigError on bad times or probabilities.
 fault::LinkFaultConfig link_fault_config(const ConfigLinkFault& f) {
@@ -133,6 +156,15 @@ std::vector<std::string> ConfigGraph::validate(const Factory& factory) const {
       if (!seen.insert(e).second) {
         problems.push_back("network endpoint listed twice: '" + e + "'");
       }
+    }
+  }
+  if (vm_.present && vm_.enable) {
+    const bool any_tlb = std::any_of(
+        components_.begin(), components_.end(),
+        [](const ConfigComponent& c) { return c.type == "vm.Tlb"; });
+    if (!any_tlb) {
+      problems.push_back(
+          "\"vm\" section is enabled but the model has no vm.Tlb component");
     }
   }
   if (!sim_config_.stats_format.empty() &&
@@ -236,8 +268,32 @@ std::unique_ptr<Simulation> ConfigGraph::build(const Factory& factory) const {
     throw ConfigError(msg);
   }
   auto sim = std::make_unique<Simulation>(sim_config_);
+  std::uint32_t core_order = 0;
   for (const auto& c : components_) {
     Params params = c.params;  // components may mutate their param view
+    if (vm_.present) {
+      // Section defaults sit under the component's own params (which win);
+      // enable=false degrades TLBs to pass-throughs and keeps cores on
+      // physical addresses so the same topology benches vm_on vs vm_off.
+      if (c.type == "vm.Tlb") {
+        Params merged = vm_.tlb_defaults;
+        merged.merge(params);
+        params = std::move(merged);
+        if (!vm_.enable) params.set("enabled", "false");
+      } else if (c.type == "vm.PageTableWalker") {
+        Params merged = vm_.walker_defaults;
+        merged.merge(params);
+        params = std::move(merged);
+      } else if (c.type == "proc.Core") {
+        if (vm_.enable && !params.contains("virt")) {
+          params.set("virt", "true");
+        }
+        if (vm_.enable && !params.contains("asid")) {
+          params.set("asid", std::to_string(core_order));
+        }
+        ++core_order;
+      }
+    }
     factory.create(*sim, c.type, c.name, params);
     if (c.rank) sim->set_component_rank(c.name, *c.rank);
   }
@@ -333,24 +389,8 @@ ConfigGraph ConfigGraph::from_json(const JsonValue& doc) {
       cc.name = jc.at("name").as_string();
       cc.type = jc.at("type").as_string();
       if (jc.has("params")) {
-        for (const auto& [k, v] : jc.at("params").as_object()) {
-          if (v.is_string()) {
-            cc.params.set(k, v.as_string());
-          } else if (v.is_number()) {
-            // Normalize integral numbers to integer strings.
-            const double d = v.as_number();
-            if (d == static_cast<double>(static_cast<long long>(d))) {
-              cc.params.set(k, std::to_string(static_cast<long long>(d)));
-            } else {
-              cc.params.set(k, std::to_string(d));
-            }
-          } else if (v.is_bool()) {
-            cc.params.set(k, v.as_bool() ? "true" : "false");
-          } else {
-            throw ConfigError("component '" + cc.name + "' param '" + k +
-                              "' must be a scalar");
-          }
-        }
+        read_scalar_params(jc.at("params"), "component '" + cc.name + "'",
+                           cc.params);
       }
       if (jc.has("rank")) {
         cc.rank = static_cast<RankId>(jc.at("rank").as_number());
@@ -413,6 +453,18 @@ ConfigGraph ConfigGraph::from_json(const JsonValue& doc) {
         cl.latency_back = jl.at("latency_back").as_string();
       }
       graph.links_.push_back(std::move(cl));
+    }
+  }
+  if (doc.has("vm")) {
+    const JsonValue& jv = doc.at("vm");
+    ConfigVm& vm = graph.vm_;
+    vm.present = true;
+    vm.enable = jv.get_bool("enable", true);
+    if (jv.has("tlb")) {
+      read_scalar_params(jv.at("tlb"), "vm tlb", vm.tlb_defaults);
+    }
+    if (jv.has("walker")) {
+      read_scalar_params(jv.at("walker"), "vm walker", vm.walker_defaults);
     }
   }
   if (doc.has("faults")) {
@@ -662,8 +714,25 @@ void ConfigGraph::apply_override(std::string_view path,
     return;
   }
 
+  if (seg[0] == "vm") {
+    if (!vm_.present) fail("model declares no \"vm\" section");
+    if (seg.size() == 2 && seg[1] == "enable") {
+      vm_.enable = detail::parse_param<bool>(value, p);
+      return;
+    }
+    if (seg.size() == 3 && seg[1] == "tlb") {
+      vm_.tlb_defaults.set(seg[2], value);
+      return;
+    }
+    if (seg.size() == 3 && seg[1] == "walker") {
+      vm_.walker_defaults.set(seg[2], value);
+      return;
+    }
+    fail("expected /vm/enable, /vm/tlb/<key>, or /vm/walker/<key>");
+  }
+
   fail("unknown root '" + seg[0] +
-       "' (known: /config, /components, /links, /network)");
+       "' (known: /config, /components, /links, /network, /vm)");
 }
 
 JsonValue ConfigGraph::to_json() const {
@@ -761,6 +830,26 @@ JsonValue ConfigGraph::to_json() const {
     for (const auto& e : network_.endpoints) eps.push_back(JsonValue(e));
     jn["endpoints"] = JsonValue(std::move(eps));
     doc["network"] = JsonValue(std::move(jn));
+  }
+
+  if (vm_.present) {
+    JsonObject jv;
+    jv["enable"] = JsonValue(vm_.enable);
+    if (!vm_.tlb_defaults.keys().empty()) {
+      JsonObject jt;
+      for (const auto& k : vm_.tlb_defaults.keys()) {
+        jt[k] = JsonValue(*vm_.tlb_defaults.raw(k));
+      }
+      jv["tlb"] = JsonValue(std::move(jt));
+    }
+    if (!vm_.walker_defaults.keys().empty()) {
+      JsonObject jw;
+      for (const auto& k : vm_.walker_defaults.keys()) {
+        jw[k] = JsonValue(*vm_.walker_defaults.raw(k));
+      }
+      jv["walker"] = JsonValue(std::move(jw));
+    }
+    doc["vm"] = JsonValue(std::move(jv));
   }
 
   if (!faults_.empty()) {

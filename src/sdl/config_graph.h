@@ -31,6 +31,15 @@
 //     "link_bandwidth": "10GB/s", "link_latency": "20ns",
 //     "endpoints": ["rank0", "rank1", "rank2", "rank3"]
 //   },
+//   // optional: virtual-memory defaults for vm.Tlb / vm.PageTableWalker
+//   // components; component params win over these defaults.  enable=false
+//   // turns every vm.Tlb into a pass-through (physical addressing) without
+//   // touching the topology.
+//   "vm": {
+//     "enable": true,
+//     "tlb": { "levels": 2, "l1_sets": 16, "l1_ways": 4 },
+//     "walker": { "walk_depth": 4, "huge_pages": "promote" }
+//   },
 //   // optional: deterministic fault injection (see src/fault)
 //   "faults": {
 //     "seed": 99,                     // fault RNG seed (default: config seed)
@@ -125,6 +134,17 @@ struct ConfigFaults {
   [[nodiscard]] bool empty() const { return links.empty() && ports.empty(); }
 };
 
+/// Virtual-memory section (optional): defaults merged under every vm.Tlb /
+/// vm.PageTableWalker component's params (component params win), plus an
+/// enable switch that degrades every vm.Tlb to a pass-through and stops
+/// proc.Core components from emitting virtual addresses.
+struct ConfigVm {
+  bool present = false;
+  bool enable = true;
+  Params tlb_defaults;
+  Params walker_defaults;
+};
+
 class ConfigGraph {
  public:
   ConfigGraph() = default;
@@ -147,6 +167,8 @@ class ConfigGraph {
   [[nodiscard]] const ConfigNetwork& network() const { return network_; }
   [[nodiscard]] ConfigFaults& faults() { return faults_; }
   [[nodiscard]] const ConfigFaults& faults() const { return faults_; }
+  [[nodiscard]] ConfigVm& vm() { return vm_; }
+  [[nodiscard]] const ConfigVm& vm() const { return vm_; }
 
   /// Structural validation: unique names, known types (against the given
   /// factory), link endpoints exist, no port used twice, parsable
@@ -173,6 +195,9 @@ class ConfigGraph {
   ///   /links/<index>/latency[_back]     link latency overrides
   ///   /network/<key>                    fabric knobs (topology, x, y,
   ///                                     link_latency, routing, ...)
+  ///   /vm/enable                        virtual addressing on/off
+  ///   /vm/tlb/<key>                     vm.Tlb default parameter
+  ///   /vm/walker/<key>                  vm.PageTableWalker default parameter
   ///
   /// This is the substrate of DSE sweep axes (src/dse): every axis path
   /// resolves through here.  Unknown paths throw ConfigError naming the
@@ -190,6 +215,7 @@ class ConfigGraph {
   std::vector<ConfigLink> links_;
   ConfigNetwork network_;
   ConfigFaults faults_;
+  ConfigVm vm_;
   SimConfig sim_config_;
 };
 

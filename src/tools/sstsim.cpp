@@ -16,6 +16,9 @@
 //   --end <time>         override the end time, e.g. "2ms"
 //   --seed <n>           override the global seed
 //   --fault-seed <n>     override the fault-injection seed
+//   --override <p>=<v>   apply a ConfigGraph override (the same paths a
+//                        sweep axis uses, e.g. /vm/enable=false or
+//                        /components/l1/params/size=64KiB); repeatable
 //   --sync-mode <mode>   parallel synchronization protocol:
 //                        conservative (default, byte-identical results),
 //                        adaptive (byte-identical results, windows grow
@@ -75,6 +78,7 @@
 #include "mem/mem_lib.h"
 #include "net/net_lib.h"
 #include "proc/proc_lib.h"
+#include "vm/vm_lib.h"
 #include "sdl/config_graph.h"
 
 #ifndef SSTSIM_VERSION
@@ -97,6 +101,7 @@ void print_options(std::ostream& os, const char* argv0) {
         " [--metrics out.jsonl] [--metrics-period TIME]"
         " [--profile-engine] [--validate]"
         " [--ranks N] [--end TIME] [--seed N] [--fault-seed N]"
+        " [--override /path=value]..."
         " [--sync-mode conservative|adaptive|lax] [--lax-skew TIME]"
         " [--sync-window-max TIME]"
         " [--rebalance] [--rebalance-threshold X]"
@@ -254,6 +259,7 @@ void write_stats(const sst::StatisticsRegistry& stats, std::ostream& os,
 int main(int argc, char** argv) {
   sst::mem::register_library();
   sst::proc::register_library();
+  sst::vm::register_library();
   sst::net::register_library();
 
   std::string input;
@@ -288,6 +294,7 @@ int main(int argc, char** argv) {
   std::string daemon_socket;
   std::string daemon_out;
   std::string daemon_id;
+  std::vector<std::pair<std::string, std::string>> overrides;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -359,6 +366,17 @@ int main(int argc, char** argv) {
         const char* v = next();
         if (v == nullptr) return usage(argv[0]);
         fault_seed = std::stoull(v);
+      } else if (arg == "--override") {
+        const char* v = next();
+        if (v == nullptr) return usage(argv[0]);
+        const std::string kv = v;
+        const auto eq = kv.find('=');
+        if (eq == std::string::npos || eq == 0) {
+          std::cerr << "--override expects /path=value, got '" << kv
+                    << "'\n";
+          return usage(argv[0]);
+        }
+        overrides.emplace_back(kv.substr(0, eq), kv.substr(eq + 1));
       } else if (arg == "--sync-mode") {
         const char* v = next();
         if (v == nullptr) return usage(argv[0]);
@@ -588,6 +606,11 @@ int main(int argc, char** argv) {
   if (seed) sc.seed = *seed;
   if (fault_seed) sc.fault_seed = *fault_seed;
   try {
+    // Generic overrides first, then the structured flags, so an explicit
+    // --sync-mode wins over an --override of the same path.
+    for (const auto& [path, value] : overrides) {
+      graph.apply_override(path, value);
+    }
     if (sync_mode) graph.apply_override("/config/sync_mode", *sync_mode);
     if (lax_skew) graph.apply_override("/config/lax_skew", *lax_skew);
     if (sync_window_max) {

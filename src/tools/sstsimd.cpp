@@ -39,6 +39,7 @@
 #include "mem/mem_lib.h"
 #include "net/net_lib.h"
 #include "proc/proc_lib.h"
+#include "vm/vm_lib.h"
 
 #ifndef SSTSIM_VERSION
 #define SSTSIM_VERSION "dev"
@@ -92,6 +93,7 @@ int help(const char* argv0) {
 int main(int argc, char** argv) {
   sst::mem::register_library();
   sst::proc::register_library();
+  sst::vm::register_library();
   sst::net::register_library();
 
   sst::daemon::DaemonOptions options;

@@ -1,0 +1,95 @@
+#include "vm/page_table.h"
+
+#include "ckpt/serializer.h"
+
+namespace sst::vm {
+
+namespace {
+
+/// Uniform [0, 1) from a hash value.
+[[nodiscard]] double to_unit(std::uint64_t h) {
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+/// Domain-separation tags so mappings, table placement, and policy draws
+/// come from independent streams of the same seed.
+constexpr std::uint64_t kTagMap = 0x6d617070ULL;    // "mapp"
+constexpr std::uint64_t kTagTable = 0x7461626cULL;  // "tabl"
+constexpr std::uint64_t kTagHuge = 0x68756765ULL;   // "huge"
+
+}  // namespace
+
+bool PageTable::statically_huge(std::uint32_t asid, Addr region,
+                                std::uint32_t page_bits,
+                                double ratio) const {
+  if (ratio <= 0.0) return false;
+  if (ratio >= 1.0) return true;
+  const std::uint64_t h =
+      vm_mix(cfg_.seed ^ kTagHuge,
+             (static_cast<std::uint64_t>(asid) << 8) | page_bits, region);
+  return to_unit(h) < ratio;
+}
+
+PageTable::Mapping PageTable::resolve(std::uint32_t asid, Addr vaddr) const {
+  std::uint32_t bits = kPageShift;
+  if (cfg_.policy == HugePolicy::kStatic) {
+    if (cfg_.allow_1g &&
+        statically_huge(asid, vaddr >> 30, 30, cfg_.giga_ratio)) {
+      bits = 30;
+    } else if (cfg_.allow_2m &&
+               statically_huge(asid, vaddr >> 21, 21, cfg_.huge_ratio)) {
+      bits = 21;
+    }
+  } else if (cfg_.policy == HugePolicy::kPromote) {
+    if (cfg_.allow_2m && promoted_.contains({asid, vaddr >> 21})) bits = 21;
+  }
+
+  Mapping m;
+  m.page_bits = static_cast<std::uint8_t>(bits);
+  m.vbase = vaddr & ~((Addr{1} << bits) - 1);
+  if (cfg_.phys_bits > bits) {
+    const std::uint64_t frames = std::uint64_t{1} << (cfg_.phys_bits - bits);
+    const std::uint64_t frame =
+        vm_mix(cfg_.seed ^ kTagMap,
+               (static_cast<std::uint64_t>(asid) << 8) | bits, m.vbase) &
+        (frames - 1);
+    m.pbase = static_cast<Addr>(frame) << bits;
+  }
+  return m;
+}
+
+Addr PageTable::pte_addr(std::uint32_t asid, std::uint32_t level,
+                         Addr vaddr) const {
+  // The table read at `level` is shared by every vaddr with the same index
+  // prefix above it; its 4KiB frame is a hash of that prefix.
+  const std::uint32_t prefix_shift = page_bits_at(level + 1);
+  const std::uint64_t prefix = prefix_shift < 64 ? vaddr >> prefix_shift : 0;
+  const std::uint64_t frames =
+      std::uint64_t{1} << (cfg_.phys_bits - kPageShift);
+  const std::uint64_t frame =
+      vm_mix(cfg_.seed ^ kTagTable,
+             (static_cast<std::uint64_t>(asid) << 8) | level, prefix) &
+      (frames - 1);
+  const std::uint64_t index =
+      (vaddr >> page_bits_at(level)) & ((1U << kRadixBits) - 1);
+  return (static_cast<Addr>(frame) << kPageShift) | (index * cfg_.pte_size);
+}
+
+std::optional<Addr> PageTable::note_walk(std::uint32_t asid, Addr vaddr) {
+  if (cfg_.policy != HugePolicy::kPromote || !cfg_.allow_2m) {
+    return std::nullopt;
+  }
+  const std::pair<std::uint32_t, std::uint64_t> region{asid, vaddr >> 21};
+  if (promoted_.contains(region)) return std::nullopt;
+  if (++counts_[region] < cfg_.promote_threshold) return std::nullopt;
+  promoted_.insert(region);
+  counts_.erase(region);
+  return static_cast<Addr>(region.second) << 21;
+}
+
+void PageTable::ckpt_io(ckpt::Serializer& s) {
+  // Config is reconstructed from params; only policy state is dynamic.
+  s & counts_ & promoted_;
+}
+
+}  // namespace sst::vm

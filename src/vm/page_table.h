@@ -1,0 +1,120 @@
+// OS-lite page-table model: a deterministic, storage-free description of
+// every address space's translation, plus the huge-page policy.
+//
+// Real page-table contents are never materialized.  A mapping is a pure
+// function of (seed, asid, page) — the same idiom the workload kernels use
+// for address streams — so translation is reproducible across ranks,
+// checkpoints, and migrations without shipping gigabytes of PTEs.  What
+// *is* dynamic (and therefore serialized) is the promotion state: per-2MiB
+// -region walk counters and the set of regions promoted to huge pages.
+//
+// Page sizes follow the x86-64 radix shape: 4KiB leaves at level 1, 2MiB
+// at level 2, 1GiB at level 3, with 9 index bits per level.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <set>
+#include <utility>
+
+#include "core/types.h"
+#include "mem/mem_event.h"
+
+namespace sst::ckpt {
+class Serializer;
+}
+
+namespace sst::vm {
+
+using Addr = mem::Addr;
+
+/// Index bits per radix level (x86-64 shape: 512-entry tables).
+inline constexpr std::uint32_t kRadixBits = 9;
+inline constexpr std::uint32_t kPageShift = 12;  // 4KiB base pages
+
+/// Bits of address one PTE at `level` translates: level 1 -> 12 (4KiB),
+/// level 2 -> 21 (2MiB), level 3 -> 30 (1GiB), ...
+[[nodiscard]] constexpr std::uint32_t page_bits_at(std::uint32_t level) {
+  return kPageShift + kRadixBits * (level - 1);
+}
+
+class PageTable {
+ public:
+  enum class HugePolicy : std::uint8_t {
+    kNone,     // every mapping is a 4KiB page
+    kStatic,   // a deterministic fraction of regions is huge from the start
+    kPromote,  // regions promote to 2MiB after promote_threshold 4KiB walks
+  };
+
+  struct Config {
+    std::uint64_t seed = 1;
+    std::uint32_t phys_bits = 33;      // modeled physical address width
+    std::uint32_t pte_size = 8;        // bytes per page-table entry
+    bool allow_2m = false;
+    bool allow_1g = false;
+    HugePolicy policy = HugePolicy::kNone;
+    double huge_ratio = 0.25;          // static: fraction of 2MiB regions
+    double giga_ratio = 0.0;           // static: fraction of 1GiB regions
+    std::uint32_t promote_threshold = 64;
+  };
+
+  struct Mapping {
+    Addr vbase = 0;
+    Addr pbase = 0;
+    std::uint8_t page_bits = kPageShift;
+  };
+
+  PageTable() = default;
+  explicit PageTable(Config cfg) : cfg_(cfg) {}
+
+  [[nodiscard]] const Config& config() const { return cfg_; }
+
+  /// The mapping covering `vaddr` in address space `asid` under the current
+  /// policy/promotion state.  Pure given the promotion state.
+  [[nodiscard]] Mapping resolve(std::uint32_t asid, Addr vaddr) const;
+
+  /// Physical address of the PTE read at `level` of a walk for `vaddr`
+  /// (level walk_depth is the root, level 1 the 4KiB leaf).  Adjacent
+  /// virtual addresses share tables, so walker traffic has real spatial
+  /// locality in the caches below.
+  [[nodiscard]] Addr pte_addr(std::uint32_t asid, std::uint32_t level,
+                              Addr vaddr) const;
+
+  /// Promotion bookkeeping: records one completed walk that resolved to a
+  /// 4KiB page.  Returns the 2MiB region base newly promoted by this walk
+  /// (the caller owes the TLBs a shootdown), or nullopt.
+  std::optional<Addr> note_walk(std::uint32_t asid, Addr vaddr);
+
+  [[nodiscard]] std::size_t promoted_regions() const {
+    return promoted_.size();
+  }
+
+  void ckpt_io(ckpt::Serializer& s);
+
+ private:
+  [[nodiscard]] bool statically_huge(std::uint32_t asid, Addr region,
+                                     std::uint32_t page_bits,
+                                     double ratio) const;
+
+  Config cfg_;
+  // (asid, vaddr >> 21) -> completed 4KiB walks in the region.
+  std::map<std::pair<std::uint32_t, std::uint64_t>, std::uint32_t> counts_;
+  std::set<std::pair<std::uint32_t, std::uint64_t>> promoted_;
+};
+
+/// splitmix64 finalizer: the deterministic hash behind every synthetic
+/// mapping and table placement.
+[[nodiscard]] constexpr std::uint64_t vm_mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+[[nodiscard]] constexpr std::uint64_t vm_mix(std::uint64_t a, std::uint64_t b,
+                                             std::uint64_t c) {
+  return vm_mix64(a ^ vm_mix64(b ^ vm_mix64(c)));
+}
+
+}  // namespace sst::vm

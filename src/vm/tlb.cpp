@@ -1,0 +1,275 @@
+#include "vm/tlb.h"
+
+#include <algorithm>
+#include <string>
+#include <utility>
+
+#include "ckpt/serializer.h"
+#include "vm/page_table.h"
+
+namespace sst::vm {
+
+namespace {
+[[nodiscard]] bool is_power_of_two(std::uint64_t v) {
+  return v != 0 && (v & (v - 1)) == 0;
+}
+}  // namespace
+
+Tlb::Tlb(Params& params) {
+  enabled_ = params.find<bool>("enabled", true);
+  const auto nlevels = params.find<std::uint32_t>("levels", 2);
+  if (nlevels < 1 || nlevels > 4) {
+    throw ConfigError("tlb '" + name() + "': levels must be 1..4");
+  }
+  // Per-level geometry defaults sketch a small L1 backed by a larger,
+  // slower L2 (and beyond).
+  static constexpr std::uint32_t kDefSets[] = {16, 128, 256, 256};
+  static constexpr std::uint32_t kDefWays[] = {4, 8, 8, 8};
+  static constexpr const char* kDefLat[] = {"300ps", "1ns", "2ns", "2ns"};
+  for (std::uint32_t i = 1; i <= nlevels; ++i) {
+    const std::string pfx = "l" + std::to_string(i) + "_";
+    Level lvl;
+    lvl.sets = params.find<std::uint32_t>(pfx + "sets", kDefSets[i - 1]);
+    lvl.ways = params.find<std::uint32_t>(pfx + "ways", kDefWays[i - 1]);
+    lvl.latency = params.find_period(pfx + "latency", kDefLat[i - 1]);
+    if (!is_power_of_two(lvl.sets)) {
+      throw ConfigError("tlb '" + name() + "': " + pfx +
+                        "sets must be a power of 2");
+    }
+    if (lvl.ways == 0) {
+      throw ConfigError("tlb '" + name() + "': " + pfx + "ways must be >= 1");
+    }
+    miss_latency_ += lvl.latency;
+    levels_.push_back(lvl);
+    entries_.emplace_back(
+        static_cast<std::size_t>(lvl.sets) * lvl.ways, Entry{});
+  }
+
+  auto sizes = params.find_array<UnitAlgebra>("page_sizes");
+  if (sizes.empty()) sizes = {UnitAlgebra("4KiB"), UnitAlgebra("2MiB"),
+                              UnitAlgebra("1GiB")};
+  for (const auto& sz : sizes) {
+    const std::uint64_t bytes = sz.to_bytes();
+    if (!is_power_of_two(bytes) || bytes < (1ULL << kPageShift)) {
+      throw ConfigError("tlb '" + name() +
+                        "': page_sizes entries must be powers of 2 >= 4KiB");
+    }
+    std::uint8_t bits = 0;
+    for (std::uint64_t b = bytes; b > 1; b >>= 1) ++bits;
+    probe_bits_.push_back(bits);
+  }
+  std::sort(probe_bits_.begin(), probe_bits_.end());
+  probe_bits_.erase(std::unique(probe_bits_.begin(), probe_bits_.end()),
+                    probe_bits_.end());
+
+  cpu_link_ = configure_link(
+      "cpu", [this](EventPtr ev) { handle_cpu(std::move(ev)); });
+  mem_link_ = configure_link(
+      "mem", [this](EventPtr ev) { handle_mem(std::move(ev)); });
+  ptw_link_ = configure_link(
+      "ptw", [this](EventPtr ev) { handle_ptw(std::move(ev)); },
+      /*optional=*/!enabled_);
+  inval_link_ = configure_link(
+      "inval", [this](EventPtr ev) { handle_inval(std::move(ev)); },
+      /*optional=*/true);
+
+  for (std::uint32_t i = 1; i <= nlevels; ++i) {
+    hits_.push_back(stat_counter("l" + std::to_string(i) + "_hits"));
+    misses_.push_back(stat_counter("l" + std::to_string(i) + "_misses"));
+  }
+  walks_ = stat_counter("walks");
+  walk_merges_ = stat_counter("walk_merges");
+  bypassed_ = stat_counter("bypassed");
+  shootdowns_ = stat_counter("shootdowns");
+  inval_entries_ = stat_counter("inval_entries");
+  walk_latency_ = stat_accumulator("walk_latency_ps");
+}
+
+Tlb::LookupResult Tlb::lookup(std::uint32_t asid, Addr vaddr) {
+  LookupResult r;
+  SimTime latency = 0;
+  for (std::uint32_t li = 0; li < levels_.size(); ++li) {
+    const Level& lvl = levels_[li];
+    latency += lvl.latency;
+    for (const std::uint8_t pb : probe_bits_) {
+      const Addr vbase = vaddr & ~((Addr{1} << pb) - 1);
+      const std::uint32_t set =
+          static_cast<std::uint32_t>(vaddr >> pb) & (lvl.sets - 1);
+      for (std::uint32_t w = 0; w < lvl.ways; ++w) {
+        Entry& e = entries_[li][static_cast<std::size_t>(set) * lvl.ways + w];
+        if (e.valid && e.page_bits == pb && e.asid == asid &&
+            e.vbase == vbase) {
+          e.lru = lru_clock_++;
+          r.level = li + 1;
+          r.latency = latency;
+          r.pbase = e.pbase;
+          r.vbase = e.vbase;
+          // Refill the faster levels above the hit (inclusive hierarchy).
+          if (li > 0) install(asid, e.vbase, e.pbase, pb, li);
+          return r;
+        }
+      }
+    }
+  }
+  r.latency = latency;  // full-miss lookup cost (== miss_latency_)
+  return r;
+}
+
+void Tlb::install(std::uint32_t asid, Addr vbase, Addr pbase,
+                  std::uint8_t page_bits, std::uint32_t up_to_level) {
+  for (std::uint32_t li = 0; li < up_to_level && li < levels_.size(); ++li) {
+    const Level& lvl = levels_[li];
+    const std::uint32_t set =
+        static_cast<std::uint32_t>(vbase >> page_bits) & (lvl.sets - 1);
+    Entry* const base = &entries_[li][static_cast<std::size_t>(set) * lvl.ways];
+    // Refresh a matching entry in place; else fill an invalid way; else
+    // evict the least-recently-used way (deterministic true LRU).
+    Entry* victim = nullptr;
+    for (std::uint32_t w = 0; w < lvl.ways; ++w) {
+      Entry& e = base[w];
+      if (e.valid && e.page_bits == page_bits && e.asid == asid &&
+          e.vbase == vbase) {
+        victim = &e;
+        break;
+      }
+    }
+    if (victim == nullptr) {
+      for (std::uint32_t w = 0; w < lvl.ways; ++w) {
+        if (!base[w].valid) {
+          victim = &base[w];
+          break;
+        }
+      }
+    }
+    if (victim == nullptr) {
+      victim = base;
+      for (std::uint32_t w = 1; w < lvl.ways; ++w) {
+        if (base[w].lru < victim->lru) victim = &base[w];
+      }
+    }
+    victim->vbase = vbase;
+    victim->pbase = pbase;
+    victim->asid = asid;
+    victim->page_bits = page_bits;
+    victim->valid = true;
+    victim->lru = lru_clock_++;
+  }
+}
+
+void Tlb::forward(std::unique_ptr<mem::MemEvent> req, Addr vbase, Addr pbase,
+                  SimTime extra_delay) {
+  const Addr pa = pbase + (req->addr() - vbase);
+  auto out = std::make_unique<mem::MemEvent>(req->cmd(), pa, req->size(),
+                                             req->req_id());
+  out->set_bus_src(req->bus_src());
+  out->set_asid(req->asid());
+  mem_link_->send(std::move(out), extra_delay);
+}
+
+void Tlb::handle_cpu(EventPtr ev) {
+  auto req = event_cast<mem::MemEvent>(std::move(ev));
+  if (!mem::is_request(req->cmd())) {
+    throw SimulationError("tlb '" + name() + "': response on cpu port");
+  }
+  if (!enabled_) {
+    bypassed_->add();
+    mem_link_->send(std::move(req));
+    return;
+  }
+  const std::uint32_t asid = req->asid();
+  const Addr vaddr = req->addr();
+  const LookupResult hit = lookup(asid, vaddr);
+  if (hit.level > 0) {
+    hits_[hit.level - 1]->add();
+    // Levels probed before the hit count a miss each.
+    for (std::uint32_t li = 0; li + 1 < hit.level; ++li) misses_[li]->add();
+    forward(std::move(req), hit.vbase, hit.pbase, hit.latency);
+    return;
+  }
+  for (auto* m : misses_) m->add();
+
+  const std::pair<std::uint32_t, std::uint64_t> page{asid,
+                                                     vaddr >> kPageShift};
+  if (auto it = pending_by_page_.find(page); it != pending_by_page_.end()) {
+    pending_.at(it->second).waiters.push_back(std::move(req));
+    walk_merges_->add();
+    return;
+  }
+  const std::uint64_t id = next_walk_id_++;
+  PendingWalk& walk = pending_[id];
+  walk.asid = asid;
+  walk.vaddr = vaddr;
+  walk.start = now();
+  walk.waiters.push_back(std::move(req));
+  pending_by_page_.emplace(page, id);
+  walks_->add();
+  ptw_link_->send(std::make_unique<WalkRequestEvent>(id, vaddr, asid),
+                  miss_latency_);
+}
+
+void Tlb::handle_ptw(EventPtr ev) {
+  auto resp = event_cast<WalkResponseEvent>(std::move(ev));
+  auto it = pending_.find(resp->id());
+  if (it == pending_.end()) {
+    throw SimulationError("tlb '" + name() + "': walk response for unknown id");
+  }
+  PendingWalk walk = std::move(it->second);
+  pending_.erase(it);
+  pending_by_page_.erase({walk.asid, walk.vaddr >> kPageShift});
+
+  install(walk.asid, resp->vbase(), resp->pbase(), resp->page_bits(),
+          static_cast<std::uint32_t>(levels_.size()));
+  walk_latency_->add(static_cast<double>(now() - walk.start));
+  for (auto& w : walk.waiters) {
+    forward(std::move(w), resp->vbase(), resp->pbase(), 0);
+  }
+}
+
+void Tlb::handle_mem(EventPtr ev) {
+  auto resp = event_cast<mem::MemEvent>(std::move(ev));
+  if (!mem::is_response(resp->cmd())) {
+    throw SimulationError("tlb '" + name() + "': request on mem port");
+  }
+  cpu_link_->send(std::move(resp));
+}
+
+void Tlb::handle_inval(EventPtr ev) {
+  auto sd = event_cast<ShootdownEvent>(std::move(ev));
+  shootdowns_->add();
+  const Addr span = sd->full() ? 0 : Addr{1} << sd->page_bits();
+  std::uint64_t zapped = 0;
+  for (auto& level : entries_) {
+    for (Entry& e : level) {
+      if (!e.valid) continue;
+      if (!sd->all_asids() && e.asid != sd->asid()) continue;
+      if (!sd->full()) {
+        const Addr esize = Addr{1} << e.page_bits;
+        const bool overlaps =
+            e.vbase < sd->vbase() + span && sd->vbase() < e.vbase + esize;
+        if (!overlaps) continue;
+      }
+      e.valid = false;
+      ++zapped;
+    }
+  }
+  inval_entries_->add(zapped);
+  trace_event("tlb.shootdown", "seq=" + std::to_string(sd->seq()) +
+                                   " zapped=" + std::to_string(zapped));
+  // Always ACK — re-delivered or retried shootdowns are idempotent and the
+  // walker keeps retrying until every ACK lands.
+  inval_link_->send(std::make_unique<ShootdownAckEvent>(sd->seq()));
+}
+
+void Tlb::Entry::ckpt_io(ckpt::Serializer& s) {
+  s & vbase & pbase & asid & page_bits & valid & lru;
+}
+
+void Tlb::PendingWalk::ckpt_io(ckpt::Serializer& s) {
+  s & asid & vaddr & start & waiters;
+}
+
+void Tlb::serialize_state(ckpt::Serializer& s) {
+  s & entries_ & lru_clock_ & pending_ & pending_by_page_ & next_walk_id_;
+}
+
+}  // namespace sst::vm

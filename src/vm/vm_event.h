@@ -1,0 +1,157 @@
+// Events of the virtual-memory protocol (TLB <-> page-table walker), plus
+// the TLB-shootdown broadcast/ACK pair.
+//
+// Every type here is clonable (so drop/dup/delay link faults can be
+// injected on vm links) and checkpoint-serializable (so snapshots taken
+// mid-walk or mid-shootdown restore bit-exactly).  ckpt_fields live in
+// vm_lib.cpp next to the registry entries.
+#pragma once
+
+#include <cstdint>
+
+#include "core/event.h"
+#include "mem/mem_event.h"
+
+namespace sst::vm {
+
+using Addr = mem::Addr;
+
+/// TLB -> walker: translate `vaddr` for address space `asid`.  `id` is the
+/// TLB's walk identifier; the response echoes it.
+class WalkRequestEvent final : public Event {
+ public:
+  WalkRequestEvent(std::uint64_t id, Addr vaddr, std::uint32_t asid)
+      : id_(id), vaddr_(vaddr), asid_(asid) {}
+
+  [[nodiscard]] std::uint64_t id() const { return id_; }
+  [[nodiscard]] Addr vaddr() const { return vaddr_; }
+  [[nodiscard]] std::uint32_t asid() const { return asid_; }
+
+  [[nodiscard]] EventPtr clone() const override {
+    return std::make_unique<WalkRequestEvent>(id_, vaddr_, asid_);
+  }
+  [[nodiscard]] const char* ckpt_type() const override {
+    return "vm.WalkReq";
+  }
+  void ckpt_fields(ckpt::Serializer& s) override;
+
+ private:
+  std::uint64_t id_;
+  Addr vaddr_;
+  std::uint32_t asid_;
+};
+
+/// Walker -> TLB: the page containing the requested vaddr.  Carries the
+/// full mapping (base + size) so the TLB installs one entry per page, not
+/// per reference, and `levels` — how many PTE reads the walk actually
+/// issued (after walk-cache short-circuiting) — for accounting.
+class WalkResponseEvent final : public Event {
+ public:
+  WalkResponseEvent(std::uint64_t id, Addr vbase, Addr pbase,
+                    std::uint8_t page_bits, std::uint8_t levels)
+      : id_(id), vbase_(vbase), pbase_(pbase), page_bits_(page_bits),
+        levels_(levels) {}
+
+  [[nodiscard]] std::uint64_t id() const { return id_; }
+  [[nodiscard]] Addr vbase() const { return vbase_; }
+  [[nodiscard]] Addr pbase() const { return pbase_; }
+  [[nodiscard]] std::uint8_t page_bits() const { return page_bits_; }
+  [[nodiscard]] std::uint8_t levels() const { return levels_; }
+
+  [[nodiscard]] EventPtr clone() const override {
+    return std::make_unique<WalkResponseEvent>(id_, vbase_, pbase_,
+                                               page_bits_, levels_);
+  }
+  [[nodiscard]] const char* ckpt_type() const override {
+    return "vm.WalkResp";
+  }
+  void ckpt_fields(ckpt::Serializer& s) override;
+
+ private:
+  std::uint64_t id_;
+  Addr vbase_;
+  Addr pbase_;
+  std::uint8_t page_bits_;
+  std::uint8_t levels_;
+};
+
+/// Walker -> TLB broadcast: invalidate every entry overlapping
+/// [vbase, vbase + 2^page_bits) (or everything, when `full`).  `seq` keys
+/// the ACK; re-delivery (fault duplication or a retried broadcast whose
+/// ACK was lost) is idempotent — the TLB always re-ACKs.
+class ShootdownEvent final : public Event {
+ public:
+  ShootdownEvent(std::uint64_t seq, std::uint32_t asid, Addr vbase,
+                 std::uint8_t page_bits, bool all_asids, bool full)
+      : seq_(seq), asid_(asid), vbase_(vbase), page_bits_(page_bits),
+        all_asids_(all_asids), full_(full) {}
+
+  [[nodiscard]] std::uint64_t seq() const { return seq_; }
+  [[nodiscard]] std::uint32_t asid() const { return asid_; }
+  [[nodiscard]] Addr vbase() const { return vbase_; }
+  [[nodiscard]] std::uint8_t page_bits() const { return page_bits_; }
+  [[nodiscard]] bool all_asids() const { return all_asids_; }
+  [[nodiscard]] bool full() const { return full_; }
+
+  [[nodiscard]] EventPtr clone() const override {
+    return std::make_unique<ShootdownEvent>(seq_, asid_, vbase_, page_bits_,
+                                            all_asids_, full_);
+  }
+  [[nodiscard]] const char* ckpt_type() const override {
+    return "vm.Shootdown";
+  }
+  void ckpt_fields(ckpt::Serializer& s) override;
+
+ private:
+  std::uint64_t seq_;
+  std::uint32_t asid_;
+  Addr vbase_;
+  std::uint8_t page_bits_;
+  bool all_asids_;
+  bool full_;
+};
+
+/// TLB -> walker: shootdown `seq` applied.
+class ShootdownAckEvent final : public Event {
+ public:
+  explicit ShootdownAckEvent(std::uint64_t seq) : seq_(seq) {}
+
+  [[nodiscard]] std::uint64_t seq() const { return seq_; }
+
+  [[nodiscard]] EventPtr clone() const override {
+    return std::make_unique<ShootdownAckEvent>(seq_);
+  }
+  [[nodiscard]] const char* ckpt_type() const override {
+    return "vm.ShootdownAck";
+  }
+  void ckpt_fields(ckpt::Serializer& s) override;
+
+ private:
+  std::uint64_t seq_;
+};
+
+/// Walker self-link timer arming a shootdown retry; carries the attempt
+/// that armed it so a timer from a superseded attempt is ignored
+/// (net::NetEndpoint's retry idiom).
+class ShootdownTimerEvent final : public Event {
+ public:
+  ShootdownTimerEvent(std::uint64_t seq, std::uint32_t attempt)
+      : seq_(seq), attempt_(attempt) {}
+
+  [[nodiscard]] std::uint64_t seq() const { return seq_; }
+  [[nodiscard]] std::uint32_t attempt() const { return attempt_; }
+
+  [[nodiscard]] EventPtr clone() const override {
+    return std::make_unique<ShootdownTimerEvent>(seq_, attempt_);
+  }
+  [[nodiscard]] const char* ckpt_type() const override {
+    return "vm.ShootdownTimer";
+  }
+  void ckpt_fields(ckpt::Serializer& s) override;
+
+ private:
+  std::uint64_t seq_;
+  std::uint32_t attempt_;
+};
+
+}  // namespace sst::vm

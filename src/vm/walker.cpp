@@ -1,0 +1,308 @@
+#include "vm/walker.h"
+
+#include <algorithm>
+#include <string>
+#include <utility>
+
+#include "ckpt/serializer.h"
+
+namespace sst::vm {
+
+PageTableWalker::PageTableWalker(Params& params) {
+  const auto num_tlbs = params.find<std::uint32_t>("num_tlbs", 1);
+  if (num_tlbs == 0) {
+    throw ConfigError("walker '" + name() + "': num_tlbs must be >= 1");
+  }
+  depth_ = params.find<std::uint32_t>("walk_depth", 4);
+  if (depth_ < 1 || depth_ > 5) {
+    throw ConfigError("walker '" + name() + "': walk_depth must be 1..5");
+  }
+  step_latency_ = params.find_period("step_latency", "500ps");
+  wc_entries_ = params.find<std::uint32_t>("walk_cache_entries", 16);
+  retry_timeout_ = params.find_time("retry_timeout", "2us");
+  retry_backoff_ = params.find<double>("retry_backoff", 2.0);
+  retry_max_ = params.find<std::uint32_t>("retry_max", 8);
+  if (retry_timeout_ == 0) {
+    throw ConfigError("walker '" + name() + "': retry_timeout must be > 0");
+  }
+  if (retry_backoff_ < 1.0) {
+    throw ConfigError("walker '" + name() + "': retry_backoff must be >= 1");
+  }
+  storm_period_ = params.find_time("shootdown_period", "0ps");
+  storm_span_ =
+      params.find<UnitAlgebra>("shootdown_span", UnitAlgebra("64MiB"))
+          .to_bytes();
+  if (storm_period_ > 0 && storm_span_ < (Addr{1} << 21)) {
+    throw ConfigError("walker '" + name() +
+                      "': shootdown_span must be >= 2MiB");
+  }
+
+  PageTable::Config cfg;
+  cfg.seed = params.find<std::uint64_t>("seed", 1);
+  cfg.phys_bits = params.find<std::uint32_t>("phys_bits", 33);
+  if (cfg.phys_bits < 21 || cfg.phys_bits > 52) {
+    throw ConfigError("walker '" + name() + "': phys_bits must be 21..52");
+  }
+  cfg.pte_size = params.find<std::uint32_t>("pte_size", 8);
+  if (cfg.pte_size == 0 || cfg.pte_size > 64) {
+    throw ConfigError("walker '" + name() + "': pte_size must be 1..64");
+  }
+  auto sizes = params.find_array<UnitAlgebra>("page_sizes");
+  if (sizes.empty()) sizes = {UnitAlgebra("4KiB"), UnitAlgebra("2MiB"),
+                              UnitAlgebra("1GiB")};
+  for (const auto& sz : sizes) {
+    const std::uint64_t bytes = sz.to_bytes();
+    if (bytes == (1ULL << 21)) cfg.allow_2m = true;
+    if (bytes == (1ULL << 30)) cfg.allow_1g = true;
+  }
+  const std::string policy = params.find("huge_pages", "none");
+  if (policy == "none") {
+    cfg.policy = PageTable::HugePolicy::kNone;
+  } else if (policy == "static") {
+    cfg.policy = PageTable::HugePolicy::kStatic;
+  } else if (policy == "promote") {
+    cfg.policy = PageTable::HugePolicy::kPromote;
+  } else {
+    throw ConfigError("walker '" + name() + "': unknown huge_pages policy '" +
+                      policy + "' (known: none, static, promote)");
+  }
+  cfg.huge_ratio = params.find<double>("huge_ratio", 0.25);
+  cfg.giga_ratio = params.find<double>("giga_ratio", 0.0);
+  cfg.promote_threshold =
+      params.find<std::uint32_t>("promote_threshold", 64);
+  if (cfg.promote_threshold == 0) {
+    throw ConfigError("walker '" + name() +
+                      "': promote_threshold must be >= 1");
+  }
+  pt_ = PageTable(cfg);
+
+  for (std::uint32_t i = 0; i < num_tlbs; ++i) {
+    tlb_links_.push_back(configure_link(
+        "tlb" + std::to_string(i),
+        [this, i](EventPtr ev) { handle_tlb(i, std::move(ev)); }));
+    inval_links_.push_back(configure_link(
+        "inval" + std::to_string(i),
+        [this, i](EventPtr ev) { handle_inval(i, std::move(ev)); },
+        /*optional=*/true));
+  }
+  mem_link_ = configure_link(
+      "mem", [this](EventPtr ev) { handle_mem(std::move(ev)); });
+  retry_link_ = configure_self_link(
+      "retry", 1, [this](EventPtr ev) { handle_retry(std::move(ev)); });
+  if (storm_period_ > 0) {
+    register_clock(storm_period_, [this](Cycle c) { return storm_tick(c); });
+  }
+
+  walks_ = stat_counter("walks");
+  pte_reads_ = stat_counter("pte_reads");
+  wc_hits_ = stat_counter("walk_cache_hits");
+  promotions_ = stat_counter("promotions");
+  sd_sent_ = stat_counter("shootdowns_sent");
+  sd_acked_ = stat_counter("shootdowns_acked");
+  sd_retries_ = stat_counter("shootdown_retries");
+  sd_failed_ = stat_counter("shootdowns_failed");
+  storm_shootdowns_ = stat_counter("storm_shootdowns");
+  walk_latency_ = stat_accumulator("walk_latency_ps");
+}
+
+void PageTableWalker::handle_tlb(std::uint32_t port, EventPtr ev) {
+  auto req = event_cast<WalkRequestEvent>(std::move(ev));
+  walks_->add();
+  trace_event("walk.begin", "asid=" + std::to_string(req->asid()) +
+                                " vaddr=" + std::to_string(req->vaddr()));
+
+  const std::uint64_t id = next_walk_id_++;
+  Walk& walk = walks_inflight_[id];
+  walk.src_port = port;
+  walk.tlb_id = req->id();
+  walk.asid = req->asid();
+  walk.vaddr = req->vaddr();
+  walk.start = now();
+  walk.mapping = pt_.resolve(walk.asid, walk.vaddr);
+  walk.leaf_level = std::min(
+      depth_, 1 + (walk.mapping.page_bits - kPageShift) / kRadixBits);
+
+  // Walk-cache short-circuit: the lowest cached non-leaf step covers every
+  // level above it, so the walk resumes one level below.
+  std::uint32_t start_level = depth_;
+  for (std::uint32_t lvl = walk.leaf_level + 1; lvl <= depth_; ++lvl) {
+    WalkCacheKey key{walk.asid, lvl, walk.vaddr >> page_bits_at(lvl)};
+    if (auto it = walk_cache_.find(key); it != walk_cache_.end()) {
+      it->second = wc_clock_++;
+      wc_hits_->add();
+      start_level = lvl - 1;
+      break;
+    }
+  }
+  walk.level = start_level;
+  issue_read(id, walk);
+}
+
+void PageTableWalker::issue_read(std::uint64_t walk_id, Walk& walk) {
+  pte_reads_->add();
+  ++walk.reads;
+  mem_link_->send(
+      std::make_unique<mem::MemEvent>(
+          mem::MemCmd::kGetS, pt_.pte_addr(walk.asid, walk.level, walk.vaddr),
+          pt_.config().pte_size, walk_id),
+      step_latency_);
+}
+
+void PageTableWalker::handle_mem(EventPtr ev) {
+  auto resp = event_cast<mem::MemEvent>(std::move(ev));
+  if (!mem::is_response(resp->cmd())) {
+    throw SimulationError("walker '" + name() + "': request on mem port");
+  }
+  auto it = walks_inflight_.find(resp->req_id());
+  if (it == walks_inflight_.end()) {
+    throw SimulationError("walker '" + name() +
+                          "': PTE fill for unknown walk");
+  }
+  Walk& walk = it->second;
+  if (walk.level > walk.leaf_level) {
+    // A completed non-leaf step is exactly what the walk cache stores.
+    walk_cache_insert(
+        {walk.asid, walk.level, walk.vaddr >> page_bits_at(walk.level)});
+    --walk.level;
+    issue_read(it->first, walk);
+    return;
+  }
+  complete_walk(it->first, walk);
+  walks_inflight_.erase(it);
+}
+
+void PageTableWalker::complete_walk(std::uint64_t walk_id, Walk& walk) {
+  (void)walk_id;
+  walk_latency_->add(static_cast<double>(now() - walk.start));
+  trace_event("walk.end",
+              "asid=" + std::to_string(walk.asid) + " levels=" +
+                  std::to_string(walk.reads) + " page_bits=" +
+                  std::to_string(walk.mapping.page_bits));
+  tlb_links_[walk.src_port]->send(std::make_unique<WalkResponseEvent>(
+      walk.tlb_id, walk.mapping.vbase, walk.mapping.pbase,
+      walk.mapping.page_bits, walk.reads));
+
+  if (walk.mapping.page_bits == kPageShift) {
+    if (const auto region = pt_.note_walk(walk.asid, walk.vaddr)) {
+      promotions_->add();
+      // The old 4KiB mappings (TLB entries and cached walk steps) are
+      // stale the moment the region remaps huge.
+      walk_cache_.clear();
+      broadcast_shootdown(walk.asid, *region, 21, /*all_asids=*/false,
+                          /*full=*/false);
+    }
+  }
+}
+
+void PageTableWalker::walk_cache_insert(const WalkCacheKey& key) {
+  if (wc_entries_ == 0) return;
+  walk_cache_[key] = wc_clock_++;
+  if (walk_cache_.size() <= wc_entries_) return;
+  auto victim = walk_cache_.begin();
+  for (auto it = walk_cache_.begin(); it != walk_cache_.end(); ++it) {
+    if (it->second < victim->second) victim = it;
+  }
+  walk_cache_.erase(victim);
+}
+
+void PageTableWalker::broadcast_shootdown(std::uint32_t asid, Addr vbase,
+                                          std::uint8_t page_bits,
+                                          bool all_asids, bool full) {
+  Shootdown sd;
+  sd.asid = asid;
+  sd.vbase = vbase;
+  sd.page_bits = page_bits;
+  sd.all_asids = all_asids;
+  sd.full = full;
+  for (std::uint32_t i = 0; i < inval_links_.size(); ++i) {
+    if (inval_links_[i]->connected()) sd.pending.insert(i);
+  }
+  if (sd.pending.empty()) return;  // no TLBs wired for invalidations
+
+  const std::uint64_t seq = next_seq_++;
+  sd_sent_->add();
+  trace_event("shootdown.begin", "seq=" + std::to_string(seq));
+  for (const std::uint32_t i : sd.pending) {
+    inval_links_[i]->send(std::make_unique<ShootdownEvent>(
+        seq, asid, vbase, page_bits, all_asids, full));
+  }
+  shootdowns_.emplace(seq, std::move(sd));
+  arm_retry(seq, 0);
+}
+
+void PageTableWalker::arm_retry(std::uint64_t seq, std::uint32_t attempt) {
+  double scale = 1.0;
+  for (std::uint32_t i = 0; i < attempt; ++i) scale *= retry_backoff_;
+  const double scaled = static_cast<double>(retry_timeout_) * scale;
+  SimTime delay = scaled >= 9e18 ? static_cast<SimTime>(9e18)
+                                 : static_cast<SimTime>(scaled);
+  if (delay < 1) delay = 1;
+  // Self-link latency is 1ps; the remainder rides as extra delay.
+  retry_link_->send(std::make_unique<ShootdownTimerEvent>(seq, attempt),
+                    delay - 1);
+}
+
+void PageTableWalker::handle_inval(std::uint32_t port, EventPtr ev) {
+  auto ack = event_cast<ShootdownAckEvent>(std::move(ev));
+  auto it = shootdowns_.find(ack->seq());
+  if (it == shootdowns_.end()) return;  // duplicate/late ACK
+  it->second.pending.erase(port);
+  if (it->second.pending.empty()) {
+    sd_acked_->add();
+    trace_event("shootdown.end", "seq=" + std::to_string(ack->seq()));
+    shootdowns_.erase(it);
+  }
+}
+
+void PageTableWalker::handle_retry(EventPtr ev) {
+  auto timer = event_cast<ShootdownTimerEvent>(std::move(ev));
+  auto it = shootdowns_.find(timer->seq());
+  if (it == shootdowns_.end()) return;                   // fully ACKed
+  Shootdown& sd = it->second;
+  if (sd.attempts != timer->attempt()) return;           // superseded timer
+  if (sd.attempts >= retry_max_) {
+    // Bounded retries: give up rather than retry (and block) forever.
+    sd_failed_->add();
+    shootdowns_.erase(it);
+    return;
+  }
+  ++sd.attempts;
+  sd_retries_->add();
+  for (const std::uint32_t i : sd.pending) {
+    inval_links_[i]->send(std::make_unique<ShootdownEvent>(
+        timer->seq(), sd.asid, sd.vbase, sd.page_bits, sd.all_asids,
+        sd.full));
+  }
+  arm_retry(timer->seq(), sd.attempts);
+}
+
+bool PageTableWalker::storm_tick(Cycle cycle) {
+  (void)cycle;
+  // OS unmap churn: sweep a rotating 2MiB window across the span,
+  // invalidating it in every address space.
+  const Addr region =
+      (static_cast<Addr>(storm_next_++) << 21) % storm_span_;
+  storm_shootdowns_->add();
+  broadcast_shootdown(0, region, 21, /*all_asids=*/true, /*full=*/false);
+  return false;
+}
+
+void PageTableWalker::Walk::ckpt_io(ckpt::Serializer& s) {
+  s & src_port & tlb_id & asid & vaddr & level & leaf_level & reads &
+      mapping.vbase & mapping.pbase & mapping.page_bits & start;
+}
+
+void PageTableWalker::WalkCacheKey::ckpt_io(ckpt::Serializer& s) {
+  s & asid & level & prefix;
+}
+
+void PageTableWalker::Shootdown::ckpt_io(ckpt::Serializer& s) {
+  s & asid & vbase & page_bits & all_asids & full & pending & attempts;
+}
+
+void PageTableWalker::serialize_state(ckpt::Serializer& s) {
+  s & walks_inflight_ & next_walk_id_ & walk_cache_ & wc_clock_ & pt_ &
+      shootdowns_ & next_seq_ & storm_next_;
+}
+
+}  // namespace sst::vm

@@ -1,0 +1,155 @@
+// Hardware page-table walker: serves WalkRequests from one or more TLBs by
+// performing a radix walk of SDL-configurable depth whose PTE reads are
+// *real* memory requests issued down the existing cache/DRAM path — walker
+// traffic competes for the same MSHRs, bus slots, and DRAM banks as demand
+// traffic, which is the whole point of modeling it.
+//
+// An MMU walk cache (page-walk cache) short-circuits the upper levels:
+// the lowest cached non-leaf step resumes the walk just below it, so warm
+// walks touch memory once instead of `walk_depth` times.
+//
+// The walker owns the OS-lite PageTable (page-size policy + huge-page
+// promotion).  When a region promotes, every connected TLB receives a
+// shootdown broadcast, retried with exponential backoff until ACKed
+// (bounded attempts — under heavy fault injection delivery can fail, it
+// never deadlocks).  A periodic shootdown storm generator (`shootdown_
+// period`) models OS unmap churn for fault-scenario studies.
+//
+// Ports:
+//   "tlb<i>"   — per-TLB walk protocol (WalkRequest in, WalkResponse out)
+//   "inval<i>" — per-TLB shootdown broadcast out, ACK in (optional)
+//   "mem"      — PTE reads into the memory hierarchy
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "core/component.h"
+#include "mem/mem_event.h"
+#include "vm/page_table.h"
+#include "vm/vm_event.h"
+
+namespace sst::vm {
+
+class PageTableWalker final : public Component {
+ public:
+  explicit PageTableWalker(Params& params);
+
+  [[nodiscard]] std::uint32_t walk_depth() const { return depth_; }
+  [[nodiscard]] std::uint64_t walks() const { return walks_->count(); }
+  [[nodiscard]] std::uint64_t pte_reads() const { return pte_reads_->count(); }
+  [[nodiscard]] std::uint64_t walk_cache_hits() const {
+    return wc_hits_->count();
+  }
+  [[nodiscard]] std::uint64_t promotions() const {
+    return promotions_->count();
+  }
+  [[nodiscard]] std::uint64_t shootdowns_sent() const {
+    return sd_sent_->count();
+  }
+  [[nodiscard]] std::uint64_t shootdowns_acked() const {
+    return sd_acked_->count();
+  }
+  [[nodiscard]] std::uint64_t shootdown_retries() const {
+    return sd_retries_->count();
+  }
+  [[nodiscard]] std::uint64_t shootdowns_failed() const {
+    return sd_failed_->count();
+  }
+  [[nodiscard]] const PageTable& page_table() const { return pt_; }
+
+  void serialize_state(ckpt::Serializer& s) override;
+
+ private:
+  /// One in-flight walk; the mem req_id IS the walk id.
+  struct Walk {
+    std::uint32_t src_port = 0;
+    std::uint64_t tlb_id = 0;     // requesting TLB's walk identifier
+    std::uint32_t asid = 0;
+    Addr vaddr = 0;
+    std::uint32_t level = 0;      // level of the outstanding PTE read
+    std::uint32_t leaf_level = 1;
+    std::uint8_t reads = 0;
+    PageTable::Mapping mapping;
+    SimTime start = 0;
+
+    void ckpt_io(ckpt::Serializer& s);
+  };
+
+  struct WalkCacheKey {
+    std::uint32_t asid = 0;
+    std::uint32_t level = 0;
+    std::uint64_t prefix = 0;
+
+    bool operator<(const WalkCacheKey& o) const {
+      if (asid != o.asid) return asid < o.asid;
+      if (level != o.level) return level < o.level;
+      return prefix < o.prefix;
+    }
+    void ckpt_io(ckpt::Serializer& s);
+  };
+
+  /// One outstanding shootdown broadcast (ports still owing an ACK).
+  struct Shootdown {
+    std::uint32_t asid = 0;
+    Addr vbase = 0;
+    std::uint8_t page_bits = 0;
+    bool all_asids = false;
+    bool full = false;
+    std::set<std::uint32_t> pending;  // inval port indices
+    std::uint32_t attempts = 0;
+
+    void ckpt_io(ckpt::Serializer& s);
+  };
+
+  void handle_tlb(std::uint32_t port, EventPtr ev);
+  void handle_inval(std::uint32_t port, EventPtr ev);
+  void handle_mem(EventPtr ev);
+  void handle_retry(EventPtr ev);
+  bool storm_tick(Cycle cycle);
+
+  void issue_read(std::uint64_t walk_id, Walk& walk);
+  void complete_walk(std::uint64_t walk_id, Walk& walk);
+  void walk_cache_insert(const WalkCacheKey& key);
+  void broadcast_shootdown(std::uint32_t asid, Addr vbase,
+                           std::uint8_t page_bits, bool all_asids, bool full);
+  void arm_retry(std::uint64_t seq, std::uint32_t attempt);
+
+  std::vector<Link*> tlb_links_;
+  std::vector<Link*> inval_links_;
+  Link* mem_link_;
+  Link* retry_link_;
+
+  std::uint32_t depth_;
+  SimTime step_latency_;
+  std::uint32_t wc_entries_;
+  SimTime retry_timeout_;
+  double retry_backoff_;
+  std::uint32_t retry_max_;
+  SimTime storm_period_ = 0;
+  Addr storm_span_ = 0;
+
+  PageTable pt_;
+  std::map<std::uint64_t, Walk> walks_inflight_;
+  std::uint64_t next_walk_id_ = 1;
+  std::map<WalkCacheKey, std::uint64_t> walk_cache_;  // key -> lru stamp
+  std::uint64_t wc_clock_ = 1;
+  std::map<std::uint64_t, Shootdown> shootdowns_;  // seq -> state
+  std::uint64_t next_seq_ = 1;
+  std::uint64_t storm_next_ = 0;
+
+  Counter* walks_;
+  Counter* pte_reads_;
+  Counter* wc_hits_;
+  Counter* promotions_;
+  Counter* sd_sent_;
+  Counter* sd_acked_;
+  Counter* sd_retries_;
+  Counter* sd_failed_;
+  Counter* storm_shootdowns_;
+  Accumulator* walk_latency_;
+};
+
+}  // namespace sst::vm

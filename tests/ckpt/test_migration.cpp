@@ -21,6 +21,7 @@
 #include "net/hotspot.h"
 #include "net/net_lib.h"
 #include "proc/proc_lib.h"
+#include "vm/vm_lib.h"
 
 namespace sst::ckpt {
 namespace {
@@ -29,6 +30,7 @@ void register_all_libraries() {
   mem::register_library();
   proc::register_library();
   net::register_library();
+  vm::register_library();
 }
 
 // Values for required (default-less) parameters, keyed by knob name.

@@ -65,6 +65,13 @@ run_case moving_hotspot.r1.csv "$WORK/mh1.csv" -- \
   "$SSTSIM" "$SYSTEMS/moving_hotspot.json" --ranks 1 --stats "$WORK/mh1.csv"
 run_case moving_hotspot.r4.csv "$WORK/mh4.csv" -- \
   "$SSTSIM" "$SYSTEMS/moving_hotspot.json" --ranks 4 --stats "$WORK/mh4.csv"
+# node_vm routes every demand access through a two-level TLB and its
+# page-table walker's PTE reads down the shared bus; the 4-rank digest
+# matching the serial one pins the vm path's cross-rank determinism.
+run_case node_vm.r1.csv "$WORK/v1.csv" -- \
+  "$SSTSIM" "$SYSTEMS/node_vm.json" --ranks 1 --stats "$WORK/v1.csv"
+run_case node_vm.r4.csv "$WORK/v4.csv" -- \
+  "$SSTSIM" "$SYSTEMS/node_vm.json" --ranks 4 --stats "$WORK/v4.csv"
 
 # Interrupted-and-resumed runs: a checkpointing run's digest must equal
 # the base digest (snapshots are invisible), and a restart from the
@@ -80,6 +87,14 @@ run_case halo16.ckpt.r4.csv "$WORK/hc4.csv" -- \
   --checkpoint-period 20us --checkpoint-dir "$WORK/cp4"
 run_case halo16.resume.r4.csv "$WORK/hr4.csv" -- \
   "$SSTSIM" --restart "$WORK/cp4" --ranks 4 --stats "$WORK/hr4.csv"
+# The 5us cadence cuts node_vm snapshots while page walks are in
+# flight; the resume digest matching the base digest is the
+# mid-walk-state bit-exactness guarantee.
+run_case node_vm.ckpt.r1.csv "$WORK/vc1.csv" -- \
+  "$SSTSIM" "$SYSTEMS/node_vm.json" --ranks 1 --stats "$WORK/vc1.csv" \
+  --checkpoint-period 5us --checkpoint-dir "$WORK/cpv"
+run_case node_vm.resume.r1.csv "$WORK/vr1.csv" -- \
+  "$SSTSIM" --restart "$WORK/cpv" --ranks 1 --stats "$WORK/vr1.csv"
 
 # Example binaries: full stdout, minus wall-clock timing lines.
 run_case quickstart.stdout "$WORK/quickstart.txt" -- \

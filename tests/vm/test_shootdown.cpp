@@ -1,0 +1,125 @@
+// TLB-shootdown protocol: broadcast/ACK convergence, idempotent re-ACK
+// under drop/dup/delay faults, bounded retries (no deadlock), the storm
+// generator, and cross-rank determinism of the whole vm path.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "fault/fault_model.h"
+#include "vm_test_util.h"
+
+namespace sst::vm {
+namespace {
+
+Params storm_walker(const std::string& period) {
+  Params wp;
+  wp.set("walk_depth", "2");
+  wp.set("page_sizes", "4KiB");
+  wp.set("shootdown_period", period);
+  wp.set("shootdown_span", "16MiB");
+  wp.set("retry_timeout", "1us");
+  wp.set("retry_max", "6");
+  return wp;
+}
+
+/// Keeps the sim alive across the storm window with periodic reads.
+void script_reads(testing::VmRig& rig, unsigned n, SimTime spacing) {
+  for (unsigned i = 0; i < n; ++i) {
+    rig.driver->read_at((1 + static_cast<SimTime>(i)) * spacing,
+                        static_cast<Addr>(i % 8) << 12);
+  }
+}
+
+TEST(Shootdown, CleanLinksAckEveryBroadcast) {
+  auto rig = testing::make_rig(testing::small_tlb(), storm_walker("500ns"));
+  script_reads(*rig, 50, kMicrosecond);
+  rig->sim.run();
+  const std::uint64_t sent = rig->walker->shootdowns_sent();
+  const std::uint64_t acked = rig->walker->shootdowns_acked();
+  EXPECT_GT(sent, 50u);
+  // At most the final broadcast can still be in flight at termination.
+  EXPECT_LE(sent - acked, 1u);
+  EXPECT_EQ(rig->walker->shootdown_retries(), 0u);
+  EXPECT_EQ(rig->walker->shootdowns_failed(), 0u);
+  EXPECT_GE(rig->tlb->shootdowns(), acked);
+}
+
+std::tuple<std::uint64_t, std::uint64_t, std::uint64_t, std::uint64_t,
+           std::uint64_t>
+run_faulty_storm() {
+  SimConfig cfg;
+  cfg.fault_seed = 1234;
+  auto rig = testing::make_rig(testing::small_tlb(), storm_walker("500ns"),
+                               /*connect_inval=*/true, cfg);
+  fault::LinkFaultConfig fc;
+  fc.drop_prob = 0.2;
+  fc.dup_prob = 0.2;
+  fc.delay_prob = 0.3;
+  fc.delay_min = 10 * kNanosecond;
+  fc.delay_max = 500 * kNanosecond;
+  // Fault both directions: broadcasts out of the walker, ACKs out of the
+  // TLB.  Each endpoint draws from its own deterministic stream.
+  fault::install_link_fault(rig->sim, "walker", "inval0", fc);
+  fault::install_link_fault(rig->sim, "tlb", "inval", fc);
+  script_reads(*rig, 50, kMicrosecond);
+  rig->sim.run();
+  return {rig->walker->shootdowns_sent(), rig->walker->shootdowns_acked(),
+          rig->walker->shootdown_retries(),
+          rig->walker->shootdowns_failed(), rig->tlb->shootdowns()};
+}
+
+TEST(Shootdown, ConvergesUnderDropDupDelayFaults) {
+  // The run completing at all is the no-deadlock claim: every broadcast
+  // either fully ACKs or exhausts its bounded retries.
+  const auto [sent, acked, retries, failed, received] = run_faulty_storm();
+  EXPECT_GT(sent, 50u);
+  EXPECT_GT(acked, 0u);
+  EXPECT_LE(acked + failed, sent);
+  // With 20% drops on ~100 broadcasts, retries are statistically certain.
+  EXPECT_GT(retries, 0u);
+  // Duplicated deliveries are re-ACKed, never double-applied fatally.
+  EXPECT_GE(received, acked);
+}
+
+TEST(Shootdown, FaultyRunsAreDeterministic) {
+  EXPECT_EQ(run_faulty_storm(), run_faulty_storm());
+}
+
+std::tuple<std::uint64_t, std::uint64_t, std::uint64_t, std::uint64_t>
+run_promote(unsigned num_ranks) {
+  SimConfig cfg;
+  cfg.num_ranks = num_ranks;
+  Params tp = testing::small_tlb();
+  tp.set("l1_sets", "16");
+  tp.set("l1_ways", "4");
+  tp.set("page_sizes", "4KiB,2MiB");
+  Params wp;
+  wp.set("walk_depth", "4");
+  wp.set("page_sizes", "4KiB,2MiB");
+  wp.set("huge_pages", "promote");
+  wp.set("promote_threshold", "4");
+  auto rig = testing::make_rig(tp, wp, /*connect_inval=*/true, cfg);
+  if (num_ranks > 1) {
+    rig->sim.set_component_rank("driver", 0);
+    rig->sim.set_component_rank("tlb", 0);
+    rig->sim.set_component_rank("walker", 1);
+    rig->sim.set_component_rank("mc_data", 1);
+    rig->sim.set_component_rank("mc_pt", 1);
+  }
+  for (int i = 0; i < 8; ++i) {
+    rig->driver->read_at((1 + 3 * static_cast<SimTime>(i)) * kMicrosecond,
+                         static_cast<Addr>(i) << 12);
+  }
+  rig->sim.run();
+  return {rig->walker->walks(), rig->walker->promotions(),
+          rig->walker->shootdowns_acked(), rig->tlb->invalidated_entries()};
+}
+
+TEST(Shootdown, VmPathIsRankCountInvariant) {
+  const auto serial = run_promote(1);
+  EXPECT_EQ(std::get<1>(serial), 1u);  // the region promoted
+  EXPECT_EQ(serial, run_promote(2));
+}
+
+}  // namespace
+}  // namespace sst::vm

@@ -1,0 +1,152 @@
+// Tlb: hit/miss accounting, deterministic LRU replacement, miss
+// coalescing, multi-level refill, huge-page translation, pass-through
+// mode, and configuration validation.
+#include <gtest/gtest.h>
+
+#include "vm_test_util.h"
+
+namespace sst::vm {
+namespace {
+
+using testing::MemDriver;
+using testing::VmRig;
+
+TEST(Tlb, MissThenHitSamePage) {
+  auto rig = testing::make_rig(testing::small_tlb(), testing::flat_walker());
+  const auto miss = rig->driver->read_at(kNanosecond, 0x1000);
+  const auto hit = rig->driver->read_at(10 * kMicrosecond, 0x1F8);
+  const auto hit2 = rig->driver->read_at(20 * kMicrosecond, 0x1008);
+  rig->sim.run();
+  ASSERT_NE(rig->driver->response_time(miss), kTimeNever);
+  ASSERT_NE(rig->driver->response_time(hit), kTimeNever);
+  // 0x1F8 is a different 4KiB page than 0x1000 -> two walks; 0x1008 hits.
+  EXPECT_EQ(rig->tlb->walks(), 2u);
+  EXPECT_EQ(rig->tlb->level_misses(1), 2u);
+  EXPECT_EQ(rig->tlb->level_hits(1), 1u);
+  ASSERT_NE(rig->driver->response_time(hit2), kTimeNever);
+}
+
+TEST(Tlb, MissCostsMoreThanHit) {
+  auto rig = testing::make_rig(testing::small_tlb(), testing::flat_walker());
+  const auto miss = rig->driver->read_at(kNanosecond, 0x4000);
+  const auto hit = rig->driver->read_at(10 * kMicrosecond, 0x4008);
+  rig->sim.run();
+  const SimTime t_miss = rig->driver->response_time(miss) - kNanosecond;
+  const SimTime t_hit =
+      rig->driver->response_time(hit) - 10 * kMicrosecond;
+  // The miss pays a 4-level walk (4 x ~100ns PTE reads) on top of the
+  // data access; the hit only the TLB and data-side latency.
+  EXPECT_GT(t_miss, t_hit + 300 * kNanosecond);
+}
+
+TEST(Tlb, LruReplacementDeterministic) {
+  // 1 set x 2 ways: A, B fill the set; touching A makes B the LRU victim.
+  auto rig = testing::make_rig(testing::small_tlb(), testing::flat_walker());
+  rig->driver->read_at(1 * kMicrosecond, 0x0000);   // A -> walk
+  rig->driver->read_at(10 * kMicrosecond, 0x1000);  // B -> walk
+  rig->driver->read_at(20 * kMicrosecond, 0x0000);  // A -> hit
+  rig->driver->read_at(30 * kMicrosecond, 0x2000);  // C -> walk, evicts B
+  rig->driver->read_at(40 * kMicrosecond, 0x0000);  // A -> still a hit
+  rig->driver->read_at(50 * kMicrosecond, 0x1000);  // B -> walk again
+  rig->sim.run();
+  EXPECT_EQ(rig->tlb->walks(), 4u);
+  EXPECT_EQ(rig->tlb->level_hits(1), 2u);
+  EXPECT_EQ(rig->tlb->level_misses(1), 4u);
+}
+
+TEST(Tlb, ReplacementIsRunToRunDeterministic) {
+  auto run_once = [] {
+    auto rig =
+        testing::make_rig(testing::small_tlb(), testing::flat_walker());
+    for (int i = 0; i < 24; ++i) {
+      rig->driver->read_at((1 + 2 * static_cast<SimTime>(i)) * kMicrosecond,
+                           static_cast<Addr>((i * 7) % 5) << 12);
+    }
+    rig->sim.run();
+    return std::pair{rig->tlb->walks(), rig->tlb->level_hits(1)};
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+TEST(Tlb, ConcurrentSamePageMissesCoalesce) {
+  auto rig = testing::make_rig(testing::small_tlb(), testing::flat_walker());
+  // Both arrive before the first walk completes (walks take ~400ns).
+  const auto a = rig->driver->read_at(kNanosecond, 0x3000);
+  const auto b = rig->driver->read_at(kNanosecond + 10, 0x3008);
+  rig->sim.run();
+  ASSERT_NE(rig->driver->response_time(a), kTimeNever);
+  ASSERT_NE(rig->driver->response_time(b), kTimeNever);
+  EXPECT_EQ(rig->tlb->walks(), 1u);
+  EXPECT_EQ(rig->walker->walks(), 1u);
+}
+
+TEST(Tlb, SecondLevelHitAvoidsWalk) {
+  Params tp;
+  tp.set("levels", "2");
+  tp.set("l1_sets", "1");
+  tp.set("l1_ways", "1");
+  tp.set("l2_sets", "16");
+  tp.set("l2_ways", "4");
+  tp.set("page_sizes", "4KiB");
+  auto rig = testing::make_rig(tp, testing::flat_walker());
+  rig->driver->read_at(1 * kMicrosecond, 0x0000);   // walk, installs L1+L2
+  rig->driver->read_at(10 * kMicrosecond, 0x1000);  // walk, evicts A from L1
+  rig->driver->read_at(20 * kMicrosecond, 0x0000);  // L1 miss, L2 hit
+  rig->sim.run();
+  EXPECT_EQ(rig->tlb->walks(), 2u);
+  EXPECT_EQ(rig->tlb->level_hits(2), 1u);
+  EXPECT_EQ(rig->tlb->level_misses(1), 3u);
+  EXPECT_EQ(rig->tlb->level_misses(2), 2u);
+}
+
+TEST(Tlb, StaticHugePageCoversRegion) {
+  Params tp = testing::small_tlb();
+  tp.set("page_sizes", "4KiB,2MiB");
+  Params wp;
+  wp.set("walk_depth", "4");
+  wp.set("walk_cache_entries", "0");
+  wp.set("page_sizes", "4KiB,2MiB");
+  wp.set("huge_pages", "static");
+  wp.set("huge_ratio", "1.0");
+  auto rig = testing::make_rig(tp, wp);
+  rig->driver->read_at(1 * kMicrosecond, 0x0000);
+  // A different 4KiB page of the same 2MiB region: covered by the entry.
+  rig->driver->read_at(10 * kMicrosecond, 0x100000);
+  rig->sim.run();
+  EXPECT_EQ(rig->tlb->walks(), 1u);
+  EXPECT_EQ(rig->tlb->level_hits(1), 1u);
+  // A 2MiB leaf sits one radix level up: the walk stops after 3 reads.
+  EXPECT_EQ(rig->walker->pte_reads(), 3u);
+}
+
+TEST(Tlb, DisabledPassesThrough) {
+  Params tp = testing::small_tlb();
+  tp.set("enabled", "false");
+  VmRig rig;
+  Params dp;
+  rig.driver = rig.sim.add_component<MemDriver>("driver", dp);
+  rig.tlb = rig.sim.add_component<Tlb>("tlb", tp);
+  Params mp = testing::simple_mc();
+  rig.mc_data = rig.sim.add_component<mem::MemoryController>("mc", mp);
+  rig.sim.connect("driver", "mem", "tlb", "cpu", kNanosecond);
+  rig.sim.connect("tlb", "mem", "mc", "cpu", kNanosecond);
+  const auto id = rig.driver->read_at(kNanosecond, 0x1234000);
+  rig.sim.run();
+  ASSERT_NE(rig.driver->response_time(id), kTimeNever);
+  EXPECT_FALSE(rig.tlb->enabled());
+  EXPECT_EQ(rig.tlb->walks(), 0u);
+  EXPECT_EQ(rig.tlb->level_misses(1), 0u);
+}
+
+TEST(Tlb, RejectsBadGeometry) {
+  Simulation sim;
+  Params p;
+  p.set("l1_sets", "3");  // not a power of two
+  EXPECT_THROW(sim.add_component<Tlb>("t", p), ConfigError);
+  Params q;
+  q.set("levels", "9");
+  EXPECT_THROW(sim.add_component<Tlb>("t2", q), ConfigError);
+}
+
+}  // namespace
+}  // namespace sst::vm

@@ -1,0 +1,146 @@
+// SDL "vm" section: parsing, JSON round trip, defaults merging under
+// component params, enable switch semantics, core virt/asid injection,
+// override paths, and validation.
+#include <gtest/gtest.h>
+
+#include "mem/mem_lib.h"
+#include "proc/core_model.h"
+#include "proc/proc_lib.h"
+#include "sdl/config_graph.h"
+#include "vm/vm_lib.h"
+
+namespace sst::sdl {
+namespace {
+
+void register_libs() {
+  mem::register_library();
+  proc::register_library();
+  vm::register_library();
+}
+
+constexpr const char* kModel = R"({
+  "config": {"seed": 5},
+  "vm": {
+    "enable": true,
+    "tlb": {"l1_sets": 8, "l1_ways": 2},
+    "walker": {"walk_depth": 3, "huge_pages": "static"}
+  },
+  "components": [
+    {"name": "cpu0", "type": "proc.Core", "params": {"workload": "gups"}},
+    {"name": "cpu1", "type": "proc.Core",
+     "params": {"workload": "gups", "asid": 9}},
+    {"name": "tlb0", "type": "vm.Tlb", "params": {"l1_sets": 4}},
+    {"name": "ptw", "type": "vm.PageTableWalker"}
+  ]
+})";
+
+TEST(VmSdl, ParsesAndRoundTripsVmSection) {
+  register_libs();
+  ConfigGraph g = ConfigGraph::from_json_text(kModel);
+  ASSERT_TRUE(g.vm().present);
+  EXPECT_TRUE(g.vm().enable);
+  EXPECT_EQ(g.vm().tlb_defaults.find<std::uint32_t>("l1_sets", 0), 8u);
+  EXPECT_EQ(g.vm().walker_defaults.find<std::uint32_t>("walk_depth", 0), 3u);
+
+  ConfigGraph again = ConfigGraph::from_json_text(g.to_json().dump());
+  ASSERT_TRUE(again.vm().present);
+  EXPECT_EQ(again.vm().tlb_defaults.find<std::uint32_t>("l1_ways", 0), 2u);
+  EXPECT_EQ(again.vm().walker_defaults.find("huge_pages", ""), "static");
+}
+
+TEST(VmSdl, DefaultsMergeUnderComponentParams) {
+  register_libs();
+  ConfigGraph g = ConfigGraph::from_json_text(kModel);
+  auto sim = g.build();
+  auto* tlb = dynamic_cast<vm::Tlb*>(sim->find_component("tlb0"));
+  ASSERT_NE(tlb, nullptr);
+  EXPECT_EQ(tlb->level_sets(1), 4u);  // component param wins
+  EXPECT_EQ(tlb->level_ways(1), 2u);  // section default fills the gap
+  auto* ptw =
+      dynamic_cast<vm::PageTableWalker*>(sim->find_component("ptw"));
+  ASSERT_NE(ptw, nullptr);
+  EXPECT_EQ(ptw->walk_depth(), 3u);
+}
+
+TEST(VmSdl, CoresGetVirtAndSequentialAsids) {
+  register_libs();
+  ConfigGraph g = ConfigGraph::from_json_text(kModel);
+  auto sim = g.build();
+  auto* cpu0 = dynamic_cast<proc::Core*>(sim->find_component("cpu0"));
+  auto* cpu1 = dynamic_cast<proc::Core*>(sim->find_component("cpu1"));
+  ASSERT_NE(cpu0, nullptr);
+  ASSERT_NE(cpu1, nullptr);
+  EXPECT_TRUE(cpu0->virtual_addressing());
+  EXPECT_TRUE(cpu1->virtual_addressing());
+  EXPECT_EQ(cpu0->asid(), 0u);
+  EXPECT_EQ(cpu1->asid(), 9u);  // explicit asid param wins
+}
+
+TEST(VmSdl, EnableFalseDegradesToPassThrough) {
+  register_libs();
+  ConfigGraph g = ConfigGraph::from_json_text(kModel);
+  g.apply_override("/vm/enable", "false");
+  auto sim = g.build();
+  auto* tlb = dynamic_cast<vm::Tlb*>(sim->find_component("tlb0"));
+  ASSERT_NE(tlb, nullptr);
+  EXPECT_FALSE(tlb->enabled());
+  auto* cpu0 = dynamic_cast<proc::Core*>(sim->find_component("cpu0"));
+  ASSERT_NE(cpu0, nullptr);
+  EXPECT_FALSE(cpu0->virtual_addressing());
+}
+
+TEST(VmSdl, OverridesReachSectionDefaults) {
+  register_libs();
+  ConfigGraph g = ConfigGraph::from_json_text(kModel);
+  g.apply_override("/vm/tlb/l1_ways", "8");
+  g.apply_override("/vm/walker/walk_cache_entries", "0");
+  auto sim = g.build();
+  auto* tlb = dynamic_cast<vm::Tlb*>(sim->find_component("tlb0"));
+  ASSERT_NE(tlb, nullptr);
+  EXPECT_EQ(tlb->level_ways(1), 8u);
+}
+
+TEST(VmSdl, OverrideErrorsNameAlternatives) {
+  register_libs();
+  ConfigGraph no_vm = ConfigGraph::from_json_text(R"({"components": []})");
+  try {
+    no_vm.apply_override("/vm/enable", "false");
+    FAIL() << "expected ConfigError";
+  } catch (const ConfigError& e) {
+    EXPECT_NE(std::string(e.what()).find("no \"vm\" section"),
+              std::string::npos);
+  }
+
+  ConfigGraph g = ConfigGraph::from_json_text(kModel);
+  try {
+    g.apply_override("/vm/bogus/x", "1");
+    FAIL() << "expected ConfigError";
+  } catch (const ConfigError& e) {
+    EXPECT_NE(std::string(e.what()).find("/vm/enable"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("/vm/walker/"), std::string::npos);
+  }
+
+  try {
+    g.apply_override("/nonsense/key", "1");
+    FAIL() << "expected ConfigError";
+  } catch (const ConfigError& e) {
+    EXPECT_NE(std::string(e.what()).find("/vm"), std::string::npos);
+  }
+}
+
+TEST(VmSdl, ValidationRequiresTlbWhenEnabled) {
+  register_libs();
+  ConfigGraph g = ConfigGraph::from_json_text(R"({
+    "vm": {"enable": true},
+    "components": [{"name": "cpu", "type": "proc.Core"}]
+  })");
+  const auto problems = g.validate(Factory::instance());
+  ASSERT_FALSE(problems.empty());
+  EXPECT_NE(problems.front().find("vm.Tlb"), std::string::npos);
+
+  g.apply_override("/vm/enable", "false");
+  EXPECT_TRUE(g.validate(Factory::instance()).empty());
+}
+
+}  // namespace
+}  // namespace sst::sdl

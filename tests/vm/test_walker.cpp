@@ -1,0 +1,142 @@
+// PageTableWalker: radix-depth accounting, walk-cache short-circuiting,
+// huge-page promotion, PTE placement determinism, and validation.
+#include <gtest/gtest.h>
+
+#include "vm/page_table.h"
+#include "vm_test_util.h"
+
+namespace sst::vm {
+namespace {
+
+TEST(PageWalk, ColdWalkReadsOnePtePerLevel) {
+  auto rig = testing::make_rig(testing::small_tlb(), testing::flat_walker());
+  rig->driver->read_at(kNanosecond, 0x7000);
+  rig->sim.run();
+  EXPECT_EQ(rig->walker->walks(), 1u);
+  EXPECT_EQ(rig->walker->pte_reads(), 4u);
+  EXPECT_EQ(rig->walker->walk_cache_hits(), 0u);
+}
+
+TEST(PageWalk, DepthScalesPteReads) {
+  for (std::uint32_t depth : {1u, 2u, 3u, 5u}) {
+    Params wp = testing::flat_walker();
+    wp.set("walk_depth", std::to_string(depth));
+    auto rig = testing::make_rig(testing::small_tlb(), wp);
+    rig->driver->read_at(kNanosecond, 0x9000);
+    rig->sim.run();
+    EXPECT_EQ(rig->walker->pte_reads(), depth) << "depth=" << depth;
+  }
+}
+
+TEST(PageWalk, WalkCacheShortCircuitsUpperLevels) {
+  Params wp = testing::flat_walker();
+  wp.set("walk_cache_entries", "16");
+  auto rig = testing::make_rig(testing::small_tlb(), wp);
+  // Different 4KiB pages in the same 2MiB region: the second walk finds
+  // the level-2 step cached and reads only the leaf.
+  rig->driver->read_at(1 * kMicrosecond, 0x0000);
+  rig->driver->read_at(10 * kMicrosecond, 0x1000);
+  rig->sim.run();
+  EXPECT_EQ(rig->walker->walks(), 2u);
+  EXPECT_EQ(rig->walker->pte_reads(), 5u);  // 4 cold + 1 warm
+  EXPECT_EQ(rig->walker->walk_cache_hits(), 1u);
+}
+
+TEST(PageWalk, WarmWalkIsFaster) {
+  Params wp = testing::flat_walker();
+  wp.set("walk_cache_entries", "16");
+  auto rig = testing::make_rig(testing::small_tlb(), wp);
+  const auto cold = rig->driver->read_at(1 * kMicrosecond, 0x0000);
+  const auto warm = rig->driver->read_at(10 * kMicrosecond, 0x1000);
+  rig->sim.run();
+  const SimTime t_cold =
+      rig->driver->response_time(cold) - 1 * kMicrosecond;
+  const SimTime t_warm =
+      rig->driver->response_time(warm) - 10 * kMicrosecond;
+  // Three of four ~100ns PTE reads are skipped.
+  EXPECT_GT(t_cold, t_warm + 250 * kNanosecond);
+}
+
+TEST(PageWalk, PromotionAfterThresholdWalks) {
+  Params tp = testing::small_tlb();
+  tp.set("l1_sets", "16");
+  tp.set("l1_ways", "4");
+  tp.set("page_sizes", "4KiB,2MiB");
+  Params wp;
+  wp.set("walk_depth", "4");
+  wp.set("walk_cache_entries", "0");
+  wp.set("page_sizes", "4KiB,2MiB");
+  wp.set("huge_pages", "promote");
+  wp.set("promote_threshold", "4");
+  auto rig = testing::make_rig(tp, wp);
+  // Four completed 4KiB walks in one region promote it; the fifth access
+  // (a fresh page) walks once more and installs the 2MiB mapping.
+  for (int i = 0; i < 5; ++i) {
+    rig->driver->read_at((1 + 3 * static_cast<SimTime>(i)) * kMicrosecond,
+                         static_cast<Addr>(i) << 12);
+  }
+  // After promotion, any page of the region hits the 2MiB entry.
+  const auto post =
+      rig->driver->read_at(30 * kMicrosecond, Addr{0x1ff} << 12);
+  rig->sim.run();
+  ASSERT_NE(rig->driver->response_time(post), kTimeNever);
+  EXPECT_EQ(rig->walker->promotions(), 1u);
+  EXPECT_EQ(rig->walker->page_table().promoted_regions(), 1u);
+  EXPECT_EQ(rig->walker->walks(), 5u);
+  // The shootdown zapped the stale 4KiB entries of the region.
+  EXPECT_EQ(rig->tlb->shootdowns(), 1u);
+  EXPECT_EQ(rig->tlb->invalidated_entries(), 4u);
+  EXPECT_EQ(rig->walker->shootdowns_sent(), 1u);
+  EXPECT_EQ(rig->walker->shootdowns_acked(), 1u);
+}
+
+TEST(PageWalk, PteAddressesAreDeterministicAndAligned) {
+  PageTable::Config cfg;
+  cfg.seed = 7;
+  cfg.phys_bits = 33;
+  PageTable pt(cfg);
+  const Addr a = pt.pte_addr(1, 4, 0x12345678000ULL);
+  EXPECT_EQ(a, pt.pte_addr(1, 4, 0x12345678000ULL));
+  EXPECT_NE(a, pt.pte_addr(2, 4, 0x12345678000ULL));  // asid-separated
+  EXPECT_LT(a, Addr{1} << 33);
+  EXPECT_EQ(a % cfg.pte_size, 0u);
+  // Adjacent pages share the leaf table: same 4KiB frame, adjacent slots.
+  const Addr leaf0 = pt.pte_addr(1, 1, 0x0000);
+  const Addr leaf1 = pt.pte_addr(1, 1, 0x1000);
+  EXPECT_EQ(leaf0 >> kPageShift, leaf1 >> kPageShift);
+  EXPECT_EQ(leaf1 - leaf0, cfg.pte_size);
+}
+
+TEST(PageWalk, ResolveIsPureAndPageAligned) {
+  PageTable::Config cfg;
+  cfg.seed = 3;
+  cfg.allow_2m = true;
+  cfg.policy = PageTable::HugePolicy::kStatic;
+  cfg.huge_ratio = 0.5;
+  PageTable pt(cfg);
+  for (Addr v : {Addr{0}, Addr{0x3fe000}, Addr{0x7fffff000}}) {
+    const auto m1 = pt.resolve(9, v);
+    const auto m2 = pt.resolve(9, v);
+    EXPECT_EQ(m1.pbase, m2.pbase);
+    EXPECT_EQ(m1.page_bits, m2.page_bits);
+    EXPECT_EQ(m1.vbase & ((Addr{1} << m1.page_bits) - 1), 0u);
+    EXPECT_EQ(m1.pbase & ((Addr{1} << m1.page_bits) - 1), 0u);
+    EXPECT_LE(v - m1.vbase, (Addr{1} << m1.page_bits) - 1);
+  }
+}
+
+TEST(PageWalk, RejectsBadConfig) {
+  Simulation sim;
+  Params p;
+  p.set("walk_depth", "0");
+  EXPECT_THROW(sim.add_component<PageTableWalker>("w", p), ConfigError);
+  Params q;
+  q.set("huge_pages", "sometimes");
+  EXPECT_THROW(sim.add_component<PageTableWalker>("w2", q), ConfigError);
+  Params r;
+  r.set("retry_backoff", "0.5");
+  EXPECT_THROW(sim.add_component<PageTableWalker>("w3", r), ConfigError);
+}
+
+}  // namespace
+}  // namespace sst::vm

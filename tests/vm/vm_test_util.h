@@ -1,0 +1,81 @@
+// Shared rig for the vm tests: a scripted MemDriver issuing virtual
+// addresses into a Tlb, with the data path and the walker's PTE path each
+// backed by a simple MemoryController.
+#pragma once
+
+#include <memory>
+
+#include "../mem/mem_test_util.h"
+#include "mem/memory_controller.h"
+#include "vm/tlb.h"
+#include "vm/walker.h"
+
+namespace sst::vm::testing {
+
+using mem::testing::MemDriver;
+
+struct VmRig {
+  explicit VmRig(SimConfig cfg = {}) : sim(cfg) {}
+
+  Simulation sim;
+  MemDriver* driver = nullptr;
+  Tlb* tlb = nullptr;
+  PageTableWalker* walker = nullptr;
+  mem::MemoryController* mc_data = nullptr;
+  mem::MemoryController* mc_pt = nullptr;
+};
+
+inline Params simple_mc(SimTime latency = 100 * kNanosecond) {
+  Params p;
+  p.set("backend", "simple");
+  p.set("latency", std::to_string(latency) + "ps");
+  p.set("bandwidth_gbs", "100");  // effectively latency-only
+  return p;
+}
+
+/// driver -> tlb -> mc_data, with the walker's PTE reads going to their
+/// own controller.  `connect_inval` wires the shootdown broadcast pair.
+inline std::unique_ptr<VmRig> make_rig(Params tlb_params,
+                                       Params walker_params,
+                                       bool connect_inval = true,
+                                       SimConfig cfg = {}) {
+  auto rig = std::make_unique<VmRig>(cfg);
+  Params dp;
+  rig->driver = rig->sim.add_component<MemDriver>("driver", dp);
+  rig->tlb = rig->sim.add_component<Tlb>("tlb", tlb_params);
+  rig->walker =
+      rig->sim.add_component<PageTableWalker>("walker", walker_params);
+  Params mp = simple_mc();
+  rig->mc_data = rig->sim.add_component<mem::MemoryController>("mc_data", mp);
+  Params pp = simple_mc();
+  rig->mc_pt = rig->sim.add_component<mem::MemoryController>("mc_pt", pp);
+  rig->sim.connect("driver", "mem", "tlb", "cpu", kNanosecond);
+  rig->sim.connect("tlb", "mem", "mc_data", "cpu", kNanosecond);
+  rig->sim.connect("tlb", "ptw", "walker", "tlb0", kNanosecond);
+  if (connect_inval) {
+    rig->sim.connect("walker", "inval0", "tlb", "inval", kNanosecond);
+  }
+  rig->sim.connect("walker", "mem", "mc_pt", "cpu", kNanosecond);
+  return rig;
+}
+
+/// A small single-level TLB with 4KiB pages only: conflict patterns are
+/// easy to construct and every miss costs exactly one walk.
+inline Params small_tlb() {
+  Params p;
+  p.set("levels", "1");
+  p.set("l1_sets", "1");
+  p.set("l1_ways", "2");
+  p.set("page_sizes", "4KiB");
+  return p;
+}
+
+inline Params flat_walker() {
+  Params p;
+  p.set("walk_depth", "4");
+  p.set("walk_cache_entries", "0");
+  p.set("page_sizes", "4KiB");
+  return p;
+}
+
+}  // namespace sst::vm::testing
